@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Ablation bench: sensitivity of the headline results to the design
+ * choices DESIGN.md calls out.
+ *
+ * Sweeps, one at a time:
+ *  - static guardband size (the margin adaptive guardbanding reclaims),
+ *  - VRM loadline resistance (the borrowing opportunity),
+ *  - local grid resistance (the workload-spread driver),
+ *  - firmware interval (control responsiveness),
+ *  - di/dt ride-through fraction (how much typical ripple taxes the
+ *    adaptive margin),
+ * and reports the one-core/eight-core power savings and the borrowing
+ * benefit for raytrace. Also evaluates the cluster-level strategy
+ * extension (Sec. 5.1.1).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "chip/guardband_mode.h"
+#include "core/cluster_policy.h"
+#include "core/placement.h"
+#include "stats/table.h"
+
+using namespace agsim;
+using namespace agsim::bench;
+using chip::GuardbandMode;
+using core::PlacementPolicy;
+using core::runScheduled;
+
+namespace {
+
+struct Outcome
+{
+    double savingOneCore = 0.0;
+    double savingEightCores = 0.0;
+    double borrowingBenefit = 0.0;
+};
+
+Outcome
+evaluate(const core::ScheduledRunSpec &base)
+{
+    auto with = [&base](size_t threads, PlacementPolicy policy,
+                        GuardbandMode mode, size_t budget) {
+        core::ScheduledRunSpec spec = base;
+        spec.threads = threads;
+        spec.policy = policy;
+        spec.mode = mode;
+        spec.poweredCoreBudget = budget;
+        return runScheduled(spec).metrics;
+    };
+
+    Outcome outcome;
+    const auto stat1 = with(1, PlacementPolicy::Consolidate,
+                            GuardbandMode::StaticGuardband, 0);
+    const auto adpt1 = with(1, PlacementPolicy::Consolidate,
+                            GuardbandMode::AdaptiveUndervolt, 0);
+    outcome.savingOneCore =
+        100.0 * (1.0 - adpt1.socketPower[0] / stat1.socketPower[0]);
+
+    const auto stat8 = with(8, PlacementPolicy::Consolidate,
+                            GuardbandMode::StaticGuardband, 0);
+    const auto adpt8 = with(8, PlacementPolicy::Consolidate,
+                            GuardbandMode::AdaptiveUndervolt, 0);
+    outcome.savingEightCores =
+        100.0 * (1.0 - adpt8.socketPower[0] / stat8.socketPower[0]);
+
+    const auto cons = with(8, PlacementPolicy::Consolidate,
+                           GuardbandMode::AdaptiveUndervolt, 8);
+    const auto borrow = with(8, PlacementPolicy::LoadlineBorrow,
+                             GuardbandMode::AdaptiveUndervolt, 8);
+    outcome.borrowingBenefit =
+        100.0 * (1.0 - borrow.totalChipPower / cons.totalChipPower);
+    return outcome;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseOptions(argc, argv);
+    banner("Ablations: model-parameter sensitivity (raytrace)",
+           "how the headline savings respond to each design choice");
+
+    core::ScheduledRunSpec base = sec3Spec(
+        workload::byName("raytrace"), 1,
+        GuardbandMode::AdaptiveUndervolt, options);
+
+    stats::TablePrinter table;
+    table.setHeader({"configuration", "saving@1core(%)",
+                     "saving@8cores(%)", "borrow benefit@8(%)"});
+
+    auto addRow = [&table](const std::string &label,
+                           const Outcome &outcome) {
+        table.addNumericRow(label,
+                            {outcome.savingOneCore,
+                             outcome.savingEightCores,
+                             outcome.borrowingBenefit},
+                            1);
+    };
+
+    addRow("default", evaluate(base));
+
+    for (double gb : {0.100, 0.130, 0.180}) {
+        core::ScheduledRunSpec spec = base;
+        spec.serverConfig.chipTemplate.vf.staticGuardband = gb;
+        addRow("guardband=" + stats::formatDouble(gb * 1e3, 0) + "mV",
+               evaluate(spec));
+    }
+    for (double loadline : {0.20e-3, 0.60e-3}) {
+        core::ScheduledRunSpec spec = base;
+        spec.serverConfig.rail.loadlineResistance = loadline;
+        addRow("loadline=" + stats::formatDouble(loadline * 1e3, 2) +
+               "mOhm", evaluate(spec));
+    }
+    for (double local : {1.0e-3, 3.0e-3}) {
+        core::ScheduledRunSpec spec = base;
+        spec.serverConfig.chipTemplate.ir.localResistance = local;
+        addRow("localR=" + stats::formatDouble(local * 1e3, 1) + "mOhm",
+               evaluate(spec));
+    }
+    for (double interval : {8e-3, 128e-3}) {
+        core::ScheduledRunSpec spec = base;
+        spec.serverConfig.chipTemplate.firmwareInterval = interval;
+        addRow("firmware=" + stats::formatDouble(interval * 1e3, 0) +
+               "ms", evaluate(spec));
+    }
+    for (double loss : {0.0, 1.0}) {
+        core::ScheduledRunSpec spec = base;
+        spec.serverConfig.chipTemplate.rippleTrackingLoss = loss;
+        addRow("rippleLoss=" + stats::formatDouble(loss, 1),
+               evaluate(spec));
+    }
+
+    std::printf("%s", table.render().c_str());
+
+    // Cluster-level extension (Sec. 5.1.1 future work).
+    std::printf("\ncluster-level strategies (4 servers, 8 threads of "
+                "raytrace):\n");
+    core::ClusterSpec clusterSpec;
+    clusterSpec.serverCount = 4;
+    stats::TablePrinter cluster;
+    cluster.setHeader({"strategy", "servers on", "chip (W)",
+                       "platform (W)", "total (W)"});
+    for (const auto &eval : core::evaluateAllClusterStrategies(
+             clusterSpec, workload::byName("raytrace"), 8)) {
+        cluster.addNumericRow(core::clusterStrategyName(eval.strategy),
+                              {double(eval.activeServers),
+                               eval.chipPower, eval.platformPower,
+                               eval.totalPower},
+                              1);
+    }
+    std::printf("%s", cluster.render().c_str());
+    std::printf("\n(paper Sec. 5.1.1: consolidate onto the fewest "
+                "servers first, then loadline-borrow within each)\n");
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction bench binaries.
+ *
+ * Every bench regenerates one of the paper's figures as an ASCII table
+ * (the same rows/series the paper plots) plus a compact chart, and
+ * accepts "key=value" overrides (e.g. measure=2.0 warmup=1.5 seed=7)
+ * so reviewers can stress the result.
+ */
+
+#ifndef AGSIM_BENCH_BENCH_UTIL_H
+#define AGSIM_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "core/ags.h"
+#include "stats/table.h"
+#include "workload/library.h"
+
+namespace agsim::bench {
+
+/** Parsed common bench options. */
+struct BenchOptions
+{
+    Seconds measure = 1.0;
+    Seconds warmup = 1.0;
+    uint64_t seed = 0x7E57C819u;
+    bool chart = true;
+    ParamSet params;
+};
+
+/** Parse argv key=value options shared by all benches. */
+inline BenchOptions
+parseOptions(int argc, char **argv)
+{
+    BenchOptions options;
+    options.params.parseArgs(argc, argv);
+    options.measure = options.params.getDouble("measure", options.measure);
+    options.warmup = options.params.getDouble("warmup", options.warmup);
+    options.seed = uint64_t(options.params.getInt("seed",
+                                                  int(options.seed)));
+    options.chart = options.params.getBool("chart", options.chart);
+    return options;
+}
+
+/** The Sec. 3 methodology run spec: socket-0 consolidation, no gating. */
+inline core::ScheduledRunSpec
+sec3Spec(const workload::BenchmarkProfile &profile, size_t threads,
+         chip::GuardbandMode mode, const BenchOptions &options)
+{
+    core::ScheduledRunSpec spec;
+    spec.profile = profile;
+    spec.threads = threads;
+    spec.mode = mode;
+    spec.poweredCoreBudget = 0;
+    spec.simConfig.measureDuration = options.measure;
+    spec.simConfig.warmup = options.warmup;
+    spec.serverConfig.chipTemplate.seed = options.seed;
+    return spec;
+}
+
+/** The Sec. 5.1 scenario spec: 8-of-16 powered cores, gating applied. */
+inline core::ScheduledRunSpec
+borrowingSpec(const workload::BenchmarkProfile &profile, size_t threads,
+              core::PlacementPolicy policy, chip::GuardbandMode mode,
+              const BenchOptions &options)
+{
+    core::ScheduledRunSpec spec = sec3Spec(profile, threads, mode, options);
+    spec.policy = policy;
+    spec.poweredCoreBudget = 8;
+    return spec;
+}
+
+/** Print a figure header banner. */
+inline void
+banner(const std::string &title, const std::string &paperClaim)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("paper: %s\n", paperClaim.c_str());
+    std::printf("==============================================================\n");
+}
+
+/** Print a table of series plus (optionally) the ASCII chart. */
+inline void
+emitFigure(const std::vector<stats::Series> &series,
+           const std::string &xLabel, const BenchOptions &options,
+           int precision = 2)
+{
+    std::printf("%s",
+                stats::renderSeriesTable(series, xLabel, precision).c_str());
+    if (options.chart)
+        std::printf("\n%s", stats::renderAsciiChart(series).c_str());
+}
+
+} // namespace agsim::bench
+
+#endif // AGSIM_BENCH_BENCH_UTIL_H

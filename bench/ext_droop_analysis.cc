@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Extension bench: the droop-frequency analysis the paper mentions but
+ * does not show ("our droop frequency analysis (not shown) indicates
+ * that such large worst-case droops occur infrequently"), plus the
+ * predictor-robustness study on synthetic workloads.
+ *
+ * 1. Droop statistics vs active cores: arrival rate grows with core
+ *    count (alignment odds) while depth grows slightly; even at eight
+ *    cores the duty cycle of droops stays tiny, which is why adaptive
+ *    guardbanding can ride through them.
+ * 2. Fig. 16 robustness: the MIPS->frequency model trained on the 44
+ *    calibrated workloads, evaluated on 24 never-seen synthetic ones.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "chip/chip.h"
+#include "clock/droop_response.h"
+#include "core/mips_predictor.h"
+#include "pdn/vrm.h"
+#include "stats/accumulator.h"
+#include "stats/table.h"
+#include "workload/generator.h"
+
+using namespace agsim;
+using namespace agsim::bench;
+using namespace agsim::units;
+using chip::Chip;
+using chip::ChipConfig;
+using chip::CoreLoad;
+using chip::GuardbandMode;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseOptions(argc, argv);
+    banner("Extension: droop-frequency analysis + predictor robustness",
+           "droops stay rare even at 8 cores; the linear predictor "
+           "transfers to unseen workloads");
+
+    std::printf("\n(1) worst-case droop statistics vs active cores "
+                "(raytrace, 20 s per point)\n");
+    const auto &profile = workload::byName("raytrace");
+    stats::TablePrinter droops;
+    droops.setHeader({"cores", "events/s", "mean depth (mV)",
+                      "p95 depth (mV)", "stall (us/s)"});
+    for (size_t active : {1ul, 2ul, 4ul, 8ul}) {
+        pdn::Vrm vrm(1);
+        ChipConfig config;
+        config.seed = options.seed;
+        Chip chip(config, &vrm);
+        chip.setMode(GuardbandMode::StaticGuardband);
+        for (size_t i = 0; i < active; ++i) {
+            chip.setLoad(i, CoreLoad::running(profile.intensity,
+                                              profile.didtTypicalAmp,
+                                              profile.didtWorstAmp));
+        }
+        const Seconds horizon = 20.0;
+        chip.settle(horizon);
+        const auto &histogram = chip.droopHistogram();
+        stats::Accumulator depth;
+        double p95Depth = 0.0;
+        uint64_t seen = 0;
+        for (size_t bin = 0; bin < histogram.bins(); ++bin) {
+            const uint64_t count = histogram.binCount(bin);
+            depth.addWeighted(histogram.binCenter(bin), double(count));
+            seen += count;
+            if (double(seen) <= 0.95 * double(histogram.total()))
+                p95Depth = histogram.binCenter(bin);
+        }
+        // Each droop stalls the DPLL for ~200 ns.
+        const double ratePerSec = double(histogram.total()) / horizon;
+        const double stallUsPerSec = ratePerSec * 200e-9 * 1e6;
+        droops.addNumericRow(std::to_string(active),
+                             {ratePerSec, depth.mean() * 1e3,
+                              p95Depth * 1e3, stallUsPerSec},
+                             3);
+    }
+    std::printf("%s", droops.render().c_str());
+    std::printf("(rare and shallow-duty: the DPLL rides through them, "
+                "so only passive drop limits the adaptive modes)\n");
+
+    std::printf("\n(2) one droop event at nanosecond resolution "
+                "(35 mV sag, 25 ns onset, ring)\n");
+    {
+        const power::VfCurve curve;
+        const clock::DpllParams fast; // 7% per 10 ns
+        clock::DpllParams slow = fast;
+        slow.slewPerSecond = 0.07 / 10e-6; // conventional PLL relock
+        const Hertz f = 4.2e9;
+        const Volts v = curve.vminAt(f) + curve.params().calibratedMargin;
+        const clock::DroopEvent event;
+
+        stats::TablePrinter table;
+        table.setHeader({"clock design", "violates?", "min margin (mV)",
+                         "stall (ns)"});
+        struct Case { const char *name; bool adaptive; const
+                      clock::DpllParams *dpll; };
+        const Case cases[] = {
+            {"POWER7+ DPLL (7%/10ns)", true, &fast},
+            {"conventional PLL (7%/10us)", true, &slow},
+            {"fixed clock, adaptive margin", false, &fast},
+        };
+        for (const auto &c : cases) {
+            const auto outcome = clock::simulateDroop(
+                curve, *c.dpll, c.adaptive, v, f, event);
+            table.addRow({c.name, outcome.violated ? "YES" : "no",
+                          stats::formatDouble(outcome.minMargin * 1e3, 1),
+                          stats::formatDouble(outcome.lostTime * 1e9, 1)});
+        }
+        std::printf("%s", table.render().c_str());
+        std::printf("  static design instead needs %.0f mV of standing "
+                    "margin to survive this event\n",
+                    clock::staticGuardbandNeeded(v, event) * 1e3);
+    }
+
+    std::printf("\n(3) predictor robustness on synthetic workloads\n");
+    core::MipsFreqPredictor predictor;
+    for (const auto &p : workload::library()) {
+        if (p.suite == workload::Suite::Coremark ||
+            p.suite == workload::Suite::Datacenter)
+            continue;
+        auto spec = sec3Spec(p, 8, GuardbandMode::AdaptiveOverclock,
+                             options);
+        spec.runMode = p.serialFraction > 0.0
+                           ? workload::RunMode::Multithreaded
+                           : workload::RunMode::Rate;
+        const auto result = core::runScheduled(spec);
+        predictor.observe(result.metrics.meanChipMips,
+                          result.metrics.meanFrequency);
+    }
+    std::printf("  trained on %zu calibrated workloads (RMSE %.2f%%)\n",
+                predictor.observations(), predictor.rmsePercent());
+
+    workload::WorkloadGenerator generator(options.seed);
+    stats::Accumulator errorPct;
+    for (const auto &p : generator.batch(24)) {
+        auto spec = sec3Spec(p, 8, GuardbandMode::AdaptiveOverclock,
+                             options);
+        spec.runMode = p.serialFraction > 0.0
+                           ? workload::RunMode::Multithreaded
+                           : workload::RunMode::Rate;
+        const auto result = core::runScheduled(spec);
+        const double predicted =
+            predictor.predict(result.metrics.meanChipMips);
+        errorPct.add(100.0 *
+                     std::abs(predicted - result.metrics.meanFrequency) /
+                     result.metrics.meanFrequency);
+    }
+    std::printf("  evaluated on 24 unseen synthetic workloads: mean "
+                "error %.2f%%, worst %.2f%%\n",
+                errorPct.mean(), errorPct.max());
+    std::printf("  (the paper's middleware premise: one cheap linear "
+                "model serves arbitrary tenants)\n");
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces paper Fig. 3: chip power and EDP vs number of active
+ * cores, adaptive undervolting vs static guardband, for raytrace.
+ *
+ * Paper claims: 13% power saving with one active core shrinking to ~3%
+ * with eight; EDP improves ~20% at one core with negligible additional
+ * improvement beyond four cores.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "chip/guardband_mode.h"
+#include "stats/series.h"
+
+using namespace agsim;
+using namespace agsim::bench;
+using chip::GuardbandMode;
+using core::runScheduled;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseOptions(argc, argv);
+    const auto &profile = workload::byName(
+        options.params.getString("workload", "raytrace"));
+
+    banner("Fig. 3: adaptive undervolting vs static guardband (" +
+               profile.name + ")",
+           "power saving 13% @1 core -> 3% @8 cores; EDP gap closes "
+           "beyond 4 cores");
+
+    stats::Series staticPower("static guardband (W)");
+    stats::Series adaptivePower("adaptive undervolt (W)");
+    stats::Series saving("power saving (%)");
+    stats::Series staticEdp("static EDP (J*s)");
+    stats::Series adaptiveEdp("adaptive EDP (J*s)");
+
+    for (size_t threads = 1; threads <= 8; ++threads) {
+        // Power: fixed-duration rate measurement.
+        auto statSpec = sec3Spec(profile, threads,
+                                 GuardbandMode::StaticGuardband, options);
+        auto adptSpec = sec3Spec(profile, threads,
+                                 GuardbandMode::AdaptiveUndervolt, options);
+        const auto stat = runScheduled(statSpec);
+        const auto adpt = runScheduled(adptSpec);
+        staticPower.add(double(threads), stat.metrics.socketPower[0]);
+        adaptivePower.add(double(threads), adpt.metrics.socketPower[0]);
+        saving.add(double(threads),
+                   100.0 * (1.0 - adpt.metrics.socketPower[0] /
+                            stat.metrics.socketPower[0]));
+
+        // EDP: run a fixed amount of work to completion.
+        workload::BenchmarkProfile small = profile;
+        small.totalInstructions = 120e9;
+        auto statEdpSpec = sec3Spec(small, threads,
+                                    GuardbandMode::StaticGuardband,
+                                    options);
+        statEdpSpec.simConfig.measureDuration = 0.0;
+        auto adptEdpSpec = sec3Spec(small, threads,
+                                    GuardbandMode::AdaptiveUndervolt,
+                                    options);
+        adptEdpSpec.simConfig.measureDuration = 0.0;
+        staticEdp.add(double(threads),
+                      runScheduled(statEdpSpec).metrics.edp);
+        adaptiveEdp.add(double(threads),
+                        runScheduled(adptEdpSpec).metrics.edp);
+    }
+
+    std::printf("\n(a) chip power vs active cores\n");
+    emitFigure({staticPower, adaptivePower, saving}, "cores", options, 1);
+
+    std::printf("\n(b) energy-delay product vs active cores\n");
+    emitFigure({staticEdp, adaptiveEdp}, "cores", options, 1);
+
+    std::printf("\nsummary: saving %.1f%% @1 core -> %.1f%% @8 cores "
+                "(paper: 13%% -> 3%%)\n",
+                saving.firstY(), saving.lastY());
+    std::printf("         EDP improvement %.1f%% @1 core -> %.1f%% @8 "
+                "(paper: ~20%% -> small)\n",
+                100.0 * (1.0 - adaptiveEdp.firstY() / staticEdp.firstY()),
+                100.0 * (1.0 - adaptiveEdp.lastY() / staticEdp.lastY()));
+    return 0;
+}

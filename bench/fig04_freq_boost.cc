@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reproduces paper Fig. 4: adaptive overclocking frequency and
+ * execution time vs number of active cores for lu_cb.
+ *
+ * Paper claims: +10% frequency at one active core falling to +4% at
+ * eight; execution-time speedup 8% -> 3%.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "chip/guardband_mode.h"
+#include "stats/series.h"
+
+using namespace agsim;
+using namespace agsim::bench;
+using chip::GuardbandMode;
+using core::runScheduled;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseOptions(argc, argv);
+    const auto &profile = workload::byName(
+        options.params.getString("workload", "lu_cb"));
+
+    banner("Fig. 4: adaptive overclocking (" + profile.name + ")",
+           "frequency +10% @1 core -> +4% @8; execution time -8% -> -3%");
+
+    stats::Series frequency("adaptive frequency (MHz)");
+    stats::Series boost("boost (%)");
+    stats::Series staticTime("static time (s)");
+    stats::Series adaptiveTime("adaptive time (s)");
+
+    workload::BenchmarkProfile timed = profile;
+    timed.totalInstructions = 150e9;
+
+    for (size_t threads = 1; threads <= 8; ++threads) {
+        const auto boosted = runScheduled(sec3Spec(
+            profile, threads, GuardbandMode::AdaptiveOverclock, options));
+        frequency.add(double(threads),
+                      toMegaHertz(boosted.metrics.meanFrequency));
+        boost.add(double(threads),
+                  100.0 * (boosted.metrics.meanFrequency / 4.2e9 - 1.0));
+
+        auto statSpec = sec3Spec(timed, threads,
+                                 GuardbandMode::StaticGuardband, options);
+        statSpec.simConfig.measureDuration = 0.0;
+        auto boostSpec = sec3Spec(timed, threads,
+                                  GuardbandMode::AdaptiveOverclock,
+                                  options);
+        boostSpec.simConfig.measureDuration = 0.0;
+        staticTime.add(double(threads),
+                       runScheduled(statSpec)
+                           .metrics.jobs[0].completionTime);
+        adaptiveTime.add(double(threads),
+                         runScheduled(boostSpec)
+                             .metrics.jobs[0].completionTime);
+    }
+
+    std::printf("\n(a) frequency-boosting mode\n");
+    emitFigure({frequency, boost}, "cores", options, 1);
+
+    std::printf("\n(b) execution time\n");
+    emitFigure({staticTime, adaptiveTime}, "cores", options, 2);
+
+    std::printf("\nsummary: boost %.1f%% @1 core -> %.1f%% @8 "
+                "(paper: 10%% -> 4%%)\n",
+                boost.firstY(), boost.lastY());
+    std::printf("         speedup %.1f%% @1 core -> %.1f%% @8 "
+                "(paper: 8%% -> 3%%)\n",
+                100.0 * (staticTime.firstY() / adaptiveTime.firstY() - 1.0),
+                100.0 * (staticTime.lastY() / adaptiveTime.lastY() - 1.0));
+    return 0;
+}

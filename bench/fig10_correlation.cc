@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Reproduces paper Fig. 10: the causal chain from workload power to
+ * adaptive guardbanding's two optimization modes, across 17 PARSEC +
+ * SPLASH-2 workloads and 27 SPECrate workloads at eight active cores.
+ *
+ * (a) chip power vs passive drop (strong linear relationship);
+ * (b) passive drop vs undervolt amount (inverse) and selected Vdd;
+ * (c) selected Vdd vs energy saving;
+ * (d) passive drop vs frequency increase (inverse).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "chip/guardband_mode.h"
+#include "stats/linear_fit.h"
+#include "stats/table.h"
+
+using namespace agsim;
+using namespace agsim::bench;
+using chip::GuardbandMode;
+using core::runScheduled;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseOptions(argc, argv);
+    banner("Fig. 10: power -> passive drop -> undervolt/boost chain "
+           "(8 active cores, 44 workloads)",
+           "linear power<->drop; high drop => less undervolt, higher "
+           "Vdd, less energy saving, less frequency boost");
+
+    stats::TablePrinter table;
+    table.setHeader({"workload", "power(W)", "drop(mV)", "undervolt(mV)",
+                     "vdd(mV)", "saving(%)", "boost(%)"});
+
+    stats::LinearFit powerVsDrop;
+    stats::LinearFit dropVsUndervolt;
+    stats::LinearFit vddVsSaving;
+    stats::LinearFit dropVsBoost;
+
+    for (const auto &profile : workload::library()) {
+        if (profile.suite == workload::Suite::Coremark ||
+            profile.suite == workload::Suite::Datacenter)
+            continue;
+        const auto mode = profile.serialFraction > 0.0
+                              ? workload::RunMode::Multithreaded
+                              : workload::RunMode::Rate;
+
+        auto statSpec = sec3Spec(profile, 8,
+                                 GuardbandMode::StaticGuardband, options);
+        statSpec.runMode = mode;
+        auto undervoltSpec = sec3Spec(
+            profile, 8, GuardbandMode::AdaptiveUndervolt, options);
+        undervoltSpec.runMode = mode;
+        auto overclockSpec = sec3Spec(
+            profile, 8, GuardbandMode::AdaptiveOverclock, options);
+        overclockSpec.runMode = mode;
+
+        const auto stat = runScheduled(statSpec);
+        const auto uv = runScheduled(undervoltSpec);
+        const auto oc = runScheduled(overclockSpec);
+
+        const double power = stat.metrics.socketPower[0];
+        const double drop = toMilliVolts(
+            stat.metrics.meanDecomposition.sharedPassive());
+        const double undervolt =
+            toMilliVolts(uv.metrics.socketUndervolt[0]);
+        const double vdd = toMilliVolts(uv.metrics.socketSetpoint[0]);
+        const double saving = 100.0 * (1.0 - uv.metrics.socketPower[0] /
+                                       stat.metrics.socketPower[0]);
+        const double boost =
+            100.0 * (oc.metrics.meanFrequency / 4.2e9 - 1.0);
+
+        table.addNumericRow(profile.name,
+                            {power, drop, undervolt, vdd, saving, boost},
+                            1);
+        powerVsDrop.add(power, drop);
+        dropVsUndervolt.add(drop, undervolt);
+        vddVsSaving.add(vdd, saving);
+        dropVsBoost.add(drop, boost);
+    }
+
+    std::printf("%s", table.render().c_str());
+    std::printf("\ncorrelations (paper: all strong):\n");
+    std::printf("  (a) power vs passive drop:   r=%+.3f  slope=%.2f "
+                "mV/W\n",
+                powerVsDrop.correlation(), powerVsDrop.slope());
+    std::printf("  (b) drop vs undervolt:       r=%+.3f\n",
+                dropVsUndervolt.correlation());
+    std::printf("  (c) selected Vdd vs saving:  r=%+.3f\n",
+                vddVsSaving.correlation());
+    std::printf("  (d) drop vs frequency boost: r=%+.3f\n",
+                dropVsBoost.correlation());
+    return 0;
+}

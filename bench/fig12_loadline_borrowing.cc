@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reproduces paper Fig. 12: loadline borrowing vs workload
+ * consolidation for raytrace with 8 of 16 cores powered on.
+ *
+ * (a) undervolt amount vs active cores for both policies — borrowing
+ *     gains ~20 mV at one core (idle-power relief) and ~20 mV more at
+ *     eight (distributed dynamic power);
+ * (b) total chip power vs active cores for static guardband, the
+ *     consolidated baseline and borrowing — borrowing reclaims
+ *     efficiency at high core counts (paper: 1.6/4.2/8.5% at 2/4/8).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "chip/guardband_mode.h"
+#include "core/placement.h"
+#include "stats/series.h"
+
+using namespace agsim;
+using namespace agsim::bench;
+using chip::GuardbandMode;
+using core::PlacementPolicy;
+using core::runScheduled;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseOptions(argc, argv);
+    const auto &profile = workload::byName(
+        options.params.getString("workload", "raytrace"));
+
+    banner("Fig. 12: loadline borrowing vs consolidation (" +
+               profile.name + ", 8-of-16 cores powered)",
+           "deeper undervolt on both sockets; power benefit grows with "
+           "active cores");
+
+    stats::Series consUndervolt("baseline undervolt (mV)");
+    stats::Series borrowUndervolt("borrowing undervolt (mV)");
+    stats::Series staticPower("static guardband (W)");
+    stats::Series consPower("baseline (W)");
+    stats::Series borrowPower("loadline borrowing (W)");
+    stats::Series benefit("borrowing benefit (%)");
+
+    for (size_t threads = 1; threads <= 8; ++threads) {
+        const auto stat = runScheduled(borrowingSpec(
+            profile, threads, PlacementPolicy::Consolidate,
+            GuardbandMode::StaticGuardband, options));
+        const auto cons = runScheduled(borrowingSpec(
+            profile, threads, PlacementPolicy::Consolidate,
+            GuardbandMode::AdaptiveUndervolt, options));
+        const auto borrow = runScheduled(borrowingSpec(
+            profile, threads, PlacementPolicy::LoadlineBorrow,
+            GuardbandMode::AdaptiveUndervolt, options));
+
+        consUndervolt.add(double(threads),
+                          toMilliVolts(cons.metrics.socketUndervolt[0]));
+        borrowUndervolt.add(
+            double(threads),
+            toMilliVolts((borrow.metrics.socketUndervolt[0] +
+                          borrow.metrics.socketUndervolt[1]) / 2.0));
+        staticPower.add(double(threads), stat.metrics.totalChipPower);
+        consPower.add(double(threads), cons.metrics.totalChipPower);
+        borrowPower.add(double(threads), borrow.metrics.totalChipPower);
+        benefit.add(double(threads),
+                    100.0 * (1.0 - borrow.metrics.totalChipPower /
+                             cons.metrics.totalChipPower));
+    }
+
+    std::printf("\n(a) undervolt scaling\n");
+    emitFigure({consUndervolt, borrowUndervolt}, "cores", options, 1);
+    std::printf("\n(b) power scaling (both sockets)\n");
+    emitFigure({staticPower, consPower, borrowPower, benefit}, "cores",
+               options, 1);
+
+    std::printf("\nsummary: borrowing benefit %.1f%% @2, %.1f%% @4, "
+                "%.1f%% @8 cores (paper: 1.6/4.2/8.5%%)\n",
+                benefit.y(1), benefit.y(3), benefit.y(7));
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Reproduces paper Fig. 15: the frequency of a critical coremark thread
+ * under every <#coremark, #other> colocation mix, for lu_cb (drags
+ * frequency down) and mcf (lifts it) co-runners, in overclocking mode.
+ *
+ * Paper claims: coremark-only runs at ~4517 MHz; <1 coremark, 7 lu_cb>
+ * drops to ~4433 MHz; mcf mixes rise above coremark-only; the span
+ * between lu_cb-heavy and mcf-heavy mixes exceeds 100 MHz.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "system/simulation.h"
+
+using namespace agsim;
+using namespace agsim::bench;
+using chip::GuardbandMode;
+using system::Job;
+using system::Server;
+using system::SimulationConfig;
+using system::ThreadPlacement;
+using system::WorkloadSimulation;
+using workload::RunMode;
+using workload::ThreadedWorkload;
+
+namespace {
+
+/** Core-0 frequency with k coremark threads and 8-k `other` threads. */
+Hertz
+mixFrequency(size_t coremarkThreads, const std::string &other,
+             const BenchOptions &options)
+{
+    Server server;
+    server.setMode(GuardbandMode::AdaptiveOverclock);
+    WorkloadSimulation sim(&server);
+
+    std::vector<ThreadPlacement> critical;
+    for (size_t core = 0; core < coremarkThreads; ++core)
+        critical.push_back(ThreadPlacement{0, core});
+    sim.addJob(Job{ThreadedWorkload(workload::byName("coremark"),
+                                    RunMode::Rate),
+                   critical, "coremark"});
+    if (coremarkThreads < 8) {
+        std::vector<ThreadPlacement> rest;
+        for (size_t core = coremarkThreads; core < 8; ++core)
+            rest.push_back(ThreadPlacement{0, core});
+        sim.addJob(Job{ThreadedWorkload(workload::byName(other),
+                                        RunMode::Rate),
+                       rest, other});
+    }
+    SimulationConfig config;
+    config.measureDuration = options.measure;
+    config.warmup = options.warmup;
+    sim.run(config);
+    return server.chip(0).coreFrequency(0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseOptions(argc, argv);
+    banner("Fig. 15: coremark frequency under colocation mixes",
+           "more lu_cb threads -> lower frequency; more mcf threads -> "
+           "higher; span > 100 MHz");
+
+    stats::TablePrinter table;
+    table.setHeader({"mix", "core0 freq (MHz)"});
+
+    // Left wing: <k coremark, 8-k lu_cb>, k = 1..7 (paper's left side).
+    std::vector<double> series;
+    for (size_t k = 1; k <= 7; ++k) {
+        const Hertz f = mixFrequency(k, "lu_cb", options);
+        table.addNumericRow("<" + std::to_string(k) + " coremark, " +
+                            std::to_string(8 - k) + " lu_cb>",
+                            {toMegaHertz(f)}, 0);
+        series.push_back(toMegaHertz(f));
+    }
+    const Hertz coremarkOnly = mixFrequency(8, "", options);
+    table.addNumericRow("<8 coremark, 0 other>",
+                        {toMegaHertz(coremarkOnly)}, 0);
+    for (size_t k = 7; k >= 1; --k) {
+        const Hertz f = mixFrequency(k, "mcf", options);
+        table.addNumericRow("<" + std::to_string(k) + " coremark, " +
+                            std::to_string(8 - k) + " mcf>",
+                            {toMegaHertz(f)}, 0);
+        series.push_back(toMegaHertz(f));
+    }
+    std::printf("%s", table.render().c_str());
+
+    const double luHeavy = series.front();
+    const double mcfHeavy = series.back();
+    std::printf("\nsummary: <1,7 lu_cb> %.0f MHz, coremark-only %.0f "
+                "MHz, <1,7 mcf> %.0f MHz; lu_cb<->mcf span %.0f MHz "
+                "[paper: >100 MHz]\n",
+                luHeavy, toMegaHertz(coremarkOnly), mcfHeavy,
+                mcfHeavy - luHeavy);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces paper Fig. 16: the MIPS-based chip-frequency predictor.
+ *
+ * Runs every SPEC/PARSEC/SPLASH-2 workload with all eight cores
+ * stressed in overclocking mode, records (total chip MIPS, settled
+ * chip frequency), fits the linear model and reports its accuracy.
+ *
+ * Paper claims: a single linear model fits with RMSE ~0.3%; chip
+ * frequency falls from ~4600 MHz at light MIPS to ~4400 MHz at
+ * ~80k MIPS.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "chip/guardband_mode.h"
+#include "core/mips_predictor.h"
+#include "stats/table.h"
+
+using namespace agsim;
+using namespace agsim::bench;
+using chip::GuardbandMode;
+using core::runScheduled;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseOptions(argc, argv);
+    banner("Fig. 16: MIPS-based frequency prediction (8 cores, "
+           "overclock mode)",
+           "linear fit, RMSE ~0.3%; ~4600 MHz at light load to "
+           "~4400 MHz at 80k MIPS");
+
+    core::MipsFreqPredictor predictor;
+    stats::TablePrinter table;
+    table.setHeader({"workload", "chip MIPS", "freq (MHz)"});
+
+    for (const auto &profile : workload::library()) {
+        if (profile.suite == workload::Suite::Coremark ||
+            profile.suite == workload::Suite::Datacenter)
+            continue;
+        auto spec = sec3Spec(profile, 8, GuardbandMode::AdaptiveOverclock,
+                             options);
+        spec.runMode = profile.serialFraction > 0.0
+                           ? workload::RunMode::Multithreaded
+                           : workload::RunMode::Rate;
+        const auto result = runScheduled(spec);
+        predictor.observe(result.metrics.meanChipMips,
+                          result.metrics.meanFrequency);
+        table.addNumericRow(profile.name,
+                            {result.metrics.meanChipMips,
+                             toMegaHertz(result.metrics.meanFrequency)},
+                            0);
+    }
+
+    std::printf("%s", table.render().c_str());
+    std::printf("\nfitted predictor: freq = %.0f MHz %+.3f MHz per "
+                "1000 MIPS\n",
+                predictor.intercept() / 1e6, predictor.slope() * 1e3 / 1e6);
+    std::printf("fit quality: RMSE %.2f%% (paper: 0.3%%), r2 %.3f, "
+                "%zu workloads\n",
+                predictor.rmsePercent(), predictor.r2(),
+                predictor.observations());
+    std::printf("example queries: predict(20k)=%.0f MHz, "
+                "predict(80k)=%.0f MHz, maxMIPS@4450MHz=%.0f\n",
+                predictor.predict(20000.0) / 1e6,
+                predictor.predict(80000.0) / 1e6,
+                predictor.maxMipsForFrequency(4.45e9));
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library's hot paths: the
+ * simulation step, the scheduler decision, the predictor, the CPM read
+ * and the QoS queue — the costs a middleware deployment would care
+ * about (the paper stresses the predictor must be cheap enough to run
+ * every scheduling quantum).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "chip/chip.h"
+#include "core/adaptive_mapping.h"
+#include "core/mips_predictor.h"
+#include "pdn/vrm.h"
+#include "qos/websearch.h"
+#include "system/simulation.h"
+#include "workload/library.h"
+
+namespace {
+
+using namespace agsim;
+
+void
+BM_ChipStep(benchmark::State &state)
+{
+    pdn::Vrm vrm(1);
+    chip::Chip chip(chip::ChipConfig(), &vrm);
+    chip.setMode(chip::GuardbandMode::AdaptiveUndervolt);
+    for (size_t i = 0; i < size_t(state.range(0)); ++i)
+        chip.setLoad(i, chip::CoreLoad::running(1.0, 13e-3, 24e-3));
+    for (auto _ : state) {
+        chip.step(1e-3);
+        benchmark::DoNotOptimize(chip.power());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_ChipStep)->Arg(1)->Arg(4)->Arg(8);
+
+void
+BM_ServerSecond(benchmark::State &state)
+{
+    system::Server server;
+    server.setMode(chip::GuardbandMode::AdaptiveUndervolt);
+    for (size_t i = 0; i < 8; ++i) {
+        server.chip(0).setLoad(i,
+                               chip::CoreLoad::running(1.0, 13e-3, 24e-3));
+    }
+    for (auto _ : state)
+        server.settle(1.0); // one simulated second
+    state.SetItemsProcessed(int64_t(state.iterations()) * 1000);
+}
+BENCHMARK(BM_ServerSecond)->Unit(benchmark::kMillisecond);
+
+void
+BM_PredictorObserve(benchmark::State &state)
+{
+    core::MipsFreqPredictor predictor;
+    double mips = 5000.0;
+    for (auto _ : state) {
+        predictor.observe(mips, 4.6e9 - 2500.0 * mips);
+        mips = mips >= 80000.0 ? 5000.0 : mips + 13.0;
+        benchmark::DoNotOptimize(predictor.observations());
+    }
+}
+BENCHMARK(BM_PredictorObserve);
+
+void
+BM_PredictorQuery(benchmark::State &state)
+{
+    core::MipsFreqPredictor predictor;
+    for (double mips = 5000; mips <= 80000; mips += 2500)
+        predictor.observe(mips, 4.6e9 - 2500.0 * mips);
+    double mips = 10000.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(predictor.predict(mips));
+        mips = mips >= 75000.0 ? 10000.0 : mips + 7.0;
+    }
+}
+BENCHMARK(BM_PredictorQuery);
+
+void
+BM_SchedulerDecision(benchmark::State &state)
+{
+    core::AdaptiveMappingScheduler scheduler;
+    for (double mips = 5000; mips <= 80000; mips += 5000)
+        scheduler.observeFrequency(mips, 4.6e9 - 2500.0 * mips);
+    for (double f = 4.40e9; f <= 4.60e9; f += 0.02e9)
+        scheduler.observeQos(f, 0.520 - (f - 4.40e9) * 5e-10);
+    const std::vector<core::CorunnerOption> candidates = {
+        {"light", 13000.0, 100.0},
+        {"medium", 28000.0, 300.0},
+        {"heavy", 70000.0, 200.0}};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(scheduler.decide(0.4, 0.5, 4500.0, 2,
+                                                  candidates));
+    }
+}
+BENCHMARK(BM_SchedulerDecision);
+
+void
+BM_CpmBankRead(benchmark::State &state)
+{
+    power::VfCurve curve;
+    sensors::CpmBank bank(&curve, sensors::CpmParams(), 0, 42);
+    double v = 1.10;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bank.minRead(v, 4.2e9));
+        v = v >= 1.22 ? 1.10 : v + 1e-5;
+    }
+}
+BENCHMARK(BM_CpmBankRead);
+
+void
+BM_WebSearchWindow(benchmark::State &state)
+{
+    qos::WebSearchService service;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            service.simulate(4.5e9, service.params().windowLength));
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_WebSearchWindow)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

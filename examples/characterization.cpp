@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Characterization tool: the paper's Sec. 4 measurement methodology as
+ * a reusable utility. Points the CPM-as-voltmeter apparatus at any
+ * workload and prints:
+ *   1. the CPM -> voltage calibration (sweep, fit, mV/bit),
+ *   2. the on-chip voltage-drop decomposition as cores activate,
+ *   3. the sticky-vs-sample window statistics (worst-case droops).
+ *
+ * Usage: characterization [workload=lu_cb] [seed=...]
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "chip/chip.h"
+#include "common/config.h"
+#include "common/units.h"
+#include "pdn/vrm.h"
+#include "stats/accumulator.h"
+#include "stats/linear_fit.h"
+#include "stats/table.h"
+#include "workload/library.h"
+
+using namespace agsim;
+using namespace agsim::units;
+using chip::Chip;
+using chip::ChipConfig;
+using chip::CoreLoad;
+using chip::GuardbandMode;
+
+int
+main(int argc, char **argv)
+{
+    ParamSet params;
+    params.parseArgs(argc, argv);
+    const auto &profile = workload::byName(
+        params.getString("workload", "lu_cb"));
+    ChipConfig config;
+    config.seed = uint64_t(params.getInt("seed", 0x7E57C819));
+
+    std::printf("=== 1. CPM calibration (guardbanding disabled, "
+                "throttled load) ===\n");
+    pdn::Vrm vrm(1);
+    Chip chip(config, &vrm);
+    chip.setMode(GuardbandMode::Disabled);
+    for (size_t core = 0; core < chip.coreCount(); ++core)
+        chip.setLoad(core, CoreLoad::running(0.08, 2.0_mV, 4.0_mV));
+
+    stats::LinearFit fit;
+    for (Volts setpoint = 1.14; setpoint <= 1.23; setpoint += 0.005) {
+        chip.forceSetpoint(setpoint);
+        chip.settle(0.1);
+        std::vector<Volts> voltages;
+        std::vector<Hertz> freqs;
+        for (size_t core = 0; core < chip.coreCount(); ++core) {
+            voltages.push_back(chip.coreVoltage(core));
+            freqs.push_back(chip.coreFrequency(core));
+        }
+        const double cpm = chip.cpmArray().chipMeanRaw(voltages, freqs);
+        if (cpm > 0.5 && cpm < 10.5)
+            fit.add(toMilliVolts(setpoint), cpm);
+    }
+    std::printf("  one CPM position ~= %.1f mV of on-chip voltage "
+                "(r2 %.3f; paper: ~21 mV)\n",
+                1.0 / fit.slope(), fit.r2());
+
+    std::printf("\n=== 2. drop decomposition while activating cores "
+                "(%s) ===\n", profile.name.c_str());
+    chip.setMode(GuardbandMode::StaticGuardband);
+    stats::TablePrinter table;
+    table.setHeader({"active", "loadline(mV)", "ir(mV)", "didt_typ(mV)",
+                     "didt_worst(mV)", "total(%Vdd)"});
+    for (size_t active = 1; active <= chip.coreCount(); ++active) {
+        chip.clearLoads();
+        for (size_t i = 0; i < active; ++i) {
+            chip.setLoad(i, CoreLoad::running(profile.intensity,
+                                              profile.didtTypicalAmp,
+                                              profile.didtWorstAmp));
+        }
+        chip.settle(0.3);
+        const auto &d = chip.decomposition(0);
+        table.addNumericRow(std::to_string(active),
+                            {toMilliVolts(d.loadline),
+                             toMilliVolts(d.irDrop()),
+                             toMilliVolts(d.typicalDidt),
+                             toMilliVolts(d.worstDidt),
+                             100.0 * d.total() / 1.2},
+                            1);
+    }
+    std::printf("%s", table.render().c_str());
+
+    std::printf("\n=== 3. sticky vs sample CPM windows (8 active "
+                "cores, 2 s) ===\n");
+    chip.telemetry().clearWindows();
+    chip.settle(2.0);
+    stats::Accumulator sample, sticky;
+    size_t droopWindows = 0;
+    for (const auto &window : chip.telemetry().windows()) {
+        sample.add(window.sampleCpm[0]);
+        sticky.add(window.stickyCpm[0]);
+        if (window.stickyCpm[0] < window.sampleCpm[0])
+            ++droopWindows;
+    }
+    std::printf("  %zu windows of %.0f ms: sample-mode CPM mean %.2f, "
+                "sticky-mode mean %.2f,\n  %.0f%% of windows caught a "
+                "droop (sticky < sample)\n",
+                chip.telemetry().windows().size(),
+                chip.telemetry().params().windowLength * 1e3,
+                sample.mean(), sticky.mean(),
+                100.0 * double(droopWindows) /
+                    double(chip.telemetry().windows().size()));
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Grid-sweep tool: run (workload x threads x mode) combinations and
+ * emit one CSV row each — the "measure everything, plot later" utility
+ * a characterization study lives on.
+ *
+ * Usage:
+ *   sweep                                # 5 workloads x 1-8 x 3 modes
+ *   sweep workloads=raytrace,mcf threads=1,4,8 modes=static,undervolt
+ *   sweep measure=2.0 policy=borrow budget=8
+ *   sweep file=my.profiles               # user-characterized workloads
+ */
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/error.h"
+#include "core/ags.h"
+#include "workload/library.h"
+#include "workload/profile_io.h"
+
+using namespace agsim;
+
+namespace {
+
+std::vector<std::string>
+splitCsv(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream stream(text);
+    std::string token;
+    while (std::getline(stream, token, ','))
+        out.push_back(token);
+    return out;
+}
+
+chip::GuardbandMode
+modeByName(const std::string &name)
+{
+    if (name == "static")
+        return chip::GuardbandMode::StaticGuardband;
+    if (name == "undervolt")
+        return chip::GuardbandMode::AdaptiveUndervolt;
+    if (name == "overclock")
+        return chip::GuardbandMode::AdaptiveOverclock;
+    fatal("unknown mode '" + name + "' (static|undervolt|overclock)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ParamSet params;
+    params.parseArgs(argc, argv);
+
+    // Workloads come from the library by name, or from a profile file.
+    std::vector<workload::BenchmarkProfile> profiles;
+    const std::string file = params.getString("file", "");
+    if (!file.empty()) {
+        profiles = workload::loadProfiles(file);
+    } else {
+        for (const auto &name : splitCsv(params.getString(
+                 "workloads", "raytrace,lu_cb,swaptions,radix,ocean_cp")))
+            profiles.push_back(workload::byName(name));
+    }
+    const auto threadsList = splitCsv(params.getString(
+        "threads", "1,2,4,8"));
+    const auto modes = splitCsv(params.getString(
+        "modes", "static,undervolt,overclock"));
+    const double measure = params.getDouble("measure", 1.0);
+    const size_t budget = size_t(params.getInt("budget", 0));
+    const bool borrow = params.getString("policy", "consolidate") ==
+                        "borrow";
+
+    std::printf("workload,threads,mode,policy,chip_power_w,"
+                "socket0_power_w,freq_mhz,undervolt_mv,passive_drop_mv,"
+                "chip_mips,energy_j\n");
+    for (const auto &profile : profiles) {
+        const std::string &workloadName = profile.name;
+        for (const auto &threadText : threadsList) {
+            const size_t threads = size_t(std::stoul(threadText));
+            for (const auto &modeName : modes) {
+                core::ScheduledRunSpec spec;
+                spec.profile = profile;
+                spec.threads = threads;
+                spec.runMode = profile.serialFraction > 0.0
+                                   ? workload::RunMode::Multithreaded
+                                   : workload::RunMode::Rate;
+                spec.mode = modeByName(modeName);
+                spec.policy = borrow
+                                  ? core::PlacementPolicy::LoadlineBorrow
+                                  : core::PlacementPolicy::Consolidate;
+                spec.poweredCoreBudget = budget;
+                spec.simConfig.measureDuration = measure;
+                const auto result = core::runScheduled(spec);
+                const auto &m = result.metrics;
+                std::printf(
+                    "%s,%zu,%s,%s,%.2f,%.2f,%.0f,%.1f,%.1f,%.0f,%.1f\n",
+                    workloadName.c_str(), threads, modeName.c_str(),
+                    borrow ? "borrow" : "consolidate", m.totalChipPower,
+                    m.socketPower[0], toMegaHertz(m.meanFrequency),
+                    toMilliVolts(m.socketUndervolt[0]),
+                    toMilliVolts(m.meanDecomposition.passive()),
+                    m.meanChipMips, m.chipEnergy);
+            }
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,394 @@
+#include "chip/chip.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace agsim::chip {
+
+Chip::Chip(const ChipConfig &config, pdn::Vrm *vrm)
+    : config_(config), vrm_(vrm), curve_(config.vf),
+      powerModel_(config.power), thermal_(config.thermal),
+      irModel_([&config] {
+          pdn::IrDropParams ir = config.ir;
+          ir.coreCount = config.coreCount;
+          return ir;
+      }()),
+      didt_(config.didt, config.seed, 0xD1D7ull),
+      cpms_(&curve_, config.cpm, config.coreCount, config.seed,
+            config.cpmsPerCore),
+      telemetry_(config.coreCount, config.telemetry),
+      undervoltCtl_(config.undervolt),
+      droopHistogram_(0.0, config.droopHistogramMax,
+                      config.droopHistogramBins)
+{
+    fatalIf(vrm_ == nullptr, "chip needs a VRM");
+    fatalIf(config_.railIndex >= vrm_->railCount(),
+            "chip rail index out of range for the VRM");
+    fatalIf(config_.coreCount == 0, "chip needs cores");
+    fatalIf(config_.fixedPointIterations < 1,
+            "need at least one fixed-point iteration");
+    fatalIf(config_.firmwareInterval <= 0.0,
+            "firmware interval must be positive");
+
+    dplls_.reserve(config_.coreCount);
+    for (size_t i = 0; i < config_.coreCount; ++i)
+        dplls_.emplace_back(&curve_, config_.dpll, config_.targetFrequency);
+
+    loads_.assign(config_.coreCount, CoreLoad::idle());
+    coreVoltage_.assign(config_.coreCount, curve_.vddStatic(
+        config_.targetFrequency));
+    coreCtrlVoltage_ = coreVoltage_;
+    coreCurrent_.assign(config_.coreCount, 0.0);
+    droopStall_.assign(config_.coreCount, 0.0);
+    decomposition_.assign(config_.coreCount, pdn::DropDecomposition());
+
+    setMode(config_.mode);
+}
+
+void
+Chip::setLoad(size_t core, const CoreLoad &load)
+{
+    panicIf(core >= config_.coreCount, "core index out of range");
+    fatalIf(load.gated && load.active, "a gated core cannot be active");
+    fatalIf(load.active && load.activity <= 0.0,
+            "active core needs positive activity");
+    loads_[core] = load;
+}
+
+void
+Chip::clearLoads()
+{
+    loads_.assign(config_.coreCount, CoreLoad::idle());
+}
+
+const CoreLoad &
+Chip::load(size_t core) const
+{
+    panicIf(core >= config_.coreCount, "core index out of range");
+    return loads_[core];
+}
+
+void
+Chip::setMode(GuardbandMode mode)
+{
+    config_.mode = mode;
+    const Hertz target = config_.targetFrequency;
+    vrm_->setSetpoint(config_.railIndex, curve_.vddStatic(target));
+    sinceFirmware_ = 0.0;
+    for (auto &dpll : dplls_) {
+        dpll.lockTo(target);
+        dpll.setCap(mode == GuardbandMode::AdaptiveUndervolt ? target : 0.0);
+    }
+}
+
+void
+Chip::setTargetFrequency(Hertz f)
+{
+    fatalIf(f <= 0.0, "target frequency must be positive");
+    fatalIf(f > curve_.params().refFrequency,
+            "target frequency above the DVFS range");
+    config_.targetFrequency = f;
+    setMode(config_.mode);
+}
+
+void
+Chip::forceSetpoint(Volts v)
+{
+    fatalIf(config_.mode != GuardbandMode::Disabled,
+            "forceSetpoint is only legal in Disabled mode");
+    vrm_->setSetpoint(config_.railIndex, v);
+}
+
+Volts
+Chip::setpoint() const
+{
+    return vrm_->setpoint(config_.railIndex);
+}
+
+Volts
+Chip::staticSetpoint() const
+{
+    return curve_.vddStatic(config_.targetFrequency);
+}
+
+Volts
+Chip::undervoltAmount() const
+{
+    return staticSetpoint() - setpoint();
+}
+
+void
+Chip::solveElectrical()
+{
+    const size_t n = config_.coreCount;
+    const Celsius temp = thermal_.temperature();
+    Volts railVoltage = vrm_->outputAt(config_.railIndex, railCurrent_);
+
+    for (int iter = 0; iter < config_.fixedPointIterations; ++iter) {
+        Watts total = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            const CoreLoad &load = loads_[i];
+            Watts p = 0.0;
+            if (load.gated) {
+                p = powerModel_.coreLeakage(railVoltage, temp, true);
+            } else {
+                const double activity = load.active
+                                            ? load.activity
+                                            : powerModel_.idleActivity();
+                const Hertz f = dplls_[i].frequency();
+                p = powerModel_.coreDynamic(coreVoltage_[i], f, activity) +
+                    powerModel_.coreLeakage(coreVoltage_[i], temp, false);
+            }
+            coreCurrent_[i] = p / std::max(railVoltage, 0.5);
+            total += p;
+        }
+        total += powerModel_.uncore(railVoltage, temp);
+
+        railCurrent_ = total / std::max(railVoltage, 0.5);
+        railVoltage = vrm_->outputAt(config_.railIndex, railCurrent_);
+        for (size_t i = 0; i < n; ++i) {
+            coreVoltage_[i] = irModel_.onChipVoltage(
+                i, railVoltage, railCurrent_, coreCurrent_);
+        }
+
+        // The Vdd-rail power sensor sits at the VRM, so the series
+        // dissipation in the loadline and the PDN grid (I^2 R) is part
+        // of measured chip power. Concentrating current through one
+        // socket's loadline quadratically inflates this term — one of
+        // the effects loadline borrowing reclaims (Sec. 5.1).
+        Watts dissipation = vrm_->railParams(config_.railIndex)
+                                .loadlineResistance *
+                            railCurrent_ * railCurrent_;
+        dissipation += irModel_.globalDrop(railCurrent_) * railCurrent_;
+        for (size_t i = 0; i < n; ++i) {
+            dissipation += irModel_.localDrop(i, coreCurrent_) *
+                           coreCurrent_[i];
+        }
+        chipPower_ = total + dissipation;
+    }
+    vrm_->deliver(config_.railIndex, railCurrent_);
+}
+
+void
+Chip::runFirmware()
+{
+    if (config_.mode != GuardbandMode::AdaptiveUndervolt)
+        return;
+    // The firmware watches the worst (slowest) non-gated core: the chip
+    // shares one Vdd rail, so the neediest core dictates the voltage
+    // (the global effect of Sec. 4.2).
+    Hertz achievable = curve_.params().refFrequency *
+                       curve_.params().overclockCeiling;
+    bool anyOn = false;
+    for (size_t i = 0; i < config_.coreCount; ++i) {
+        if (loads_[i].gated)
+            continue;
+        anyOn = true;
+        // The firmware sees what the core's CPMs report: the residual
+        // calibration error biases its view of the margin.
+        const Volts seen = coreCtrlVoltage_[i] +
+            cpms_.bank(i).controlBias(config_.targetFrequency);
+        achievable = std::min(achievable, curve_.fmaxWithMargin(seen));
+    }
+    if (!anyOn)
+        return;
+    const Volts next = undervoltCtl_.decide(setpoint(), achievable,
+                                            config_.targetFrequency,
+                                            staticSetpoint());
+    vrm_->setSetpoint(config_.railIndex, next);
+}
+
+void
+Chip::step(Seconds dt)
+{
+    panicIf(dt <= 0.0, "chip step must be positive");
+    const size_t n = config_.coreCount;
+
+    thermal_.step(chipPower_, dt);
+    solveElectrical();
+
+    // Per-step di/dt noise from the cores' workload signatures.
+    std::vector<Volts> typAmps(n, 0.0);
+    std::vector<Volts> worstAmps(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+        if (loads_[i].active) {
+            typAmps[i] = loads_[i].didtTypicalAmp;
+            worstAmps[i] = loads_[i].didtWorstAmp;
+        }
+    }
+    const pdn::DidtSample noise = didt_.step(typAmps, worstAmps, dt);
+    const Volts worstCharacteristic = didt_.worstDepth(worstAmps);
+    if (noise.droopEvents > 0)
+        droopHistogram_.add(noise.worstDroop);
+
+    // Vcs (storage) rail: a lightly activity-dependent constant load,
+    // reported separately from the Vdd metric the paper uses.
+    const double activeFraction = double(activeCoreCount()) /
+                                  double(config_.coreCount);
+    vcsPower_ = config_.vcs.powerAtRef *
+                (1.0 - config_.vcs.activityShare +
+                 config_.vcs.activityShare * activeFraction);
+
+    const Volts railVoltage = vrm_->outputAt(config_.railIndex,
+                                             railCurrent_);
+    sensors::StepObservation obs;
+    obs.sampleCpm.resize(n);
+    obs.stickyCpm.resize(n);
+    obs.coreVoltage.resize(n);
+    obs.coreFrequency.resize(n);
+
+    for (size_t i = 0; i < n; ++i) {
+        coreCtrlVoltage_[i] = coreVoltage_[i] -
+            config_.rippleTrackingLoss * noise.typicalMean;
+        droopStall_[i] = 0.0;
+
+        if (loads_[i].gated) {
+            // A gated core's CPMs are dark; AMESTER reports the detector
+            // pegged high (no load, no clock).
+            obs.sampleCpm[i] = config_.cpm.positions - 1;
+            obs.stickyCpm[i] = config_.cpm.positions - 1;
+            obs.coreVoltage[i] = railVoltage;
+            obs.coreFrequency[i] = 0.0;
+            decomposition_[i] = pdn::DropDecomposition();
+            decomposition_[i].loadline =
+                vrm_->loadlineDrop(config_.railIndex);
+            decomposition_[i].irGlobal = irModel_.globalDrop(railCurrent_);
+            continue;
+        }
+
+        switch (config_.mode) {
+          case GuardbandMode::StaticGuardband:
+          case GuardbandMode::Disabled:
+            dplls_[i].lockTo(config_.targetFrequency);
+            break;
+          case GuardbandMode::AdaptiveOverclock:
+          case GuardbandMode::AdaptiveUndervolt:
+            // The DPLL follows its core's worst CPM, so the residual
+            // calibration error tilts the margin it preserves.
+            dplls_[i].step(coreCtrlVoltage_[i] +
+                               cpms_.bank(i).controlBias(
+                                   config_.targetFrequency),
+                           dt);
+            droopStall_[i] = dplls_[i].droopStall(noise.worstDroop,
+                                                  noise.droopEvents);
+            break;
+        }
+
+        const Hertz f = dplls_[i].frequency();
+        const Volts vInstant = coreVoltage_[i] - noise.typicalNow;
+        const Volts vSticky = coreVoltage_[i] -
+            std::max(noise.typicalNow, noise.worstDroop);
+        obs.sampleCpm[i] = cpms_.bank(i).minRead(vInstant, f);
+        obs.stickyCpm[i] = cpms_.bank(i).minRead(vSticky, f);
+        obs.coreVoltage[i] = coreVoltage_[i];
+        obs.coreFrequency[i] = f;
+
+        decomposition_[i].loadline = vrm_->loadlineDrop(config_.railIndex);
+        decomposition_[i].irGlobal = irModel_.globalDrop(railCurrent_);
+        decomposition_[i].irLocal = irModel_.localDrop(i, coreCurrent_);
+        decomposition_[i].typicalDidt = noise.typicalMean;
+        decomposition_[i].worstDidt = worstCharacteristic;
+    }
+
+    obs.chipPower = chipPower_;
+    obs.railCurrent = railCurrent_;
+    obs.setpoint = setpoint();
+    obs.decomposition = decomposition_[0];
+    telemetry_.step(obs, dt);
+
+    sinceFirmware_ += dt;
+    if (sinceFirmware_ >= config_.firmwareInterval - 1e-12) {
+        runFirmware();
+        sinceFirmware_ = 0.0;
+    }
+}
+
+void
+Chip::settle(Seconds duration, Seconds dt)
+{
+    fatalIf(duration <= 0.0 || dt <= 0.0, "settle needs positive times");
+    const int steps = int(duration / dt);
+    for (int i = 0; i < steps; ++i)
+        step(dt);
+}
+
+Hertz
+Chip::coreFrequency(size_t core) const
+{
+    panicIf(core >= config_.coreCount, "core index out of range");
+    if (loads_[core].gated)
+        return 0.0;
+    return dplls_[core].frequency();
+}
+
+Volts
+Chip::coreVoltage(size_t core) const
+{
+    panicIf(core >= config_.coreCount, "core index out of range");
+    return coreVoltage_[core];
+}
+
+Hertz
+Chip::meanActiveFrequency() const
+{
+    double sum = 0.0;
+    size_t count = 0;
+    for (size_t i = 0; i < config_.coreCount; ++i) {
+        if (loads_[i].active) {
+            sum += dplls_[i].frequency();
+            ++count;
+        }
+    }
+    return count == 0 ? config_.targetFrequency : sum / double(count);
+}
+
+Hertz
+Chip::minActiveFrequency() const
+{
+    Hertz lowest = 0.0;
+    bool any = false;
+    for (size_t i = 0; i < config_.coreCount; ++i) {
+        if (loads_[i].active) {
+            const Hertz f = dplls_[i].frequency();
+            lowest = any ? std::min(lowest, f) : f;
+            any = true;
+        }
+    }
+    return any ? lowest : config_.targetFrequency;
+}
+
+const pdn::DropDecomposition &
+Chip::decomposition(size_t core) const
+{
+    panicIf(core >= config_.coreCount, "core index out of range");
+    return decomposition_[core];
+}
+
+Seconds
+Chip::droopStall(size_t core) const
+{
+    panicIf(core >= config_.coreCount, "core index out of range");
+    return droopStall_[core];
+}
+
+void
+Chip::resetDroopHistogram()
+{
+    droopHistogram_ = stats::Histogram(0.0, config_.droopHistogramMax,
+                                       config_.droopHistogramBins);
+}
+
+size_t
+Chip::activeCoreCount() const
+{
+    size_t count = 0;
+    for (const auto &load : loads_) {
+        if (load.active)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace agsim::chip

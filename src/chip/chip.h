@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The POWER7+-class chip model: eight cores on a shared Vdd PDN with
+ * CPM sensors, per-core DPLLs, and the firmware guardband controller.
+ *
+ * Chip is the integration point of every substrate: each step() it
+ *  1. solves the voltage/power fixed point (power depends on voltage,
+ *     voltage sags with current, current is power/voltage),
+ *  2. draws the step's di/dt noise,
+ *  3. reads the CPM banks at the resulting on-chip voltages,
+ *  4. advances the per-core DPLLs,
+ *  5. runs the 32 ms undervolting firmware when due, and
+ *  6. feeds the AMESTER-like telemetry.
+ *
+ * The chip does not know about workloads or schedulers — the system layer
+ * assigns CoreLoads before each step.
+ */
+
+#ifndef AGSIM_CHIP_CHIP_H
+#define AGSIM_CHIP_CHIP_H
+
+#include <memory>
+#include <vector>
+
+#include "chip/chip_config.h"
+#include "chip/core_load.h"
+#include "clock/dpll.h"
+#include "pdn/decomposition.h"
+#include "pdn/didt.h"
+#include "pdn/ir_drop.h"
+#include "pdn/vrm.h"
+#include "power/core_power_model.h"
+#include "power/thermal_model.h"
+#include "power/vf_curve.h"
+#include "sensors/cpm_bank.h"
+#include "sensors/telemetry.h"
+#include "stats/histogram.h"
+
+namespace agsim::chip {
+
+/**
+ * One simulated processor.
+ */
+class Chip
+{
+  public:
+    /**
+     * @param config Chip configuration (copied).
+     * @param vrm The platform VRM feeding this chip (not owned; must
+     *        outlive the chip).
+     */
+    Chip(const ChipConfig &config, pdn::Vrm *vrm);
+
+    /** @name Load assignment (scheduler-facing) */
+    /// @{
+
+    /** Assign one core's load for subsequent steps. */
+    void setLoad(size_t core, const CoreLoad &load);
+
+    /** Set every core to powered-on idle. */
+    void clearLoads();
+
+    /** Current load of a core. */
+    const CoreLoad &load(size_t core) const;
+
+    /// @}
+
+    /** @name Mode control */
+    /// @{
+
+    /** Switch guardband mode (resets the VRM setpoint appropriately). */
+    void setMode(GuardbandMode mode);
+
+    GuardbandMode mode() const { return config_.mode; }
+
+    /** Change the DVFS target frequency (resets the static setpoint). */
+    void setTargetFrequency(Hertz f);
+
+    Hertz targetFrequency() const { return config_.targetFrequency; }
+
+    /**
+     * Directly program the VRM setpoint — only legal in Disabled mode
+     * (the Sec. 4.1 characterization methodology).
+     */
+    void forceSetpoint(Volts v);
+
+    /// @}
+
+    /** Advance the chip by dt. */
+    void step(Seconds dt);
+
+    /**
+     * Run steps until the firmware and thermal state settle (used to
+     * warm up before measuring; undervolting needs ~20 firmware
+     * intervals to walk the guardband down).
+     */
+    void settle(Seconds duration = 1.5, Seconds dt = 1e-3);
+
+    /** @name Observables */
+    /// @{
+
+    size_t coreCount() const { return config_.coreCount; }
+
+    /** Chip Vdd-rail power from the last step (the paper's metric). */
+    Watts power() const { return chipPower_; }
+
+    /** Vcs (storage) rail power from the last step. */
+    Watts vcsPower() const { return vcsPower_; }
+
+    /** Rail current from the last step. */
+    Amps railCurrent() const { return railCurrent_; }
+
+    /** VRM setpoint currently programmed for this chip's rail. */
+    Volts setpoint() const;
+
+    /** Static-guardband setpoint for the current target frequency. */
+    Volts staticSetpoint() const;
+
+    /** Undervolt relative to the static setpoint (>= 0 in practice). */
+    Volts undervoltAmount() const;
+
+    /** Core's clock frequency (0 when gated). */
+    Hertz coreFrequency(size_t core) const;
+
+    /** Core's steady on-chip voltage from the last step. */
+    Volts coreVoltage(size_t core) const;
+
+    /** Mean frequency across active cores (target if none active). */
+    Hertz meanActiveFrequency() const;
+
+    /** Lowest frequency across active cores (target if none active). */
+    Hertz minActiveFrequency() const;
+
+    /** Last step's drop decomposition as seen by the given core. */
+    const pdn::DropDecomposition &decomposition(size_t core) const;
+
+    /** Junction temperature. */
+    Celsius temperature() const { return thermal_.temperature(); }
+
+    /** Per-step stall time from worst-case droop responses (core). */
+    Seconds droopStall(size_t core) const;
+
+    /** Number of active (running) cores. */
+    size_t activeCoreCount() const;
+
+    /**
+     * Histogram of worst-case droop depths observed since construction
+     * (or the last resetDroopHistogram()); one entry per step that saw
+     * at least one droop event.
+     */
+    const stats::Histogram &droopHistogram() const
+    {
+        return droopHistogram_;
+    }
+
+    /** Clear the droop-depth histogram. */
+    void resetDroopHistogram();
+
+    /// @}
+
+    /** @name Component access (tests, characterization, telemetry) */
+    /// @{
+    const power::VfCurve &vfCurve() const { return curve_; }
+    const power::CorePowerModel &powerModel() const { return powerModel_; }
+    const pdn::IrDropModel &irModel() const { return irModel_; }
+    const sensors::ChipCpmArray &cpmArray() const { return cpms_; }
+    sensors::Telemetry &telemetry() { return telemetry_; }
+    const sensors::Telemetry &telemetry() const { return telemetry_; }
+    const ChipConfig &config() const { return config_; }
+    /// @}
+
+  private:
+    /** Solve the V<->P fixed point; fills the per-core state vectors. */
+    void solveElectrical();
+
+    /** Run one firmware decision (undervolt mode). */
+    void runFirmware();
+
+    ChipConfig config_;
+    pdn::Vrm *vrm_;
+
+    power::VfCurve curve_;
+    power::CorePowerModel powerModel_;
+    power::ThermalModel thermal_;
+    pdn::IrDropModel irModel_;
+    pdn::DidtModel didt_;
+    sensors::ChipCpmArray cpms_;
+    sensors::Telemetry telemetry_;
+    UndervoltController undervoltCtl_;
+    std::vector<clock::Dpll> dplls_;
+
+    std::vector<CoreLoad> loads_;
+    std::vector<Volts> coreVoltage_;     // steady (passive-only) voltage
+    std::vector<Volts> coreCtrlVoltage_; // steady minus typical ripple
+    std::vector<Amps> coreCurrent_;
+    std::vector<Seconds> droopStall_;
+    std::vector<pdn::DropDecomposition> decomposition_;
+
+    Watts chipPower_ = 0.0;
+    Watts vcsPower_ = 0.0;
+    Amps railCurrent_ = 0.0;
+    Seconds sinceFirmware_ = 0.0;
+    stats::Histogram droopHistogram_;
+};
+
+} // namespace agsim::chip
+
+#endif // AGSIM_CHIP_CHIP_H

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Aggregated configuration for one POWER7+-class chip model.
+ */
+
+#ifndef AGSIM_CHIP_CHIP_CONFIG_H
+#define AGSIM_CHIP_CHIP_CONFIG_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "chip/guardband_mode.h"
+#include "chip/undervolt_controller.h"
+#include "clock/dpll.h"
+#include "common/units.h"
+#include "pdn/didt.h"
+#include "pdn/ir_drop.h"
+#include "power/core_power_model.h"
+#include "power/thermal_model.h"
+#include "power/vf_curve.h"
+#include "sensors/cpm.h"
+#include "sensors/telemetry.h"
+
+namespace agsim::chip {
+
+/**
+ * The Vcs power domain: POWER7+'s second rail feeding the on-chip
+ * storage structures (eDRAM L3). The paper's measurements target the
+ * Vdd rail; Vcs is modeled as a lightly activity-dependent constant
+ * load, reported separately.
+ */
+struct VcsRailParams
+{
+    /** Vcs power with every core active. */
+    Watts powerAtRef = 14.0;
+    /** Fraction of Vcs power that scales with active-core fraction. */
+    double activityShare = 0.25;
+};
+
+/**
+ * Everything needed to instantiate one chip. Defaults model the paper's
+ * POWER7+ at the 4.2 GHz DVFS top point.
+ */
+struct ChipConfig
+{
+    /** Cores on the chip (POWER7+: 8). */
+    size_t coreCount = 8;
+    /** CPMs per core (POWER7+: 5, so 40 chip-wide). */
+    size_t cpmsPerCore = 5;
+    /** Seed freezing this chip's process-variation personality. */
+    uint64_t seed = 0x7E57C819u;
+    /** Which VRM rail feeds this chip. */
+    size_t railIndex = 0;
+    /** DVFS target frequency (static-guardband operating point). */
+    Hertz targetFrequency = 4.2e9;
+    /** Guardband management mode. */
+    GuardbandMode mode = GuardbandMode::StaticGuardband;
+    /** Firmware decision interval (POWER7+: 32 ms). */
+    Seconds firmwareInterval = 32e-3;
+    /** Damped fixed-point iterations for the V<->P loop per step. */
+    int fixedPointIterations = 4;
+    /**
+     * Fraction of typical-case di/dt ripple the CPM-DPLL loop cannot
+     * exploit. The DPLL slews fast enough to ride through most regular
+     * ripple (the paper: adaptive guardbanding "deals with occasional
+     * di/dt voltage droops by slowing down frequency quickly", so di/dt
+     * "does not strongly influence" the adaptive modes); only this
+     * residual taxes the adaptive margins. Sensors still see the full
+     * instantaneous ripple.
+     */
+    double rippleTrackingLoss = 0.30;
+    /** Vcs (storage) rail model. */
+    VcsRailParams vcs;
+    /** Droop-depth histogram range (volts) and bin count. */
+    Volts droopHistogramMax = 0.080;
+    size_t droopHistogramBins = 32;
+
+    power::VfCurveParams vf;
+    power::PowerModelParams power;
+    power::ThermalParams thermal;
+    pdn::IrDropParams ir;
+    pdn::DidtParams didt;
+    sensors::CpmParams cpm;
+    sensors::TelemetryParams telemetry;
+    clock::DpllParams dpll;
+    UndervoltControllerParams undervolt;
+};
+
+} // namespace agsim::chip
+
+#endif // AGSIM_CHIP_CHIP_CONFIG_H

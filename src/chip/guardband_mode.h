@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Guardband operating modes (paper Secs. 2.2, 3.1).
+ */
+
+#ifndef AGSIM_CHIP_GUARDBAND_MODE_H
+#define AGSIM_CHIP_GUARDBAND_MODE_H
+
+namespace agsim::chip {
+
+/**
+ * How the chip manages its voltage guardband.
+ */
+enum class GuardbandMode
+{
+    /**
+     * Traditional static guardband: fixed frequency at the DVFS target,
+     * VRM at vmin(target) + full guardband. The paper's baseline.
+     */
+    StaticGuardband,
+
+    /**
+     * Adaptive overclocking: VRM stays at the static setpoint, per-core
+     * DPLLs consume unused margin as extra frequency (up to ~10%).
+     */
+    AdaptiveOverclock,
+
+    /**
+     * Adaptive undervolting: frequency pinned at the target; firmware
+     * lowers the VRM setpoint every 32 ms until the CPM-DPLL loop sits
+     * exactly at the target frequency.
+     */
+    AdaptiveUndervolt,
+
+    /**
+     * Characterization mode: adaptive control off, frequency fixed, VRM
+     * setpoint under external control, CPMs free-floating (the paper's
+     * Sec. 4.1 measurement methodology).
+     */
+    Disabled,
+};
+
+/** Human-readable mode name. */
+inline const char *
+guardbandModeName(GuardbandMode mode)
+{
+    switch (mode) {
+      case GuardbandMode::StaticGuardband: return "static";
+      case GuardbandMode::AdaptiveOverclock: return "overclock";
+      case GuardbandMode::AdaptiveUndervolt: return "undervolt";
+      case GuardbandMode::Disabled: return "disabled";
+    }
+    return "?";
+}
+
+} // namespace agsim::chip
+
+#endif // AGSIM_CHIP_GUARDBAND_MODE_H

@@ -1,0 +1,47 @@
+#include "chip/power_cap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace agsim::chip {
+
+PowerCapController::PowerCapController(const PowerCapParams &params)
+    : params_(params)
+{
+    fatalIf(params_.frequencyStep <= 0.0, "DVFS step must be positive");
+    fatalIf(params_.minFrequency <= 0.0 ||
+            params_.maxFrequency <= params_.minFrequency,
+            "empty DVFS window");
+    fatalIf(params_.raiseHysteresis < 0.0, "negative hysteresis");
+}
+
+Hertz
+PowerCapController::quantize(Hertz f) const
+{
+    const double steps = std::floor(
+        (f - params_.minFrequency) / params_.frequencyStep + 1e-9);
+    const Hertz snapped = params_.minFrequency +
+                          std::max(steps, 0.0) * params_.frequencyStep;
+    return std::clamp(snapped, params_.minFrequency,
+                      params_.maxFrequency);
+}
+
+Hertz
+PowerCapController::decide(Hertz currentTarget, Watts measuredPower,
+                           Watts cap) const
+{
+    fatalIf(cap <= 0.0, "power cap must be positive");
+    panicIf(currentTarget <= 0.0, "non-positive DVFS target");
+    const Hertz current = quantize(currentTarget);
+    if (measuredPower > cap)
+        return std::max(current - params_.frequencyStep,
+                        params_.minFrequency);
+    if (measuredPower < cap * (1.0 - params_.raiseHysteresis))
+        return std::min(current + params_.frequencyStep,
+                        params_.maxFrequency);
+    return current;
+}
+
+} // namespace agsim::chip

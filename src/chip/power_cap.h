@@ -1,0 +1,69 @@
+/**
+ * @file
+ * DVFS power-capping governor (extension).
+ *
+ * POWER7-generation systems ship an EnergyScale firmware layer that
+ * holds chip power under an operator cap by walking the DVFS target
+ * frequency. The paper's guardbanding modes interact with capping in an
+ * interesting way: with adaptive undervolting active, the same cap
+ * admits a higher frequency (or more active cores) because the voltage
+ * rides lower — quantified in bench/ext_power_capping.
+ *
+ * The governor walks the target in fixed DVFS steps (POWER7+'s 28 MHz
+ * granularity per Fig. 6a) with hysteresis around the cap.
+ */
+
+#ifndef AGSIM_CHIP_POWER_CAP_H
+#define AGSIM_CHIP_POWER_CAP_H
+
+#include "common/units.h"
+
+namespace agsim::chip {
+
+/** Power-capping governor tunables. */
+struct PowerCapParams
+{
+    /** DVFS step (POWER7+: 28 MHz). */
+    Hertz frequencyStep = 28e6;
+    /** Lowest DVFS point the governor may select. */
+    Hertz minFrequency = 2.8e9;
+    /** Highest DVFS point. */
+    Hertz maxFrequency = 4.2e9;
+    /** Fractional power slack below the cap before stepping back up. */
+    double raiseHysteresis = 0.04;
+};
+
+/**
+ * Cap decision logic: one step per invocation, like the undervolting
+ * firmware's cadence.
+ */
+class PowerCapController
+{
+  public:
+    explicit PowerCapController(const PowerCapParams &params =
+                                    PowerCapParams());
+
+    const PowerCapParams &params() const { return params_; }
+
+    /**
+     * Decide the next DVFS target.
+     *
+     * @param currentTarget Present DVFS target frequency.
+     * @param measuredPower Chip power over the last interval.
+     * @param cap Operator power cap.
+     * @return New target, moved at most one DVFS step and clamped to
+     *         the governor's window.
+     */
+    Hertz decide(Hertz currentTarget, Watts measuredPower,
+                 Watts cap) const;
+
+    /** Quantize an arbitrary frequency onto the DVFS grid (downward). */
+    Hertz quantize(Hertz f) const;
+
+  private:
+    PowerCapParams params_;
+};
+
+} // namespace agsim::chip
+
+#endif // AGSIM_CHIP_POWER_CAP_H

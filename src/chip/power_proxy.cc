@@ -1,0 +1,47 @@
+#include "chip/power_proxy.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace agsim::chip {
+
+PowerProxy::PowerProxy(const PowerProxyParams &params, uint64_t seed)
+    : params_(params)
+{
+    fatalIf(params_.refFrequency <= 0.0,
+            "proxy reference frequency must be positive");
+    fatalIf(params_.calibrationSpread < 0.0, "negative calibration spread");
+    Rng rng(seed, 0xCA11ull);
+    calibrationScale_ = 1.0 + params_.calibrationSpread * rng.normal();
+    fatalIf(calibrationScale_ <= 0.5,
+            "proxy calibration degenerated; use a smaller spread");
+}
+
+Watts
+PowerProxy::estimate(const Chip &chip) const
+{
+    // Firmware knows the voltage its DVFS point carries; the proxy
+    // scales its terms by the nominal voltage ratio (V^2 switching,
+    // ~V^3 leakage) exactly as the POWER7 proxies do.
+    const auto &curve = chip.vfCurve();
+    const double vr = curve.vddStatic(chip.targetFrequency()) /
+                      curve.vddStatic(params_.refFrequency);
+    const double vr2 = vr * vr;
+
+    Watts estimate = params_.uncoreBase * vr2;
+    for (size_t core = 0; core < chip.coreCount(); ++core) {
+        const CoreLoad &load = chip.load(core);
+        if (load.gated)
+            continue;
+        estimate += params_.basePerCore * vr2 * vr;
+        if (load.active) {
+            const double freqScale = chip.coreFrequency(core) /
+                                     params_.refFrequency;
+            estimate += params_.perActivity * load.activity * freqScale *
+                        vr2;
+        }
+    }
+    return estimate * calibrationScale_;
+}
+
+} // namespace agsim::chip

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Activity-counter power proxy (after Isci & Martonosi and the POWER7
+ * "accurate fine-grained processor power proxies" the paper cites as
+ * [27], [28]).
+ *
+ * Firmware cannot always read a calibrated power sensor at decision
+ * rate; POWER7-class chips estimate power from per-core activity
+ * counters instead. The proxy is linear in activity and frequency with
+ * a per-chip calibration error frozen at build time — so controllers
+ * that consume it (e.g. the power-capping governor) inherit realistic
+ * estimation noise.
+ */
+
+#ifndef AGSIM_CHIP_POWER_PROXY_H
+#define AGSIM_CHIP_POWER_PROXY_H
+
+#include <cstdint>
+
+#include "chip/chip.h"
+#include "common/units.h"
+
+namespace agsim::chip {
+
+/** Proxy model coefficients. */
+struct PowerProxyParams
+{
+    /** Estimated watts per powered-on core at zero activity. */
+    Watts basePerCore = 3.9;
+    /** Estimated watts per unit activity at the reference frequency. */
+    Watts perActivity = 10.0;
+    /** Estimated constant uncore share. */
+    Watts uncoreBase = 11.5;
+    /** Reference frequency the activity weight is quoted at. */
+    Hertz refFrequency = 4.2e9;
+    /** Std-dev of the frozen per-chip multiplicative calibration error. */
+    double calibrationSpread = 0.03;
+};
+
+/**
+ * One chip's power estimator.
+ */
+class PowerProxy
+{
+  public:
+    /**
+     * @param params Model coefficients.
+     * @param seed Freezes this chip's calibration error personality.
+     */
+    explicit PowerProxy(const PowerProxyParams &params = PowerProxyParams(),
+                        uint64_t seed = 0x9E0Fu);
+
+    /** Estimate chip power from the chip's visible counters. */
+    Watts estimate(const Chip &chip) const;
+
+    /** The frozen multiplicative calibration error (~1.0). */
+    double calibrationScale() const { return calibrationScale_; }
+
+    const PowerProxyParams &params() const { return params_; }
+
+  private:
+    PowerProxyParams params_;
+    double calibrationScale_;
+};
+
+} // namespace agsim::chip
+
+#endif // AGSIM_CHIP_POWER_PROXY_H

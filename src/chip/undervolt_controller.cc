@@ -1,0 +1,36 @@
+#include "chip/undervolt_controller.h"
+
+#include "common/error.h"
+
+namespace agsim::chip {
+
+UndervoltController::UndervoltController(
+    const UndervoltControllerParams &params)
+    : params_(params)
+{
+    fatalIf(params_.voltageStep <= 0.0, "voltage step must be positive");
+    fatalIf(params_.downThreshold < 0.0 || params_.upThreshold < 0.0,
+            "controller thresholds must be non-negative");
+}
+
+Volts
+UndervoltController::decide(Volts currentSetpoint,
+                            Hertz achievableFrequency,
+                            Hertz targetFrequency,
+                            Volts staticSetpoint) const
+{
+    panicIf(targetFrequency <= 0.0, "target frequency must be positive");
+    const Volts floor = staticSetpoint - params_.maxUndervolt;
+    if (achievableFrequency >
+        targetFrequency * (1.0 + params_.downThreshold)) {
+        const Volts lowered = currentSetpoint - params_.voltageStep;
+        return lowered < floor ? currentSetpoint : lowered;
+    }
+    if (achievableFrequency <
+        targetFrequency * (1.0 - params_.upThreshold)) {
+        return currentSetpoint + params_.voltageStep;
+    }
+    return currentSetpoint;
+}
+
+} // namespace agsim::chip

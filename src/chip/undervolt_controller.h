@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Firmware undervolting controller (paper Sec. 2.2, undervolting mode).
+ *
+ * Every 32 ms the POWER7+ firmware observes the frequency the CPM-DPLL
+ * loop is achieving and walks the VRM setpoint so that achievable
+ * frequency lands exactly on the DVFS target: if the loop could run
+ * faster than the target there is spare margin, so voltage steps down;
+ * if it cannot reach the target, voltage steps back up. The controller
+ * is deliberately conservative: it steps one DAC increment per interval
+ * and raises on any shortfall.
+ */
+
+#ifndef AGSIM_CHIP_UNDERVOLT_CONTROLLER_H
+#define AGSIM_CHIP_UNDERVOLT_CONTROLLER_H
+
+#include "common/units.h"
+
+namespace agsim::chip {
+
+/** Undervolting-firmware tunables. */
+struct UndervoltControllerParams
+{
+    /** Setpoint change per decision (one VRM DAC step). */
+    Volts voltageStep = 6.25e-3;
+    /**
+     * Frequency headroom (fraction of target) required before stepping
+     * down — prevents limit cycling around the target.
+     */
+    double downThreshold = 0.013;
+    /** Shortfall (fraction of target) that forces stepping up. */
+    double upThreshold = 0.0;
+    /**
+     * Deepest undervolt the firmware will apply below the static
+     * setpoint. The remaining band covers nondeterministic error in the
+     * adaptive mechanism itself (paper Sec. 2.1: a precautionary share
+     * of the guardband is never reclaimed).
+     */
+    Volts maxUndervolt = 0.080;
+};
+
+/**
+ * One chip's undervolting decision logic. Stateless between decisions
+ * apart from the parameters; the chip owns the 32 ms cadence.
+ */
+class UndervoltController
+{
+  public:
+    explicit UndervoltController(const UndervoltControllerParams &params =
+                                     UndervoltControllerParams());
+
+    const UndervoltControllerParams &params() const { return params_; }
+
+    /**
+     * Decide the next VRM setpoint.
+     *
+     * @param currentSetpoint Programmed VRM voltage.
+     * @param achievableFrequency Worst-core frequency the CPM-DPLL loop
+     *        can sustain at the current operating point.
+     * @param targetFrequency DVFS target the mode must preserve.
+     * @param staticSetpoint The static-guardband setpoint the undervolt
+     *        is measured from (floors the walk at maxUndervolt below).
+     * @return New setpoint request (the VRM clamps/quantizes it).
+     */
+    Volts decide(Volts currentSetpoint, Hertz achievableFrequency,
+                 Hertz targetFrequency, Volts staticSetpoint) const;
+
+  private:
+    UndervoltControllerParams params_;
+};
+
+} // namespace agsim::chip
+
+#endif // AGSIM_CHIP_UNDERVOLT_CONTROLLER_H

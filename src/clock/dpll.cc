@@ -1,0 +1,55 @@
+#include "clock/dpll.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace agsim::clock {
+
+Dpll::Dpll(const power::VfCurve *curve, const DpllParams &params,
+           Hertz initialFrequency)
+    : curve_(curve), params_(params), frequency_(initialFrequency)
+{
+    fatalIf(curve_ == nullptr, "DPLL needs a VfCurve");
+    fatalIf(params_.slewPerSecond <= 0.0, "DPLL slew must be positive");
+    fatalIf(initialFrequency <= 0.0,
+            "DPLL initial frequency must be positive");
+}
+
+void
+Dpll::lockTo(Hertz f)
+{
+    panicIf(f <= 0.0, "DPLL lock frequency must be positive");
+    frequency_ = f;
+}
+
+Hertz
+Dpll::step(Volts vCore, Seconds dt)
+{
+    panicIf(dt < 0.0, "negative DPLL step");
+    Hertz target = std::max(curve_->fmaxWithMargin(vCore),
+                            params_.floorFrequency);
+    if (cap_ > 0.0)
+        target = std::min(target, cap_);
+
+    // Slew limit: |df| <= f * slewPerSecond * dt.
+    const Hertz maxDelta = frequency_ * params_.slewPerSecond * dt;
+    const Hertz delta = std::clamp(target - frequency_, -maxDelta, maxDelta);
+    frequency_ += delta;
+    return frequency_;
+}
+
+Seconds
+Dpll::droopStall(Volts droopDepth, int events) const
+{
+    if (events <= 0 || droopDepth <= 0.0)
+        return 0.0;
+    // During each droop the DPLL undershoots by the frequency equivalent
+    // of the droop depth for roughly the response time.
+    const Hertz dip = curve_->marginToFrequency(droopDepth);
+    const double dipFraction = std::min(1.0, dip / frequency_);
+    return dipFraction * params_.droopResponseTime * double(events);
+}
+
+} // namespace agsim::clock

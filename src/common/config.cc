@@ -1,0 +1,105 @@
+#include "common/config.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace agsim {
+
+void
+ParamSet::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+bool
+ParamSet::has(const std::string &key) const
+{
+    return values_.count(key) > 0;
+}
+
+std::optional<std::string>
+ParamSet::lookup(const std::string &key) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+double
+ParamSet::getDouble(const std::string &key, double fallback) const
+{
+    auto raw = lookup(key);
+    if (!raw)
+        return fallback;
+    char *end = nullptr;
+    const double parsed = std::strtod(raw->c_str(), &end);
+    fatalIf(end == raw->c_str() || *end != '\0',
+            "parameter '" + key + "' is not a number: '" + *raw + "'");
+    return parsed;
+}
+
+int
+ParamSet::getInt(const std::string &key, int fallback) const
+{
+    auto raw = lookup(key);
+    if (!raw)
+        return fallback;
+    char *end = nullptr;
+    const long parsed = std::strtol(raw->c_str(), &end, 10);
+    fatalIf(end == raw->c_str() || *end != '\0',
+            "parameter '" + key + "' is not an integer: '" + *raw + "'");
+    return int(parsed);
+}
+
+bool
+ParamSet::getBool(const std::string &key, bool fallback) const
+{
+    auto raw = lookup(key);
+    if (!raw)
+        return fallback;
+    std::string v = *raw;
+    std::transform(v.begin(), v.end(), v.begin(), ::tolower);
+    if (v == "1" || v == "true" || v == "yes")
+        return true;
+    if (v == "0" || v == "false" || v == "no")
+        return false;
+    fatal("parameter '" + key + "' is not a boolean: '" + *raw + "'");
+}
+
+std::string
+ParamSet::getString(const std::string &key, const std::string &fallback) const
+{
+    auto raw = lookup(key);
+    return raw ? *raw : fallback;
+}
+
+std::vector<std::string>
+ParamSet::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto &kv : values_)
+        out.push_back(kv.first);
+    return out;
+}
+
+std::vector<std::string>
+ParamSet::parseArgs(int argc, const char *const *argv)
+{
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string token = argv[i];
+        const auto eq = token.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            positional.push_back(token);
+            continue;
+        }
+        set(token.substr(0, eq), token.substr(eq + 1));
+    }
+    return positional;
+}
+
+} // namespace agsim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Lightweight typed key/value parameter sets.
+ *
+ * Every model in agsim exposes its tunables through a Params struct with
+ * sensible POWER7+-calibrated defaults; ParamSet is the generic string-keyed
+ * overlay used by benches and examples to override individual constants
+ * from the command line ("key=value" tokens) without recompiling.
+ */
+
+#ifndef AGSIM_COMMON_CONFIG_H
+#define AGSIM_COMMON_CONFIG_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace agsim {
+
+/**
+ * String-keyed parameter overlay with typed accessors.
+ *
+ * Unknown keys are tolerated on insertion and flagged on first typed read
+ * mismatch; missing keys fall back to the caller-provided default. This
+ * mirrors how simulator front-ends (gem5, SST) surface model knobs.
+ */
+class ParamSet
+{
+  public:
+    ParamSet() = default;
+
+    /** Set (or overwrite) a raw value. */
+    void set(const std::string &key, const std::string &value);
+
+    /** Whether a key is present. */
+    bool has(const std::string &key) const;
+
+    /**
+     * Typed read with default.
+     * @throws ConfigError if the stored text does not parse as a double.
+     */
+    double getDouble(const std::string &key, double fallback) const;
+
+    /** Typed read with default; throws ConfigError on non-integer text. */
+    int getInt(const std::string &key, int fallback) const;
+
+    /** Typed read with default; accepts 0/1/true/false/yes/no. */
+    bool getBool(const std::string &key, bool fallback) const;
+
+    /** Raw string read with default. */
+    std::string getString(const std::string &key,
+                          const std::string &fallback) const;
+
+    /** All keys currently set (sorted), for help/debug output. */
+    std::vector<std::string> keys() const;
+
+    /**
+     * Parse "key=value" command-line tokens into this set.
+     *
+     * Tokens without '=' are returned unconsumed so callers can treat them
+     * as positional arguments.
+     */
+    std::vector<std::string> parseArgs(int argc, const char *const *argv);
+
+  private:
+    std::optional<std::string> lookup(const std::string &key) const;
+
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace agsim
+
+#endif // AGSIM_COMMON_CONFIG_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Error-reporting helpers, in the spirit of gem5's panic()/fatal() split.
+ *
+ * - fatal(): user-correctable condition (bad configuration, out-of-range
+ *   parameter). Throws ConfigError so callers/tests can catch it.
+ * - panic(): internal invariant violation (a bug in agsim itself). Throws
+ *   InternalError; production binaries let it terminate.
+ */
+
+#ifndef AGSIM_COMMON_ERROR_H
+#define AGSIM_COMMON_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace agsim {
+
+/** Raised for user-correctable misconfiguration (gem5 fatal()). */
+class ConfigError : public std::runtime_error
+{
+  public:
+    explicit ConfigError(const std::string &what)
+        : std::runtime_error("config error: " + what)
+    {}
+};
+
+/** Raised for internal invariant violations (gem5 panic()). */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string &what)
+        : std::logic_error("internal error: " + what)
+    {}
+};
+
+/** Abort with a configuration error. */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    throw ConfigError(msg);
+}
+
+/** Abort with an internal (bug) error. */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    throw InternalError(msg);
+}
+
+/** Check a user-facing precondition; throws ConfigError on failure. */
+inline void
+fatalIf(bool condition, const std::string &msg)
+{
+    if (condition)
+        fatal(msg);
+}
+
+/** Check an internal invariant; throws InternalError on failure. */
+inline void
+panicIf(bool condition, const std::string &msg)
+{
+    if (condition)
+        panic(msg);
+}
+
+} // namespace agsim
+
+#endif // AGSIM_COMMON_ERROR_H

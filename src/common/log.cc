@@ -1,0 +1,46 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace agsim {
+
+namespace {
+
+LogLevel globalLevel = LogLevel::Warn;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+      case LogLevel::Silent: return "silent";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (level < globalLevel || globalLevel == LogLevel::Silent)
+        return;
+    std::fprintf(stderr, "[agsim:%s] %s\n", levelName(level), msg.c_str());
+}
+
+} // namespace agsim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal leveled logging for simulator components.
+ *
+ * Follows the gem5 inform()/warn() philosophy: log output is status for the
+ * human operator, never control flow. Components log through free functions
+ * so there is no logger object to thread through constructors; verbosity is
+ * a process-global setting (benches default to Warn, examples to Info).
+ */
+
+#ifndef AGSIM_COMMON_LOG_H
+#define AGSIM_COMMON_LOG_H
+
+#include <sstream>
+#include <string>
+
+namespace agsim {
+
+/** Log severity, ordered by verbosity. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Silent = 4 };
+
+/** Set the process-global verbosity threshold. */
+void setLogLevel(LogLevel level);
+
+/** Current process-global verbosity threshold. */
+LogLevel logLevel();
+
+/** Emit a message at the given level (filtered by the global threshold). */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** Convenience: Debug-level message. */
+inline void logDebug(const std::string &msg)
+{
+    logMessage(LogLevel::Debug, msg);
+}
+
+/** Convenience: Info-level message (gem5 inform()). */
+inline void logInfo(const std::string &msg)
+{
+    logMessage(LogLevel::Info, msg);
+}
+
+/** Convenience: Warn-level message (gem5 warn()). */
+inline void logWarn(const std::string &msg)
+{
+    logMessage(LogLevel::Warn, msg);
+}
+
+/** Convenience: Error-level message. */
+inline void logError(const std::string &msg)
+{
+    logMessage(LogLevel::Error, msg);
+}
+
+} // namespace agsim
+
+#endif // AGSIM_COMMON_LOG_H

@@ -1,0 +1,148 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace agsim {
+
+namespace {
+
+/** SplitMix64 step, used to expand the seed into xoshiro state. */
+uint64_t
+splitMix64(uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed, uint64_t stream)
+{
+    reseed(seed, stream);
+}
+
+void
+Rng::reseed(uint64_t seed, uint64_t stream)
+{
+    // Mix the stream id into the seed so streams decorrelate even for
+    // adjacent seeds.
+    uint64_t x = seed ^ (stream * 0xD2B74407B1CE6E93ull + 0x8BB84B93962EACC9ull);
+    for (auto &s : state_)
+        s = splitMix64(x);
+    hasCachedNormal_ = false;
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53-bit mantissa yields a uniform double in [0, 1).
+    return double(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+int
+Rng::uniformInt(int lo, int hi)
+{
+    panicIf(hi < lo, "uniformInt: hi < lo");
+    const uint64_t span = uint64_t(hi) - uint64_t(lo) + 1;
+    return lo + int(next() % span);
+}
+
+double
+Rng::normal()
+{
+    if (hasCachedNormal_) {
+        hasCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    // Box-Muller; reject u1 == 0 to keep log() finite.
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cachedNormal_ = r * std::sin(theta);
+    hasCachedNormal_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::exponential(double rate)
+{
+    panicIf(rate <= 0.0, "exponential: rate must be positive");
+    double u = 0.0;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -std::log(u) / rate;
+}
+
+int
+Rng::poisson(double mean)
+{
+    panicIf(mean < 0.0, "poisson: mean must be non-negative");
+    if (mean == 0.0)
+        return 0;
+    if (mean > 64.0) {
+        // Normal approximation with continuity correction.
+        const double draw = normal(mean, std::sqrt(mean));
+        return draw < 0.0 ? 0 : int(draw + 0.5);
+    }
+    // Knuth's product-of-uniforms method.
+    const double threshold = std::exp(-mean);
+    int k = 0;
+    double p = 1.0;
+    do {
+        ++k;
+        p *= uniform();
+    } while (p > threshold);
+    return k - 1;
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+} // namespace agsim

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Physical unit conventions and literal helpers used across agsim.
+ *
+ * agsim uses plain `double` quantities with a strict naming convention
+ * rather than heavyweight dimensional types: every quantity is stored in
+ * its SI base unit and the variable/parameter name carries the unit where
+ * ambiguity is possible. The aliases below document intent at interface
+ * boundaries and the user-defined literals make call sites read like the
+ * paper's own numbers (e.g. `21.0_mV`, `4.2_GHz`, `32.0_ms`).
+ *
+ * Conventions:
+ *  - voltage: volts        (alias Volts)
+ *  - current: amperes      (alias Amps)
+ *  - power: watts          (alias Watts)
+ *  - energy: joules        (alias Joules)
+ *  - frequency: hertz      (alias Hertz)
+ *  - time: seconds         (alias Seconds)
+ *  - temperature: celsius  (alias Celsius)
+ *  - rate: MIPS stored as instructions per second (alias InstrPerSec)
+ */
+
+#ifndef AGSIM_COMMON_UNITS_H
+#define AGSIM_COMMON_UNITS_H
+
+namespace agsim {
+
+using Volts = double;
+using Amps = double;
+using Watts = double;
+using Joules = double;
+using Hertz = double;
+using Seconds = double;
+using Celsius = double;
+using Ohms = double;
+/** Instructions per second; 1 MIPS == 1e6 InstrPerSec. */
+using InstrPerSec = double;
+
+namespace units {
+
+/** @name Voltage literals */
+/// @{
+constexpr Volts operator""_V(long double v) { return double(v); }
+constexpr Volts operator""_V(unsigned long long v) { return double(v); }
+constexpr Volts operator""_mV(long double v) { return double(v) * 1e-3; }
+constexpr Volts operator""_mV(unsigned long long v) { return double(v) * 1e-3; }
+/// @}
+
+/** @name Frequency literals */
+/// @{
+constexpr Hertz operator""_GHz(long double v) { return double(v) * 1e9; }
+constexpr Hertz operator""_GHz(unsigned long long v) { return double(v) * 1e9; }
+constexpr Hertz operator""_MHz(long double v) { return double(v) * 1e6; }
+constexpr Hertz operator""_MHz(unsigned long long v) { return double(v) * 1e6; }
+/// @}
+
+/** @name Time literals */
+/// @{
+constexpr Seconds operator""_s(long double v) { return double(v); }
+constexpr Seconds operator""_s(unsigned long long v) { return double(v); }
+constexpr Seconds operator""_ms(long double v) { return double(v) * 1e-3; }
+constexpr Seconds operator""_ms(unsigned long long v) { return double(v) * 1e-3; }
+constexpr Seconds operator""_us(long double v) { return double(v) * 1e-6; }
+constexpr Seconds operator""_us(unsigned long long v) { return double(v) * 1e-6; }
+/// @}
+
+/** @name Power literals */
+/// @{
+constexpr Watts operator""_W(long double v) { return double(v); }
+constexpr Watts operator""_W(unsigned long long v) { return double(v); }
+/// @}
+
+/** @name Resistance literals */
+/// @{
+constexpr Ohms operator""_mOhm(long double v) { return double(v) * 1e-3; }
+constexpr Ohms operator""_mOhm(unsigned long long v) { return double(v) * 1e-3; }
+/// @}
+
+/** @name Rate literals */
+/// @{
+constexpr InstrPerSec operator""_MIPS(long double v) { return double(v) * 1e6; }
+constexpr InstrPerSec operator""_MIPS(unsigned long long v)
+{
+    return double(v) * 1e6;
+}
+/// @}
+
+} // namespace units
+
+/** Convert volts to millivolts (presentation helper). */
+constexpr double toMilliVolts(Volts v) { return v * 1e3; }
+/** Convert hertz to megahertz (presentation helper). */
+constexpr double toMegaHertz(Hertz f) { return f * 1e-6; }
+/** Convert hertz to gigahertz (presentation helper). */
+constexpr double toGigaHertz(Hertz f) { return f * 1e-9; }
+/** Convert instructions/second to MIPS (presentation helper). */
+constexpr double toMips(InstrPerSec r) { return r * 1e-6; }
+
+} // namespace agsim
+
+#endif // AGSIM_COMMON_UNITS_H

@@ -1,0 +1,149 @@
+#include "core/adaptive_mapping.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace agsim::core {
+
+AdaptiveMappingScheduler::AdaptiveMappingScheduler(
+    const AdaptiveMappingParams &params)
+    : params_(params)
+{
+    fatalIf(params_.violationThreshold < 0.0 ||
+            params_.violationThreshold > 1.0,
+            "violation threshold out of [0, 1]");
+    fatalIf(params_.frequencyMargin < 0.0, "negative frequency margin");
+    fatalIf(params_.qosMargin < 0.0 || params_.qosMargin >= 1.0,
+            "QoS margin out of [0, 1)");
+}
+
+void
+AdaptiveMappingScheduler::observeFrequency(double chipMips, Hertz frequency)
+{
+    predictor_.observe(chipMips, frequency);
+}
+
+void
+AdaptiveMappingScheduler::observeQos(Hertz frequency, double qosMetric)
+{
+    qosModel_.observe(frequency, qosMetric);
+}
+
+MappingDecision
+AdaptiveMappingScheduler::decide(
+    double violationRate, double qosTarget, double criticalMips,
+    size_t currentCorunner,
+    const std::vector<CorunnerOption> &candidates) const
+{
+    fatalIf(candidates.empty(), "adaptive mapping needs candidates");
+    fatalIf(currentCorunner >= candidates.size(),
+            "current co-runner index out of range");
+
+    MappingDecision decision;
+    if (violationRate <= params_.violationThreshold) {
+        decision.reason = "QoS within SLA; keep current mapping";
+        return decision;
+    }
+
+    if (qosModel_.trained() && predictor_.trained() &&
+        qosModel_.frequencySensitive(params_.sensitivityThreshold)) {
+        // Frequency path: QoS target -> needed frequency -> MIPS budget.
+        // Aim below the SLA by the tail guard (lower metric = better).
+        const double desired = qosTarget * (1.0 - params_.qosMargin);
+        const Hertz needed = qosModel_.frequencyForQos(desired) *
+                             (1.0 + params_.frequencyMargin);
+        decision.requiredFrequency = needed;
+        const double maxChipMips = predictor_.maxMipsForFrequency(needed);
+        const double budget = maxChipMips - criticalMips;
+        decision.corunnerMipsBudget = std::max(budget, 0.0);
+
+        // Highest-throughput candidate that fits the budget keeps
+        // utilization up; fall back to the lightest one.
+        size_t best = candidates.size();
+        for (size_t i = 0; i < candidates.size(); ++i) {
+            if (candidates[i].totalMips <= decision.corunnerMipsBudget &&
+                (best == candidates.size() ||
+                 candidates[i].totalMips > candidates[best].totalMips)) {
+                best = i;
+            }
+        }
+        if (best == candidates.size()) {
+            best = 0;
+            for (size_t i = 1; i < candidates.size(); ++i) {
+                if (candidates[i].totalMips < candidates[best].totalMips)
+                    best = i;
+            }
+            decision.reason = "no candidate fits the MIPS budget; "
+                              "falling back to the lightest co-runner";
+        } else {
+            decision.reason = "heaviest co-runner within the predicted "
+                              "MIPS budget";
+        }
+        decision.swap = best != currentCorunner;
+        decision.corunnerIndex = best;
+        return decision;
+    }
+
+    // Memory path (Fig. 18's right branch): QoS not frequency sensitive,
+    // so contention is the culprit; pick the least memory-aggressive
+    // co-runner.
+    size_t best = 0;
+    for (size_t i = 1; i < candidates.size(); ++i) {
+        if (candidates[i].memoryPressure < candidates[best].memoryPressure)
+            best = i;
+    }
+    decision.swap = best != currentCorunner;
+    decision.corunnerIndex = best;
+    decision.reason = "QoS not frequency sensitive; choosing the "
+                      "lowest-memory-pressure co-runner";
+    return decision;
+}
+
+std::vector<MappingDecision>
+AdaptiveMappingScheduler::decideAll(
+    const std::vector<CriticalAppState> &apps,
+    std::vector<CorunnerPoolEntry> &pool) const
+{
+    fatalIf(pool.empty(), "adaptive mapping needs a co-runner pool");
+    for (const auto &app : apps) {
+        fatalIf(app.currentCorunner >= pool.size(),
+                "app '" + app.name + "': current co-runner out of range");
+    }
+
+    std::vector<MappingDecision> decisions;
+    decisions.reserve(apps.size());
+    for (const auto &app : apps) {
+        // Visible candidates: classes with availability, plus the app's
+        // current class (swapping back to it is always possible).
+        // Track the mapping back to pool indices.
+        std::vector<CorunnerOption> visible;
+        std::vector<size_t> poolIndex;
+        size_t currentVisible = 0;
+        for (size_t i = 0; i < pool.size(); ++i) {
+            if (pool[i].available == 0 && i != app.currentCorunner)
+                continue;
+            if (i == app.currentCorunner)
+                currentVisible = visible.size();
+            visible.push_back(pool[i].option);
+            poolIndex.push_back(i);
+        }
+
+        MappingDecision decision = decide(app.violationRate,
+                                          app.qosTarget, app.ownMips,
+                                          currentVisible, visible);
+        const size_t chosenPool = poolIndex[decision.corunnerIndex];
+        decision.corunnerIndex = chosenPool;
+        if (decision.swap) {
+            panicIf(pool[chosenPool].available == 0,
+                    "scheduler chose an exhausted co-runner class");
+            --pool[chosenPool].available;
+            ++pool[app.currentCorunner].available;
+        }
+        decisions.push_back(std::move(decision));
+    }
+    return decisions;
+}
+
+} // namespace agsim::core

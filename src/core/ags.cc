@@ -1,0 +1,45 @@
+#include "core/ags.h"
+
+#include "common/error.h"
+
+namespace agsim::core {
+
+ScheduledRunResult
+runScheduled(const ScheduledRunSpec &spec)
+{
+    fatalIf(spec.threads == 0, "scheduled run needs threads");
+
+    system::Server server(spec.serverConfig);
+    server.setMode(spec.mode);
+
+    ScheduledRunResult result;
+    system::WorkloadSimulation sim(&server);
+
+    if (spec.poweredCoreBudget == 0) {
+        // Sec. 3 methodology: consolidated on socket 0, nothing gated.
+        result.plan.threads = system::placeOnSocket(0, spec.threads);
+    } else {
+        result.plan = makePlacementPlan(
+            spec.policy, server.socketCount(),
+            server.chip(0).coreCount(), spec.threads,
+            spec.poweredCoreBudget);
+    }
+
+    sim.addJob(system::Job{
+        workload::ThreadedWorkload(spec.profile, spec.runMode),
+        result.plan.threads, spec.profile.name});
+    applyGating(sim, result.plan);
+
+    result.metrics = sim.run(spec.simConfig);
+    return result;
+}
+
+Watts
+measureChipPower(const ScheduledRunSpec &spec, Seconds duration)
+{
+    ScheduledRunSpec copy = spec;
+    copy.simConfig.measureDuration = duration;
+    return runScheduled(copy).metrics.totalChipPower;
+}
+
+} // namespace agsim::core

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Top-level adaptive-guardband-scheduling facade.
+ *
+ * One-call experiment runner used by the examples and every bench: build
+ * a fresh (deterministic) two-socket server, place a workload under a
+ * placement policy, pick the guardband mode, run, and return metrics.
+ * Composable pieces (Server, WorkloadSimulation, PlacementPlan) remain
+ * available for callers that need multi-job or scheduler-in-the-loop
+ * setups.
+ */
+
+#ifndef AGSIM_CORE_AGS_H
+#define AGSIM_CORE_AGS_H
+
+#include <cstddef>
+#include <string>
+
+#include "chip/guardband_mode.h"
+#include "core/placement.h"
+#include "system/simulation.h"
+#include "workload/profile.h"
+#include "workload/threaded_workload.h"
+
+namespace agsim::core {
+
+/** Everything one scheduled experiment needs. */
+struct ScheduledRunSpec
+{
+    /** Benchmark to run. */
+    workload::BenchmarkProfile profile;
+    /** Threads to schedule. */
+    size_t threads = 8;
+    /** Multithreaded program or independent SPECrate copies. */
+    workload::RunMode runMode = workload::RunMode::Multithreaded;
+    /** Socket placement policy. */
+    PlacementPolicy policy = PlacementPolicy::Consolidate;
+    /** Guardband mode for every socket. */
+    chip::GuardbandMode mode = chip::GuardbandMode::AdaptiveUndervolt;
+    /**
+     * Cores kept powered on (instant-response reserve). 0 means "powered
+     * cores = threads on one socket, everything else powered-on idle on
+     * socket 0 only" — the Sec. 3 single-socket characterization setup,
+     * where no gating happens at all.
+     */
+    size_t poweredCoreBudget = 0;
+    /** Platform configuration override. */
+    system::ServerConfig serverConfig;
+    /** Engine configuration. */
+    system::SimulationConfig simConfig;
+};
+
+/** Result of one scheduled experiment. */
+struct ScheduledRunResult
+{
+    system::RunMetrics metrics;
+    PlacementPlan plan;
+};
+
+/**
+ * Run one scheduled experiment on a fresh server.
+ *
+ * With poweredCoreBudget == 0 the run reproduces the paper's Sec. 3
+ * methodology: threads consolidated on socket 0, all cores of both
+ * sockets powered on, no gating. With a budget > 0 it reproduces the
+ * Sec. 5.1 scenarios: `budget` cores stay on (placed per policy),
+ * everything else power gates.
+ */
+ScheduledRunResult runScheduled(const ScheduledRunSpec &spec);
+
+/**
+ * Convenience wrapper: measure mean chip power (both sockets) for a
+ * spec, using a fixed-duration rate measurement.
+ */
+Watts measureChipPower(const ScheduledRunSpec &spec,
+                       Seconds duration = 2.0);
+
+} // namespace agsim::core
+
+#endif // AGSIM_CORE_AGS_H

@@ -1,0 +1,105 @@
+#include "core/cluster_policy.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "core/ags.h"
+
+namespace agsim::core {
+
+const char *
+clusterStrategyName(ClusterStrategy strategy)
+{
+    switch (strategy) {
+      case ClusterStrategy::ConsolidateServersConsolidateSockets:
+        return "consolidate-servers+consolidate-sockets";
+      case ClusterStrategy::ConsolidateServersBorrowSockets:
+        return "consolidate-servers+borrow-sockets";
+      case ClusterStrategy::SpreadServersBorrowSockets:
+        return "spread-servers+borrow-sockets";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Threads assigned to each server under a strategy. */
+std::vector<size_t>
+serverLoads(const ClusterSpec &spec, size_t threads,
+            ClusterStrategy strategy)
+{
+    std::vector<size_t> loads(spec.serverCount, 0);
+    const size_t perServerCap = spec.poweredCoreBudgetPerServer;
+    fatalIf(threads > perServerCap * spec.serverCount,
+            "cluster cannot host the requested threads");
+
+    if (strategy == ClusterStrategy::SpreadServersBorrowSockets) {
+        for (size_t t = 0; t < threads; ++t)
+            ++loads[t % spec.serverCount];
+    } else {
+        size_t remaining = threads;
+        for (size_t s = 0; s < spec.serverCount && remaining > 0; ++s) {
+            loads[s] = std::min(perServerCap, remaining);
+            remaining -= loads[s];
+        }
+    }
+    return loads;
+}
+
+} // namespace
+
+ClusterEvaluation
+evaluateClusterStrategy(const ClusterSpec &spec,
+                        const workload::BenchmarkProfile &profile,
+                        size_t threads, ClusterStrategy strategy)
+{
+    fatalIf(threads == 0, "cluster evaluation needs threads");
+    const auto loads = serverLoads(spec, threads, strategy);
+
+    ClusterEvaluation eval;
+    eval.strategy = strategy;
+    const PlacementPolicy socketPolicy =
+        strategy == ClusterStrategy::ConsolidateServersConsolidateSockets
+            ? PlacementPolicy::Consolidate
+            : PlacementPolicy::LoadlineBorrow;
+
+    for (size_t server = 0; server < spec.serverCount; ++server) {
+        if (loads[server] == 0)
+            continue; // server powered off entirely
+        ++eval.activeServers;
+
+        ScheduledRunSpec run;
+        run.profile = profile;
+        run.threads = loads[server];
+        run.runMode = workload::RunMode::Rate;
+        run.policy = socketPolicy;
+        run.mode = chip::GuardbandMode::AdaptiveUndervolt;
+        run.poweredCoreBudget = spec.poweredCoreBudgetPerServer;
+        run.serverConfig = spec.serverConfig;
+        run.simConfig.measureDuration = 1.0;
+        eval.chipPower += runScheduled(run).metrics.totalChipPower;
+        eval.platformPower += spec.platformPowerPerServer;
+    }
+    eval.totalPower = eval.chipPower + eval.platformPower;
+    return eval;
+}
+
+std::vector<ClusterEvaluation>
+evaluateAllClusterStrategies(const ClusterSpec &spec,
+                             const workload::BenchmarkProfile &profile,
+                             size_t threads)
+{
+    return {
+        evaluateClusterStrategy(
+            spec, profile, threads,
+            ClusterStrategy::ConsolidateServersConsolidateSockets),
+        evaluateClusterStrategy(
+            spec, profile, threads,
+            ClusterStrategy::ConsolidateServersBorrowSockets),
+        evaluateClusterStrategy(
+            spec, profile, threads,
+            ClusterStrategy::SpreadServersBorrowSockets),
+    };
+}
+
+} // namespace agsim::core

@@ -1,0 +1,73 @@
+#include "core/demand_trace.h"
+
+#include <cmath>
+#include <map>
+
+#include "common/error.h"
+#include "core/ags.h"
+
+namespace agsim::core {
+
+DemandTrace
+makeDiurnalTrace(size_t peakThreads, Seconds dayLength, size_t segments)
+{
+    fatalIf(peakThreads == 0, "diurnal trace needs a positive peak");
+    fatalIf(dayLength <= 0.0, "diurnal trace needs a positive day");
+    fatalIf(segments < 2, "diurnal trace needs at least two segments");
+
+    DemandTrace trace;
+    trace.reserve(segments);
+    const Seconds segment = dayLength / double(segments);
+    for (size_t i = 0; i < segments; ++i) {
+        // Sinusoidal day: trough at the start, peak mid-trace, at least
+        // one thread of demand around the clock.
+        const double phase = 2.0 * M_PI * (double(i) + 0.5) /
+                             double(segments);
+        const double level = 0.5 * (1.0 - std::cos(phase));
+        const size_t threads = std::max<size_t>(
+            1, size_t(std::lround(level * double(peakThreads))));
+        trace.push_back(DemandSegment{segment, threads});
+    }
+    return trace;
+}
+
+TraceEvaluation
+evaluateDemandTrace(const workload::BenchmarkProfile &profile,
+                    const DemandTrace &trace, PlacementPolicy policy,
+                    size_t poweredCoreBudget)
+{
+    fatalIf(trace.empty(), "empty demand trace");
+
+    TraceEvaluation eval;
+    eval.policy = policy;
+
+    std::map<size_t, Watts> steadyPower;
+    for (const auto &segment : trace) {
+        fatalIf(segment.duration <= 0.0,
+                "trace segment needs positive duration");
+        fatalIf(segment.threads == 0 ||
+                segment.threads > poweredCoreBudget,
+                "trace demand outside the powered-core budget");
+
+        auto it = steadyPower.find(segment.threads);
+        if (it == steadyPower.end()) {
+            ScheduledRunSpec spec;
+            spec.profile = profile;
+            spec.threads = segment.threads;
+            spec.runMode = workload::RunMode::Rate;
+            spec.policy = policy;
+            spec.mode = chip::GuardbandMode::AdaptiveUndervolt;
+            spec.poweredCoreBudget = poweredCoreBudget;
+            spec.simConfig.measureDuration = 0.6;
+            const Watts power =
+                runScheduled(spec).metrics.totalChipPower;
+            it = steadyPower.emplace(segment.threads, power).first;
+        }
+        eval.chipEnergy += it->second * segment.duration;
+        eval.duration += segment.duration;
+    }
+    eval.meanPower = eval.chipEnergy / eval.duration;
+    return eval;
+}
+
+} // namespace agsim::core

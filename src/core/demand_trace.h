@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Demand-trace evaluation: dynamic loadline borrowing over a varying
+ * utilization profile (extension of paper Sec. 5.1).
+ *
+ * The paper evaluates borrowing at fixed thread counts; a datacenter
+ * sees demand that varies over hours. This module integrates chip
+ * energy over a (duration, threads) trace for a placement policy,
+ * exploiting that each demand level reaches steady state in well under
+ * a minute: each distinct thread count is simulated once to steady
+ * state and its power is weighted by the time spent there. The
+ * approximation error is the (sub-second) transition energy, which is
+ * negligible against multi-minute segments and is documented here.
+ */
+
+#ifndef AGSIM_CORE_DEMAND_TRACE_H
+#define AGSIM_CORE_DEMAND_TRACE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "core/placement.h"
+#include "workload/profile.h"
+
+namespace agsim::core {
+
+/** One trace segment: `threads` of demand for `duration`. */
+struct DemandSegment
+{
+    Seconds duration = 0.0;
+    size_t threads = 0;
+};
+
+/** A daily/weekly utilization profile. */
+using DemandTrace = std::vector<DemandSegment>;
+
+/** Synthesis helpers for common shapes. */
+DemandTrace makeDiurnalTrace(size_t peakThreads, Seconds dayLength,
+                             size_t segments = 12);
+
+/** Evaluation result for one policy over one trace. */
+struct TraceEvaluation
+{
+    PlacementPolicy policy;
+    /** Total chip energy over the trace. */
+    Joules chipEnergy = 0.0;
+    /** Time-weighted mean chip power. */
+    Watts meanPower = 0.0;
+    /** Total trace duration. */
+    Seconds duration = 0.0;
+};
+
+/**
+ * Integrate chip energy for `profile` demand over `trace` under a
+ * placement policy (steady-state-per-level approximation; distinct
+ * thread counts are simulated once and cached).
+ *
+ * @param poweredCoreBudget Cores kept on per the Sec. 5.1 scenario.
+ */
+TraceEvaluation evaluateDemandTrace(const workload::BenchmarkProfile &
+                                        profile,
+                                    const DemandTrace &trace,
+                                    PlacementPolicy policy,
+                                    size_t poweredCoreBudget = 8);
+
+} // namespace agsim::core
+
+#endif // AGSIM_CORE_DEMAND_TRACE_H

@@ -1,0 +1,48 @@
+#include "core/freq_qos_model.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace agsim::core {
+
+void
+FreqQosModel::observe(Hertz frequency, double qosMetric)
+{
+    fatalIf(frequency <= 0.0, "non-positive frequency observation");
+    fit_.add(frequency, qosMetric);
+}
+
+double
+FreqQosModel::predictQos(Hertz frequency) const
+{
+    fatalIf(!trained(), "freq-QoS model needs at least two observations");
+    return fit_.predict(frequency);
+}
+
+Hertz
+FreqQosModel::frequencyForQos(double qosTarget) const
+{
+    fatalIf(!trained(), "freq-QoS model needs at least two observations");
+    const double slope = fit_.slope();
+    if (slope >= 0.0) {
+        // Metric does not improve with frequency; either it always meets
+        // the target or never does at the observed intercept.
+        return fit_.intercept() <= qosTarget
+                   ? 0.0
+                   : std::numeric_limits<double>::max();
+    }
+    const Hertz f = (qosTarget - fit_.intercept()) / slope;
+    return f < 0.0 ? 0.0 : f;
+}
+
+bool
+FreqQosModel::frequencySensitive(double correlationThreshold) const
+{
+    if (!trained())
+        return false;
+    return std::fabs(fit_.correlation()) >= correlationThreshold;
+}
+
+} // namespace agsim::core

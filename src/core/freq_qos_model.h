@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Application-specific frequency->QoS model (the shaded "freq-QoS model"
+ * box of the paper's Fig. 18).
+ *
+ * The adaptive-mapping scheduler logs (chip frequency, measured QoS
+ * metric) pairs for each critical application and fits a linear model so
+ * it can invert a QoS target into the minimum frequency that achieves
+ * it. For latency metrics the relationship is decreasing (more frequency
+ * -> lower p90); the model works for any monotone metric.
+ */
+
+#ifndef AGSIM_CORE_FREQ_QOS_MODEL_H
+#define AGSIM_CORE_FREQ_QOS_MODEL_H
+
+#include <cstddef>
+
+#include "common/units.h"
+#include "stats/linear_fit.h"
+
+namespace agsim::core {
+
+/**
+ * Online linear QoS-vs-frequency model for one application.
+ */
+class FreqQosModel
+{
+  public:
+    /** Log one (frequency, QoS metric) observation. */
+    void observe(Hertz frequency, double qosMetric);
+
+    /** Observations so far. */
+    size_t observations() const { return fit_.count(); }
+
+    /** Whether the model can be queried (>= 2 observations). */
+    bool trained() const { return fit_.count() >= 2; }
+
+    /** Predicted QoS metric at a frequency. */
+    double predictQos(Hertz frequency) const;
+
+    /**
+     * Minimum frequency whose predicted metric meets `qosTarget`,
+     * assuming lower metric = better (latency semantics). Returns 0
+     * when any frequency meets it, and a very large value when the
+     * model says no frequency can.
+     */
+    Hertz frequencyForQos(double qosTarget) const;
+
+    /**
+     * Whether the application's QoS responds to frequency at all
+     * (|correlation| above threshold) — Fig. 18's "QoS sensitive to
+     * frequency?" branch.
+     */
+    bool frequencySensitive(double correlationThreshold = 0.3) const;
+
+    /** Reset all training data. */
+    void reset() { fit_.reset(); }
+
+  private:
+    stats::LinearFit fit_;
+};
+
+} // namespace agsim::core
+
+#endif // AGSIM_CORE_FREQ_QOS_MODEL_H

@@ -1,0 +1,54 @@
+#include "core/guardband_report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace agsim::core {
+
+double
+GuardbandReport::reclaimedFraction() const
+{
+    return staticGuardband > 0.0 ? reclaimed / staticGuardband : 0.0;
+}
+
+std::string
+GuardbandReport::toString() const
+{
+    char buf[400];
+    std::snprintf(
+        buf, sizeof(buf),
+        "guardband %.0f mV:\n"
+        "  reclaimed (undervolt) %5.1f mV (%4.1f%%)\n"
+        "  passive (loadline+IR) %5.1f mV (%4.1f%%)\n"
+        "  di/dt (typ + worst)   %5.1f mV (%4.1f%%)\n"
+        "  reserve               %5.1f mV (%4.1f%%)",
+        staticGuardband * 1e3, reclaimed * 1e3,
+        100.0 * reclaimed / staticGuardband, passive * 1e3,
+        100.0 * passive / staticGuardband, noise * 1e3,
+        100.0 * noise / staticGuardband, reserve * 1e3,
+        100.0 * reserve / staticGuardband);
+    return buf;
+}
+
+GuardbandReport
+makeGuardbandReport(const system::RunMetrics &metrics,
+                    Volts staticGuardband)
+{
+    fatalIf(staticGuardband <= 0.0, "guardband must be positive");
+    fatalIf(metrics.socketUndervolt.empty(), "metrics carry no sockets");
+
+    GuardbandReport report;
+    report.staticGuardband = staticGuardband;
+    report.reclaimed = std::max(metrics.socketUndervolt[0], 0.0);
+    report.passive = metrics.meanDecomposition.passive();
+    report.noise = metrics.meanDecomposition.typicalDidt +
+                   metrics.meanDecomposition.worstDidt;
+    report.reserve = std::max(
+        staticGuardband - report.reclaimed - report.passive - report.noise,
+        0.0);
+    return report;
+}
+
+} // namespace agsim::core

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Guardband utilization report: an operator-facing summary of where a
+ * run's voltage guardband went (the paper's Fig. 8 anatomy, measured).
+ *
+ * For a given run the static guardband splits into:
+ *   - reclaimed: the undervolt the firmware actually applied;
+ *   - passive: loadline + IR drop consumed by the load;
+ *   - noise: typical + worst-case di/dt the margin must absorb;
+ *   - reserve: everything else (calibrated margin, hysteresis, DAC
+ *     quantization, the firmware's max-undervolt bound).
+ */
+
+#ifndef AGSIM_CORE_GUARDBAND_REPORT_H
+#define AGSIM_CORE_GUARDBAND_REPORT_H
+
+#include <string>
+
+#include "common/units.h"
+#include "system/simulation.h"
+
+namespace agsim::core {
+
+/** The guardband split for one run, in volts. */
+struct GuardbandReport
+{
+    /** Total static guardband at the run's operating point. */
+    Volts staticGuardband = 0.0;
+    /** Undervolt the firmware reclaimed (socket 0 mean). */
+    Volts reclaimed = 0.0;
+    /** Passive drop (loadline + IR, core-0 mean). */
+    Volts passive = 0.0;
+    /** di/dt share (typical + worst-case characteristic). */
+    Volts noise = 0.0;
+    /** Residual reserve (non-negative up to model jitter). */
+    Volts reserve = 0.0;
+
+    /** Fraction of the guardband the firmware turned into savings. */
+    double reclaimedFraction() const;
+
+    /** Multi-line human-readable rendering. */
+    std::string toString() const;
+};
+
+/**
+ * Build a report from run metrics.
+ *
+ * @param metrics A run executed in AdaptiveUndervolt mode.
+ * @param staticGuardband The configured guardband (default model value).
+ */
+GuardbandReport makeGuardbandReport(const system::RunMetrics &metrics,
+                                    Volts staticGuardband = 0.150);
+
+} // namespace agsim::core
+
+#endif // AGSIM_CORE_GUARDBAND_REPORT_H

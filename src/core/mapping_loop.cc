@@ -1,0 +1,101 @@
+#include "core/mapping_loop.h"
+
+#include "common/error.h"
+#include "system/simulation.h"
+
+namespace agsim::core {
+
+namespace {
+
+/** Colocation measurement: chip MIPS + critical-core frequency. */
+std::pair<double, Hertz>
+measureColocation(const workload::BenchmarkProfile &critical,
+                  const workload::BenchmarkProfile &corunner,
+                  const MappingLoopConfig &config)
+{
+    system::Server server;
+    server.setMode(chip::GuardbandMode::AdaptiveOverclock);
+    system::WorkloadSimulation sim(&server);
+    sim.addJob(system::Job{
+        workload::ThreadedWorkload(critical, workload::RunMode::Rate),
+        {system::ThreadPlacement{0, 0}}, "critical"});
+    std::vector<system::ThreadPlacement> rest;
+    for (size_t core = 1; core < server.chip(0).coreCount(); ++core)
+        rest.push_back(system::ThreadPlacement{0, core});
+    sim.addJob(system::Job{
+        workload::ThreadedWorkload(corunner, workload::RunMode::Rate),
+        rest, corunner.name});
+    system::SimulationConfig simConfig;
+    simConfig.warmup = config.settle;
+    simConfig.measureDuration = config.measure;
+    const auto metrics = sim.run(simConfig);
+    return {metrics.meanChipMips, server.chip(0).coreFrequency(0)};
+}
+
+} // namespace
+
+MappingLoopResult
+runMappingLoop(const workload::BenchmarkProfile &critical,
+               const std::vector<workload::BenchmarkProfile> &
+                   corunnerClasses,
+               qos::WebSearchService &service,
+               AdaptiveMappingScheduler &scheduler,
+               const MappingLoopConfig &config)
+{
+    fatalIf(corunnerClasses.empty(), "mapping loop needs co-runners");
+    fatalIf(config.initialCorunner >= corunnerClasses.size(),
+            "initial co-runner out of range");
+    fatalIf(config.quanta == 0, "mapping loop needs at least one quantum");
+
+    // Colocation characteristics are stationary: measure each class
+    // once, reuse across quanta (the middleware equivalent of cached
+    // counter profiles).
+    std::vector<CorunnerOption> catalogue;
+    std::vector<Hertz> classFrequency;
+    for (const auto &corunner : corunnerClasses) {
+        const auto [mips, freq] = measureColocation(critical, corunner,
+                                                    config);
+        catalogue.push_back(CorunnerOption{
+            corunner.name, mips,
+            corunner.memoryBoundedness * mips});
+        classFrequency.push_back(freq);
+        scheduler.observeFrequency(mips, freq);
+    }
+
+    MappingLoopResult result;
+    size_t current = config.initialCorunner;
+    size_t lastChange = 0;
+    for (size_t q = 0; q < config.quanta; ++q) {
+        MappingQuantum quantum;
+        quantum.index = q;
+        quantum.corunner = corunnerClasses[current].name;
+        quantum.chipMips = catalogue[current].totalMips;
+        quantum.frequency = classFrequency[current];
+
+        service.reseed(service.params().seed + q);
+        const auto windows = service.simulate(quantum.frequency,
+                                              config.qosHorizon);
+        quantum.violationRate =
+            qos::WebSearchService::violationRate(windows);
+        quantum.meanP90 = qos::WebSearchService::meanP90(windows);
+        scheduler.observeQos(quantum.frequency, quantum.meanP90);
+
+        const auto decision = scheduler.decide(
+            quantum.violationRate, service.params().qosTargetP90,
+            config.criticalMips, current, catalogue);
+        quantum.swapped = decision.swap;
+        quantum.decisionReason = decision.reason;
+        if (decision.swap) {
+            current = decision.corunnerIndex;
+            lastChange = q + 1;
+        }
+        result.history.push_back(std::move(quantum));
+    }
+
+    result.initialViolationRate = result.history.front().violationRate;
+    result.finalViolationRate = result.history.back().violationRate;
+    result.convergedAt = lastChange;
+    return result;
+}
+
+} // namespace agsim::core

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Closed-loop adaptive mapping (paper Fig. 18, run end to end).
+ *
+ * The AdaptiveMappingScheduler makes one decision from one measurement;
+ * this runner closes the loop the way the paper's middleware does:
+ * every scheduling quantum it
+ *   1. colocates the critical app with the currently chosen co-runner
+ *      on a fresh platform and lets the hardware settle,
+ *   2. measures chip MIPS / critical-core frequency (training the
+ *      predictor) and the service's QoS over the quantum (training the
+ *      freq-QoS model),
+ *   3. asks the scheduler for a verdict and applies any swap.
+ * The QoS history it returns shows the violation rate collapsing after
+ * the malicious mapping is corrected — the paper's Sec. 5.2.2 story as
+ * a single call.
+ */
+
+#ifndef AGSIM_CORE_MAPPING_LOOP_H
+#define AGSIM_CORE_MAPPING_LOOP_H
+
+#include <string>
+#include <vector>
+
+#include "core/adaptive_mapping.h"
+#include "qos/websearch.h"
+#include "workload/profile.h"
+
+namespace agsim::core {
+
+/** One quantum's record. */
+struct MappingQuantum
+{
+    size_t index = 0;
+    /** Co-runner class active during the quantum. */
+    std::string corunner;
+    /** Measured chip MIPS. */
+    double chipMips = 0.0;
+    /** Critical core's frequency. */
+    Hertz frequency = 0.0;
+    /** QoS violation rate over the quantum. */
+    double violationRate = 0.0;
+    /** Mean windowed p90 over the quantum. */
+    Seconds meanP90 = 0.0;
+    /** Whether the scheduler swapped at the end of the quantum. */
+    bool swapped = false;
+    std::string decisionReason;
+};
+
+/** Loop configuration. */
+struct MappingLoopConfig
+{
+    /** Scheduling quanta to run. */
+    size_t quanta = 6;
+    /** Service time simulated per quantum (QoS windows per decision). */
+    Seconds qosHorizon = 6000.0;
+    /** Platform settle time per colocation measurement. */
+    Seconds settle = 0.8;
+    /** Platform measure time per colocation measurement. */
+    Seconds measure = 0.4;
+    /** Critical app's own MIPS estimate handed to the scheduler. */
+    double criticalMips = 4500.0;
+    /** Index of the initially (blindly) chosen co-runner class. */
+    size_t initialCorunner = 0;
+};
+
+/** Loop outcome. */
+struct MappingLoopResult
+{
+    std::vector<MappingQuantum> history;
+    /** Violation rate in the first quantum (the blind mapping). */
+    double initialViolationRate = 0.0;
+    /** Violation rate in the final quantum. */
+    double finalViolationRate = 0.0;
+    /** Quantum index after which the mapping stopped changing. */
+    size_t convergedAt = 0;
+};
+
+/**
+ * Run the closed loop.
+ *
+ * @param critical The latency-critical app's workload profile (runs on
+ *        core 0 of socket 0).
+ * @param corunnerClasses Candidate co-runner profiles (each fills the
+ *        other seven cores).
+ * @param service QoS model of the critical app (reseeded per quantum
+ *        for comparability).
+ * @param scheduler Scheduler to train and consult (mutated: it learns).
+ * @param config Loop controls.
+ */
+MappingLoopResult
+runMappingLoop(const workload::BenchmarkProfile &critical,
+               const std::vector<workload::BenchmarkProfile> &
+                   corunnerClasses,
+               qos::WebSearchService &service,
+               AdaptiveMappingScheduler &scheduler,
+               const MappingLoopConfig &config = MappingLoopConfig());
+
+} // namespace agsim::core
+
+#endif // AGSIM_CORE_MAPPING_LOOP_H

@@ -1,0 +1,48 @@
+#include "core/mips_predictor.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace agsim::core {
+
+void
+MipsFreqPredictor::observe(double chipMips, Hertz frequency)
+{
+    fatalIf(chipMips < 0.0, "negative MIPS observation");
+    fatalIf(frequency <= 0.0, "non-positive frequency observation");
+    fit_.add(chipMips, frequency);
+    meanFreqSum_ += frequency;
+}
+
+Hertz
+MipsFreqPredictor::predict(double chipMips) const
+{
+    fatalIf(!trained(), "predictor needs at least two observations");
+    return fit_.predict(chipMips);
+}
+
+double
+MipsFreqPredictor::maxMipsForFrequency(Hertz requiredFrequency) const
+{
+    fatalIf(!trained(), "predictor needs at least two observations");
+    const double slope = fit_.slope();
+    if (slope >= 0.0) {
+        // Degenerate (frequency not decreasing in MIPS): any load is
+        // admissible if the intercept meets the requirement.
+        return fit_.intercept() >= requiredFrequency ? 1e12 : 0.0;
+    }
+    const double mips = (requiredFrequency - fit_.intercept()) / slope;
+    return mips < 0.0 ? 0.0 : mips;
+}
+
+double
+MipsFreqPredictor::rmsePercent() const
+{
+    if (fit_.count() < 2 || meanFreqSum_ <= 0.0)
+        return 0.0;
+    const double meanFreq = meanFreqSum_ / double(fit_.count());
+    return 100.0 * fit_.rmse() / meanFreq;
+}
+
+} // namespace agsim::core

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * MIPS-based chip-frequency predictor (paper Sec. 5.2.1, Fig. 16).
+ *
+ * The adaptive-mapping scheduler needs to evaluate hypothetical workload
+ * combinations every quantum, so the predictor must be trivially cheap.
+ * The paper's insight: chip power tracks total chip MIPS to first order,
+ * and the adaptive-guardbanding frequency tracks power through the
+ * loadline/IR-drop chain (Fig. 10) — so a single linear model
+ *     frequency = intercept + slope * totalChipMips
+ * (slope negative) predicts the settled chip frequency with ~0.3% RMSE.
+ * The model trains online from (MIPS, frequency) observations gathered
+ * from hardware counters, exactly as the middleware scheduler would.
+ */
+
+#ifndef AGSIM_CORE_MIPS_PREDICTOR_H
+#define AGSIM_CORE_MIPS_PREDICTOR_H
+
+#include <cstddef>
+
+#include "common/units.h"
+#include "stats/linear_fit.h"
+
+namespace agsim::core {
+
+/**
+ * Online linear frequency predictor keyed on total chip MIPS.
+ */
+class MipsFreqPredictor
+{
+  public:
+    /** Record one training observation. @param chipMips Total chip MIPS. */
+    void observe(double chipMips, Hertz frequency);
+
+    /** Number of training observations. */
+    size_t observations() const { return fit_.count(); }
+
+    /** Whether the model has enough data to predict (>= 2 points). */
+    bool trained() const { return fit_.count() >= 2; }
+
+    /** Predicted settled chip frequency at the given total MIPS. */
+    Hertz predict(double chipMips) const;
+
+    /**
+     * Inverse query: the largest total chip MIPS whose predicted
+     * frequency still meets `requiredFrequency`. Returns 0 when even an
+     * idle chip cannot reach it.
+     */
+    double maxMipsForFrequency(Hertz requiredFrequency) const;
+
+    /** Fit slope (Hz per MIPS; negative in practice). */
+    double slope() const { return fit_.slope(); }
+
+    /** Fit intercept (Hz at zero MIPS). */
+    Hertz intercept() const { return fit_.intercept(); }
+
+    /** Absolute RMSE of the fit (Hz). */
+    Hertz rmse() const { return fit_.rmse(); }
+
+    /** RMSE as a percentage of the mean observed frequency. */
+    double rmsePercent() const;
+
+    /** R^2 of the fit. */
+    double r2() const { return fit_.r2(); }
+
+    /** Drop all training data. */
+    void reset() { fit_.reset(); meanFreqSum_ = 0.0; }
+
+  private:
+    stats::LinearFit fit_;
+    double meanFreqSum_ = 0.0;
+};
+
+} // namespace agsim::core
+
+#endif // AGSIM_CORE_MIPS_PREDICTOR_H

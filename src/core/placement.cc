@@ -1,0 +1,96 @@
+#include "core/placement.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace agsim::core {
+
+const char *
+placementPolicyName(PlacementPolicy policy)
+{
+    switch (policy) {
+      case PlacementPolicy::Consolidate: return "consolidate";
+      case PlacementPolicy::LoadlineBorrow: return "loadline-borrow";
+    }
+    return "?";
+}
+
+PlacementPlan
+makePlacementPlan(PlacementPolicy policy, size_t socketCount,
+                  size_t coresPerSocket, size_t threads,
+                  size_t poweredCoreBudget)
+{
+    fatalIf(socketCount == 0 || coresPerSocket == 0,
+            "placement needs a non-empty machine");
+    fatalIf(threads == 0, "placement needs at least one thread");
+    fatalIf(poweredCoreBudget < threads,
+            "powered-core budget smaller than the thread count");
+    fatalIf(poweredCoreBudget > socketCount * coresPerSocket,
+            "powered-core budget exceeds the machine");
+
+    PlacementPlan plan;
+
+    // Decide how many cores stay powered on per socket.
+    std::vector<size_t> poweredOn(socketCount, 0);
+    if (policy == PlacementPolicy::Consolidate) {
+        // Fill sockets in order: socket 0 first, spill only if needed.
+        size_t remaining = poweredCoreBudget;
+        for (size_t s = 0; s < socketCount && remaining > 0; ++s) {
+            poweredOn[s] = std::min(coresPerSocket, remaining);
+            remaining -= poweredOn[s];
+        }
+    } else {
+        // Balance the powered budget across all sockets.
+        for (size_t i = 0; i < poweredCoreBudget; ++i)
+            ++poweredOn[i % socketCount];
+    }
+
+    // Place threads onto the powered cores, socket-major for
+    // consolidation and round-robin for borrowing.
+    std::vector<size_t> used(socketCount, 0);
+    if (policy == PlacementPolicy::Consolidate) {
+        size_t placed = 0;
+        for (size_t s = 0; s < socketCount && placed < threads; ++s) {
+            while (used[s] < poweredOn[s] && placed < threads) {
+                plan.threads.push_back(system::ThreadPlacement{s, used[s]});
+                ++used[s];
+                ++placed;
+            }
+        }
+    } else {
+        size_t placed = 0;
+        size_t socket = 0;
+        while (placed < threads) {
+            if (used[socket] < poweredOn[socket]) {
+                plan.threads.push_back(
+                    system::ThreadPlacement{socket, used[socket]});
+                ++used[socket];
+                ++placed;
+            }
+            socket = (socket + 1) % socketCount;
+        }
+    }
+
+    // Remaining powered cores idle; everything else gates off.
+    for (size_t s = 0; s < socketCount; ++s) {
+        for (size_t c = 0; c < coresPerSocket; ++c) {
+            if (c < used[s])
+                continue; // runs a thread
+            if (c < poweredOn[s])
+                plan.idleCores.emplace_back(s, c);
+            else
+                plan.gatedCores.emplace_back(s, c);
+        }
+    }
+    return plan;
+}
+
+void
+applyGating(system::WorkloadSimulation &sim, const PlacementPlan &plan)
+{
+    for (const auto &[socket, core] : plan.gatedCores)
+        sim.gateCore(socket, core);
+}
+
+} // namespace agsim::core

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Socket placement policies: workload consolidation vs loadline
+ * borrowing (paper Sec. 5.1).
+ *
+ * Conventional wisdom consolidates threads onto one socket so the other
+ * can idle/sleep; on an adaptive-guardbanding platform that concentrates
+ * all current through one loadline and forfeits undervolting headroom.
+ * Loadline borrowing instead balances threads across sockets and
+ * power-gates the unneeded cores on every socket, so each socket keeps
+ * the same instant-response core budget while each loadline carries less
+ * current (Fig. 11).
+ *
+ * A PlacementPlan fixes, for a given thread count and powered-core
+ * budget, (a) where each thread runs and (b) which cores are power
+ * gated; the system layer executes it verbatim.
+ */
+
+#ifndef AGSIM_CORE_PLACEMENT_H
+#define AGSIM_CORE_PLACEMENT_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "system/simulation.h"
+
+namespace agsim::core {
+
+/** Socket placement policy. */
+enum class PlacementPolicy
+{
+    /** All threads on one socket; other sockets fully gated. */
+    Consolidate,
+    /** Threads balanced across sockets; spare cores gated everywhere. */
+    LoadlineBorrow,
+};
+
+/** Human-readable policy name. */
+const char *placementPolicyName(PlacementPolicy policy);
+
+/** A complete placement decision. */
+struct PlacementPlan
+{
+    /** Thread -> (socket, core). */
+    std::vector<system::ThreadPlacement> threads;
+    /** Cores to power-gate: (socket, core). */
+    std::vector<std::pair<size_t, size_t>> gatedCores;
+    /** Cores left powered-on idle (responsiveness reserve). */
+    std::vector<std::pair<size_t, size_t>> idleCores;
+};
+
+/**
+ * Build a placement plan.
+ *
+ * @param policy Consolidate or LoadlineBorrow.
+ * @param socketCount Sockets in the server.
+ * @param coresPerSocket Cores per socket.
+ * @param threads Threads to place (<= poweredCoreBudget).
+ * @param poweredCoreBudget Total cores that must stay powered on
+ *        (instant-response reserve; the paper keeps 8 of 16 on to cover
+ *        utilization up to 50%). Remaining cores are power gated.
+ */
+PlacementPlan makePlacementPlan(PlacementPolicy policy, size_t socketCount,
+                                size_t coresPerSocket, size_t threads,
+                                size_t poweredCoreBudget);
+
+/**
+ * Apply a plan to a simulation: adds gating; returns the thread
+ * placement for the caller to attach to its Job.
+ */
+void applyGating(system::WorkloadSimulation &sim, const PlacementPlan &plan);
+
+} // namespace agsim::core
+
+#endif // AGSIM_CORE_PLACEMENT_H

@@ -1,0 +1,35 @@
+#include "pdn/decomposition.h"
+
+#include <cstdio>
+
+namespace agsim::pdn {
+
+DropDecomposition
+DropDecomposition::operator+(const DropDecomposition &o) const
+{
+    return DropDecomposition{loadline + o.loadline,
+                             irGlobal + o.irGlobal, irLocal + o.irLocal,
+                             typicalDidt + o.typicalDidt,
+                             worstDidt + o.worstDidt};
+}
+
+DropDecomposition
+DropDecomposition::scaled(double k) const
+{
+    return DropDecomposition{loadline * k, irGlobal * k, irLocal * k,
+                             typicalDidt * k, worstDidt * k};
+}
+
+std::string
+DropDecomposition::toString() const
+{
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "loadline=%.1fmV ir_global=%.1fmV ir_local=%.1fmV "
+                  "didt_typ=%.1fmV didt_worst=%.1fmV total=%.1fmV",
+                  loadline * 1e3, irGlobal * 1e3, irLocal * 1e3,
+                  typicalDidt * 1e3, worstDidt * 1e3, total() * 1e3);
+    return buf;
+}
+
+} // namespace agsim::pdn

@@ -1,0 +1,104 @@
+#include "pdn/didt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace agsim::pdn {
+
+DidtModel::DidtModel(const DidtParams &params, uint64_t seed, uint64_t stream)
+    : params_(params), rng_(seed, stream)
+{
+    fatalIf(params_.droopRatePerSecond < 0.0, "negative droop rate");
+    fatalIf(params_.alignmentGrowth < 0.0, "negative alignment growth");
+    fatalIf(params_.depthJitter < 0.0 || params_.rippleJitter < 0.0,
+            "negative jitter");
+}
+
+void
+DidtModel::reseed(uint64_t seed, uint64_t stream)
+{
+    rng_.reseed(seed, stream);
+}
+
+size_t
+DidtModel::activeCount(const std::vector<Volts> &amps)
+{
+    size_t n = 0;
+    for (Volts a : amps) {
+        if (a > 0.0)
+            ++n;
+    }
+    return n;
+}
+
+Volts
+DidtModel::typicalLevel(const std::vector<Volts> &typicalAmps) const
+{
+    const size_t active = activeCount(typicalAmps);
+    if (active == 0)
+        return 0.0;
+    // Mean amplitude of the active cores, smoothed by staggering: the
+    // shared PDN averages independent per-core ripple so the chip-level
+    // amplitude falls off as 1/sqrt(active).
+    Volts sum = 0.0;
+    for (Volts a : typicalAmps)
+        sum += a;
+    const Volts meanAmp = sum / double(active);
+    return meanAmp / std::sqrt(double(active));
+}
+
+Volts
+DidtModel::worstDepth(const std::vector<Volts> &worstAmps) const
+{
+    const size_t active = activeCount(worstAmps);
+    if (active == 0)
+        return 0.0;
+    Volts peak = 0.0;
+    for (Volts a : worstAmps)
+        peak = std::max(peak, a);
+    // Random alignment across cores deepens the worst sag slightly with
+    // each doubling of active cores (Sec. 4.3 observation).
+    return peak * (1.0 + params_.alignmentGrowth *
+                   std::log2(double(active)));
+}
+
+DidtSample
+DidtModel::step(const std::vector<Volts> &typicalAmps,
+                const std::vector<Volts> &worstAmps, Seconds dt)
+{
+    panicIf(typicalAmps.size() != worstAmps.size(),
+            "didt amplitude vector size mismatch");
+    panicIf(dt < 0.0, "negative didt step");
+
+    DidtSample sample;
+    sample.typicalMean = typicalLevel(typicalAmps);
+    if (sample.typicalMean > 0.0) {
+        const double jitter =
+            1.0 + params_.rippleJitter * rng_.normal();
+        sample.typicalNow = std::max(0.0, sample.typicalMean * jitter);
+    }
+
+    const size_t active = activeCount(worstAmps);
+    if (active > 0) {
+        const double rate = params_.droopRatePerSecond *
+                            (1.0 + params_.ratePerExtraCore *
+                             double(active - 1));
+        sample.droopEvents = rng_.poisson(rate * dt);
+        if (sample.droopEvents > 0) {
+            const Volts base = worstDepth(worstAmps);
+            // Depth of the deepest of k events: apply positive-biased
+            // jitter once per event and keep the max.
+            for (int i = 0; i < sample.droopEvents; ++i) {
+                const double jitter =
+                    std::exp(params_.depthJitter * rng_.normal());
+                sample.worstDroop = std::max(sample.worstDroop,
+                                             base * jitter);
+            }
+        }
+    }
+    return sample;
+}
+
+} // namespace agsim::pdn

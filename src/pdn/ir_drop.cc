@@ -1,0 +1,75 @@
+#include "pdn/ir_drop.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace agsim::pdn {
+
+IrDropModel::IrDropModel(const IrDropParams &params)
+    : params_(params)
+{
+    fatalIf(params_.globalResistance < 0.0 || params_.localResistance < 0.0,
+            "negative grid resistance");
+    fatalIf(params_.coreCount == 0, "ir-drop model needs cores");
+    fatalIf(params_.coresPerRow == 0, "cores per row must be positive");
+    fatalIf(params_.neighbourCoupling < 0.0 || params_.neighbourCoupling > 1.0,
+            "neighbour coupling must be in [0,1]");
+    fatalIf(params_.farCoupling < 0.0 ||
+            params_.farCoupling > params_.neighbourCoupling,
+            "far coupling must be in [0, neighbourCoupling]");
+}
+
+Volts
+IrDropModel::globalDrop(Amps chipCurrent) const
+{
+    panicIf(chipCurrent < 0.0, "negative chip current");
+    return params_.globalResistance * chipCurrent;
+}
+
+bool
+IrDropModel::adjacent(size_t a, size_t b) const
+{
+    if (a == b)
+        return false;
+    const size_t rowA = a / params_.coresPerRow;
+    const size_t rowB = b / params_.coresPerRow;
+    const size_t colA = a % params_.coresPerRow;
+    const size_t colB = b % params_.coresPerRow;
+    // Same row, adjacent column; or same column, adjacent row (the core
+    // directly across the other floorplan row).
+    if (rowA == rowB)
+        return colA + 1 == colB || colB + 1 == colA;
+    if (colA == colB)
+        return rowA + 1 == rowB || rowB + 1 == rowA;
+    return false;
+}
+
+Volts
+IrDropModel::localDrop(size_t core, const std::vector<Amps> &coreCurrents) const
+{
+    panicIf(core >= params_.coreCount, "core index out of range");
+    panicIf(coreCurrents.size() != params_.coreCount,
+            "core current vector size mismatch");
+
+    Volts drop = params_.localResistance * coreCurrents[core];
+    for (size_t other = 0; other < params_.coreCount; ++other) {
+        if (other == core)
+            continue;
+        const double coupling = adjacent(core, other)
+                                    ? params_.neighbourCoupling
+                                    : params_.farCoupling;
+        drop += coupling * params_.localResistance * coreCurrents[other];
+    }
+    return drop;
+}
+
+Volts
+IrDropModel::onChipVoltage(size_t core, Volts railVoltage, Amps chipCurrent,
+                           const std::vector<Amps> &coreCurrents) const
+{
+    return railVoltage - globalDrop(chipCurrent) -
+           localDrop(core, coreCurrents);
+}
+
+} // namespace agsim::pdn

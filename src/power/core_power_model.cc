@@ -1,0 +1,59 @@
+#include "power/core_power_model.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace agsim::power {
+
+CorePowerModel::CorePowerModel(const PowerModelParams &params)
+    : params_(params)
+{
+    fatalIf(params_.refVoltage <= 0.0, "reference voltage must be positive");
+    fatalIf(params_.refFrequency <= 0.0,
+            "reference frequency must be positive");
+    fatalIf(params_.coreDynamicAtRef < 0.0 || params_.coreLeakageAtRef < 0.0,
+            "negative reference power");
+    fatalIf(params_.gatedLeakageFraction < 0.0 ||
+            params_.gatedLeakageFraction > 1.0,
+            "gated leakage fraction must be in [0,1]");
+}
+
+Watts
+CorePowerModel::coreDynamic(Volts v, Hertz f, double activity) const
+{
+    panicIf(activity < 0.0, "negative activity");
+    const double vr = v / params_.refVoltage;
+    const double fr = f / params_.refFrequency;
+    return params_.coreDynamicAtRef * vr * vr * fr * activity;
+}
+
+double
+CorePowerModel::leakageScale(Volts v, Celsius temperature) const
+{
+    const double vr = v / params_.refVoltage;
+    const double tempScale = std::exp2(
+        (temperature - params_.refTemperature) / params_.leakageDoublingTemp);
+    return std::pow(vr, params_.leakageVoltageExponent) * tempScale;
+}
+
+Watts
+CorePowerModel::coreLeakage(Volts v, Celsius temperature, bool gated) const
+{
+    const Watts full = params_.coreLeakageAtRef * leakageScale(v, temperature);
+    return gated ? full * params_.gatedLeakageFraction : full;
+}
+
+Watts
+CorePowerModel::uncore(Volts v, Celsius temperature) const
+{
+    // Uncore is roughly 70% switching (V^2 at near-constant fabric clock)
+    // and 30% leakage-like at the calibration point.
+    const double vr = v / params_.refVoltage;
+    const Watts dynamicPart = 0.7 * params_.uncoreAtRef * vr * vr;
+    const Watts leakagePart = 0.3 * params_.uncoreAtRef *
+                              leakageScale(v, temperature);
+    return dynamicPart + leakagePart;
+}
+
+} // namespace agsim::power

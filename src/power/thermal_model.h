@@ -1,0 +1,60 @@
+/**
+ * @file
+ * First-order chip thermal model.
+ *
+ * The paper observes die temperature moving between 27 °C (low frequency,
+ * idle-ish) and 38 °C (peak) and reports that this swing does not
+ * significantly influence CPM readings (Sec. 4.1). We model temperature
+ * only because leakage depends on it: a single thermal RC node driven by
+ * chip power, with POWER7+-enterprise-cooling-calibrated resistance.
+ */
+
+#ifndef AGSIM_POWER_THERMAL_MODEL_H
+#define AGSIM_POWER_THERMAL_MODEL_H
+
+#include "common/units.h"
+
+namespace agsim::power {
+
+/** Thermal model tunables. */
+struct ThermalParams
+{
+    /** Inlet/ambient temperature. */
+    Celsius ambient = 25.0;
+    /** Junction-to-ambient thermal resistance (°C per watt). */
+    double thermalResistance = 0.095;
+    /** Thermal time constant of the die + heatsink node. */
+    Seconds timeConstant = 8.0;
+};
+
+/**
+ * Single-node RC thermal model: dT/dt = (T_ss(P) - T) / tau.
+ */
+class ThermalModel
+{
+  public:
+    explicit ThermalModel(const ThermalParams &params = ThermalParams());
+
+    /** Current junction temperature. */
+    Celsius temperature() const { return temperature_; }
+
+    /** Steady-state temperature at the given power. */
+    Celsius steadyState(Watts power) const;
+
+    /** Advance the node by dt under the given chip power. */
+    void step(Watts power, Seconds dt);
+
+    /** Jump straight to steady state (used for run warm-up). */
+    void settle(Watts power);
+
+    /** Reset to ambient. */
+    void reset();
+
+  private:
+    ThermalParams params_;
+    Celsius temperature_;
+};
+
+} // namespace agsim::power
+
+#endif // AGSIM_POWER_THERMAL_MODEL_H

@@ -1,0 +1,61 @@
+#include "power/vf_curve.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace agsim::power {
+
+VfCurve::VfCurve(const VfCurveParams &params)
+    : params_(params)
+{
+    fatalIf(params_.voltsPerHertz <= 0.0, "vf curve slope must be positive");
+    fatalIf(params_.refFrequency <= params_.minFrequency,
+            "vf curve frequency window is empty");
+    fatalIf(params_.staticGuardband < 0.0, "negative static guardband");
+    fatalIf(params_.calibratedMargin < 0.0, "negative calibrated margin");
+    fatalIf(params_.overclockCeiling < 1.0,
+            "overclock ceiling below nominal frequency");
+}
+
+Volts
+VfCurve::vminAt(Hertz f) const
+{
+    return params_.refVmin + params_.voltsPerHertz *
+           (f - params_.refFrequency);
+}
+
+Hertz
+VfCurve::fmaxAt(Volts v) const
+{
+    const Hertz raw = params_.refFrequency +
+                      (v - params_.refVmin) / params_.voltsPerHertz;
+    const Hertz ceiling = params_.refFrequency * params_.overclockCeiling;
+    return std::clamp(raw, 0.0, ceiling);
+}
+
+Hertz
+VfCurve::fmaxWithMargin(Volts v) const
+{
+    return fmaxAt(v - params_.calibratedMargin);
+}
+
+Volts
+VfCurve::vddStatic(Hertz f) const
+{
+    return vminAt(f) + params_.staticGuardband;
+}
+
+Volts
+VfCurve::marginAt(Volts v, Hertz f) const
+{
+    return v - vminAt(f);
+}
+
+Hertz
+VfCurve::marginToFrequency(Volts margin) const
+{
+    return margin / params_.voltsPerHertz;
+}
+
+} // namespace agsim::power

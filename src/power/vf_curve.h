@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Voltage-frequency curve and guardband anatomy (paper Fig. 1 / Fig. 8).
+ *
+ * The model is first-order linear in the POWER7+ DVFS window
+ * (2.8-4.2 GHz / 940-1200 mV), matching the near-linear diagonals of the
+ * paper's Fig. 6a: each +28 MHz step costs ~5.2 mV, i.e. the circuit speed
+ * sensitivity is ~5.4 MHz/mV (~0.185 mV/MHz).
+ *
+ * Definitions used throughout agsim:
+ *  - vmin(f): the at-transistor voltage at which timing margin is exactly
+ *    zero for frequency f ("actual needed voltage" in Fig. 1a).
+ *  - static VRM setpoint: vdd_static(f) = vmin(f) + guardband. The
+ *    guardband is sized to absorb worst-case passive drop (loadline + IR),
+ *    worst-case di/dt droops and calibration error (Fig. 8).
+ *  - adaptive modes run the CPM-DPLL loop at a small calibrated margin
+ *    above vmin instead of carrying the full static guardband.
+ */
+
+#ifndef AGSIM_POWER_VF_CURVE_H
+#define AGSIM_POWER_VF_CURVE_H
+
+#include "common/units.h"
+
+namespace agsim::power {
+
+/** Tunable parameters for the V/f model, POWER7+-calibrated defaults. */
+struct VfCurveParams
+{
+    /** Reference (peak) frequency: the chip's nominal DVFS top point. */
+    Hertz refFrequency = 4.2e9;
+    /** Minimum DVFS frequency. */
+    Hertz minFrequency = 2.8e9;
+    /** At-transistor voltage where margin is zero at refFrequency. */
+    Volts refVmin = 1.050;
+    /** Circuit-speed slope: volts of vmin per hertz (~0.185 mV/MHz). */
+    double voltsPerHertz = 0.185e-9;
+    /** Static voltage guardband applied by the baseline system. */
+    Volts staticGuardband = 0.150;
+    /**
+     * Margin the CPM-DPLL loop is calibrated to preserve above vmin
+     * (the "remaining guardband ... to tolerate nondeterministic sources
+     * of error" of Sec. 2.1).
+     */
+    Volts calibratedMargin = 0.006;
+    /**
+     * Hard DPLL overclock ceiling relative to refFrequency (ratio).
+     * The paper: "clock frequency can be boosted by as much as 10%".
+     */
+    double overclockCeiling = 1.10;
+};
+
+/**
+ * The voltage-frequency relationship plus guardband bookkeeping.
+ *
+ * All voltages here are *at-transistor* (on-chip, after all drops) unless
+ * a method name says otherwise.
+ */
+class VfCurve
+{
+  public:
+    explicit VfCurve(const VfCurveParams &params = VfCurveParams());
+
+    const VfCurveParams &params() const { return params_; }
+
+    /** Zero-margin voltage needed at frequency f. */
+    Volts vminAt(Hertz f) const;
+
+    /**
+     * Highest frequency with non-negative timing margin at on-chip
+     * voltage v, clamped to the DPLL range [0, overclock ceiling].
+     */
+    Hertz fmaxAt(Volts v) const;
+
+    /**
+     * Highest frequency that still preserves the calibrated margin at
+     * on-chip voltage v — what the CPM-DPLL loop settles to.
+     */
+    Hertz fmaxWithMargin(Volts v) const;
+
+    /** Static-guardband VRM setpoint for target frequency f. */
+    Volts vddStatic(Hertz f) const;
+
+    /** Timing margin (volts above vmin) at voltage v, frequency f. */
+    Volts marginAt(Volts v, Hertz f) const;
+
+    /**
+     * Convert a voltage margin into the frequency headroom it buys
+     * (volts -> hertz via the curve slope).
+     */
+    Hertz marginToFrequency(Volts margin) const;
+
+  private:
+    VfCurveParams params_;
+};
+
+} // namespace agsim::power
+
+#endif // AGSIM_POWER_VF_CURVE_H

@@ -1,0 +1,39 @@
+#include "qos/service_presets.h"
+
+namespace agsim::qos {
+
+WebSearchParams
+webSearchPreset()
+{
+    return WebSearchParams(); // the calibrated Fig. 17 defaults
+}
+
+WebSearchParams
+keyValuePreset()
+{
+    WebSearchParams params;
+    params.arrivalRatePerSec = 2000.0;
+    params.serviceMeanAtNominal = 320e-6;
+    params.serviceSigma = 0.35;
+    params.memoryBoundedness = 0.25; // cache lookups stall on DRAM
+    params.frequencyExponent = 1.2;  // no fan-out amplification
+    params.windowLength = 5.0;
+    params.qosTargetP90 = 1e-3;
+    return params;
+}
+
+WebSearchParams
+analyticsPreset()
+{
+    WebSearchParams params;
+    params.arrivalRatePerSec = 0.08;
+    params.serviceMeanAtNominal = 4.8;
+    params.serviceSigma = 0.20;
+    params.memoryBoundedness = 0.15;
+    params.frequencyExponent = 1.6;
+    params.windowLength = 1800.0;
+    params.qosTargetP90 = 8.0;
+    return params;
+}
+
+} // namespace agsim::qos

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Parameter presets for common latency-critical service classes.
+ *
+ * The paper evaluates one service (WebSearch); real fleets colocate
+ * several classes with very different latency scales and tail
+ * sensitivities. These presets reuse the WebSearchService queueing
+ * model with class-appropriate constants so Fig. 17-style studies
+ * generalize.
+ */
+
+#ifndef AGSIM_QOS_SERVICE_PRESETS_H
+#define AGSIM_QOS_SERVICE_PRESETS_H
+
+#include "qos/websearch.h"
+
+namespace agsim::qos {
+
+/**
+ * Search leaf (the paper's WebSearch): ~0.3 s queries, 0.5 s p90 SLA,
+ * strong tail amplification through fan-out.
+ */
+WebSearchParams webSearchPreset();
+
+/**
+ * Key-value cache (memcached-like): sub-millisecond requests at high
+ * arrival rate, 1 ms p90 SLA, mild amplification (no fan-out).
+ */
+WebSearchParams keyValuePreset();
+
+/**
+ * Interactive analytics: multi-second queries, 8 s p90 SLA, moderate
+ * amplification.
+ */
+WebSearchParams analyticsPreset();
+
+} // namespace agsim::qos
+
+#endif // AGSIM_QOS_SERVICE_PRESETS_H

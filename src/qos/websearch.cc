@@ -1,0 +1,139 @@
+#include "qos/websearch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "stats/percentile.h"
+
+namespace agsim::qos {
+
+WebSearchService::WebSearchService(const WebSearchParams &params)
+    : params_(params), rng_(params.seed, 0x9e5u)
+{
+    fatalIf(params_.arrivalRatePerSec <= 0.0,
+            "arrival rate must be positive");
+    fatalIf(params_.serviceMeanAtNominal <= 0.0,
+            "service demand must be positive");
+    fatalIf(params_.serviceSigma < 0.0, "negative service sigma");
+    fatalIf(params_.nominalFrequency <= 0.0,
+            "nominal frequency must be positive");
+    fatalIf(params_.memoryBoundedness < 0.0 ||
+            params_.memoryBoundedness > 1.0,
+            "memoryBoundedness out of [0, 1]");
+    fatalIf(params_.windowLength <= 0.0, "window must be positive");
+    fatalIf(params_.qosTargetP90 <= 0.0, "QoS target must be positive");
+}
+
+void
+WebSearchService::reseed(uint64_t seed)
+{
+    rng_.reseed(seed, 0x9e5u);
+}
+
+double
+WebSearchService::serviceScale(Hertz frequency) const
+{
+    panicIf(frequency <= 0.0, "service frequency must be positive");
+    // Throughput scales as (1-mb) * f/fnom + mb; latency inversely,
+    // amplified by the tail exponent.
+    const double mb = params_.memoryBoundedness;
+    const double rate = (1.0 - mb) * (frequency / params_.nominalFrequency) +
+                        mb;
+    return std::pow(1.0 / rate, params_.frequencyExponent);
+}
+
+std::vector<QosWindow>
+WebSearchService::simulate(Hertz frequency, Seconds duration,
+                           double interference)
+{
+    fatalIf(duration <= 0.0, "duration must be positive");
+    fatalIf(interference < 0.0, "negative interference");
+
+    const double scale = serviceScale(frequency) * (1.0 + interference);
+    // Lognormal with the requested mean: median = mean / exp(sigma^2/2).
+    const double sigma = params_.serviceSigma;
+    const double median = params_.serviceMeanAtNominal *
+                          std::exp(-sigma * sigma / 2.0);
+
+    std::vector<QosWindow> windows;
+    stats::PercentileTracker windowLatencies;
+    Seconds windowEnd = params_.windowLength;
+    Seconds now = 0.0;
+    Seconds serverFreeAt = 0.0;
+    double latencySum = 0.0;
+
+    auto closeWindow = [&]() {
+        QosWindow window;
+        window.queries = windowLatencies.count();
+        if (window.queries > 0) {
+            window.p90 = windowLatencies.percentile(90.0);
+            window.meanLatency = latencySum / double(window.queries);
+        }
+        window.violated = window.p90 > params_.qosTargetP90;
+        windows.push_back(window);
+        windowLatencies.clear();
+        latencySum = 0.0;
+    };
+
+    while (true) {
+        now += rng_.exponential(params_.arrivalRatePerSec);
+        if (now >= duration)
+            break;
+        while (now >= windowEnd && windowEnd <= duration) {
+            closeWindow();
+            windowEnd += params_.windowLength;
+        }
+        const Seconds service = median *
+            std::exp(sigma * rng_.normal()) * scale;
+        const Seconds start = std::max(now, serverFreeAt);
+        serverFreeAt = start + service;
+        const Seconds latency = serverFreeAt - now;
+        windowLatencies.add(latency);
+        latencySum += latency;
+    }
+    // Close remaining full windows only (partial tails are discarded so
+    // every window aggregates the same exposure).
+    while (windowEnd <= duration) {
+        closeWindow();
+        windowEnd += params_.windowLength;
+    }
+    return windows;
+}
+
+double
+WebSearchService::violationRate(const std::vector<QosWindow> &windows)
+{
+    if (windows.empty())
+        return 0.0;
+    size_t violated = 0;
+    for (const auto &w : windows) {
+        if (w.violated)
+            ++violated;
+    }
+    return double(violated) / double(windows.size());
+}
+
+Seconds
+WebSearchService::meanP90(const std::vector<QosWindow> &windows)
+{
+    if (windows.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &w : windows)
+        sum += w.p90;
+    return sum / double(windows.size());
+}
+
+std::vector<Seconds>
+WebSearchService::sortedP90(const std::vector<QosWindow> &windows)
+{
+    std::vector<Seconds> out;
+    out.reserve(windows.size());
+    for (const auto &w : windows)
+        out.push_back(w.p90);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace agsim::qos

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Latency-critical service model (WebSearch-like, paper Sec. 5.2.2).
+ *
+ * The paper evaluates adaptive mapping with CloudSuite WebSearch pinned
+ * to one core, measuring the 90th-percentile query latency per window
+ * against a 0.5 s QoS target while co-runners perturb chip frequency.
+ * We model the service as a single-server FIFO queue:
+ *  - Poisson query arrivals;
+ *  - lognormal service demand, scaled by core frequency through the same
+ *    memory-boundedness law as workload throughput (a fully core-bound
+ *    service would scale 1/f), plus an optional multiplicative
+ *    interference penalty from memory-aggressive co-runners;
+ *  - latency = queueing delay + service time;
+ *  - windows of fixed length; each window's p90 is one sample of the
+ *    Fig. 17 CDF; a window violates QoS when its p90 exceeds the target.
+ */
+
+#ifndef AGSIM_QOS_WEBSEARCH_H
+#define AGSIM_QOS_WEBSEARCH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace agsim::qos {
+
+/** Service-model tunables (calibrated to Fig. 17's 440-540 ms range). */
+struct WebSearchParams
+{
+    /** Mean query arrival rate. */
+    double arrivalRatePerSec = 0.7;
+    /** Mean service demand at the nominal frequency. */
+    Seconds serviceMeanAtNominal = 0.338;
+    /** Lognormal sigma of service demand. */
+    double serviceSigma = 0.12;
+    /** Frequency the service demand is quoted at. */
+    Hertz nominalFrequency = 4.2e9;
+    /** Memory-boundedness: governs how latency responds to frequency. */
+    double memoryBoundedness = 0.0;
+    /**
+     * Tail-amplification exponent: query latency scales with
+     * (1/frequency-scale)^exponent. Search leaf latency compounds
+     * frequency loss through fan-out waits and queueing, so the tail
+     * responds super-linearly to clock changes.
+     */
+    double frequencyExponent = 2.0;
+    /** QoS evaluation window. */
+    Seconds windowLength = 150.0;
+    /** p90-latency QoS target (SLA). */
+    Seconds qosTargetP90 = 0.5;
+    /** RNG seed. */
+    uint64_t seed = 0x5EA2C4u;
+};
+
+/** One QoS window outcome. */
+struct QosWindow
+{
+    Seconds p90 = 0.0;
+    Seconds meanLatency = 0.0;
+    size_t queries = 0;
+    bool violated = false;
+};
+
+/**
+ * The service simulator.
+ */
+class WebSearchService
+{
+  public:
+    explicit WebSearchService(const WebSearchParams &params =
+                                  WebSearchParams());
+
+    const WebSearchParams &params() const { return params_; }
+
+    /**
+     * Simulate the service for `duration` at a fixed core frequency.
+     *
+     * @param frequency The core's clock frequency (from the adaptive
+     *        guardbanding hardware; co-runners move it).
+     * @param duration Total simulated time.
+     * @param interference Multiplicative service-time penalty from
+     *        co-runner memory pressure (0 = none).
+     * @return One QosWindow per completed window.
+     */
+    std::vector<QosWindow> simulate(Hertz frequency, Seconds duration,
+                                    double interference = 0.0);
+
+    /** Fraction of windows violating the QoS target. */
+    static double violationRate(const std::vector<QosWindow> &windows);
+
+    /** Mean p90 across windows. */
+    static Seconds meanP90(const std::vector<QosWindow> &windows);
+
+    /** Sorted p90 values (the Fig. 17 CDF x-values). */
+    static std::vector<Seconds>
+    sortedP90(const std::vector<QosWindow> &windows);
+
+    /** Reset the RNG (reproducible re-runs). */
+    void reseed(uint64_t seed);
+
+  private:
+    /** Frequency scaling of service demand (>=, = 1 at nominal f). */
+    double serviceScale(Hertz frequency) const;
+
+    WebSearchParams params_;
+    Rng rng_;
+};
+
+} // namespace agsim::qos
+
+#endif // AGSIM_QOS_WEBSEARCH_H

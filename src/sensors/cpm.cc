@@ -1,0 +1,72 @@
+#include "sensors/cpm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace agsim::sensors {
+
+Cpm::Cpm(const power::VfCurve *curve, const CpmParams &params,
+         double sensitivityScale, double offsetBits,
+         double controlOffsetBits)
+    : curve_(curve), params_(params), sensitivityScale_(sensitivityScale),
+      offsetBits_(offsetBits), controlOffsetBits_(controlOffsetBits)
+{
+    fatalIf(curve_ == nullptr, "CPM needs a VfCurve");
+    fatalIf(params_.positions < 2, "CPM needs at least two positions");
+    fatalIf(params_.calibrationPosition < 0 ||
+            params_.calibrationPosition >= params_.positions,
+            "CPM calibration position out of range");
+    fatalIf(params_.voltsPerBitAtRef <= 0.0,
+            "CPM sensitivity must be positive");
+    fatalIf(sensitivityScale_ <= 0.0,
+            "CPM sensitivity scale must be positive");
+}
+
+Volts
+Cpm::voltsPerBit(Hertz f) const
+{
+    const double ratio = curve_->params().refFrequency / f;
+    return params_.voltsPerBitAtRef * sensitivityScale_ *
+           std::pow(ratio, params_.sensitivityFreqExponent);
+}
+
+double
+Cpm::rawPosition(Volts v, Hertz f) const
+{
+    // Margin relative to the calibrated operating point: at margin ==
+    // calibratedMargin the CPM outputs exactly its calibration position.
+    const Volts margin = curve_->marginAt(v, f);
+    const Volts excess = margin - curve_->params().calibratedMargin;
+    return double(params_.calibrationPosition) + excess / voltsPerBit(f) +
+           offsetBits_;
+}
+
+int
+Cpm::read(Volts v, Hertz f) const
+{
+    const double raw = rawPosition(v, f);
+    const int quantized = int(std::floor(raw + 0.5));
+    return std::clamp(quantized, 0, params_.positions - 1);
+}
+
+Volts
+Cpm::controlBias(Hertz f) const
+{
+    return controlOffsetBits_ * voltsPerBit(f);
+}
+
+Volts
+Cpm::positionToVoltage(double position, Hertz f) const
+{
+    // Inversion with *nominal* sensitivity: the experimenter's view.
+    const double ratio = curve_->params().refFrequency / f;
+    const Volts nominalVpb = params_.voltsPerBitAtRef *
+        std::pow(ratio, params_.sensitivityFreqExponent);
+    const Volts excess =
+        (position - double(params_.calibrationPosition)) * nominalVpb;
+    return curve_->vminAt(f) + curve_->params().calibratedMargin + excess;
+}
+
+} // namespace agsim::sensors

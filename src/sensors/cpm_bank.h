@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Per-core CPM bank and the chip-wide 40-CPM array.
+ *
+ * POWER7+ places 5 CPMs in different units of each core (40 per chip) so
+ * spatial variation within a core is observable. Every cycle the lowest
+ * CPM value in a core is what the DPLL compares against the calibration
+ * position (paper Sec. 2.2); agsim mirrors that with minRead().
+ *
+ * Process variation personality: some cores have tight CPM agreement and
+ * others spread visibly (paper Fig. 6b attributes this to process
+ * variation and calibration error); the bank draws per-CPM variation from
+ * a per-core variance class.
+ */
+
+#ifndef AGSIM_SENSORS_CPM_BANK_H
+#define AGSIM_SENSORS_CPM_BANK_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "power/vf_curve.h"
+#include "sensors/cpm.h"
+
+namespace agsim::sensors {
+
+/**
+ * The 5 CPMs of one core.
+ */
+class CpmBank
+{
+  public:
+    /**
+     * @param curve Shared V/f model (not owned).
+     * @param params CPM constants.
+     * @param coreId Core index (selects the variance class).
+     * @param seed Chip-level seed freezing the variation personality.
+     * @param cpmsPerCore Number of CPM instances (POWER7+: 5).
+     */
+    CpmBank(const power::VfCurve *curve, const CpmParams &params,
+            size_t coreId, uint64_t seed, size_t cpmsPerCore = 5);
+
+    /** Number of CPM instances. */
+    size_t size() const { return cpms_.size(); }
+
+    /** Read a single CPM. */
+    int read(size_t index, Volts v, Hertz f) const;
+
+    /** Lowest reading across the bank (what the DPLL consumes). */
+    int minRead(Volts v, Hertz f) const;
+
+    /** Mean (fractional) position across the bank. */
+    double meanRaw(Volts v, Hertz f) const;
+
+    /** Per-instance sensitivity at frequency f (for Fig. 6b). */
+    Volts voltsPerBit(size_t index, Hertz f) const;
+
+    /** Mean sensitivity across the bank at frequency f. */
+    Volts meanVoltsPerBit(Hertz f) const;
+
+    /**
+     * The control-path voltage bias of this core: the DPLL follows the
+     * *lowest* CPM, so the most pessimistic residual calibration error
+     * in the bank governs.
+     */
+    Volts controlBias(Hertz f) const;
+
+    /** Access an instance (e.g. for voltage inversion). */
+    const Cpm &cpm(size_t index) const;
+
+  private:
+    std::vector<Cpm> cpms_;
+};
+
+/**
+ * All CPM banks of one chip (8 cores x 5 CPMs = 40).
+ */
+class ChipCpmArray
+{
+  public:
+    ChipCpmArray(const power::VfCurve *curve, const CpmParams &params,
+                 size_t coreCount, uint64_t seed, size_t cpmsPerCore = 5);
+
+    size_t coreCount() const { return banks_.size(); }
+
+    const CpmBank &bank(size_t core) const;
+
+    /**
+     * Chip-wide mean raw position given per-core voltages and
+     * frequencies (the paper's Fig. 6a averages all 40 CPMs).
+     */
+    double chipMeanRaw(const std::vector<Volts> &coreVoltages,
+                       const std::vector<Hertz> &coreFrequencies) const;
+
+  private:
+    std::vector<CpmBank> banks_;
+};
+
+} // namespace agsim::sensors
+
+#endif // AGSIM_SENSORS_CPM_BANK_H

@@ -1,0 +1,101 @@
+#include "sensors/telemetry.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace agsim::sensors {
+
+Telemetry::Telemetry(size_t coreCount, const TelemetryParams &params)
+    : params_(params), coreCount_(coreCount)
+{
+    fatalIf(coreCount_ == 0, "telemetry needs at least one core");
+    fatalIf(params_.windowLength <= 0.0,
+            "telemetry window must be positive");
+    lastSample_.assign(coreCount_, 0);
+    stickyMin_.assign(coreCount_, std::numeric_limits<int>::max());
+    voltageSum_.assign(coreCount_, 0.0);
+    frequencySum_.assign(coreCount_, 0.0);
+}
+
+void
+Telemetry::step(const StepObservation &obs, Seconds dt)
+{
+    panicIf(obs.sampleCpm.size() != coreCount_ ||
+            obs.stickyCpm.size() != coreCount_ ||
+            obs.coreVoltage.size() != coreCount_ ||
+            obs.coreFrequency.size() != coreCount_,
+            "telemetry observation size mismatch");
+    panicIf(dt <= 0.0, "telemetry step must be positive");
+
+    now_ += dt;
+    windowElapsed_ += dt;
+    weightSum_ += dt;
+
+    for (size_t core = 0; core < coreCount_; ++core) {
+        lastSample_[core] = obs.sampleCpm[core];
+        stickyMin_[core] = std::min(stickyMin_[core], obs.stickyCpm[core]);
+        voltageSum_[core] += obs.coreVoltage[core] * dt;
+        frequencySum_[core] += obs.coreFrequency[core] * dt;
+    }
+    powerSum_ += obs.chipPower * dt;
+    currentSum_ += obs.railCurrent * dt;
+    setpointSum_ += obs.setpoint * dt;
+    decompositionSum_ = decompositionSum_ + obs.decomposition.scaled(dt);
+
+    // Close as many windows as the elapsed time covers (dt is normally
+    // much smaller than the window, so at most one).
+    while (windowElapsed_ >= params_.windowLength - 1e-12) {
+        closeWindow();
+        windowElapsed_ -= params_.windowLength;
+    }
+}
+
+void
+Telemetry::closeWindow()
+{
+    TelemetryWindow window;
+    window.time = now_;
+    window.sampleCpm = lastSample_;
+    window.stickyCpm = stickyMin_;
+    window.meanCoreVoltage.resize(coreCount_);
+    window.meanCoreFrequency.resize(coreCount_);
+    const double w = weightSum_ > 0.0 ? weightSum_ : 1.0;
+    for (size_t core = 0; core < coreCount_; ++core) {
+        window.meanCoreVoltage[core] = voltageSum_[core] / w;
+        window.meanCoreFrequency[core] = frequencySum_[core] / w;
+    }
+    window.meanChipPower = powerSum_ / w;
+    window.meanRailCurrent = currentSum_ / w;
+    window.meanSetpoint = setpointSum_ / w;
+    window.meanDecomposition = decompositionSum_.scaled(1.0 / w);
+    windows_.push_back(std::move(window));
+    if (params_.maxWindows > 0 && windows_.size() > params_.maxWindows)
+        windows_.erase(windows_.begin());
+
+    // Reset in-progress accumulation.
+    stickyMin_.assign(coreCount_, std::numeric_limits<int>::max());
+    voltageSum_.assign(coreCount_, 0.0);
+    frequencySum_.assign(coreCount_, 0.0);
+    powerSum_ = 0.0;
+    currentSum_ = 0.0;
+    setpointSum_ = 0.0;
+    decompositionSum_ = pdn::DropDecomposition();
+    weightSum_ = 0.0;
+}
+
+const TelemetryWindow &
+Telemetry::latest() const
+{
+    fatalIf(windows_.empty(), "no telemetry windows completed yet");
+    return windows_.back();
+}
+
+void
+Telemetry::clearWindows()
+{
+    windows_.clear();
+}
+
+} // namespace agsim::sensors

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * AMESTER-like telemetry: 32 ms windowed sensor sampling.
+ *
+ * The paper reads all sensors through IBM AMESTER at a service-processor-
+ * limited 32 ms interval, in two CPM modes (Sec. 4.1):
+ *  - *sample mode*: an instantaneous CPM snapshot (characterizes normal
+ *    operation / typical-case noise);
+ *  - *sticky mode*: the worst (smallest) CPM value seen during the past
+ *    window (captures worst-case droops).
+ * This layer reproduces those semantics over the simulated sensors, plus
+ * the Vdd-rail power and VRM current sensors used in Sec. 3/4.
+ */
+
+#ifndef AGSIM_SENSORS_TELEMETRY_H
+#define AGSIM_SENSORS_TELEMETRY_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.h"
+#include "pdn/decomposition.h"
+
+namespace agsim::sensors {
+
+/** Telemetry configuration. */
+struct TelemetryParams
+{
+    /** Sensor aggregation window (AMESTER minimum: 32 ms). */
+    Seconds windowLength = 32e-3;
+    /** Keep at most this many completed windows (0 = unbounded). */
+    size_t maxWindows = 0;
+};
+
+/** Everything the platform exposes to telemetry for one step. */
+struct StepObservation
+{
+    /** Instantaneous per-core CPM reading (sample mode source). */
+    std::vector<int> sampleCpm;
+    /** Worst per-core CPM value during the step (sticky mode source). */
+    std::vector<int> stickyCpm;
+    /** Per-core on-chip voltage (model ground truth, for validation). */
+    std::vector<Volts> coreVoltage;
+    /** Per-core clock frequency. */
+    std::vector<Hertz> coreFrequency;
+    /** Chip Vdd-rail power. */
+    Watts chipPower = 0.0;
+    /** VRM output current on this chip's rail. */
+    Amps railCurrent = 0.0;
+    /** VRM setpoint. */
+    Volts setpoint = 0.0;
+    /** Drop decomposition this step (core 0 view). */
+    pdn::DropDecomposition decomposition;
+};
+
+/** One completed 32 ms telemetry window. */
+struct TelemetryWindow
+{
+    /** Window end time. */
+    Seconds time = 0.0;
+    /** Last sample-mode CPM value per core. */
+    std::vector<int> sampleCpm;
+    /** Minimum (sticky) CPM value per core over the window. */
+    std::vector<int> stickyCpm;
+    /** Mean per-core on-chip voltage. */
+    std::vector<Volts> meanCoreVoltage;
+    /** Mean per-core frequency. */
+    std::vector<Hertz> meanCoreFrequency;
+    /** Mean chip power. */
+    Watts meanChipPower = 0.0;
+    /** Mean rail current. */
+    Amps meanRailCurrent = 0.0;
+    /** Mean VRM setpoint. */
+    Volts meanSetpoint = 0.0;
+    /** Mean drop decomposition. */
+    pdn::DropDecomposition meanDecomposition;
+};
+
+/**
+ * Windowed sensor aggregator for one chip.
+ */
+class Telemetry
+{
+  public:
+    explicit Telemetry(size_t coreCount,
+                       const TelemetryParams &params = TelemetryParams());
+
+    /** Feed one simulation step of duration dt. */
+    void step(const StepObservation &obs, Seconds dt);
+
+    /** Completed windows so far (oldest first). */
+    const std::vector<TelemetryWindow> &windows() const { return windows_; }
+
+    /** Most recent completed window. */
+    const TelemetryWindow &latest() const;
+
+    /** Whether at least one window completed. */
+    bool hasWindows() const { return !windows_.empty(); }
+
+    /** Drop all completed windows (keeps the in-progress one). */
+    void clearWindows();
+
+    const TelemetryParams &params() const { return params_; }
+
+  private:
+    void closeWindow();
+
+    TelemetryParams params_;
+    size_t coreCount_;
+    Seconds now_ = 0.0;
+    Seconds windowElapsed_ = 0.0;
+
+    // In-progress accumulation.
+    std::vector<int> lastSample_;
+    std::vector<int> stickyMin_;
+    std::vector<double> voltageSum_;
+    std::vector<double> frequencySum_;
+    double powerSum_ = 0.0;
+    double currentSum_ = 0.0;
+    double setpointSum_ = 0.0;
+    pdn::DropDecomposition decompositionSum_;
+    double weightSum_ = 0.0;
+
+    std::vector<TelemetryWindow> windows_;
+};
+
+} // namespace agsim::sensors
+
+#endif // AGSIM_SENSORS_TELEMETRY_H

@@ -1,0 +1,53 @@
+#include "sensors/telemetry_csv.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace agsim::sensors {
+
+size_t
+writeTelemetryCsv(const Telemetry &telemetry, std::ostream &out)
+{
+    const auto &windows = telemetry.windows();
+    if (windows.empty())
+        return 0;
+
+    const size_t cores = windows.front().sampleCpm.size();
+    out << "time_s,power_w,current_a,setpoint_mv";
+    for (size_t core = 0; core < cores; ++core) {
+        out << ",sample_cpm_" << core << ",sticky_cpm_" << core
+            << ",voltage_mv_" << core << ",freq_mhz_" << core;
+    }
+    out << ",loadline_mv,ir_global_mv,ir_local_mv,didt_typ_mv,"
+           "didt_worst_mv\n";
+
+    out << std::fixed;
+    for (const auto &window : windows) {
+        out << std::setprecision(3) << window.time << ','
+            << std::setprecision(2) << window.meanChipPower << ','
+            << window.meanRailCurrent << ','
+            << window.meanSetpoint * 1e3;
+        for (size_t core = 0; core < cores; ++core) {
+            out << ',' << window.sampleCpm[core] << ','
+                << window.stickyCpm[core] << ','
+                << std::setprecision(1)
+                << window.meanCoreVoltage[core] * 1e3 << ','
+                << window.meanCoreFrequency[core] / 1e6;
+        }
+        const auto &d = window.meanDecomposition;
+        out << ',' << std::setprecision(2) << d.loadline * 1e3 << ','
+            << d.irGlobal * 1e3 << ',' << d.irLocal * 1e3 << ','
+            << d.typicalDidt * 1e3 << ',' << d.worstDidt * 1e3 << '\n';
+    }
+    return windows.size();
+}
+
+std::string
+telemetryCsvString(const Telemetry &telemetry)
+{
+    std::ostringstream out;
+    writeTelemetryCsv(telemetry, out);
+    return out.str();
+}
+
+} // namespace agsim::sensors

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * CSV export of telemetry windows — the AMESTER-dump equivalent, for
+ * downstream plotting (every figure in the paper started life as such
+ * a dump).
+ */
+
+#ifndef AGSIM_SENSORS_TELEMETRY_CSV_H
+#define AGSIM_SENSORS_TELEMETRY_CSV_H
+
+#include <ostream>
+#include <string>
+
+#include "sensors/telemetry.h"
+
+namespace agsim::sensors {
+
+/**
+ * Write all completed windows as CSV.
+ *
+ * Columns: time_s, power_w, current_a, setpoint_mv, then per core i:
+ * sample_cpm_i, sticky_cpm_i, voltage_mv_i, freq_mhz_i; finally the
+ * drop decomposition in millivolts.
+ *
+ * @return Number of rows written.
+ */
+size_t writeTelemetryCsv(const Telemetry &telemetry, std::ostream &out);
+
+/** Convenience: render to a string. */
+std::string telemetryCsvString(const Telemetry &telemetry);
+
+} // namespace agsim::sensors
+
+#endif // AGSIM_SENSORS_TELEMETRY_CSV_H

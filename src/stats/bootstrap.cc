@@ -1,0 +1,57 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "stats/percentile.h"
+
+namespace agsim::stats {
+
+BootstrapResult
+bootstrapMean(const std::vector<double> &samples, double confidence,
+              size_t resamples, uint64_t seed)
+{
+    fatalIf(samples.empty(), "bootstrap needs samples");
+    fatalIf(confidence <= 0.0 || confidence >= 1.0,
+            "confidence must be in (0, 1)");
+    fatalIf(resamples < 10, "bootstrap needs at least 10 resamples");
+
+    double total = 0.0;
+    for (double x : samples)
+        total += x;
+
+    BootstrapResult result;
+    result.mean = total / double(samples.size());
+    if (samples.size() == 1) {
+        result.lo = result.hi = result.mean;
+        return result;
+    }
+
+    Rng rng(seed, 0xB00Bull);
+    PercentileTracker means;
+    const int n = int(samples.size());
+    for (size_t r = 0; r < resamples; ++r) {
+        double sum = 0.0;
+        for (int i = 0; i < n; ++i)
+            sum += samples[size_t(rng.uniformInt(0, n - 1))];
+        means.add(sum / double(n));
+    }
+    const double tail = (1.0 - confidence) / 2.0 * 100.0;
+    result.lo = means.percentile(tail);
+    result.hi = means.percentile(100.0 - tail);
+    return result;
+}
+
+BootstrapResult
+bootstrapFraction(const std::vector<bool> &flags, double confidence,
+                  size_t resamples, uint64_t seed)
+{
+    std::vector<double> samples;
+    samples.reserve(flags.size());
+    for (bool flag : flags)
+        samples.push_back(flag ? 1.0 : 0.0);
+    return bootstrapMean(samples, confidence, resamples, seed);
+}
+
+} // namespace agsim::stats

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Bootstrap confidence intervals.
+ *
+ * Measurement-style results (QoS violation rates, per-window p90s,
+ * droop rates) deserve error bars; the nonparametric bootstrap gives
+ * them without distributional assumptions. Deterministic via the
+ * library RNG.
+ */
+
+#ifndef AGSIM_STATS_BOOTSTRAP_H
+#define AGSIM_STATS_BOOTSTRAP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace agsim::stats {
+
+/** A bootstrap interval around a point estimate. */
+struct BootstrapResult
+{
+    double mean = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+
+    /** Whether a value lies inside the interval. */
+    bool contains(double x) const { return x >= lo && x <= hi; }
+
+    /** Half-width of the interval. */
+    double halfWidth() const { return (hi - lo) / 2.0; }
+};
+
+/**
+ * Percentile-bootstrap CI for the mean of `samples`.
+ *
+ * @param samples Observations (non-empty).
+ * @param confidence Interval mass in (0, 1), e.g. 0.95.
+ * @param resamples Bootstrap replicates.
+ * @param seed RNG seed (results are deterministic).
+ */
+BootstrapResult bootstrapMean(const std::vector<double> &samples,
+                              double confidence = 0.95,
+                              size_t resamples = 2000,
+                              uint64_t seed = 0xB007u);
+
+/**
+ * CI for a proportion: convenience over 0/1 samples (e.g. one flag per
+ * QoS window).
+ */
+BootstrapResult bootstrapFraction(const std::vector<bool> &flags,
+                                  double confidence = 0.95,
+                                  size_t resamples = 2000,
+                                  uint64_t seed = 0xB007u);
+
+} // namespace agsim::stats
+
+#endif // AGSIM_STATS_BOOTSTRAP_H

@@ -1,0 +1,73 @@
+#include "stats/linear_fit.h"
+
+#include <cmath>
+
+namespace agsim::stats {
+
+void
+LinearFit::add(double x, double y)
+{
+    ++n_;
+    const double dx = x - meanX_;
+    const double dy = y - meanY_;
+    meanX_ += dx / double(n_);
+    meanY_ += dy / double(n_);
+    // Centered co-moment updates (Welford-style, stable).
+    sxx_ += dx * (x - meanX_);
+    syy_ += dy * (y - meanY_);
+    sxy_ += dx * (y - meanY_);
+}
+
+double
+LinearFit::slope() const
+{
+    if (n_ < 2 || sxx_ <= 0.0)
+        return 0.0;
+    return sxy_ / sxx_;
+}
+
+double
+LinearFit::intercept() const
+{
+    return meanY_ - slope() * meanX_;
+}
+
+double
+LinearFit::predict(double x) const
+{
+    return slope() * x + intercept();
+}
+
+double
+LinearFit::r2() const
+{
+    if (n_ < 2 || sxx_ <= 0.0 || syy_ <= 0.0)
+        return 0.0;
+    const double r = sxy_ / std::sqrt(sxx_ * syy_);
+    return r * r;
+}
+
+double
+LinearFit::rmse() const
+{
+    if (n_ < 2)
+        return 0.0;
+    const double residualSs = syy_ - slope() * sxy_;
+    return std::sqrt(std::fmax(residualSs, 0.0) / double(n_));
+}
+
+double
+LinearFit::correlation() const
+{
+    if (n_ < 2 || sxx_ <= 0.0 || syy_ <= 0.0)
+        return 0.0;
+    return sxy_ / std::sqrt(sxx_ * syy_);
+}
+
+void
+LinearFit::reset()
+{
+    *this = LinearFit();
+}
+
+} // namespace agsim::stats

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ordinary least-squares linear regression.
+ *
+ * Two of the paper's results are explicitly linear fits:
+ *  - Fig. 6a: CPM output vs on-chip voltage (one line per frequency), whose
+ *    slope yields the ~21 mV/bit CPM sensitivity;
+ *  - Fig. 16: chip frequency vs total chip MIPS, the adaptive-mapping
+ *    scheduler's frequency predictor (RMSE ~0.3%).
+ * LinearFit is the shared engine for both, plus for Fig. 10's correlation
+ * scatter summaries.
+ */
+
+#ifndef AGSIM_STATS_LINEAR_FIT_H
+#define AGSIM_STATS_LINEAR_FIT_H
+
+#include <cstddef>
+
+namespace agsim::stats {
+
+/**
+ * Online ordinary least-squares fit of y = slope * x + intercept.
+ *
+ * Accumulates sufficient statistics; O(1) memory, numerically centered.
+ */
+class LinearFit
+{
+  public:
+    /** Add one (x, y) observation. */
+    void add(double x, double y);
+
+    /** Number of observations. */
+    size_t count() const { return n_; }
+
+    /** Fitted slope; 0 when fewer than two points or degenerate x. */
+    double slope() const;
+
+    /** Fitted intercept; mean(y) when slope is degenerate. */
+    double intercept() const;
+
+    /** Predict y at x using the current fit. */
+    double predict(double x) const;
+
+    /** Coefficient of determination R^2 in [0, 1]; 0 when degenerate. */
+    double r2() const;
+
+    /** Root-mean-square residual of the fit. */
+    double rmse() const;
+
+    /** Pearson correlation coefficient in [-1, 1]. */
+    double correlation() const;
+
+    /** Reset to empty. */
+    void reset();
+
+  private:
+    size_t n_ = 0;
+    double meanX_ = 0.0;
+    double meanY_ = 0.0;
+    double sxx_ = 0.0;
+    double syy_ = 0.0;
+    double sxy_ = 0.0;
+};
+
+} // namespace agsim::stats
+
+#endif // AGSIM_STATS_LINEAR_FIT_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Percentile estimation: an exact reservoir and a streaming P² estimator.
+ *
+ * The QoS path (WebSearch p90 tail latency, Fig. 17) needs percentiles over
+ * bounded windows — PercentileTracker stores the window exactly. Long runs
+ * that only need a single quantile (e.g. p99 droop depth across a whole
+ * simulation) use the constant-memory P2Quantile.
+ */
+
+#ifndef AGSIM_STATS_PERCENTILE_H
+#define AGSIM_STATS_PERCENTILE_H
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace agsim::stats {
+
+/**
+ * Exact percentile tracker over all added samples.
+ *
+ * Stores samples; percentile() sorts lazily (amortised: re-sorts only when
+ * new samples arrived since the last query). Uses linear interpolation
+ * between order statistics (the "linear" / type-7 quantile definition).
+ */
+class PercentileTracker
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of stored samples. */
+    size_t count() const { return samples_.size(); }
+
+    /** Whether no samples are stored. */
+    bool empty() const { return samples_.empty(); }
+
+    /**
+     * Interpolated percentile.
+     * @param p Percentile in [0, 100].
+     * @return 0 when empty.
+     */
+    double percentile(double p) const;
+
+    /** Remove all samples. */
+    void clear();
+
+    /** Read-only access to the (unsorted) samples. */
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/**
+ * Streaming quantile estimator (Jain & Chlamtac's P² algorithm).
+ *
+ * Constant memory; accurate to a few percent for smooth distributions,
+ * which is sufficient for run-level summary statistics.
+ */
+class P2Quantile
+{
+  public:
+    /** @param quantile Target quantile in (0, 1), e.g. 0.9 for p90. */
+    explicit P2Quantile(double quantile);
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Current estimate; exact until five samples have been seen. */
+    double value() const;
+
+    /** Number of samples observed. */
+    size_t count() const { return count_; }
+
+  private:
+    double quantile_;
+    size_t count_ = 0;
+    std::array<double, 5> heights_{};
+    std::array<double, 5> positions_{};
+    std::array<double, 5> desired_{};
+    std::array<double, 5> increments_{};
+};
+
+} // namespace agsim::stats
+
+#endif // AGSIM_STATS_PERCENTILE_H

@@ -1,0 +1,58 @@
+#include "stats/series.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace agsim::stats {
+
+void
+Series::add(double x, double y)
+{
+    xs_.push_back(x);
+    ys_.push_back(y);
+}
+
+double
+Series::maxY() const
+{
+    fatalIf(ys_.empty(), "maxY on empty series");
+    return *std::max_element(ys_.begin(), ys_.end());
+}
+
+double
+Series::minY() const
+{
+    fatalIf(ys_.empty(), "minY on empty series");
+    return *std::min_element(ys_.begin(), ys_.end());
+}
+
+double
+Series::meanY() const
+{
+    fatalIf(ys_.empty(), "meanY on empty series");
+    return std::accumulate(ys_.begin(), ys_.end(), 0.0) / double(ys_.size());
+}
+
+bool
+Series::isNonIncreasing(double tolerance) const
+{
+    for (size_t i = 1; i < ys_.size(); ++i) {
+        if (ys_[i] > ys_[i - 1] + tolerance)
+            return false;
+    }
+    return true;
+}
+
+bool
+Series::isNonDecreasing(double tolerance) const
+{
+    for (size_t i = 1; i < ys_.size(); ++i) {
+        if (ys_[i] < ys_[i - 1] - tolerance)
+            return false;
+    }
+    return true;
+}
+
+} // namespace agsim::stats

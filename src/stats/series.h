@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Named (x, y) series — the unit of "figure data" every bench emits.
+ */
+
+#ifndef AGSIM_STATS_SERIES_H
+#define AGSIM_STATS_SERIES_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace agsim::stats {
+
+/**
+ * A named sequence of (x, y) points, e.g. one line in one of the paper's
+ * figures ("raytrace: power improvement vs active cores").
+ */
+class Series
+{
+  public:
+    Series() = default;
+    explicit Series(std::string name) : name_(std::move(name)) {}
+
+    /** Append one point. */
+    void add(double x, double y);
+
+    /** Series label. */
+    const std::string &name() const { return name_; }
+
+    /** Number of points. */
+    size_t size() const { return xs_.size(); }
+
+    bool empty() const { return xs_.empty(); }
+
+    const std::vector<double> &xs() const { return xs_; }
+    const std::vector<double> &ys() const { return ys_; }
+
+    /** y value at index i. */
+    double y(size_t i) const { return ys_.at(i); }
+
+    /** x value at index i. */
+    double x(size_t i) const { return xs_.at(i); }
+
+    /** Largest y. */
+    double maxY() const;
+
+    /** Smallest y. */
+    double minY() const;
+
+    /** Mean of y values. */
+    double meanY() const;
+
+    /** First y value (convenience for "1 active core" reads). */
+    double firstY() const { return ys_.at(0); }
+
+    /** Last y value (convenience for "8 active cores" reads). */
+    double lastY() const { return ys_.at(ys_.size() - 1); }
+
+    /** True when y never increases as x grows. */
+    bool isNonIncreasing(double tolerance = 0.0) const;
+
+    /** True when y never decreases as x grows. */
+    bool isNonDecreasing(double tolerance = 0.0) const;
+
+  private:
+    std::string name_;
+    std::vector<double> xs_;
+    std::vector<double> ys_;
+};
+
+} // namespace agsim::stats
+
+#endif // AGSIM_STATS_SERIES_H

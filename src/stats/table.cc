@@ -1,0 +1,157 @@
+#include "stats/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace agsim::stats {
+
+std::string
+formatDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+void
+TablePrinter::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+TablePrinter::addNumericRow(const std::string &label,
+                            const std::vector<double> &values, int precision)
+{
+    std::vector<std::string> row;
+    row.reserve(values.size() + 1);
+    row.push_back(label);
+    for (double v : values)
+        row.push_back(formatDouble(v, precision));
+    addRow(std::move(row));
+}
+
+std::string
+TablePrinter::render() const
+{
+    // Compute per-column widths over header + all rows.
+    std::vector<size_t> widths;
+    auto grow = [&widths](const std::vector<std::string> &row) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    grow(header_);
+    for (const auto &row : rows_)
+        grow(row);
+
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < widths.size(); ++i) {
+            const std::string cell = i < row.size() ? row[i] : "";
+            out << "  ";
+            // Left-align the first column (labels), right-align numbers.
+            if (i == 0) {
+                out << cell << std::string(widths[i] - cell.size(), ' ');
+            } else {
+                out << std::string(widths[i] - cell.size(), ' ') << cell;
+            }
+        }
+        out << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t w : widths)
+            total += w + 2;
+        out << "  " << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+    }
+    for (const auto &row : rows_)
+        emit(row);
+    return out.str();
+}
+
+std::string
+renderSeriesTable(const std::vector<Series> &series, const std::string &xLabel,
+                  int precision)
+{
+    fatalIf(series.empty(), "renderSeriesTable: no series");
+    const auto &xs = series.front().xs();
+    for (const auto &s : series) {
+        fatalIf(s.size() != xs.size(),
+                "renderSeriesTable: series '" + s.name() +
+                "' length mismatch");
+    }
+
+    TablePrinter table;
+    std::vector<std::string> header{xLabel};
+    for (const auto &s : series)
+        header.push_back(s.name());
+    table.setHeader(std::move(header));
+
+    for (size_t i = 0; i < xs.size(); ++i) {
+        std::vector<std::string> row{formatDouble(xs[i], 0)};
+        for (const auto &s : series)
+            row.push_back(formatDouble(s.y(i), precision));
+        table.addRow(std::move(row));
+    }
+    return table.render();
+}
+
+std::string
+renderAsciiChart(const std::vector<Series> &series, size_t width,
+                 size_t height)
+{
+    fatalIf(series.empty(), "renderAsciiChart: no series");
+    double minX = 1e300, maxX = -1e300, minY = 1e300, maxY = -1e300;
+    for (const auto &s : series) {
+        if (s.empty())
+            continue;
+        minX = std::min(minX, *std::min_element(s.xs().begin(), s.xs().end()));
+        maxX = std::max(maxX, *std::max_element(s.xs().begin(), s.xs().end()));
+        minY = std::min(minY, s.minY());
+        maxY = std::max(maxY, s.maxY());
+    }
+    if (maxX <= minX)
+        maxX = minX + 1.0;
+    if (maxY <= minY)
+        maxY = minY + 1.0;
+
+    std::vector<std::string> canvas(height, std::string(width, ' '));
+    const std::string glyphs = "*o+x#@%&";
+    for (size_t si = 0; si < series.size(); ++si) {
+        const auto &s = series[si];
+        const char glyph = glyphs[si % glyphs.size()];
+        for (size_t i = 0; i < s.size(); ++i) {
+            const size_t cx = size_t((s.x(i) - minX) / (maxX - minX) *
+                                     double(width - 1));
+            const size_t cy = size_t((s.y(i) - minY) / (maxY - minY) *
+                                     double(height - 1));
+            canvas[height - 1 - cy][cx] = glyph;
+        }
+    }
+
+    std::ostringstream out;
+    out << formatDouble(maxY, 2) << "\n";
+    for (const auto &line : canvas)
+        out << "  |" << line << "\n";
+    out << formatDouble(minY, 2) << "  [x: " << formatDouble(minX, 1)
+        << " .. " << formatDouble(maxX, 1) << "]\n";
+    for (size_t si = 0; si < series.size(); ++si)
+        out << "  " << glyphs[si % glyphs.size()] << " = "
+            << series[si].name() << "\n";
+    return out.str();
+}
+
+} // namespace agsim::stats

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * ASCII table and chart rendering for bench/example output.
+ *
+ * Every bench binary regenerates one of the paper's figures as text: a
+ * column table (one row per x value, one column per series) plus an
+ * optional line chart rendered with ASCII. TablePrinter handles alignment
+ * and numeric formatting; AsciiChart draws multi-series line plots.
+ */
+
+#ifndef AGSIM_STATS_TABLE_H
+#define AGSIM_STATS_TABLE_H
+
+#include <string>
+#include <vector>
+
+#include "stats/series.h"
+
+namespace agsim::stats {
+
+/**
+ * Column-aligned ASCII table builder.
+ */
+class TablePrinter
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a row of pre-formatted cells. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a row of doubles formatted with the given precision. */
+    void addNumericRow(const std::string &label,
+                       const std::vector<double> &values, int precision = 2);
+
+    /** Render the table. */
+    std::string render() const;
+
+    /** Number of data rows. */
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision (helper for cells). */
+std::string formatDouble(double v, int precision = 2);
+
+/**
+ * Render several series as one column table: the x column from the first
+ * series, then one y column per series. All series must share x values.
+ */
+std::string renderSeriesTable(const std::vector<Series> &series,
+                              const std::string &xLabel, int precision = 2);
+
+/**
+ * Minimal multi-series ASCII line chart (fixed canvas, one glyph per
+ * series) for eyeballing figure shapes in the terminal.
+ */
+std::string renderAsciiChart(const std::vector<Series> &series,
+                             size_t width = 64, size_t height = 16);
+
+} // namespace agsim::stats
+
+#endif // AGSIM_STATS_TABLE_H

@@ -1,0 +1,91 @@
+#include "system/server.h"
+
+#include "common/error.h"
+
+namespace agsim::system {
+
+Server::Server(const ServerConfig &config)
+    : config_(config), vrm_(config.socketCount, config.rail)
+{
+    fatalIf(config_.socketCount == 0, "server needs at least one socket");
+    fatalIf(config_.platformPower < 0.0, "negative platform power");
+    chips_.reserve(config_.socketCount);
+    for (size_t socket = 0; socket < config_.socketCount; ++socket) {
+        chip::ChipConfig chipConfig = config_.chipTemplate;
+        chipConfig.railIndex = socket;
+        chipConfig.seed = config_.chipTemplate.seed +
+                          0x9E3779B9ull * (socket + 1);
+        chips_.push_back(std::make_unique<chip::Chip>(chipConfig, &vrm_));
+    }
+}
+
+chip::Chip &
+Server::chip(size_t socket)
+{
+    panicIf(socket >= chips_.size(), "socket index out of range");
+    return *chips_[socket];
+}
+
+const chip::Chip &
+Server::chip(size_t socket) const
+{
+    panicIf(socket >= chips_.size(), "socket index out of range");
+    return *chips_[socket];
+}
+
+void
+Server::setMode(chip::GuardbandMode mode)
+{
+    for (auto &c : chips_)
+        c->setMode(mode);
+}
+
+void
+Server::setTargetFrequency(Hertz f)
+{
+    for (auto &c : chips_)
+        c->setTargetFrequency(f);
+}
+
+void
+Server::clearLoads()
+{
+    for (auto &c : chips_)
+        c->clearLoads();
+}
+
+void
+Server::step(Seconds dt)
+{
+    for (auto &c : chips_)
+        c->step(dt);
+}
+
+void
+Server::settle(Seconds duration, Seconds dt)
+{
+    fatalIf(duration <= 0.0 || dt <= 0.0, "settle needs positive times");
+    const int steps = int(duration / dt);
+    for (int i = 0; i < steps; ++i)
+        step(dt);
+}
+
+Watts
+Server::totalChipPower() const
+{
+    Watts total = 0.0;
+    for (const auto &c : chips_)
+        total += c->power();
+    return total;
+}
+
+Watts
+Server::totalSystemPower() const
+{
+    Watts vcs = 0.0;
+    for (const auto &c : chips_)
+        vcs += c->vcsPower();
+    return totalChipPower() + vcs + config_.platformPower;
+}
+
+} // namespace agsim::system

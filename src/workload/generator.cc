@@ -1,0 +1,85 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace agsim::workload {
+
+WorkloadGenerator::WorkloadGenerator(uint64_t seed,
+                                     const GeneratorParams &params)
+    : params_(params), rng_(seed, 0x6E42ull)
+{
+    fatalIf(params_.minMips <= 0.0 || params_.maxMips <= params_.minMips,
+            "generator MIPS window is empty");
+    fatalIf(params_.intensityScatter < 0.0, "negative intensity scatter");
+    fatalIf(params_.multithreadedFraction < 0.0 ||
+            params_.multithreadedFraction > 1.0,
+            "multithreaded fraction out of [0, 1]");
+    fatalIf(params_.phasedFraction < 0.0 || params_.phasedFraction > 1.0,
+            "phased fraction out of [0, 1]");
+}
+
+BenchmarkProfile
+WorkloadGenerator::next()
+{
+    BenchmarkProfile p;
+    char name[32];
+    std::snprintf(name, sizeof(name), "synth-%03zu", counter_++);
+    p.name = name;
+    p.suite = Suite::Synthetic;
+
+    const double mips = rng_.uniform(params_.minMips, params_.maxMips);
+    p.mipsPerThread = mips * 1e6;
+    // The physical IPC-power relationship with bounded scatter.
+    p.intensity = std::clamp(
+        params_.intensityBase +
+            params_.intensitySlopePerKMips * mips / 1e3 +
+            params_.intensityScatter * rng_.normal(),
+        0.30, 1.60);
+
+    // Low-MIPS workloads are memory bound; map MIPS onto boundedness
+    // with jitter, then derive contention from boundedness.
+    const double mipsNorm = (mips - params_.minMips) /
+                            (params_.maxMips - params_.minMips);
+    p.memoryBoundedness = std::clamp(
+        0.80 - 0.75 * mipsNorm + 0.08 * rng_.normal(), 0.0, 0.95);
+    p.contentionSensitivity = std::clamp(
+        p.memoryBoundedness * rng_.uniform(0.8, 1.2), 0.0, 0.95);
+
+    const bool multithreaded =
+        rng_.bernoulli(params_.multithreadedFraction);
+    p.serialFraction = multithreaded ? rng_.uniform(0.005, 0.06) : 0.0;
+    p.crossChipPenalty = multithreaded ? rng_.uniform(0.01, 0.12) : 0.01;
+
+    // Noise signatures follow intensity (busier pipelines ripple more).
+    p.didtTypicalAmp = (6.0 + 9.0 * p.intensity / 1.2) * 1e-3;
+    p.didtWorstAmp = p.didtTypicalAmp * rng_.uniform(1.6, 2.1);
+
+    if (rng_.bernoulli(params_.phasedFraction)) {
+        const Seconds cycle = rng_.uniform(0.2, 2.0);
+        const double duty = rng_.uniform(0.3, 0.7);
+        const double high = rng_.uniform(1.05, 1.25);
+        const double low = rng_.uniform(0.5, 0.9);
+        p.phases = {WorkloadPhase{cycle * duty, high, high},
+                    WorkloadPhase{cycle * (1.0 - duty), low, low}};
+        // Respect the validator's phased-intensity ceiling.
+        p.intensity = std::min(p.intensity, 1.55);
+    }
+
+    p.validate();
+    return p;
+}
+
+std::vector<BenchmarkProfile>
+WorkloadGenerator::batch(size_t count)
+{
+    std::vector<BenchmarkProfile> out;
+    out.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        out.push_back(next());
+    return out;
+}
+
+} // namespace agsim::workload

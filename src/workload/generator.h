@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Synthetic workload generation.
+ *
+ * Draws BenchmarkProfiles from the same parameter distributions the
+ * calibrated library spans. Two uses:
+ *  - robustness: train/evaluate the MIPS-frequency predictor on a
+ *    population it has never seen (the paper's scheduler must work for
+ *    arbitrary tenant workloads, not just SPEC);
+ *  - scale: build large job mixes for cluster-level studies.
+ *
+ * The generator reproduces the library's MIPS<->intensity correlation
+ * (the physical IPC-power relationship Fig. 16 rests on) with a
+ * configurable amount of off-line scatter, plus the usual memory-
+ * boundedness / contention / noise relationships.
+ */
+
+#ifndef AGSIM_WORKLOAD_GENERATOR_H
+#define AGSIM_WORKLOAD_GENERATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/profile.h"
+
+namespace agsim::workload {
+
+/** Generation knobs. */
+struct GeneratorParams
+{
+    /** Per-thread MIPS range (uniform), millions. */
+    double minMips = 900.0;
+    double maxMips = 11000.0;
+    /** Intensity line: intensity = base + slope * (MIPS/1e3). */
+    double intensityBase = 0.46;
+    double intensitySlopePerKMips = 0.066;
+    /** Std-dev of intensity scatter off the line. */
+    double intensityScatter = 0.03;
+    /** Probability a generated workload is multithreaded (vs rate). */
+    double multithreadedFraction = 0.4;
+    /** Probability of a phased (time-varying) profile. */
+    double phasedFraction = 0.0;
+};
+
+/**
+ * Deterministic synthetic-profile source.
+ */
+class WorkloadGenerator
+{
+  public:
+    explicit WorkloadGenerator(uint64_t seed,
+                               const GeneratorParams &params =
+                                   GeneratorParams());
+
+    /** Draw the next profile (names synth-000, synth-001, ...). */
+    BenchmarkProfile next();
+
+    /** Draw a batch. */
+    std::vector<BenchmarkProfile> batch(size_t count);
+
+    const GeneratorParams &params() const { return params_; }
+
+  private:
+    GeneratorParams params_;
+    Rng rng_;
+    size_t counter_ = 0;
+};
+
+} // namespace agsim::workload
+
+#endif // AGSIM_WORKLOAD_GENERATOR_H

@@ -1,0 +1,242 @@
+#include "workload/library.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace agsim::workload {
+
+using namespace agsim::units;
+
+namespace {
+
+/**
+ * Compact profile builder.
+ *
+ * @param intensity  Dynamic power intensity (C_eff ratio).
+ * @param mips       Per-thread MIPS at nominal frequency (millions).
+ * @param memBound   Memory-boundedness [0,1].
+ * @param serial     Amdahl serial fraction (multithreaded suites).
+ * @param contention Contention sensitivity [0,1].
+ * @param crossChip  Cross-chip communication penalty [0,0.5].
+ * @param typMv      Typical di/dt amplitude, millivolts per core.
+ * @param worstMv    Worst-case droop amplitude, millivolts per core.
+ */
+BenchmarkProfile
+make(const char *name, Suite suite, double intensity, double mips,
+     double memBound, double serial, double contention, double crossChip,
+     double typMv, double worstMv)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    p.suite = suite;
+    p.intensity = intensity;
+    p.mipsPerThread = mips * 1e6;
+    p.memoryBoundedness = memBound;
+    p.serialFraction = serial;
+    p.contentionSensitivity = contention;
+    p.crossChipPenalty = crossChip;
+    p.didtTypicalAmp = typMv * 1e-3;
+    p.didtWorstAmp = worstMv * 1e-3;
+    p.validate();
+    return p;
+}
+
+std::vector<BenchmarkProfile>
+buildLibrary()
+{
+    std::vector<BenchmarkProfile> lib;
+    const Suite PAR = Suite::Parsec;
+    const Suite SPL = Suite::Splash2;
+    const Suite SPEC = Suite::SpecCpu2006;
+
+    // --- PARSEC (paper Sec. 3.1) ------------------------------------
+    lib.push_back(make("blackscholes", PAR, 0.88, 6400, 0.08, 0.010,
+                       0.15, 0.02, 10, 18));
+    lib.push_back(make("bodytrack", PAR, 1.12, 10000, 0.18, 0.040,
+                       0.25, 0.05, 15, 30));
+    lib.push_back(make("ferret", PAR, 0.97, 7700, 0.30, 0.030,
+                       0.35, 0.05, 12, 22));
+    lib.push_back(make("freqmine", PAR, 1.10, 9700, 0.25, 0.050,
+                       0.30, 0.06, 12, 22));
+    lib.push_back(make("raytrace", PAR, 1.03, 8600, 0.15, 0.020,
+                       0.20, 0.04, 13, 24));
+    lib.push_back(make("swaptions", PAR, 1.14, 10300, 0.04, 0.010,
+                       0.10, 0.02, 14, 26));
+    lib.push_back(make("vips", PAR, 1.00, 8200, 0.28, 0.030,
+                       0.35, 0.04, 15, 30));
+
+    // --- SPLASH-2 -----------------------------------------------------
+    lib.push_back(make("barnes", SPL, 1.05, 8900, 0.22, 0.040,
+                       0.25, 0.07, 12, 22));
+    lib.push_back(make("fft", SPL, 0.55, 1400, 0.72, 0.030,
+                       0.85, 0.04, 9, 16));
+    lib.push_back(make("lu_cb", SPL, 1.02, 8500, 0.12, 0.020,
+                       0.15, 0.05, 14, 26));
+    lib.push_back(make("lu_ncb", SPL, 1.20, 11200, 0.20, 0.060,
+                       0.30, 0.30, 14, 26));
+    lib.push_back(make("ocean_cp", SPL, 0.65, 2900, 0.55, 0.040,
+                       0.60, 0.06, 10, 18));
+    lib.push_back(make("ocean_ncp", SPL, 1.06, 9100, 0.45, 0.050,
+                       0.55, 0.08, 11, 20));
+    lib.push_back(make("radiosity", SPL, 1.18, 10900, 0.15, 0.050,
+                       0.20, 0.26, 13, 24));
+    lib.push_back(make("radix", SPL, 0.60, 2100, 0.62, 0.020,
+                       0.80, 0.03, 9, 16));
+    lib.push_back(make("water_nsquared", SPL, 0.95, 7400, 0.10, 0.030,
+                       0.15, 0.05, 15, 30));
+    lib.push_back(make("water_spatial", SPL, 0.80, 5200, 0.12, 0.030,
+                       0.18, 0.05, 12, 22));
+
+    // --- SPEC CPU2006 (SPECrate mode: independent copies) -------------
+    lib.push_back(make("dealII", SPEC, 1.15, 10500, 0.15, 0.0,
+                       0.25, 0.01, 12, 22));
+    lib.push_back(make("povray", SPEC, 1.10, 9700, 0.05, 0.0,
+                       0.10, 0.01, 13, 24));
+    lib.push_back(make("gromacs", SPEC, 1.00, 8200, 0.10, 0.0,
+                       0.15, 0.01, 12, 22));
+    lib.push_back(make("namd", SPEC, 0.99, 8000, 0.08, 0.0,
+                       0.12, 0.01, 12, 22));
+    lib.push_back(make("gamess", SPEC, 1.02, 8500, 0.06, 0.0,
+                       0.10, 0.01, 12, 22));
+    lib.push_back(make("hmmer", SPEC, 0.97, 7700, 0.06, 0.0,
+                       0.10, 0.01, 11, 20));
+    lib.push_back(make("bzip2", SPEC, 0.96, 7600, 0.25, 0.0,
+                       0.30, 0.01, 11, 20));
+    lib.push_back(make("h264ref", SPEC, 0.94, 7300, 0.12, 0.0,
+                       0.18, 0.01, 12, 22));
+    lib.push_back(make("gobmk", SPEC, 0.90, 6700, 0.18, 0.0,
+                       0.22, 0.01, 11, 20));
+    lib.push_back(make("perlbench", SPEC, 0.89, 6500, 0.20, 0.0,
+                       0.28, 0.01, 11, 20));
+    lib.push_back(make("calculix", SPEC, 0.88, 6400, 0.12, 0.0,
+                       0.18, 0.01, 11, 20));
+    lib.push_back(make("astar", SPEC, 0.85, 5900, 0.40, 0.0,
+                       0.45, 0.01, 10, 18));
+    lib.push_back(make("xalancbmk", SPEC, 0.84, 5800, 0.42, 0.0,
+                       0.48, 0.01, 10, 18));
+    lib.push_back(make("sjeng", SPEC, 0.83, 5600, 0.15, 0.0,
+                       0.20, 0.01, 11, 20));
+    lib.push_back(make("sphinx3", SPEC, 0.80, 5200, 0.45, 0.0,
+                       0.50, 0.01, 10, 18));
+    lib.push_back(make("omnetpp", SPEC, 0.78, 4800, 0.55, 0.0,
+                       0.60, 0.01, 10, 18));
+    lib.push_back(make("wrf", SPEC, 0.76, 4500, 0.45, 0.0,
+                       0.50, 0.01, 10, 18));
+    lib.push_back(make("soplex", SPEC, 0.74, 4200, 0.60, 0.0,
+                       0.65, 0.01, 9, 16));
+    lib.push_back(make("gcc", SPEC, 0.72, 3900, 0.35, 0.0,
+                       0.42, 0.01, 10, 18));
+    lib.push_back(make("milc", SPEC, 0.70, 3600, 0.68, 0.0,
+                       0.70, 0.01, 9, 16));
+    lib.push_back(make("bwaves", SPEC, 0.68, 3300, 0.65, 0.0,
+                       0.70, 0.01, 9, 16));
+    lib.push_back(make("mcf", SPEC, 0.58, 1800, 0.85, 0.0,
+                       0.75, 0.01, 8, 14));
+    lib.push_back(make("leslie3d", SPEC, 0.64, 2700, 0.62, 0.0,
+                       0.70, 0.01, 9, 16));
+    lib.push_back(make("cactusADM", SPEC, 0.63, 2600, 0.60, 0.0,
+                       0.65, 0.01, 9, 16));
+    lib.push_back(make("zeusmp", SPEC, 0.59, 2000, 0.58, 0.0,
+                       0.75, 0.01, 9, 16));
+    lib.push_back(make("lbm", SPEC, 0.56, 1500, 0.78, 0.0,
+                       0.85, 0.01, 8, 14));
+    lib.push_back(make("GemsFDTD", SPEC, 0.52, 900, 0.75, 0.0,
+                       0.85, 0.01, 8, 14));
+
+    // --- coremark (core-contained: isolates frequency effects) --------
+    lib.push_back(make("coremark", Suite::Coremark, 0.78, 10000, 0.0, 0.0,
+                       0.02, 0.0, 11, 20));
+
+    // --- WebSearch-like latency-critical service (Fig. 17) ------------
+    lib.push_back(make("websearch", Suite::Datacenter, 0.85, 4500, 0.35,
+                       0.0, 0.40, 0.02, 12, 22));
+
+    return lib;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+library()
+{
+    static const std::vector<BenchmarkProfile> lib = buildLibrary();
+    return lib;
+}
+
+const BenchmarkProfile &
+byName(const std::string &name)
+{
+    for (const auto &p : library()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown benchmark profile: '" + name + "'");
+}
+
+bool
+contains(const std::string &name)
+{
+    for (const auto &p : library()) {
+        if (p.name == name)
+            return true;
+    }
+    return false;
+}
+
+std::vector<BenchmarkProfile>
+bySuite(Suite suite)
+{
+    std::vector<BenchmarkProfile> out;
+    for (const auto &p : library()) {
+        if (p.suite == suite)
+            out.push_back(p);
+    }
+    return out;
+}
+
+std::vector<BenchmarkProfile>
+scalableSet()
+{
+    std::vector<BenchmarkProfile> out = bySuite(Suite::Parsec);
+    const auto splash = bySuite(Suite::Splash2);
+    out.insert(out.end(), splash.begin(), splash.end());
+    return out;
+}
+
+std::vector<BenchmarkProfile>
+specRateSet()
+{
+    return bySuite(Suite::SpecCpu2006);
+}
+
+std::vector<BenchmarkProfile>
+figureFiveSet()
+{
+    return {byName("lu_cb"), byName("raytrace"), byName("swaptions"),
+            byName("radix"), byName("ocean_cp")};
+}
+
+BenchmarkProfile
+throttledCoremark(const std::string &name, InstrPerSec mipsPerThread)
+{
+    const BenchmarkProfile &base = byName("coremark");
+    fatalIf(mipsPerThread <= 0.0 || mipsPerThread > base.mipsPerThread,
+            "throttled coremark MIPS must be in (0, full]");
+    BenchmarkProfile p = base;
+    p.name = name;
+    p.suite = Suite::Synthetic;
+    p.mipsPerThread = mipsPerThread;
+    // Issue-rate throttling scales switching activity (and therefore
+    // dynamic power) with the retire rate, with a floor for the
+    // non-gateable front-end/clock-grid activity.
+    const double ratio = mipsPerThread / base.mipsPerThread;
+    p.intensity = base.intensity * (0.15 + 0.85 * ratio);
+    p.didtTypicalAmp = base.didtTypicalAmp * (0.4 + 0.6 * ratio);
+    p.didtWorstAmp = base.didtWorstAmp * (0.4 + 0.6 * ratio);
+    p.validate();
+    return p;
+}
+
+} // namespace agsim::workload

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The calibrated benchmark-profile library.
+ *
+ * Ships every workload the paper evaluates:
+ *  - the 17 PARSEC + SPLASH-2 benchmarks used for the core-scaling and
+ *    heterogeneity studies (Secs. 3, 4, 5.1),
+ *  - 27 SPEC CPU2006 benchmarks run as SPECrate (Figs. 10, 14, 16),
+ *  - coremark (the core-contained critical app of Fig. 15) and its
+ *    issue-rate-throttled variants (the light/medium/heavy co-runners of
+ *    Sec. 5.2.2),
+ *  - a WebSearch-like latency-critical service profile (Fig. 17).
+ *
+ * Profiles are calibrated against the paper's own per-benchmark
+ * observations — e.g. radix is low-intensity/memory-bound (its power
+ * improvement barely degrades with core count, Fig. 5a) while swaptions
+ * is compute-bound/power-intensive (its improvement collapses from 13%
+ * to 3%); lu_ncb and radiosity carry heavy cross-chip communication
+ * penalties (Fig. 14's left edge); fft/lbm/radix/GemsFDTD are strongly
+ * contention-relieved by distribution (Fig. 14's right edge).
+ */
+
+#ifndef AGSIM_WORKLOAD_LIBRARY_H
+#define AGSIM_WORKLOAD_LIBRARY_H
+
+#include <vector>
+
+#include "workload/profile.h"
+
+namespace agsim::workload {
+
+/** All profiles (stable order: PARSEC, SPLASH-2, SPEC, coremark, DC). */
+const std::vector<BenchmarkProfile> &library();
+
+/** Look up a profile by name; throws ConfigError when unknown. */
+const BenchmarkProfile &byName(const std::string &name);
+
+/** Whether a profile with this name exists. */
+bool contains(const std::string &name);
+
+/** All profiles belonging to one suite. */
+std::vector<BenchmarkProfile> bySuite(Suite suite);
+
+/** The PARSEC + SPLASH-2 set (the paper's scalable multithreaded set). */
+std::vector<BenchmarkProfile> scalableSet();
+
+/** The SPECrate set. */
+std::vector<BenchmarkProfile> specRateSet();
+
+/**
+ * The five workloads the paper tracks through Fig. 5 / Fig. 7:
+ * lu_cb, raytrace, swaptions, radix, ocean_cp.
+ */
+std::vector<BenchmarkProfile> figureFiveSet();
+
+/**
+ * Build a throttled coremark co-runner with the given per-thread MIPS
+ * (Sec. 5.2.2 constructs light/medium/heavy co-runners by constraining
+ * coremark's issue rate; power scales with the throttle).
+ */
+BenchmarkProfile throttledCoremark(const std::string &name,
+                                   InstrPerSec mipsPerThread);
+
+} // namespace agsim::workload
+
+#endif // AGSIM_WORKLOAD_LIBRARY_H

@@ -1,0 +1,98 @@
+#include "workload/profile.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace agsim::workload {
+
+const char *
+suiteName(Suite suite)
+{
+    switch (suite) {
+      case Suite::Parsec: return "PARSEC";
+      case Suite::Splash2: return "SPLASH-2";
+      case Suite::SpecCpu2006: return "SPEC CPU2006";
+      case Suite::Coremark: return "coremark";
+      case Suite::Datacenter: return "datacenter";
+      case Suite::Synthetic: return "synthetic";
+    }
+    return "?";
+}
+
+void
+BenchmarkProfile::validate() const
+{
+    fatalIf(name.empty(), "profile needs a name");
+    fatalIf(intensity <= 0.0 || intensity > 2.0,
+            "profile '" + name + "': intensity out of (0, 2]");
+    fatalIf(mipsPerThread <= 0.0,
+            "profile '" + name + "': mipsPerThread must be positive");
+    fatalIf(memoryBoundedness < 0.0 || memoryBoundedness > 1.0,
+            "profile '" + name + "': memoryBoundedness out of [0, 1]");
+    fatalIf(serialFraction < 0.0 || serialFraction > 1.0,
+            "profile '" + name + "': serialFraction out of [0, 1]");
+    fatalIf(contentionSensitivity < 0.0 || contentionSensitivity > 1.0,
+            "profile '" + name + "': contentionSensitivity out of [0, 1]");
+    fatalIf(crossChipPenalty < 0.0 || crossChipPenalty > 0.5,
+            "profile '" + name + "': crossChipPenalty out of [0, 0.5]");
+    fatalIf(didtTypicalAmp < 0.0 || didtTypicalAmp > 0.1,
+            "profile '" + name + "': didtTypicalAmp out of [0, 100mV]");
+    fatalIf(didtWorstAmp < 0.0 || didtWorstAmp > 0.2,
+            "profile '" + name + "': didtWorstAmp out of [0, 200mV]");
+    fatalIf(totalInstructions <= 0.0,
+            "profile '" + name + "': totalInstructions must be positive");
+    for (const auto &phase : phases) {
+        fatalIf(phase.duration <= 0.0,
+                "profile '" + name + "': phase duration must be positive");
+        fatalIf(phase.intensityScale <= 0.0 || phase.intensityScale > 2.0,
+                "profile '" + name + "': phase intensity out of (0, 2]");
+        fatalIf(phase.rateScale <= 0.0 || phase.rateScale > 2.0,
+                "profile '" + name + "': phase rate out of (0, 2]");
+        fatalIf(intensity * phase.intensityScale > 2.0,
+                "profile '" + name + "': phased intensity exceeds 2.0");
+    }
+}
+
+Seconds
+BenchmarkProfile::phaseCycleLength() const
+{
+    Seconds total = 0.0;
+    for (const auto &phase : phases)
+        total += phase.duration;
+    return total;
+}
+
+WorkloadPhase
+BenchmarkProfile::phaseAt(Seconds t) const
+{
+    if (phases.empty())
+        return WorkloadPhase{0.0, 1.0, 1.0};
+    panicIf(t < 0.0, "negative phase time");
+    const Seconds cycle = phaseCycleLength();
+    Seconds within = std::fmod(t, cycle);
+    for (const auto &phase : phases) {
+        if (within < phase.duration)
+            return phase;
+        within -= phase.duration;
+    }
+    return phases.back();
+}
+
+BenchmarkProfile
+makePhased(const BenchmarkProfile &base, Seconds cycleLength, double duty,
+           double highScale, double lowScale)
+{
+    fatalIf(cycleLength <= 0.0, "phase cycle must be positive");
+    fatalIf(duty <= 0.0 || duty >= 1.0, "duty must be in (0, 1)");
+    BenchmarkProfile phased = base;
+    phased.name = base.name + "-phased";
+    phased.phases = {
+        WorkloadPhase{cycleLength * duty, highScale, highScale},
+        WorkloadPhase{cycleLength * (1.0 - duty), lowScale, lowScale},
+    };
+    phased.validate();
+    return phased;
+}
+
+} // namespace agsim::workload

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Benchmark workload profiles.
+ *
+ * The simulator does not execute instructions; what the paper's effects
+ * depend on is each workload's aggregate behaviour: how much power it
+ * draws, how many instructions it retires, how its throughput responds to
+ * frequency and thread count, and what current-noise signature it puts on
+ * the PDN. A BenchmarkProfile captures exactly those properties for one
+ * workload; the library (library.h) ships calibrated profiles for the
+ * paper's PARSEC, SPLASH-2, SPEC CPU2006 (SPECrate), coremark and
+ * WebSearch workloads.
+ */
+
+#ifndef AGSIM_WORKLOAD_PROFILE_H
+#define AGSIM_WORKLOAD_PROFILE_H
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace agsim::workload {
+
+/**
+ * One execution phase of a phased workload: for `duration`, the
+ * profile's power intensity and instruction rate scale by the given
+ * factors. Real programs alternate compute-heavy and memory-stalled
+ * regions; phases let the simulator exercise the firmware's dynamic
+ * response instead of a steady operating point.
+ */
+struct WorkloadPhase
+{
+    Seconds duration = 0.0;
+    /** Multiplier on the profile's power intensity during the phase. */
+    double intensityScale = 1.0;
+    /** Multiplier on the profile's instruction rate during the phase. */
+    double rateScale = 1.0;
+};
+
+/** Benchmark suite tags (paper Sec. 3.1 / 5.1.2). */
+enum class Suite
+{
+    Parsec,
+    Splash2,
+    SpecCpu2006,
+    Coremark,
+    Datacenter, // WebSearch-like latency-critical services
+    Synthetic,  // throttled co-runners, calibration loads
+};
+
+/** Human-readable suite name. */
+const char *suiteName(Suite suite);
+
+/**
+ * Aggregate behavioural profile of one benchmark.
+ *
+ * Power intensity and noise amplitudes are *per active core*; rate
+ * properties are per thread at the nominal frequency.
+ */
+struct BenchmarkProfile
+{
+    std::string name;
+    Suite suite = Suite::Synthetic;
+
+    /**
+     * Relative dynamic power intensity (effective switching capacitance
+     * ratio): 1.0 draws the power model's coreDynamicAtRef per fully
+     * active core at reference V/f.
+     */
+    double intensity = 1.0;
+
+    /** Per-thread retire rate at nominal frequency, instructions/s. */
+    InstrPerSec mipsPerThread = 5000e6;
+
+    /**
+     * Memory-boundedness in [0, 1]: fraction of execution limited by the
+     * memory subsystem. Governs how throughput scales with core
+     * frequency (0 = fully core-bound, scales linearly with f) and how
+     * sensitive the workload is to on-chip memory contention.
+     */
+    double memoryBoundedness = 0.2;
+
+    /**
+     * Amdahl serial fraction for multithreaded scaling (PARSEC/SPLASH-2
+     * runs). SPECrate copies are independent (0).
+     */
+    double serialFraction = 0.02;
+
+    /**
+     * Throughput loss per co-located thread from shared-memory-subsystem
+     * contention, scaled by memoryBoundedness. Distribution across
+     * sockets relieves this (Fig. 14's right-side winners).
+     */
+    double contentionSensitivity = 0.3;
+
+    /**
+     * Throughput loss when the thread group spans two sockets
+     * (inter-chip communication; Fig. 14's left-side losers such as
+     * lu_ncb and radiosity).
+     */
+    double crossChipPenalty = 0.03;
+
+    /** Typical-case di/dt ripple amplitude per active core. */
+    Volts didtTypicalAmp = 12e-3;
+
+    /** Worst-case droop amplitude per active core. */
+    Volts didtWorstAmp = 22e-3;
+
+    /**
+     * Nominal amount of work for one PARSEC/SPLASH-2-style run *per
+     * thread count of one*: total instructions retired by a single-
+     * threaded run. Multithreaded runs retire the same total work.
+     */
+    double totalInstructions = 400e9;
+
+    /**
+     * Execution phases, cycled for the duration of a run. Empty means
+     * steady behaviour (the library default; the paper's analysis also
+     * works from 32 ms-aggregated steady observations).
+     */
+    std::vector<WorkloadPhase> phases;
+
+    /** Scales (intensityScale, rateScale) at time t since job start. */
+    WorkloadPhase phaseAt(Seconds t) const;
+
+    /** Total cycle length of the phase list (0 when steady). */
+    Seconds phaseCycleLength() const;
+
+    /** Validate invariants; throws ConfigError when out of range. */
+    void validate() const;
+};
+
+/**
+ * Build a phased variant of a profile alternating a high and a low
+ * activity region (duty in [0,1] is the high-phase share).
+ */
+BenchmarkProfile makePhased(const BenchmarkProfile &base,
+                            Seconds cycleLength, double duty,
+                            double highScale, double lowScale);
+
+} // namespace agsim::workload
+
+#endif // AGSIM_WORKLOAD_PROFILE_H

@@ -1,0 +1,212 @@
+#include "workload/profile_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace agsim::workload {
+
+namespace {
+
+const char *
+suiteToken(Suite suite)
+{
+    switch (suite) {
+      case Suite::Parsec: return "parsec";
+      case Suite::Splash2: return "splash2";
+      case Suite::SpecCpu2006: return "spec2006";
+      case Suite::Coremark: return "coremark";
+      case Suite::Datacenter: return "datacenter";
+      case Suite::Synthetic: return "synthetic";
+    }
+    return "synthetic";
+}
+
+Suite
+suiteFromToken(const std::string &token)
+{
+    if (token == "parsec")
+        return Suite::Parsec;
+    if (token == "splash2")
+        return Suite::Splash2;
+    if (token == "spec2006")
+        return Suite::SpecCpu2006;
+    if (token == "coremark")
+        return Suite::Coremark;
+    if (token == "datacenter")
+        return Suite::Datacenter;
+    if (token == "synthetic")
+        return Suite::Synthetic;
+    fatal("unknown suite token '" + token + "'");
+}
+
+double
+parseNumber(const std::string &key, const std::string &text)
+{
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    fatalIf(end == text.c_str() || *end != '\0',
+            "profile key '" + key + "': bad number '" + text + "'");
+    return value;
+}
+
+} // namespace
+
+std::string
+profileToText(const BenchmarkProfile &profile)
+{
+    std::ostringstream out;
+    out << "[" << profile.name << "]\n";
+    out << "suite " << suiteToken(profile.suite) << "\n";
+    char line[96];
+    std::snprintf(line, sizeof(line), "intensity %.6g\n",
+                  profile.intensity);
+    out << line;
+    std::snprintf(line, sizeof(line), "mips_per_thread %.6g\n",
+                  profile.mipsPerThread / 1e6);
+    out << line;
+    std::snprintf(line, sizeof(line), "memory_boundedness %.6g\n",
+                  profile.memoryBoundedness);
+    out << line;
+    std::snprintf(line, sizeof(line), "serial_fraction %.6g\n",
+                  profile.serialFraction);
+    out << line;
+    std::snprintf(line, sizeof(line), "contention_sensitivity %.6g\n",
+                  profile.contentionSensitivity);
+    out << line;
+    std::snprintf(line, sizeof(line), "cross_chip_penalty %.6g\n",
+                  profile.crossChipPenalty);
+    out << line;
+    std::snprintf(line, sizeof(line), "didt_typical_mv %.6g\n",
+                  profile.didtTypicalAmp * 1e3);
+    out << line;
+    std::snprintf(line, sizeof(line), "didt_worst_mv %.6g\n",
+                  profile.didtWorstAmp * 1e3);
+    out << line;
+    std::snprintf(line, sizeof(line), "total_instructions %.6g\n",
+                  profile.totalInstructions);
+    out << line;
+    for (const auto &phase : profile.phases) {
+        std::snprintf(line, sizeof(line), "phase %.6g %.6g %.6g\n",
+                      phase.duration, phase.intensityScale,
+                      phase.rateScale);
+        out << line;
+    }
+    return out.str();
+}
+
+std::vector<BenchmarkProfile>
+parseProfiles(std::istream &in)
+{
+    std::vector<BenchmarkProfile> profiles;
+    std::set<std::string> names;
+    BenchmarkProfile current;
+    bool open = false;
+
+    auto commit = [&]() {
+        if (!open)
+            return;
+        current.validate();
+        fatalIf(!names.insert(current.name).second,
+                "duplicate profile name '" + current.name + "'");
+        profiles.push_back(current);
+        open = false;
+    };
+
+    std::string line;
+    size_t lineNumber = 0;
+    while (std::getline(in, line)) {
+        ++lineNumber;
+        // Strip comments and surrounding whitespace.
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        const auto first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos)
+            continue;
+        const auto last = line.find_last_not_of(" \t\r");
+        line = line.substr(first, last - first + 1);
+
+        if (line.front() == '[') {
+            fatalIf(line.back() != ']',
+                    "line " + std::to_string(lineNumber) +
+                        ": unterminated profile header");
+            commit();
+            current = BenchmarkProfile();
+            current.name = line.substr(1, line.size() - 2);
+            current.suite = Suite::Synthetic;
+            fatalIf(current.name.empty(),
+                    "line " + std::to_string(lineNumber) +
+                        ": empty profile name");
+            open = true;
+            continue;
+        }
+        fatalIf(!open, "line " + std::to_string(lineNumber) +
+                           ": key outside a [profile] block");
+
+        std::istringstream fields(line);
+        std::string key;
+        fields >> key;
+        std::string rest;
+        std::getline(fields, rest);
+        const auto valueStart = rest.find_first_not_of(" \t");
+        rest = valueStart == std::string::npos ? ""
+                                               : rest.substr(valueStart);
+        fatalIf(rest.empty(), "profile key '" + key + "' needs a value");
+
+        if (key == "suite") {
+            current.suite = suiteFromToken(rest);
+        } else if (key == "intensity") {
+            current.intensity = parseNumber(key, rest);
+        } else if (key == "mips_per_thread") {
+            current.mipsPerThread = parseNumber(key, rest) * 1e6;
+        } else if (key == "memory_boundedness") {
+            current.memoryBoundedness = parseNumber(key, rest);
+        } else if (key == "serial_fraction") {
+            current.serialFraction = parseNumber(key, rest);
+        } else if (key == "contention_sensitivity") {
+            current.contentionSensitivity = parseNumber(key, rest);
+        } else if (key == "cross_chip_penalty") {
+            current.crossChipPenalty = parseNumber(key, rest);
+        } else if (key == "didt_typical_mv") {
+            current.didtTypicalAmp = parseNumber(key, rest) * 1e-3;
+        } else if (key == "didt_worst_mv") {
+            current.didtWorstAmp = parseNumber(key, rest) * 1e-3;
+        } else if (key == "total_instructions") {
+            current.totalInstructions = parseNumber(key, rest);
+        } else if (key == "phase") {
+            std::istringstream phaseFields(rest);
+            WorkloadPhase phase;
+            phaseFields >> phase.duration >> phase.intensityScale >>
+                phase.rateScale;
+            fatalIf(phaseFields.fail(),
+                    "profile key 'phase' needs three numbers");
+            current.phases.push_back(phase);
+        } else {
+            fatal("unknown profile key '" + key + "' at line " +
+                  std::to_string(lineNumber));
+        }
+    }
+    commit();
+    return profiles;
+}
+
+std::vector<BenchmarkProfile>
+parseProfiles(const std::string &text)
+{
+    std::istringstream in(text);
+    return parseProfiles(in);
+}
+
+std::vector<BenchmarkProfile>
+loadProfiles(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in.good(), "cannot read profile file '" + path + "'");
+    return parseProfiles(in);
+}
+
+} // namespace agsim::workload

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Text serialization of workload profiles.
+ *
+ * Lets users characterize their own applications (from perf counters on
+ * real machines) and feed them to agsim without recompiling: a profile
+ * is a block of `key value` lines, a file holds many blocks separated
+ * by `[name]` headers. The sweep example accepts such files.
+ *
+ * Format example:
+ *
+ *     [my-service]
+ *     suite synthetic
+ *     intensity 0.92
+ *     mips_per_thread 7200
+ *     memory_boundedness 0.25
+ *     serial_fraction 0.0
+ *     contention_sensitivity 0.3
+ *     cross_chip_penalty 0.02
+ *     didt_typical_mv 12
+ *     didt_worst_mv 22
+ *     total_instructions 4e11
+ *     phase 0.3 1.2 1.2
+ *     phase 0.7 0.6 0.6
+ *
+ * Unknown keys are rejected (typos should fail loudly); all keys except
+ * the name are optional and default to the BenchmarkProfile defaults.
+ */
+
+#ifndef AGSIM_WORKLOAD_PROFILE_IO_H
+#define AGSIM_WORKLOAD_PROFILE_IO_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/profile.h"
+
+namespace agsim::workload {
+
+/** Serialize one profile to the text format. */
+std::string profileToText(const BenchmarkProfile &profile);
+
+/**
+ * Parse every profile block from a stream.
+ *
+ * @throws ConfigError on unknown keys, malformed numbers, duplicate
+ *         names or a failed profile validation.
+ */
+std::vector<BenchmarkProfile> parseProfiles(std::istream &in);
+
+/** Parse from a string (convenience). */
+std::vector<BenchmarkProfile> parseProfiles(const std::string &text);
+
+/** Load profiles from a file path. @throws ConfigError if unreadable. */
+std::vector<BenchmarkProfile> loadProfiles(const std::string &path);
+
+} // namespace agsim::workload
+
+#endif // AGSIM_WORKLOAD_PROFILE_IO_H

@@ -1,0 +1,91 @@
+#include "workload/threaded_workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace agsim::workload {
+
+ThreadedWorkload::ThreadedWorkload(const BenchmarkProfile &profile,
+                                   RunMode mode, Hertz nominalFrequency)
+    : profile_(profile), mode_(mode), nominalFrequency_(nominalFrequency)
+{
+    profile_.validate();
+    fatalIf(nominalFrequency_ <= 0.0,
+            "nominal frequency must be positive");
+}
+
+double
+ThreadedWorkload::frequencyScale(Hertz f) const
+{
+    panicIf(f < 0.0, "negative frequency");
+    const double mb = profile_.memoryBoundedness;
+    return (1.0 - mb) * (f / nominalFrequency_) + mb;
+}
+
+double
+ThreadedWorkload::amdahlEfficiency(size_t totalThreads) const
+{
+    panicIf(totalThreads == 0, "thread group cannot be empty");
+    if (mode_ == RunMode::Rate)
+        return 1.0;
+    // speedup(n) = n / (1 + serial*(n-1)); per-thread efficiency is
+    // speedup / n.
+    const double n = double(totalThreads);
+    return 1.0 / (1.0 + profile_.serialFraction * (n - 1.0));
+}
+
+double
+ThreadedWorkload::contentionLoss(size_t threadsOnChip,
+                                 size_t coresPerChip) const
+{
+    panicIf(coresPerChip == 0, "coresPerChip cannot be zero");
+    if (threadsOnChip <= 1)
+        return 0.0;
+    const double crowding = double(threadsOnChip - 1) /
+                            double(std::max<size_t>(coresPerChip - 1, 1));
+    const double loss = profile_.contentionSensitivity *
+                        profile_.memoryBoundedness * crowding;
+    // Cap: even a pathological workload retains some forward progress.
+    return std::min(loss, 0.60);
+}
+
+double
+ThreadedWorkload::crossChipLoss(bool spansChips) const
+{
+    return spansChips ? profile_.crossChipPenalty : 0.0;
+}
+
+InstrPerSec
+ThreadedWorkload::threadRate(const PlacementContext &ctx, Hertz f) const
+{
+    // threadsOnChip counts *all* jobs' threads on the chip (cross-job
+    // contention), so it may exceed this job's own thread count.
+    panicIf(ctx.threadsOnChip == 0 || ctx.totalThreads == 0,
+            "empty placement context");
+    return profile_.mipsPerThread * frequencyScale(f) *
+           amdahlEfficiency(ctx.totalThreads) *
+           (1.0 - contentionLoss(ctx.threadsOnChip, ctx.coresPerChip)) *
+           (1.0 - crossChipLoss(ctx.spansChips));
+}
+
+double
+ThreadedWorkload::totalWork(size_t threads) const
+{
+    panicIf(threads == 0, "thread group cannot be empty");
+    if (mode_ == RunMode::Rate)
+        return profile_.totalInstructions * double(threads);
+    return profile_.totalInstructions;
+}
+
+double
+ThreadedWorkload::groupSpeedup(const PlacementContext &ctx, Hertz f) const
+{
+    const InstrPerSec one =
+        threadRate(PlacementContext{1, 1, false, ctx.coresPerChip},
+                   nominalFrequency_);
+    return double(ctx.totalThreads) * threadRate(ctx, f) / one;
+}
+
+} // namespace agsim::workload

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Throughput model for a thread group running one benchmark.
+ *
+ * Converts a BenchmarkProfile plus a placement context (thread count,
+ * threads per chip, whether the group spans sockets) and a core frequency
+ * into a per-thread instruction rate, and tracks aggregate work progress.
+ *
+ * Rate composition (multiplicative):
+ *   mipsPerThread * frequencyScale(f) * amdahlEfficiency(n)
+ *                 * (1 - contentionLoss(threads on same chip))
+ *                 * (1 - crossChipLoss)
+ *
+ * - frequencyScale honours memory-boundedness: a fully core-bound thread
+ *   scales linearly with f, a fully memory-bound one not at all — this is
+ *   what makes overclocking benefit "especially computing-bound
+ *   workloads" (paper Sec. 3.2).
+ * - contentionLoss models shared memory-subsystem pressure on one chip;
+ *   distributing threads across sockets relieves it (Fig. 14 winners).
+ * - crossChipLoss models inter-chip communication when a *communicating*
+ *   thread group spans sockets (Fig. 14 losers). SPECrate copies are
+ *   independent and configured with a negligible penalty.
+ */
+
+#ifndef AGSIM_WORKLOAD_THREADED_WORKLOAD_H
+#define AGSIM_WORKLOAD_THREADED_WORKLOAD_H
+
+#include <cstddef>
+
+#include "common/units.h"
+#include "workload/profile.h"
+
+namespace agsim::workload {
+
+/** Execution mode for a thread group. */
+enum class RunMode
+{
+    /** One parallel program: fixed total work, Amdahl scaling. */
+    Multithreaded,
+    /** Independent copies (SPECrate): per-copy work, no serial fraction. */
+    Rate,
+};
+
+/** Placement context for rate evaluation. */
+struct PlacementContext
+{
+    /** Total threads in the group. */
+    size_t totalThreads = 1;
+    /** Threads co-located on the same chip as the thread in question. */
+    size_t threadsOnChip = 1;
+    /** Whether the group spans more than one chip. */
+    bool spansChips = false;
+    /** Cores per chip sharing the memory subsystem. */
+    size_t coresPerChip = 8;
+};
+
+/**
+ * Rate/progress model for one benchmark's thread group.
+ */
+class ThreadedWorkload
+{
+  public:
+    /**
+     * @param profile Benchmark profile (copied).
+     * @param mode Multithreaded (PARSEC/SPLASH-2) or Rate (SPECrate).
+     * @param nominalFrequency Frequency the profile's MIPS is quoted at.
+     */
+    ThreadedWorkload(const BenchmarkProfile &profile, RunMode mode,
+                     Hertz nominalFrequency = 4.2e9);
+
+    const BenchmarkProfile &profile() const { return profile_; }
+    RunMode mode() const { return mode_; }
+
+    /** Frequency scaling factor for throughput (1.0 at nominal f). */
+    double frequencyScale(Hertz f) const;
+
+    /** Per-thread Amdahl efficiency at n threads (1.0 in Rate mode). */
+    double amdahlEfficiency(size_t totalThreads) const;
+
+    /** Fractional loss from same-chip memory contention. */
+    double contentionLoss(size_t threadsOnChip, size_t coresPerChip) const;
+
+    /** Fractional loss from spanning sockets. */
+    double crossChipLoss(bool spansChips) const;
+
+    /** Per-thread instruction rate under the given placement/frequency. */
+    InstrPerSec threadRate(const PlacementContext &ctx, Hertz f) const;
+
+    /**
+     * Total work of the run: the profile's totalInstructions for a
+     * multithreaded program, totalInstructions * copies for Rate mode.
+     */
+    double totalWork(size_t threads) const;
+
+    /** Whole-group speedup over one thread at nominal frequency. */
+    double groupSpeedup(const PlacementContext &ctx, Hertz f) const;
+
+  private:
+    BenchmarkProfile profile_;
+    RunMode mode_;
+    Hertz nominalFrequency_;
+};
+
+} // namespace agsim::workload
+
+#endif // AGSIM_WORKLOAD_THREADED_WORKLOAD_H

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Integration tests for the paper's Sec. 5 (AGS): loadline borrowing
+ * (Figs. 12-14), colocation frequency effects (Fig. 15), the MIPS
+ * predictor trained on simulator data (Fig. 16), and the end-to-end
+ * adaptive-mapping loop on WebSearch (Fig. 17).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/adaptive_mapping.h"
+#include "core/ags.h"
+#include "core/mips_predictor.h"
+#include "qos/websearch.h"
+#include "system/simulation.h"
+#include "workload/library.h"
+
+namespace agsim {
+namespace {
+
+using chip::GuardbandMode;
+using core::PlacementPolicy;
+using core::ScheduledRunSpec;
+using core::runScheduled;
+using system::Job;
+using system::Server;
+using system::SimulationConfig;
+using system::ThreadPlacement;
+using system::WorkloadSimulation;
+using workload::RunMode;
+using workload::ThreadedWorkload;
+using workload::byName;
+
+ScheduledRunSpec
+borrowingSpec(const workload::BenchmarkProfile &profile, size_t threads,
+              PlacementPolicy policy, GuardbandMode mode)
+{
+    ScheduledRunSpec spec;
+    spec.profile = profile;
+    spec.threads = threads;
+    spec.runMode = RunMode::Multithreaded;
+    spec.policy = policy;
+    spec.mode = mode;
+    spec.poweredCoreBudget = 8; // the paper's 8-of-16 scenario
+    spec.simConfig.measureDuration = 1.0;
+    spec.simConfig.warmup = 1.0;
+    return spec;
+}
+
+TEST(LoadlineBorrowing, Fig12DeeperUndervoltOnBothSockets)
+{
+    const auto &profile = byName("raytrace");
+    const auto cons = runScheduled(borrowingSpec(
+        profile, 8, PlacementPolicy::Consolidate,
+        GuardbandMode::AdaptiveUndervolt));
+    const auto borrow = runScheduled(borrowingSpec(
+        profile, 8, PlacementPolicy::LoadlineBorrow,
+        GuardbandMode::AdaptiveUndervolt));
+
+    // Borrowing undervolts deeper than the consolidated socket.
+    EXPECT_GT(borrow.metrics.socketUndervolt[0],
+              cons.metrics.socketUndervolt[0] + 0.015);
+    EXPECT_GT(borrow.metrics.socketUndervolt[1],
+              cons.metrics.socketUndervolt[0] + 0.015);
+    // And saves total chip power (Fig. 12b: ~8.5% at 8 cores; we
+    // reproduce the direction with a >=3% gap).
+    EXPECT_LT(borrow.metrics.totalChipPower,
+              cons.metrics.totalChipPower * 0.97);
+}
+
+TEST(LoadlineBorrowing, Fig12BenefitGrowsWithActiveCores)
+{
+    const auto &profile = byName("raytrace");
+    auto benefit = [&profile](size_t threads) {
+        const auto cons = runScheduled(borrowingSpec(
+            profile, threads, PlacementPolicy::Consolidate,
+            GuardbandMode::AdaptiveUndervolt));
+        const auto borrow = runScheduled(borrowingSpec(
+            profile, threads, PlacementPolicy::LoadlineBorrow,
+            GuardbandMode::AdaptiveUndervolt));
+        return 1.0 - borrow.metrics.totalChipPower /
+                     cons.metrics.totalChipPower;
+    };
+    const double atTwo = benefit(2);
+    const double atEight = benefit(8);
+    EXPECT_GT(atEight, atTwo);
+    EXPECT_GT(atEight, 0.03);
+}
+
+TEST(LoadlineBorrowing, Fig13DoublesAdaptiveImprovement)
+{
+    // Paper: at 8 cores baseline adaptive guardbanding improves ~5.5%
+    // over static; borrowing roughly doubles it.
+    const auto &profile = byName("raytrace");
+    const auto stat = runScheduled(borrowingSpec(
+        profile, 8, PlacementPolicy::Consolidate,
+        GuardbandMode::StaticGuardband));
+    const auto cons = runScheduled(borrowingSpec(
+        profile, 8, PlacementPolicy::Consolidate,
+        GuardbandMode::AdaptiveUndervolt));
+    const auto borrow = runScheduled(borrowingSpec(
+        profile, 8, PlacementPolicy::LoadlineBorrow,
+        GuardbandMode::AdaptiveUndervolt));
+
+    const double baseline = 1.0 - cons.metrics.totalChipPower /
+                                  stat.metrics.totalChipPower;
+    const double borrowed = 1.0 - borrow.metrics.totalChipPower /
+                                  stat.metrics.totalChipPower;
+    EXPECT_GT(baseline, 0.03);
+    EXPECT_LT(baseline, 0.09);
+    EXPECT_GT(borrowed, baseline * 1.5);
+}
+
+TEST(LoadlineBorrowing, Fig14WinnersAndLosers)
+{
+    // Energy improvement = P*T ratio between consolidation and
+    // borrowing for rate workloads (throughput semantics).
+    auto energyImprovement = [](const std::string &name) {
+        const auto &profile = byName(name);
+        const auto mode = profile.serialFraction > 0.0
+                              ? RunMode::Multithreaded
+                              : RunMode::Rate;
+        auto run = [&](PlacementPolicy policy) {
+            ScheduledRunSpec spec = borrowingSpec(
+                profile, 8, policy, GuardbandMode::AdaptiveUndervolt);
+            spec.runMode = mode;
+            const auto result = runScheduled(spec);
+            // Energy per unit of work: power / throughput.
+            return result.metrics.totalChipPower /
+                   result.metrics.jobs[0].meanRate;
+        };
+        const double cons = run(PlacementPolicy::Consolidate);
+        const double borrow = run(PlacementPolicy::LoadlineBorrow);
+        return 1.0 - borrow / cons; // positive = borrowing wins
+    };
+
+    // Cross-chip-communication losers (paper: lu_ncb, radiosity lose
+    // >20% performance and net energy).
+    EXPECT_LT(energyImprovement("lu_ncb"), 0.0);
+    EXPECT_LT(energyImprovement("radiosity"), 0.0);
+    // Contention-relieved winners (paper: radix, fft 50-171% energy
+    // improvement).
+    EXPECT_GT(energyImprovement("radix"), 0.15);
+    EXPECT_GT(energyImprovement("fft"), 0.15);
+    // A neutral compute-bound workload still benefits from power.
+    EXPECT_GT(energyImprovement("swaptions"), 0.0);
+}
+
+TEST(Colocation, Fig15CorunnerMovesCriticalFrequency)
+{
+    // coremark on core 0, 7 co-runner threads on cores 1-7.
+    auto core0Frequency = [](const std::string &other) {
+        Server server;
+        server.setMode(GuardbandMode::AdaptiveOverclock);
+        WorkloadSimulation sim(&server);
+        sim.addJob(Job{ThreadedWorkload(byName("coremark"), RunMode::Rate),
+                       {ThreadPlacement{0, 0}}, "critical"});
+        if (!other.empty()) {
+            std::vector<ThreadPlacement> rest;
+            for (size_t core = 1; core < 8; ++core)
+                rest.push_back(ThreadPlacement{0, core});
+            sim.addJob(Job{ThreadedWorkload(byName(other), RunMode::Rate),
+                           rest, other});
+        }
+        SimulationConfig config;
+        config.measureDuration = 0.5;
+        config.warmup = 0.8;
+        sim.run(config);
+        return server.chip(0).coreFrequency(0);
+    };
+
+    const Hertz withLuCb = core0Frequency("lu_cb");
+    const Hertz withCoremark = core0Frequency("coremark");
+    const Hertz withMcf = core0Frequency("mcf");
+    // Paper Fig. 15: lu_cb colocation drags coremark down, mcf lifts it,
+    // and the span exceeds 100 MHz.
+    EXPECT_LT(withLuCb, withCoremark);
+    EXPECT_GT(withMcf, withCoremark);
+    EXPECT_GT(withMcf - withLuCb, 100e6);
+}
+
+TEST(MipsPredictor, Fig16TrainedOnSimulatorData)
+{
+    core::MipsFreqPredictor predictor;
+    for (const auto &profile : workload::library()) {
+        if (profile.suite == workload::Suite::Coremark ||
+            profile.suite == workload::Suite::Datacenter)
+            continue;
+        ScheduledRunSpec spec;
+        spec.profile = profile;
+        spec.threads = 8;
+        spec.runMode = profile.serialFraction > 0.0
+                           ? RunMode::Multithreaded
+                           : RunMode::Rate;
+        spec.mode = GuardbandMode::AdaptiveOverclock;
+        spec.poweredCoreBudget = 0;
+        spec.simConfig.measureDuration = 0.5;
+        spec.simConfig.warmup = 0.8;
+        const auto result = runScheduled(spec);
+        predictor.observe(result.metrics.meanChipMips,
+                          result.metrics.meanFrequency);
+    }
+    ASSERT_EQ(predictor.observations(), 44u);
+    // Frequency falls with MIPS; fit is tight (paper RMSE 0.3%; our
+    // population keeps it under ~1%).
+    EXPECT_LT(predictor.slope(), 0.0);
+    EXPECT_LT(predictor.rmsePercent(), 1.0);
+    EXPECT_GT(predictor.r2(), 0.6);
+}
+
+TEST(AdaptiveMapping, Fig17EndToEndLoop)
+{
+    // The full Sec. 5.2.2 scenario: WebSearch pinned to one core, three
+    // throttled-coremark co-runner classes; the scheduler starts blind
+    // on heavy, detects QoS violations, and swaps to a fitting
+    // co-runner; the violation rate must drop.
+    const std::vector<std::pair<std::string, double>> classes = {
+        {"light", 13000.0}, {"medium", 28000.0}, {"heavy", 70000.0}};
+
+    // Measure the chip frequency under each co-runner class.
+    std::vector<core::CorunnerOption> options;
+    std::vector<Hertz> freq;
+    core::AdaptiveMappingScheduler scheduler;
+    for (const auto &[name, mips] : classes) {
+        const auto profile = workload::throttledCoremark(
+            name, mips * 1e6 / 7.0);
+        Server server;
+        server.setMode(GuardbandMode::AdaptiveOverclock);
+        WorkloadSimulation sim(&server);
+        sim.addJob(Job{ThreadedWorkload(byName("websearch"),
+                                        RunMode::Rate),
+                       {ThreadPlacement{0, 0}}, "websearch"});
+        std::vector<ThreadPlacement> rest;
+        for (size_t core = 1; core < 8; ++core)
+            rest.push_back(ThreadPlacement{0, core});
+        sim.addJob(Job{ThreadedWorkload(profile, RunMode::Rate), rest,
+                       name});
+        SimulationConfig config;
+        config.measureDuration = 0.5;
+        config.warmup = 0.8;
+        const auto metrics = sim.run(config);
+        const Hertz f = server.chip(0).coreFrequency(0);
+        freq.push_back(f);
+        options.push_back(core::CorunnerOption{
+            name, metrics.meanChipMips, mips * 0.1});
+        scheduler.observeFrequency(metrics.meanChipMips, f);
+    }
+    ASSERT_EQ(freq.size(), 3u);
+    EXPECT_GT(freq[0], freq[2]); // light leaves more frequency
+
+    // QoS under each class.
+    qos::WebSearchService service;
+    std::vector<double> violation;
+    for (size_t i = 0; i < 3; ++i) {
+        service.reseed(service.params().seed);
+        const auto windows = service.simulate(freq[i], 30000.0);
+        violation.push_back(qos::WebSearchService::violationRate(windows));
+        scheduler.observeQos(freq[i],
+                             qos::WebSearchService::meanP90(windows));
+    }
+    // Ordering: light < medium < heavy (paper: <7%, ~15%, >25%).
+    EXPECT_LT(violation[0], violation[1]);
+    EXPECT_LT(violation[1], violation[2]);
+    EXPECT_GT(violation[2], 0.25);
+    EXPECT_LT(violation[0], 0.10);
+
+    // Blind placement on heavy violates; the scheduler must swap off it.
+    const auto decision = scheduler.decide(
+        violation[2], service.params().qosTargetP90, 4500.0, 2, options);
+    ASSERT_TRUE(decision.swap);
+    EXPECT_NE(decision.corunnerIndex, 2u);
+    // The swap lands on a class with a measured lower violation rate.
+    EXPECT_LT(violation[decision.corunnerIndex], violation[2]);
+}
+
+} // namespace
+} // namespace agsim

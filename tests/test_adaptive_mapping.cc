@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Adaptive-mapping scheduler tests: the Fig. 18 decision flow.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "core/adaptive_mapping.h"
+
+namespace agsim::core {
+namespace {
+
+/** Scheduler with a trained predictor and latency-sensitive QoS model. */
+AdaptiveMappingScheduler
+trainedScheduler()
+{
+    AdaptiveMappingScheduler scheduler;
+    // Frequency predictor: 4.6 GHz intercept, -2.5 MHz/kMIPS.
+    for (double mips = 5000; mips <= 80000; mips += 5000)
+        scheduler.observeFrequency(mips, 4.6e9 - 2500.0 * mips);
+    // QoS model: p90 improves 5 ms per 10 MHz; with the 8% tail guard
+    // a 0.5 s target lands near 4.53 GHz, admitting only the lightest
+    // co-runner.
+    for (double f = 4.40e9; f <= 4.60e9; f += 0.02e9)
+        scheduler.observeQos(f, 0.520 - (f - 4.40e9) * 5e-10);
+    return scheduler;
+}
+
+std::vector<CorunnerOption>
+candidates()
+{
+    // The paper's light/medium/heavy co-runners (Sec. 5.2.2).
+    return {{"light", 13000.0, 100.0},
+            {"medium", 28000.0, 300.0},
+            {"heavy", 70000.0, 200.0}};
+}
+
+TEST(AdaptiveMapping, KeepsMappingWhenQosHealthy)
+{
+    const auto scheduler = trainedScheduler();
+    const auto decision = scheduler.decide(0.10, 0.5, 4500.0, 2,
+                                           candidates());
+    EXPECT_FALSE(decision.swap);
+}
+
+TEST(AdaptiveMapping, SwapsHeavyForFittingCorunner)
+{
+    const auto scheduler = trainedScheduler();
+    // Violating on the heavy co-runner (index 2).
+    const auto decision = scheduler.decide(0.40, 0.5, 4500.0, 2,
+                                           candidates());
+    EXPECT_TRUE(decision.swap);
+    EXPECT_NE(decision.corunnerIndex, 2u);
+    EXPECT_GT(decision.requiredFrequency, 0.0);
+    EXPECT_GT(decision.corunnerMipsBudget, 0.0);
+    // Picks the heaviest candidate that fits the budget.
+    const auto c = candidates();
+    EXPECT_LE(c[decision.corunnerIndex].totalMips,
+              decision.corunnerMipsBudget);
+}
+
+TEST(AdaptiveMapping, TightTargetFallsBackToLightest)
+{
+    auto scheduler = trainedScheduler();
+    // Target far below anything achievable: budget collapses to zero.
+    const auto decision = scheduler.decide(0.40, 0.300, 4500.0, 2,
+                                           candidates());
+    EXPECT_TRUE(decision.swap);
+    EXPECT_EQ(decision.corunnerIndex, 0u); // light has lowest MIPS
+    EXPECT_DOUBLE_EQ(decision.corunnerMipsBudget, 0.0);
+}
+
+TEST(AdaptiveMapping, GenerousTargetKeepsHeavy)
+{
+    const auto scheduler = trainedScheduler();
+    // Violation triggered but the target is loose: heavy fits; since
+    // heavy is already scheduled, no swap.
+    const auto decision = scheduler.decide(0.40, 0.600, 4500.0, 2,
+                                           candidates());
+    EXPECT_FALSE(decision.swap);
+    EXPECT_EQ(decision.corunnerIndex, 2u);
+}
+
+TEST(AdaptiveMapping, MemoryPathWhenNotFrequencySensitive)
+{
+    AdaptiveMappingScheduler scheduler;
+    for (double mips = 5000; mips <= 80000; mips += 5000)
+        scheduler.observeFrequency(mips, 4.6e9 - 2500.0 * mips);
+    // QoS flat in frequency -> memory-contention branch.
+    for (double f = 4.40e9; f <= 4.60e9; f += 0.02e9)
+        scheduler.observeQos(f, 0.510);
+    const auto decision = scheduler.decide(0.40, 0.5, 4500.0, 2,
+                                           candidates());
+    EXPECT_TRUE(decision.swap);
+    // Lowest memory pressure is "light" (100.0).
+    EXPECT_EQ(decision.corunnerIndex, 0u);
+}
+
+TEST(AdaptiveMapping, UntrainedModelsUseMemoryPath)
+{
+    AdaptiveMappingScheduler scheduler;
+    const auto decision = scheduler.decide(0.40, 0.5, 4500.0, 1,
+                                           candidates());
+    EXPECT_TRUE(decision.swap);
+    EXPECT_EQ(decision.corunnerIndex, 0u);
+}
+
+TEST(AdaptiveMapping, ThresholdIsConfigurable)
+{
+    AdaptiveMappingParams params;
+    params.violationThreshold = 0.05;
+    AdaptiveMappingScheduler scheduler(params);
+    const auto decision = scheduler.decide(0.10, 0.5, 4500.0, 0,
+                                           candidates());
+    // 10% violation exceeds the 5% threshold -> acts.
+    EXPECT_EQ(decision.swap || decision.corunnerIndex == 0, true);
+    EXPECT_NE(decision.reason.find("co-runner"), std::string::npos);
+}
+
+std::vector<CorunnerPoolEntry>
+pooled(size_t lightCount, size_t mediumCount, size_t heavyCount)
+{
+    const auto c = candidates();
+    return {{c[0], lightCount}, {c[1], mediumCount}, {c[2], heavyCount}};
+}
+
+TEST(AdaptiveMappingPool, MultiAppSharesFinitePool)
+{
+    const auto scheduler = trainedScheduler();
+    // Two violating apps both mapped on heavy; only ONE light instance
+    // is free. The first (higher priority) app takes it; the second
+    // falls back to whatever remains visible.
+    std::vector<CriticalAppState> apps = {
+        {"search-a", 0.40, 0.5, 4500.0, 2},
+        {"search-b", 0.40, 0.5, 4500.0, 2},
+    };
+    auto pool = pooled(1, 0, 1);
+    const auto decisions = scheduler.decideAll(apps, pool);
+    ASSERT_EQ(decisions.size(), 2u);
+    EXPECT_TRUE(decisions[0].swap);
+    EXPECT_EQ(decisions[0].corunnerIndex, 0u); // takes the light slot
+    // Light is now exhausted; app b sees only heavy (its own class,
+    // one instance of which app a released).
+    EXPECT_FALSE(decisions[1].swap);
+    EXPECT_EQ(decisions[1].corunnerIndex, 2u);
+    // Pool bookkeeping: a's heavy instance went back.
+    EXPECT_EQ(pool[0].available, 0u);
+    EXPECT_EQ(pool[2].available, 2u);
+}
+
+TEST(AdaptiveMappingPool, ReleasedInstanceServesNextApp)
+{
+    const auto scheduler = trainedScheduler();
+    // App a swaps heavy -> light, releasing a heavy instance; app b
+    // (healthy QoS) keeps its mapping untouched.
+    std::vector<CriticalAppState> apps = {
+        {"violating", 0.40, 0.5, 4500.0, 2},
+        {"healthy", 0.05, 0.5, 4500.0, 0},
+    };
+    auto pool = pooled(1, 1, 0);
+    const auto decisions = scheduler.decideAll(apps, pool);
+    EXPECT_TRUE(decisions[0].swap);
+    EXPECT_FALSE(decisions[1].swap);
+    EXPECT_EQ(pool[2].available, 1u); // the released heavy instance
+}
+
+TEST(AdaptiveMappingPool, Validation)
+{
+    const auto scheduler = trainedScheduler();
+    std::vector<CorunnerPoolEntry> empty;
+    std::vector<CriticalAppState> apps = {{"a", 0.4, 0.5, 4500.0, 0}};
+    EXPECT_THROW(scheduler.decideAll(apps, empty), ConfigError);
+
+    auto pool = pooled(1, 1, 1);
+    apps[0].currentCorunner = 9;
+    EXPECT_THROW(scheduler.decideAll(apps, pool), ConfigError);
+}
+
+TEST(AdaptiveMapping, Validation)
+{
+    const auto scheduler = trainedScheduler();
+    EXPECT_THROW(scheduler.decide(0.4, 0.5, 4500.0, 0, {}), ConfigError);
+    EXPECT_THROW(scheduler.decide(0.4, 0.5, 4500.0, 9, candidates()),
+                 ConfigError);
+    AdaptiveMappingParams bad;
+    bad.violationThreshold = 1.5;
+    EXPECT_THROW(AdaptiveMappingScheduler{bad}, ConfigError);
+}
+
+} // namespace
+} // namespace agsim::core

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Bootstrap confidence-interval tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "stats/bootstrap.h"
+
+namespace agsim::stats {
+namespace {
+
+TEST(Bootstrap, MeanMatchesSampleMean)
+{
+    const std::vector<double> samples{1.0, 2.0, 3.0, 4.0, 5.0};
+    const auto ci = bootstrapMean(samples);
+    EXPECT_DOUBLE_EQ(ci.mean, 3.0);
+    EXPECT_LE(ci.lo, ci.mean);
+    EXPECT_GE(ci.hi, ci.mean);
+    EXPECT_TRUE(ci.contains(3.0));
+}
+
+TEST(Bootstrap, SingleSampleDegenerates)
+{
+    const auto ci = bootstrapMean({7.0});
+    EXPECT_DOUBLE_EQ(ci.mean, 7.0);
+    EXPECT_DOUBLE_EQ(ci.lo, 7.0);
+    EXPECT_DOUBLE_EQ(ci.hi, 7.0);
+    EXPECT_DOUBLE_EQ(ci.halfWidth(), 0.0);
+}
+
+TEST(Bootstrap, DeterministicBySeed)
+{
+    const std::vector<double> samples{0.2, 0.9, 1.4, 2.2, 3.1, 0.7};
+    const auto a = bootstrapMean(samples, 0.95, 500, 42);
+    const auto b = bootstrapMean(samples, 0.95, 500, 42);
+    const auto c = bootstrapMean(samples, 0.95, 500, 43);
+    EXPECT_DOUBLE_EQ(a.lo, b.lo);
+    EXPECT_DOUBLE_EQ(a.hi, b.hi);
+    EXPECT_NE(a.lo, c.lo);
+}
+
+TEST(Bootstrap, IntervalShrinksWithMoreData)
+{
+    Rng rng(9);
+    std::vector<double> small, large;
+    for (int i = 0; i < 2000; ++i) {
+        const double x = rng.normal(10.0, 2.0);
+        if (i < 50)
+            small.push_back(x);
+        large.push_back(x);
+    }
+    const auto narrow = bootstrapMean(large);
+    const auto wide = bootstrapMean(small);
+    EXPECT_LT(narrow.halfWidth(), wide.halfWidth());
+    EXPECT_TRUE(narrow.contains(10.0));
+}
+
+TEST(Bootstrap, CoverageNearNominal)
+{
+    // Over many independent datasets the 95% CI should cover the true
+    // mean ~95% of the time (allow a generous band).
+    Rng rng(17);
+    int covered = 0;
+    const int trials = 200;
+    for (int trial = 0; trial < trials; ++trial) {
+        std::vector<double> samples;
+        for (int i = 0; i < 40; ++i)
+            samples.push_back(rng.normal(5.0, 1.5));
+        const auto ci = bootstrapMean(samples, 0.95, 400,
+                                      uint64_t(trial));
+        covered += ci.contains(5.0) ? 1 : 0;
+    }
+    EXPECT_GT(covered, trials * 0.86);
+    EXPECT_LE(covered, trials);
+}
+
+TEST(Bootstrap, FractionOverFlags)
+{
+    std::vector<bool> flags(100, false);
+    for (int i = 0; i < 25; ++i)
+        flags[size_t(i)] = true;
+    const auto ci = bootstrapFraction(flags);
+    EXPECT_DOUBLE_EQ(ci.mean, 0.25);
+    EXPECT_GT(ci.lo, 0.10);
+    EXPECT_LT(ci.hi, 0.40);
+}
+
+TEST(Bootstrap, Validation)
+{
+    EXPECT_THROW(bootstrapMean({}), ConfigError);
+    EXPECT_THROW(bootstrapMean({1.0, 2.0}, 1.5), ConfigError);
+    EXPECT_THROW(bootstrapMean({1.0, 2.0}, 0.95, 2), ConfigError);
+}
+
+} // namespace
+} // namespace agsim::stats

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Chip integration tests: modes, calibration anchors, undervolt
+ * convergence, overclock range, gating, decomposition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip/chip.h"
+#include "common/error.h"
+#include "common/units.h"
+#include "pdn/vrm.h"
+#include "workload/library.h"
+
+namespace agsim::chip {
+namespace {
+
+using namespace agsim::units;
+
+class ChipTest : public ::testing::Test
+{
+  protected:
+    ChipTest() : vrm_(1), chip_(ChipConfig(), &vrm_) {}
+
+    void
+    activateCores(size_t count, double intensity = 1.0)
+    {
+        for (size_t i = 0; i < count; ++i) {
+            chip_.setLoad(i, CoreLoad::running(intensity, 13.0_mV,
+                                               24.0_mV));
+        }
+    }
+
+    pdn::Vrm vrm_;
+    Chip chip_;
+};
+
+TEST_F(ChipTest, StaticModeHoldsTargetFrequencyAndSetpoint)
+{
+    chip_.setMode(GuardbandMode::StaticGuardband);
+    activateCores(4);
+    chip_.settle(0.3);
+    EXPECT_NEAR(chip_.setpoint(), chip_.staticSetpoint(), 1e-9);
+    for (size_t i = 0; i < chip_.coreCount(); ++i)
+        EXPECT_NEAR(chip_.coreFrequency(i), 4.2e9, 1.0);
+    EXPECT_NEAR(chip_.undervoltAmount(), 0.0, 1e-9);
+}
+
+TEST_F(ChipTest, IdleChipPowerIsReasonable)
+{
+    chip_.setMode(GuardbandMode::StaticGuardband);
+    chip_.settle(0.3);
+    // All-idle, all-on chip: tens of watts, well below busy power.
+    EXPECT_GT(chip_.power(), 30.0);
+    EXPECT_LT(chip_.power(), 70.0);
+}
+
+TEST_F(ChipTest, PowerEnvelopeMatchesFig3a)
+{
+    chip_.setMode(GuardbandMode::StaticGuardband);
+    activateCores(1, 1.03);
+    chip_.settle(0.4);
+    const Watts oneCore = chip_.power();
+    EXPECT_GT(oneCore, 50.0);
+    EXPECT_LT(oneCore, 75.0);
+
+    activateCores(8, 1.03);
+    chip_.settle(0.4);
+    const Watts eightCores = chip_.power();
+    EXPECT_GT(eightCores, 110.0);
+    EXPECT_LT(eightCores, 150.0);
+    EXPECT_GT(eightCores, oneCore + 50.0);
+}
+
+TEST_F(ChipTest, UndervoltConvergesAndSavesPower)
+{
+    chip_.setMode(GuardbandMode::StaticGuardband);
+    activateCores(1, 1.03);
+    chip_.settle(1.0);
+    const Watts staticPower = chip_.power();
+
+    chip_.setMode(GuardbandMode::AdaptiveUndervolt);
+    chip_.settle(1.5);
+    const Watts adaptivePower = chip_.power();
+
+    // Paper Fig. 3a: ~13% saving with one active core.
+    const double saving = 1.0 - adaptivePower / staticPower;
+    EXPECT_GT(saving, 0.10);
+    EXPECT_LT(saving, 0.18);
+    // Undervolt is tens of millivolts.
+    EXPECT_GT(toMilliVolts(chip_.undervoltAmount()), 40.0);
+    EXPECT_LE(toMilliVolts(chip_.undervoltAmount()), 81.0);
+    // Frequency stays pinned at the target.
+    EXPECT_NEAR(chip_.coreFrequency(0), 4.2e9, 0.002e9);
+}
+
+TEST_F(ChipTest, UndervoltShrinksWithMoreActiveCores)
+{
+    chip_.setMode(GuardbandMode::AdaptiveUndervolt);
+    activateCores(1, 1.03);
+    chip_.settle(1.5);
+    const Volts oneCore = chip_.undervoltAmount();
+
+    activateCores(8, 1.03);
+    chip_.settle(1.5);
+    const Volts eightCores = chip_.undervoltAmount();
+    EXPECT_LT(eightCores, oneCore);
+}
+
+TEST_F(ChipTest, OverclockBoostMatchesFig4a)
+{
+    chip_.setMode(GuardbandMode::AdaptiveOverclock);
+    activateCores(1, 1.02);
+    chip_.settle(0.5);
+    const double boostOne = chip_.meanActiveFrequency() / 4.2e9 - 1.0;
+    EXPECT_GT(boostOne, 0.07);
+    EXPECT_LE(boostOne, 0.101);
+
+    activateCores(8, 1.02);
+    chip_.settle(0.5);
+    const double boostEight = chip_.meanActiveFrequency() / 4.2e9 - 1.0;
+    EXPECT_GT(boostEight, 0.015);
+    EXPECT_LT(boostEight, boostOne);
+}
+
+TEST_F(ChipTest, GatedCoresDrawAlmostNothing)
+{
+    chip_.setMode(GuardbandMode::StaticGuardband);
+    chip_.settle(0.3);
+    const Watts allOn = chip_.power();
+
+    for (size_t i = 0; i < 8; ++i)
+        chip_.setLoad(i, CoreLoad::powerGated());
+    chip_.settle(0.3);
+    const Watts allGated = chip_.power();
+    EXPECT_LT(allGated, allOn * 0.5);
+    EXPECT_DOUBLE_EQ(chip_.coreFrequency(0), 0.0);
+}
+
+TEST_F(ChipTest, GatedCoreCannotBeActive)
+{
+    CoreLoad bad;
+    bad.gated = true;
+    bad.active = true;
+    EXPECT_THROW(chip_.setLoad(0, bad), ConfigError);
+}
+
+TEST_F(ChipTest, DecompositionComponentsAreSane)
+{
+    chip_.setMode(GuardbandMode::StaticGuardband);
+    activateCores(8, 1.0);
+    chip_.settle(0.5);
+    const auto &d = chip_.decomposition(0);
+    EXPECT_GT(d.loadline, 0.0);
+    EXPECT_GT(d.irGlobal, 0.0);
+    EXPECT_GT(d.irLocal, 0.0);
+    EXPECT_GT(d.typicalDidt, 0.0);
+    EXPECT_GT(d.worstDidt, 0.0);
+    EXPECT_NEAR(d.total(),
+                d.loadline + d.irDrop() + d.typicalDidt + d.worstDidt,
+                1e-12);
+    // Passive dominates at full load (Sec. 4.3 conclusion).
+    EXPECT_GT(d.passive(), d.typicalDidt + d.worstDidt);
+    // Total drop stays inside the static guardband's ballpark.
+    EXPECT_LT(d.total(), 0.155);
+}
+
+TEST_F(ChipTest, ActiveCoreSeesDeeperLocalDropThanIdle)
+{
+    chip_.setMode(GuardbandMode::StaticGuardband);
+    activateCores(1, 1.1); // core 0 busy
+    chip_.settle(0.3);
+    EXPECT_LT(chip_.coreVoltage(0), chip_.coreVoltage(7));
+}
+
+TEST_F(ChipTest, TelemetryFlowsWindows)
+{
+    chip_.setMode(GuardbandMode::StaticGuardband);
+    activateCores(2);
+    chip_.settle(0.2);
+    EXPECT_TRUE(chip_.telemetry().hasWindows());
+    const auto &window = chip_.telemetry().latest();
+    EXPECT_EQ(window.sampleCpm.size(), 8u);
+    // Sticky never exceeds sample for the same window.
+    for (size_t i = 0; i < 8; ++i)
+        EXPECT_LE(window.stickyCpm[i], window.sampleCpm[i]);
+}
+
+TEST_F(ChipTest, DisabledModeAllowsForcedSetpoint)
+{
+    chip_.setMode(GuardbandMode::Disabled);
+    chip_.forceSetpoint(1.05);
+    chip_.settle(0.1);
+    EXPECT_NEAR(chip_.setpoint(), 1.05, 7e-3);
+    // Frequency stays at target even at low voltage (characterization).
+    EXPECT_NEAR(chip_.coreFrequency(0), 4.2e9, 1.0);
+}
+
+TEST_F(ChipTest, ForcedSetpointRejectedInOtherModes)
+{
+    chip_.setMode(GuardbandMode::AdaptiveUndervolt);
+    EXPECT_THROW(chip_.forceSetpoint(1.0), ConfigError);
+}
+
+TEST_F(ChipTest, TargetFrequencyChangesStaticSetpoint)
+{
+    chip_.setMode(GuardbandMode::StaticGuardband);
+    const Volts at42 = chip_.staticSetpoint();
+    chip_.setTargetFrequency(3.5_GHz);
+    EXPECT_LT(chip_.staticSetpoint(), at42);
+    EXPECT_THROW(chip_.setTargetFrequency(5.0_GHz), ConfigError);
+}
+
+TEST_F(ChipTest, TemperatureRisesWithLoad)
+{
+    chip_.setMode(GuardbandMode::StaticGuardband);
+    chip_.settle(30.0, 1e-2);
+    const Celsius idle = chip_.temperature();
+    activateCores(8, 1.1);
+    chip_.settle(60.0, 1e-2);
+    EXPECT_GT(chip_.temperature(), idle + 4.0);
+    EXPECT_LT(chip_.temperature(), 45.0);
+}
+
+TEST_F(ChipTest, ActiveCountTracksLoads)
+{
+    EXPECT_EQ(chip_.activeCoreCount(), 0u);
+    activateCores(3);
+    EXPECT_EQ(chip_.activeCoreCount(), 3u);
+    chip_.clearLoads();
+    EXPECT_EQ(chip_.activeCoreCount(), 0u);
+}
+
+TEST(ChipConstruction, Validation)
+{
+    pdn::Vrm vrm(1);
+    ChipConfig config;
+    config.railIndex = 3;
+    EXPECT_THROW(Chip(config, &vrm), ConfigError);
+    EXPECT_THROW(Chip(ChipConfig(), nullptr), ConfigError);
+    config = ChipConfig();
+    config.coreCount = 0;
+    EXPECT_THROW(Chip(config, &vrm), ConfigError);
+}
+
+} // namespace
+} // namespace agsim::chip

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * ParamSet tests: typed accessors, defaults, argv parsing, errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+#include "common/error.h"
+
+namespace agsim {
+namespace {
+
+TEST(ParamSet, MissingKeyReturnsFallback)
+{
+    ParamSet params;
+    EXPECT_DOUBLE_EQ(params.getDouble("x", 1.5), 1.5);
+    EXPECT_EQ(params.getInt("n", 7), 7);
+    EXPECT_TRUE(params.getBool("flag", true));
+    EXPECT_EQ(params.getString("s", "dflt"), "dflt");
+    EXPECT_FALSE(params.has("x"));
+}
+
+TEST(ParamSet, SetAndReadBack)
+{
+    ParamSet params;
+    params.set("gb", "0.150");
+    params.set("cores", "8");
+    params.set("enable", "true");
+    params.set("name", "raytrace");
+    EXPECT_TRUE(params.has("gb"));
+    EXPECT_DOUBLE_EQ(params.getDouble("gb", 0.0), 0.150);
+    EXPECT_EQ(params.getInt("cores", 0), 8);
+    EXPECT_TRUE(params.getBool("enable", false));
+    EXPECT_EQ(params.getString("name", ""), "raytrace");
+}
+
+TEST(ParamSet, OverwriteReplacesValue)
+{
+    ParamSet params;
+    params.set("k", "1");
+    params.set("k", "2");
+    EXPECT_EQ(params.getInt("k", 0), 2);
+}
+
+TEST(ParamSet, BoolAcceptsManySpellings)
+{
+    ParamSet params;
+    for (const char *yes : {"1", "true", "yes", "TRUE", "Yes"}) {
+        params.set("b", yes);
+        EXPECT_TRUE(params.getBool("b", false)) << yes;
+    }
+    for (const char *no : {"0", "false", "no", "FALSE", "No"}) {
+        params.set("b", no);
+        EXPECT_FALSE(params.getBool("b", true)) << no;
+    }
+}
+
+TEST(ParamSet, MalformedNumbersThrow)
+{
+    ParamSet params;
+    params.set("d", "12abc");
+    params.set("i", "1.5");
+    params.set("b", "maybe");
+    EXPECT_THROW(params.getDouble("d", 0.0), ConfigError);
+    EXPECT_THROW(params.getInt("i", 0), ConfigError);
+    EXPECT_THROW(params.getBool("b", false), ConfigError);
+}
+
+TEST(ParamSet, ParseArgsSplitsKeyValueAndPositional)
+{
+    ParamSet params;
+    const char *argv[] = {"prog", "threads=8", "raytrace", "gb=0.1",
+                          "-v"};
+    const auto positional = params.parseArgs(5, argv);
+    ASSERT_EQ(positional.size(), 2u);
+    EXPECT_EQ(positional[0], "raytrace");
+    EXPECT_EQ(positional[1], "-v");
+    EXPECT_EQ(params.getInt("threads", 0), 8);
+    EXPECT_DOUBLE_EQ(params.getDouble("gb", 0.0), 0.1);
+}
+
+TEST(ParamSet, KeysAreSorted)
+{
+    ParamSet params;
+    params.set("zeta", "1");
+    params.set("alpha", "2");
+    const auto keys = params.keys();
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], "alpha");
+    EXPECT_EQ(keys[1], "zeta");
+}
+
+} // namespace
+} // namespace agsim

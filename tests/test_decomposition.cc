@@ -1,0 +1,72 @@
+/**
+ * @file
+ * DropDecomposition record tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pdn/decomposition.h"
+
+namespace agsim::pdn {
+namespace {
+
+DropDecomposition
+sample()
+{
+    DropDecomposition d;
+    d.loadline = 0.040;
+    d.irGlobal = 0.025;
+    d.irLocal = 0.015;
+    d.typicalDidt = 0.006;
+    d.worstDidt = 0.030;
+    return d;
+}
+
+TEST(DropDecomposition, DerivedSums)
+{
+    const auto d = sample();
+    EXPECT_NEAR(d.irDrop(), 0.040, 1e-12);
+    EXPECT_NEAR(d.passive(), 0.080, 1e-12);
+    EXPECT_NEAR(d.sharedPassive(), 0.065, 1e-12);
+    EXPECT_NEAR(d.steady(), 0.086, 1e-12);
+    EXPECT_NEAR(d.total(), 0.116, 1e-12);
+}
+
+TEST(DropDecomposition, DefaultIsZero)
+{
+    const DropDecomposition d;
+    EXPECT_DOUBLE_EQ(d.total(), 0.0);
+    EXPECT_DOUBLE_EQ(d.passive(), 0.0);
+}
+
+TEST(DropDecomposition, AdditionIsComponentWise)
+{
+    const auto d = sample();
+    const auto sum = d + d;
+    EXPECT_NEAR(sum.loadline, 0.080, 1e-12);
+    EXPECT_NEAR(sum.irGlobal, 0.050, 1e-12);
+    EXPECT_NEAR(sum.irLocal, 0.030, 1e-12);
+    EXPECT_NEAR(sum.typicalDidt, 0.012, 1e-12);
+    EXPECT_NEAR(sum.worstDidt, 0.060, 1e-12);
+    EXPECT_NEAR(sum.total(), 2.0 * d.total(), 1e-12);
+}
+
+TEST(DropDecomposition, ScalingAveragesCorrectly)
+{
+    const auto d = sample();
+    const auto averaged = (d + d + d).scaled(1.0 / 3.0);
+    EXPECT_NEAR(averaged.loadline, d.loadline, 1e-12);
+    EXPECT_NEAR(averaged.total(), d.total(), 1e-12);
+}
+
+TEST(DropDecomposition, ToStringCarriesMillivolts)
+{
+    const std::string text = sample().toString();
+    EXPECT_NE(text.find("loadline=40.0mV"), std::string::npos);
+    EXPECT_NE(text.find("ir_global=25.0mV"), std::string::npos);
+    EXPECT_NE(text.find("ir_local=15.0mV"), std::string::npos);
+    EXPECT_NE(text.find("total=116.0mV"), std::string::npos);
+}
+
+} // namespace
+} // namespace agsim::pdn

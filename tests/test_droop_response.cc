@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Nanosecond droop-response tests: the quantitative basis of the
+ * paper's adaptive-guardbanding premise.
+ */
+
+#include <gtest/gtest.h>
+
+#include "clock/droop_response.h"
+#include "common/error.h"
+#include "common/units.h"
+#include "power/vf_curve.h"
+
+namespace agsim::clock {
+namespace {
+
+using namespace agsim::units;
+using power::VfCurve;
+
+class DroopResponseTest : public ::testing::Test
+{
+  protected:
+    /** Adaptive operating point: the settled CPM-DPLL margin. */
+    Volts
+    adaptiveVoltage(Hertz f) const
+    {
+        return curve_.vminAt(f) + curve_.params().calibratedMargin;
+    }
+
+    VfCurve curve_;
+    DpllParams fastDpll_; // POWER7+: 7% in 10 ns
+};
+
+TEST_F(DroopResponseTest, FastDpllRidesThroughTypicalDroop)
+{
+    // 35 mV droop against a 6 mV margin: a fixed clock would violate,
+    // the POWER7+ DPLL must not.
+    DroopEvent event;
+    const Hertz f = 4.2_GHz;
+    const auto outcome = simulateDroop(curve_, fastDpll_, true,
+                                       adaptiveVoltage(f), f, event);
+    EXPECT_FALSE(outcome.violated);
+    // Throughput cost: tens of nanoseconds of stall per event.
+    EXPECT_GT(outcome.lostTime, 1e-9);
+    EXPECT_LT(outcome.lostTime, 0.5e-6);
+    // The loop never eats the full calibrated reserve.
+    EXPECT_GT(outcome.minMargin, -1e-6);
+}
+
+TEST_F(DroopResponseTest, FixedClockWithTightMarginViolates)
+{
+    DroopEvent event;
+    const Hertz f = 4.2_GHz;
+    const auto outcome = simulateDroop(curve_, fastDpll_, false,
+                                       adaptiveVoltage(f), f, event);
+    EXPECT_TRUE(outcome.violated);
+    EXPECT_LT(outcome.minMargin, 0.0);
+    EXPECT_DOUBLE_EQ(outcome.lostCycles, 0.0); // it never slowed down
+}
+
+TEST_F(DroopResponseTest, SlowClockViolatesEvenWhenAdaptive)
+{
+    // A conventional PLL relocks on microsecond scales: far too slow
+    // for a 35 mV sag with a 250 ns recovery.
+    DpllParams slow = fastDpll_;
+    slow.slewPerSecond = 0.07 / 10e-6; // 7% in 10 us, 1000x slower
+    DroopEvent event;
+    const Hertz f = 4.2_GHz;
+    const auto outcome = simulateDroop(curve_, slow, true,
+                                       adaptiveVoltage(f), f, event);
+    EXPECT_TRUE(outcome.violated);
+}
+
+TEST_F(DroopResponseTest, StaticDesignSurvivesWithFullGuardband)
+{
+    // Provision the static margin the helper reports: no violation.
+    DroopEvent event;
+    const Hertz f = 4.2_GHz;
+    const Volts needed = staticGuardbandNeeded(1.15, event);
+    const Volts vStatic = curve_.vminAt(f) + needed + 1.0_mV;
+    const auto outcome = simulateDroop(curve_, fastDpll_, false, vStatic,
+                                       f, event);
+    EXPECT_FALSE(outcome.violated);
+    // The needed margin exceeds the raw depth (the ring deepens it).
+    EXPECT_GT(needed, event.depth);
+    EXPECT_LT(needed, event.depth * (1.0 + event.ringFraction) + 2e-3);
+}
+
+TEST_F(DroopResponseTest, LostCyclesScaleWithDepth)
+{
+    const Hertz f = 4.2_GHz;
+    DroopEvent shallow;
+    shallow.depth = 0.020;
+    DroopEvent deep;
+    deep.depth = 0.050;
+    const auto a = simulateDroop(curve_, fastDpll_, true,
+                                 adaptiveVoltage(f), f, shallow);
+    const auto b = simulateDroop(curve_, fastDpll_, true,
+                                 adaptiveVoltage(f), f, deep);
+    EXPECT_GT(b.lostCycles, a.lostCycles);
+}
+
+TEST_F(DroopResponseTest, TraceIsWellFormed)
+{
+    DroopEvent event;
+    DroopSimParams sim;
+    sim.duration = 1.0e-6;
+    const Hertz f = 4.0_GHz;
+    const auto outcome = simulateDroop(curve_, fastDpll_, true,
+                                       adaptiveVoltage(f), f, event, sim);
+    ASSERT_EQ(outcome.trace.size(), size_t(sim.duration / sim.dt));
+    // Voltage sags to a trough within the onset window, then recovers.
+    Volts trough = adaptiveVoltage(f);
+    for (size_t i = 0; i < 100; ++i)
+        trough = std::min(trough, outcome.trace[i].voltage);
+    const auto &last = outcome.trace.back();
+    EXPECT_LT(trough, adaptiveVoltage(f) - 0.030);
+    EXPECT_GT(last.voltage, adaptiveVoltage(f) - 0.005);
+    // The DPLL recovers its frequency by the end.
+    EXPECT_NEAR(last.clockFrequency, curve_.fmaxWithMargin(last.voltage),
+                30e6);
+}
+
+TEST_F(DroopResponseTest, NoRingMatchesPureExponential)
+{
+    DroopEvent event;
+    event.ringFraction = 0.0;
+    EXPECT_NEAR(staticGuardbandNeeded(1.15, event), event.depth, 1e-4);
+}
+
+TEST_F(DroopResponseTest, Validation)
+{
+    DroopEvent event;
+    DroopSimParams sim;
+    sim.dt = 0.0;
+    EXPECT_THROW(simulateDroop(curve_, fastDpll_, true, 1.1, 4.2e9,
+                               event, sim),
+                 ConfigError);
+    event.depth = -1.0;
+    EXPECT_THROW(simulateDroop(curve_, fastDpll_, true, 1.1, 4.2e9,
+                               event),
+                 ConfigError);
+}
+
+} // namespace
+} // namespace agsim::clock

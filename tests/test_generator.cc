@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Synthetic workload generator tests, including the predictor-
+ * robustness study the generator exists for.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "core/ags.h"
+#include "core/mips_predictor.h"
+#include "stats/linear_fit.h"
+#include "workload/generator.h"
+
+namespace agsim::workload {
+namespace {
+
+TEST(Generator, ProfilesValidateAndAreNamed)
+{
+    WorkloadGenerator generator(7);
+    std::set<std::string> names;
+    for (const auto &p : generator.batch(64)) {
+        EXPECT_NO_THROW(p.validate());
+        EXPECT_EQ(p.suite, Suite::Synthetic);
+        EXPECT_TRUE(names.insert(p.name).second) << p.name;
+    }
+}
+
+TEST(Generator, DeterministicBySeed)
+{
+    WorkloadGenerator a(11), b(11), c(12);
+    const auto pa = a.next();
+    const auto pb = b.next();
+    const auto pc = c.next();
+    EXPECT_DOUBLE_EQ(pa.intensity, pb.intensity);
+    EXPECT_DOUBLE_EQ(pa.mipsPerThread, pb.mipsPerThread);
+    EXPECT_NE(pa.mipsPerThread, pc.mipsPerThread);
+}
+
+TEST(Generator, ReproducesMipsPowerCorrelation)
+{
+    WorkloadGenerator generator(21);
+    stats::LinearFit fit;
+    for (const auto &p : generator.batch(200))
+        fit.add(p.mipsPerThread / 1e9, p.intensity);
+    EXPECT_NEAR(fit.slope(), 0.066, 0.01);
+    EXPECT_GT(fit.r2(), 0.8);
+}
+
+TEST(Generator, MemoryBoundednessAntiCorrelatesWithMips)
+{
+    WorkloadGenerator generator(22);
+    stats::LinearFit fit;
+    for (const auto &p : generator.batch(200))
+        fit.add(p.mipsPerThread / 1e9, p.memoryBoundedness);
+    EXPECT_LT(fit.slope(), 0.0);
+}
+
+TEST(Generator, PhasedFractionHonoured)
+{
+    GeneratorParams params;
+    params.phasedFraction = 1.0;
+    WorkloadGenerator phased(3, params);
+    for (const auto &p : phased.batch(16))
+        EXPECT_FALSE(p.phases.empty()) << p.name;
+
+    params.phasedFraction = 0.0;
+    WorkloadGenerator steady(3, params);
+    for (const auto &p : steady.batch(16))
+        EXPECT_TRUE(p.phases.empty()) << p.name;
+}
+
+TEST(Generator, RejectsBadParams)
+{
+    GeneratorParams params;
+    params.maxMips = params.minMips;
+    EXPECT_THROW(WorkloadGenerator(1, params), ConfigError);
+
+    params = GeneratorParams();
+    params.multithreadedFraction = 1.5;
+    EXPECT_THROW(WorkloadGenerator(1, params), ConfigError);
+}
+
+TEST(Generator, PredictorGeneralizesToUnseenWorkloads)
+{
+    // Train the Fig. 16 predictor on one synthetic population, test on
+    // another: the linear model must transfer (the paper's scheduler
+    // faces arbitrary tenants).
+    WorkloadGenerator trainGen(100), testGen(200);
+    core::MipsFreqPredictor predictor;
+
+    auto measure = [](const BenchmarkProfile &profile) {
+        core::ScheduledRunSpec spec;
+        spec.profile = profile;
+        spec.threads = 8;
+        spec.runMode = profile.serialFraction > 0.0
+                           ? RunMode::Multithreaded
+                           : RunMode::Rate;
+        spec.mode = chip::GuardbandMode::AdaptiveOverclock;
+        spec.simConfig.measureDuration = 0.4;
+        spec.simConfig.warmup = 0.8;
+        const auto result = core::runScheduled(spec);
+        return std::pair{result.metrics.meanChipMips,
+                         result.metrics.meanFrequency};
+    };
+
+    for (const auto &p : trainGen.batch(12)) {
+        const auto [mips, freq] = measure(p);
+        predictor.observe(mips, freq);
+    }
+    ASSERT_TRUE(predictor.trained());
+
+    stats::LinearFit residuals;
+    double worstError = 0.0;
+    for (const auto &p : testGen.batch(8)) {
+        const auto [mips, freq] = measure(p);
+        const double errorPct =
+            std::abs(predictor.predict(mips) - freq) / freq * 100.0;
+        worstError = std::max(worstError, errorPct);
+    }
+    // Paper: RMSE ~0.3%; demand generalization within ~1.5% worst-case.
+    EXPECT_LT(worstError, 1.5);
+}
+
+} // namespace
+} // namespace agsim::workload

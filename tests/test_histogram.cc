@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Histogram tests: binning, edge cases, CDF.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "stats/histogram.h"
+
+namespace agsim::stats {
+namespace {
+
+TEST(Histogram, RejectsBadConstruction)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), ConfigError);
+    EXPECT_THROW(Histogram(2.0, 1.0, 4), ConfigError);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), ConfigError);
+}
+
+TEST(Histogram, BinsSamplesCorrectly)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);  // bin 0
+    h.add(1.9);  // bin 0
+    h.add(2.0);  // bin 1
+    h.add(9.99); // bin 4
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderflowAndOverflowBuckets)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(-0.1);
+    h.add(1.0); // hi edge counts as overflow
+    h.add(5.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinCenters)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(4), 9.0);
+}
+
+TEST(Histogram, CdfMonotoneAndBounded)
+{
+    Histogram h(0.0, 100.0, 50);
+    for (int i = 0; i < 1000; ++i)
+        h.add(double(i % 100));
+    double prev = 0.0;
+    for (double x = 0.0; x <= 100.0; x += 5.0) {
+        const double c = h.cdf(x);
+        EXPECT_GE(c, prev - 1e-12);
+        EXPECT_GE(c, 0.0);
+        EXPECT_LE(c, 1.0);
+        prev = c;
+    }
+    EXPECT_NEAR(h.cdf(100.0), 1.0, 1e-12);
+    EXPECT_NEAR(h.cdf(50.0), 0.5, 0.02);
+}
+
+TEST(Histogram, CdfEmptyIsZero)
+{
+    Histogram h(0.0, 1.0, 4);
+    EXPECT_DOUBLE_EQ(h.cdf(0.5), 0.0);
+}
+
+TEST(Histogram, RenderMentionsCounts)
+{
+    Histogram h(0.0, 2.0, 2);
+    h.add(0.5);
+    h.add(0.6);
+    h.add(1.5);
+    const std::string out = h.render(10);
+    EXPECT_NE(out.find('#'), std::string::npos);
+    EXPECT_NE(out.find('2'), std::string::npos);
+}
+
+TEST(Histogram, OutOfRangeBinAccessPanics)
+{
+    Histogram h(0.0, 1.0, 2);
+    EXPECT_THROW(h.binCount(2), InternalError);
+    EXPECT_THROW(h.binCenter(9), InternalError);
+}
+
+} // namespace
+} // namespace agsim::stats

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * IR-drop model tests: global/local split, floorplan adjacency,
+ * coupling, and the paper's localized-activation observation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "pdn/ir_drop.h"
+
+namespace agsim::pdn {
+namespace {
+
+using namespace agsim::units;
+
+TEST(IrDrop, GlobalDropLinearInChipCurrent)
+{
+    IrDropModel model;
+    EXPECT_DOUBLE_EQ(model.globalDrop(0.0), 0.0);
+    EXPECT_NEAR(model.globalDrop(100.0),
+                model.params().globalResistance * 100.0, 1e-12);
+    EXPECT_NEAR(model.globalDrop(200.0) / model.globalDrop(100.0), 2.0,
+                1e-9);
+}
+
+TEST(IrDrop, FloorplanAdjacency)
+{
+    // POWER7+ floorplan: cores 0-3 on the top row, 4-7 on the bottom.
+    IrDropModel model;
+    EXPECT_TRUE(model.adjacent(0, 1));
+    EXPECT_TRUE(model.adjacent(1, 0));
+    EXPECT_TRUE(model.adjacent(2, 3));
+    EXPECT_FALSE(model.adjacent(3, 4)); // row wrap is not adjacency
+    EXPECT_TRUE(model.adjacent(0, 4));  // vertically across rows
+    EXPECT_TRUE(model.adjacent(5, 6));
+    EXPECT_FALSE(model.adjacent(0, 2));
+    EXPECT_FALSE(model.adjacent(0, 5));
+    EXPECT_FALSE(model.adjacent(0, 0));
+}
+
+TEST(IrDrop, OwnActivationDominatesLocalDrop)
+{
+    IrDropModel model;
+    std::vector<Amps> currents(8, 0.0);
+    currents[2] = 9.0;
+    const Volts own = model.localDrop(2, currents);
+    const Volts neighbour = model.localDrop(3, currents);
+    const Volts far = model.localDrop(7, currents);
+    EXPECT_GT(own, neighbour);
+    EXPECT_GT(neighbour, far);
+    EXPECT_NEAR(own, model.params().localResistance * 9.0, 1e-12);
+    EXPECT_NEAR(neighbour,
+                model.params().neighbourCoupling *
+                model.params().localResistance * 9.0, 1e-12);
+    EXPECT_NEAR(far,
+                model.params().farCoupling *
+                model.params().localResistance * 9.0, 1e-12);
+}
+
+TEST(IrDrop, ActivationStepMatchesPaperScale)
+{
+    // Fig. 7: a core's drop steps up by ~2% of 1.2 V (~24 mV total with
+    // shared components) when the core itself activates. The local-only
+    // share is ~18 mV for a ~9 A core.
+    IrDropModel model;
+    std::vector<Amps> idle(8, 1.0);
+    std::vector<Amps> active = idle;
+    active[5] = 9.0;
+    const Volts step = model.localDrop(5, active) - model.localDrop(5, idle);
+    EXPECT_GT(toMilliVolts(step), 10.0);
+    EXPECT_LT(toMilliVolts(step), 25.0);
+}
+
+TEST(IrDrop, OnChipVoltageComposition)
+{
+    IrDropModel model;
+    std::vector<Amps> currents(8, 5.0);
+    const Amps chipCurrent = 80.0;
+    const Volts rail = 1.15;
+    const Volts v = model.onChipVoltage(0, rail, chipCurrent, currents);
+    EXPECT_NEAR(v,
+                rail - model.globalDrop(chipCurrent) -
+                model.localDrop(0, currents), 1e-12);
+    EXPECT_LT(v, rail);
+}
+
+TEST(IrDrop, DropGrowsWithActiveCores)
+{
+    // The Sec. 4.2 core-scaling trend: activating cores one by one
+    // monotonically deepens every core's drop.
+    IrDropModel model;
+    std::vector<Amps> currents(8, 0.5);
+    Volts prev = -1.0;
+    for (size_t active = 1; active <= 8; ++active) {
+        for (size_t i = 0; i < active; ++i)
+            currents[i] = 9.0;
+        const Amps chip = 40.0 + 9.0 * double(active);
+        const Volts drop = model.globalDrop(chip) +
+                           model.localDrop(0, currents);
+        EXPECT_GT(drop, prev);
+        prev = drop;
+    }
+}
+
+TEST(IrDrop, InactiveCoreSeesGlobalEffect)
+{
+    // Paper: cores 4-7 see drop even when only 0-3 run work.
+    IrDropModel model;
+    std::vector<Amps> currents(8, 0.0);
+    for (size_t i = 0; i < 4; ++i)
+        currents[i] = 9.0;
+    const Volts idleCoreDrop = model.onChipVoltage(7, 1.15, 76.0, currents);
+    const Volts noLoad = model.onChipVoltage(
+        7, 1.15, 0.0, std::vector<Amps>(8, 0.0));
+    EXPECT_LT(idleCoreDrop, noLoad);
+}
+
+TEST(IrDrop, RejectsBadParams)
+{
+    IrDropParams params;
+    params.globalResistance = -1.0;
+    EXPECT_THROW(IrDropModel{params}, ConfigError);
+
+    params = IrDropParams();
+    params.coreCount = 0;
+    EXPECT_THROW(IrDropModel{params}, ConfigError);
+
+    params = IrDropParams();
+    params.farCoupling = 0.5; // above neighbourCoupling
+    EXPECT_THROW(IrDropModel{params}, ConfigError);
+}
+
+TEST(IrDrop, SizeMismatchPanics)
+{
+    IrDropModel model;
+    std::vector<Amps> wrong(4, 1.0);
+    EXPECT_THROW(model.localDrop(0, wrong), InternalError);
+    EXPECT_THROW(model.localDrop(9, std::vector<Amps>(8, 1.0)),
+                 InternalError);
+}
+
+} // namespace
+} // namespace agsim::pdn

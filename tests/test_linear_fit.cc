@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Linear-fit tests: exact recovery, noise behaviour, degenerate input.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "stats/linear_fit.h"
+
+namespace agsim::stats {
+namespace {
+
+TEST(LinearFit, RecoversExactLine)
+{
+    LinearFit fit;
+    for (double x = 0.0; x <= 10.0; x += 1.0)
+        fit.add(x, 3.0 * x - 7.0);
+    EXPECT_NEAR(fit.slope(), 3.0, 1e-9);
+    EXPECT_NEAR(fit.intercept(), -7.0, 1e-9);
+    EXPECT_NEAR(fit.r2(), 1.0, 1e-12);
+    EXPECT_NEAR(fit.rmse(), 0.0, 1e-9);
+    EXPECT_NEAR(fit.predict(20.0), 53.0, 1e-9);
+}
+
+TEST(LinearFit, NegativeSlopeLikeFig16)
+{
+    // Frequency falls ~2.5 MHz per 1000 MIPS from a 4600 MHz intercept.
+    LinearFit fit;
+    for (double mips = 5000; mips <= 80000; mips += 5000)
+        fit.add(mips, 4600e6 - 2.5e3 * mips);
+    EXPECT_NEAR(fit.slope(), -2.5e3, 1.0);
+    EXPECT_NEAR(fit.intercept(), 4600e6, 1e3);
+    EXPECT_NEAR(fit.correlation(), -1.0, 1e-9);
+}
+
+TEST(LinearFit, FewerThanTwoPointsIsDegenerate)
+{
+    LinearFit fit;
+    EXPECT_DOUBLE_EQ(fit.slope(), 0.0);
+    fit.add(1.0, 5.0);
+    EXPECT_DOUBLE_EQ(fit.slope(), 0.0);
+    EXPECT_DOUBLE_EQ(fit.intercept(), 5.0);
+    EXPECT_DOUBLE_EQ(fit.predict(100.0), 5.0);
+}
+
+TEST(LinearFit, ConstantXIsDegenerate)
+{
+    LinearFit fit;
+    fit.add(2.0, 1.0);
+    fit.add(2.0, 3.0);
+    fit.add(2.0, 5.0);
+    EXPECT_DOUBLE_EQ(fit.slope(), 0.0);
+    EXPECT_DOUBLE_EQ(fit.intercept(), 3.0);
+    EXPECT_DOUBLE_EQ(fit.r2(), 0.0);
+}
+
+TEST(LinearFit, ConstantYHasZeroSlopeAndRmse)
+{
+    LinearFit fit;
+    for (double x = 0; x < 5; ++x)
+        fit.add(x, 4.0);
+    EXPECT_DOUBLE_EQ(fit.slope(), 0.0);
+    EXPECT_NEAR(fit.rmse(), 0.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyFitStatistics)
+{
+    Rng rng(31);
+    LinearFit fit;
+    const double sigma = 2.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double x = rng.uniform(0.0, 100.0);
+        fit.add(x, 0.5 * x + 10.0 + rng.normal(0.0, sigma));
+    }
+    EXPECT_NEAR(fit.slope(), 0.5, 0.01);
+    EXPECT_NEAR(fit.intercept(), 10.0, 0.5);
+    EXPECT_NEAR(fit.rmse(), sigma, 0.1);
+    EXPECT_GT(fit.r2(), 0.95);
+}
+
+TEST(LinearFit, ResetClears)
+{
+    LinearFit fit;
+    fit.add(0.0, 0.0);
+    fit.add(1.0, 1.0);
+    fit.reset();
+    EXPECT_EQ(fit.count(), 0u);
+    EXPECT_DOUBLE_EQ(fit.slope(), 0.0);
+}
+
+TEST(LinearFit, StableUnderLargeOffsets)
+{
+    // Values like Hz-scale frequencies (1e9) with MIPS-scale x (1e4).
+    LinearFit fit;
+    for (double x = 1e4; x <= 9e4; x += 1e4)
+        fit.add(x, 4.6e9 - 2500.0 * x);
+    EXPECT_NEAR(fit.slope(), -2500.0, 1e-3);
+    EXPECT_NEAR(fit.r2(), 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace agsim::stats

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Logging-facility tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+
+namespace agsim {
+namespace {
+
+/** RAII guard restoring the global level after each test. */
+class LogLevelGuard
+{
+  public:
+    LogLevelGuard() : saved_(logLevel()) {}
+    ~LogLevelGuard() { setLogLevel(saved_); }
+
+  private:
+    LogLevel saved_;
+};
+
+TEST(Log, DefaultLevelIsWarn)
+{
+    // The library must not chat by default (benches print tables only).
+    LogLevelGuard guard;
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+}
+
+TEST(Log, SetLevelRoundTrips)
+{
+    LogLevelGuard guard;
+    for (LogLevel level : {LogLevel::Debug, LogLevel::Info,
+                           LogLevel::Warn, LogLevel::Error,
+                           LogLevel::Silent}) {
+        setLogLevel(level);
+        EXPECT_EQ(logLevel(), level);
+    }
+}
+
+TEST(Log, LevelsAreOrdered)
+{
+    EXPECT_LT(LogLevel::Debug, LogLevel::Info);
+    EXPECT_LT(LogLevel::Info, LogLevel::Warn);
+    EXPECT_LT(LogLevel::Warn, LogLevel::Error);
+    EXPECT_LT(LogLevel::Error, LogLevel::Silent);
+}
+
+TEST(Log, EmittingBelowThresholdIsSafe)
+{
+    // Filtered messages must be cheap no-ops; emitted ones must not
+    // crash. (Output goes to stderr; content is not asserted here.)
+    LogLevelGuard guard;
+    setLogLevel(LogLevel::Silent);
+    logDebug("filtered");
+    logInfo("filtered");
+    logWarn("filtered");
+    logError("filtered");
+    setLogLevel(LogLevel::Debug);
+    logDebug("emitted");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace agsim

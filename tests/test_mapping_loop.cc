@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Closed-loop adaptive-mapping tests and QoS service presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/mapping_loop.h"
+#include "qos/service_presets.h"
+#include "workload/library.h"
+
+namespace agsim::core {
+namespace {
+
+std::vector<workload::BenchmarkProfile>
+corunnerClasses()
+{
+    return {workload::throttledCoremark("light", 13000e6 / 7.0),
+            workload::throttledCoremark("medium", 28000e6 / 7.0),
+            workload::throttledCoremark("heavy", 70000e6 / 7.0)};
+}
+
+TEST(MappingLoop, BlindHeavyMappingGetsCorrected)
+{
+    qos::WebSearchService service;
+    AdaptiveMappingScheduler scheduler;
+    MappingLoopConfig config;
+    config.initialCorunner = 2; // blind: heavy
+    config.quanta = 5;
+    config.qosHorizon = 9000.0;
+
+    const auto result = runMappingLoop(
+        workload::byName("websearch"), corunnerClasses(), service,
+        scheduler, config);
+
+    ASSERT_EQ(result.history.size(), 5u);
+    EXPECT_EQ(result.history.front().corunner, "heavy");
+    // The blind mapping violates hard; the loop must swap off it.
+    EXPECT_GT(result.initialViolationRate, 0.20);
+    EXPECT_TRUE(result.history.front().swapped);
+    EXPECT_NE(result.history.back().corunner, "heavy");
+    // And the final violation rate improves substantially.
+    EXPECT_LT(result.finalViolationRate,
+              result.initialViolationRate * 0.7);
+    // The mapping settles (no churn at the end).
+    EXPECT_LT(result.convergedAt, result.history.size());
+    EXPECT_FALSE(result.history.back().swapped);
+}
+
+TEST(MappingLoop, HealthyMappingLeftAlone)
+{
+    qos::WebSearchService service;
+    AdaptiveMappingScheduler scheduler;
+    MappingLoopConfig config;
+    config.initialCorunner = 0; // light: QoS healthy
+    config.quanta = 3;
+    config.qosHorizon = 6000.0;
+
+    const auto result = runMappingLoop(
+        workload::byName("websearch"), corunnerClasses(), service,
+        scheduler, config);
+    for (const auto &quantum : result.history) {
+        EXPECT_EQ(quantum.corunner, "light");
+        EXPECT_FALSE(quantum.swapped);
+    }
+    EXPECT_EQ(result.convergedAt, 0u);
+}
+
+TEST(MappingLoop, Validation)
+{
+    qos::WebSearchService service;
+    AdaptiveMappingScheduler scheduler;
+    EXPECT_THROW(runMappingLoop(workload::byName("websearch"), {},
+                                service, scheduler),
+                 ConfigError);
+    MappingLoopConfig config;
+    config.initialCorunner = 9;
+    EXPECT_THROW(runMappingLoop(workload::byName("websearch"),
+                                corunnerClasses(), service, scheduler,
+                                config),
+                 ConfigError);
+}
+
+TEST(ServicePresets, ScalesAreDistinctAndValid)
+{
+    const auto search = qos::webSearchPreset();
+    const auto kv = qos::keyValuePreset();
+    const auto analytics = qos::analyticsPreset();
+    // Each preset builds a working service.
+    EXPECT_NO_THROW(qos::WebSearchService{search});
+    EXPECT_NO_THROW(qos::WebSearchService{kv});
+    EXPECT_NO_THROW(qos::WebSearchService{analytics});
+    // Latency scales span ~four orders of magnitude.
+    EXPECT_LT(kv.qosTargetP90, search.qosTargetP90 / 100.0);
+    EXPECT_GT(analytics.qosTargetP90, search.qosTargetP90 * 10.0);
+}
+
+TEST(ServicePresets, EveryClassRespondsToFrequency)
+{
+    for (const auto &params : {qos::webSearchPreset(),
+                               qos::keyValuePreset(),
+                               qos::analyticsPreset()}) {
+        qos::WebSearchService service(params);
+        const Seconds horizon = params.windowLength * 40.0;
+        const auto slow = service.simulate(4.3e9, horizon);
+        service.reseed(params.seed);
+        const auto fast = service.simulate(4.6e9, horizon);
+        EXPECT_GT(qos::WebSearchService::meanP90(slow),
+                  qos::WebSearchService::meanP90(fast));
+    }
+}
+
+TEST(ServicePresets, UtilizationIsSane)
+{
+    // Every preset's offered load stays clear of saturation.
+    for (const auto &params : {qos::webSearchPreset(),
+                               qos::keyValuePreset(),
+                               qos::analyticsPreset()}) {
+        const double utilization = params.arrivalRatePerSec *
+                                   params.serviceMeanAtNominal;
+        EXPECT_GT(utilization, 0.05);
+        EXPECT_LT(utilization, 0.85);
+    }
+}
+
+} // namespace
+} // namespace agsim::core

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Guardband-mode transition tests: the chip must move safely between
+ * static, overclock, undervolt and disabled modes mid-run, the way an
+ * operator toggling firmware hooks would (paper Sec. 3.1: "hooks in
+ * the firmware let us place the system in either operating mode").
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip/chip.h"
+#include "common/units.h"
+#include "pdn/vrm.h"
+
+namespace agsim::chip {
+namespace {
+
+using namespace agsim::units;
+
+class ModeTransitionTest : public ::testing::Test
+{
+  protected:
+    ModeTransitionTest() : vrm_(1), chip_(ChipConfig(), &vrm_)
+    {
+        for (size_t i = 0; i < 4; ++i) {
+            chip_.setLoad(i, CoreLoad::running(1.0, 13.0_mV, 24.0_mV));
+        }
+    }
+
+    pdn::Vrm vrm_;
+    Chip chip_;
+};
+
+TEST_F(ModeTransitionTest, UndervoltToStaticRestoresSetpoint)
+{
+    chip_.setMode(GuardbandMode::AdaptiveUndervolt);
+    chip_.settle(1.0);
+    ASSERT_GT(chip_.undervoltAmount(), 0.020);
+
+    chip_.setMode(GuardbandMode::StaticGuardband);
+    chip_.settle(0.2);
+    EXPECT_NEAR(chip_.undervoltAmount(), 0.0, 1e-9);
+    EXPECT_NEAR(chip_.coreFrequency(0), 4.2e9, 1.0);
+}
+
+TEST_F(ModeTransitionTest, StaticToOverclockBoostsWithoutSetpointChange)
+{
+    chip_.setMode(GuardbandMode::StaticGuardband);
+    chip_.settle(0.3);
+    const Volts setpoint = chip_.setpoint();
+
+    chip_.setMode(GuardbandMode::AdaptiveOverclock);
+    chip_.settle(0.3);
+    EXPECT_NEAR(chip_.setpoint(), setpoint, 1e-9);
+    EXPECT_GT(chip_.meanActiveFrequency(), 4.25e9);
+}
+
+TEST_F(ModeTransitionTest, OverclockToUndervoltRepinsFrequency)
+{
+    chip_.setMode(GuardbandMode::AdaptiveOverclock);
+    chip_.settle(0.3);
+    ASSERT_GT(chip_.meanActiveFrequency(), 4.25e9);
+
+    chip_.setMode(GuardbandMode::AdaptiveUndervolt);
+    chip_.settle(1.0);
+    // Frequency returns to the target; the margin goes to voltage.
+    EXPECT_NEAR(chip_.meanActiveFrequency(), 4.2e9, 0.003e9);
+    EXPECT_GT(chip_.undervoltAmount(), 0.020);
+}
+
+TEST_F(ModeTransitionTest, RepeatedTogglingIsStable)
+{
+    // An operator flipping modes every 200 ms must not wedge the
+    // firmware or leak voltage steps.
+    for (int cycle = 0; cycle < 4; ++cycle) {
+        chip_.setMode(GuardbandMode::AdaptiveUndervolt);
+        chip_.settle(0.2);
+        chip_.setMode(GuardbandMode::AdaptiveOverclock);
+        chip_.settle(0.2);
+        chip_.setMode(GuardbandMode::StaticGuardband);
+        chip_.settle(0.2);
+    }
+    EXPECT_NEAR(chip_.setpoint(), chip_.staticSetpoint(), 1e-9);
+    EXPECT_NEAR(chip_.coreFrequency(0), 4.2e9, 1.0);
+    EXPECT_GT(chip_.power(), 40.0);
+    EXPECT_LT(chip_.power(), 130.0);
+}
+
+TEST_F(ModeTransitionTest, LoadChangesWhileUndervolted)
+{
+    // Activating more cores mid-undervolt must walk the voltage back
+    // up (less margin available), not violate the target frequency.
+    chip_.setMode(GuardbandMode::AdaptiveUndervolt);
+    chip_.settle(1.2);
+    const Volts lightUndervolt = chip_.undervoltAmount();
+
+    for (size_t i = 4; i < 8; ++i)
+        chip_.setLoad(i, CoreLoad::running(1.1, 13.0_mV, 24.0_mV));
+    chip_.settle(1.2);
+    EXPECT_LT(chip_.undervoltAmount(), lightUndervolt);
+    EXPECT_NEAR(chip_.minActiveFrequency(), 4.2e9, 0.01e9);
+}
+
+TEST_F(ModeTransitionTest, GatingWhileUndervoltedDeepensWalk)
+{
+    chip_.setMode(GuardbandMode::AdaptiveUndervolt);
+    chip_.settle(1.2);
+    const Volts allOn = chip_.undervoltAmount();
+
+    for (size_t i = 4; i < 8; ++i)
+        chip_.setLoad(i, CoreLoad::powerGated());
+    chip_.settle(1.2);
+    EXPECT_GE(chip_.undervoltAmount(), allOn);
+}
+
+} // namespace
+} // namespace agsim::chip

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Percentile tests: exact tracker semantics and P² accuracy sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "stats/percentile.h"
+
+namespace agsim::stats {
+namespace {
+
+TEST(PercentileTracker, EmptyReturnsZero)
+{
+    PercentileTracker tracker;
+    EXPECT_TRUE(tracker.empty());
+    EXPECT_DOUBLE_EQ(tracker.percentile(90.0), 0.0);
+}
+
+TEST(PercentileTracker, SingleSample)
+{
+    PercentileTracker tracker;
+    tracker.add(7.0);
+    EXPECT_DOUBLE_EQ(tracker.percentile(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(tracker.percentile(50.0), 7.0);
+    EXPECT_DOUBLE_EQ(tracker.percentile(100.0), 7.0);
+}
+
+TEST(PercentileTracker, InterpolatesBetweenOrderStatistics)
+{
+    PercentileTracker tracker;
+    for (double x : {10.0, 20.0, 30.0, 40.0, 50.0})
+        tracker.add(x);
+    EXPECT_DOUBLE_EQ(tracker.percentile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(tracker.percentile(100.0), 50.0);
+    EXPECT_DOUBLE_EQ(tracker.percentile(50.0), 30.0);
+    EXPECT_DOUBLE_EQ(tracker.percentile(25.0), 20.0);
+    EXPECT_DOUBLE_EQ(tracker.percentile(90.0), 46.0);
+}
+
+TEST(PercentileTracker, UnsortedInsertionOrderIrrelevant)
+{
+    PercentileTracker a, b;
+    std::vector<double> values{5, 1, 9, 3, 7, 2, 8, 4, 6};
+    for (double v : values)
+        a.add(v);
+    std::sort(values.begin(), values.end());
+    for (double v : values)
+        b.add(v);
+    for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0})
+        EXPECT_DOUBLE_EQ(a.percentile(p), b.percentile(p));
+}
+
+TEST(PercentileTracker, QueriesInterleavedWithInserts)
+{
+    PercentileTracker tracker;
+    tracker.add(1.0);
+    tracker.add(2.0);
+    EXPECT_DOUBLE_EQ(tracker.percentile(100.0), 2.0);
+    tracker.add(10.0);
+    EXPECT_DOUBLE_EQ(tracker.percentile(100.0), 10.0);
+}
+
+TEST(PercentileTracker, OutOfRangePercentileThrows)
+{
+    PercentileTracker tracker;
+    tracker.add(1.0);
+    EXPECT_THROW(tracker.percentile(-1.0), ConfigError);
+    EXPECT_THROW(tracker.percentile(101.0), ConfigError);
+}
+
+TEST(PercentileTracker, ClearEmpties)
+{
+    PercentileTracker tracker;
+    tracker.add(1.0);
+    tracker.clear();
+    EXPECT_TRUE(tracker.empty());
+}
+
+TEST(P2Quantile, RejectsDegenerateQuantiles)
+{
+    EXPECT_THROW(P2Quantile(0.0), ConfigError);
+    EXPECT_THROW(P2Quantile(1.0), ConfigError);
+}
+
+TEST(P2Quantile, ExactForFewSamples)
+{
+    P2Quantile q(0.5);
+    q.add(3.0);
+    q.add(1.0);
+    q.add(2.0);
+    EXPECT_DOUBLE_EQ(q.value(), 2.0);
+}
+
+/** P² must track the exact quantile within a few percent. */
+class P2AccuracyTest
+    : public ::testing::TestWithParam<std::tuple<double, int>>
+{
+};
+
+TEST_P(P2AccuracyTest, TracksExactQuantile)
+{
+    const double quantile = std::get<0>(GetParam());
+    const int n = std::get<1>(GetParam());
+
+    Rng rng(99);
+    P2Quantile streaming(quantile);
+    PercentileTracker exact;
+    for (int i = 0; i < n; ++i) {
+        // Mildly skewed distribution, like latency samples.
+        const double x = std::exp(rng.normal(0.0, 0.5));
+        streaming.add(x);
+        exact.add(x);
+    }
+    const double truth = exact.percentile(quantile * 100.0);
+    EXPECT_NEAR(streaming.value(), truth, truth * 0.05)
+        << "quantile=" << quantile << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QuantileSweep, P2AccuracyTest,
+    ::testing::Combine(::testing::Values(0.5, 0.9, 0.95, 0.99),
+                       ::testing::Values(1000, 10000, 100000)));
+
+} // namespace
+} // namespace agsim::stats

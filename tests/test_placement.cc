@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Placement-plan tests: consolidation vs loadline borrowing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "core/placement.h"
+
+namespace agsim::core {
+namespace {
+
+size_t
+threadsOnSocket(const PlacementPlan &plan, size_t socket)
+{
+    size_t count = 0;
+    for (const auto &t : plan.threads)
+        count += t.socket == socket ? 1 : 0;
+    return count;
+}
+
+TEST(Placement, ConsolidateFillsOneSocket)
+{
+    const auto plan = makePlacementPlan(PlacementPolicy::Consolidate, 2, 8,
+                                        8, 8);
+    EXPECT_EQ(plan.threads.size(), 8u);
+    EXPECT_EQ(threadsOnSocket(plan, 0), 8u);
+    EXPECT_EQ(threadsOnSocket(plan, 1), 0u);
+    // Socket 1 is entirely gated; socket 0 has no spare powered cores.
+    EXPECT_EQ(plan.gatedCores.size(), 8u);
+    EXPECT_TRUE(plan.idleCores.empty());
+    for (const auto &[socket, core] : plan.gatedCores)
+        EXPECT_EQ(socket, 1u) << core;
+}
+
+TEST(Placement, BorrowBalancesSockets)
+{
+    const auto plan = makePlacementPlan(PlacementPolicy::LoadlineBorrow, 2,
+                                        8, 8, 8);
+    EXPECT_EQ(threadsOnSocket(plan, 0), 4u);
+    EXPECT_EQ(threadsOnSocket(plan, 1), 4u);
+    EXPECT_EQ(plan.gatedCores.size(), 8u);
+    size_t gatedOnSocket0 = 0;
+    for (const auto &[socket, core] : plan.gatedCores)
+        gatedOnSocket0 += socket == 0 ? 1 : 0;
+    EXPECT_EQ(gatedOnSocket0, 4u);
+}
+
+TEST(Placement, PartialLoadLeavesIdleReserve)
+{
+    // The paper's scenario: 8 of 16 cores on, fewer threads than budget.
+    const auto cons = makePlacementPlan(PlacementPolicy::Consolidate, 2, 8,
+                                        2, 8);
+    EXPECT_EQ(threadsOnSocket(cons, 0), 2u);
+    EXPECT_EQ(cons.idleCores.size(), 6u); // 6 powered idle on socket 0
+    EXPECT_EQ(cons.gatedCores.size(), 8u);
+
+    const auto borrow = makePlacementPlan(PlacementPolicy::LoadlineBorrow,
+                                          2, 8, 2, 8);
+    EXPECT_EQ(threadsOnSocket(borrow, 0), 1u);
+    EXPECT_EQ(threadsOnSocket(borrow, 1), 1u);
+    EXPECT_EQ(borrow.idleCores.size(), 6u); // 3 per socket
+    EXPECT_EQ(borrow.gatedCores.size(), 8u);
+}
+
+TEST(Placement, OddThreadCountsBalanceWithinOne)
+{
+    const auto plan = makePlacementPlan(PlacementPolicy::LoadlineBorrow, 2,
+                                        8, 5, 8);
+    const size_t s0 = threadsOnSocket(plan, 0);
+    const size_t s1 = threadsOnSocket(plan, 1);
+    EXPECT_EQ(s0 + s1, 5u);
+    EXPECT_LE(s0 > s1 ? s0 - s1 : s1 - s0, 1u);
+}
+
+TEST(Placement, EveryCoreAccountedExactlyOnce)
+{
+    for (auto policy : {PlacementPolicy::Consolidate,
+                        PlacementPolicy::LoadlineBorrow}) {
+        const auto plan = makePlacementPlan(policy, 2, 8, 3, 10);
+        std::set<std::pair<size_t, size_t>> seen;
+        for (const auto &t : plan.threads)
+            EXPECT_TRUE(seen.insert({t.socket, t.core}).second);
+        for (const auto &c : plan.idleCores)
+            EXPECT_TRUE(seen.insert(c).second);
+        for (const auto &c : plan.gatedCores)
+            EXPECT_TRUE(seen.insert(c).second);
+        EXPECT_EQ(seen.size(), 16u);
+    }
+}
+
+TEST(Placement, BudgetSpillsToSecondSocketWhenConsolidating)
+{
+    const auto plan = makePlacementPlan(PlacementPolicy::Consolidate, 2, 8,
+                                        10, 12);
+    EXPECT_EQ(threadsOnSocket(plan, 0), 8u);
+    EXPECT_EQ(threadsOnSocket(plan, 1), 2u);
+    EXPECT_EQ(plan.idleCores.size(), 2u);
+    EXPECT_EQ(plan.gatedCores.size(), 4u);
+}
+
+TEST(Placement, FourSocketBorrow)
+{
+    const auto plan = makePlacementPlan(PlacementPolicy::LoadlineBorrow, 4,
+                                        8, 8, 16);
+    for (size_t s = 0; s < 4; ++s)
+        EXPECT_EQ(threadsOnSocket(plan, s), 2u);
+}
+
+TEST(Placement, Validation)
+{
+    EXPECT_THROW(makePlacementPlan(PlacementPolicy::Consolidate, 0, 8, 1,
+                                   1), ConfigError);
+    EXPECT_THROW(makePlacementPlan(PlacementPolicy::Consolidate, 2, 8, 0,
+                                   8), ConfigError);
+    // Budget below thread count.
+    EXPECT_THROW(makePlacementPlan(PlacementPolicy::Consolidate, 2, 8, 6,
+                                   4), ConfigError);
+    // Budget above machine.
+    EXPECT_THROW(makePlacementPlan(PlacementPolicy::Consolidate, 2, 8, 4,
+                                   20), ConfigError);
+}
+
+TEST(Placement, PolicyNames)
+{
+    EXPECT_STREQ(placementPolicyName(PlacementPolicy::Consolidate),
+                 "consolidate");
+    EXPECT_STREQ(placementPolicyName(PlacementPolicy::LoadlineBorrow),
+                 "loadline-borrow");
+}
+
+} // namespace
+} // namespace agsim::core

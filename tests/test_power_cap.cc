@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Power-capping governor tests, including the capped-chip integration
+ * behaviour (the EnergyScale-style extension).
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip/chip.h"
+#include "chip/power_cap.h"
+#include "common/error.h"
+#include "common/units.h"
+#include "pdn/vrm.h"
+
+namespace agsim::chip {
+namespace {
+
+using namespace agsim::units;
+
+TEST(PowerCap, QuantizesToDvfsGrid)
+{
+    PowerCapController governor;
+    EXPECT_DOUBLE_EQ(governor.quantize(4.2e9), 4.2e9);
+    EXPECT_DOUBLE_EQ(governor.quantize(2.8e9), 2.8e9);
+    // Between grid points: snaps down.
+    const Hertz snapped = governor.quantize(4.2e9 - 10e6);
+    EXPECT_NEAR(snapped, 4.2e9 - 28e6, 1.0);
+    // Outside the window: clamps.
+    EXPECT_DOUBLE_EQ(governor.quantize(1.0e9), 2.8e9);
+    EXPECT_DOUBLE_EQ(governor.quantize(9.9e9), 4.2e9);
+}
+
+TEST(PowerCap, StepsDownWhenOverCap)
+{
+    PowerCapController governor;
+    const Hertz next = governor.decide(4.2_GHz, 130.0, 110.0);
+    EXPECT_NEAR(next, 4.2e9 - 28e6, 1.0);
+}
+
+TEST(PowerCap, StepsUpWithSlack)
+{
+    PowerCapController governor;
+    const Hertz next = governor.decide(3.5_GHz, 80.0, 110.0);
+    EXPECT_NEAR(next, 3.5e9 + 28e6, 2e6);
+}
+
+TEST(PowerCap, HoldsInsideHysteresisBand)
+{
+    PowerCapController governor;
+    // Power just under the cap (within the raise hysteresis): hold.
+    const Watts cap = 110.0;
+    const Watts justUnder = cap * (1.0 - 0.01);
+    const Hertz f = governor.quantize(3.8e9);
+    EXPECT_DOUBLE_EQ(governor.decide(f, justUnder, cap), f);
+}
+
+TEST(PowerCap, RespectsWindowEdges)
+{
+    PowerCapController governor;
+    EXPECT_DOUBLE_EQ(governor.decide(2.8_GHz, 200.0, 100.0), 2.8e9);
+    EXPECT_DOUBLE_EQ(governor.decide(4.2_GHz, 10.0, 100.0), 4.2e9);
+}
+
+TEST(PowerCap, RejectsBadInput)
+{
+    PowerCapParams params;
+    params.frequencyStep = 0.0;
+    EXPECT_THROW(PowerCapController{params}, ConfigError);
+
+    params = PowerCapParams();
+    params.maxFrequency = params.minFrequency;
+    EXPECT_THROW(PowerCapController{params}, ConfigError);
+
+    PowerCapController governor;
+    EXPECT_THROW(governor.decide(4.2e9, 100.0, 0.0), ConfigError);
+}
+
+TEST(PowerCap, CapsARealChipUnderLoad)
+{
+    // Integration: govern the DVFS target every firmware interval and
+    // check the chip converges under the cap with a lower frequency.
+    pdn::Vrm vrm(1);
+    Chip chip(ChipConfig(), &vrm);
+    chip.setMode(GuardbandMode::AdaptiveUndervolt);
+    for (size_t i = 0; i < 8; ++i)
+        chip.setLoad(i, CoreLoad::running(1.1, 13.0_mV, 24.0_mV));
+    chip.settle(1.0);
+    const Watts uncapped = chip.power();
+    ASSERT_GT(uncapped, 100.0);
+
+    const Watts cap = uncapped - 20.0;
+    PowerCapController governor;
+    for (int interval = 0; interval < 120; ++interval) {
+        chip.settle(0.032);
+        const Hertz next = governor.decide(chip.targetFrequency(),
+                                           chip.power(), cap);
+        if (next != chip.targetFrequency())
+            chip.setTargetFrequency(next);
+    }
+    chip.settle(1.0);
+    EXPECT_LE(chip.power(), cap * 1.03);
+    EXPECT_LT(chip.targetFrequency(), 4.2e9);
+    EXPECT_GE(chip.targetFrequency(), 2.8e9);
+}
+
+TEST(PowerCap, AdaptiveGuardbandingRaisesCappedFrequency)
+{
+    // The extension's headline: under the same power cap, undervolting
+    // affords a higher DVFS point than the static guardband.
+    // The governor must run slower than the undervolting walk: a
+    // target change resets the VRM to the static setpoint, and the
+    // firmware needs ~0.5 s to reclaim the guardband before the power
+    // reading is meaningful again.
+    auto cappedFrequency = [](GuardbandMode mode) {
+        pdn::Vrm vrm(1);
+        Chip chip(ChipConfig(), &vrm);
+        chip.setMode(mode);
+        for (size_t i = 0; i < 8; ++i)
+            chip.setLoad(i, CoreLoad::running(1.1, 13.0_mV, 24.0_mV));
+        PowerCapController governor;
+        const Watts cap = 105.0;
+        for (int interval = 0; interval < 40; ++interval) {
+            chip.settle(0.6);
+            const Hertz next = governor.decide(chip.targetFrequency(),
+                                               chip.power(), cap);
+            if (next != chip.targetFrequency())
+                chip.setTargetFrequency(next);
+        }
+        chip.settle(1.0);
+        return chip.targetFrequency();
+    };
+    const Hertz capped = cappedFrequency(GuardbandMode::StaticGuardband);
+    const Hertz adaptive = cappedFrequency(
+        GuardbandMode::AdaptiveUndervolt);
+    EXPECT_GT(adaptive, capped + 50e6);
+}
+
+} // namespace
+} // namespace agsim::chip

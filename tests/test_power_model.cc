@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Core power model tests: scaling laws, leakage behaviour, gating.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "power/core_power_model.h"
+
+namespace agsim::power {
+namespace {
+
+using namespace agsim::units;
+
+TEST(CorePowerModel, DynamicAtReferencePoint)
+{
+    CorePowerModel model;
+    const auto &p = model.params();
+    EXPECT_NEAR(model.coreDynamic(p.refVoltage, p.refFrequency, 1.0),
+                p.coreDynamicAtRef, 1e-9);
+}
+
+TEST(CorePowerModel, DynamicQuadraticInVoltage)
+{
+    CorePowerModel model;
+    const auto &p = model.params();
+    const Watts base = model.coreDynamic(1.0, p.refFrequency, 1.0);
+    const Watts doubled = model.coreDynamic(2.0, p.refFrequency, 1.0);
+    EXPECT_NEAR(doubled / base, 4.0, 1e-9);
+}
+
+TEST(CorePowerModel, DynamicLinearInFrequencyAndActivity)
+{
+    CorePowerModel model;
+    const auto &p = model.params();
+    const Watts base = model.coreDynamic(p.refVoltage, 2.0e9, 0.5);
+    EXPECT_NEAR(model.coreDynamic(p.refVoltage, 4.0e9, 0.5) / base, 2.0,
+                1e-9);
+    EXPECT_NEAR(model.coreDynamic(p.refVoltage, 2.0e9, 1.0) / base, 2.0,
+                1e-9);
+}
+
+TEST(CorePowerModel, ZeroActivityZeroDynamic)
+{
+    CorePowerModel model;
+    EXPECT_DOUBLE_EQ(model.coreDynamic(1.2, 4.2e9, 0.0), 0.0);
+}
+
+TEST(CorePowerModel, LeakageAtReference)
+{
+    CorePowerModel model;
+    const auto &p = model.params();
+    EXPECT_NEAR(model.coreLeakage(p.refVoltage, p.refTemperature, false),
+                p.coreLeakageAtRef, 1e-9);
+}
+
+TEST(CorePowerModel, LeakageDoublesPerTemperatureStep)
+{
+    CorePowerModel model;
+    const auto &p = model.params();
+    const Watts cold = model.coreLeakage(p.refVoltage, p.refTemperature,
+                                         false);
+    const Watts hot = model.coreLeakage(
+        p.refVoltage, p.refTemperature + p.leakageDoublingTemp, false);
+    EXPECT_NEAR(hot / cold, 2.0, 1e-9);
+}
+
+TEST(CorePowerModel, LeakageVoltageExponent)
+{
+    CorePowerModel model;
+    const auto &p = model.params();
+    const Watts lo = model.coreLeakage(p.refVoltage * 0.9,
+                                       p.refTemperature, false);
+    const Watts hi = model.coreLeakage(p.refVoltage, p.refTemperature,
+                                       false);
+    // V^3 law: 0.9^3 = 0.729.
+    EXPECT_NEAR(lo / hi, 0.729, 1e-3);
+}
+
+TEST(CorePowerModel, GatingRemovesNearlyAllLeakage)
+{
+    CorePowerModel model;
+    const auto &p = model.params();
+    const Watts on = model.coreLeakage(p.refVoltage, p.refTemperature,
+                                       false);
+    const Watts gated = model.coreLeakage(p.refVoltage, p.refTemperature,
+                                          true);
+    EXPECT_NEAR(gated / on, p.gatedLeakageFraction, 1e-9);
+    EXPECT_LT(gated, 0.2);
+}
+
+TEST(CorePowerModel, UncoreScalesWithVoltage)
+{
+    CorePowerModel model;
+    const auto &p = model.params();
+    EXPECT_NEAR(model.uncore(p.refVoltage, p.refTemperature),
+                p.uncoreAtRef, 1e-9);
+    EXPECT_LT(model.uncore(p.refVoltage * 0.9, p.refTemperature),
+              p.uncoreAtRef);
+}
+
+TEST(CorePowerModel, SingleSocketEnvelopeMatchesPaper)
+{
+    // Fig. 3a: one active core ~60 W, eight active ~130-140 W for a
+    // raytrace-class workload at the static 1.2 V / 4.2 GHz point
+    // (before PDN dissipation, which the chip model adds).
+    CorePowerModel model;
+    const Volts v = 1.18; // roughly the on-chip voltage under load
+    const Celsius t = 36.0;
+    const double intensity = 1.03;
+
+    const Watts idleCore = model.coreDynamic(v, 4.2e9,
+                                             model.idleActivity()) +
+                           model.coreLeakage(v, t, false);
+    const Watts busyCore = model.coreDynamic(v, 4.2e9, intensity) +
+                           model.coreLeakage(v, t, false);
+    const Watts uncore = model.uncore(v, t);
+
+    const Watts oneActive = uncore + busyCore + 7 * idleCore;
+    const Watts eightActive = uncore + 8 * busyCore;
+    EXPECT_GT(oneActive, 50.0);
+    EXPECT_LT(oneActive, 72.0);
+    EXPECT_GT(eightActive, 115.0);
+    EXPECT_LT(eightActive, 145.0);
+}
+
+TEST(CorePowerModel, RejectsBadParams)
+{
+    PowerModelParams params;
+    params.refVoltage = 0.0;
+    EXPECT_THROW(CorePowerModel{params}, ConfigError);
+
+    params = PowerModelParams();
+    params.gatedLeakageFraction = 1.5;
+    EXPECT_THROW(CorePowerModel{params}, ConfigError);
+
+    params = PowerModelParams();
+    params.coreDynamicAtRef = -1.0;
+    EXPECT_THROW(CorePowerModel{params}, ConfigError);
+}
+
+TEST(CorePowerModel, NegativeActivityPanics)
+{
+    CorePowerModel model;
+    EXPECT_THROW(model.coreDynamic(1.2, 4.2e9, -0.1), InternalError);
+}
+
+} // namespace
+} // namespace agsim::power

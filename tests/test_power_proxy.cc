@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Power-proxy tests: estimation accuracy across load levels and
+ * proxy-driven power capping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chip/chip.h"
+#include "chip/power_cap.h"
+#include "chip/power_proxy.h"
+#include "common/error.h"
+#include "common/units.h"
+#include "pdn/vrm.h"
+
+namespace agsim::chip {
+namespace {
+
+using namespace agsim::units;
+
+class PowerProxyTest : public ::testing::Test
+{
+  protected:
+    PowerProxyTest() : vrm_(1), chip_(ChipConfig(), &vrm_) {}
+
+    pdn::Vrm vrm_;
+    Chip chip_;
+    PowerProxy proxy_;
+};
+
+TEST_F(PowerProxyTest, TracksTruePowerAcrossLoadLevels)
+{
+    chip_.setMode(GuardbandMode::StaticGuardband);
+    for (size_t active : {0ul, 1ul, 2ul, 4ul, 6ul, 8ul}) {
+        chip_.clearLoads();
+        for (size_t i = 0; i < active; ++i)
+            chip_.setLoad(i, CoreLoad::running(1.0, 13.0_mV, 24.0_mV));
+        chip_.settle(0.3);
+        const Watts truth = chip_.power();
+        const Watts estimate = proxy_.estimate(chip_);
+        EXPECT_NEAR(estimate, truth, truth * 0.15)
+            << "active=" << active;
+    }
+}
+
+TEST_F(PowerProxyTest, EstimateGrowsWithLoadAndIntensity)
+{
+    chip_.setMode(GuardbandMode::StaticGuardband);
+    chip_.settle(0.1);
+    const Watts idle = proxy_.estimate(chip_);
+    chip_.setLoad(0, CoreLoad::running(0.6, 10.0_mV, 18.0_mV));
+    chip_.settle(0.1);
+    const Watts light = proxy_.estimate(chip_);
+    chip_.setLoad(0, CoreLoad::running(1.2, 14.0_mV, 26.0_mV));
+    chip_.settle(0.1);
+    const Watts heavy = proxy_.estimate(chip_);
+    EXPECT_GT(light, idle);
+    EXPECT_GT(heavy, light);
+}
+
+TEST_F(PowerProxyTest, GatedCoresInvisible)
+{
+    chip_.setMode(GuardbandMode::StaticGuardband);
+    chip_.settle(0.1);
+    const Watts allOn = proxy_.estimate(chip_);
+    for (size_t i = 0; i < 8; ++i)
+        chip_.setLoad(i, CoreLoad::powerGated());
+    chip_.settle(0.1);
+    const Watts allGated = proxy_.estimate(chip_);
+    EXPECT_LT(allGated, allOn - 8.0 * proxy_.params().basePerCore + 1.0);
+}
+
+TEST_F(PowerProxyTest, CalibrationErrorFrozenBySeed)
+{
+    PowerProxy a(PowerProxyParams(), 1);
+    PowerProxy b(PowerProxyParams(), 1);
+    PowerProxy c(PowerProxyParams(), 2);
+    EXPECT_DOUBLE_EQ(a.calibrationScale(), b.calibrationScale());
+    EXPECT_NE(a.calibrationScale(), c.calibrationScale());
+    EXPECT_NEAR(a.calibrationScale(), 1.0, 0.15);
+}
+
+TEST_F(PowerProxyTest, ProxyDrivenCappingHoldsNearCap)
+{
+    // Drive the governor with the *estimate* instead of the sensor:
+    // the cap holds within the proxy's calibration error.
+    chip_.setMode(GuardbandMode::AdaptiveUndervolt);
+    for (size_t i = 0; i < 8; ++i)
+        chip_.setLoad(i, CoreLoad::running(1.1, 13.0_mV, 24.0_mV));
+    PowerCapController governor;
+    const Watts cap = 100.0;
+    for (int interval = 0; interval < 40; ++interval) {
+        chip_.settle(0.6);
+        const Hertz next = governor.decide(chip_.targetFrequency(),
+                                           proxy_.estimate(chip_), cap);
+        if (next != chip_.targetFrequency())
+            chip_.setTargetFrequency(next);
+    }
+    chip_.settle(1.0);
+    const double errorBudget = std::abs(proxy_.calibrationScale() - 1.0) +
+                               0.18;
+    EXPECT_LE(chip_.power(), cap * (1.0 + errorBudget));
+    EXPECT_GE(chip_.power(), cap * (1.0 - errorBudget) - 10.0);
+}
+
+TEST(PowerProxyValidation, RejectsBadParams)
+{
+    PowerProxyParams params;
+    params.refFrequency = 0.0;
+    EXPECT_THROW(PowerProxy(params, 1), ConfigError);
+    params = PowerProxyParams();
+    params.calibrationSpread = -1.0;
+    EXPECT_THROW(PowerProxy(params, 1), ConfigError);
+}
+
+} // namespace
+} // namespace agsim::chip

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Profile text-format tests: round trips, defaults, error reporting,
+ * and the M/D/1 sanity check of the QoS queue (theory validation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "qos/websearch.h"
+#include "workload/library.h"
+#include "workload/profile_io.h"
+
+namespace agsim::workload {
+namespace {
+
+TEST(ProfileIo, RoundTripsEveryLibraryProfile)
+{
+    for (const auto &original : library()) {
+        const auto parsed = parseProfiles(profileToText(original));
+        ASSERT_EQ(parsed.size(), 1u) << original.name;
+        const auto &p = parsed[0];
+        EXPECT_EQ(p.name, original.name);
+        EXPECT_EQ(p.suite, original.suite);
+        EXPECT_NEAR(p.intensity, original.intensity, 1e-6);
+        EXPECT_NEAR(p.mipsPerThread, original.mipsPerThread,
+                    original.mipsPerThread * 1e-5);
+        EXPECT_NEAR(p.memoryBoundedness, original.memoryBoundedness,
+                    1e-6);
+        EXPECT_NEAR(p.serialFraction, original.serialFraction, 1e-6);
+        EXPECT_NEAR(p.contentionSensitivity,
+                    original.contentionSensitivity, 1e-6);
+        EXPECT_NEAR(p.crossChipPenalty, original.crossChipPenalty, 1e-6);
+        EXPECT_NEAR(p.didtTypicalAmp, original.didtTypicalAmp, 1e-9);
+        EXPECT_NEAR(p.didtWorstAmp, original.didtWorstAmp, 1e-9);
+    }
+}
+
+TEST(ProfileIo, RoundTripsPhases)
+{
+    const auto phased = makePhased(byName("raytrace"), 1.0, 0.3, 1.2,
+                                   0.6);
+    const auto parsed = parseProfiles(profileToText(phased));
+    ASSERT_EQ(parsed.size(), 1u);
+    ASSERT_EQ(parsed[0].phases.size(), 2u);
+    EXPECT_NEAR(parsed[0].phases[0].duration, 0.3, 1e-9);
+    EXPECT_NEAR(parsed[0].phases[0].intensityScale, 1.2, 1e-9);
+    EXPECT_NEAR(parsed[0].phases[1].rateScale, 0.6, 1e-9);
+}
+
+TEST(ProfileIo, DefaultsApplyForOmittedKeys)
+{
+    const auto parsed = parseProfiles("[minimal]\nintensity 0.9\n");
+    ASSERT_EQ(parsed.size(), 1u);
+    const BenchmarkProfile defaults;
+    EXPECT_DOUBLE_EQ(parsed[0].intensity, 0.9);
+    EXPECT_DOUBLE_EQ(parsed[0].mipsPerThread, defaults.mipsPerThread);
+    EXPECT_EQ(parsed[0].suite, Suite::Synthetic);
+}
+
+TEST(ProfileIo, MultipleBlocksAndComments)
+{
+    const std::string text =
+        "# two workloads\n"
+        "[alpha]\n"
+        "intensity 0.8   # light\n"
+        "\n"
+        "[beta]\n"
+        "intensity 1.1\n"
+        "mips_per_thread 9000\n";
+    const auto parsed = parseProfiles(text);
+    ASSERT_EQ(parsed.size(), 2u);
+    EXPECT_EQ(parsed[0].name, "alpha");
+    EXPECT_EQ(parsed[1].name, "beta");
+    EXPECT_DOUBLE_EQ(parsed[1].mipsPerThread, 9000e6);
+}
+
+TEST(ProfileIo, ErrorsAreLoud)
+{
+    EXPECT_THROW(parseProfiles("intensity 0.9\n"), ConfigError);
+    EXPECT_THROW(parseProfiles("[x]\nbogus_key 1\n"), ConfigError);
+    EXPECT_THROW(parseProfiles("[x]\nintensity oops\n"), ConfigError);
+    EXPECT_THROW(parseProfiles("[x]\nintensity\n"), ConfigError);
+    EXPECT_THROW(parseProfiles("[x]\nintensity 99\n"), ConfigError);
+    EXPECT_THROW(parseProfiles("[x]\n[x]\nintensity 0.9\n"),
+                 ConfigError); // first x is invalid only if... name dup
+    EXPECT_THROW(parseProfiles("[a]\nintensity 0.9\n[a]\n"
+                               "intensity 0.8\n"),
+                 ConfigError);
+    EXPECT_THROW(parseProfiles("[unterminated\nintensity 0.9\n"),
+                 ConfigError);
+    EXPECT_THROW(loadProfiles("/nonexistent/path.profiles"),
+                 ConfigError);
+}
+
+TEST(ProfileIo, SuiteTokensRoundTrip)
+{
+    for (Suite suite : {Suite::Parsec, Suite::Splash2,
+                        Suite::SpecCpu2006, Suite::Coremark,
+                        Suite::Datacenter, Suite::Synthetic}) {
+        BenchmarkProfile p = byName("raytrace");
+        p.name = "t";
+        p.suite = suite;
+        const auto parsed = parseProfiles(profileToText(p));
+        ASSERT_EQ(parsed.size(), 1u);
+        EXPECT_EQ(parsed[0].suite, suite);
+    }
+}
+
+TEST(QosQueueTheory, MatchesMd1InTheDeterministicLimit)
+{
+    // With a nearly deterministic service (tiny sigma) the QoS queue is
+    // M/D/1: mean sojourn = S * (1 + rho / (2 (1 - rho))).
+    qos::WebSearchParams params;
+    params.arrivalRatePerSec = 2.0;
+    params.serviceMeanAtNominal = 0.2;
+    params.serviceSigma = 0.01;
+    params.memoryBoundedness = 0.0;
+    params.frequencyExponent = 1.0;
+    params.windowLength = 500.0;
+    qos::WebSearchService service(params);
+
+    const auto windows = service.simulate(params.nominalFrequency,
+                                          200000.0);
+    double meanLatency = 0.0;
+    size_t queries = 0;
+    for (const auto &w : windows) {
+        meanLatency += w.meanLatency * double(w.queries);
+        queries += w.queries;
+    }
+    meanLatency /= double(queries);
+
+    const double rho = params.arrivalRatePerSec *
+                       params.serviceMeanAtNominal;
+    const double md1 = params.serviceMeanAtNominal *
+                       (1.0 + rho / (2.0 * (1.0 - rho)));
+    EXPECT_NEAR(meanLatency, md1, md1 * 0.05);
+}
+
+} // namespace
+} // namespace agsim::workload

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Guardband-report and telemetry-CSV tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "chip/chip.h"
+#include "common/error.h"
+#include "common/units.h"
+#include "core/ags.h"
+#include "core/guardband_report.h"
+#include "pdn/vrm.h"
+#include "sensors/telemetry_csv.h"
+#include "workload/library.h"
+
+namespace agsim {
+namespace {
+
+using namespace agsim::units;
+
+TEST(GuardbandReport, ComponentsSumToGuardband)
+{
+    core::ScheduledRunSpec spec;
+    spec.profile = workload::byName("raytrace");
+    spec.threads = 4;
+    spec.mode = chip::GuardbandMode::AdaptiveUndervolt;
+    spec.simConfig.measureDuration = 0.5;
+    const auto result = core::runScheduled(spec);
+
+    const auto report = core::makeGuardbandReport(result.metrics);
+    EXPECT_GT(report.reclaimed, 0.0);
+    EXPECT_GT(report.passive, 0.0);
+    EXPECT_GT(report.noise, 0.0);
+    EXPECT_GE(report.reserve, 0.0);
+    EXPECT_GT(report.reclaimedFraction(), 0.15);
+    EXPECT_LT(report.reclaimedFraction(), 0.60);
+    // The four shares cover the guardband (reserve absorbs the rest).
+    EXPECT_NEAR(report.reclaimed + report.passive + report.noise +
+                    report.reserve,
+                report.staticGuardband,
+                0.035); // undervolting shrinks passive below the static
+                        // worst case, so the sum can exceed slightly
+}
+
+TEST(GuardbandReport, MoreCoresLessReclaimed)
+{
+    auto reclaimedAt = [](size_t threads) {
+        core::ScheduledRunSpec spec;
+        spec.profile = workload::byName("raytrace");
+        spec.threads = threads;
+        spec.mode = chip::GuardbandMode::AdaptiveUndervolt;
+        spec.simConfig.measureDuration = 0.5;
+        return core::makeGuardbandReport(
+                   core::runScheduled(spec).metrics)
+            .reclaimedFraction();
+    };
+    EXPECT_GT(reclaimedAt(1), reclaimedAt(8) + 0.1);
+}
+
+TEST(GuardbandReport, RenderingMentionsEveryShare)
+{
+    core::ScheduledRunSpec spec;
+    spec.profile = workload::byName("radix");
+    spec.threads = 2;
+    spec.mode = chip::GuardbandMode::AdaptiveUndervolt;
+    spec.simConfig.measureDuration = 0.4;
+    const auto report = core::makeGuardbandReport(
+        core::runScheduled(spec).metrics);
+    const std::string text = report.toString();
+    EXPECT_NE(text.find("reclaimed"), std::string::npos);
+    EXPECT_NE(text.find("passive"), std::string::npos);
+    EXPECT_NE(text.find("di/dt"), std::string::npos);
+    EXPECT_NE(text.find("reserve"), std::string::npos);
+}
+
+TEST(GuardbandReport, Validation)
+{
+    system::RunMetrics empty;
+    EXPECT_THROW(core::makeGuardbandReport(empty), ConfigError);
+}
+
+TEST(TelemetryCsv, EmptyTelemetryWritesNothing)
+{
+    sensors::Telemetry telemetry(8);
+    std::ostringstream out;
+    EXPECT_EQ(sensors::writeTelemetryCsv(telemetry, out), 0u);
+    EXPECT_TRUE(out.str().empty());
+}
+
+TEST(TelemetryCsv, RowsMatchWindowsAndHeader)
+{
+    pdn::Vrm vrm(1);
+    chip::Chip chip(chip::ChipConfig(), &vrm);
+    chip.setMode(chip::GuardbandMode::StaticGuardband);
+    for (size_t i = 0; i < 2; ++i)
+        chip.setLoad(i, chip::CoreLoad::running(1.0, 13.0_mV, 24.0_mV));
+    chip.settle(0.2);
+
+    const std::string csv =
+        sensors::telemetryCsvString(chip.telemetry());
+    // Header + one line per window.
+    const size_t lines = std::count(csv.begin(), csv.end(), '\n');
+    EXPECT_EQ(lines, chip.telemetry().windows().size() + 1);
+    EXPECT_NE(csv.find("time_s,power_w"), std::string::npos);
+    EXPECT_NE(csv.find("sample_cpm_7"), std::string::npos);
+    EXPECT_NE(csv.find("didt_worst_mv"), std::string::npos);
+
+    // Every row has the same number of commas as the header.
+    std::istringstream stream(csv);
+    std::string header;
+    std::getline(stream, header);
+    const size_t headerCommas =
+        std::count(header.begin(), header.end(), ',');
+    std::string row;
+    while (std::getline(stream, row)) {
+        EXPECT_EQ(std::count(row.begin(), row.end(), ','),
+                  ptrdiff_t(headerCommas));
+    }
+}
+
+} // namespace
+} // namespace agsim

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Deterministic RNG tests: reproducibility, stream independence, and
+ * first/second-moment checks on every distribution helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace agsim {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42, 0);
+    Rng b(42, 0);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(42, 0);
+    Rng b(43, 0);
+    int differences = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() != b.next())
+            ++differences;
+    }
+    EXPECT_GT(differences, 95);
+}
+
+TEST(Rng, DifferentStreamsDiffer)
+{
+    Rng a(42, 0);
+    Rng b(42, 1);
+    int differences = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() != b.next())
+            ++differences;
+    }
+    EXPECT_GT(differences, 95);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng a(7, 3);
+    std::vector<uint64_t> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(a.next());
+    a.reseed(7, 3);
+    for (int i = 0; i < 16; ++i)
+        ASSERT_EQ(a.next(), first[size_t(i)]);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(2);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearOneHalf)
+{
+    Rng rng(3);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng rng(4);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const int v = rng.uniformInt(2, 9);
+        ASSERT_GE(v, 2);
+        ASSERT_LE(v, 9);
+        sawLo = sawLo || v == 2;
+        sawHi = sawHi || v == 9;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(5);
+    double sum = 0.0, sumSq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sumSq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sumSq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaledMoments)
+{
+    Rng rng(6);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(4.0);
+    EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialRejectsBadRate)
+{
+    Rng rng(8);
+    EXPECT_THROW(rng.exponential(0.0), InternalError);
+    EXPECT_THROW(rng.exponential(-1.0), InternalError);
+}
+
+class RngPoissonTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RngPoissonTest, MeanMatches)
+{
+    const double mean = GetParam();
+    Rng rng(uint64_t(mean * 1000) + 11);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.poisson(mean);
+    EXPECT_NEAR(sum / n, mean, std::max(0.05, mean * 0.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(MeansSmallAndLarge, RngPoissonTest,
+                         ::testing::Values(0.1, 0.5, 1.0, 4.0, 16.0, 100.0));
+
+TEST(Rng, PoissonZeroMeanIsZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, BernoulliProbability)
+{
+    Rng rng(10);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(double(hits) / n, 0.3, 0.01);
+}
+
+} // namespace
+} // namespace agsim

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Series and table-rendering tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "stats/series.h"
+#include "stats/table.h"
+
+namespace agsim::stats {
+namespace {
+
+TEST(Series, BasicAccessors)
+{
+    Series s("raytrace");
+    s.add(1, 13.0);
+    s.add(2, 10.0);
+    s.add(4, 7.0);
+    s.add(8, 3.0);
+    EXPECT_EQ(s.name(), "raytrace");
+    EXPECT_EQ(s.size(), 4u);
+    EXPECT_DOUBLE_EQ(s.firstY(), 13.0);
+    EXPECT_DOUBLE_EQ(s.lastY(), 3.0);
+    EXPECT_DOUBLE_EQ(s.maxY(), 13.0);
+    EXPECT_DOUBLE_EQ(s.minY(), 3.0);
+    EXPECT_DOUBLE_EQ(s.meanY(), 8.25);
+    EXPECT_DOUBLE_EQ(s.x(2), 4.0);
+    EXPECT_DOUBLE_EQ(s.y(2), 7.0);
+}
+
+TEST(Series, MonotonicityChecks)
+{
+    Series down("down");
+    down.add(1, 5.0);
+    down.add(2, 4.0);
+    down.add(3, 4.0);
+    EXPECT_TRUE(down.isNonIncreasing());
+    EXPECT_FALSE(down.isNonDecreasing());
+
+    Series up("up");
+    up.add(1, 1.0);
+    up.add(2, 2.0);
+    EXPECT_TRUE(up.isNonDecreasing());
+    EXPECT_FALSE(up.isNonIncreasing());
+}
+
+TEST(Series, MonotonicityTolerance)
+{
+    Series s("noisy");
+    s.add(1, 5.0);
+    s.add(2, 5.2); // small bump
+    s.add(3, 4.0);
+    EXPECT_FALSE(s.isNonIncreasing());
+    EXPECT_TRUE(s.isNonIncreasing(0.3));
+}
+
+TEST(Series, EmptyStatsThrow)
+{
+    Series s("empty");
+    EXPECT_THROW(s.maxY(), ConfigError);
+    EXPECT_THROW(s.minY(), ConfigError);
+    EXPECT_THROW(s.meanY(), ConfigError);
+}
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter table;
+    table.setHeader({"cores", "static", "adaptive"});
+    table.addRow({"1", "64.2", "55.9"});
+    table.addRow({"8", "128.0", "121.4"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("cores"), std::string::npos);
+    EXPECT_NE(out.find("128.0"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TablePrinter, NumericRowFormatting)
+{
+    TablePrinter table;
+    table.addNumericRow("power", {1.23456, 2.0}, 2);
+    const std::string out = table.render();
+    EXPECT_NE(out.find("1.23"), std::string::npos);
+    EXPECT_NE(out.find("2.00"), std::string::npos);
+}
+
+TEST(FormatDouble, Precision)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(3.0, 0), "3");
+}
+
+TEST(RenderSeriesTable, SharedXColumn)
+{
+    Series a("a"), b("b");
+    for (int x = 1; x <= 3; ++x) {
+        a.add(x, x * 1.0);
+        b.add(x, x * 2.0);
+    }
+    const std::string out = renderSeriesTable({a, b}, "cores", 1);
+    EXPECT_NE(out.find("cores"), std::string::npos);
+    EXPECT_NE(out.find("6.0"), std::string::npos);
+}
+
+TEST(RenderSeriesTable, MismatchedLengthsThrow)
+{
+    Series a("a"), b("b");
+    a.add(1, 1.0);
+    a.add(2, 2.0);
+    b.add(1, 1.0);
+    EXPECT_THROW(renderSeriesTable({a, b}, "x"), ConfigError);
+    EXPECT_THROW(renderSeriesTable({}, "x"), ConfigError);
+}
+
+TEST(RenderAsciiChart, ContainsGlyphsAndLegend)
+{
+    Series a("alpha"), b("beta");
+    for (int x = 0; x < 8; ++x) {
+        a.add(x, x);
+        b.add(x, 8 - x);
+    }
+    const std::string out = renderAsciiChart({a, b}, 32, 8);
+    EXPECT_NE(out.find('*'), std::string::npos);
+    EXPECT_NE(out.find('o'), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("beta"), std::string::npos);
+}
+
+} // namespace
+} // namespace agsim::stats

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Telemetry tests: 32 ms window cadence, sticky-vs-sample semantics,
+ * window means.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sensors/telemetry.h"
+
+namespace agsim::sensors {
+namespace {
+
+StepObservation
+makeObs(size_t cores, int sample, int sticky, double power)
+{
+    StepObservation obs;
+    obs.sampleCpm.assign(cores, sample);
+    obs.stickyCpm.assign(cores, sticky);
+    obs.coreVoltage.assign(cores, 1.15);
+    obs.coreFrequency.assign(cores, 4.2e9);
+    obs.chipPower = power;
+    obs.railCurrent = power / 1.15;
+    obs.setpoint = 1.2;
+    return obs;
+}
+
+TEST(Telemetry, WindowClosesAfter32ms)
+{
+    Telemetry telemetry(8);
+    const auto obs = makeObs(8, 5, 5, 100.0);
+    for (int i = 0; i < 31; ++i)
+        telemetry.step(obs, 1e-3);
+    EXPECT_FALSE(telemetry.hasWindows());
+    telemetry.step(obs, 1e-3);
+    ASSERT_TRUE(telemetry.hasWindows());
+    EXPECT_EQ(telemetry.windows().size(), 1u);
+    EXPECT_NEAR(telemetry.latest().time, 0.032, 1e-9);
+}
+
+TEST(Telemetry, MultipleWindowsAccumulate)
+{
+    Telemetry telemetry(4);
+    const auto obs = makeObs(4, 5, 5, 100.0);
+    for (int i = 0; i < 96; ++i)
+        telemetry.step(obs, 1e-3);
+    EXPECT_EQ(telemetry.windows().size(), 3u);
+}
+
+TEST(Telemetry, StickyKeepsWindowMinimum)
+{
+    Telemetry telemetry(1);
+    // Mostly quiet reads at 6, one droop to 2 mid-window.
+    for (int i = 0; i < 32; ++i) {
+        const int sticky = (i == 10) ? 2 : 6;
+        telemetry.step(makeObs(1, 6, sticky, 100.0), 1e-3);
+    }
+    ASSERT_TRUE(telemetry.hasWindows());
+    EXPECT_EQ(telemetry.latest().stickyCpm[0], 2);
+    EXPECT_EQ(telemetry.latest().sampleCpm[0], 6);
+}
+
+TEST(Telemetry, StickyResetsBetweenWindows)
+{
+    Telemetry telemetry(1);
+    for (int i = 0; i < 32; ++i)
+        telemetry.step(makeObs(1, 6, 2, 100.0), 1e-3);
+    for (int i = 0; i < 32; ++i)
+        telemetry.step(makeObs(1, 6, 5, 100.0), 1e-3);
+    ASSERT_EQ(telemetry.windows().size(), 2u);
+    EXPECT_EQ(telemetry.windows()[0].stickyCpm[0], 2);
+    EXPECT_EQ(telemetry.windows()[1].stickyCpm[0], 5);
+}
+
+TEST(Telemetry, WindowMeansAreTimeWeighted)
+{
+    Telemetry telemetry(1);
+    for (int i = 0; i < 16; ++i)
+        telemetry.step(makeObs(1, 6, 6, 80.0), 1e-3);
+    for (int i = 0; i < 16; ++i)
+        telemetry.step(makeObs(1, 6, 6, 120.0), 1e-3);
+    ASSERT_TRUE(telemetry.hasWindows());
+    EXPECT_NEAR(telemetry.latest().meanChipPower, 100.0, 1e-9);
+    EXPECT_NEAR(telemetry.latest().meanSetpoint, 1.2, 1e-12);
+    EXPECT_NEAR(telemetry.latest().meanCoreVoltage[0], 1.15, 1e-12);
+}
+
+TEST(Telemetry, DecompositionAveraged)
+{
+    Telemetry telemetry(1);
+    auto obs = makeObs(1, 6, 6, 100.0);
+    obs.decomposition.loadline = 0.040;
+    obs.decomposition.irGlobal = 0.020;
+    obs.decomposition.irLocal = 0.010;
+    for (int i = 0; i < 32; ++i)
+        telemetry.step(obs, 1e-3);
+    EXPECT_NEAR(telemetry.latest().meanDecomposition.loadline, 0.040,
+                1e-9);
+    EXPECT_NEAR(telemetry.latest().meanDecomposition.passive(), 0.070,
+                1e-9);
+}
+
+TEST(Telemetry, MaxWindowsBounded)
+{
+    TelemetryParams params;
+    params.maxWindows = 2;
+    Telemetry telemetry(1, params);
+    const auto obs = makeObs(1, 5, 5, 100.0);
+    for (int i = 0; i < 32 * 5; ++i)
+        telemetry.step(obs, 1e-3);
+    EXPECT_EQ(telemetry.windows().size(), 2u);
+}
+
+TEST(Telemetry, ClearWindowsKeepsAccumulation)
+{
+    Telemetry telemetry(1);
+    const auto obs = makeObs(1, 5, 5, 100.0);
+    for (int i = 0; i < 48; ++i)
+        telemetry.step(obs, 1e-3);
+    telemetry.clearWindows();
+    EXPECT_FALSE(telemetry.hasWindows());
+    // 16 ms of the second window already elapsed; 16 more close it.
+    for (int i = 0; i < 16; ++i)
+        telemetry.step(obs, 1e-3);
+    EXPECT_TRUE(telemetry.hasWindows());
+}
+
+TEST(Telemetry, LatestOnEmptyThrows)
+{
+    Telemetry telemetry(1);
+    EXPECT_THROW(telemetry.latest(), ConfigError);
+}
+
+TEST(Telemetry, SizeMismatchPanics)
+{
+    Telemetry telemetry(2);
+    EXPECT_THROW(telemetry.step(makeObs(1, 5, 5, 100.0), 1e-3),
+                 InternalError);
+}
+
+TEST(Telemetry, RejectsBadConstruction)
+{
+    EXPECT_THROW(Telemetry(0), ConfigError);
+    TelemetryParams params;
+    params.windowLength = 0.0;
+    EXPECT_THROW(Telemetry(1, params), ConfigError);
+}
+
+} // namespace
+} // namespace agsim::sensors

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Umbrella-header test: one include pulls in the whole public API and
+ * the pieces compose.
+ */
+
+#include <gtest/gtest.h>
+
+#include "agsim.h"
+
+namespace agsim {
+namespace {
+
+TEST(Umbrella, EverythingComposesFromOneInclude)
+{
+    // Touch one symbol from each layer.
+    using namespace agsim::units;
+    power::VfCurve curve;
+    EXPECT_NEAR(curve.vddStatic(4.2_GHz), 1.2, 1e-9);
+
+    stats::Accumulator acc;
+    acc.add(1.0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 1.0);
+
+    const auto &profile = workload::byName("raytrace");
+    EXPECT_EQ(profile.suite, workload::Suite::Parsec);
+
+    core::ScheduledRunSpec spec;
+    spec.profile = profile;
+    spec.threads = 1;
+    spec.simConfig.measureDuration = 0.1;
+    spec.simConfig.warmup = 0.2;
+    const auto result = core::runScheduled(spec);
+    EXPECT_GT(result.metrics.totalChipPower, 0.0);
+}
+
+} // namespace
+} // namespace agsim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Undervolting-firmware decision tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip/undervolt_controller.h"
+#include "common/error.h"
+#include "common/units.h"
+
+namespace agsim::chip {
+namespace {
+
+using namespace agsim::units;
+
+TEST(UndervoltController, StepsDownWithHeadroom)
+{
+    UndervoltController ctl;
+    const Volts now = 1.200;
+    // Achievable frequency well above target: spare margin exists.
+    const Volts next = ctl.decide(now, 4.40_GHz, 4.2_GHz, 1.200);
+    EXPECT_NEAR(now - next, ctl.params().voltageStep, 1e-12);
+}
+
+TEST(UndervoltController, HoldsInsideDeadband)
+{
+    UndervoltController ctl;
+    const Hertz target = 4.2_GHz;
+    const Hertz slightlyAbove = target * (1.0 + ctl.params().downThreshold
+                                          * 0.5);
+    EXPECT_DOUBLE_EQ(ctl.decide(1.15, slightlyAbove, target, 1.2), 1.15);
+}
+
+TEST(UndervoltController, StepsUpOnShortfall)
+{
+    UndervoltController ctl;
+    const Volts next = ctl.decide(1.12, 4.10_GHz, 4.2_GHz, 1.2);
+    EXPECT_NEAR(next - 1.12, ctl.params().voltageStep, 1e-12);
+}
+
+TEST(UndervoltController, RespectsMaxUndervoltFloor)
+{
+    UndervoltController ctl;
+    const Volts staticSetpoint = 1.200;
+    const Volts floor = staticSetpoint - ctl.params().maxUndervolt;
+    // Already at the floor: no further lowering even with headroom.
+    const Volts atFloor = floor + 1e-6;
+    EXPECT_DOUBLE_EQ(ctl.decide(atFloor, 4.5_GHz, 4.2_GHz,
+                                staticSetpoint), atFloor);
+    // One step above the floor: may lower only if it stays above.
+    const Volts oneAbove = floor + ctl.params().voltageStep;
+    EXPECT_NEAR(ctl.decide(oneAbove, 4.5_GHz, 4.2_GHz, staticSetpoint),
+                floor, 1e-12);
+}
+
+TEST(UndervoltController, ConvergesToTargetInWalk)
+{
+    // Simulated firmware walk: achievable frequency rises as voltage
+    // drops margin stays constant; emulate a simple linear plant.
+    UndervoltController ctl;
+    const Hertz target = 4.2_GHz;
+    const Volts staticSetpoint = 1.200;
+    Volts setpoint = staticSetpoint;
+    auto achievable = [](Volts v) {
+        // 5.4 MHz per mV above a 1.08 V zero-margin point.
+        return (v - 0.060 - 1.080) / 0.185e-9 + 4.2e9;
+    };
+    for (int i = 0; i < 40; ++i)
+        setpoint = ctl.decide(setpoint, achievable(setpoint), target,
+                              staticSetpoint);
+    // Converged: no more movement.
+    const Volts settled = ctl.decide(setpoint, achievable(setpoint),
+                                     target, staticSetpoint);
+    EXPECT_DOUBLE_EQ(settled, setpoint);
+    // And the plant still meets the target.
+    EXPECT_GE(achievable(setpoint), target);
+    EXPECT_LT(staticSetpoint - setpoint, ctl.params().maxUndervolt + 1e-9);
+}
+
+TEST(UndervoltController, RejectsBadParams)
+{
+    UndervoltControllerParams params;
+    params.voltageStep = 0.0;
+    EXPECT_THROW(UndervoltController{params}, ConfigError);
+
+    params = UndervoltControllerParams();
+    params.downThreshold = -0.1;
+    EXPECT_THROW(UndervoltController{params}, ConfigError);
+}
+
+TEST(UndervoltController, ZeroTargetPanics)
+{
+    UndervoltController ctl;
+    EXPECT_THROW(ctl.decide(1.2, 4.2e9, 0.0, 1.2), InternalError);
+}
+
+} // namespace
+} // namespace agsim::chip

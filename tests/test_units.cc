@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Unit-literal and conversion-helper tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace agsim {
+namespace {
+
+using namespace agsim::units;
+
+TEST(Units, VoltageLiterals)
+{
+    EXPECT_DOUBLE_EQ(1.2_V, 1.2);
+    EXPECT_DOUBLE_EQ(1_V, 1.0);
+    EXPECT_DOUBLE_EQ(21.0_mV, 0.021);
+    EXPECT_DOUBLE_EQ(150_mV, 0.150);
+}
+
+TEST(Units, FrequencyLiterals)
+{
+    EXPECT_DOUBLE_EQ(4.2_GHz, 4.2e9);
+    EXPECT_DOUBLE_EQ(4_GHz, 4e9);
+    EXPECT_DOUBLE_EQ(28.0_MHz, 28e6);
+    EXPECT_DOUBLE_EQ(4200_MHz, 4.2e9);
+}
+
+TEST(Units, TimeLiterals)
+{
+    EXPECT_DOUBLE_EQ(32.0_ms, 0.032);
+    EXPECT_DOUBLE_EQ(1_s, 1.0);
+    EXPECT_DOUBLE_EQ(10_us, 1e-5);
+}
+
+TEST(Units, PowerAndResistanceLiterals)
+{
+    EXPECT_DOUBLE_EQ(140_W, 140.0);
+    EXPECT_DOUBLE_EQ(0.38_mOhm, 0.38e-3);
+}
+
+TEST(Units, MipsLiterals)
+{
+    EXPECT_DOUBLE_EQ(70000.0_MIPS, 7e10);
+}
+
+TEST(Units, ConversionsRoundTrip)
+{
+    EXPECT_DOUBLE_EQ(toMilliVolts(0.021), 21.0);
+    EXPECT_DOUBLE_EQ(toMegaHertz(4.2e9), 4200.0);
+    EXPECT_DOUBLE_EQ(toGigaHertz(4.2e9), 4.2);
+    EXPECT_DOUBLE_EQ(toMips(7e10), 70000.0);
+}
+
+TEST(Units, LiteralsComposeInExpressions)
+{
+    const Volts guardband = 1.2_V - 1.05_V;
+    EXPECT_NEAR(guardband, 0.150, 1e-12);
+    const Hertz boost = 4.2_GHz * 0.10;
+    EXPECT_NEAR(toMegaHertz(boost), 420.0, 1e-9);
+}
+
+} // namespace
+} // namespace agsim

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Voltage-frequency curve tests, including the paper's calibration
+ * anchors: ~0.185 mV/MHz slope, 940 mV at the 2.8 GHz DVFS point,
+ * 1.2 V at 4.2 GHz.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "power/vf_curve.h"
+
+namespace agsim::power {
+namespace {
+
+using namespace agsim::units;
+
+TEST(VfCurve, DefaultAnchorsMatchPaper)
+{
+    VfCurve curve;
+    // Static setpoint at the 4.2 GHz DVFS top point is ~1.2 V.
+    EXPECT_NEAR(curve.vddStatic(4.2_GHz), 1.200, 1e-9);
+    // At 2.8 GHz the setpoint is ~941 mV (Fig. 6a leftmost diagonal).
+    EXPECT_NEAR(curve.vddStatic(2.8_GHz), 0.941, 2e-3);
+}
+
+TEST(VfCurve, VminSlopeMatchesFig6a)
+{
+    VfCurve curve;
+    // Each +28 MHz diagonal in Fig. 6a costs ~5.2 mV.
+    const Volts dv = curve.vminAt(4.2_GHz) - curve.vminAt(4.2_GHz - 28_MHz);
+    EXPECT_NEAR(toMilliVolts(dv), 5.18, 0.1);
+}
+
+TEST(VfCurve, FmaxInvertsVmin)
+{
+    VfCurve curve;
+    for (Hertz f = 2.8e9; f <= 4.2e9; f += 0.1e9)
+        EXPECT_NEAR(curve.fmaxAt(curve.vminAt(f)), f, 1.0);
+}
+
+TEST(VfCurve, FmaxClampsToOverclockCeiling)
+{
+    VfCurve curve;
+    const Hertz ceiling = curve.params().refFrequency *
+                          curve.params().overclockCeiling;
+    EXPECT_DOUBLE_EQ(curve.fmaxAt(2.0), ceiling);
+    EXPECT_DOUBLE_EQ(curve.fmaxAt(0.0), 0.0);
+}
+
+TEST(VfCurve, TenPercentBoostCeiling)
+{
+    // Paper: "clock frequency can be boosted by as much as 10%".
+    VfCurve curve;
+    EXPECT_NEAR(curve.params().overclockCeiling, 1.10, 1e-9);
+}
+
+TEST(VfCurve, MarginWithCalibratedReserve)
+{
+    VfCurve curve;
+    const Hertz f = 4.2_GHz;
+    const Volts v = curve.vminAt(f) + curve.params().calibratedMargin;
+    // At exactly the calibrated margin, fmaxWithMargin returns f.
+    EXPECT_NEAR(curve.fmaxWithMargin(v), f, 1.0);
+    // With zero extra margin, fmaxWithMargin is below f.
+    EXPECT_LT(curve.fmaxWithMargin(curve.vminAt(f)), f);
+}
+
+TEST(VfCurve, MarginAt)
+{
+    VfCurve curve;
+    const Hertz f = 4.0_GHz;
+    EXPECT_NEAR(curve.marginAt(curve.vminAt(f), f), 0.0, 1e-12);
+    EXPECT_NEAR(curve.marginAt(curve.vminAt(f) + 0.05, f), 0.05, 1e-12);
+}
+
+TEST(VfCurve, MarginToFrequencyUsesSlope)
+{
+    VfCurve curve;
+    // ~5.4 MHz per mV.
+    EXPECT_NEAR(curve.marginToFrequency(1.0_mV) / 1e6, 5.4, 0.1);
+    // 150 mV guardband is worth ~810 MHz of headroom.
+    EXPECT_NEAR(curve.marginToFrequency(curve.params().staticGuardband) /
+                1e6, 810, 15);
+}
+
+TEST(VfCurve, GuardbandAnatomy)
+{
+    VfCurve curve;
+    const Hertz f = 4.2_GHz;
+    EXPECT_NEAR(curve.vddStatic(f) - curve.vminAt(f),
+                curve.params().staticGuardband, 1e-12);
+}
+
+TEST(VfCurve, RejectsBadParams)
+{
+    VfCurveParams params;
+    params.voltsPerHertz = 0.0;
+    EXPECT_THROW(VfCurve{params}, ConfigError);
+
+    params = VfCurveParams();
+    params.minFrequency = params.refFrequency;
+    EXPECT_THROW(VfCurve{params}, ConfigError);
+
+    params = VfCurveParams();
+    params.staticGuardband = -0.01;
+    EXPECT_THROW(VfCurve{params}, ConfigError);
+
+    params = VfCurveParams();
+    params.overclockCeiling = 0.9;
+    EXPECT_THROW(VfCurve{params}, ConfigError);
+}
+
+/** Round-trip property across the full DVFS window. */
+class VfRoundTripTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(VfRoundTripTest, VminFmaxRoundTrip)
+{
+    VfCurve curve;
+    const Hertz f = GetParam() * 1e9;
+    EXPECT_NEAR(curve.fmaxAt(curve.vminAt(f)), f, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(DvfsWindow, VfRoundTripTest,
+                         ::testing::Values(2.8, 3.0, 3.2, 3.4, 3.6, 3.8,
+                                           4.0, 4.1, 4.2));
+
+} // namespace
+} // namespace agsim::power

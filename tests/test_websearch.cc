@@ -1,0 +1,124 @@
+/**
+ * @file
+ * WebSearch QoS model tests (Fig. 17 machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "qos/websearch.h"
+
+namespace agsim::qos {
+namespace {
+
+TEST(WebSearch, ProducesWindows)
+{
+    WebSearchService service;
+    const auto windows = service.simulate(4.5e9, 3000.0);
+    // 3000 s / 150 s window... default window is 300 s: 10 windows.
+    EXPECT_EQ(windows.size(),
+              size_t(3000.0 / service.params().windowLength));
+    for (const auto &w : windows) {
+        EXPECT_GT(w.queries, 0u);
+        EXPECT_GT(w.p90, 0.0);
+        EXPECT_GT(w.p90, w.meanLatency);
+    }
+}
+
+TEST(WebSearch, ReproducibleWithSameSeed)
+{
+    WebSearchService a, b;
+    const auto wa = a.simulate(4.5e9, 1500.0);
+    const auto wb = b.simulate(4.5e9, 1500.0);
+    ASSERT_EQ(wa.size(), wb.size());
+    for (size_t i = 0; i < wa.size(); ++i)
+        EXPECT_DOUBLE_EQ(wa[i].p90, wb[i].p90);
+}
+
+TEST(WebSearch, ReseedResetsStream)
+{
+    WebSearchService service;
+    const auto first = service.simulate(4.5e9, 1500.0);
+    service.reseed(service.params().seed);
+    const auto again = service.simulate(4.5e9, 1500.0);
+    ASSERT_EQ(first.size(), again.size());
+    EXPECT_DOUBLE_EQ(first[0].p90, again[0].p90);
+}
+
+TEST(WebSearch, LatencyFallsWithFrequency)
+{
+    WebSearchService service;
+    const auto slow = service.simulate(4.3e9, 6000.0);
+    service.reseed(service.params().seed);
+    const auto fast = service.simulate(4.6e9, 6000.0);
+    EXPECT_GT(WebSearchService::meanP90(slow),
+              WebSearchService::meanP90(fast));
+}
+
+TEST(WebSearch, ViolationRateOrderingMatchesFig17)
+{
+    // Higher co-runner pressure (lower frequency) -> more violations.
+    WebSearchService service;
+    auto rateAt = [&service](Hertz f) {
+        service.reseed(service.params().seed);
+        return WebSearchService::violationRate(
+            service.simulate(f, 30000.0));
+    };
+    // Frequencies from the simulator's colocation runs: a lone
+    // websearch core rides the 10% DPLL ceiling (~4.62 GHz); the heavy
+    // co-runner drags the chip to ~4.47 GHz.
+    const double solo = rateAt(4.62e9);
+    const double light = rateAt(4.60e9);
+    const double medium = rateAt(4.58e9);
+    const double heavy = rateAt(4.47e9);
+    EXPECT_LE(solo, light + 0.02);
+    EXPECT_LT(light, medium);
+    EXPECT_LT(medium, heavy);
+    // Paper endpoints: light < 7%-ish, heavy > 25%.
+    EXPECT_LT(light, 0.10);
+    EXPECT_GT(heavy, 0.22);
+}
+
+TEST(WebSearch, InterferenceAddsLatency)
+{
+    WebSearchService service;
+    const auto clean = service.simulate(4.5e9, 6000.0, 0.0);
+    service.reseed(service.params().seed);
+    const auto noisy = service.simulate(4.5e9, 6000.0, 0.05);
+    EXPECT_GT(WebSearchService::meanP90(noisy),
+              WebSearchService::meanP90(clean));
+}
+
+TEST(WebSearch, SortedP90IsSorted)
+{
+    WebSearchService service;
+    const auto windows = service.simulate(4.45e9, 6000.0);
+    const auto sorted = WebSearchService::sortedP90(windows);
+    ASSERT_EQ(sorted.size(), windows.size());
+    for (size_t i = 1; i < sorted.size(); ++i)
+        EXPECT_GE(sorted[i], sorted[i - 1]);
+}
+
+TEST(WebSearch, EmptyWindowHelpers)
+{
+    EXPECT_DOUBLE_EQ(WebSearchService::violationRate({}), 0.0);
+    EXPECT_DOUBLE_EQ(WebSearchService::meanP90({}), 0.0);
+}
+
+TEST(WebSearch, Validation)
+{
+    WebSearchParams params;
+    params.arrivalRatePerSec = 0.0;
+    EXPECT_THROW(WebSearchService{params}, ConfigError);
+
+    params = WebSearchParams();
+    params.memoryBoundedness = 2.0;
+    EXPECT_THROW(WebSearchService{params}, ConfigError);
+
+    WebSearchService service;
+    EXPECT_THROW(service.simulate(4.5e9, 0.0), ConfigError);
+    EXPECT_THROW(service.simulate(4.5e9, 100.0, -0.1), ConfigError);
+}
+
+} // namespace
+} // namespace agsim::qos

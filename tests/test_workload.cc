@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Workload library and throughput-model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "workload/library.h"
+#include "workload/threaded_workload.h"
+
+namespace agsim::workload {
+namespace {
+
+TEST(Library, ShipsThePaperWorkloadSets)
+{
+    // 17 PARSEC + SPLASH-2 scalable workloads (Sec. 3.1 / 5.1.2).
+    EXPECT_EQ(scalableSet().size(), 17u);
+    // 27 SPECrate workloads (Fig. 10).
+    EXPECT_EQ(specRateSet().size(), 27u);
+    // coremark and websearch exist.
+    EXPECT_TRUE(contains("coremark"));
+    EXPECT_TRUE(contains("websearch"));
+}
+
+TEST(Library, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto &p : library())
+        EXPECT_TRUE(names.insert(p.name).second) << p.name;
+}
+
+TEST(Library, EveryProfileValidates)
+{
+    for (const auto &p : library())
+        EXPECT_NO_THROW(p.validate()) << p.name;
+}
+
+TEST(Library, UnknownNameThrows)
+{
+    EXPECT_THROW(byName("not-a-benchmark"), ConfigError);
+    EXPECT_FALSE(contains("not-a-benchmark"));
+}
+
+TEST(Library, FigureFiveSetMembers)
+{
+    const auto set = figureFiveSet();
+    ASSERT_EQ(set.size(), 5u);
+    EXPECT_EQ(set[0].name, "lu_cb");
+    EXPECT_EQ(set[1].name, "raytrace");
+    EXPECT_EQ(set[2].name, "swaptions");
+    EXPECT_EQ(set[3].name, "radix");
+    EXPECT_EQ(set[4].name, "ocean_cp");
+}
+
+TEST(Library, PaperCalibrationStories)
+{
+    // radix: low power intensity, memory bound, contention-relieved.
+    const auto &radix = byName("radix");
+    const auto &swaptions = byName("swaptions");
+    EXPECT_LT(radix.intensity, swaptions.intensity);
+    EXPECT_GT(radix.memoryBoundedness, swaptions.memoryBoundedness);
+    EXPECT_GT(radix.contentionSensitivity,
+              swaptions.contentionSensitivity);
+
+    // lu_ncb / radiosity: the Fig. 14 cross-chip losers.
+    EXPECT_GT(byName("lu_ncb").crossChipPenalty, 0.2);
+    EXPECT_GT(byName("radiosity").crossChipPenalty, 0.2);
+
+    // coremark: core-contained (isolates frequency effects, Fig. 15),
+    // high MIPS but light power relative to its MIPS class.
+    const auto &coremark = byName("coremark");
+    EXPECT_DOUBLE_EQ(coremark.memoryBoundedness, 0.0);
+    EXPECT_LT(coremark.intensity, byName("lu_cb").intensity);
+    EXPECT_GT(coremark.mipsPerThread, byName("lu_cb").mipsPerThread);
+
+    // mcf: the co-runner that raises coremark's frequency (Fig. 15).
+    EXPECT_LT(byName("mcf").intensity, coremark.intensity);
+}
+
+TEST(Library, MipsPowerCorrelationHolds)
+{
+    // Fig. 16 rests on MIPS tracking power to first order across the
+    // general population (coremark is the deliberate outlier).
+    for (const auto &p : library()) {
+        if (p.suite == Suite::Coremark || p.suite == Suite::Datacenter)
+            continue;
+        const double predicted = 0.46 + 0.066 * p.mipsPerThread / 1e9;
+        EXPECT_NEAR(p.intensity, predicted, 0.08) << p.name;
+    }
+}
+
+TEST(ThrottledCoremark, ScalesRateAndPower)
+{
+    const auto light = throttledCoremark("light", 13000e6 / 7.0);
+    const auto &full = byName("coremark");
+    EXPECT_LT(light.mipsPerThread, full.mipsPerThread);
+    EXPECT_LT(light.intensity, full.intensity);
+    EXPECT_GT(light.intensity, 0.1); // floor survives
+    EXPECT_NO_THROW(light.validate());
+}
+
+TEST(ThrottledCoremark, RejectsBadRates)
+{
+    EXPECT_THROW(throttledCoremark("bad", 0.0), ConfigError);
+    EXPECT_THROW(throttledCoremark("bad", 20000e6), ConfigError);
+}
+
+TEST(ThreadedWorkload, FrequencyScaleHonoursMemoryBoundedness)
+{
+    ThreadedWorkload compute(byName("swaptions"), RunMode::Multithreaded);
+    ThreadedWorkload memory(byName("mcf"), RunMode::Rate);
+    // A 10% overclock speeds the compute-bound job nearly 10%...
+    EXPECT_NEAR(compute.frequencyScale(4.62e9), 1.096, 0.01);
+    // ...but the memory-bound one much less.
+    EXPECT_LT(memory.frequencyScale(4.62e9), 1.02);
+    // Both are exactly 1 at nominal.
+    EXPECT_DOUBLE_EQ(compute.frequencyScale(4.2e9), 1.0);
+    EXPECT_DOUBLE_EQ(memory.frequencyScale(4.2e9), 1.0);
+}
+
+TEST(ThreadedWorkload, AmdahlEfficiency)
+{
+    ThreadedWorkload mt(byName("freqmine"), RunMode::Multithreaded);
+    EXPECT_DOUBLE_EQ(mt.amdahlEfficiency(1), 1.0);
+    EXPECT_LT(mt.amdahlEfficiency(8), 1.0);
+    EXPECT_LT(mt.amdahlEfficiency(8), mt.amdahlEfficiency(2));
+
+    ThreadedWorkload rate(byName("gcc"), RunMode::Rate);
+    EXPECT_DOUBLE_EQ(rate.amdahlEfficiency(8), 1.0);
+}
+
+TEST(ThreadedWorkload, ContentionLossGrowsWithCrowding)
+{
+    ThreadedWorkload w(byName("radix"), RunMode::Multithreaded);
+    EXPECT_DOUBLE_EQ(w.contentionLoss(1, 8), 0.0);
+    const double two = w.contentionLoss(2, 8);
+    const double eight = w.contentionLoss(8, 8);
+    EXPECT_GT(two, 0.0);
+    EXPECT_GT(eight, two);
+    EXPECT_LE(eight, 0.60); // capped
+}
+
+TEST(ThreadedWorkload, CrossChipLossOnlyWhenSpanning)
+{
+    ThreadedWorkload w(byName("lu_ncb"), RunMode::Multithreaded);
+    EXPECT_DOUBLE_EQ(w.crossChipLoss(false), 0.0);
+    EXPECT_GT(w.crossChipLoss(true), 0.2);
+}
+
+TEST(ThreadedWorkload, ThreadRateComposition)
+{
+    ThreadedWorkload w(byName("raytrace"), RunMode::Multithreaded);
+    PlacementContext solo{1, 1, false, 8};
+    const double base = w.threadRate(solo, 4.2e9);
+    EXPECT_NEAR(base, w.profile().mipsPerThread, 1e-3);
+
+    PlacementContext crowded{8, 8, false, 8};
+    EXPECT_LT(w.threadRate(crowded, 4.2e9), base);
+
+    PlacementContext spanning{8, 4, true, 8};
+    // Fewer threads per chip relieves contention but adds comm loss.
+    const double s = w.threadRate(spanning, 4.2e9);
+    EXPECT_GT(s, 0.0);
+}
+
+TEST(ThreadedWorkload, TotalWorkSemantics)
+{
+    ThreadedWorkload mt(byName("barnes"), RunMode::Multithreaded);
+    EXPECT_DOUBLE_EQ(mt.totalWork(8), mt.profile().totalInstructions);
+    ThreadedWorkload rate(byName("bzip2"), RunMode::Rate);
+    EXPECT_DOUBLE_EQ(rate.totalWork(8),
+                     8.0 * rate.profile().totalInstructions);
+}
+
+TEST(ThreadedWorkload, GroupSpeedupIsSublinearUnderContention)
+{
+    ThreadedWorkload w(byName("ferret"), RunMode::Multithreaded);
+    PlacementContext eight{8, 8, false, 8};
+    const double speedup = w.groupSpeedup(eight, 4.2e9);
+    EXPECT_GT(speedup, 3.0);
+    EXPECT_LT(speedup, 8.0);
+}
+
+TEST(Profile, ValidateRejectsBadFields)
+{
+    BenchmarkProfile p = byName("raytrace");
+    p.intensity = 0.0;
+    EXPECT_THROW(p.validate(), ConfigError);
+
+    p = byName("raytrace");
+    p.memoryBoundedness = 1.5;
+    EXPECT_THROW(p.validate(), ConfigError);
+
+    p = byName("raytrace");
+    p.name.clear();
+    EXPECT_THROW(p.validate(), ConfigError);
+
+    p = byName("raytrace");
+    p.crossChipPenalty = 0.9;
+    EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(Suite, NamesAreHuman)
+{
+    EXPECT_STREQ(suiteName(Suite::Parsec), "PARSEC");
+    EXPECT_STREQ(suiteName(Suite::Splash2), "SPLASH-2");
+    EXPECT_STREQ(suiteName(Suite::SpecCpu2006), "SPEC CPU2006");
+}
+
+} // namespace
+} // namespace agsim::workload
