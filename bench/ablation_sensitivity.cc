@@ -27,7 +27,7 @@ using namespace agsim;
 using namespace agsim::bench;
 using chip::GuardbandMode;
 using core::PlacementPolicy;
-using core::runScheduled;
+using core::runScheduledBatch;
 
 namespace {
 
@@ -38,8 +38,13 @@ struct Outcome
     double borrowingBenefit = 0.0;
 };
 
-Outcome
-evaluate(const core::ScheduledRunSpec &base)
+/**
+ * The six runs one configuration row needs, in a fixed order the
+ * outcome computation below indexes: {static, adaptive} @1 core,
+ * {static, adaptive} @8 cores, {consolidate, borrow} @8-of-16.
+ */
+std::vector<core::ScheduledRunSpec>
+rowSpecs(const core::ScheduledRunSpec &base)
 {
     auto with = [&base](size_t threads, PlacementPolicy policy,
                         GuardbandMode mode, size_t budget) {
@@ -48,28 +53,41 @@ evaluate(const core::ScheduledRunSpec &base)
         spec.policy = policy;
         spec.mode = mode;
         spec.poweredCoreBudget = budget;
-        return runScheduled(spec).metrics;
+        return spec;
     };
 
+    return {
+        with(1, PlacementPolicy::Consolidate,
+             GuardbandMode::StaticGuardband, 0),
+        with(1, PlacementPolicy::Consolidate,
+             GuardbandMode::AdaptiveUndervolt, 0),
+        with(8, PlacementPolicy::Consolidate,
+             GuardbandMode::StaticGuardband, 0),
+        with(8, PlacementPolicy::Consolidate,
+             GuardbandMode::AdaptiveUndervolt, 0),
+        with(8, PlacementPolicy::Consolidate,
+             GuardbandMode::AdaptiveUndervolt, 8),
+        with(8, PlacementPolicy::LoadlineBorrow,
+             GuardbandMode::AdaptiveUndervolt, 8),
+    };
+}
+
+Outcome
+rowOutcome(const std::vector<core::ScheduledRunResult> &results,
+           size_t first)
+{
+    const auto &stat1 = results[first + 0].metrics;
+    const auto &adpt1 = results[first + 1].metrics;
+    const auto &stat8 = results[first + 2].metrics;
+    const auto &adpt8 = results[first + 3].metrics;
+    const auto &cons = results[first + 4].metrics;
+    const auto &borrow = results[first + 5].metrics;
+
     Outcome outcome;
-    const auto stat1 = with(1, PlacementPolicy::Consolidate,
-                            GuardbandMode::StaticGuardband, 0);
-    const auto adpt1 = with(1, PlacementPolicy::Consolidate,
-                            GuardbandMode::AdaptiveUndervolt, 0);
     outcome.savingOneCore =
         100.0 * (1.0 - adpt1.socketPower[0] / stat1.socketPower[0]);
-
-    const auto stat8 = with(8, PlacementPolicy::Consolidate,
-                            GuardbandMode::StaticGuardband, 0);
-    const auto adpt8 = with(8, PlacementPolicy::Consolidate,
-                            GuardbandMode::AdaptiveUndervolt, 0);
     outcome.savingEightCores =
         100.0 * (1.0 - adpt8.socketPower[0] / stat8.socketPower[0]);
-
-    const auto cons = with(8, PlacementPolicy::Consolidate,
-                           GuardbandMode::AdaptiveUndervolt, 8);
-    const auto borrow = with(8, PlacementPolicy::LoadlineBorrow,
-                             GuardbandMode::AdaptiveUndervolt, 8);
     outcome.borrowingBenefit =
         100.0 * (1.0 - borrow.totalChipPower / cons.totalChipPower);
     return outcome;
@@ -88,50 +106,61 @@ main(int argc, char **argv)
         workload::byName("raytrace"), 1,
         GuardbandMode::AdaptiveUndervolt, options);
 
-    stats::TablePrinter table;
-    table.setHeader({"configuration", "saving@1core(%)",
-                     "saving@8cores(%)", "borrow benefit@8(%)"});
-
-    auto addRow = [&table](const std::string &label,
-                           const Outcome &outcome) {
-        table.addNumericRow(label,
-                            {outcome.savingOneCore,
-                             outcome.savingEightCores,
-                             outcome.borrowingBenefit},
-                            1);
+    // Build every configuration row's six runs up front (72 specs for
+    // the default table), run them as one batch, then assemble rows.
+    std::vector<std::string> labels;
+    std::vector<core::ScheduledRunSpec> specs;
+    auto addConfig = [&labels, &specs](const std::string &label,
+                                       const core::ScheduledRunSpec &s) {
+        labels.push_back(label);
+        for (auto &spec : rowSpecs(s))
+            specs.push_back(std::move(spec));
     };
 
-    addRow("default", evaluate(base));
+    addConfig("default", base);
 
     for (double gb : {0.100, 0.130, 0.180}) {
         core::ScheduledRunSpec spec = base;
         spec.serverConfig.chipTemplate.vf.staticGuardband = gb;
-        addRow("guardband=" + stats::formatDouble(gb * 1e3, 0) + "mV",
-               evaluate(spec));
+        addConfig("guardband=" + stats::formatDouble(gb * 1e3, 0) + "mV",
+                  spec);
     }
     for (double loadline : {0.20e-3, 0.60e-3}) {
         core::ScheduledRunSpec spec = base;
         spec.serverConfig.rail.loadlineResistance = loadline;
-        addRow("loadline=" + stats::formatDouble(loadline * 1e3, 2) +
-               "mOhm", evaluate(spec));
+        addConfig("loadline=" + stats::formatDouble(loadline * 1e3, 2) +
+                  "mOhm", spec);
     }
     for (double local : {1.0e-3, 3.0e-3}) {
         core::ScheduledRunSpec spec = base;
         spec.serverConfig.chipTemplate.ir.localResistance = local;
-        addRow("localR=" + stats::formatDouble(local * 1e3, 1) + "mOhm",
-               evaluate(spec));
+        addConfig("localR=" + stats::formatDouble(local * 1e3, 1) + "mOhm",
+                  spec);
     }
     for (double interval : {8e-3, 128e-3}) {
         core::ScheduledRunSpec spec = base;
         spec.serverConfig.chipTemplate.firmwareInterval = interval;
-        addRow("firmware=" + stats::formatDouble(interval * 1e3, 0) +
-               "ms", evaluate(spec));
+        addConfig("firmware=" + stats::formatDouble(interval * 1e3, 0) +
+                  "ms", spec);
     }
     for (double loss : {0.0, 1.0}) {
         core::ScheduledRunSpec spec = base;
         spec.serverConfig.chipTemplate.rippleTrackingLoss = loss;
-        addRow("rippleLoss=" + stats::formatDouble(loss, 1),
-               evaluate(spec));
+        addConfig("rippleLoss=" + stats::formatDouble(loss, 1), spec);
+    }
+
+    const auto results = runScheduledBatch(specs, options.jobs);
+
+    stats::TablePrinter table;
+    table.setHeader({"configuration", "saving@1core(%)",
+                     "saving@8cores(%)", "borrow benefit@8(%)"});
+    for (size_t row = 0; row < labels.size(); ++row) {
+        const Outcome outcome = rowOutcome(results, row * 6);
+        table.addNumericRow(labels[row],
+                            {outcome.savingOneCore,
+                             outcome.savingEightCores,
+                             outcome.borrowingBenefit},
+                            1);
     }
 
     std::printf("%s", table.render().c_str());
@@ -145,7 +174,8 @@ main(int argc, char **argv)
     cluster.setHeader({"strategy", "servers on", "chip (W)",
                        "platform (W)", "total (W)"});
     for (const auto &eval : core::evaluateAllClusterStrategies(
-             clusterSpec, workload::byName("raytrace"), 8)) {
+             clusterSpec, workload::byName("raytrace"), 8,
+             options.jobs)) {
         cluster.addNumericRow(core::clusterStrategyName(eval.strategy),
                               {double(eval.activeServers),
                                eval.chipPower, eval.platformPower,

@@ -29,6 +29,12 @@ struct BenchOptions
     Seconds warmup = 1.0;
     uint64_t seed = 0x7E57C819u;
     bool chart = true;
+    /**
+     * Worker threads for independent simulation runs (jobs=N).
+     * 1 = serial (the default); 0 = hardware concurrency. Results are
+     * bit-identical for any value — see docs/PERFORMANCE.md.
+     */
+    size_t jobs = 1;
     ParamSet params;
 };
 
@@ -43,6 +49,7 @@ parseOptions(int argc, char **argv)
     options.seed = uint64_t(options.params.getInt("seed",
                                                   int(options.seed)));
     options.chart = options.params.getBool("chart", options.chart);
+    options.jobs = size_t(options.params.getInt("jobs", int(options.jobs)));
     return options;
 }
 

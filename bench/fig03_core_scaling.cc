@@ -17,7 +17,7 @@
 using namespace agsim;
 using namespace agsim::bench;
 using chip::GuardbandMode;
-using core::runScheduled;
+using core::runScheduledBatch;
 
 int
 main(int argc, char **argv)
@@ -37,19 +37,17 @@ main(int argc, char **argv)
     stats::Series staticEdp("static EDP (J*s)");
     stats::Series adaptiveEdp("adaptive EDP (J*s)");
 
+    // Every (thread count x mode x measurement style) run is
+    // independent: submit all of them to the batch runner, then read
+    // results back in submission order (4 per thread count).
+    std::vector<core::ScheduledRunSpec> specs;
     for (size_t threads = 1; threads <= 8; ++threads) {
         // Power: fixed-duration rate measurement.
-        auto statSpec = sec3Spec(profile, threads,
-                                 GuardbandMode::StaticGuardband, options);
-        auto adptSpec = sec3Spec(profile, threads,
-                                 GuardbandMode::AdaptiveUndervolt, options);
-        const auto stat = runScheduled(statSpec);
-        const auto adpt = runScheduled(adptSpec);
-        staticPower.add(double(threads), stat.metrics.socketPower[0]);
-        adaptivePower.add(double(threads), adpt.metrics.socketPower[0]);
-        saving.add(double(threads),
-                   100.0 * (1.0 - adpt.metrics.socketPower[0] /
-                            stat.metrics.socketPower[0]));
+        specs.push_back(sec3Spec(profile, threads,
+                                 GuardbandMode::StaticGuardband, options));
+        specs.push_back(sec3Spec(profile, threads,
+                                 GuardbandMode::AdaptiveUndervolt,
+                                 options));
 
         // EDP: run a fixed amount of work to completion.
         workload::BenchmarkProfile small = profile;
@@ -62,10 +60,23 @@ main(int argc, char **argv)
                                     GuardbandMode::AdaptiveUndervolt,
                                     options);
         adptEdpSpec.simConfig.measureDuration = 0.0;
-        staticEdp.add(double(threads),
-                      runScheduled(statEdpSpec).metrics.edp);
-        adaptiveEdp.add(double(threads),
-                        runScheduled(adptEdpSpec).metrics.edp);
+        specs.push_back(statEdpSpec);
+        specs.push_back(adptEdpSpec);
+    }
+
+    const auto results = runScheduledBatch(specs, options.jobs);
+    for (size_t threads = 1; threads <= 8; ++threads) {
+        const auto &stat = results[(threads - 1) * 4 + 0];
+        const auto &adpt = results[(threads - 1) * 4 + 1];
+        const auto &statEdp_ = results[(threads - 1) * 4 + 2];
+        const auto &adptEdp_ = results[(threads - 1) * 4 + 3];
+        staticPower.add(double(threads), stat.metrics.socketPower[0]);
+        adaptivePower.add(double(threads), adpt.metrics.socketPower[0]);
+        saving.add(double(threads),
+                   100.0 * (1.0 - adpt.metrics.socketPower[0] /
+                            stat.metrics.socketPower[0]));
+        staticEdp.add(double(threads), statEdp_.metrics.edp);
+        adaptiveEdp.add(double(threads), adptEdp_.metrics.edp);
     }
 
     std::printf("\n(a) chip power vs active cores\n");

@@ -16,7 +16,7 @@
 using namespace agsim;
 using namespace agsim::bench;
 using chip::GuardbandMode;
-using core::runScheduled;
+using core::runScheduledBatch;
 
 int
 main(int argc, char **argv)
@@ -36,13 +36,12 @@ main(int argc, char **argv)
     workload::BenchmarkProfile timed = profile;
     timed.totalInstructions = 150e9;
 
+    // Three independent runs per thread count, all batched.
+    std::vector<core::ScheduledRunSpec> specs;
     for (size_t threads = 1; threads <= 8; ++threads) {
-        const auto boosted = runScheduled(sec3Spec(
-            profile, threads, GuardbandMode::AdaptiveOverclock, options));
-        frequency.add(double(threads),
-                      toMegaHertz(boosted.metrics.meanFrequency));
-        boost.add(double(threads),
-                  100.0 * (boosted.metrics.meanFrequency / 4.2e9 - 1.0));
+        specs.push_back(sec3Spec(profile, threads,
+                                 GuardbandMode::AdaptiveOverclock,
+                                 options));
 
         auto statSpec = sec3Spec(timed, threads,
                                  GuardbandMode::StaticGuardband, options);
@@ -51,11 +50,22 @@ main(int argc, char **argv)
                                   GuardbandMode::AdaptiveOverclock,
                                   options);
         boostSpec.simConfig.measureDuration = 0.0;
+        specs.push_back(statSpec);
+        specs.push_back(boostSpec);
+    }
+
+    const auto results = runScheduledBatch(specs, options.jobs);
+    for (size_t threads = 1; threads <= 8; ++threads) {
+        const auto &boosted = results[(threads - 1) * 3 + 0];
+        frequency.add(double(threads),
+                      toMegaHertz(boosted.metrics.meanFrequency));
+        boost.add(double(threads),
+                  100.0 * (boosted.metrics.meanFrequency / 4.2e9 - 1.0));
         staticTime.add(double(threads),
-                       runScheduled(statSpec)
+                       results[(threads - 1) * 3 + 1]
                            .metrics.jobs[0].completionTime);
         adaptiveTime.add(double(threads),
-                         runScheduled(boostSpec)
+                         results[(threads - 1) * 3 + 2]
                              .metrics.jobs[0].completionTime);
     }
 

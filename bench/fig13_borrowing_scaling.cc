@@ -22,7 +22,7 @@ using namespace agsim;
 using namespace agsim::bench;
 using chip::GuardbandMode;
 using core::PlacementPolicy;
-using core::runScheduled;
+using core::runScheduledBatch;
 
 int
 main(int argc, char **argv)
@@ -38,20 +38,33 @@ main(int argc, char **argv)
     stats::Series borrowMean("borrowing mean (%)");
     std::vector<stats::Series> perWorkload;
 
+    // The whole grid — workload x core count x {static, adaptive,
+    // borrow} — is independent runs: one batch, consumed in order.
+    std::vector<core::ScheduledRunSpec> specs;
+    for (const auto &profile : workload::scalableSet()) {
+        for (size_t threads : coreCounts) {
+            specs.push_back(borrowingSpec(
+                profile, threads, PlacementPolicy::Consolidate,
+                GuardbandMode::StaticGuardband, options));
+            specs.push_back(borrowingSpec(
+                profile, threads, PlacementPolicy::Consolidate,
+                GuardbandMode::AdaptiveUndervolt, options));
+            specs.push_back(borrowingSpec(
+                profile, threads, PlacementPolicy::LoadlineBorrow,
+                GuardbandMode::AdaptiveUndervolt, options));
+        }
+    }
+    const auto results = runScheduledBatch(specs, options.jobs);
+
     stats::Accumulator baseAt8, borrowAt8;
+    size_t next = 0;
     for (const auto &profile : workload::scalableSet()) {
         stats::Series base(profile.name + " base");
         stats::Series borrowed(profile.name + " borrow");
         for (size_t threads : coreCounts) {
-            const auto stat = runScheduled(borrowingSpec(
-                profile, threads, PlacementPolicy::Consolidate,
-                GuardbandMode::StaticGuardband, options));
-            const auto cons = runScheduled(borrowingSpec(
-                profile, threads, PlacementPolicy::Consolidate,
-                GuardbandMode::AdaptiveUndervolt, options));
-            const auto borrow = runScheduled(borrowingSpec(
-                profile, threads, PlacementPolicy::LoadlineBorrow,
-                GuardbandMode::AdaptiveUndervolt, options));
+            const auto &stat = results[next++];
+            const auto &cons = results[next++];
+            const auto &borrow = results[next++];
             const double b = 100.0 * (1.0 - cons.metrics.totalChipPower /
                                       stat.metrics.totalChipPower);
             const double w = 100.0 *

@@ -25,7 +25,7 @@ using namespace agsim;
 using namespace agsim::bench;
 using chip::GuardbandMode;
 using core::PlacementPolicy;
-using core::runScheduled;
+using core::runScheduledBatch;
 
 namespace {
 
@@ -49,8 +49,10 @@ main(int argc, char **argv)
            "avg 6.2% power / 7.7% energy; lu_ncb & radiosity lose; "
            "radix/fft/lbm/zeusmp/GemsFDTD win big");
 
-    std::vector<Row> rows;
-    stats::Accumulator power, energy;
+    // Two independent runs per workload (consolidate vs borrow): one
+    // batch over the whole library, consumed pairwise in order.
+    std::vector<core::ScheduledRunSpec> specs;
+    std::vector<std::string> names;
     for (const auto &profile : workload::library()) {
         if (profile.suite == workload::Suite::Coremark ||
             profile.suite == workload::Suite::Datacenter)
@@ -69,11 +71,20 @@ main(int argc, char **argv)
                                         GuardbandMode::AdaptiveUndervolt,
                                         options);
         borrowSpec.runMode = mode;
-        const auto cons = runScheduled(consSpec);
-        const auto borrow = runScheduled(borrowSpec);
+        specs.push_back(consSpec);
+        specs.push_back(borrowSpec);
+        names.push_back(profile.name);
+    }
+    const auto results = runScheduledBatch(specs, options.jobs);
+
+    std::vector<Row> rows;
+    stats::Accumulator power, energy;
+    for (size_t i = 0; i < names.size(); ++i) {
+        const auto &cons = results[2 * i];
+        const auto &borrow = results[2 * i + 1];
 
         Row row;
-        row.name = profile.name;
+        row.name = names[i];
         row.baselinePower = cons.metrics.totalChipPower;
         row.borrowPower = borrow.metrics.totalChipPower;
         row.powerImprovement =

@@ -17,16 +17,15 @@
 #include "bench_util.h"
 #include "core/adaptive_mapping.h"
 #include "qos/websearch.h"
+#include "system/run_batch.h"
 #include "system/simulation.h"
 
 using namespace agsim;
 using namespace agsim::bench;
 using chip::GuardbandMode;
+using system::BatchTask;
 using system::Job;
-using system::Server;
-using system::SimulationConfig;
 using system::ThreadPlacement;
-using system::WorkloadSimulation;
 using workload::RunMode;
 using workload::ThreadedWorkload;
 
@@ -41,32 +40,38 @@ struct ClassMeasurement
     Seconds meanP90 = 0.0;
 };
 
-ClassMeasurement
-measureClass(const std::string &name, double totalMips,
-             qos::WebSearchService &service, const BenchOptions &options,
-             double horizon)
+/** Colocation run for one co-runner class, as a batch task. */
+BatchTask
+classTask(const std::string &name, double totalMips,
+          const BenchOptions &options)
 {
     const auto corunner = workload::throttledCoremark(
         name + "-probe", totalMips * 1e6 / 7.0);
-    Server server;
-    server.setMode(GuardbandMode::AdaptiveOverclock);
-    WorkloadSimulation sim(&server);
-    sim.addJob(Job{ThreadedWorkload(workload::byName("websearch"),
-                                    RunMode::Rate),
-                   {ThreadPlacement{0, 0}}, "websearch"});
+    BatchTask task;
+    task.label = name;
+    task.mode = GuardbandMode::AdaptiveOverclock;
+    task.simConfig.measureDuration = options.measure;
+    task.simConfig.warmup = options.warmup;
+    task.jobs.push_back(Job{ThreadedWorkload(workload::byName("websearch"),
+                                             RunMode::Rate),
+                            {ThreadPlacement{0, 0}}, "websearch"});
     std::vector<ThreadPlacement> rest;
     for (size_t core = 1; core < 8; ++core)
         rest.push_back(ThreadPlacement{0, core});
-    sim.addJob(Job{ThreadedWorkload(corunner, RunMode::Rate), rest, name});
-    SimulationConfig config;
-    config.measureDuration = options.measure;
-    config.warmup = options.warmup;
-    const auto metrics = sim.run(config);
+    task.jobs.push_back(Job{ThreadedWorkload(corunner, RunMode::Rate),
+                            rest, name});
+    return task;
+}
 
+/** QoS evaluation at the frequency the colocation run settled to. */
+ClassMeasurement
+evaluateClass(const system::BatchResult &run,
+              qos::WebSearchService &service, double horizon)
+{
     ClassMeasurement m;
-    m.name = name;
-    m.chipMips = metrics.meanChipMips;
-    m.frequency = server.chip(0).coreFrequency(0);
+    m.name = run.label;
+    m.chipMips = run.metrics.meanChipMips;
+    m.frequency = run.finalCoreFrequency[0][0];
     service.reseed(service.params().seed);
     const auto windows = service.simulate(m.frequency, horizon);
     m.violation = qos::WebSearchService::violationRate(windows);
@@ -88,17 +93,27 @@ main(int argc, char **argv)
     qos::WebSearchService service;
     core::AdaptiveMappingScheduler scheduler;
 
-    // Scheduling-time measurements for the three co-runner classes.
+    // Scheduling-time measurements for the three co-runner classes: the
+    // colocation runs are independent, so they go through the batch
+    // runner; the (shared, reseeded) QoS service evaluation stays
+    // serial and in submission order.
+    const std::vector<std::pair<std::string, double>> classes{
+        {"light", 13000.0}, {"medium", 28000.0}, {"heavy", 70000.0}};
+    std::vector<BatchTask> tasks;
+    for (const auto &[name, mips] : classes)
+        tasks.push_back(classTask(name, mips, options));
+    const auto runs = system::BatchRunner::runAll(std::move(tasks),
+                                                  options.jobs);
+
     std::vector<ClassMeasurement> measured;
     std::vector<core::CorunnerOption> catalogue;
-    for (const auto &[name, mips] :
-         std::vector<std::pair<std::string, double>>{
-             {"light", 13000.0}, {"medium", 28000.0}, {"heavy", 70000.0}}) {
-        auto m = measureClass(name, mips, service, options, horizon);
+    for (size_t i = 0; i < classes.size(); ++i) {
+        auto m = evaluateClass(runs[i], service, horizon);
         scheduler.observeFrequency(m.chipMips, m.frequency);
         scheduler.observeQos(m.frequency, m.meanP90);
-        catalogue.push_back(core::CorunnerOption{name, m.chipMips,
-                                                 mips * 0.1});
+        catalogue.push_back(core::CorunnerOption{classes[i].first,
+                                                 m.chipMips,
+                                                 classes[i].second * 0.1});
         std::printf("  observed %-6s: %6.0f chip MIPS, %4.0f MHz, p90 "
                     "%.0f ms, violation %.1f%%\n",
                     m.name.c_str(), m.chipMips,

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Steps-per-second microbenchmark for the chip hot path.
+ *
+ * Times Chip::step() in three steady-state scenarios — an idle chip, a
+ * fully active 8-core chip, and an 8-core chip in adaptive undervolt
+ * mode (firmware + histogram work included) — and prints a single-line
+ * JSON record so CI and scripts can track throughput over time:
+ *
+ *   {"steps_per_sec": <mean>, "idle_steps_per_sec": ..., ...}
+ *
+ * Usage: perf_steps [steps=200000] [dt=0.001]
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "chip/chip.h"
+#include "common/config.h"
+#include "pdn/vrm.h"
+
+using namespace agsim;
+using namespace agsim::units;
+
+namespace {
+
+/** Time `steps` calls of Chip::step(dt) on a settled chip. */
+double
+measureScenario(chip::GuardbandMode mode, size_t activeCores,
+                size_t steps, Seconds dt)
+{
+    pdn::Vrm vrm(1);
+    chip::Chip c{chip::ChipConfig(), &vrm};
+    c.setMode(mode);
+    for (size_t i = 0; i < activeCores; ++i)
+        c.setLoad(i, chip::CoreLoad::running(1.0, 13.0_mV, 24.0_mV));
+    c.settle(1.5, dt);
+
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < steps; ++i)
+        c.step(dt);
+    const auto stop = std::chrono::steady_clock::now();
+    const double elapsed =
+        std::chrono::duration<double>(stop - start).count();
+    return double(steps) / elapsed;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ParamSet params;
+    params.parseArgs(argc, argv);
+    const size_t steps = size_t(params.getInt("steps", 200000));
+    const Seconds dt = params.getDouble("dt", 1e-3);
+
+    const double idle = measureScenario(
+        chip::GuardbandMode::StaticGuardband, 0, steps, dt);
+    const double active = measureScenario(
+        chip::GuardbandMode::StaticGuardband, 8, steps, dt);
+    const double undervolt = measureScenario(
+        chip::GuardbandMode::AdaptiveUndervolt, 8, steps, dt);
+    const double mean = (idle + active + undervolt) / 3.0;
+
+    std::printf("{\"steps_per_sec\": %.0f, "
+                "\"idle_steps_per_sec\": %.0f, "
+                "\"active8_steps_per_sec\": %.0f, "
+                "\"undervolt_steps_per_sec\": %.0f, "
+                "\"steps\": %zu, \"dt\": %g}\n",
+                mean, idle, active, undervolt, steps, dt);
+    return 0;
+}

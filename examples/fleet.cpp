@@ -13,7 +13,11 @@
  * Prints the daily energy bill for naive vs AGS management and the
  * search service's QoS story.
  *
- * Usage: fleet [servers=4] [peak=8] [workload=raytrace]
+ * Usage: fleet [servers=4] [peak=8] [workload=raytrace] [jobs=1]
+ *
+ * jobs=N runs the independent steady-state simulations (one per demand
+ * level / per active server) N at a time on the batch runner; jobs=0
+ * uses every hardware thread. Results are identical for any value.
  */
 
 #include <cstdio>
@@ -34,6 +38,7 @@ main(int argc, char **argv)
     params.parseArgs(argc, argv);
     const size_t servers = size_t(params.getInt("servers", 4));
     const size_t peak = size_t(params.getInt("peak", 8));
+    const size_t jobs = size_t(params.getInt("jobs", 1));
     const auto &batch = workload::byName(
         params.getString("workload", "raytrace"));
 
@@ -45,9 +50,9 @@ main(int argc, char **argv)
     // --- 1+2: batch energy over the day, naive vs AGS -----------------
     const auto trace = core::makeDiurnalTrace(peak, 86400.0, 12);
     const auto naive = core::evaluateDemandTrace(
-        batch, trace, core::PlacementPolicy::Consolidate, peak);
+        batch, trace, core::PlacementPolicy::Consolidate, peak, jobs);
     const auto ags = core::evaluateDemandTrace(
-        batch, trace, core::PlacementPolicy::LoadlineBorrow, peak);
+        batch, trace, core::PlacementPolicy::LoadlineBorrow, peak, jobs);
     std::printf("batch tier (per active server, %s):\n", batch.name.c_str());
     std::printf("  consolidate: %.2f MJ/day (%.1f W mean)\n",
                 naive.chipEnergy / 1e6, naive.meanPower);
@@ -61,10 +66,10 @@ main(int argc, char **argv)
     clusterSpec.poweredCoreBudgetPerServer = peak;
     const auto best = core::evaluateClusterStrategy(
         clusterSpec, batch, peak,
-        core::ClusterStrategy::ConsolidateServersBorrowSockets);
+        core::ClusterStrategy::ConsolidateServersBorrowSockets, jobs);
     const auto spread = core::evaluateClusterStrategy(
         clusterSpec, batch, peak,
-        core::ClusterStrategy::SpreadServersBorrowSockets);
+        core::ClusterStrategy::SpreadServersBorrowSockets, jobs);
     std::printf("\ncluster placement at peak demand (%zu threads):\n",
                 peak);
     std::printf("  consolidate servers + borrow sockets: %zu server(s) "

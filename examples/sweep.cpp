@@ -9,11 +9,16 @@
  *   sweep workloads=raytrace,mcf threads=1,4,8 modes=static,undervolt
  *   sweep measure=2.0 policy=borrow budget=8
  *   sweep file=my.profiles               # user-characterized workloads
+ *   sweep jobs=4                         # 4 runs in flight (0 = all cores)
+ *
+ * Rows are printed in grid order regardless of jobs=; every cell is an
+ * independent simulation, so the CSV is identical for any job count.
  */
 
 #include <cstdio>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/config.h"
@@ -75,12 +80,13 @@ main(int argc, char **argv)
     const size_t budget = size_t(params.getInt("budget", 0));
     const bool borrow = params.getString("policy", "consolidate") ==
                         "borrow";
+    const size_t jobs = size_t(params.getInt("jobs", 1));
 
-    std::printf("workload,threads,mode,policy,chip_power_w,"
-                "socket0_power_w,freq_mhz,undervolt_mv,passive_drop_mv,"
-                "chip_mips,energy_j\n");
+    // Build every grid cell first, then run them as one batch; results
+    // come back in submission order, so the CSV rows stay in grid order.
+    std::vector<core::ScheduledRunSpec> specs;
+    std::vector<std::pair<std::string, std::string>> cells; // name, mode
     for (const auto &profile : profiles) {
-        const std::string &workloadName = profile.name;
         for (const auto &threadText : threadsList) {
             const size_t threads = size_t(std::stoul(threadText));
             for (const auto &modeName : modes) {
@@ -96,18 +102,27 @@ main(int argc, char **argv)
                                   : core::PlacementPolicy::Consolidate;
                 spec.poweredCoreBudget = budget;
                 spec.simConfig.measureDuration = measure;
-                const auto result = core::runScheduled(spec);
-                const auto &m = result.metrics;
-                std::printf(
-                    "%s,%zu,%s,%s,%.2f,%.2f,%.0f,%.1f,%.1f,%.0f,%.1f\n",
-                    workloadName.c_str(), threads, modeName.c_str(),
-                    borrow ? "borrow" : "consolidate", m.totalChipPower,
-                    m.socketPower[0], toMegaHertz(m.meanFrequency),
-                    toMilliVolts(m.socketUndervolt[0]),
-                    toMilliVolts(m.meanDecomposition.passive()),
-                    m.meanChipMips, m.chipEnergy);
+                specs.push_back(std::move(spec));
+                cells.emplace_back(profile.name, modeName);
             }
         }
+    }
+    const auto results = core::runScheduledBatch(specs, jobs);
+
+    std::printf("workload,threads,mode,policy,chip_power_w,"
+                "socket0_power_w,freq_mhz,undervolt_mv,passive_drop_mv,"
+                "chip_mips,energy_j\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+        const auto &m = results[i].metrics;
+        std::printf(
+            "%s,%zu,%s,%s,%.2f,%.2f,%.0f,%.1f,%.1f,%.0f,%.1f\n",
+            cells[i].first.c_str(), specs[i].threads,
+            cells[i].second.c_str(), borrow ? "borrow" : "consolidate",
+            m.totalChipPower, m.socketPower[0],
+            toMegaHertz(m.meanFrequency),
+            toMilliVolts(m.socketUndervolt[0]),
+            toMilliVolts(m.meanDecomposition.passive()),
+            m.meanChipMips, m.chipEnergy);
     }
     return 0;
 }

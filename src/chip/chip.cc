@@ -36,6 +36,9 @@ Chip::Chip(const ChipConfig &config, pdn::Vrm *vrm)
     for (size_t i = 0; i < config_.coreCount; ++i)
         dplls_.emplace_back(&curve_, config_.dpll, config_.targetFrequency);
 
+    fatalIf(config_.solverTolerance < 0.0,
+            "solver tolerance must be non-negative");
+
     loads_.assign(config_.coreCount, CoreLoad::idle());
     coreVoltage_.assign(config_.coreCount, curve_.vddStatic(
         config_.targetFrequency));
@@ -43,6 +46,13 @@ Chip::Chip(const ChipConfig &config, pdn::Vrm *vrm)
     coreCurrent_.assign(config_.coreCount, 0.0);
     droopStall_.assign(config_.coreCount, 0.0);
     decomposition_.assign(config_.coreCount, pdn::DropDecomposition());
+
+    scratchTypAmps_.assign(config_.coreCount, 0.0);
+    scratchWorstAmps_.assign(config_.coreCount, 0.0);
+    scratchObs_.sampleCpm.assign(config_.coreCount, 0);
+    scratchObs_.stickyCpm.assign(config_.coreCount, 0);
+    scratchObs_.coreVoltage.assign(config_.coreCount, 0.0);
+    scratchObs_.coreFrequency.assign(config_.coreCount, 0.0);
 
     setMode(config_.mode);
 }
@@ -75,7 +85,8 @@ Chip::setMode(GuardbandMode mode)
 {
     config_.mode = mode;
     const Hertz target = config_.targetFrequency;
-    vrm_->setSetpoint(config_.railIndex, curve_.vddStatic(target));
+    staticSetpoint_ = curve_.vddStatic(target);
+    vrm_->setSetpoint(config_.railIndex, staticSetpoint_);
     sinceFirmware_ = 0.0;
     for (auto &dpll : dplls_) {
         dpll.lockTo(target);
@@ -110,7 +121,9 @@ Chip::setpoint() const
 Volts
 Chip::staticSetpoint() const
 {
-    return curve_.vddStatic(config_.targetFrequency);
+    // Cached at setMode()/setTargetFrequency(); the firmware reads this
+    // every decision, so it must not recompute the curve each call.
+    return staticSetpoint_;
 }
 
 Volts
@@ -127,6 +140,7 @@ Chip::solveElectrical()
     Volts railVoltage = vrm_->outputAt(config_.railIndex, railCurrent_);
 
     for (int iter = 0; iter < config_.fixedPointIterations; ++iter) {
+        const Volts previousRailVoltage = railVoltage;
         Watts total = 0.0;
         for (size_t i = 0; i < n; ++i) {
             const CoreLoad &load = loads_[i];
@@ -167,6 +181,14 @@ Chip::solveElectrical()
                            coreCurrent_[i];
         }
         chipPower_ = total + dissipation;
+
+        // The V<->P fixed point usually converges in 1-2 iterations in
+        // steady state: stop once the rail voltage has stopped moving.
+        if (config_.solverTolerance > 0.0 &&
+            std::abs(railVoltage - previousRailVoltage) <
+                config_.solverTolerance) {
+            break;
+        }
     }
     vrm_->deliver(config_.railIndex, railCurrent_);
 }
@@ -209,17 +231,21 @@ Chip::step(Seconds dt)
     thermal_.step(chipPower_, dt);
     solveElectrical();
 
-    // Per-step di/dt noise from the cores' workload signatures.
-    std::vector<Volts> typAmps(n, 0.0);
-    std::vector<Volts> worstAmps(n, 0.0);
+    // Per-step di/dt noise from the cores' workload signatures. The
+    // amplitude vectors are preallocated members: step() must stay
+    // allocation-free in steady state.
     for (size_t i = 0; i < n; ++i) {
         if (loads_[i].active) {
-            typAmps[i] = loads_[i].didtTypicalAmp;
-            worstAmps[i] = loads_[i].didtWorstAmp;
+            scratchTypAmps_[i] = loads_[i].didtTypicalAmp;
+            scratchWorstAmps_[i] = loads_[i].didtWorstAmp;
+        } else {
+            scratchTypAmps_[i] = 0.0;
+            scratchWorstAmps_[i] = 0.0;
         }
     }
-    const pdn::DidtSample noise = didt_.step(typAmps, worstAmps, dt);
-    const Volts worstCharacteristic = didt_.worstDepth(worstAmps);
+    const pdn::DidtSample noise = didt_.step(scratchTypAmps_,
+                                             scratchWorstAmps_, dt);
+    const Volts worstCharacteristic = didt_.worstDepth(scratchWorstAmps_);
     if (noise.droopEvents > 0)
         droopHistogram_.add(noise.worstDroop);
 
@@ -233,11 +259,10 @@ Chip::step(Seconds dt)
 
     const Volts railVoltage = vrm_->outputAt(config_.railIndex,
                                              railCurrent_);
-    sensors::StepObservation obs;
-    obs.sampleCpm.resize(n);
-    obs.stickyCpm.resize(n);
-    obs.coreVoltage.resize(n);
-    obs.coreFrequency.resize(n);
+    // Reuse the preallocated observation; every entry is overwritten
+    // below (both the gated and the running branch fill all four
+    // per-core arrays).
+    sensors::StepObservation &obs = scratchObs_;
 
     for (size_t i = 0; i < n; ++i) {
         coreCtrlVoltage_[i] = coreVoltage_[i] -
@@ -301,7 +326,15 @@ Chip::step(Seconds dt)
     sinceFirmware_ += dt;
     if (sinceFirmware_ >= config_.firmwareInterval - 1e-12) {
         runFirmware();
-        sinceFirmware_ = 0.0;
+        // Carry the overshoot past the interval instead of discarding
+        // it, so the firmware cadence stays exactly firmwareInterval on
+        // average for any dt (a 1 ms step no longer stretches the 32 ms
+        // cadence when the interval is not a multiple of dt).
+        sinceFirmware_ -= config_.firmwareInterval;
+        // The trigger's 1e-12 grace can leave the remainder a few ulps
+        // below zero when dt divides the interval exactly.
+        if (sinceFirmware_ < 0.0)
+            sinceFirmware_ = 0.0;
     }
 }
 

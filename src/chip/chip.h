@@ -137,6 +137,14 @@ class Chip
     /** Junction temperature. */
     Celsius temperature() const { return thermal_.temperature(); }
 
+    /**
+     * Time accumulated toward the next firmware decision. Stays within
+     * [0, firmwareInterval) across steps: the overshoot past the
+     * interval is carried, not discarded, so the firmware cadence stays
+     * exact for any dt.
+     */
+    Seconds sinceFirmware() const { return sinceFirmware_; }
+
     /** Per-step stall time from worst-case droop responses (core). */
     Seconds droopStall(size_t core) const;
 
@@ -196,10 +204,17 @@ class Chip
     std::vector<Seconds> droopStall_;
     std::vector<pdn::DropDecomposition> decomposition_;
 
+    // Preallocated scratch reused every step() so the steady-state hot
+    // path performs no heap allocations.
+    std::vector<Volts> scratchTypAmps_;
+    std::vector<Volts> scratchWorstAmps_;
+    sensors::StepObservation scratchObs_;
+
     Watts chipPower_ = 0.0;
     Watts vcsPower_ = 0.0;
     Amps railCurrent_ = 0.0;
     Seconds sinceFirmware_ = 0.0;
+    Volts staticSetpoint_ = 0.0; // cached vddStatic(targetFrequency)
     stats::Histogram droopHistogram_;
 };
 

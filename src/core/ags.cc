@@ -4,34 +4,60 @@
 
 namespace agsim::core {
 
-ScheduledRunResult
-runScheduled(const ScheduledRunSpec &spec)
+system::BatchTask
+makeBatchTask(const ScheduledRunSpec &spec, PlacementPlan *planOut)
 {
     fatalIf(spec.threads == 0, "scheduled run needs threads");
 
-    system::Server server(spec.serverConfig);
-    server.setMode(spec.mode);
-
-    ScheduledRunResult result;
-    system::WorkloadSimulation sim(&server);
-
+    PlacementPlan plan;
     if (spec.poweredCoreBudget == 0) {
         // Sec. 3 methodology: consolidated on socket 0, nothing gated.
-        result.plan.threads = system::placeOnSocket(0, spec.threads);
+        plan.threads = system::placeOnSocket(0, spec.threads);
     } else {
-        result.plan = makePlacementPlan(
-            spec.policy, server.socketCount(),
-            server.chip(0).coreCount(), spec.threads,
+        plan = makePlacementPlan(
+            spec.policy, spec.serverConfig.socketCount,
+            spec.serverConfig.chipTemplate.coreCount, spec.threads,
             spec.poweredCoreBudget);
     }
 
-    sim.addJob(system::Job{
+    system::BatchTask task;
+    task.serverConfig = spec.serverConfig;
+    task.simConfig = spec.simConfig;
+    task.mode = spec.mode;
+    task.label = spec.profile.name;
+    task.jobs.push_back(system::Job{
         workload::ThreadedWorkload(spec.profile, spec.runMode),
-        result.plan.threads, spec.profile.name});
-    applyGating(sim, result.plan);
+        plan.threads, spec.profile.name});
+    task.gatedCores = plan.gatedCores;
 
-    result.metrics = sim.run(spec.simConfig);
+    if (planOut)
+        *planOut = plan;
+    return task;
+}
+
+ScheduledRunResult
+runScheduled(const ScheduledRunSpec &spec)
+{
+    ScheduledRunResult result;
+    const system::BatchTask task = makeBatchTask(spec, &result.plan);
+    result.metrics = system::runBatchTask(task).metrics;
     return result;
+}
+
+std::vector<ScheduledRunResult>
+runScheduledBatch(const std::vector<ScheduledRunSpec> &specs, size_t jobs)
+{
+    std::vector<ScheduledRunResult> results(specs.size());
+    std::vector<system::BatchTask> tasks;
+    tasks.reserve(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i)
+        tasks.push_back(makeBatchTask(specs[i], &results[i].plan));
+
+    std::vector<system::BatchResult> batch =
+        system::BatchRunner::runAll(std::move(tasks), jobs);
+    for (size_t i = 0; i < specs.size(); ++i)
+        results[i].metrics = std::move(batch[i].metrics);
+    return results;
 }
 
 Watts

@@ -15,9 +15,11 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "chip/guardband_mode.h"
 #include "core/placement.h"
+#include "system/run_batch.h"
 #include "system/simulation.h"
 #include "workload/profile.h"
 #include "workload/threaded_workload.h"
@@ -67,6 +69,28 @@ struct ScheduledRunResult
  * everything else power gates.
  */
 ScheduledRunResult runScheduled(const ScheduledRunSpec &spec);
+
+/**
+ * Lower a spec into the self-contained system::BatchTask the parallel
+ * runner executes (placement planning happens here; the task then owns
+ * everything the run needs). The plan is also returned through
+ * `planOut` when non-null.
+ */
+system::BatchTask makeBatchTask(const ScheduledRunSpec &spec,
+                                PlacementPlan *planOut = nullptr);
+
+/**
+ * Run many independent scheduled experiments, `jobs` at a time, on a
+ * system::BatchRunner thread pool.
+ *
+ * Results come back in `specs` order and are bit-identical for any
+ * `jobs` value: every run owns a fresh Server seeded from its own spec,
+ * so parallel execution shares no state. `jobs == 0` uses the machine's
+ * hardware concurrency; `jobs == 1` executes inline (the serial path).
+ */
+std::vector<ScheduledRunResult>
+runScheduledBatch(const std::vector<ScheduledRunSpec> &specs,
+                  size_t jobs = 1);
 
 /**
  * Convenience wrapper: measure mean chip power (both sockets) for a

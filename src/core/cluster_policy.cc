@@ -46,28 +46,23 @@ serverLoads(const ClusterSpec &spec, size_t threads,
     return loads;
 }
 
-} // namespace
-
-ClusterEvaluation
-evaluateClusterStrategy(const ClusterSpec &spec,
-                        const workload::BenchmarkProfile &profile,
-                        size_t threads, ClusterStrategy strategy)
+/** Per-active-server run specs for one strategy (submission order). */
+std::vector<ScheduledRunSpec>
+strategySpecs(const ClusterSpec &spec,
+              const workload::BenchmarkProfile &profile, size_t threads,
+              ClusterStrategy strategy)
 {
     fatalIf(threads == 0, "cluster evaluation needs threads");
     const auto loads = serverLoads(spec, threads, strategy);
-
-    ClusterEvaluation eval;
-    eval.strategy = strategy;
     const PlacementPolicy socketPolicy =
         strategy == ClusterStrategy::ConsolidateServersConsolidateSockets
             ? PlacementPolicy::Consolidate
             : PlacementPolicy::LoadlineBorrow;
 
+    std::vector<ScheduledRunSpec> specs;
     for (size_t server = 0; server < spec.serverCount; ++server) {
         if (loads[server] == 0)
             continue; // server powered off entirely
-        ++eval.activeServers;
-
         ScheduledRunSpec run;
         run.profile = profile;
         run.threads = loads[server];
@@ -77,29 +72,72 @@ evaluateClusterStrategy(const ClusterSpec &spec,
         run.poweredCoreBudget = spec.poweredCoreBudgetPerServer;
         run.serverConfig = spec.serverConfig;
         run.simConfig.measureDuration = 1.0;
-        eval.chipPower += runScheduled(run).metrics.totalChipPower;
+        specs.push_back(std::move(run));
+    }
+    return specs;
+}
+
+/** Fold per-server results into the cluster evaluation. */
+ClusterEvaluation
+aggregateStrategy(const ClusterSpec &spec, ClusterStrategy strategy,
+                  const std::vector<ScheduledRunResult> &results,
+                  size_t first, size_t count)
+{
+    ClusterEvaluation eval;
+    eval.strategy = strategy;
+    eval.activeServers = count;
+    for (size_t i = 0; i < count; ++i) {
+        eval.chipPower += results[first + i].metrics.totalChipPower;
         eval.platformPower += spec.platformPowerPerServer;
     }
     eval.totalPower = eval.chipPower + eval.platformPower;
     return eval;
 }
 
+} // namespace
+
+ClusterEvaluation
+evaluateClusterStrategy(const ClusterSpec &spec,
+                        const workload::BenchmarkProfile &profile,
+                        size_t threads, ClusterStrategy strategy,
+                        size_t jobs)
+{
+    const auto specs = strategySpecs(spec, profile, threads, strategy);
+    const auto results = runScheduledBatch(specs, jobs);
+    return aggregateStrategy(spec, strategy, results, 0, results.size());
+}
+
 std::vector<ClusterEvaluation>
 evaluateAllClusterStrategies(const ClusterSpec &spec,
                              const workload::BenchmarkProfile &profile,
-                             size_t threads)
+                             size_t threads, size_t jobs)
 {
-    return {
-        evaluateClusterStrategy(
-            spec, profile, threads,
-            ClusterStrategy::ConsolidateServersConsolidateSockets),
-        evaluateClusterStrategy(
-            spec, profile, threads,
-            ClusterStrategy::ConsolidateServersBorrowSockets),
-        evaluateClusterStrategy(
-            spec, profile, threads,
-            ClusterStrategy::SpreadServersBorrowSockets),
+    const ClusterStrategy strategies[] = {
+        ClusterStrategy::ConsolidateServersConsolidateSockets,
+        ClusterStrategy::ConsolidateServersBorrowSockets,
+        ClusterStrategy::SpreadServersBorrowSockets,
     };
+
+    // Flatten every strategy's per-server runs into one batch so the
+    // pool stays busy across strategy boundaries.
+    std::vector<ScheduledRunSpec> allSpecs;
+    std::vector<size_t> counts;
+    for (const auto strategy : strategies) {
+        auto specs = strategySpecs(spec, profile, threads, strategy);
+        counts.push_back(specs.size());
+        for (auto &s : specs)
+            allSpecs.push_back(std::move(s));
+    }
+
+    const auto results = runScheduledBatch(allSpecs, jobs);
+    std::vector<ClusterEvaluation> evals;
+    size_t first = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        evals.push_back(aggregateStrategy(spec, strategies[i], results,
+                                          first, counts[i]));
+        first += counts[i];
+    }
+    return evals;
 }
 
 } // namespace agsim::core

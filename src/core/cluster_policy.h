@@ -70,18 +70,25 @@ struct ClusterSpec
  * Evaluate one strategy for `threads` threads of `profile` across the
  * cluster; runs the full per-server simulation for every distinct
  * server load it creates.
+ *
+ * @param jobs Per-server simulations to run concurrently (they are
+ *        independent); 1 = serial, 0 = hardware concurrency.
  */
 ClusterEvaluation evaluateClusterStrategy(const ClusterSpec &spec,
                                           const workload::BenchmarkProfile &
                                               profile,
                                           size_t threads,
-                                          ClusterStrategy strategy);
+                                          ClusterStrategy strategy,
+                                          size_t jobs = 1);
 
-/** Evaluate all strategies (for the ablation bench). */
+/**
+ * Evaluate all strategies (for the ablation bench). With `jobs` > 1 the
+ * per-server runs of every strategy are flattened into one batch.
+ */
 std::vector<ClusterEvaluation>
 evaluateAllClusterStrategies(const ClusterSpec &spec,
                              const workload::BenchmarkProfile &profile,
-                             size_t threads);
+                             size_t threads, size_t jobs = 1);
 
 } // namespace agsim::core
 

@@ -34,13 +34,12 @@ makeDiurnalTrace(size_t peakThreads, Seconds dayLength, size_t segments)
 TraceEvaluation
 evaluateDemandTrace(const workload::BenchmarkProfile &profile,
                     const DemandTrace &trace, PlacementPolicy policy,
-                    size_t poweredCoreBudget)
+                    size_t poweredCoreBudget, size_t jobs)
 {
     fatalIf(trace.empty(), "empty demand trace");
 
-    TraceEvaluation eval;
-    eval.policy = policy;
-
+    // Each distinct thread count needs one steady-state simulation;
+    // they are independent, so run them as a batch.
     std::map<size_t, Watts> steadyPower;
     for (const auto &segment : trace) {
         fatalIf(segment.duration <= 0.0,
@@ -48,22 +47,34 @@ evaluateDemandTrace(const workload::BenchmarkProfile &profile,
         fatalIf(segment.threads == 0 ||
                 segment.threads > poweredCoreBudget,
                 "trace demand outside the powered-core budget");
+        steadyPower.emplace(segment.threads, 0.0);
+    }
 
-        auto it = steadyPower.find(segment.threads);
-        if (it == steadyPower.end()) {
-            ScheduledRunSpec spec;
-            spec.profile = profile;
-            spec.threads = segment.threads;
-            spec.runMode = workload::RunMode::Rate;
-            spec.policy = policy;
-            spec.mode = chip::GuardbandMode::AdaptiveUndervolt;
-            spec.poweredCoreBudget = poweredCoreBudget;
-            spec.simConfig.measureDuration = 0.6;
-            const Watts power =
-                runScheduled(spec).metrics.totalChipPower;
-            it = steadyPower.emplace(segment.threads, power).first;
-        }
-        eval.chipEnergy += it->second * segment.duration;
+    std::vector<ScheduledRunSpec> specs;
+    for (const auto &[threads, power] : steadyPower) {
+        (void)power;
+        ScheduledRunSpec spec;
+        spec.profile = profile;
+        spec.threads = threads;
+        spec.runMode = workload::RunMode::Rate;
+        spec.policy = policy;
+        spec.mode = chip::GuardbandMode::AdaptiveUndervolt;
+        spec.poweredCoreBudget = poweredCoreBudget;
+        spec.simConfig.measureDuration = 0.6;
+        specs.push_back(std::move(spec));
+    }
+    const auto results = runScheduledBatch(specs, jobs);
+    size_t index = 0;
+    for (auto &[threads, power] : steadyPower) {
+        (void)threads;
+        power = results[index++].metrics.totalChipPower;
+    }
+
+    TraceEvaluation eval;
+    eval.policy = policy;
+    for (const auto &segment : trace) {
+        eval.chipEnergy += steadyPower.at(segment.threads) *
+                           segment.duration;
         eval.duration += segment.duration;
     }
     eval.meanPower = eval.chipEnergy / eval.duration;

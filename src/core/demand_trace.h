@@ -56,12 +56,16 @@ struct TraceEvaluation
  * thread counts are simulated once and cached).
  *
  * @param poweredCoreBudget Cores kept on per the Sec. 5.1 scenario.
+ * @param jobs Steady-state simulations to run concurrently (one per
+ *        distinct thread count; they are independent); 1 = serial,
+ *        0 = hardware concurrency.
  */
 TraceEvaluation evaluateDemandTrace(const workload::BenchmarkProfile &
                                         profile,
                                     const DemandTrace &trace,
                                     PlacementPolicy policy,
-                                    size_t poweredCoreBudget = 8);
+                                    size_t poweredCoreBudget = 8,
+                                    size_t jobs = 1);
 
 } // namespace agsim::core
 

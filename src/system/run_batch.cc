@@ -1,0 +1,163 @@
+#include "system/run_batch.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.h"
+
+namespace agsim::system {
+
+BatchResult
+runBatchTask(const BatchTask &task)
+{
+    fatalIf(task.jobs.empty(), "batch task needs at least one job");
+
+    const auto start = std::chrono::steady_clock::now();
+
+    Server server(task.serverConfig);
+    server.setMode(task.mode);
+    if (task.targetFrequency > 0.0)
+        server.setTargetFrequency(task.targetFrequency);
+
+    WorkloadSimulation sim(&server);
+    for (const auto &job : task.jobs)
+        sim.addJob(job);
+    for (const auto &[socket, core] : task.gatedCores)
+        sim.gateCore(socket, core);
+
+    BatchResult result;
+    result.label = task.label;
+    result.metrics = sim.run(task.simConfig);
+
+    result.finalCoreFrequency.resize(server.socketCount());
+    for (size_t s = 0; s < server.socketCount(); ++s) {
+        const chip::Chip &c = server.chip(s);
+        result.finalCoreFrequency[s].resize(c.coreCount());
+        for (size_t core = 0; core < c.coreCount(); ++core)
+            result.finalCoreFrequency[s][core] = c.coreFrequency(core);
+    }
+
+    result.wallTime = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+    return result;
+}
+
+BatchRunner::BatchRunner(size_t workers)
+{
+    if (workers == 0)
+        workers = hardwareWorkers();
+    workers_.reserve(workers);
+    for (size_t i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+BatchRunner::~BatchRunner()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+size_t
+BatchRunner::submit(BatchTask task)
+{
+    size_t index;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        index = submitted_++;
+        results_.resize(submitted_);
+        errors_.resize(submitted_);
+        queue_.emplace_back(index, std::move(task));
+    }
+    workReady_.notify_one();
+    return index;
+}
+
+std::vector<BatchResult>
+BatchRunner::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    roundDone_.wait(lock, [this] { return completed_ == submitted_; });
+
+    std::vector<BatchResult> results = std::move(results_);
+    std::vector<std::exception_ptr> errors = std::move(errors_);
+    results_.clear();
+    errors_.clear();
+    submitted_ = 0;
+    completed_ = 0;
+    lock.unlock();
+
+    for (const auto &error : errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+    return results;
+}
+
+void
+BatchRunner::workerLoop()
+{
+    for (;;) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        workReady_.wait(lock,
+                        [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stopping_)
+                return;
+            continue;
+        }
+        auto [index, task] = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
+
+        BatchResult result;
+        std::exception_ptr error;
+        try {
+            result = runBatchTask(task);
+        } catch (...) {
+            error = std::current_exception();
+        }
+
+        lock.lock();
+        results_[index] = std::move(result);
+        errors_[index] = error;
+        ++completed_;
+        const bool done = completed_ == submitted_;
+        lock.unlock();
+        if (done)
+            roundDone_.notify_all();
+    }
+}
+
+size_t
+BatchRunner::hardwareWorkers()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : size_t(n);
+}
+
+std::vector<BatchResult>
+BatchRunner::runAll(std::vector<BatchTask> tasks, size_t workers)
+{
+    if (workers == 0)
+        workers = hardwareWorkers();
+    if (workers == 1 || tasks.size() <= 1) {
+        // Inline serial path: identical construction/run order, no
+        // thread machinery (also the 1-core fallback).
+        std::vector<BatchResult> results;
+        results.reserve(tasks.size());
+        for (const auto &task : tasks)
+            results.push_back(runBatchTask(task));
+        return results;
+    }
+    BatchRunner runner(std::min(workers, tasks.size()));
+    for (auto &task : tasks)
+        runner.submit(std::move(task));
+    return runner.wait();
+}
+
+} // namespace agsim::system

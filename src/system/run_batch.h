@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Parallel experiment runner: a fixed-size thread pool that executes
+ * independent full simulations concurrently.
+ *
+ * Every paper figure replays many *independent* runs back-to-back
+ * (frequency sweeps, core-count sweeps, workload libraries, mapping
+ * policies). Each run owns a private Server + WorkloadSimulation, so
+ * they parallelize embarrassingly; this module supplies the harness:
+ *
+ *  - BatchTask: a self-contained run description. The worker thread
+ *    constructs the Server (from the task's ServerConfig, which carries
+ *    the deterministic seed), adds the jobs, applies gating, runs the
+ *    simulation, and snapshots the end state. Nothing is shared between
+ *    tasks, so results are bit-identical to serial execution regardless
+ *    of worker count or completion order.
+ *  - BatchRunner: a fixed-size std::thread pool draining a FIFO work
+ *    queue. Results come back in submission order.
+ *
+ * Determinism contract: a task's outcome is a pure function of the
+ * BatchTask contents (all randomness is seeded through
+ * ServerConfig::chipTemplate::seed). The runner never reseeds, reorders
+ * side effects, or shares state across tasks, so `workers == 1` and
+ * `workers == N` produce identical results.
+ */
+
+#ifndef AGSIM_SYSTEM_RUN_BATCH_H
+#define AGSIM_SYSTEM_RUN_BATCH_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "system/simulation.h"
+
+namespace agsim::system {
+
+/**
+ * One self-contained experiment: everything a worker needs to build and
+ * run a simulation from scratch.
+ */
+struct BatchTask
+{
+    /** Platform to construct (carries the deterministic seed). */
+    ServerConfig serverConfig;
+    /** Engine knobs for the run. */
+    SimulationConfig simConfig;
+    /** Guardband mode applied to every socket before the run. */
+    chip::GuardbandMode mode = chip::GuardbandMode::StaticGuardband;
+    /**
+     * DVFS target applied to every socket before the run; 0 keeps the
+     * chip template's target.
+     */
+    Hertz targetFrequency = 0.0;
+    /** Jobs to schedule (placements must be disjoint). */
+    std::vector<Job> jobs;
+    /** Cores to power-gate for the run: (socket, core). */
+    std::vector<std::pair<size_t, size_t>> gatedCores;
+    /** Caller's tag, copied into the result. */
+    std::string label;
+};
+
+/** Outcome of one BatchTask. */
+struct BatchResult
+{
+    /** Tag from the task. */
+    std::string label;
+    /** Run metrics (identical to a serial WorkloadSimulation::run). */
+    RunMetrics metrics;
+    /**
+     * Final per-socket, per-core clock frequency after the measured
+     * phase (what `server.chip(s).coreFrequency(c)` would report; the
+     * Fig. 18 scheduling loop reads this).
+     */
+    std::vector<std::vector<Hertz>> finalCoreFrequency;
+    /** Host wall-clock seconds this task took to execute. */
+    Seconds wallTime = 0.0;
+};
+
+/**
+ * Execute one task synchronously on the calling thread.
+ *
+ * This is the single execution path: BatchRunner workers call exactly
+ * this function, which is what guarantees serial/parallel parity.
+ */
+BatchResult runBatchTask(const BatchTask &task);
+
+/**
+ * Fixed-size thread pool with a FIFO work queue.
+ *
+ * Usage:
+ *   BatchRunner runner(4);
+ *   for (auto &task : tasks) runner.submit(std::move(task));
+ *   std::vector<BatchResult> results = runner.wait();
+ *
+ * wait() returns results in submission order and resets the runner for
+ * another round of submissions; workers persist until destruction.
+ */
+class BatchRunner
+{
+  public:
+    /**
+     * @param workers Pool size; 0 means hardwareWorkers(). A size of 1
+     *        still runs tasks on a (single) worker thread.
+     */
+    explicit BatchRunner(size_t workers = 0);
+
+    /** Joins the pool (any unconsumed results are discarded). */
+    ~BatchRunner();
+
+    BatchRunner(const BatchRunner &) = delete;
+    BatchRunner &operator=(const BatchRunner &) = delete;
+
+    /** Threads in the pool. */
+    size_t workerCount() const { return workers_.size(); }
+
+    /** Enqueue a task; returns its submission index for this round. */
+    size_t submit(BatchTask task);
+
+    /**
+     * Block until every submitted task finished; returns the results in
+     * submission order and resets the round. If any task threw, the
+     * first exception (in submission order) is rethrown.
+     */
+    std::vector<BatchResult> wait();
+
+    /** Default pool size: the machine's hardware concurrency (>= 1). */
+    static size_t hardwareWorkers();
+
+    /**
+     * Convenience: run `tasks` on a transient pool and return results
+     * in submission order. `workers == 1` executes inline on the
+     * calling thread (no pool), which is byte-for-byte the serial path.
+     */
+    static std::vector<BatchResult> runAll(std::vector<BatchTask> tasks,
+                                           size_t workers = 0);
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable workReady_;
+    std::condition_variable roundDone_;
+    std::deque<std::pair<size_t, BatchTask>> queue_;
+    std::vector<BatchResult> results_;
+    std::vector<std::exception_ptr> errors_;
+    size_t submitted_ = 0;
+    size_t completed_ = 0;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace agsim::system
+
+#endif // AGSIM_SYSTEM_RUN_BATCH_H

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+
 #include "chip/chip.h"
 #include "common/error.h"
 #include "common/units.h"
@@ -241,6 +244,93 @@ TEST(ChipConstruction, Validation)
     config = ChipConfig();
     config.coreCount = 0;
     EXPECT_THROW(Chip(config, &vrm), ConfigError);
+    config = ChipConfig();
+    config.solverTolerance = -1e-6;
+    EXPECT_THROW(Chip(config, &vrm), ConfigError);
+}
+
+/**
+ * The V<->P fixed-point early exit (solverTolerance) must reproduce the
+ * fixed-iteration solver within its own tolerance: same seed, settle,
+ * then compare the analog state across load configurations.
+ */
+class SolverParityTest
+    : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    /** Build a chip with the given tolerance, apply the scenario
+     *  named by GetParam(), settle, and return it. */
+    struct Rig
+    {
+        explicit Rig(Volts tolerance, const std::string &scenario)
+            : vrm(1)
+        {
+            ChipConfig config;
+            config.solverTolerance = tolerance;
+            chip = std::make_unique<Chip>(config, &vrm);
+            chip->setMode(GuardbandMode::AdaptiveUndervolt);
+            if (scenario == "loaded") {
+                for (size_t i = 0; i < chip->coreCount(); ++i)
+                    chip->setLoad(i, CoreLoad::running(1.0, 13.0_mV,
+                                                       24.0_mV));
+            } else if (scenario == "gated") {
+                for (size_t i = 0; i < 4; ++i)
+                    chip->setLoad(i, CoreLoad::running(1.0, 13.0_mV,
+                                                       24.0_mV));
+                for (size_t i = 4; i < chip->coreCount(); ++i)
+                    chip->setLoad(i, CoreLoad::powerGated());
+            } // else "idle": all cores powered-on idle
+            chip->settle(1.0);
+        }
+
+        pdn::Vrm vrm;
+        std::unique_ptr<Chip> chip;
+    };
+};
+
+TEST_P(SolverParityTest, EarlyExitMatchesFixedIteration)
+{
+    Rig exact(0.0, GetParam());     // tolerance 0: full iteration count
+    Rig fast(1e-6, GetParam());     // default early exit
+
+    // A 1 uV rail tolerance bounds the power error to well under the
+    // milliwatt scale; frequency and setpoint follow the same rail.
+    EXPECT_NEAR(fast.chip->power(), exact.chip->power(), 1e-2);
+    EXPECT_NEAR(fast.chip->setpoint(), exact.chip->setpoint(), 1e-5);
+    EXPECT_NEAR(fast.chip->undervoltAmount(),
+                exact.chip->undervoltAmount(), 1e-5);
+    for (size_t i = 0; i < exact.chip->coreCount(); ++i) {
+        EXPECT_NEAR(fast.chip->coreFrequency(i),
+                    exact.chip->coreFrequency(i), 1e4)
+            << "core " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(LoadConfigs, SolverParityTest,
+                         ::testing::Values("idle", "loaded", "gated"));
+
+TEST_F(ChipTest, FirmwareCadenceCarriesRemainderAcrossIntervals)
+{
+    chip_.setMode(GuardbandMode::AdaptiveUndervolt);
+    activateCores(4);
+
+    // dt = 0.7 ms does not divide the 32 ms interval: the 46th step
+    // lands at 32.2 ms, so 0.2 ms must carry into the next interval
+    // (the old reset-to-zero behavior would leave 0 and stretch the
+    // cadence to 46 steps forever).
+    const Seconds dt = 0.7e-3;
+    for (int i = 0; i < 45; ++i)
+        chip_.step(dt);
+    EXPECT_NEAR(chip_.sinceFirmware(), 45 * dt, 1e-9);
+    chip_.step(dt);
+    EXPECT_NEAR(chip_.sinceFirmware(), 46 * dt - 32e-3, 1e-9);
+
+    // Over a long run the accumulator stays inside [0, interval).
+    for (int i = 0; i < 500; ++i) {
+        chip_.step(dt);
+        EXPECT_GE(chip_.sinceFirmware(), 0.0);
+        EXPECT_LT(chip_.sinceFirmware(), 32e-3);
+    }
 }
 
 } // namespace

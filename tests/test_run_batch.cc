@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Parallel experiment runner tests: serial/parallel bit-identity,
+ * submission-order results, pool reuse, and error propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "core/ags.h"
+#include "system/run_batch.h"
+#include "workload/library.h"
+
+namespace agsim::system {
+namespace {
+
+/** A short scheduled run; heterogeneous knobs keep tasks distinct. */
+core::ScheduledRunSpec
+makeSpec(const std::string &workload, size_t threads,
+         chip::GuardbandMode mode, Seconds measure)
+{
+    core::ScheduledRunSpec spec;
+    spec.profile = agsim::workload::byName(workload);
+    spec.threads = threads;
+    spec.runMode = agsim::workload::RunMode::Rate;
+    spec.mode = mode;
+    spec.simConfig.warmup = 0.2;
+    spec.simConfig.measureDuration = measure;
+    return spec;
+}
+
+/** Bit-identity over every RunMetrics field (EXPECT_EQ on doubles). */
+void
+expectMetricsIdentical(const RunMetrics &a, const RunMetrics &b)
+{
+    EXPECT_EQ(a.executionTime, b.executionTime);
+    EXPECT_EQ(a.socketPower, b.socketPower);
+    EXPECT_EQ(a.totalChipPower, b.totalChipPower);
+    EXPECT_EQ(a.chipEnergy, b.chipEnergy);
+    EXPECT_EQ(a.edp, b.edp);
+    EXPECT_EQ(a.meanFrequency, b.meanFrequency);
+    EXPECT_EQ(a.minFrequency, b.minFrequency);
+    EXPECT_EQ(a.socketUndervolt, b.socketUndervolt);
+    EXPECT_EQ(a.socketSetpoint, b.socketSetpoint);
+    EXPECT_EQ(a.meanChipMips, b.meanChipMips);
+    ASSERT_EQ(a.jobs.size(), b.jobs.size());
+    for (size_t i = 0; i < a.jobs.size(); ++i) {
+        EXPECT_EQ(a.jobs[i].instructions, b.jobs[i].instructions);
+        EXPECT_EQ(a.jobs[i].meanRate, b.jobs[i].meanRate);
+        EXPECT_EQ(a.jobs[i].completed, b.jobs[i].completed);
+        EXPECT_EQ(a.jobs[i].completionTime, b.jobs[i].completionTime);
+    }
+}
+
+TEST(RunBatch, ParallelIsBitIdenticalToSerial)
+{
+    // Heterogeneous sweep shaped like a figure bench: different
+    // workloads, thread counts, and guardband modes.
+    std::vector<core::ScheduledRunSpec> specs;
+    specs.push_back(makeSpec("raytrace", 1,
+                             chip::GuardbandMode::StaticGuardband, 0.1));
+    specs.push_back(makeSpec("raytrace", 8,
+                             chip::GuardbandMode::AdaptiveUndervolt, 0.1));
+    specs.push_back(makeSpec("swaptions", 4,
+                             chip::GuardbandMode::AdaptiveOverclock, 0.1));
+    specs.push_back(makeSpec("radix", 2,
+                             chip::GuardbandMode::AdaptiveUndervolt, 0.2));
+    auto borrow = makeSpec("lu_cb", 4,
+                           chip::GuardbandMode::AdaptiveUndervolt, 0.1);
+    borrow.policy = core::PlacementPolicy::LoadlineBorrow;
+    borrow.poweredCoreBudget = 8;
+    specs.push_back(std::move(borrow));
+
+    const auto serial = core::runScheduledBatch(specs, 1);
+    const auto parallel = core::runScheduledBatch(specs, 4);
+
+    ASSERT_EQ(serial.size(), specs.size());
+    ASSERT_EQ(parallel.size(), specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+        expectMetricsIdentical(serial[i].metrics, parallel[i].metrics);
+        EXPECT_EQ(serial[i].plan.gatedCores, parallel[i].plan.gatedCores);
+    }
+}
+
+TEST(RunBatch, BatchOfOneMatchesRunScheduled)
+{
+    const auto spec = makeSpec(
+        "raytrace", 4, chip::GuardbandMode::AdaptiveUndervolt, 0.1);
+    const auto direct = core::runScheduled(spec);
+    const auto batched = core::runScheduledBatch({spec}, 4);
+    ASSERT_EQ(batched.size(), 1u);
+    expectMetricsIdentical(direct.metrics, batched[0].metrics);
+}
+
+TEST(RunBatch, ResultsComeBackInSubmissionOrder)
+{
+    // First-submitted task runs longest: with 4 workers it finishes
+    // *last*, so order must come from submission, not completion.
+    const Seconds durations[] = {0.4, 0.2, 0.1, 0.05};
+    std::vector<BatchTask> tasks;
+    for (size_t i = 0; i < 4; ++i) {
+        auto spec = makeSpec("raytrace", 1,
+                             chip::GuardbandMode::StaticGuardband,
+                             durations[i]);
+        auto task = core::makeBatchTask(spec);
+        task.label = "task" + std::to_string(i);
+        tasks.push_back(std::move(task));
+    }
+
+    const auto results = BatchRunner::runAll(std::move(tasks), 4);
+    ASSERT_EQ(results.size(), 4u);
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(results[i].label, "task" + std::to_string(i));
+}
+
+TEST(RunBatch, RunnerIsReusableAcrossRounds)
+{
+    const auto spec = makeSpec(
+        "raytrace", 1, chip::GuardbandMode::StaticGuardband, 0.05);
+
+    BatchRunner runner(2);
+    EXPECT_EQ(runner.workerCount(), 2u);
+    EXPECT_EQ(runner.submit(core::makeBatchTask(spec)), 0u);
+    EXPECT_EQ(runner.submit(core::makeBatchTask(spec)), 1u);
+    const auto first = runner.wait();
+    ASSERT_EQ(first.size(), 2u);
+    expectMetricsIdentical(first[0].metrics, first[1].metrics);
+
+    // wait() reset the round: indices restart and results are fresh.
+    EXPECT_EQ(runner.submit(core::makeBatchTask(spec)), 0u);
+    const auto second = runner.wait();
+    ASSERT_EQ(second.size(), 1u);
+    expectMetricsIdentical(first[0].metrics, second[0].metrics);
+}
+
+TEST(RunBatch, WorkerExceptionsPropagateToWait)
+{
+    auto good = core::makeBatchTask(makeSpec(
+        "raytrace", 1, chip::GuardbandMode::StaticGuardband, 0.05));
+    BatchTask bad; // no jobs: runBatchTask rejects it on the worker
+
+    BatchRunner runner(2);
+    runner.submit(std::move(good));
+    runner.submit(std::move(bad));
+    EXPECT_THROW(runner.wait(), ConfigError);
+}
+
+TEST(RunBatch, EmptyBatchIsEmpty)
+{
+    EXPECT_TRUE(core::runScheduledBatch({}, 4).empty());
+    EXPECT_TRUE(BatchRunner::runAll({}, 4).empty());
+}
+
+} // namespace
+} // namespace agsim::system
