@@ -21,23 +21,17 @@ Chip::Chip(const ChipConfig &config, pdn::Vrm *vrm)
       telemetry_(config.coreCount, config.telemetry),
       undervoltCtl_(config.undervolt),
       droopHistogram_(0.0, config.droopHistogramMax,
-                      config.droopHistogramBins)
+                      config.droopHistogramBins),
+      safety_(config.safety)
 {
+    config_.validate();
     fatalIf(vrm_ == nullptr, "chip needs a VRM");
     fatalIf(config_.railIndex >= vrm_->railCount(),
             "chip rail index out of range for the VRM");
-    fatalIf(config_.coreCount == 0, "chip needs cores");
-    fatalIf(config_.fixedPointIterations < 1,
-            "need at least one fixed-point iteration");
-    fatalIf(config_.firmwareInterval <= 0.0,
-            "firmware interval must be positive");
 
     dplls_.reserve(config_.coreCount);
     for (size_t i = 0; i < config_.coreCount; ++i)
         dplls_.emplace_back(&curve_, config_.dpll, config_.targetFrequency);
-
-    fatalIf(config_.solverTolerance < 0.0,
-            "solver tolerance must be non-negative");
 
     loads_.assign(config_.coreCount, CoreLoad::idle());
     coreVoltage_.assign(config_.coreCount, curve_.vddStatic(
@@ -82,6 +76,16 @@ Chip::load(size_t core) const
 
 void
 Chip::setMode(GuardbandMode mode)
+{
+    // An explicit operator command overrides the safety monitor's
+    // memory: the watchdog re-arms fresh for the new mode.
+    applyMode(mode);
+    demotedFrom_ = mode;
+    safety_.reset();
+}
+
+void
+Chip::applyMode(GuardbandMode mode)
 {
     config_.mode = mode;
     const Hertz target = config_.targetFrequency;
@@ -209,9 +213,10 @@ Chip::runFirmware()
             continue;
         anyOn = true;
         // The firmware sees what the core's CPMs report: the residual
-        // calibration error biases its view of the margin.
-        const Volts seen = coreCtrlVoltage_[i] +
-            cpms_.bank(i).controlBias(config_.targetFrequency);
+        // calibration error — and any injected sensor fault — biases
+        // its view of the margin.
+        const Volts seen = cpms_.bank(i).controlVoltage(
+            coreCtrlVoltage_[i], config_.targetFrequency);
         achievable = std::min(achievable, curve_.fmaxWithMargin(seen));
     }
     if (!anyOn)
@@ -228,23 +233,39 @@ Chip::step(Seconds dt)
     panicIf(dt <= 0.0, "chip step must be positive");
     const size_t n = config_.coreCount;
 
+    // Faults first: the injected state must be in place before any
+    // model is consulted this step.
+    if (faultInjector_ != nullptr) {
+        faultInjector_->advance(dt);
+        applyFaults();
+    }
+
     thermal_.step(chipPower_, dt);
     solveElectrical();
 
     // Per-step di/dt noise from the cores' workload signatures. The
     // amplitude vectors are preallocated members: step() must stay
-    // allocation-free in steady state.
+    // allocation-free in steady state. Droop storms scale the depth
+    // through the amplitudes and the arrival rate through the model.
+    double droopRateScale = 1.0;
+    double droopDepthScale = 1.0;
+    if (faultInjector_ != nullptr && faultInjector_->active().any) {
+        droopRateScale = faultInjector_->active().droopRateScale;
+        droopDepthScale = faultInjector_->active().droopDepthScale;
+    }
     for (size_t i = 0; i < n; ++i) {
         if (loads_[i].active) {
             scratchTypAmps_[i] = loads_[i].didtTypicalAmp;
-            scratchWorstAmps_[i] = loads_[i].didtWorstAmp;
+            scratchWorstAmps_[i] = loads_[i].didtWorstAmp *
+                                   droopDepthScale;
         } else {
             scratchTypAmps_[i] = 0.0;
             scratchWorstAmps_[i] = 0.0;
         }
     }
     const pdn::DidtSample noise = didt_.step(scratchTypAmps_,
-                                             scratchWorstAmps_, dt);
+                                             scratchWorstAmps_, dt,
+                                             droopRateScale);
     const Volts worstCharacteristic = didt_.worstDepth(scratchWorstAmps_);
     if (noise.droopEvents > 0)
         droopHistogram_.add(noise.worstDroop);
@@ -291,10 +312,11 @@ Chip::step(Seconds dt)
           case GuardbandMode::AdaptiveOverclock:
           case GuardbandMode::AdaptiveUndervolt:
             // The DPLL follows its core's worst CPM, so the residual
-            // calibration error tilts the margin it preserves.
-            dplls_[i].step(coreCtrlVoltage_[i] +
-                               cpms_.bank(i).controlBias(
-                                   config_.targetFrequency),
+            // calibration error — and any injected sensor fault —
+            // tilts the margin it preserves.
+            dplls_[i].step(cpms_.bank(i).controlVoltage(
+                               coreCtrlVoltage_[i],
+                               config_.targetFrequency),
                            dt);
             droopStall_[i] = dplls_[i].droopStall(noise.worstDroop,
                                                   noise.droopEvents);
@@ -317,15 +339,30 @@ Chip::step(Seconds dt)
         decomposition_[i].worstDidt = worstCharacteristic;
     }
 
+    // Watchdog: count emergencies against the true (model ground-truth)
+    // margin and let the monitor demote/re-arm. Runs before telemetry so
+    // the step's counters land in the current window.
+    runSafetyMonitor(noise, worstCharacteristic, dt);
+
     obs.chipPower = chipPower_;
     obs.railCurrent = railCurrent_;
     obs.setpoint = setpoint();
     obs.decomposition = decomposition_[0];
+    obs.timingEmergencies = lastEmergencies_;
+    obs.safetyDemotions = lastDemotions_;
+    obs.worstMargin = lastWorstMargin_;
     telemetry_.step(obs, dt);
 
     sinceFirmware_ += dt;
     if (sinceFirmware_ >= config_.firmwareInterval - 1e-12) {
-        runFirmware();
+        // An injected stall makes the service processor miss this
+        // decision entirely; the loop coasts on the last setpoint.
+        if (faultInjector_ != nullptr &&
+            faultInjector_->active().firmwareStall) {
+            ++missedFirmwareTicks_;
+        } else {
+            runFirmware();
+        }
         // Carry the overshoot past the interval instead of discarding
         // it, so the firmware cadence stays exactly firmwareInterval on
         // average for any dt (a 1 ms step no longer stretches the 32 ms
@@ -335,6 +372,99 @@ Chip::step(Seconds dt)
         // below zero when dt divides the interval exactly.
         if (sinceFirmware_ < 0.0)
             sinceFirmware_ = 0.0;
+    }
+}
+
+void
+Chip::attachFaultInjector(fault::FaultInjector *injector)
+{
+    fatalIf(injector != nullptr &&
+            injector->coreCount() != config_.coreCount,
+            "fault injector core count does not match the chip");
+    faultInjector_ = injector;
+    if (faultInjector_ == nullptr) {
+        cpms_.clearFaults();
+        vrm_->injectDacStuck(config_.railIndex, false);
+        vrm_->injectDacOffset(config_.railIndex, 0.0);
+    } else {
+        applyFaults();
+    }
+}
+
+void
+Chip::applyFaults()
+{
+    const fault::ActiveFaultSet &active = faultInjector_->active();
+    for (size_t i = 0; i < config_.coreCount; ++i)
+        cpms_.bank(i).setFault(active.cpm[i]);
+    vrm_->injectDacStuck(config_.railIndex, active.dacStuck);
+    vrm_->injectDacOffset(config_.railIndex, active.dacOffset);
+}
+
+void
+Chip::runSafetyMonitor(const pdn::DidtSample &noise,
+                       Volts worstCharacteristic, Seconds dt)
+{
+    const size_t n = config_.coreCount;
+    const bool adaptive =
+        config_.mode == GuardbandMode::AdaptiveUndervolt ||
+        config_.mode == GuardbandMode::AdaptiveOverclock;
+
+    // A timing emergency is ground truth, not a sensor reading: the
+    // committed operating point (voltage minus the guaranteed noise
+    // envelope) fell below vmin at the frequency the core actually
+    // runs. In adaptive modes the CPM-DPLL loop rides through
+    // worst-case droops it can see (that response is already charged
+    // to droopStall_); only a blind (dark/stuck) bank leaves its core
+    // exposed. Non-protected cores are assessed against the
+    // *characterized* droop envelope (worstCharacteristic, which
+    // includes any storm depth scaling) rather than the sampled
+    // instantaneous depth: the static guardband is provisioned for the
+    // envelope, and the sampler's synthetic heavy tail above it would
+    // otherwise flag a healthy chip at full load. Margin violations
+    // from undervolting below vmin (lying CPMs, DAC under-delivery)
+    // enter through coreVoltage_ and are unaffected by this choice.
+    int emergencies = 0;
+    Volts worst = curve_.params().staticGuardband;
+    bool anyCore = false;
+    const Volts envelopeDroop =
+        noise.droopEvents > 0 ? worstCharacteristic : 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        if (loads_[i].gated)
+            continue;
+        const bool loopProtects = adaptive && !cpms_.bank(i).blind();
+        const Volts sag = loopProtects
+                              ? noise.typicalNow
+                              : std::max(noise.typicalNow,
+                                         envelopeDroop);
+        const Volts margin = (coreVoltage_[i] - sag) -
+                             curve_.vminAt(dplls_[i].frequency());
+        if (!anyCore || margin < worst)
+            worst = margin;
+        anyCore = true;
+        // The tolerance band separates the adaptive loop's normal
+        // near-vmin operating texture from a genuine undervoltage
+        // (see SafetyMonitorParams::marginTolerance).
+        if (margin < -safety_.params().marginTolerance)
+            ++emergencies;
+    }
+    lastEmergencies_ = emergencies;
+    lastWorstMargin_ = worst;
+    lastDemotions_ = 0;
+
+    switch (safety_.observe(emergencies > 0, adaptive, dt)) {
+      case SafetyMonitor::Action::None:
+        break;
+      case SafetyMonitor::Action::Demote:
+        // Graceful degradation: back to the full static guardband at
+        // the commanded DVFS target. The commanded mode is remembered
+        // in demotedFrom_ for a later re-arm.
+        applyMode(GuardbandMode::StaticGuardband);
+        lastDemotions_ = 1;
+        break;
+      case SafetyMonitor::Action::Rearm:
+        applyMode(demotedFrom_);
+        break;
     }
 }
 

@@ -24,7 +24,9 @@
 
 #include "chip/chip_config.h"
 #include "chip/core_load.h"
+#include "chip/safety_monitor.h"
 #include "clock/dpll.h"
+#include "fault/fault_injector.h"
 #include "pdn/decomposition.h"
 #include "pdn/didt.h"
 #include "pdn/ir_drop.h"
@@ -83,6 +85,42 @@ class Chip
      * (the Sec. 4.1 characterization methodology).
      */
     void forceSetpoint(Volts v);
+
+    /// @}
+
+    /** @name Fault injection and safety (see src/fault/) */
+    /// @{
+
+    /**
+     * Attach a fault injector (not owned; must outlive the chip or be
+     * detached with nullptr). The injector's clock advances with every
+     * step from the moment of attach; detaching clears all injected
+     * fault state from the sensor and VRM models.
+     */
+    void attachFaultInjector(fault::FaultInjector *injector);
+
+    fault::FaultInjector *faultInjector() const { return faultInjector_; }
+
+    /** The in-chip guardband watchdog. */
+    const SafetyMonitor &safetyMonitor() const { return safety_; }
+
+    /** Whether the safety monitor currently holds the chip demoted. */
+    bool safetyDemoted() const { return demotedFrom_ != config_.mode; }
+
+    /**
+     * The mode the chip is *supposed* to be in: the commanded mode if
+     * the safety monitor demoted the chip, else the current mode.
+     */
+    GuardbandMode commandedMode() const { return demotedFrom_; }
+
+    /** Timing emergencies from the last step (cores below vmin). */
+    int lastStepEmergencies() const { return lastEmergencies_; }
+
+    /** Worst true timing margin across non-gated cores, last step. */
+    Volts lastWorstMargin() const { return lastWorstMargin_; }
+
+    /** Firmware decisions suppressed by injected stalls. */
+    int64_t missedFirmwareTicks() const { return missedFirmwareTicks_; }
 
     /// @}
 
@@ -184,6 +222,22 @@ class Chip
     /** Run one firmware decision (undervolt mode). */
     void runFirmware();
 
+    /** Switch mode without resetting safety state (monitor actions). */
+    void applyMode(GuardbandMode mode);
+
+    /** Copy the injector's active fault set into the models. */
+    void applyFaults();
+
+    /**
+     * Count timing emergencies and track the worst margin for the step,
+     * then run the safety monitor and apply its action.
+     *
+     * @param worstCharacteristic The characterized worst-droop envelope
+     *        for this step's load (including storm depth scaling).
+     */
+    void runSafetyMonitor(const pdn::DidtSample &noise,
+                          Volts worstCharacteristic, Seconds dt);
+
     ChipConfig config_;
     pdn::Vrm *vrm_;
 
@@ -216,6 +270,17 @@ class Chip
     Seconds sinceFirmware_ = 0.0;
     Volts staticSetpoint_ = 0.0; // cached vddStatic(targetFrequency)
     stats::Histogram droopHistogram_;
+
+    // Fault injection and safety degradation.
+    fault::FaultInjector *faultInjector_ = nullptr;
+    SafetyMonitor safety_;
+    // The user-commanded mode; differs from config_.mode only while the
+    // safety monitor holds the chip demoted to StaticGuardband.
+    GuardbandMode demotedFrom_ = GuardbandMode::StaticGuardband;
+    int lastEmergencies_ = 0;
+    int lastDemotions_ = 0;
+    Volts lastWorstMargin_ = 0.0;
+    int64_t missedFirmwareTicks_ = 0;
 };
 
 } // namespace agsim::chip

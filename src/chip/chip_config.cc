@@ -1,0 +1,32 @@
+#include "chip/chip_config.h"
+
+#include "common/error.h"
+
+namespace agsim::chip {
+
+void
+ChipConfig::validate() const
+{
+    fatalIf(coreCount == 0, "chip needs cores");
+    fatalIf(cpmsPerCore == 0, "chip needs at least one CPM per core");
+    fatalIf(targetFrequency <= 0.0, "target frequency must be positive");
+    fatalIf(firmwareInterval <= 0.0,
+            "firmware interval must be positive");
+    fatalIf(fixedPointIterations < 1,
+            "need at least one fixed-point iteration");
+    fatalIf(solverTolerance < 0.0,
+            "solver tolerance must be non-negative");
+    fatalIf(rippleTrackingLoss < 0.0 || rippleTrackingLoss > 1.0,
+            "ripple tracking loss must be a fraction in [0, 1]");
+    fatalIf(droopHistogramMax <= 0.0,
+            "droop histogram range must be positive");
+    fatalIf(droopHistogramBins == 0,
+            "droop histogram needs at least one bin");
+    fatalIf(vcs.powerAtRef < 0.0, "negative Vcs rail power");
+    fatalIf(vcs.activityShare < 0.0 || vcs.activityShare > 1.0,
+            "Vcs activity share must be a fraction in [0, 1]");
+    undervolt.validate();
+    safety.validate();
+}
+
+} // namespace agsim::chip

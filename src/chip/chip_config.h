@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "chip/guardband_mode.h"
+#include "chip/safety_monitor.h"
 #include "chip/undervolt_controller.h"
 #include "clock/dpll.h"
 #include "common/units.h"
@@ -94,6 +95,16 @@ struct ChipConfig
     sensors::TelemetryParams telemetry;
     clock::DpllParams dpll;
     UndervoltControllerParams undervolt;
+    SafetyMonitorParams safety;
+
+    /**
+     * Reject nonsensical values (zero cores, non-positive intervals,
+     * out-of-range fractions, bad controller/safety tunables) with a
+     * descriptive ConfigError. Called by the Chip constructor, so a bad
+     * configuration fails loudly at construction rather than corrupting
+     * a run.
+     */
+    void validate() const;
 };
 
 } // namespace agsim::chip

@@ -1,0 +1,119 @@
+#include "chip/safety_monitor.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace agsim::chip {
+
+const char *
+safetyStateName(SafetyState state)
+{
+    switch (state) {
+      case SafetyState::Monitoring: return "monitoring";
+      case SafetyState::Demoted: return "demoted";
+      case SafetyState::Latched: return "latched";
+    }
+    return "?";
+}
+
+void
+SafetyMonitorParams::validate() const
+{
+    fatalIf(emergencyBudget < 1,
+            "safety monitor emergency budget must be at least 1");
+    fatalIf(windowLength <= 0.0,
+            "safety monitor window length must be positive");
+    fatalIf(rearmInterval <= 0.0,
+            "safety monitor re-arm interval must be positive");
+    fatalIf(rearmBackoff < 1.0,
+            "safety monitor re-arm backoff must be at least 1 "
+            "(hysteresis cannot shrink the clean interval)");
+    fatalIf(marginTolerance < 0.0,
+            "safety monitor margin tolerance cannot be negative");
+}
+
+SafetyMonitor::SafetyMonitor(const SafetyMonitorParams &params)
+    : params_(params)
+{
+    params_.validate();
+}
+
+SafetyMonitor::Action
+SafetyMonitor::observe(bool emergency, bool adaptiveMode, Seconds dt)
+{
+    panicIf(dt <= 0.0, "safety monitor step must be positive");
+    now_ += dt;
+    if (emergency)
+        ++totalEmergencies_;
+
+    switch (state_) {
+      case SafetyState::Monitoring: {
+        if (!adaptiveMode) {
+            // Nothing to demote: keep counters honest but stay quiet.
+            windowEmergencies_ = 0;
+            windowStart_ = now_;
+            return Action::None;
+        }
+        if (now_ - windowStart_ >= params_.windowLength) {
+            windowStart_ = now_;
+            windowEmergencies_ = 0;
+        }
+        if (!emergency)
+            return Action::None;
+        ++windowEmergencies_;
+        if (!params_.enabled ||
+            windowEmergencies_ < params_.emergencyBudget) {
+            return Action::None;
+        }
+        ++demotions_;
+        lastDemotionAt_ = now_;
+        cleanSince_ = now_;
+        windowEmergencies_ = 0;
+        state_ = (params_.maxRearms >= 0 &&
+                  demotions_ > params_.maxRearms)
+                     ? SafetyState::Latched
+                     : SafetyState::Demoted;
+        return Action::Demote;
+      }
+
+      case SafetyState::Demoted: {
+        // An emergency while demoted (e.g. a droop storm deep enough to
+        // breach even the static guardband) restarts the clean clock.
+        if (emergency) {
+            cleanSince_ = now_;
+            return Action::None;
+        }
+        const Seconds required =
+            params_.rearmInterval *
+            std::pow(params_.rearmBackoff, double(demotions_ - 1));
+        if (now_ - cleanSince_ < required)
+            return Action::None;
+        ++rearms_;
+        state_ = SafetyState::Monitoring;
+        windowStart_ = now_;
+        windowEmergencies_ = 0;
+        return Action::Rearm;
+      }
+
+      case SafetyState::Latched:
+        return Action::None;
+    }
+    return Action::None;
+}
+
+void
+SafetyMonitor::reset()
+{
+    state_ = SafetyState::Monitoring;
+    now_ = 0.0;
+    windowStart_ = 0.0;
+    cleanSince_ = 0.0;
+    windowEmergencies_ = 0;
+    totalEmergencies_ = 0;
+    demotions_ = 0;
+    rearms_ = 0;
+    lastDemotionAt_ = -1.0;
+}
+
+} // namespace agsim::chip

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * In-chip guardband safety monitor with graceful mode degradation.
+ *
+ * The adaptive modes (Secs. 2.1-2.2) are safe only while the CPM ->
+ * DPLL -> firmware loop tells the truth; under sensor or actuator
+ * faults (see src/fault/) the loop can hold the chip below the true
+ * vmin without noticing. The SafetyMonitor is the independent watchdog
+ * the paper's reviewers would ask for: it watches the *achieved* margin
+ * every step, counts timing emergencies (effective voltage below vmin
+ * at the committed frequency), and when emergencies exceed a budget
+ * within a counting window it demotes the chip from its adaptive mode
+ * back to StaticGuardband — trading efficiency for guaranteed margin.
+ *
+ * Degradation is graceful and hysteretic:
+ *
+ *     Monitoring --(budget exceeded)--> Demoted
+ *     Demoted --(clean for rearmInterval * backoff^(n-1))--> Monitoring
+ *     Demoted --(demotion count > maxRearms)--> Latched
+ *
+ * Each successive demotion multiplies the required clean time by
+ * rearmBackoff, and after maxRearms re-arms the monitor latches the
+ * chip in StaticGuardband permanently — a persistently lying sensor
+ * must not be trusted again. Sparse emergencies (occasional worst-case
+ * droops) are tolerated by the windowed budget: only a *sustained*
+ * breach demotes.
+ *
+ * The monitor is a pure state machine over (emergency?, dt) inputs so
+ * it is unit-testable without a chip; Chip::step() owns the margin
+ * computation and applies the returned actions.
+ */
+
+#ifndef AGSIM_CHIP_SAFETY_MONITOR_H
+#define AGSIM_CHIP_SAFETY_MONITOR_H
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace agsim::chip {
+
+/** Safety-monitor tunables. */
+struct SafetyMonitorParams
+{
+    /** Master switch; disabled = count emergencies but never demote. */
+    bool enabled = true;
+    /**
+     * Emergencies within one counting window that trigger demotion.
+     * Sized so sparse droop-induced dips (a few per second) never trip
+     * it while a sustained undervoltage (every step) trips in
+     * emergencyBudget steps.
+     */
+    int emergencyBudget = 8;
+    /** Emergency counting window. */
+    Seconds windowLength = 0.25;
+    /**
+     * How far below vmin the true margin must fall to count as an
+     * emergency. The adaptive loop deliberately rides within a few mV
+     * of vmin (residual CPM calibration error consumes most of the
+     * calibrated margin), so transient ripple excursions a few mV deep
+     * are its normal operating texture, not a hazard; injected faults
+     * that matter (optimistic sensor bias, DAC under-delivery) drive
+     * the margin tens of mV negative and clear this band easily.
+     */
+    Volts marginTolerance = 10e-3;
+    /** Clean (emergency-free) time demoted before the first re-arm. */
+    Seconds rearmInterval = 1.0;
+    /** Required clean time multiplier per successive demotion. */
+    double rearmBackoff = 2.0;
+    /** Re-arms allowed before latching in StaticGuardband (< 0 = never
+     *  latch; 0 = latch on the first demotion). */
+    int maxRearms = 2;
+
+    /** Reject nonsensical values with a descriptive ConfigError. */
+    void validate() const;
+};
+
+/** Monitor state (see file comment for the machine). */
+enum class SafetyState
+{
+    /** Armed: counting emergencies against the budget. */
+    Monitoring,
+    /** Demoted to StaticGuardband; waiting out the clean interval. */
+    Demoted,
+    /** Permanently demoted (re-arm budget exhausted). */
+    Latched,
+};
+
+/** Human-readable state name. */
+const char *safetyStateName(SafetyState state);
+
+/**
+ * The watchdog state machine for one chip.
+ */
+class SafetyMonitor
+{
+  public:
+    /** What the chip must do after an observation. */
+    enum class Action
+    {
+        None,
+        /** Switch to StaticGuardband and remember the previous mode. */
+        Demote,
+        /** Restore the mode that was active before demotion. */
+        Rearm,
+    };
+
+    explicit SafetyMonitor(const SafetyMonitorParams &params =
+                               SafetyMonitorParams());
+
+    const SafetyMonitorParams &params() const { return params_; }
+
+    /**
+     * Feed one simulation step.
+     *
+     * @param emergency Whether any core saw a timing emergency.
+     * @param adaptiveMode Whether the chip is in a demotable (adaptive)
+     *        mode right now. Emergencies are always counted; demotion
+     *        only fires from adaptive modes.
+     * @param dt Step length.
+     * @return Action the chip must apply (effective next step).
+     */
+    Action observe(bool emergency, bool adaptiveMode, Seconds dt);
+
+    SafetyState state() const { return state_; }
+
+    /** Monitor time (sum of observed dt). */
+    Seconds now() const { return now_; }
+
+    /** @name Telemetry counters */
+    /// @{
+    /** Emergencies since construction/reset (any mode). */
+    int64_t totalEmergencies() const { return totalEmergencies_; }
+    /** Emergencies in the current counting window. */
+    int windowEmergencies() const { return windowEmergencies_; }
+    /** Demotions since construction/reset. */
+    int64_t demotionCount() const { return demotions_; }
+    /** Re-arms since construction/reset. */
+    int64_t rearmCount() const { return rearms_; }
+    /** Time of the most recent demotion (-1 if none). */
+    Seconds lastDemotionAt() const { return lastDemotionAt_; }
+    /// @}
+
+    /**
+     * Forget all history and re-arm (the chip calls this when the user
+     * commands a mode change: an explicit operator decision overrides
+     * the watchdog's memory).
+     */
+    void reset();
+
+  private:
+    SafetyMonitorParams params_;
+    SafetyState state_ = SafetyState::Monitoring;
+    Seconds now_ = 0.0;
+    Seconds windowStart_ = 0.0;
+    Seconds cleanSince_ = 0.0;
+    int windowEmergencies_ = 0;
+    int64_t totalEmergencies_ = 0;
+    int64_t demotions_ = 0;
+    int64_t rearms_ = 0;
+    Seconds lastDemotionAt_ = -1.0;
+};
+
+} // namespace agsim::chip
+
+#endif // AGSIM_CHIP_SAFETY_MONITOR_H

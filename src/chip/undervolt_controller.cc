@@ -4,13 +4,23 @@
 
 namespace agsim::chip {
 
+void
+UndervoltControllerParams::validate() const
+{
+    fatalIf(voltageStep <= 0.0, "voltage step must be positive");
+    fatalIf(downThreshold < 0.0 || upThreshold < 0.0,
+            "controller thresholds must be non-negative");
+    fatalIf(downThreshold <= upThreshold,
+            "down threshold must exceed the up threshold "
+            "(equal or inverted thresholds limit-cycle the setpoint)");
+    fatalIf(maxUndervolt <= 0.0, "max undervolt must be positive");
+}
+
 UndervoltController::UndervoltController(
     const UndervoltControllerParams &params)
     : params_(params)
 {
-    fatalIf(params_.voltageStep <= 0.0, "voltage step must be positive");
-    fatalIf(params_.downThreshold < 0.0 || params_.upThreshold < 0.0,
-            "controller thresholds must be non-negative");
+    params_.validate();
 }
 
 Volts

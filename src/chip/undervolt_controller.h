@@ -37,6 +37,13 @@ struct UndervoltControllerParams
      * of the guardband is never reclaimed).
      */
     Volts maxUndervolt = 0.080;
+
+    /**
+     * Reject nonsensical values (non-positive step or undervolt depth,
+     * negative thresholds, a down threshold at or below the up
+     * threshold — which would limit-cycle) with a ConfigError.
+     */
+    void validate() const;
 };
 
 /**

@@ -1,0 +1,82 @@
+#include "fault/fault_injector.h"
+
+#include "common/error.h"
+
+namespace agsim::fault {
+
+FaultInjector::FaultInjector(const FaultPlan &plan, size_t coreCount)
+    : plan_(plan), coreCount_(coreCount)
+{
+    fatalIf(coreCount_ == 0, "fault injector needs at least one core");
+    plan_.validate(coreCount_);
+    active_.cpm.assign(coreCount_, sensors::CpmFault());
+    recompute();
+}
+
+void
+FaultInjector::advance(Seconds dt)
+{
+    panicIf(dt <= 0.0, "fault injector step must be positive");
+    now_ += dt;
+    recompute();
+}
+
+void
+FaultInjector::reset()
+{
+    now_ = 0.0;
+    recompute();
+}
+
+void
+FaultInjector::recompute()
+{
+    // The cpm vector is preallocated; this assign writes in place so the
+    // per-step path stays allocation-free.
+    for (auto &f : active_.cpm)
+        f = sensors::CpmFault();
+    active_.dacStuck = false;
+    active_.dacOffset = 0.0;
+    active_.firmwareStall = false;
+    active_.droopRateScale = 1.0;
+    active_.droopDepthScale = 1.0;
+    activeSpecs_ = 0;
+
+    for (const FaultSpec &spec : plan_.faults) {
+        if (!spec.activeAt(now_))
+            continue;
+        ++activeSpecs_;
+        const size_t lo = spec.core < 0 ? 0 : size_t(spec.core);
+        const size_t hi = spec.core < 0 ? coreCount_ : size_t(spec.core) + 1;
+        switch (spec.kind) {
+          case FaultKind::CpmStuckAt:
+            for (size_t i = lo; i < hi; ++i)
+                active_.cpm[i].stuckPosition = int(spec.magnitude);
+            break;
+          case FaultKind::CpmOptimisticBias:
+            for (size_t i = lo; i < hi; ++i)
+                active_.cpm[i].biasVolts += spec.magnitude;
+            break;
+          case FaultKind::CpmDropout:
+            for (size_t i = lo; i < hi; ++i)
+                active_.cpm[i].dropout = true;
+            break;
+          case FaultKind::VrmDacStuck:
+            active_.dacStuck = true;
+            break;
+          case FaultKind::VrmDacOffset:
+            active_.dacOffset += spec.magnitude;
+            break;
+          case FaultKind::FirmwareStall:
+            active_.firmwareStall = true;
+            break;
+          case FaultKind::DroopStorm:
+            active_.droopRateScale *= spec.magnitude;
+            active_.droopDepthScale *= spec.depthScale;
+            break;
+        }
+    }
+    active_.any = activeSpecs_ > 0;
+}
+
+} // namespace agsim::fault

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Deterministic fault injector: evaluates a FaultPlan against chip-sim
+ * time and exposes the currently-active fault effects.
+ *
+ * The injector is time-driven and allocation-free after construction:
+ * Chip::step() advances it once per step and then copies the active
+ * effects into the models' small injection points (CpmBank fault state,
+ * VRM DAC fault state, firmware-stall / droop-storm flags). It owns no
+ * randomness — stochastic fault consequences (storm droop depths) flow
+ * through the chip's already-seeded models — so a (chip seed, plan)
+ * pair replays bit-identically.
+ */
+
+#ifndef AGSIM_FAULT_FAULT_INJECTOR_H
+#define AGSIM_FAULT_FAULT_INJECTOR_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.h"
+#include "fault/fault_plan.h"
+#include "sensors/cpm_bank.h"
+
+namespace agsim::fault {
+
+/** Combined effect of every fault active at the current time. */
+struct ActiveFaultSet
+{
+    /** Per-core CPM bank fault state. */
+    std::vector<sensors::CpmFault> cpm;
+    /** VRM DAC ignores setpoint writes. */
+    bool dacStuck = false;
+    /** Volts added to the delivered rail voltage behind the firmware's
+     *  back (negative = under-delivery). */
+    Volts dacOffset = 0.0;
+    /** Firmware decision tick suppressed. */
+    bool firmwareStall = false;
+    /** Multiplier on worst-case droop arrival rate. */
+    double droopRateScale = 1.0;
+    /** Multiplier on worst-case droop depth. */
+    double droopDepthScale = 1.0;
+    /** Whether anything at all is active (fast path check). */
+    bool any = false;
+};
+
+/**
+ * One chip's fault schedule evaluator.
+ */
+class FaultInjector
+{
+  public:
+    /**
+     * @param plan Fault schedule (validated against coreCount; copied).
+     * @param coreCount Cores on the chip this injector will attach to.
+     */
+    FaultInjector(const FaultPlan &plan, size_t coreCount);
+
+    size_t coreCount() const { return coreCount_; }
+
+    /** Chip-sim time since attach (advanced by Chip::step). */
+    Seconds now() const { return now_; }
+
+    /** Advance time and recompute the active fault set. */
+    void advance(Seconds dt);
+
+    /** Effects active after the last advance(). */
+    const ActiveFaultSet &active() const { return active_; }
+
+    /** Specs active after the last advance(). */
+    size_t activeSpecCount() const { return activeSpecs_; }
+
+    /** Rewind to t = 0 (for replaying the same plan). */
+    void reset();
+
+    const FaultPlan &plan() const { return plan_; }
+
+  private:
+    void recompute();
+
+    FaultPlan plan_;
+    size_t coreCount_;
+    Seconds now_ = 0.0;
+    size_t activeSpecs_ = 0;
+    ActiveFaultSet active_;
+};
+
+} // namespace agsim::fault
+
+#endif // AGSIM_FAULT_FAULT_INJECTOR_H

@@ -1,0 +1,144 @@
+#include "fault/fault_plan.h"
+
+#include <string>
+
+#include "common/error.h"
+
+namespace agsim::fault {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::CpmStuckAt: return "cpm-stuck-at";
+      case FaultKind::CpmOptimisticBias: return "cpm-optimistic-bias";
+      case FaultKind::CpmDropout: return "cpm-dropout";
+      case FaultKind::VrmDacStuck: return "vrm-dac-stuck";
+      case FaultKind::VrmDacOffset: return "vrm-dac-offset";
+      case FaultKind::FirmwareStall: return "firmware-stall";
+      case FaultKind::DroopStorm: return "droop-storm";
+    }
+    return "?";
+}
+
+FaultPlan &
+FaultPlan::add(const FaultSpec &spec)
+{
+    faults.push_back(spec);
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::cpmStuckAt(Seconds start, Seconds duration, int position,
+                      int core)
+{
+    FaultSpec spec;
+    spec.kind = FaultKind::CpmStuckAt;
+    spec.start = start;
+    spec.duration = duration;
+    spec.core = core;
+    spec.magnitude = double(position);
+    return add(spec);
+}
+
+FaultPlan &
+FaultPlan::cpmOptimisticBias(Seconds start, Seconds duration, Volts bias,
+                             int core)
+{
+    FaultSpec spec;
+    spec.kind = FaultKind::CpmOptimisticBias;
+    spec.start = start;
+    spec.duration = duration;
+    spec.core = core;
+    spec.magnitude = bias;
+    return add(spec);
+}
+
+FaultPlan &
+FaultPlan::cpmDropout(Seconds start, Seconds duration, int core)
+{
+    FaultSpec spec;
+    spec.kind = FaultKind::CpmDropout;
+    spec.start = start;
+    spec.duration = duration;
+    spec.core = core;
+    return add(spec);
+}
+
+FaultPlan &
+FaultPlan::vrmDacStuck(Seconds start, Seconds duration)
+{
+    FaultSpec spec;
+    spec.kind = FaultKind::VrmDacStuck;
+    spec.start = start;
+    spec.duration = duration;
+    return add(spec);
+}
+
+FaultPlan &
+FaultPlan::vrmDacOffset(Seconds start, Seconds duration, Volts offset)
+{
+    FaultSpec spec;
+    spec.kind = FaultKind::VrmDacOffset;
+    spec.start = start;
+    spec.duration = duration;
+    spec.magnitude = offset;
+    return add(spec);
+}
+
+FaultPlan &
+FaultPlan::firmwareStall(Seconds start, Seconds duration)
+{
+    FaultSpec spec;
+    spec.kind = FaultKind::FirmwareStall;
+    spec.start = start;
+    spec.duration = duration;
+    return add(spec);
+}
+
+FaultPlan &
+FaultPlan::droopStorm(Seconds start, Seconds duration, double rateScale,
+                      double depthScale)
+{
+    FaultSpec spec;
+    spec.kind = FaultKind::DroopStorm;
+    spec.start = start;
+    spec.duration = duration;
+    spec.magnitude = rateScale;
+    spec.depthScale = depthScale;
+    return add(spec);
+}
+
+void
+FaultPlan::validate(size_t coreCount) const
+{
+    for (size_t i = 0; i < faults.size(); ++i) {
+        const FaultSpec &spec = faults[i];
+        const std::string where =
+            "fault plan spec " + std::to_string(i) + " (" +
+            faultKindName(spec.kind) + "): ";
+        fatalIf(spec.start < 0.0, where + "negative start time");
+        fatalIf(spec.core >= 0 && size_t(spec.core) >= coreCount,
+                where + "core index out of range");
+        switch (spec.kind) {
+          case FaultKind::CpmStuckAt:
+            fatalIf(spec.magnitude < 0.0,
+                    where + "stuck position must be non-negative");
+            break;
+          case FaultKind::DroopStorm:
+            fatalIf(spec.magnitude <= 0.0,
+                    where + "storm rate multiplier must be positive");
+            fatalIf(spec.depthScale <= 0.0,
+                    where + "storm depth multiplier must be positive");
+            break;
+          case FaultKind::CpmOptimisticBias:
+          case FaultKind::CpmDropout:
+          case FaultKind::VrmDacStuck:
+          case FaultKind::VrmDacOffset:
+          case FaultKind::FirmwareStall:
+            break;
+        }
+    }
+}
+
+} // namespace agsim::fault

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Deterministic fault-injection plans (the "what goes wrong, when").
+ *
+ * The paper's safety argument (Secs. 2.1-2.2) is that adaptive guardband
+ * management is safe *because* the CPM->DPLL->firmware loop reacts to
+ * worst-case events faster than they can corrupt state. That argument
+ * holds only while every link in the loop works; a CPM that reports
+ * extra margin, a VRM DAC that sticks, or a firmware tick that stalls
+ * silently turns undervolting into an undervoltage hazard. The fault
+ * taxonomy here models exactly those links breaking:
+ *
+ *  - CpmStuckAt / CpmOptimisticBias / CpmDropout: the sensor lies. An
+ *    *optimistic* bias (reporting more margin than exists) is the
+ *    dangerous direction — the firmware walks the setpoint below the
+ *    true vmin. A dark (dropout) bank pegs its detector high, which the
+ *    loop reads as maximal margin: dropout is an extreme optimism fault.
+ *  - VrmDacStuck / VrmDacOffset: the actuator lies. Stuck ignores
+ *    setpoint writes; an offset delivers a voltage the firmware did not
+ *    program (step-quantization error).
+ *  - FirmwareStall: the 32 ms decision tick is missed (hung service
+ *    processor); the loop coasts on the last decision.
+ *  - DroopStorm: di/dt worst-case droops arrive more often and/or
+ *    deeper than the characterized envelope.
+ *
+ * A FaultPlan is a pure-value schedule: (kind, start, duration, target,
+ * magnitude) tuples. Plans introduce no randomness of their own —
+ * stochastic effects (storm droop depths) flow through the chip's
+ * already-seeded models — so a (seed, plan) pair is fully deterministic.
+ */
+
+#ifndef AGSIM_FAULT_FAULT_PLAN_H
+#define AGSIM_FAULT_FAULT_PLAN_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.h"
+
+namespace agsim::fault {
+
+/** Which link of the guardband loop breaks. */
+enum class FaultKind
+{
+    /** CPM bank pinned at a fixed detector position (magnitude). */
+    CpmStuckAt,
+    /** CPM bank reports `magnitude` volts of extra margin (>0 is the
+     *  dangerous, optimistic direction; <0 is merely conservative). */
+    CpmOptimisticBias,
+    /** CPM bank goes dark; the detector pegs high (reads as maximal
+     *  margin — the worst possible lie). */
+    CpmDropout,
+    /** VRM DAC ignores setpoint writes (holds the last value). */
+    VrmDacStuck,
+    /** VRM delivers setpoint + `magnitude` volts the firmware cannot
+     *  see (negative = under-delivery, the dangerous direction). */
+    VrmDacOffset,
+    /** Firmware decision ticks are skipped while active. */
+    FirmwareStall,
+    /** Worst-case droop arrivals multiplied by `magnitude`; depths
+     *  multiplied by `depthScale`. */
+    DroopStorm,
+};
+
+/** Human-readable fault kind name. */
+const char *faultKindName(FaultKind kind);
+
+/** One scheduled fault. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::CpmOptimisticBias;
+    /** Activation time (chip-sim seconds since the injector attached). */
+    Seconds start = 0.0;
+    /** Active duration; <= 0 means active until the end of the run. */
+    Seconds duration = 0.0;
+    /** Target core for CPM faults; -1 = every core. Ignored otherwise. */
+    int core = -1;
+    /** Kind-specific magnitude (see FaultKind). */
+    double magnitude = 0.0;
+    /** DroopStorm only: multiplier on droop depth (default 1 = rate-only
+     *  storm, staying within the characterized depth envelope). */
+    double depthScale = 1.0;
+
+    /** Whether the fault is active at time t. */
+    bool activeAt(Seconds t) const
+    {
+        return t >= start && (duration <= 0.0 || t < start + duration);
+    }
+};
+
+/**
+ * A schedule of faults for one chip.
+ *
+ * Overlapping faults compose: biases add, storm multipliers multiply,
+ * boolean faults (dropout, stuck DAC, stall) OR together, and for
+ * conflicting stuck-at positions the *later spec in plan order* wins.
+ */
+struct FaultPlan
+{
+    std::vector<FaultSpec> faults;
+
+    bool empty() const { return faults.empty(); }
+
+    /** Append a spec (fluent, so plans read like schedules). */
+    FaultPlan &add(const FaultSpec &spec);
+
+    /** @name Convenience builders (append and return *this) */
+    /// @{
+    FaultPlan &cpmStuckAt(Seconds start, Seconds duration, int position,
+                          int core = -1);
+    FaultPlan &cpmOptimisticBias(Seconds start, Seconds duration,
+                                 Volts bias, int core = -1);
+    FaultPlan &cpmDropout(Seconds start, Seconds duration, int core = -1);
+    FaultPlan &vrmDacStuck(Seconds start, Seconds duration = 0.0);
+    FaultPlan &vrmDacOffset(Seconds start, Seconds duration, Volts offset);
+    FaultPlan &firmwareStall(Seconds start, Seconds duration);
+    FaultPlan &droopStorm(Seconds start, Seconds duration,
+                          double rateScale, double depthScale = 1.0);
+    /// @}
+
+    /**
+     * Reject nonsensical specs (negative times, out-of-range cores,
+     * non-positive storm multipliers, negative stuck positions) with a
+     * descriptive ConfigError.
+     *
+     * @param coreCount Cores on the chip the plan will attach to.
+     */
+    void validate(size_t coreCount) const;
+};
+
+} // namespace agsim::fault
+
+#endif // AGSIM_FAULT_FAULT_PLAN_H

@@ -66,11 +66,13 @@ DidtModel::worstDepth(const std::vector<Volts> &worstAmps) const
 
 DidtSample
 DidtModel::step(const std::vector<Volts> &typicalAmps,
-                const std::vector<Volts> &worstAmps, Seconds dt)
+                const std::vector<Volts> &worstAmps, Seconds dt,
+                double rateScale)
 {
     panicIf(typicalAmps.size() != worstAmps.size(),
             "didt amplitude vector size mismatch");
     panicIf(dt < 0.0, "negative didt step");
+    panicIf(rateScale <= 0.0, "droop rate scale must be positive");
 
     DidtSample sample;
     sample.typicalMean = typicalLevel(typicalAmps);
@@ -82,7 +84,7 @@ DidtModel::step(const std::vector<Volts> &typicalAmps,
 
     const size_t active = activeCount(worstAmps);
     if (active > 0) {
-        const double rate = params_.droopRatePerSecond *
+        const double rate = rateScale * params_.droopRatePerSecond *
                             (1.0 + params_.ratePerExtraCore *
                              double(active - 1));
         sample.droopEvents = rng_.poisson(rate * dt);

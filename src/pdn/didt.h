@@ -92,9 +92,14 @@ class DidtModel
     /**
      * Advance one step: draw the instantaneous ripple and any worst-case
      * droop arrivals within dt.
+     *
+     * @param rateScale Multiplier on the droop arrival rate (fault
+     *        injection's droop storms; 1.0 = nominal). Depth scaling is
+     *        applied by the caller through the amplitude vectors.
      */
     DidtSample step(const std::vector<Volts> &typicalAmps,
-                    const std::vector<Volts> &worstAmps, Seconds dt);
+                    const std::vector<Volts> &worstAmps, Seconds dt,
+                    double rateScale = 1.0);
 
     /** Deterministic reseed (per-run reproducibility). */
     void reseed(uint64_t seed, uint64_t stream = 0);

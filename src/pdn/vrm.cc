@@ -41,6 +41,10 @@ void
 Vrm::setSetpoint(size_t rail, Volts v)
 {
     Rail &r = railAt(rail);
+    // A stuck DAC silently drops the write; the rail holds its last
+    // programmed value until the fault clears.
+    if (r.dacStuck)
+        return;
     const Volts clamped = std::clamp(v, r.params.minSetpoint,
                                      r.params.maxSetpoint);
     // Quantize to the DAC step, biased toward the safe (higher) side so a
@@ -71,7 +75,8 @@ Volts
 Vrm::outputAt(size_t rail, Amps current) const
 {
     const Rail &r = railAt(rail);
-    return r.setpoint - r.params.loadlineResistance * current;
+    return r.setpoint + r.dacOffset -
+           r.params.loadlineResistance * current;
 }
 
 Volts
@@ -91,6 +96,39 @@ const RailParams &
 Vrm::railParams(size_t rail) const
 {
     return railAt(rail).params;
+}
+
+void
+Vrm::injectDacStuck(size_t rail, bool stuck)
+{
+    railAt(rail).dacStuck = stuck;
+}
+
+void
+Vrm::injectDacOffset(size_t rail, Volts offset)
+{
+    railAt(rail).dacOffset = offset;
+}
+
+bool
+Vrm::dacStuck(size_t rail) const
+{
+    return railAt(rail).dacStuck;
+}
+
+Volts
+Vrm::dacOffset(size_t rail) const
+{
+    return railAt(rail).dacOffset;
+}
+
+void
+Vrm::clearFaults()
+{
+    for (auto &rail : rails_) {
+        rail.dacStuck = false;
+        rail.dacOffset = 0.0;
+    }
 }
 
 } // namespace agsim::pdn

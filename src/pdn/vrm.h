@@ -75,12 +75,39 @@ class Vrm
     /** Rail parameters. */
     const RailParams &railParams(size_t rail) const;
 
+    /** @name Fault-injection points (see src/fault/) */
+    /// @{
+
+    /**
+     * A stuck DAC ignores subsequent setSetpoint() calls (the rail holds
+     * its last programmed value) until the fault clears.
+     */
+    void injectDacStuck(size_t rail, bool stuck);
+
+    /**
+     * A DAC offset shifts the *delivered* voltage without changing the
+     * programmed setpoint: the firmware keeps believing it programmed
+     * setpoint(), the silicon sees setpoint() + offset. Models
+     * step-quantization/reference error; negative = under-delivery.
+     */
+    void injectDacOffset(size_t rail, Volts offset);
+
+    bool dacStuck(size_t rail) const;
+    Volts dacOffset(size_t rail) const;
+
+    /** Clear injected fault state on every rail. */
+    void clearFaults();
+
+    /// @}
+
   private:
     struct Rail
     {
         RailParams params;
         Volts setpoint;
         Amps lastCurrent = 0.0;
+        bool dacStuck = false;
+        Volts dacOffset = 0.0;
     };
 
     const Rail &railAt(size_t rail) const;

@@ -62,6 +62,16 @@ CpmBank::read(size_t index, Volts v, Hertz f) const
 int
 CpmBank::minRead(Volts v, Hertz f) const
 {
+    // Injected sensor faults override or shift what the hardware would
+    // report: a dark bank pegs high, a stuck bank repeats one position,
+    // a biased bank reads as if the voltage were biasVolts higher.
+    if (fault_.dropout)
+        return cpms_.front().params().positions - 1;
+    if (fault_.stuckPosition >= 0) {
+        return std::min(fault_.stuckPosition,
+                        cpms_.front().params().positions - 1);
+    }
+    v += fault_.biasVolts;
     int lowest = cpms_.front().read(v, f);
     for (size_t i = 1; i < cpms_.size(); ++i)
         lowest = std::min(lowest, cpms_[i].read(v, f));
@@ -99,7 +109,24 @@ CpmBank::controlBias(Hertz f) const
     Volts lowest = cpms_.front().controlBias(f);
     for (size_t i = 1; i < cpms_.size(); ++i)
         lowest = std::min(lowest, cpms_[i].controlBias(f));
-    return lowest;
+    return lowest + fault_.biasVolts;
+}
+
+Volts
+CpmBank::controlVoltage(Volts vTrue, Hertz f) const
+{
+    // A stuck or dark bank decouples the loop from the true voltage
+    // entirely: the loop believes the constant voltage the (faulty)
+    // reading implies. Dropout pegs the detector high, which inverts to
+    // maximal margin — the most dangerous lie a sensor can tell.
+    if (fault_.dropout) {
+        return cpms_.front().positionToVoltage(
+            double(cpms_.front().params().positions - 1), f);
+    }
+    if (fault_.stuckPosition >= 0)
+        return cpms_.front().positionToVoltage(
+            double(fault_.stuckPosition), f);
+    return vTrue + controlBias(f);
 }
 
 const Cpm &
@@ -124,6 +151,20 @@ ChipCpmArray::bank(size_t core) const
 {
     panicIf(core >= banks_.size(), "core index out of range");
     return banks_[core];
+}
+
+CpmBank &
+ChipCpmArray::bank(size_t core)
+{
+    panicIf(core >= banks_.size(), "core index out of range");
+    return banks_[core];
+}
+
+void
+ChipCpmArray::clearFaults()
+{
+    for (auto &bank : banks_)
+        bank.clearFault();
 }
 
 double

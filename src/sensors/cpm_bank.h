@@ -27,6 +27,30 @@
 namespace agsim::sensors {
 
 /**
+ * Injected sensor-fault state for one core's CPM bank (see src/fault/).
+ *
+ * Value semantics: the fault subsystem computes the active state each
+ * step and the chip copies it into the bank; a default-constructed
+ * CpmFault means a healthy bank.
+ */
+struct CpmFault
+{
+    /** Bank is dark: every read pegs at positions-1, and the control
+     *  path believes the detector's maximal margin. */
+    bool dropout = false;
+    /** >= 0: every read returns this position and the control path
+     *  believes the corresponding (constant) voltage. */
+    int stuckPosition = -1;
+    /** Volts of margin the bank over-reports (optimistic when > 0). */
+    Volts biasVolts = 0.0;
+
+    bool any() const
+    {
+        return dropout || stuckPosition >= 0 || biasVolts != 0.0;
+    }
+};
+
+/**
  * The 5 CPMs of one core.
  */
 class CpmBank
@@ -63,15 +87,36 @@ class CpmBank
     /**
      * The control-path voltage bias of this core: the DPLL follows the
      * *lowest* CPM, so the most pessimistic residual calibration error
-     * in the bank governs.
+     * in the bank governs. Includes any injected bias fault.
      */
     Volts controlBias(Hertz f) const;
+
+    /**
+     * The voltage the control loop *believes* the core sits at: the
+     * true voltage shifted by the bank's calibration residual — or, if
+     * the bank is stuck/dark, the constant voltage implied by the faulty
+     * reading (the loop cannot tell a pegged detector from real margin).
+     */
+    Volts controlVoltage(Volts vTrue, Hertz f) const;
+
+    /** @name Fault-injection point (see src/fault/) */
+    /// @{
+    void setFault(const CpmFault &fault) { fault_ = fault; }
+    void clearFault() { fault_ = CpmFault(); }
+    const CpmFault &fault() const { return fault_; }
+    /** Whether the loop is blind to transient droops (dark/stuck bank). */
+    bool blind() const
+    {
+        return fault_.dropout || fault_.stuckPosition >= 0;
+    }
+    /// @}
 
     /** Access an instance (e.g. for voltage inversion). */
     const Cpm &cpm(size_t index) const;
 
   private:
     std::vector<Cpm> cpms_;
+    CpmFault fault_;
 };
 
 /**
@@ -86,6 +131,12 @@ class ChipCpmArray
     size_t coreCount() const { return banks_.size(); }
 
     const CpmBank &bank(size_t core) const;
+
+    /** Mutable access (fault injection writes per-step fault state). */
+    CpmBank &bank(size_t core);
+
+    /** Clear injected fault state on every bank. */
+    void clearFaults();
 
     /**
      * Chip-wide mean raw position given per-core voltages and

@@ -43,6 +43,12 @@ Telemetry::step(const StepObservation &obs, Seconds dt)
     currentSum_ += obs.railCurrent * dt;
     setpointSum_ += obs.setpoint * dt;
     decompositionSum_ = decompositionSum_ + obs.decomposition.scaled(dt);
+    emergencySum_ += obs.timingEmergencies;
+    demotionSum_ += obs.safetyDemotions;
+    if (!marginSeen_ || obs.worstMargin < marginMin_) {
+        marginMin_ = obs.worstMargin;
+        marginSeen_ = true;
+    }
 
     // Close as many windows as the elapsed time covers (dt is normally
     // much smaller than the window, so at most one).
@@ -70,6 +76,9 @@ Telemetry::closeWindow()
     window.meanRailCurrent = currentSum_ / w;
     window.meanSetpoint = setpointSum_ / w;
     window.meanDecomposition = decompositionSum_.scaled(1.0 / w);
+    window.emergencyCount = emergencySum_;
+    window.demotionCount = demotionSum_;
+    window.worstMargin = marginSeen_ ? marginMin_ : 0.0;
     windows_.push_back(std::move(window));
     if (params_.maxWindows > 0 && windows_.size() > params_.maxWindows)
         windows_.erase(windows_.begin());
@@ -83,6 +92,10 @@ Telemetry::closeWindow()
     setpointSum_ = 0.0;
     decompositionSum_ = pdn::DropDecomposition();
     weightSum_ = 0.0;
+    emergencySum_ = 0;
+    demotionSum_ = 0;
+    marginMin_ = 0.0;
+    marginSeen_ = false;
 }
 
 const TelemetryWindow &

@@ -51,6 +51,12 @@ struct StepObservation
     Volts setpoint = 0.0;
     /** Drop decomposition this step (core 0 view). */
     pdn::DropDecomposition decomposition;
+    /** Cores whose effective voltage fell below vmin this step. */
+    int timingEmergencies = 0;
+    /** Safety-monitor demotion events this step (0 or 1). */
+    int safetyDemotions = 0;
+    /** Worst true timing margin across non-gated cores (volts). */
+    Volts worstMargin = 0.0;
 };
 
 /** One completed 32 ms telemetry window. */
@@ -74,6 +80,12 @@ struct TelemetryWindow
     Volts meanSetpoint = 0.0;
     /** Mean drop decomposition. */
     pdn::DropDecomposition meanDecomposition;
+    /** Timing emergencies accumulated over the window. */
+    long emergencyCount = 0;
+    /** Safety-monitor demotions over the window. */
+    long demotionCount = 0;
+    /** Worst true timing margin seen during the window (volts). */
+    Volts worstMargin = 0.0;
 };
 
 /**
@@ -120,6 +132,10 @@ class Telemetry
     double setpointSum_ = 0.0;
     pdn::DropDecomposition decompositionSum_;
     double weightSum_ = 0.0;
+    long emergencySum_ = 0;
+    long demotionSum_ = 0;
+    Volts marginMin_ = 0.0;
+    bool marginSeen_ = false;
 
     std::vector<TelemetryWindow> windows_;
 };

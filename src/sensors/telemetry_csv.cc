@@ -19,7 +19,7 @@ writeTelemetryCsv(const Telemetry &telemetry, std::ostream &out)
             << ",voltage_mv_" << core << ",freq_mhz_" << core;
     }
     out << ",loadline_mv,ir_global_mv,ir_local_mv,didt_typ_mv,"
-           "didt_worst_mv\n";
+           "didt_worst_mv,emergencies,demotions,worst_margin_mv\n";
 
     out << std::fixed;
     for (const auto &window : windows) {
@@ -37,7 +37,9 @@ writeTelemetryCsv(const Telemetry &telemetry, std::ostream &out)
         const auto &d = window.meanDecomposition;
         out << ',' << std::setprecision(2) << d.loadline * 1e3 << ','
             << d.irGlobal * 1e3 << ',' << d.irLocal * 1e3 << ','
-            << d.typicalDidt * 1e3 << ',' << d.worstDidt * 1e3 << '\n';
+            << d.typicalDidt * 1e3 << ',' << d.worstDidt * 1e3 << ','
+            << window.emergencyCount << ',' << window.demotionCount
+            << ',' << window.worstMargin * 1e3 << '\n';
     }
     return windows.size();
 }

@@ -42,7 +42,25 @@ runBatchTask(const BatchTask &task)
     return result;
 }
 
-BatchRunner::BatchRunner(size_t workers)
+namespace {
+
+/** Human-readable message for a captured task exception. */
+std::string
+exceptionMessage(const std::exception_ptr &error)
+{
+    try {
+        std::rethrow_exception(error);
+    } catch (const std::exception &e) {
+        return e.what();
+    } catch (...) {
+        return "unknown exception";
+    }
+}
+
+} // namespace
+
+BatchRunner::BatchRunner(size_t workers, BatchErrorPolicy policy)
+    : policy_(policy)
 {
     if (workers == 0)
         workers = hardwareWorkers();
@@ -71,31 +89,70 @@ BatchRunner::submit(BatchTask task)
         index = submitted_++;
         results_.resize(submitted_);
         errors_.resize(submitted_);
+        taskLabels_.resize(submitted_);
+        taskLabels_[index] = task.label;
         queue_.emplace_back(index, std::move(task));
     }
     workReady_.notify_one();
     return index;
 }
 
+BatchRunner::Round
+BatchRunner::collectRound()
+{
+    Round round;
+    std::unique_lock<std::mutex> lock(mutex_);
+    roundDone_.wait(lock, [this] { return completed_ == submitted_; });
+    round.results = std::move(results_);
+    round.errors = std::move(errors_);
+    round.labels = std::move(taskLabels_);
+    results_.clear();
+    errors_.clear();
+    taskLabels_.clear();
+    submitted_ = 0;
+    completed_ = 0;
+    lastErrors_.clear();
+    return round;
+}
+
+std::vector<BatchTaskError>
+BatchRunner::captureErrors(const Round &round)
+{
+    std::vector<BatchTaskError> captured;
+    for (size_t i = 0; i < round.errors.size(); ++i) {
+        if (!round.errors[i])
+            continue;
+        captured.push_back({i, round.labels[i],
+                            exceptionMessage(round.errors[i])});
+    }
+    return captured;
+}
+
 std::vector<BatchResult>
 BatchRunner::wait()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    roundDone_.wait(lock, [this] { return completed_ == submitted_; });
-
-    std::vector<BatchResult> results = std::move(results_);
-    std::vector<std::exception_ptr> errors = std::move(errors_);
-    results_.clear();
-    errors_.clear();
-    submitted_ = 0;
-    completed_ = 0;
-    lock.unlock();
-
-    for (const auto &error : errors) {
-        if (error)
-            std::rethrow_exception(error);
+    Round round = collectRound();
+    if (policy_ == BatchErrorPolicy::AbortOnFirstError) {
+        for (const auto &error : round.errors) {
+            if (error)
+                std::rethrow_exception(error);
+        }
+    } else {
+        lastErrors_ = captureErrors(round);
     }
-    return results;
+    return std::move(round.results);
+}
+
+BatchOutcome
+BatchRunner::waitOutcome()
+{
+    Round round = collectRound();
+    BatchOutcome outcome;
+    outcome.errors = captureErrors(round);
+    outcome.results = std::move(round.results);
+    if (policy_ == BatchErrorPolicy::ContinueOnError)
+        lastErrors_ = outcome.errors;
+    return outcome;
 }
 
 void
@@ -158,6 +215,31 @@ BatchRunner::runAll(std::vector<BatchTask> tasks, size_t workers)
     for (auto &task : tasks)
         runner.submit(std::move(task));
     return runner.wait();
+}
+
+BatchOutcome
+BatchRunner::runAllPartial(std::vector<BatchTask> tasks, size_t workers)
+{
+    if (workers == 0)
+        workers = hardwareWorkers();
+    if (workers == 1 || tasks.size() <= 1) {
+        // Inline serial path, mirroring runAll's 1-worker behaviour.
+        BatchOutcome outcome;
+        outcome.results.resize(tasks.size());
+        for (size_t i = 0; i < tasks.size(); ++i) {
+            try {
+                outcome.results[i] = runBatchTask(tasks[i]);
+            } catch (const std::exception &e) {
+                outcome.errors.push_back({i, tasks[i].label, e.what()});
+            }
+        }
+        return outcome;
+    }
+    BatchRunner runner(std::min(workers, tasks.size()),
+                       BatchErrorPolicy::ContinueOnError);
+    for (auto &task : tasks)
+        runner.submit(std::move(task));
+    return runner.waitOutcome();
 }
 
 } // namespace agsim::system

@@ -66,6 +66,34 @@ struct BatchTask
     std::string label;
 };
 
+/** How the runner handles a task that throws. */
+enum class BatchErrorPolicy
+{
+    /**
+     * wait() rethrows the first failure (submission order) and the
+     * whole round's results are discarded — the historical behaviour,
+     * right for experiments where any failure invalidates the sweep.
+     */
+    AbortOnFirstError,
+    /**
+     * wait() never throws: failed tasks leave default-constructed
+     * result slots and are reported through lastErrors()/waitOutcome(),
+     * so one bad point no longer discards a whole sweep.
+     */
+    ContinueOnError,
+};
+
+/** One captured task failure (ContinueOnError). */
+struct BatchTaskError
+{
+    /** Submission index of the failed task this round. */
+    size_t taskIndex = 0;
+    /** The task's label. */
+    std::string label;
+    /** The exception's message. */
+    std::string message;
+};
+
 /** Outcome of one BatchTask. */
 struct BatchResult
 {
@@ -81,6 +109,21 @@ struct BatchResult
     std::vector<std::vector<Hertz>> finalCoreFrequency;
     /** Host wall-clock seconds this task took to execute. */
     Seconds wallTime = 0.0;
+};
+
+/** Results plus captured failures for one round. */
+struct BatchOutcome
+{
+    /**
+     * Results in submission order, one slot per submitted task; a
+     * failed task's slot is default-constructed (empty label) and its
+     * index appears in `errors`.
+     */
+    std::vector<BatchResult> results;
+    /** Captured failures, ordered by task index. */
+    std::vector<BatchTaskError> errors;
+
+    bool ok() const { return errors.empty(); }
 };
 
 /**
@@ -108,8 +151,11 @@ class BatchRunner
     /**
      * @param workers Pool size; 0 means hardwareWorkers(). A size of 1
      *        still runs tasks on a (single) worker thread.
+     * @param policy What to do when a task throws; see BatchErrorPolicy.
      */
-    explicit BatchRunner(size_t workers = 0);
+    explicit BatchRunner(size_t workers = 0,
+                         BatchErrorPolicy policy =
+                             BatchErrorPolicy::AbortOnFirstError);
 
     /** Joins the pool (any unconsumed results are discarded). */
     ~BatchRunner();
@@ -123,12 +169,35 @@ class BatchRunner
     /** Enqueue a task; returns its submission index for this round. */
     size_t submit(BatchTask task);
 
+    /** The error policy this runner was built with. */
+    BatchErrorPolicy errorPolicy() const { return policy_; }
+
     /**
      * Block until every submitted task finished; returns the results in
-     * submission order and resets the round. If any task threw, the
-     * first exception (in submission order) is rethrown.
+     * submission order and resets the round.
+     *
+     * Under AbortOnFirstError (the default), if any task threw the
+     * first exception (in submission order) is rethrown. Under
+     * ContinueOnError nothing is rethrown: failed tasks leave
+     * default-constructed result slots and their captured errors are
+     * available from lastErrors() until the next wait().
      */
     std::vector<BatchResult> wait();
+
+    /**
+     * Like wait(), but never throws for task failures regardless of
+     * policy: results and captured errors come back together.
+     */
+    BatchOutcome waitOutcome();
+
+    /**
+     * Errors captured by the most recent wait()/waitOutcome() round
+     * (ContinueOnError only; empty under AbortOnFirstError).
+     */
+    const std::vector<BatchTaskError> &lastErrors() const
+    {
+        return lastErrors_;
+    }
 
     /** Default pool size: the machine's hardware concurrency (>= 1). */
     static size_t hardwareWorkers();
@@ -141,15 +210,36 @@ class BatchRunner
     static std::vector<BatchResult> runAll(std::vector<BatchTask> tasks,
                                            size_t workers = 0);
 
-  private:
-    void workerLoop();
+    /**
+     * Convenience: run `tasks` with ContinueOnError semantics on a
+     * transient pool, returning partial results plus captured errors.
+     * `workers == 1` executes inline on the calling thread.
+     */
+    static BatchOutcome runAllPartial(std::vector<BatchTask> tasks,
+                                      size_t workers = 0);
 
+  private:
+    /** One finished round's raw state, moved out under the lock. */
+    struct Round
+    {
+        std::vector<BatchResult> results;
+        std::vector<std::exception_ptr> errors;
+        std::vector<std::string> labels;
+    };
+
+    void workerLoop();
+    Round collectRound();
+    static std::vector<BatchTaskError> captureErrors(const Round &round);
+
+    const BatchErrorPolicy policy_;
     std::mutex mutex_;
     std::condition_variable workReady_;
     std::condition_variable roundDone_;
     std::deque<std::pair<size_t, BatchTask>> queue_;
     std::vector<BatchResult> results_;
     std::vector<std::exception_ptr> errors_;
+    std::vector<std::string> taskLabels_;
+    std::vector<BatchTaskError> lastErrors_;
     size_t submitted_ = 0;
     size_t completed_ = 0;
     bool stopping_ = false;

@@ -4,11 +4,24 @@
 
 namespace agsim::system {
 
+void
+ServerConfig::validate() const
+{
+    fatalIf(socketCount == 0, "server needs at least one socket");
+    fatalIf(platformPower < 0.0, "negative platform power");
+    fatalIf(rail.loadlineResistance < 0.0,
+            "negative loadline resistance");
+    fatalIf(rail.minSetpoint > rail.maxSetpoint,
+            "empty rail setpoint window");
+    fatalIf(rail.setpointStep <= 0.0,
+            "rail setpoint step must be positive");
+    chipTemplate.validate();
+}
+
 Server::Server(const ServerConfig &config)
     : config_(config), vrm_(config.socketCount, config.rail)
 {
-    fatalIf(config_.socketCount == 0, "server needs at least one socket");
-    fatalIf(config_.platformPower < 0.0, "negative platform power");
+    config_.validate();
     chips_.reserve(config_.socketCount);
     for (size_t socket = 0; socket < config_.socketCount; ++socket) {
         chip::ChipConfig chipConfig = config_.chipTemplate;

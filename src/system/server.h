@@ -36,6 +36,13 @@ struct ServerConfig
     chip::ChipConfig chipTemplate;
     /** Constant platform (memory/disk/network/fans) power. */
     Watts platformPower = 120.0;
+
+    /**
+     * Reject nonsensical values (zero sockets, negative platform power,
+     * bad rail electricals, invalid chip template) with a descriptive
+     * ConfigError. Called by the Server constructor.
+     */
+    void validate() const;
 };
 
 /**

@@ -155,5 +155,106 @@ TEST(RunBatch, EmptyBatchIsEmpty)
     EXPECT_TRUE(BatchRunner::runAll({}, 4).empty());
 }
 
+TEST(RunBatch, ContinueOnErrorReturnsPartialResults)
+{
+    auto spec = makeSpec(
+        "raytrace", 1, chip::GuardbandMode::StaticGuardband, 0.05);
+
+    BatchRunner runner(2, BatchErrorPolicy::ContinueOnError);
+    EXPECT_EQ(runner.errorPolicy(), BatchErrorPolicy::ContinueOnError);
+
+    auto good0 = core::makeBatchTask(spec);
+    good0.label = "good0";
+    BatchTask bad; // no jobs: runBatchTask rejects it on the worker
+    bad.label = "badTask";
+    auto good2 = core::makeBatchTask(spec);
+    good2.label = "good2";
+
+    runner.submit(std::move(good0));
+    runner.submit(std::move(bad));
+    runner.submit(std::move(good2));
+
+    std::vector<BatchResult> results;
+    EXPECT_NO_THROW(results = runner.wait());
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].label, "good0");
+    EXPECT_EQ(results[1].label, ""); // failed slot: default-constructed
+    EXPECT_EQ(results[2].label, "good2");
+    EXPECT_GT(results[0].metrics.totalChipPower, 0.0);
+    EXPECT_GT(results[2].metrics.totalChipPower, 0.0);
+
+    ASSERT_EQ(runner.lastErrors().size(), 1u);
+    EXPECT_EQ(runner.lastErrors()[0].taskIndex, 1u);
+    EXPECT_EQ(runner.lastErrors()[0].label, "badTask");
+    EXPECT_NE(runner.lastErrors()[0].message.find("job"),
+              std::string::npos);
+
+    // The next round starts with a clean error slate.
+    runner.submit(core::makeBatchTask(spec));
+    EXPECT_EQ(runner.wait().size(), 1u);
+    EXPECT_TRUE(runner.lastErrors().empty());
+}
+
+TEST(RunBatch, WaitOutcomeCapturesErrorsUnderBothPolicies)
+{
+    auto spec = makeSpec(
+        "raytrace", 1, chip::GuardbandMode::StaticGuardband, 0.05);
+
+    for (auto policy : {BatchErrorPolicy::AbortOnFirstError,
+                        BatchErrorPolicy::ContinueOnError}) {
+        BatchRunner runner(2, policy);
+        auto good = core::makeBatchTask(spec);
+        good.label = "good";
+        runner.submit(std::move(good));
+        runner.submit(BatchTask()); // fails: no jobs
+
+        BatchOutcome outcome;
+        EXPECT_NO_THROW(outcome = runner.waitOutcome());
+        EXPECT_FALSE(outcome.ok());
+        ASSERT_EQ(outcome.results.size(), 2u);
+        EXPECT_EQ(outcome.results[0].label, "good");
+        ASSERT_EQ(outcome.errors.size(), 1u);
+        EXPECT_EQ(outcome.errors[0].taskIndex, 1u);
+    }
+}
+
+TEST(RunBatch, RunAllPartialMatchesSerialAndParallel)
+{
+    auto spec = makeSpec(
+        "raytrace", 1, chip::GuardbandMode::StaticGuardband, 0.05);
+
+    for (size_t workers : {size_t(1), size_t(4)}) {
+        std::vector<BatchTask> tasks;
+        tasks.push_back(core::makeBatchTask(spec));
+        tasks[0].label = "ok0";
+        tasks.push_back(BatchTask()); // fails
+        tasks[1].label = "broken";
+        tasks.push_back(core::makeBatchTask(spec));
+        tasks[2].label = "ok2";
+
+        const BatchOutcome outcome =
+            BatchRunner::runAllPartial(std::move(tasks), workers);
+        ASSERT_EQ(outcome.results.size(), 3u) << workers << " workers";
+        EXPECT_EQ(outcome.results[0].label, "ok0");
+        EXPECT_EQ(outcome.results[2].label, "ok2");
+        ASSERT_EQ(outcome.errors.size(), 1u);
+        EXPECT_EQ(outcome.errors[0].taskIndex, 1u);
+        EXPECT_EQ(outcome.errors[0].label, "broken");
+        EXPECT_FALSE(outcome.errors[0].message.empty());
+    }
+}
+
+TEST(RunBatch, AllClearOutcomeIsOk)
+{
+    auto spec = makeSpec(
+        "raytrace", 1, chip::GuardbandMode::StaticGuardband, 0.05);
+    std::vector<BatchTask> tasks;
+    tasks.push_back(core::makeBatchTask(spec));
+    const BatchOutcome outcome =
+        BatchRunner::runAllPartial(std::move(tasks), 1);
+    EXPECT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.results.size(), 1u);
+}
+
 } // namespace
 } // namespace agsim::system

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Configuration validation tests: ChipConfig, ServerConfig, and
+ * UndervoltControllerParams must reject nonsensical values with
+ * ConfigError at construction time instead of misbehaving at runtime.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip/chip.h"
+#include "chip/chip_config.h"
+#include "chip/undervolt_controller.h"
+#include "common/error.h"
+#include "pdn/vrm.h"
+#include "system/server.h"
+
+namespace agsim {
+namespace {
+
+using chip::ChipConfig;
+using chip::UndervoltControllerParams;
+using system::Server;
+using system::ServerConfig;
+
+TEST(ChipConfigValidation, DefaultsAreValid)
+{
+    EXPECT_NO_THROW(ChipConfig().validate());
+}
+
+TEST(ChipConfigValidation, RejectsNonsense)
+{
+    ChipConfig config;
+    config.coreCount = 0;
+    EXPECT_THROW(config.validate(), ConfigError);
+
+    config = ChipConfig();
+    config.cpmsPerCore = 0;
+    EXPECT_THROW(config.validate(), ConfigError);
+
+    config = ChipConfig();
+    config.targetFrequency = 0.0;
+    EXPECT_THROW(config.validate(), ConfigError);
+
+    config = ChipConfig();
+    config.firmwareInterval = -1e-3;
+    EXPECT_THROW(config.validate(), ConfigError);
+
+    config = ChipConfig();
+    config.fixedPointIterations = 0;
+    EXPECT_THROW(config.validate(), ConfigError);
+
+    config = ChipConfig();
+    config.solverTolerance = -1e-9;
+    EXPECT_THROW(config.validate(), ConfigError);
+
+    config = ChipConfig();
+    config.rippleTrackingLoss = 1.5;
+    EXPECT_THROW(config.validate(), ConfigError);
+}
+
+TEST(ChipConfigValidation, ChipConstructorValidates)
+{
+    pdn::Vrm vrm(1);
+    ChipConfig config;
+    config.firmwareInterval = 0.0;
+    EXPECT_THROW(chip::Chip(config, &vrm), ConfigError);
+}
+
+TEST(UndervoltParamsValidation, RejectsNonsense)
+{
+    UndervoltControllerParams params;
+    EXPECT_NO_THROW(params.validate());
+
+    params = UndervoltControllerParams();
+    params.voltageStep = 0.0;
+    EXPECT_THROW(params.validate(), ConfigError);
+
+    params = UndervoltControllerParams();
+    params.maxUndervolt = 0.0;
+    EXPECT_THROW(params.validate(), ConfigError);
+
+    params = UndervoltControllerParams();
+    params.maxUndervolt = -0.05;
+    EXPECT_THROW(params.validate(), ConfigError);
+
+    params = UndervoltControllerParams();
+    params.upThreshold = -1.0;
+    EXPECT_THROW(params.validate(), ConfigError);
+
+    // Equal or inverted thresholds would limit-cycle the setpoint.
+    params = UndervoltControllerParams();
+    params.downThreshold = params.upThreshold;
+    EXPECT_THROW(params.validate(), ConfigError);
+
+    params = UndervoltControllerParams();
+    params.downThreshold = params.upThreshold - 1.0;
+    EXPECT_THROW(params.validate(), ConfigError);
+}
+
+TEST(UndervoltParamsValidation, ControllerConstructorValidates)
+{
+    UndervoltControllerParams params;
+    params.voltageStep = -1e-3;
+    EXPECT_THROW(chip::UndervoltController{params}, ConfigError);
+}
+
+TEST(ServerConfigValidation, DefaultsAreValid)
+{
+    EXPECT_NO_THROW(ServerConfig().validate());
+}
+
+TEST(ServerConfigValidation, RejectsNonsense)
+{
+    ServerConfig config;
+    config.socketCount = 0;
+    EXPECT_THROW(config.validate(), ConfigError);
+
+    config = ServerConfig();
+    config.platformPower = -10.0;
+    EXPECT_THROW(config.validate(), ConfigError);
+
+    config = ServerConfig();
+    config.rail.loadlineResistance = -1e-3;
+    EXPECT_THROW(config.validate(), ConfigError);
+
+    config = ServerConfig();
+    config.rail.minSetpoint = config.rail.maxSetpoint + 0.1;
+    EXPECT_THROW(config.validate(), ConfigError);
+
+    config = ServerConfig();
+    config.rail.setpointStep = 0.0;
+    EXPECT_THROW(config.validate(), ConfigError);
+
+    // Chip template errors surface through the server's validate too.
+    config = ServerConfig();
+    config.chipTemplate.coreCount = 0;
+    EXPECT_THROW(config.validate(), ConfigError);
+
+    config = ServerConfig();
+    config.chipTemplate.undervolt.maxUndervolt = -0.01;
+    EXPECT_THROW(config.validate(), ConfigError);
+
+    config = ServerConfig();
+    config.chipTemplate.safety.emergencyBudget = 0;
+    EXPECT_THROW(config.validate(), ConfigError);
+}
+
+TEST(ServerConfigValidation, ServerConstructorValidates)
+{
+    ServerConfig config;
+    config.platformPower = -1.0;
+    EXPECT_THROW(Server{config}, ConfigError);
+}
+
+} // namespace
+} // namespace agsim
