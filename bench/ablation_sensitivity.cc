@@ -173,9 +173,12 @@ main(int argc, char **argv)
     stats::TablePrinter cluster;
     cluster.setHeader({"strategy", "servers on", "chip (W)",
                        "platform (W)", "total (W)"});
+    double bestTotalPower = 0.0;
     for (const auto &eval : core::evaluateAllClusterStrategies(
              clusterSpec, workload::byName("raytrace"), 8,
              options.jobs)) {
+        if (bestTotalPower == 0.0 || eval.totalPower < bestTotalPower)
+            bestTotalPower = eval.totalPower;
         cluster.addNumericRow(core::clusterStrategyName(eval.strategy),
                               {double(eval.activeServers),
                                eval.chipPower, eval.platformPower,
@@ -185,5 +188,9 @@ main(int argc, char **argv)
     std::printf("%s", cluster.render().c_str());
     std::printf("\n(paper Sec. 5.1.1: consolidate onto the fewest "
                 "servers first, then loadline-borrow within each)\n");
+
+    auto summary = benchSummary("ablation_sensitivity", options);
+    summary.set("best_cluster_total_w", bestTotalPower);
+    finishBench(options, summary);
     return 0;
 }

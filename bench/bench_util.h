@@ -17,6 +17,8 @@
 
 #include "common/config.h"
 #include "core/ags.h"
+#include "obs/json_writer.h"
+#include "obs/observability.h"
 #include "stats/table.h"
 #include "workload/library.h"
 
@@ -35,8 +37,20 @@ struct BenchOptions
      * bit-identical for any value — see docs/PERFORMANCE.md.
      */
     size_t jobs = 1;
+    /** Chrome trace output path (trace=... / --trace=...); "" = off. */
+    std::string tracePath;
+    /** Metric snapshot path (metrics=... / --metrics=...); "" = off. */
+    std::string metricsPath;
     ParamSet params;
 };
+
+/** Read a key that may be spelled bare or with a leading "--". */
+inline std::string
+dashedOption(const ParamSet &params, const std::string &key)
+{
+    const std::string bare = params.getString(key, "");
+    return bare.empty() ? params.getString("--" + key, "") : bare;
+}
 
 /** Parse argv key=value options shared by all benches. */
 inline BenchOptions
@@ -50,6 +64,15 @@ parseOptions(int argc, char **argv)
                                                   int(options.seed)));
     options.chart = options.params.getBool("chart", options.chart);
     options.jobs = size_t(options.params.getInt("jobs", int(options.jobs)));
+    options.tracePath = dashedOption(options.params, "trace");
+    options.metricsPath = dashedOption(options.params, "metrics");
+    // Requesting an export arms the corresponding subsystem; with
+    // neither flag the gates stay off and the run pays no overhead
+    // beyond rare-event counters (measured by bench/perf_steps).
+    if (!options.tracePath.empty())
+        obs::setTracingEnabled(true);
+    if (!options.metricsPath.empty())
+        obs::setProfilingEnabled(true);
     return options;
 }
 
@@ -101,6 +124,40 @@ emitFigure(const std::vector<stats::Series> &series,
                 stats::renderSeriesTable(series, xLabel, precision).c_str());
     if (options.chart)
         std::printf("\n%s", stats::renderAsciiChart(series).c_str());
+}
+
+/** Start the bench's machine-readable summary with the shared keys. */
+inline obs::JsonLineWriter
+benchSummary(const std::string &name, const BenchOptions &options)
+{
+    obs::JsonLineWriter summary;
+    summary.set("bench", name);
+    summary.set("seed", int64_t(options.seed));
+    summary.set("measure", options.measure);
+    summary.set("warmup", options.warmup);
+    return summary;
+}
+
+/**
+ * Finish a bench: export the trace / metric snapshot if requested and
+ * print the single-line JSON summary (the one machine-readable record
+ * every bench emits, bench-specific fields included by the caller).
+ */
+inline void
+finishBench(const BenchOptions &options, obs::JsonLineWriter &summary)
+{
+    if (!options.tracePath.empty()) {
+        summary.set("trace_events", obs::trace().recorded());
+        summary.set("trace_dropped", obs::trace().dropped());
+        summary.set("trace_path", options.tracePath);
+        obs::writeChromeTrace(obs::trace(), options.tracePath);
+    }
+    if (!options.metricsPath.empty()) {
+        summary.set("metrics_path", options.metricsPath);
+        obs::writeTextFile(options.metricsPath,
+                           obs::registry().snapshotJson() + "\n");
+    }
+    obs::writeJsonLine(summary);
 }
 
 } // namespace agsim::bench

@@ -154,5 +154,11 @@ main(int argc, char **argv)
                 errorPct.mean(), errorPct.max());
     std::printf("  (the paper's middleware premise: one cheap linear "
                 "model serves arbitrary tenants)\n");
+
+    auto summary = benchSummary("ext_droop_analysis", options);
+    summary.set("predictor_rmse_pct", predictor.rmsePercent());
+    summary.set("unseen_mean_error_pct", errorPct.mean());
+    summary.set("unseen_worst_error_pct", errorPct.max());
+    finishBench(options, summary);
     return 0;
 }

@@ -108,5 +108,12 @@ main(int argc, char **argv)
                 "(%.2f kWh/day/server)\n",
                 100.0 * (1.0 - borrow.chipEnergy / cons.chipEnergy),
                 (cons.chipEnergy - borrow.chipEnergy) / 3.6e6);
+
+    auto summary = benchSummary("ext_dynamic_efficiency", options);
+    summary.set("daily_energy_saving_pct",
+                100.0 * (1.0 - borrow.chipEnergy / cons.chipEnergy));
+    summary.set("daily_saving_kwh",
+                (cons.chipEnergy - borrow.chipEnergy) / 3.6e6);
+    finishBench(options, summary);
     return 0;
 }

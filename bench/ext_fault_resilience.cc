@@ -174,19 +174,22 @@ main(int argc, char **argv)
         }
     }
 
-    std::printf("{\"bench\": \"ext_fault_resilience\", \"points\": [");
+    auto summary = bench::benchSummary("ext_fault_resilience", options);
+    std::string pointsJson = "[";
     for (size_t i = 0; i < points.size(); ++i) {
         const auto &p = points[i];
-        std::printf("%s{\"bias_mv\": %.1f, \"emergencies\": %lld, "
-                    "\"t_demote_ms\": %.1f, \"post_emergencies\": %lld, "
-                    "\"eff_delta_pct\": %.2f}",
-                    i == 0 ? "" : ", ", p.biasMv,
-                    (long long)p.emergencies,
-                    p.timeToDemotion >= 0.0 ? p.timeToDemotion * 1e3
-                                            : -1.0,
-                    (long long)p.postEmergencies, p.efficiencyDeltaPct);
+        obs::JsonLineWriter record;
+        record.set("bias_mv", p.biasMv);
+        record.set("emergencies", p.emergencies);
+        record.set("t_demote_ms", p.timeToDemotion >= 0.0
+                                      ? p.timeToDemotion * 1e3
+                                      : -1.0);
+        record.set("post_emergencies", p.postEmergencies);
+        record.set("eff_delta_pct", p.efficiencyDeltaPct);
+        pointsJson += (i == 0 ? "" : ", ") + record.str();
     }
-    std::printf("], \"seed\": %llu, \"measure\": %g}\n",
-                (unsigned long long)options.seed, options.measure);
+    pointsJson += "]";
+    summary.setRaw("points", pointsJson);
+    bench::finishBench(options, summary);
     return 0;
 }

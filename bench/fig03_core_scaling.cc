@@ -92,5 +92,15 @@ main(int argc, char **argv)
                 "(paper: ~20%% -> small)\n",
                 100.0 * (1.0 - adaptiveEdp.firstY() / staticEdp.firstY()),
                 100.0 * (1.0 - adaptiveEdp.lastY() / staticEdp.lastY()));
+
+    auto summary = benchSummary("fig03_core_scaling", options);
+    summary.set("workload", profile.name);
+    summary.set("saving_pct_1core", saving.firstY());
+    summary.set("saving_pct_8core", saving.lastY());
+    summary.set("edp_impr_pct_1core",
+                100.0 * (1.0 - adaptiveEdp.firstY() / staticEdp.firstY()));
+    summary.set("edp_impr_pct_8core",
+                100.0 * (1.0 - adaptiveEdp.lastY() / staticEdp.lastY()));
+    finishBench(options, summary);
     return 0;
 }

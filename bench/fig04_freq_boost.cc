@@ -82,5 +82,14 @@ main(int argc, char **argv)
                 "(paper: 8%% -> 3%%)\n",
                 100.0 * (staticTime.firstY() / adaptiveTime.firstY() - 1.0),
                 100.0 * (staticTime.lastY() / adaptiveTime.lastY() - 1.0));
+
+    auto summary = benchSummary("fig04_freq_boost", options);
+    summary.set("boost_pct_1core", boost.firstY());
+    summary.set("boost_pct_8core", boost.lastY());
+    summary.set("speedup_pct_1core",
+                100.0 * (staticTime.firstY() / adaptiveTime.firstY() - 1.0));
+    summary.set("speedup_pct_8core",
+                100.0 * (staticTime.lastY() / adaptiveTime.lastY() - 1.0));
+    finishBench(options, summary);
     return 0;
 }

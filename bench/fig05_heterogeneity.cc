@@ -67,5 +67,10 @@ main(int argc, char **argv)
     std::printf("\nsummary: power improvement spread %.1f pp @1 core vs "
                 "%.1f pp @8 cores (paper: magnified at 8)\n",
                 max1 - min1, max8 - min8);
+
+    auto summary = benchSummary("fig05_heterogeneity", options);
+    summary.set("spread_pp_1core", max1 - min1);
+    summary.set("spread_pp_8core", max8 - min8);
+    finishBench(options, summary);
     return 0;
 }

@@ -16,6 +16,7 @@
 #include "bench_util.h"
 #include "chip/chip.h"
 #include "pdn/vrm.h"
+#include "stats/accumulator.h"
 #include "stats/linear_fit.h"
 #include "stats/series.h"
 
@@ -97,5 +98,14 @@ main(int argc, char **argv)
     std::printf("%s", table.render().c_str());
     std::printf("\n(paper: average ~21 mV/bit at peak frequency; cores "
                 "1/3/5 spread wider than 2/6/7)\n");
+
+    stats::Accumulator chipMean;
+    for (size_t core = 0; core < chip.coreCount(); ++core) {
+        chipMean.add(toMilliVolts(
+            chip.cpmArray().bank(core).meanVoltsPerBit(4.2_GHz)));
+    }
+    auto summary = benchSummary("fig06_cpm_mapping", options);
+    summary.set("mean_mv_per_bit_peak", chipMean.mean());
+    finishBench(options, summary);
     return 0;
 }

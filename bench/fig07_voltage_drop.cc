@@ -10,6 +10,7 @@
  * calibration point (an idle chip).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
@@ -44,6 +45,7 @@ main(int argc, char **argv)
     for (size_t core = 0; core < refChip.coreCount(); ++core)
         idleDrop[core] = refChip.setpoint() - refChip.coreVoltage(core);
 
+    double minDrop1 = 1e9, maxDrop8 = -1e9;
     for (size_t watched : {0ul, 3ul, 7ul}) {
         std::printf("\n-- watched core %zu --\n", watched);
         std::vector<stats::Series> series;
@@ -65,6 +67,8 @@ main(int argc, char **argv)
                                    idleDrop[watched];
                 s.add(double(active), 100.0 * drop / 1.2);
             }
+            minDrop1 = std::min(minDrop1, s.firstY());
+            maxDrop8 = std::max(maxDrop8, s.lastY());
             series.push_back(std::move(s));
         }
         emitFigure(series, "cores", options, 2);
@@ -73,5 +77,10 @@ main(int argc, char **argv)
     std::printf("\n(drop shown relative to the idle-chip calibration "
                 "point, %% of 1.2 V; watched core 7 shows the local step "
                 "at its own activation)\n");
+
+    auto summary = benchSummary("fig07_voltage_drop", options);
+    summary.set("min_drop_pct_1core", minDrop1);
+    summary.set("max_drop_pct_8core", maxDrop8);
+    finishBench(options, summary);
     return 0;
 }

@@ -10,6 +10,7 @@
  * (alignment).
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -40,6 +41,7 @@ main(int argc, char **argv)
     ChipConfig config;
     config.seed = options.seed;
 
+    double maxTotalPct = 0.0;
     for (const char *name : benchmarks) {
         const auto &profile = workload::byName(name);
         pdn::Vrm vrm(1);
@@ -59,6 +61,7 @@ main(int argc, char **argv)
             }
             chip.settle(0.3);
             const auto &d = chip.decomposition(0);
+            maxTotalPct = std::max(maxTotalPct, 100.0 * d.total() / 1.2);
             table.addNumericRow(
                 std::to_string(active),
                 {toMilliVolts(d.loadline), toMilliVolts(d.irDrop()),
@@ -68,5 +71,9 @@ main(int argc, char **argv)
         }
         std::printf("\n(%s)\n%s", name, table.render().c_str());
     }
+
+    auto summary = benchSummary("fig09_decomposition", options);
+    summary.set("max_total_drop_pct", maxTotalPct);
+    finishBench(options, summary);
     return 0;
 }

@@ -93,5 +93,12 @@ main(int argc, char **argv)
                 vddVsSaving.correlation());
     std::printf("  (d) drop vs frequency boost: r=%+.3f\n",
                 dropVsBoost.correlation());
+
+    auto summary = benchSummary("fig10_correlation", options);
+    summary.set("r_power_vs_drop", powerVsDrop.correlation());
+    summary.set("r_drop_vs_undervolt", dropVsUndervolt.correlation());
+    summary.set("r_vdd_vs_saving", vddVsSaving.correlation());
+    summary.set("r_drop_vs_boost", dropVsBoost.correlation());
+    finishBench(options, summary);
     return 0;
 }

@@ -77,5 +77,11 @@ main(int argc, char **argv)
     std::printf("\nsummary: borrowing benefit %.1f%% @2, %.1f%% @4, "
                 "%.1f%% @8 cores (paper: 1.6/4.2/8.5%%)\n",
                 benefit.y(1), benefit.y(3), benefit.y(7));
+
+    auto summary = benchSummary("fig12_loadline_borrowing", options);
+    summary.set("benefit_pct_2core", benefit.y(1));
+    summary.set("benefit_pct_4core", benefit.y(3));
+    summary.set("benefit_pct_8core", benefit.y(7));
+    finishBench(options, summary);
     return 0;
 }

@@ -109,5 +109,10 @@ main(int argc, char **argv)
                 "%.1f%% (%.1fx) [paper: 5.5%% vs 13.8%%]\n",
                 baseAt8.mean(), borrowAt8.mean(),
                 borrowAt8.mean() / baseAt8.mean());
+
+    auto summary = benchSummary("fig13_borrowing_scaling", options);
+    summary.set("baseline_pct_8core", baseAt8.mean());
+    summary.set("borrowing_pct_8core", borrowAt8.mean());
+    finishBench(options, summary);
     return 0;
 }

@@ -124,5 +124,11 @@ main(int argc, char **argv)
                 "%.1f%%, mean energy improvement %.1f%% "
                 "[paper: 6.2%% / 7.7%%]\n",
                 rows.size(), power.mean(), energy.mean());
+
+    auto summary = benchSummary("fig14_all_workloads", options);
+    summary.set("workloads", int64_t(rows.size()));
+    summary.set("mean_power_impr_pct", power.mean());
+    summary.set("mean_energy_impr_pct", energy.mean());
+    finishBench(options, summary);
     return 0;
 }

@@ -99,5 +99,11 @@ main(int argc, char **argv)
                 "[paper: >100 MHz]\n",
                 luHeavy, toMegaHertz(coremarkOnly), mcfHeavy,
                 mcfHeavy - luHeavy);
+
+    auto summary = benchSummary("fig15_colocation", options);
+    summary.set("lu_cb_heavy_mhz", luHeavy);
+    summary.set("mcf_heavy_mhz", mcfHeavy);
+    summary.set("span_mhz", mcfHeavy - luHeavy);
+    finishBench(options, summary);
     return 0;
 }

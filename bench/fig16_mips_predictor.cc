@@ -67,5 +67,11 @@ main(int argc, char **argv)
                 predictor.predict(20000.0) / 1e6,
                 predictor.predict(80000.0) / 1e6,
                 predictor.maxMipsForFrequency(4.45e9));
+
+    auto summary = benchSummary("fig16_mips_predictor", options);
+    summary.set("rmse_pct", predictor.rmsePercent());
+    summary.set("r2", predictor.r2());
+    summary.set("observations", int64_t(predictor.observations()));
+    finishBench(options, summary);
     return 0;
 }

@@ -51,6 +51,7 @@ main(int argc, char **argv)
                      "mean p90 (ms)", "p10..p90 of p90 (ms)",
                      "violation (%)", "95% CI"});
 
+    auto summary = benchSummary("fig17_websearch_qos", options);
     for (const auto &[name, mips] : classes) {
         const auto corunner = workload::throttledCoremark(
             name, mips * 1e6 / 7.0);
@@ -81,6 +82,9 @@ main(int argc, char **argv)
         for (const auto &w : windows)
             flags.push_back(w.violated);
         const auto ci = stats::bootstrapFraction(flags);
+        summary.set("violation_pct_" + name,
+                    100.0 *
+                        qos::WebSearchService::violationRate(windows));
         table.addRow({name,
                       stats::formatDouble(metrics.meanChipMips, 0),
                       stats::formatDouble(toMegaHertz(freq), 0),
@@ -108,5 +112,7 @@ main(int argc, char **argv)
         }
     }
     std::printf("\n%s", table.render().c_str());
+
+    finishBench(options, summary);
     return 0;
 }

@@ -15,7 +15,11 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "chip/chip.h"
 #include "core/adaptive_mapping.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "pdn/vrm.h"
 #include "qos/websearch.h"
 #include "system/run_batch.h"
 #include "system/simulation.h"
@@ -77,6 +81,42 @@ evaluateClass(const system::BatchResult &run,
     m.violation = qos::WebSearchService::violationRate(windows);
     m.meanP90 = qos::WebSearchService::meanP90(windows);
     return m;
+}
+
+/**
+ * Deterministic safety-probe: exercised only when tracing is on, so the
+ * exported trace also contains the defensive half of the control stack
+ * (fault activation -> emergencies -> safety demotion). A single chip
+ * in AdaptiveUndervolt is fed an optimistic CPM bias — the sensors
+ * over-report margin, the firmware walks the rail below true vmin, and
+ * the safety monitor demotes. Mirrors bench/ext_fault_resilience.
+ * Returns true if the demotion fired inside the 4 s bound.
+ */
+bool
+runSafetyProbe(const BenchOptions &options)
+{
+    constexpr Seconds kDt = 1e-3;
+    chip::ChipConfig config;
+    config.seed = options.seed;
+    config.undervolt.maxUndervolt = 0.120;
+    config.safety.maxRearms = 0;
+
+    pdn::Vrm vrm(1);
+    chip::Chip c(config, &vrm);
+    c.setMode(GuardbandMode::AdaptiveUndervolt);
+    for (size_t i = 0; i < c.coreCount(); ++i)
+        c.setLoad(i, chip::CoreLoad::running(1.0, 13.0e-3, 24.0e-3));
+    c.settle(0.5, kDt);
+
+    fault::FaultPlan plan;
+    plan.cpmOptimisticBias(0.1, 0.0, 0.040);
+    fault::FaultInjector injector(plan, c.coreCount());
+    c.attachFaultInjector(&injector);
+
+    const int maxSteps = int(4.0 / kDt);
+    for (int i = 0; i < maxSteps && !c.safetyDemoted(); ++i)
+        c.step(kDt);
+    return c.safetyDemoted();
 }
 
 } // namespace
@@ -155,5 +195,24 @@ main(int argc, char **argv)
         std::printf("[paper: 25%% -> <7%% (light) or ~15%% (medium); "
                     "tail latency improves ~5.2%%]\n");
     }
+
+    auto summary = benchSummary("fig18_adaptive_mapping", options);
+    summary.set("blind_violation_pct", 100.0 * blind.violation);
+    summary.set("swapped", decision.swap);
+    if (decision.swap) {
+        const auto &chosen = measured[decision.corunnerIndex];
+        summary.set("chosen", chosen.name);
+        summary.set("chosen_violation_pct", 100.0 * chosen.violation);
+        summary.set("p90_impr_pct",
+                    100.0 * (1.0 - chosen.meanP90 / blind.meanP90));
+    }
+    if (obs::tracingEnabled()) {
+        const bool demoted = runSafetyProbe(options);
+        summary.set("safety_probe_demoted", demoted);
+        std::printf("\nsafety probe (trace-only): %s\n",
+                    demoted ? "demotion captured"
+                            : "demotion missed (bound exceeded)");
+    }
+    finishBench(options, summary);
     return 0;
 }

@@ -9,6 +9,12 @@
  *
  *   {"steps_per_sec": <mean>, "idle_steps_per_sec": ..., ...}
  *
+ * Also the observability overhead watchdog: the undervolt scenario is
+ * re-timed with tracing + profiling enabled and the enabled-vs-disabled
+ * delta is reported as obs_overhead_pct (the disabled state is the
+ * default, so the main numbers above *are* the disabled numbers — the
+ * <5% acceptance bound guards the gated-off cost of the trace hooks).
+ *
  * Usage: perf_steps [steps=200000] [dt=0.001]
  */
 
@@ -17,6 +23,8 @@
 
 #include "chip/chip.h"
 #include "common/config.h"
+#include "obs/json_writer.h"
+#include "obs/observability.h"
 #include "pdn/vrm.h"
 
 using namespace agsim;
@@ -63,11 +71,27 @@ main(int argc, char **argv)
         chip::GuardbandMode::AdaptiveUndervolt, 8, steps, dt);
     const double mean = (idle + active + undervolt) / 3.0;
 
-    std::printf("{\"steps_per_sec\": %.0f, "
-                "\"idle_steps_per_sec\": %.0f, "
-                "\"active8_steps_per_sec\": %.0f, "
-                "\"undervolt_steps_per_sec\": %.0f, "
-                "\"steps\": %zu, \"dt\": %g}\n",
-                mean, idle, active, undervolt, steps, dt);
+    // Same scenario with the full observability stack armed: events
+    // into the ring, scoped timers into the registry. The delta vs the
+    // disabled run above is the cost a tracing user pays; the disabled
+    // numbers already include the gated-off checks.
+    obs::setTracingEnabled(true);
+    obs::setProfilingEnabled(true);
+    const double undervoltObs = measureScenario(
+        chip::GuardbandMode::AdaptiveUndervolt, 8, steps, dt);
+    obs::resetAll();
+    const double overheadPct =
+        100.0 * (undervolt - undervoltObs) / undervolt;
+
+    obs::JsonLineWriter record;
+    record.set("steps_per_sec", mean);
+    record.set("idle_steps_per_sec", idle);
+    record.set("active8_steps_per_sec", active);
+    record.set("undervolt_steps_per_sec", undervolt);
+    record.set("undervolt_obs_steps_per_sec", undervoltObs);
+    record.set("obs_overhead_pct", overheadPct);
+    record.set("steps", uint64_t(steps));
+    record.set("dt", dt);
+    obs::writeJsonLine(record);
     return 0;
 }

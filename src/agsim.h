@@ -25,6 +25,13 @@
 #include "stats/series.h"
 #include "stats/table.h"
 
+// Observability
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/observability.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
+
 // Physical substrates
 #include "clock/dpll.h"
 #include "clock/droop_response.h"

@@ -2,10 +2,28 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/error.h"
+#include "obs/observability.h"
+#include "obs/scoped_timer.h"
 
 namespace agsim::chip {
+
+namespace {
+
+/** Chip-level trace event skeleton (caller fills kind/args). */
+obs::TraceEvent
+chipEvent(obs::TraceKind kind, Seconds simTime, size_t railIndex)
+{
+    obs::TraceEvent event;
+    event.kind = kind;
+    event.simTime = simTime;
+    event.chip = int32_t(railIndex);
+    return event;
+}
+
+} // namespace
 
 Chip::Chip(const ChipConfig &config, pdn::Vrm *vrm)
     : config_(config), vrm_(vrm), curve_(config.vf),
@@ -48,7 +66,30 @@ Chip::Chip(const ChipConfig &config, pdn::Vrm *vrm)
     scratchObs_.coreVoltage.assign(config_.coreCount, 0.0);
     scratchObs_.coreFrequency.assign(config_.coreCount, 0.0);
 
+    registerMetrics();
     setMode(config_.mode);
+}
+
+void
+Chip::registerMetrics()
+{
+    // One registration per construction (string lookups are off the hot
+    // path); identical chips across parallel batch tasks share cells,
+    // so the registry aggregates fleet-wide totals per socket.
+    obs::MetricRegistry &reg = obs::registry();
+    const obs::MetricLabels labels{
+        {"socket", std::to_string(config_.railIndex)}};
+    obsSteps_ = &reg.counter("chip.steps", labels);
+    obsFirmwareTicks_ = &reg.counter("chip.firmware.ticks", labels);
+    obsMissedTicks_ = &reg.counter("chip.firmware.missed_ticks", labels);
+    obsModeTransitions_ = &reg.counter("chip.mode.transitions", labels);
+    obsDemotions_ = &reg.counter("chip.safety.demotions", labels);
+    obsRearms_ = &reg.counter("chip.safety.rearms", labels);
+    obsEmergencies_ = &reg.counter("chip.safety.emergencies", labels);
+    obsDroopResponses_ = &reg.counter("chip.droop.responses", labels);
+    obsSolverTimer_ = reg.timer("chip.step.solver", labels);
+    obsFirmwareTimer_ = reg.timer("chip.step.firmware", labels);
+    obsTelemetryTimer_ = reg.timer("chip.step.telemetry", labels);
 }
 
 void
@@ -87,6 +128,17 @@ Chip::setMode(GuardbandMode mode)
 void
 Chip::applyMode(GuardbandMode mode)
 {
+    const GuardbandMode previous = config_.mode;
+    obsModeTransitions_->add();
+    if (obs::tracingEnabled()) {
+        obs::TraceEvent event = chipEvent(obs::TraceKind::ModeTransition,
+                                          simNow_, config_.railIndex);
+        event.a = double(previous);
+        event.b = double(mode);
+        event.detail = std::string(guardbandModeName(previous)) + "->" +
+                       guardbandModeName(mode);
+        obs::emit(std::move(event));
+    }
     config_.mode = mode;
     const Hertz target = config_.targetFrequency;
     staticSetpoint_ = curve_.vddStatic(target);
@@ -233,15 +285,32 @@ Chip::step(Seconds dt)
     panicIf(dt <= 0.0, "chip step must be positive");
     const size_t n = config_.coreCount;
 
+    obsSteps_->add();
+
     // Faults first: the injected state must be in place before any
     // model is consulted this step.
     if (faultInjector_ != nullptr) {
         faultInjector_->advance(dt);
         applyFaults();
+        const bool faultActive = faultInjector_->active().any;
+        if (faultActive != lastFaultActive_) {
+            lastFaultActive_ = faultActive;
+            if (obs::tracingEnabled()) {
+                obs::TraceEvent event = chipEvent(
+                    obs::TraceKind::FaultChange, simNow_,
+                    config_.railIndex);
+                event.a = double(faultInjector_->activeSpecCount());
+                event.detail = faultActive ? "activated" : "cleared";
+                obs::emit(std::move(event));
+            }
+        }
     }
 
     thermal_.step(chipPower_, dt);
-    solveElectrical();
+    {
+        obs::ScopedTimer timer(obsSolverTimer_);
+        solveElectrical();
+    }
 
     // Per-step di/dt noise from the cores' workload signatures. The
     // amplitude vectors are preallocated members: step() must stay
@@ -339,6 +408,26 @@ Chip::step(Seconds dt)
         decomposition_[i].worstDidt = worstCharacteristic;
     }
 
+    // Droop-response accounting: every core whose DPLL rode through a
+    // worst-case event this step stalled briefly; the count always
+    // lands in the registry, the per-core events only when tracing.
+    int stalledCores = 0;
+    for (size_t i = 0; i < n; ++i) {
+        if (droopStall_[i] <= 0.0)
+            continue;
+        ++stalledCores;
+        if (obs::tracingEnabled()) {
+            obs::TraceEvent event = chipEvent(obs::TraceKind::DroopResponse,
+                                              simNow_, config_.railIndex);
+            event.core = int32_t(i);
+            event.a = droopStall_[i];
+            event.b = noise.worstDroop;
+            obs::emit(std::move(event));
+        }
+    }
+    if (stalledCores > 0)
+        obsDroopResponses_->add(stalledCores);
+
     // Watchdog: count emergencies against the true (model ground-truth)
     // margin and let the monitor demote/re-arm. Runs before telemetry so
     // the step's counters land in the current window.
@@ -351,17 +440,35 @@ Chip::step(Seconds dt)
     obs.timingEmergencies = lastEmergencies_;
     obs.safetyDemotions = lastDemotions_;
     obs.worstMargin = lastWorstMargin_;
-    telemetry_.step(obs, dt);
+    {
+        obs::ScopedTimer timer(obsTelemetryTimer_);
+        telemetry_.step(obs, dt);
+    }
 
     sinceFirmware_ += dt;
     if (sinceFirmware_ >= config_.firmwareInterval - 1e-12) {
+        obs::ScopedTimer timer(obsFirmwareTimer_);
+        const Volts setpointBefore = setpoint();
+        bool stalled = false;
         // An injected stall makes the service processor miss this
         // decision entirely; the loop coasts on the last setpoint.
         if (faultInjector_ != nullptr &&
             faultInjector_->active().firmwareStall) {
             ++missedFirmwareTicks_;
+            obsMissedTicks_->add();
+            stalled = true;
         } else {
             runFirmware();
+        }
+        obsFirmwareTicks_->add();
+        if (obs::tracingEnabled()) {
+            obs::TraceEvent event = chipEvent(obs::TraceKind::FirmwareTick,
+                                              simNow_, config_.railIndex);
+            event.a = setpointBefore;
+            event.b = setpoint();
+            if (stalled)
+                event.detail = "stalled";
+            obs::emit(std::move(event));
         }
         // Carry the overshoot past the interval instead of discarding
         // it, so the firmware cadence stays exactly firmwareInterval on
@@ -373,6 +480,10 @@ Chip::step(Seconds dt)
         if (sinceFirmware_ < 0.0)
             sinceFirmware_ = 0.0;
     }
+
+    // Events inside this step were stamped with its start time; the
+    // clock advances last.
+    simNow_ += dt;
 }
 
 void
@@ -382,6 +493,7 @@ Chip::attachFaultInjector(fault::FaultInjector *injector)
             injector->coreCount() != config_.coreCount,
             "fault injector core count does not match the chip");
     faultInjector_ = injector;
+    lastFaultActive_ = injector != nullptr && injector->active().any;
     if (faultInjector_ == nullptr) {
         cpms_.clearFaults();
         vrm_->injectDacStuck(config_.railIndex, false);
@@ -451,6 +563,8 @@ Chip::runSafetyMonitor(const pdn::DidtSample &noise,
     lastEmergencies_ = emergencies;
     lastWorstMargin_ = worst;
     lastDemotions_ = 0;
+    if (emergencies > 0)
+        obsEmergencies_->add(emergencies);
 
     switch (safety_.observe(emergencies > 0, adaptive, dt)) {
       case SafetyMonitor::Action::None:
@@ -461,9 +575,27 @@ Chip::runSafetyMonitor(const pdn::DidtSample &noise,
         // in demotedFrom_ for a later re-arm.
         applyMode(GuardbandMode::StaticGuardband);
         lastDemotions_ = 1;
+        obsDemotions_->add();
+        if (obs::tracingEnabled()) {
+            obs::TraceEvent event = chipEvent(
+                obs::TraceKind::SafetyDemotion, simNow_,
+                config_.railIndex);
+            event.a = double(emergencies);
+            event.detail = std::string("demoted from ") +
+                           guardbandModeName(demotedFrom_);
+            obs::emit(std::move(event));
+        }
         break;
       case SafetyMonitor::Action::Rearm:
         applyMode(demotedFrom_);
+        obsRearms_->add();
+        if (obs::tracingEnabled()) {
+            obs::TraceEvent event = chipEvent(obs::TraceKind::SafetyRearm,
+                                              simNow_, config_.railIndex);
+            event.detail = std::string("re-armed ") +
+                           guardbandModeName(demotedFrom_);
+            obs::emit(std::move(event));
+        }
         break;
     }
 }

@@ -27,6 +27,7 @@
 #include "chip/safety_monitor.h"
 #include "clock/dpll.h"
 #include "fault/fault_injector.h"
+#include "obs/metrics.h"
 #include "pdn/decomposition.h"
 #include "pdn/didt.h"
 #include "pdn/ir_drop.h"
@@ -176,6 +177,13 @@ class Chip
     Celsius temperature() const { return thermal_.temperature(); }
 
     /**
+     * Simulation time accumulated since construction (the stamp on
+     * this chip's trace events). Pure bookkeeping: nothing in the
+     * model reads it back.
+     */
+    Seconds simTime() const { return simNow_; }
+
+    /**
      * Time accumulated toward the next firmware decision. Stays within
      * [0, firmwareInterval) across steps: the overshoot past the
      * interval is carried, not discarded, so the firmware cadence stays
@@ -227,6 +235,9 @@ class Chip
 
     /** Copy the injector's active fault set into the models. */
     void applyFaults();
+
+    /** Register this chip's metric handles (constructor helper). */
+    void registerMetrics();
 
     /**
      * Count timing emergencies and track the worst margin for the step,
@@ -281,6 +292,24 @@ class Chip
     int lastDemotions_ = 0;
     Volts lastWorstMargin_ = 0.0;
     int64_t missedFirmwareTicks_ = 0;
+
+    // Observability (see docs/OBSERVABILITY.md). All of this is
+    // write-only from the model's perspective: nothing below feeds back
+    // into simulation state, so instrumented and plain runs are
+    // bit-identical (tests/test_obs_determinism.cc).
+    Seconds simNow_ = 0.0;
+    bool lastFaultActive_ = false;
+    obs::Counter *obsSteps_ = nullptr;
+    obs::Counter *obsFirmwareTicks_ = nullptr;
+    obs::Counter *obsMissedTicks_ = nullptr;
+    obs::Counter *obsModeTransitions_ = nullptr;
+    obs::Counter *obsDemotions_ = nullptr;
+    obs::Counter *obsRearms_ = nullptr;
+    obs::Counter *obsEmergencies_ = nullptr;
+    obs::Counter *obsDroopResponses_ = nullptr;
+    obs::TimerStat obsSolverTimer_;
+    obs::TimerStat obsFirmwareTimer_;
+    obs::TimerStat obsTelemetryTimer_;
 };
 
 } // namespace agsim::chip

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "obs/observability.h"
 
 namespace agsim::clock {
 
@@ -73,6 +74,15 @@ simulateDroop(const power::VfCurve &curve, const DpllParams &dpll,
     }
     outcome.lostCycles = std::max(expectedCycles - actualCycles, 0.0);
     outcome.lostTime = outcome.lostCycles / clockFrequency;
+
+    // Registered once per process (thread-safe static init); each
+    // fine-grained event simulation is far off the engine's hot path.
+    static obs::Counter &sims = obs::registry().counter("clock.droop_sims");
+    static obs::Counter &violations =
+        obs::registry().counter("clock.droop_sim_violations");
+    sims.add();
+    if (outcome.violated)
+        violations.add();
     return outcome;
 }
 

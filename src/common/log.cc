@@ -1,12 +1,25 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace agsim {
 
 namespace {
 
-LogLevel globalLevel = LogLevel::Warn;
+// The level is read on every logMessage call, potentially from many
+// BatchRunner workers at once; a relaxed atomic keeps the check free of
+// data races without slowing the filtered-out fast path.
+std::atomic<LogLevel> globalLevel{LogLevel::Warn};
+
+/** Serializes sink writes so parallel workers' lines cannot tear. */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
 
 const char *
 levelName(LogLevel level)
@@ -26,20 +39,24 @@ levelName(LogLevel level)
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    globalLevel.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    return globalLevel.load(std::memory_order_relaxed);
 }
 
 void
 logMessage(LogLevel level, const std::string &msg)
 {
-    if (level < globalLevel || globalLevel == LogLevel::Silent)
+    const LogLevel threshold = globalLevel.load(std::memory_order_relaxed);
+    if (level < threshold || threshold == LogLevel::Silent)
         return;
+    // One locked fprintf per message: interleaved calls from parallel
+    // batch tasks emit whole lines, never spliced fragments.
+    std::lock_guard<std::mutex> lock(sinkMutex());
     std::fprintf(stderr, "[agsim:%s] %s\n", levelName(level), msg.c_str());
 }
 

@@ -1,6 +1,7 @@
 #include "core/mapping_loop.h"
 
 #include "common/error.h"
+#include "obs/observability.h"
 #include "system/simulation.h"
 
 namespace agsim::core {
@@ -88,6 +89,21 @@ runMappingLoop(const workload::BenchmarkProfile &critical,
         if (decision.swap) {
             current = decision.corunnerIndex;
             lastChange = q + 1;
+            obs::registry().counter("mapping.swaps").add();
+        }
+        obs::registry().counter("mapping.quanta").add();
+        if (obs::tracingEnabled()) {
+            // The scheduling quantum lives on its own coarse timeline:
+            // one span per quantum, args carrying the QoS verdict.
+            obs::TraceEvent event;
+            event.kind = obs::TraceKind::Quantum;
+            event.simTime = double(q) * config.qosHorizon;
+            event.duration = config.qosHorizon;
+            event.a = quantum.violationRate;
+            event.b = quantum.frequency;
+            event.detail = quantum.corunner +
+                           (quantum.swapped ? " (swap)" : "");
+            obs::emit(std::move(event));
         }
         result.history.push_back(std::move(quantum));
     }

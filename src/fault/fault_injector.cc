@@ -1,6 +1,7 @@
 #include "fault/fault_injector.h"
 
 #include "common/error.h"
+#include "obs/observability.h"
 
 namespace agsim::fault {
 
@@ -31,6 +32,8 @@ FaultInjector::reset()
 void
 FaultInjector::recompute()
 {
+    const size_t previousSpecs = activeSpecs_;
+
     // The cpm vector is preallocated; this assign writes in place so the
     // per-step path stays allocation-free.
     for (auto &f : active_.cpm)
@@ -77,6 +80,15 @@ FaultInjector::recompute()
         }
     }
     active_.any = activeSpecs_ > 0;
+
+    // Spec set changed (an onset or expiry crossed now_): count it.
+    // recompute() runs every step, but the counter is only touched on
+    // the rare transition steps.
+    if (activeSpecs_ != previousSpecs) {
+        static obs::Counter &transitions =
+            obs::registry().counter("fault.spec_transitions");
+        transitions.add();
+    }
 }
 
 } // namespace agsim::fault

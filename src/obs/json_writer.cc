@@ -1,0 +1,144 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/log.h"
+
+namespace agsim::obs {
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", value);
+    return buf;
+}
+
+JsonLineWriter &
+JsonLineWriter::assign(const std::string &key, std::string encoded)
+{
+    for (auto &field : fields_) {
+        if (field.first == key) {
+            field.second = std::move(encoded);
+            return *this;
+        }
+    }
+    fields_.emplace_back(key, std::move(encoded));
+    return *this;
+}
+
+JsonLineWriter &
+JsonLineWriter::set(const std::string &key, double value)
+{
+    return assign(key, jsonNumber(value));
+}
+
+JsonLineWriter &
+JsonLineWriter::set(const std::string &key, int64_t value)
+{
+    return assign(key, std::to_string(value));
+}
+
+JsonLineWriter &
+JsonLineWriter::set(const std::string &key, uint64_t value)
+{
+    return assign(key, std::to_string(value));
+}
+
+JsonLineWriter &
+JsonLineWriter::set(const std::string &key, int value)
+{
+    return assign(key, std::to_string(value));
+}
+
+JsonLineWriter &
+JsonLineWriter::set(const std::string &key, bool value)
+{
+    return assign(key, value ? "true" : "false");
+}
+
+JsonLineWriter &
+JsonLineWriter::set(const std::string &key, const std::string &value)
+{
+    return assign(key, "\"" + jsonEscape(value) + "\"");
+}
+
+JsonLineWriter &
+JsonLineWriter::set(const std::string &key, const char *value)
+{
+    return set(key, std::string(value));
+}
+
+JsonLineWriter &
+JsonLineWriter::setRaw(const std::string &key, const std::string &rawJson)
+{
+    return assign(key, rawJson);
+}
+
+std::string
+JsonLineWriter::str() const
+{
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += "\"" + jsonEscape(fields_[i].first) + "\": " +
+               fields_[i].second;
+    }
+    out += "}";
+    return out;
+}
+
+void
+writeJsonLine(const JsonLineWriter &line)
+{
+    std::printf("%s\n", line.str().c_str());
+}
+
+bool
+writeTextFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        logError("cannot open '" + path + "' for writing");
+        return false;
+    }
+    out << content;
+    out.flush();
+    if (!out) {
+        logError("write to '" + path + "' failed");
+        return false;
+    }
+    return true;
+}
+
+} // namespace agsim::obs

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Minimal JSON emission helpers for the observability layer.
+ *
+ * agsim deliberately carries no third-party JSON dependency; the
+ * exporters (metric snapshots, trace files) and the benches' single-line
+ * JSON summaries all need the same small set of primitives: correct
+ * string escaping, finite number formatting, and an insertion-ordered
+ * flat object builder. Everything here produces strict JSON (NaN and
+ * infinities are mapped to null) so `python -m json.tool` always
+ * accepts the output.
+ */
+
+#ifndef AGSIM_OBS_JSON_WRITER_H
+#define AGSIM_OBS_JSON_WRITER_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace agsim::obs {
+
+/** Escape a string for embedding between JSON double quotes. */
+std::string jsonEscape(const std::string &text);
+
+/** Render a double as a JSON number (null for NaN/inf). */
+std::string jsonNumber(double value);
+
+/**
+ * Insertion-ordered flat JSON object builder.
+ *
+ * The benches use one of these per run to emit their machine-readable
+ * summary line, so every bench's record carries the same spelling for
+ * the shared keys (bench, measure, warmup, seed) and downstream
+ * scripts stop chasing drifting hand-rolled printf formats.
+ */
+class JsonLineWriter
+{
+  public:
+    JsonLineWriter &set(const std::string &key, double value);
+    JsonLineWriter &set(const std::string &key, int64_t value);
+    JsonLineWriter &set(const std::string &key, uint64_t value);
+    JsonLineWriter &set(const std::string &key, int value);
+    JsonLineWriter &set(const std::string &key, bool value);
+    JsonLineWriter &set(const std::string &key, const std::string &value);
+    JsonLineWriter &set(const std::string &key, const char *value);
+
+    /** Attach pre-rendered JSON (array/object) under a key, verbatim. */
+    JsonLineWriter &setRaw(const std::string &key,
+                           const std::string &rawJson);
+
+    /** Whether any field has been set. */
+    bool empty() const { return fields_.empty(); }
+
+    /** Render the single-line `{"k": v, ...}` object. */
+    std::string str() const;
+
+  private:
+    JsonLineWriter &assign(const std::string &key, std::string encoded);
+
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/**
+ * Print one JSON object as a single stdout line (the bench summary
+ * contract: exactly one '\n'-terminated record per run).
+ */
+void writeJsonLine(const JsonLineWriter &line);
+
+/** Write a string to a file; returns false (and logs) on I/O failure. */
+bool writeTextFile(const std::string &path, const std::string &content);
+
+} // namespace agsim::obs
+
+#endif // AGSIM_OBS_JSON_WRITER_H

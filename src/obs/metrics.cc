@@ -1,0 +1,156 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "obs/json_writer.h"
+
+namespace agsim::obs {
+
+HistogramMetric::HistogramMetric(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins), histogram_(lo, hi, bins)
+{
+}
+
+void
+HistogramMetric::observe(double x)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    histogram_.add(x);
+}
+
+stats::Histogram
+HistogramMetric::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return histogram_;
+}
+
+void
+HistogramMetric::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    histogram_ = stats::Histogram(lo_, hi_, bins_);
+}
+
+std::string
+MetricRegistry::key(const std::string &name, const MetricLabels &labels)
+{
+    if (labels.empty())
+        return name;
+    MetricLabels sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    std::string key = name + "{";
+    for (size_t i = 0; i < sorted.size(); ++i) {
+        if (i > 0)
+            key += ",";
+        key += sorted[i].first + "=" + sorted[i].second;
+    }
+    key += "}";
+    return key;
+}
+
+Counter &
+MetricRegistry::counter(const std::string &name, const MetricLabels &labels)
+{
+    const std::string k = key(name, labels);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[k];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &name, const MetricLabels &labels)
+{
+    const std::string k = key(name, labels);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[k];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+HistogramMetric &
+MetricRegistry::histogram(const std::string &name, double lo, double hi,
+                          size_t bins, const MetricLabels &labels)
+{
+    fatalIf(hi <= lo || bins == 0, "histogram metric needs hi > lo and bins");
+    const std::string k = key(name, labels);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[k];
+    if (!slot)
+        slot = std::make_unique<HistogramMetric>(lo, hi, bins);
+    return *slot;
+}
+
+TimerStat
+MetricRegistry::timer(const std::string &name, const MetricLabels &labels)
+{
+    TimerStat stat;
+    stat.calls = &counter(name + ".calls", labels);
+    stat.nanos = &counter(name + ".ns", labels);
+    return stat;
+}
+
+std::string
+MetricRegistry::snapshotJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out = "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[k, c] : counters_) {
+        out += first ? "\n" : ",\n";
+        out += "    \"" + jsonEscape(k) + "\": " +
+               std::to_string(c->value());
+        first = false;
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"gauges\": {";
+    first = true;
+    for (const auto &[k, g] : gauges_) {
+        out += first ? "\n" : ",\n";
+        out += "    \"" + jsonEscape(k) + "\": " + jsonNumber(g->value());
+        first = false;
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"histograms\": {";
+    first = true;
+    for (const auto &[k, h] : histograms_) {
+        const stats::Histogram snap = h->snapshot();
+        out += first ? "\n" : ",\n";
+        out += "    \"" + jsonEscape(k) + "\": {\"lo\": " +
+               jsonNumber(h->lo()) + ", \"hi\": " + jsonNumber(h->hi()) +
+               ", \"underflow\": " + std::to_string(snap.underflow()) +
+               ", \"overflow\": " + std::to_string(snap.overflow()) +
+               ", \"total\": " + std::to_string(snap.total()) +
+               ", \"bins\": [";
+        for (size_t i = 0; i < snap.bins(); ++i) {
+            if (i > 0)
+                out += ", ";
+            out += std::to_string(snap.binCount(i));
+        }
+        out += "]}";
+        first = false;
+    }
+    out += first ? "}\n" : "\n  }\n";
+    out += "}\n";
+    return out;
+}
+
+void
+MetricRegistry::resetValues()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[k, c] : counters_)
+        c->reset();
+    for (auto &[k, g] : gauges_)
+        g->reset();
+    for (auto &[k, h] : histograms_)
+        h->reset();
+}
+
+} // namespace agsim::obs

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * RAII wall-clock scope timer feeding the metric registry.
+ *
+ * Wraps a code region (a Chip::step phase, a batch task) and charges
+ * its wall-clock duration to a TimerStat. The clock is read only when
+ * profiling is enabled, and the reading lands in the registry — never
+ * in simulation state — so enabling profiling cannot change simulated
+ * behaviour (determinism and bit-identical replay are preserved; see
+ * docs/OBSERVABILITY.md). Disabled cost: one relaxed atomic bool load.
+ */
+
+#ifndef AGSIM_OBS_SCOPED_TIMER_H
+#define AGSIM_OBS_SCOPED_TIMER_H
+
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/observability.h"
+
+namespace agsim::obs {
+
+/** Times its lexical scope into a TimerStat (calls + total ns). */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(const TimerStat &stat)
+        : stat_(stat), active_(profilingEnabled() &&
+                               stat.calls != nullptr &&
+                               stat.nanos != nullptr)
+    {
+        if (active_)
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ~ScopedTimer()
+    {
+        if (!active_)
+            return;
+        const auto elapsed = std::chrono::steady_clock::now() - start_;
+        stat_.calls->add(1);
+        stat_.nanos->add(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count());
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    const TimerStat &stat_;
+    const bool active_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace agsim::obs
+
+#endif // AGSIM_OBS_SCOPED_TIMER_H

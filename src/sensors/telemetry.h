@@ -28,7 +28,18 @@ struct TelemetryParams
 {
     /** Sensor aggregation window (AMESTER minimum: 32 ms). */
     Seconds windowLength = 32e-3;
-    /** Keep at most this many completed windows (0 = unbounded). */
+    /**
+     * Keep at most this many completed windows (0 = unbounded).
+     *
+     * Memory: each window stores four per-core vectors, so a chip
+     * costs roughly 100 bytes x coreCount per window — about 30 KB per
+     * simulated second at the default 32 ms window on an 8-core chip.
+     * The unbounded default suits the figure benches (they read the
+     * whole run's windows afterwards); long-lived or soak runs should
+     * bound this, at which point the store becomes a ring: once full,
+     * the oldest window is evicted per new window, and latest() /
+     * windows() only see the most recent maxWindows entries.
+     */
     size_t maxWindows = 0;
 };
 

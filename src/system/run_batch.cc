@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/error.h"
+#include "obs/observability.h"
 
 namespace agsim::system {
 
@@ -11,6 +12,16 @@ BatchResult
 runBatchTask(const BatchTask &task)
 {
     fatalIf(task.jobs.empty(), "batch task needs at least one job");
+
+    // Lifecycle events carry the thread-local task id set by the
+    // runner (or 0 when called directly), so parallel tasks' timelines
+    // stay separable in the exported trace.
+    if (obs::tracingEnabled()) {
+        obs::TraceEvent begin;
+        begin.kind = obs::TraceKind::TaskBegin;
+        begin.detail = task.label;
+        obs::emit(std::move(begin));
+    }
 
     const auto start = std::chrono::steady_clock::now();
 
@@ -39,6 +50,19 @@ runBatchTask(const BatchTask &task)
 
     result.wallTime = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - start).count();
+
+    obs::registry().counter("batch.tasks").add();
+    obs::registry()
+        .histogram("batch.task_wall_ms", 0.0, 60e3, 120)
+        .observe(result.wallTime * 1e3);
+    if (obs::tracingEnabled()) {
+        obs::TraceEvent end;
+        end.kind = obs::TraceKind::TaskEnd;
+        end.duration = task.simConfig.warmup + result.metrics.executionTime;
+        end.a = result.wallTime;
+        end.detail = task.label;
+        obs::emit(std::move(end));
+    }
     return result;
 }
 
@@ -174,9 +198,11 @@ BatchRunner::workerLoop()
         BatchResult result;
         std::exception_ptr error;
         try {
+            obs::TaskIdScope scope{int32_t(index)};
             result = runBatchTask(task);
         } catch (...) {
             error = std::current_exception();
+            obs::registry().counter("batch.task_failures").add();
         }
 
         lock.lock();
@@ -207,8 +233,10 @@ BatchRunner::runAll(std::vector<BatchTask> tasks, size_t workers)
         // thread machinery (also the 1-core fallback).
         std::vector<BatchResult> results;
         results.reserve(tasks.size());
-        for (const auto &task : tasks)
-            results.push_back(runBatchTask(task));
+        for (size_t i = 0; i < tasks.size(); ++i) {
+            obs::TaskIdScope scope{int32_t(i)};
+            results.push_back(runBatchTask(tasks[i]));
+        }
         return results;
     }
     BatchRunner runner(std::min(workers, tasks.size()));
@@ -228,9 +256,11 @@ BatchRunner::runAllPartial(std::vector<BatchTask> tasks, size_t workers)
         outcome.results.resize(tasks.size());
         for (size_t i = 0; i < tasks.size(); ++i) {
             try {
+                obs::TaskIdScope scope{int32_t(i)};
                 outcome.results[i] = runBatchTask(tasks[i]);
             } catch (const std::exception &e) {
                 outcome.errors.push_back({i, tasks[i].label, e.what()});
+                obs::registry().counter("batch.task_failures").add();
             }
         }
         return outcome;

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "common/log.h"
 
 namespace agsim {
@@ -59,6 +62,29 @@ TEST(Log, EmittingBelowThresholdIsSafe)
     logError("filtered");
     setLogLevel(LogLevel::Debug);
     logDebug("emitted");
+    SUCCEED();
+}
+
+TEST(Log, ConcurrentLoggingAndLevelChangesAreSafe)
+{
+    // The sink and the level are shared by parallel BatchRunner
+    // workers; hammer both from several threads (TSan covers the
+    // data-race half of this in the sanitizer CI job).
+    LogLevelGuard guard;
+    setLogLevel(LogLevel::Silent);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([t] {
+            for (int i = 0; i < 200; ++i) {
+                logWarn("worker " + std::to_string(t) + " line " +
+                        std::to_string(i));
+                setLogLevel(i % 2 == 0 ? LogLevel::Silent
+                                       : LogLevel::Error);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
     SUCCEED();
 }
 

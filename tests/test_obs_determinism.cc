@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The observability determinism contract: enabling tracing, profiling,
+ * or both must not change a simulation's results in any bit. Metrics
+ * and events are written outside all simulation state, wall-clock
+ * readings never feed back, and sim-time stamps come from bookkeeping
+ * the solver does not read — this file holds that line.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "chip/chip.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "obs/observability.h"
+#include "pdn/vrm.h"
+#include "sensors/telemetry_csv.h"
+#include "system/run_batch.h"
+#include "system/simulation.h"
+#include "workload/library.h"
+
+namespace agsim {
+namespace {
+
+/**
+ * A run exercising every instrumented path: adaptive firmware, droops,
+ * a fault activation, and a safety demotion; returns the full telemetry
+ * dump (the paper's AMESTER CSV) as the run's fingerprint.
+ */
+std::string
+instrumentedChipRun(uint64_t seed)
+{
+    pdn::Vrm vrm(1);
+    chip::ChipConfig config;
+    config.seed = seed;
+    config.undervolt.maxUndervolt = 0.120;
+    config.safety.maxRearms = 0;
+    chip::Chip c(config, &vrm);
+    c.setMode(chip::GuardbandMode::AdaptiveUndervolt);
+    for (size_t i = 0; i < c.coreCount(); ++i)
+        c.setLoad(i, chip::CoreLoad::running(1.0, 13.0e-3, 24.0e-3));
+    c.settle(0.5, 1e-3);
+
+    fault::FaultPlan plan;
+    plan.cpmOptimisticBias(0.05, 0.0, 0.040);
+    fault::FaultInjector injector(plan, c.coreCount());
+    c.attachFaultInjector(&injector);
+    for (int i = 0; i < 2000; ++i)
+        c.step(1e-3);
+    return sensors::telemetryCsvString(c.telemetry());
+}
+
+/** A small batch through the runner (task lifecycle events). */
+std::string
+batchFingerprint(uint64_t seed, size_t workers)
+{
+    std::vector<system::BatchTask> tasks;
+    for (int t = 0; t < 3; ++t) {
+        system::BatchTask task;
+        task.label = "task" + std::to_string(t);
+        task.mode = chip::GuardbandMode::AdaptiveUndervolt;
+        task.serverConfig.chipTemplate.seed = seed + uint64_t(t);
+        task.simConfig.warmup = 0.2;
+        task.simConfig.measureDuration = 0.2;
+        task.jobs.push_back(system::Job{
+            workload::ThreadedWorkload(workload::byName("raytrace"),
+                                       workload::RunMode::Rate),
+            {system::ThreadPlacement{0, 0},
+             system::ThreadPlacement{0, 1}},
+            "raytrace"});
+        tasks.push_back(std::move(task));
+    }
+    const auto results =
+        system::BatchRunner::runAll(std::move(tasks), workers);
+    std::string out;
+    for (const auto &result : results) {
+        out += result.label + ":";
+        out += std::to_string(result.metrics.meanChipMips) + ",";
+        out += std::to_string(result.metrics.socketPower[0]) + ",";
+        out += std::to_string(result.finalCoreFrequency[0][0]) + ";";
+    }
+    return out;
+}
+
+class ObsDeterminism : public ::testing::Test
+{
+  protected:
+    void SetUp() override { obs::resetAll(); }
+    void TearDown() override { obs::resetAll(); }
+};
+
+TEST_F(ObsDeterminism, TracingDoesNotPerturbChipRun)
+{
+    const std::string off = instrumentedChipRun(0x5EED);
+
+    obs::setTracingEnabled(true);
+    const std::string on = instrumentedChipRun(0x5EED);
+    EXPECT_GT(obs::trace().recorded(), 0u);
+
+    EXPECT_EQ(off, on) << "tracing changed the telemetry dump";
+}
+
+TEST_F(ObsDeterminism, ProfilingDoesNotPerturbChipRun)
+{
+    const std::string off = instrumentedChipRun(0x5EED);
+
+    obs::setProfilingEnabled(true);
+    const std::string on = instrumentedChipRun(0x5EED);
+    EXPECT_GT(obs::registry()
+                  .counter("chip.step.solver.calls", {{"socket", "0"}})
+                  .value(),
+              0);
+
+    EXPECT_EQ(off, on) << "profiling changed the telemetry dump";
+}
+
+TEST_F(ObsDeterminism, FullObservabilityKeepsBatchBitIdentical)
+{
+    const std::string off = batchFingerprint(42, 1);
+
+    obs::setTracingEnabled(true);
+    obs::setProfilingEnabled(true);
+    // Parallel on top of tracing: worker interleaving may reorder the
+    // ring, but the simulation results must not move.
+    const std::string on = batchFingerprint(42, 3);
+    EXPECT_GT(obs::trace().recorded(), 0u);
+
+    EXPECT_EQ(off, on) << "observability changed batch results";
+}
+
+} // namespace
+} // namespace agsim

@@ -112,6 +112,30 @@ TEST(Telemetry, MaxWindowsBounded)
     EXPECT_EQ(telemetry.windows().size(), 2u);
 }
 
+TEST(Telemetry, MaxWindowsZeroIsUnbounded)
+{
+    Telemetry telemetry(1);
+    const auto obs = makeObs(1, 5, 5, 100.0);
+    for (int i = 0; i < 32 * 40; ++i)
+        telemetry.step(obs, 1e-3);
+    EXPECT_EQ(telemetry.windows().size(), 40u);
+}
+
+TEST(Telemetry, MaxWindowsEvictsOldestFirst)
+{
+    TelemetryParams params;
+    params.maxWindows = 2;
+    Telemetry telemetry(1, params);
+    const auto obs = makeObs(1, 5, 5, 100.0);
+    for (int i = 0; i < 32 * 5; ++i)
+        telemetry.step(obs, 1e-3);
+    // Five windows closed; the ring keeps the newest two (4th, 5th).
+    ASSERT_EQ(telemetry.windows().size(), 2u);
+    EXPECT_NEAR(telemetry.windows()[0].time, 4 * 0.032, 1e-9);
+    EXPECT_NEAR(telemetry.windows()[1].time, 5 * 0.032, 1e-9);
+    EXPECT_NEAR(telemetry.latest().time, 5 * 0.032, 1e-9);
+}
+
 TEST(Telemetry, ClearWindowsKeepsAccumulation)
 {
     Telemetry telemetry(1);
