@@ -121,25 +121,26 @@ main(int argc, char **argv)
 
     for (double gb : {0.100, 0.130, 0.180}) {
         core::ScheduledRunSpec spec = base;
-        spec.serverConfig.chipTemplate.vf.staticGuardband = gb;
+        spec.serverConfig.chipTemplate.vf.staticGuardband = Volts{gb};
         addConfig("guardband=" + stats::formatDouble(gb * 1e3, 0) + "mV",
                   spec);
     }
     for (double loadline : {0.20e-3, 0.60e-3}) {
         core::ScheduledRunSpec spec = base;
-        spec.serverConfig.rail.loadlineResistance = loadline;
+        spec.serverConfig.rail.loadlineResistance = Ohms{loadline};
         addConfig("loadline=" + stats::formatDouble(loadline * 1e3, 2) +
                   "mOhm", spec);
     }
     for (double local : {1.0e-3, 3.0e-3}) {
         core::ScheduledRunSpec spec = base;
-        spec.serverConfig.chipTemplate.ir.localResistance = local;
+        spec.serverConfig.chipTemplate.ir.localResistance = Ohms{local};
         addConfig("localR=" + stats::formatDouble(local * 1e3, 1) + "mOhm",
                   spec);
     }
     for (double interval : {8e-3, 128e-3}) {
         core::ScheduledRunSpec spec = base;
-        spec.serverConfig.chipTemplate.firmwareInterval = interval;
+        spec.serverConfig.chipTemplate.firmwareInterval =
+            Seconds{interval};
         addConfig("firmware=" + stats::formatDouble(interval * 1e3, 0) +
                   "ms", spec);
     }
@@ -173,16 +174,17 @@ main(int argc, char **argv)
     stats::TablePrinter cluster;
     cluster.setHeader({"strategy", "servers on", "chip (W)",
                        "platform (W)", "total (W)"});
-    double bestTotalPower = 0.0;
+    Watts bestTotalPower = Watts{0.0};
     for (const auto &eval : core::evaluateAllClusterStrategies(
              clusterSpec, workload::byName("raytrace"), 8,
              options.jobs)) {
-        if (bestTotalPower == 0.0 || eval.totalPower < bestTotalPower)
+        if (bestTotalPower == Watts{0.0} || eval.totalPower < bestTotalPower)
             bestTotalPower = eval.totalPower;
         cluster.addNumericRow(core::clusterStrategyName(eval.strategy),
                               {double(eval.activeServers),
-                               eval.chipPower, eval.platformPower,
-                               eval.totalPower},
+                               eval.chipPower.value(),
+                               eval.platformPower.value(),
+                               eval.totalPower.value()},
                               1);
     }
     std::printf("%s", cluster.render().c_str());
@@ -190,7 +192,7 @@ main(int argc, char **argv)
                 "servers first, then loadline-borrow within each)\n");
 
     auto summary = benchSummary("ablation_sensitivity", options);
-    summary.set("best_cluster_total_w", bestTotalPower);
+    summary.set("best_cluster_total_w", bestTotalPower.value());
     finishBench(options, summary);
     return 0;
 }

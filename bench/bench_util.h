@@ -27,8 +27,8 @@ namespace agsim::bench {
 /** Parsed common bench options. */
 struct BenchOptions
 {
-    Seconds measure = 1.0;
-    Seconds warmup = 1.0;
+    Seconds measure = Seconds{1.0};
+    Seconds warmup = Seconds{1.0};
     uint64_t seed = 0x7E57C819u;
     bool chart = true;
     /**
@@ -58,8 +58,10 @@ parseOptions(int argc, char **argv)
 {
     BenchOptions options;
     options.params.parseArgs(argc, argv);
-    options.measure = options.params.getDouble("measure", options.measure);
-    options.warmup = options.params.getDouble("warmup", options.warmup);
+    options.measure = Seconds{
+        options.params.getDouble("measure", options.measure.value())};
+    options.warmup = Seconds{
+        options.params.getDouble("warmup", options.warmup.value())};
     options.seed = uint64_t(options.params.getInt("seed",
                                                   int(options.seed)));
     options.chart = options.params.getBool("chart", options.chart);
@@ -133,8 +135,8 @@ benchSummary(const std::string &name, const BenchOptions &options)
     obs::JsonLineWriter summary;
     summary.set("bench", name);
     summary.set("seed", int64_t(options.seed));
-    summary.set("measure", options.measure);
-    summary.set("warmup", options.warmup);
+    summary.set("measure", options.measure.value());
+    summary.set("warmup", options.warmup.value());
     return summary;
 }
 

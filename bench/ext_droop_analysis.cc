@@ -57,7 +57,7 @@ main(int argc, char **argv)
                                               profile.didtTypicalAmp,
                                               profile.didtWorstAmp));
         }
-        const Seconds horizon = 20.0;
+        const Seconds horizon = Seconds{20.0};
         chip.settle(horizon);
         const auto &histogram = chip.droopHistogram();
         stats::Accumulator depth;
@@ -71,7 +71,8 @@ main(int argc, char **argv)
                 p95Depth = histogram.binCenter(bin);
         }
         // Each droop stalls the DPLL for ~200 ns.
-        const double ratePerSec = double(histogram.total()) / horizon;
+        const double ratePerSec =
+            double(histogram.total()) / horizon.value();
         const double stallUsPerSec = ratePerSec * 200e-9 * 1e6;
         droops.addNumericRow(std::to_string(active),
                              {ratePerSec, depth.mean() * 1e3,
@@ -89,7 +90,7 @@ main(int argc, char **argv)
         const clock::DpllParams fast; // 7% per 10 ns
         clock::DpllParams slow = fast;
         slow.slewPerSecond = 0.07 / 10e-6; // conventional PLL relock
-        const Hertz f = 4.2e9;
+        const Hertz f = Hertz{4.2e9};
         const Volts v = curve.vminAt(f) + curve.params().calibratedMargin;
         const clock::DroopEvent event;
 
@@ -107,13 +108,15 @@ main(int argc, char **argv)
             const auto outcome = clock::simulateDroop(
                 curve, *c.dpll, c.adaptive, v, f, event);
             table.addRow({c.name, outcome.violated ? "YES" : "no",
-                          stats::formatDouble(outcome.minMargin * 1e3, 1),
-                          stats::formatDouble(outcome.lostTime * 1e9, 1)});
+                          stats::formatDouble(
+                              toMilliVolts(outcome.minMargin), 1),
+                          stats::formatDouble(
+                              outcome.lostTime.value() * 1e9, 1)});
         }
         std::printf("%s", table.render().c_str());
         std::printf("  static design instead needs %.0f mV of standing "
                     "margin to survive this event\n",
-                    clock::staticGuardbandNeeded(v, event) * 1e3);
+                    toMilliVolts(clock::staticGuardbandNeeded(v, event)));
     }
 
     std::printf("\n(3) predictor robustness on synthetic workloads\n");
@@ -143,11 +146,11 @@ main(int argc, char **argv)
                            ? workload::RunMode::Multithreaded
                            : workload::RunMode::Rate;
         const auto result = core::runScheduled(spec);
-        const double predicted =
+        const Hertz predicted =
             predictor.predict(result.metrics.meanChipMips);
         errorPct.add(100.0 *
-                     std::abs(predicted - result.metrics.meanFrequency) /
-                     result.metrics.meanFrequency);
+                     (abs(predicted - result.metrics.meanFrequency) /
+                      result.metrics.meanFrequency));
     }
     std::printf("  evaluated on 24 unseen synthetic workloads: mean "
                 "error %.2f%%, worst %.2f%%\n",

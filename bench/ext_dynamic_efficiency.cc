@@ -45,13 +45,13 @@ capTo(GuardbandMode mode, Watts cap, uint64_t seed)
         chip.setLoad(i, CoreLoad::running(1.1, 13.0_mV, 24.0_mV));
     PowerCapController governor;
     for (int interval = 0; interval < 40; ++interval) {
-        chip.settle(0.6);
+        chip.settle(Seconds{0.6});
         const Hertz next = governor.decide(chip.targetFrequency(),
                                            chip.power(), cap);
         if (next != chip.targetFrequency())
             chip.setTargetFrequency(next);
     }
-    chip.settle(1.0);
+    chip.settle(Seconds{1.0});
     return {chip.targetFrequency(), chip.power()};
 }
 
@@ -70,18 +70,19 @@ main(int argc, char **argv)
     stats::TablePrinter capping;
     capping.setHeader({"cap (W)", "static: freq/power",
                        "undervolt: freq/power", "freq gain (MHz)"});
-    for (Watts cap : {90.0, 105.0, 120.0}) {
+    for (Watts cap : {90.0_W, 105.0_W, 120.0_W}) {
         const auto fixed = capTo(GuardbandMode::StaticGuardband, cap,
                                  options.seed);
         const auto adaptive = capTo(GuardbandMode::AdaptiveUndervolt, cap,
                                     options.seed);
-        capping.addRow({stats::formatDouble(cap, 0),
+        capping.addRow({stats::formatDouble(cap.value(), 0),
                         stats::formatDouble(toMegaHertz(fixed.first), 0) +
-                            " / " + stats::formatDouble(fixed.second, 1),
+                            " / " +
+                            stats::formatDouble(fixed.second.value(), 1),
                         stats::formatDouble(toMegaHertz(adaptive.first),
                                             0) +
                             " / " +
-                            stats::formatDouble(adaptive.second, 1),
+                            stats::formatDouble(adaptive.second.value(), 1),
                         stats::formatDouble(
                             toMegaHertz(adaptive.first - fixed.first),
                             0)});
@@ -90,7 +91,7 @@ main(int argc, char **argv)
 
     std::printf("\n(2) diurnal demand trace (peak 8 threads, 24 h, "
                 "raytrace)\n");
-    const auto trace = core::makeDiurnalTrace(8, 86400.0, 12);
+    const auto trace = core::makeDiurnalTrace(8, Seconds{86400.0}, 12);
     stats::TablePrinter day;
     day.setHeader({"policy", "mean power (W)", "energy (MJ)"});
     core::TraceEvaluation cons, borrow;
@@ -99,7 +100,8 @@ main(int argc, char **argv)
         const auto eval = core::evaluateDemandTrace(
             workload::byName("raytrace"), trace, policy, 8);
         day.addNumericRow(core::placementPolicyName(policy),
-                          {eval.meanPower, eval.chipEnergy / 1e6}, 2);
+                          {eval.meanPower.value(),
+                           eval.chipEnergy.value() / 1e6}, 2);
         (policy == core::PlacementPolicy::Consolidate ? cons : borrow) =
             eval;
     }
@@ -107,13 +109,13 @@ main(int argc, char **argv)
     std::printf("\nsummary: borrowing saves %.1f%% of daily chip energy "
                 "(%.2f kWh/day/server)\n",
                 100.0 * (1.0 - borrow.chipEnergy / cons.chipEnergy),
-                (cons.chipEnergy - borrow.chipEnergy) / 3.6e6);
+                (cons.chipEnergy - borrow.chipEnergy).value() / 3.6e6);
 
     auto summary = benchSummary("ext_dynamic_efficiency", options);
     summary.set("daily_energy_saving_pct",
                 100.0 * (1.0 - borrow.chipEnergy / cons.chipEnergy));
     summary.set("daily_saving_kwh",
-                (cons.chipEnergy - borrow.chipEnergy) / 3.6e6);
+                (cons.chipEnergy - borrow.chipEnergy).value() / 3.6e6);
     finishBench(options, summary);
     return 0;
 }

@@ -41,14 +41,14 @@ using namespace agsim::units;
 
 namespace {
 
-constexpr Seconds kDt = 1e-3;
-constexpr Seconds kFaultStart = 0.1;
+constexpr Seconds kDt = Seconds{1e-3};
+constexpr Seconds kFaultStart = Seconds{0.1};
 
 struct ResiliencePoint
 {
     double biasMv = 0.0;
     int64_t emergencies = 0;     // counted up to the demotion
-    Seconds timeToDemotion = -1; // from fault onset; <0 = never demoted
+    Seconds timeToDemotion = Seconds{-1.0}; // from onset; <0 = never
     int64_t postEmergencies = 0; // after demotion + recovery
     double efficiencyDeltaPct = 0.0;
 };
@@ -58,7 +58,7 @@ benchConfig(uint64_t seed)
 {
     chip::ChipConfig config;
     config.seed = seed;
-    config.undervolt.maxUndervolt = 0.120;
+    config.undervolt.maxUndervolt = Volts{0.120};
     // Latch on the first demotion. The injected lie is permanent, and
     // the bench measures detection latency and the post-demotion
     // regime; with the default re-arm hysteresis the monitor would
@@ -72,14 +72,14 @@ benchConfig(uint64_t seed)
 Watts
 meanPower(chip::Chip &c, Seconds duration)
 {
-    Watts sum = 0.0;
+    Watts sum = Watts{0.0};
     int samples = 0;
-    for (Seconds t = 0.0; t < duration; t += kDt) {
+    for (Seconds t = Seconds{0.0}; t < duration; t += kDt) {
         c.step(kDt);
         sum += c.power();
         ++samples;
     }
-    return samples > 0 ? sum / samples : 0.0;
+    return samples > 0 ? sum / double(samples) : Watts{0.0};
 }
 
 ResiliencePoint
@@ -93,17 +93,19 @@ runPoint(double biasMv, const bench::BenchOptions &options)
     c.setMode(chip::GuardbandMode::AdaptiveUndervolt);
     for (size_t i = 0; i < c.coreCount(); ++i)
         c.setLoad(i, chip::CoreLoad::running(1.0, 13.0_mV, 24.0_mV));
-    c.settle(options.warmup > 0.0 ? options.warmup : 1.0, kDt);
+    c.settle(options.warmup > Seconds{0.0} ? options.warmup
+                                           : Seconds{1.0}, kDt);
 
     const Watts adaptivePower = meanPower(c, options.measure);
 
     fault::FaultPlan plan;
-    plan.cpmOptimisticBias(kFaultStart, 0.0, biasMv * 1e-3);
+    plan.cpmOptimisticBias(kFaultStart, Seconds{0.0},
+                           Volts{biasMv * 1e-3});
     fault::FaultInjector injector(plan, c.coreCount());
     c.attachFaultInjector(&injector);
 
     // Fault phase: step until demotion (or give up after 4 s).
-    const int maxSteps = int(4.0 / kDt);
+    const int maxSteps = int(Seconds{4.0} / kDt);
     for (int i = 0; i < maxSteps && !c.safetyDemoted(); ++i)
         c.step(kDt);
     if (c.safetyDemoted()) {
@@ -113,13 +115,13 @@ runPoint(double biasMv, const bench::BenchOptions &options)
 
     // Post-demotion: let the rail recover to the static setpoint, then
     // verify the guardband holds with the sensors still lying.
-    c.settle(0.5, kDt);
+    c.settle(Seconds{0.5}, kDt);
     const int64_t settled = c.safetyMonitor().totalEmergencies();
     const Watts staticPower = meanPower(c, options.measure);
     point.postEmergencies =
         c.safetyMonitor().totalEmergencies() - settled;
     point.efficiencyDeltaPct =
-        adaptivePower > 0.0
+        adaptivePower > Watts{0.0}
             ? 100.0 * (staticPower - adaptivePower) / adaptivePower
             : 0.0;
     return point;
@@ -167,8 +169,9 @@ main(int argc, char **argv)
         for (const auto &p : points) {
             std::printf("%10.1f %12lld %12.1f %11lld %14.2f\n", p.biasMv,
                         (long long)p.emergencies,
-                        p.timeToDemotion >= 0.0 ? p.timeToDemotion * 1e3
-                                                : -1.0,
+                        p.timeToDemotion >= Seconds{0.0}
+                            ? toMilliSeconds(p.timeToDemotion)
+                            : -1.0,
                         (long long)p.postEmergencies,
                         p.efficiencyDeltaPct);
         }
@@ -181,8 +184,8 @@ main(int argc, char **argv)
         obs::JsonLineWriter record;
         record.set("bias_mv", p.biasMv);
         record.set("emergencies", p.emergencies);
-        record.set("t_demote_ms", p.timeToDemotion >= 0.0
-                                      ? p.timeToDemotion * 1e3
+        record.set("t_demote_ms", p.timeToDemotion >= Seconds{0.0}
+                                      ? toMilliSeconds(p.timeToDemotion)
                                       : -1.0);
         record.set("post_emergencies", p.postEmergencies);
         record.set("eff_delta_pct", p.efficiencyDeltaPct);

@@ -51,15 +51,15 @@ main(int argc, char **argv)
 
         // EDP: run a fixed amount of work to completion.
         workload::BenchmarkProfile small = profile;
-        small.totalInstructions = 120e9;
+        small.totalInstructions = Instructions{120e9};
         auto statEdpSpec = sec3Spec(small, threads,
                                     GuardbandMode::StaticGuardband,
                                     options);
-        statEdpSpec.simConfig.measureDuration = 0.0;
+        statEdpSpec.simConfig.measureDuration = Seconds{0.0};
         auto adptEdpSpec = sec3Spec(small, threads,
                                     GuardbandMode::AdaptiveUndervolt,
                                     options);
-        adptEdpSpec.simConfig.measureDuration = 0.0;
+        adptEdpSpec.simConfig.measureDuration = Seconds{0.0};
         specs.push_back(statEdpSpec);
         specs.push_back(adptEdpSpec);
     }
@@ -70,13 +70,14 @@ main(int argc, char **argv)
         const auto &adpt = results[(threads - 1) * 4 + 1];
         const auto &statEdp_ = results[(threads - 1) * 4 + 2];
         const auto &adptEdp_ = results[(threads - 1) * 4 + 3];
-        staticPower.add(double(threads), stat.metrics.socketPower[0]);
-        adaptivePower.add(double(threads), adpt.metrics.socketPower[0]);
+        staticPower.add(double(threads), stat.metrics.socketPower[0].value());
+        adaptivePower.add(double(threads),
+                          adpt.metrics.socketPower[0].value());
         saving.add(double(threads),
                    100.0 * (1.0 - adpt.metrics.socketPower[0] /
                             stat.metrics.socketPower[0]));
-        staticEdp.add(double(threads), statEdp_.metrics.edp);
-        adaptiveEdp.add(double(threads), adptEdp_.metrics.edp);
+        staticEdp.add(double(threads), statEdp_.metrics.edp.value());
+        adaptiveEdp.add(double(threads), adptEdp_.metrics.edp.value());
     }
 
     std::printf("\n(a) chip power vs active cores\n");

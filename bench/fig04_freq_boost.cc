@@ -34,7 +34,7 @@ main(int argc, char **argv)
     stats::Series adaptiveTime("adaptive time (s)");
 
     workload::BenchmarkProfile timed = profile;
-    timed.totalInstructions = 150e9;
+    timed.totalInstructions = Instructions{150e9};
 
     // Three independent runs per thread count, all batched.
     std::vector<core::ScheduledRunSpec> specs;
@@ -45,11 +45,11 @@ main(int argc, char **argv)
 
         auto statSpec = sec3Spec(timed, threads,
                                  GuardbandMode::StaticGuardband, options);
-        statSpec.simConfig.measureDuration = 0.0;
+        statSpec.simConfig.measureDuration = Seconds{0.0};
         auto boostSpec = sec3Spec(timed, threads,
                                   GuardbandMode::AdaptiveOverclock,
                                   options);
-        boostSpec.simConfig.measureDuration = 0.0;
+        boostSpec.simConfig.measureDuration = Seconds{0.0};
         specs.push_back(statSpec);
         specs.push_back(boostSpec);
     }
@@ -60,13 +60,13 @@ main(int argc, char **argv)
         frequency.add(double(threads),
                       toMegaHertz(boosted.metrics.meanFrequency));
         boost.add(double(threads),
-                  100.0 * (boosted.metrics.meanFrequency / 4.2e9 - 1.0));
+                  100.0 * (boosted.metrics.meanFrequency / 4.2_GHz - 1.0));
         staticTime.add(double(threads),
                        results[(threads - 1) * 3 + 1]
-                           .metrics.jobs[0].completionTime);
+                           .metrics.jobs[0].completionTime.value());
         adaptiveTime.add(double(threads),
                          results[(threads - 1) * 3 + 2]
-                             .metrics.jobs[0].completionTime);
+                             .metrics.jobs[0].completionTime.value());
     }
 
     std::printf("\n(a) frequency-boosting mode\n");

@@ -46,7 +46,7 @@ main(int argc, char **argv)
                   100.0 * (1.0 - undervolt.metrics.socketPower[0] /
                            stat.metrics.socketPower[0]));
             f.add(double(threads),
-                  100.0 * (overclock.metrics.meanFrequency / 4.2e9 - 1.0));
+                  100.0 * (overclock.metrics.meanFrequency / 4.2_GHz - 1.0));
         }
         power.push_back(std::move(p));
         freq.push_back(std::move(f));

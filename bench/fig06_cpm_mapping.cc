@@ -49,13 +49,13 @@ main(int argc, char **argv)
     std::vector<stats::Series> curves;
     std::printf("  fitted sensitivity per frequency:\n");
     for (double ghz : {2.8, 3.2, 3.6, 4.0, 4.2}) {
-        chip.setTargetFrequency(ghz * 1e9);
+        chip.setTargetFrequency(Hertz{ghz * 1e9});
         stats::Series curve(stats::formatDouble(ghz, 1) + " GHz");
         stats::LinearFit fit;
-        for (Volts setpoint = 0.94; setpoint <= 1.235;
-             setpoint += 0.010) {
+        for (Volts setpoint = Volts{0.94}; setpoint <= Volts{1.235};
+             setpoint += Volts{0.010}) {
             chip.forceSetpoint(setpoint);
-            chip.settle(0.10);
+            chip.settle(Seconds{0.10});
             std::vector<Volts> voltages;
             std::vector<Hertz> freqs;
             for (size_t core = 0; core < chip.coreCount(); ++core) {

@@ -40,7 +40,7 @@ main(int argc, char **argv)
     config.seed = options.seed;
     Chip refChip(config, &refVrm);
     refChip.setMode(GuardbandMode::StaticGuardband);
-    refChip.settle(0.3);
+    refChip.settle(Seconds{0.3});
     std::vector<Volts> idleDrop(refChip.coreCount());
     for (size_t core = 0; core < refChip.coreCount(); ++core)
         idleDrop[core] = refChip.setpoint() - refChip.coreVoltage(core);
@@ -61,11 +61,11 @@ main(int argc, char **argv)
                         profile.intensity, profile.didtTypicalAmp,
                         profile.didtWorstAmp));
                 }
-                chip.settle(0.25);
+                chip.settle(Seconds{0.25});
                 const Volts drop = chip.setpoint() -
                                    chip.coreVoltage(watched) -
                                    idleDrop[watched];
-                s.add(double(active), 100.0 * drop / 1.2);
+                s.add(double(active), 100.0 * (drop / 1.2_V));
             }
             minDrop1 = std::min(minDrop1, s.firstY());
             maxDrop8 = std::max(maxDrop8, s.lastY());

@@ -59,14 +59,15 @@ main(int argc, char **argv)
                                                   profile.didtTypicalAmp,
                                                   profile.didtWorstAmp));
             }
-            chip.settle(0.3);
+            chip.settle(Seconds{0.3});
             const auto &d = chip.decomposition(0);
-            maxTotalPct = std::max(maxTotalPct, 100.0 * d.total() / 1.2);
+            maxTotalPct = std::max(maxTotalPct,
+                                   100.0 * (d.total() / 1.2_V));
             table.addNumericRow(
                 std::to_string(active),
                 {toMilliVolts(d.loadline), toMilliVolts(d.irDrop()),
                  toMilliVolts(d.typicalDidt), toMilliVolts(d.worstDidt),
-                 toMilliVolts(d.total()), 100.0 * d.total() / 1.2},
+                 toMilliVolts(d.total()), 100.0 * (d.total() / 1.2_V)},
                 1);
         }
         std::printf("\n(%s)\n%s", name, table.render().c_str());

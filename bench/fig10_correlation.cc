@@ -62,7 +62,7 @@ main(int argc, char **argv)
         const auto uv = runScheduled(undervoltSpec);
         const auto oc = runScheduled(overclockSpec);
 
-        const double power = stat.metrics.socketPower[0];
+        const double power = stat.metrics.socketPower[0].value();
         const double drop = toMilliVolts(
             stat.metrics.meanDecomposition.sharedPassive());
         const double undervolt =
@@ -71,7 +71,7 @@ main(int argc, char **argv)
         const double saving = 100.0 * (1.0 - uv.metrics.socketPower[0] /
                                        stat.metrics.socketPower[0]);
         const double boost =
-            100.0 * (oc.metrics.meanFrequency / 4.2e9 - 1.0);
+            100.0 * (oc.metrics.meanFrequency / 4.2_GHz - 1.0);
 
         table.addNumericRow(profile.name,
                             {power, drop, undervolt, vdd, saving, boost},

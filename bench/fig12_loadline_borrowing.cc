@@ -60,9 +60,11 @@ main(int argc, char **argv)
             double(threads),
             toMilliVolts((borrow.metrics.socketUndervolt[0] +
                           borrow.metrics.socketUndervolt[1]) / 2.0));
-        staticPower.add(double(threads), stat.metrics.totalChipPower);
-        consPower.add(double(threads), cons.metrics.totalChipPower);
-        borrowPower.add(double(threads), borrow.metrics.totalChipPower);
+        staticPower.add(double(threads),
+                        stat.metrics.totalChipPower.value());
+        consPower.add(double(threads), cons.metrics.totalChipPower.value());
+        borrowPower.add(double(threads),
+                        borrow.metrics.totalChipPower.value());
         benefit.add(double(threads),
                     100.0 * (1.0 - borrow.metrics.totalChipPower /
                              cons.metrics.totalChipPower));

@@ -85,18 +85,20 @@ main(int argc, char **argv)
 
         Row row;
         row.name = names[i];
-        row.baselinePower = cons.metrics.totalChipPower;
-        row.borrowPower = borrow.metrics.totalChipPower;
+        row.baselinePower = cons.metrics.totalChipPower.value();
+        row.borrowPower = borrow.metrics.totalChipPower.value();
         row.powerImprovement =
             100.0 * (1.0 - row.borrowPower / row.baselinePower);
         row.perfImprovement =
             100.0 * (borrow.metrics.jobs[0].meanRate /
                      cons.metrics.jobs[0].meanRate - 1.0);
-        // Energy per unit work = power / throughput.
-        const double consEnergy = row.baselinePower /
-                                  cons.metrics.jobs[0].meanRate;
-        const double borrowEnergy = row.borrowPower /
-                                    borrow.metrics.jobs[0].meanRate;
+        // Energy per unit work = power / throughput (joules/instruction).
+        const double consEnergy =
+            (cons.metrics.totalChipPower /
+             cons.metrics.jobs[0].meanRate).value();
+        const double borrowEnergy =
+            (borrow.metrics.totalChipPower /
+             borrow.metrics.jobs[0].meanRate).value();
         row.energyImprovement = 100.0 * (1.0 - borrowEnergy / consEnergy);
         power.add(row.powerImprovement);
         energy.add(row.energyImprovement);

@@ -71,13 +71,22 @@ main(int argc, char **argv)
     stats::TablePrinter table;
     table.setHeader({"mix", "core0 freq (MHz)"});
 
+    auto mixLabel = [](size_t k, const char *other) {
+        std::string label = "<";
+        label += std::to_string(k);
+        label += " coremark, ";
+        label += std::to_string(8 - k);
+        label += ' ';
+        label += other;
+        label += '>';
+        return label;
+    };
+
     // Left wing: <k coremark, 8-k lu_cb>, k = 1..7 (paper's left side).
     std::vector<double> series;
     for (size_t k = 1; k <= 7; ++k) {
         const Hertz f = mixFrequency(k, "lu_cb", options);
-        table.addNumericRow("<" + std::to_string(k) + " coremark, " +
-                            std::to_string(8 - k) + " lu_cb>",
-                            {toMegaHertz(f)}, 0);
+        table.addNumericRow(mixLabel(k, "lu_cb"), {toMegaHertz(f)}, 0);
         series.push_back(toMegaHertz(f));
     }
     const Hertz coremarkOnly = mixFrequency(8, "", options);
@@ -85,9 +94,7 @@ main(int argc, char **argv)
                         {toMegaHertz(coremarkOnly)}, 0);
     for (size_t k = 7; k >= 1; --k) {
         const Hertz f = mixFrequency(k, "mcf", options);
-        table.addNumericRow("<" + std::to_string(k) + " coremark, " +
-                            std::to_string(8 - k) + " mcf>",
-                            {toMegaHertz(f)}, 0);
+        table.addNumericRow(mixLabel(k, "mcf"), {toMegaHertz(f)}, 0);
         series.push_back(toMegaHertz(f));
     }
     std::printf("%s", table.render().c_str());

@@ -57,16 +57,17 @@ main(int argc, char **argv)
     std::printf("%s", table.render().c_str());
     std::printf("\nfitted predictor: freq = %.0f MHz %+.3f MHz per "
                 "1000 MIPS\n",
-                predictor.intercept() / 1e6, predictor.slope() * 1e3 / 1e6);
+                toMegaHertz(predictor.intercept()),
+                predictor.slope() * 1e3 / 1e6);
     std::printf("fit quality: RMSE %.2f%% (paper: 0.3%%), r2 %.3f, "
                 "%zu workloads\n",
                 predictor.rmsePercent(), predictor.r2(),
                 predictor.observations());
     std::printf("example queries: predict(20k)=%.0f MHz, "
                 "predict(80k)=%.0f MHz, maxMIPS@4450MHz=%.0f\n",
-                predictor.predict(20000.0) / 1e6,
-                predictor.predict(80000.0) / 1e6,
-                predictor.maxMipsForFrequency(4.45e9));
+                toMegaHertz(predictor.predict(20000.0)),
+                toMegaHertz(predictor.predict(80000.0)),
+                predictor.maxMipsForFrequency(Hertz{4.45e9}));
 
     auto summary = benchSummary("fig16_mips_predictor", options);
     summary.set("rmse_pct", predictor.rmsePercent());

@@ -36,7 +36,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions options = parseOptions(argc, argv);
-    const double horizon = options.params.getDouble("horizon", 60000.0);
+    const Seconds horizon{options.params.getDouble("horizon", 60000.0)};
     banner("Fig. 17: WebSearch p90-latency distribution under "
            "co-runners",
            "QoS violations: heavy >25%, medium ~15%, light <7% at the "
@@ -54,7 +54,7 @@ main(int argc, char **argv)
     auto summary = benchSummary("fig17_websearch_qos", options);
     for (const auto &[name, mips] : classes) {
         const auto corunner = workload::throttledCoremark(
-            name, mips * 1e6 / 7.0);
+            name, InstrPerSec{mips * 1e6 / 7.0});
         Server server;
         server.setMode(GuardbandMode::AdaptiveOverclock);
         WorkloadSimulation sim(&server);
@@ -89,10 +89,13 @@ main(int argc, char **argv)
                       stats::formatDouble(metrics.meanChipMips, 0),
                       stats::formatDouble(toMegaHertz(freq), 0),
                       stats::formatDouble(
-                          qos::WebSearchService::meanP90(windows) * 1e3,
+                          toMilliSeconds(
+                              qos::WebSearchService::meanP90(windows)),
                           1),
-                      stats::formatDouble(sorted[p10] * 1e3, 0) + ".." +
-                          stats::formatDouble(sorted[p90] * 1e3, 0),
+                      stats::formatDouble(toMilliSeconds(sorted[p10]), 0) +
+                          ".." +
+                          stats::formatDouble(toMilliSeconds(sorted[p90]),
+                                              0),
                       stats::formatDouble(
                           100.0 *
                           qos::WebSearchService::violationRate(windows),
@@ -106,9 +109,9 @@ main(int argc, char **argv)
                     name.c_str());
         for (double p = 10.0; p <= 100.0; p += 10.0) {
             const size_t idx = std::min(sorted.size() - 1,
-                                        size_t(p / 100.0 * sorted.size()));
+                                        size_t(p / 100.0 * double(sorted.size())));
             std::printf("  %3.0f%% of windows <= %.0f ms\n", p,
-                        sorted[idx] * 1e3);
+                        toMilliSeconds(sorted[idx]));
         }
     }
     std::printf("\n%s", table.render().c_str());

@@ -39,9 +39,9 @@ struct ClassMeasurement
 {
     std::string name;
     double chipMips = 0.0;
-    Hertz frequency = 0.0;
+    Hertz frequency = Hertz{0.0};
     double violation = 0.0;
-    Seconds meanP90 = 0.0;
+    Seconds meanP90 = Seconds{0.0};
 };
 
 /** Colocation run for one co-runner class, as a batch task. */
@@ -50,7 +50,7 @@ classTask(const std::string &name, double totalMips,
           const BenchOptions &options)
 {
     const auto corunner = workload::throttledCoremark(
-        name + "-probe", totalMips * 1e6 / 7.0);
+        name + "-probe", InstrPerSec{totalMips * 1e6 / 7.0});
     BatchTask task;
     task.label = name;
     task.mode = GuardbandMode::AdaptiveOverclock;
@@ -70,7 +70,7 @@ classTask(const std::string &name, double totalMips,
 /** QoS evaluation at the frequency the colocation run settled to. */
 ClassMeasurement
 evaluateClass(const system::BatchResult &run,
-              qos::WebSearchService &service, double horizon)
+              qos::WebSearchService &service, Seconds horizon)
 {
     ClassMeasurement m;
     m.name = run.label;
@@ -95,25 +95,25 @@ evaluateClass(const system::BatchResult &run,
 bool
 runSafetyProbe(const BenchOptions &options)
 {
-    constexpr Seconds kDt = 1e-3;
+    constexpr Seconds kDt = Seconds{1e-3};
     chip::ChipConfig config;
     config.seed = options.seed;
-    config.undervolt.maxUndervolt = 0.120;
+    config.undervolt.maxUndervolt = Volts{0.120};
     config.safety.maxRearms = 0;
 
     pdn::Vrm vrm(1);
     chip::Chip c(config, &vrm);
     c.setMode(GuardbandMode::AdaptiveUndervolt);
     for (size_t i = 0; i < c.coreCount(); ++i)
-        c.setLoad(i, chip::CoreLoad::running(1.0, 13.0e-3, 24.0e-3));
-    c.settle(0.5, kDt);
+        c.setLoad(i, chip::CoreLoad::running(1.0, Volts{13.0e-3}, Volts{24.0e-3}));
+    c.settle(Seconds{0.5}, kDt);
 
     fault::FaultPlan plan;
-    plan.cpmOptimisticBias(0.1, 0.0, 0.040);
+    plan.cpmOptimisticBias(Seconds{0.1}, Seconds{0.0}, Volts{0.040});
     fault::FaultInjector injector(plan, c.coreCount());
     c.attachFaultInjector(&injector);
 
-    const int maxSteps = int(4.0 / kDt);
+    const int maxSteps = int(Seconds{4.0} / kDt);
     for (int i = 0; i < maxSteps && !c.safetyDemoted(); ++i)
         c.step(kDt);
     return c.safetyDemoted();
@@ -125,7 +125,7 @@ int
 main(int argc, char **argv)
 {
     BenchOptions options = parseOptions(argc, argv);
-    const double horizon = options.params.getDouble("horizon", 60000.0);
+    const Seconds horizon{options.params.getDouble("horizon", 60000.0)};
     banner("Sec. 5.2.2 / Fig. 18: adaptive mapping in the loop",
            "blind heavy mapping violates >25%; scheduler swap restores "
            "QoS and improves tail latency");
@@ -150,14 +150,14 @@ main(int argc, char **argv)
     for (size_t i = 0; i < classes.size(); ++i) {
         auto m = evaluateClass(runs[i], service, horizon);
         scheduler.observeFrequency(m.chipMips, m.frequency);
-        scheduler.observeQos(m.frequency, m.meanP90);
+        scheduler.observeQos(m.frequency, m.meanP90.value());
         catalogue.push_back(core::CorunnerOption{classes[i].first,
                                                  m.chipMips,
                                                  classes[i].second * 0.1});
         std::printf("  observed %-6s: %6.0f chip MIPS, %4.0f MHz, p90 "
                     "%.0f ms, violation %.1f%%\n",
                     m.name.c_str(), m.chipMips,
-                    toMegaHertz(m.frequency), m.meanP90 * 1e3,
+                    toMegaHertz(m.frequency), toMilliSeconds(m.meanP90),
                     100.0 * m.violation);
         measured.push_back(std::move(m));
     }
@@ -170,7 +170,7 @@ main(int argc, char **argv)
                 100.0 * scheduler.params().violationThreshold);
 
     const auto decision = scheduler.decide(
-        blind.violation, service.params().qosTargetP90, 4500.0, 2,
+        blind.violation, service.params().qosTargetP90.value(), 4500.0, 2,
         catalogue);
     std::printf("decision: %s -> %s (%s)\n",
                 blind.name.c_str(),
@@ -178,7 +178,7 @@ main(int argc, char **argv)
                                     .name.c_str()
                               : "keep",
                 decision.reason.c_str());
-    if (decision.requiredFrequency > 0.0) {
+    if (decision.requiredFrequency > Hertz{0.0}) {
         std::printf("  required frequency %.0f MHz, co-runner MIPS "
                     "budget %.0f\n",
                     toMegaHertz(decision.requiredFrequency),
@@ -190,7 +190,8 @@ main(int argc, char **argv)
         std::printf("\nafter swap: violation %.1f%% (was %.1f%%), mean "
                     "p90 %.0f ms (was %.0f ms, %.1f%% better)\n",
                     100.0 * chosen.violation, 100.0 * blind.violation,
-                    chosen.meanP90 * 1e3, blind.meanP90 * 1e3,
+                    toMilliSeconds(chosen.meanP90),
+                    toMilliSeconds(blind.meanP90),
                     100.0 * (1.0 - chosen.meanP90 / blind.meanP90));
         std::printf("[paper: 25%% -> <7%% (light) or ~15%% (medium); "
                     "tail latency improves ~5.2%%]\n");

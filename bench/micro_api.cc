@@ -28,9 +28,9 @@ BM_ChipStep(benchmark::State &state)
     chip::Chip chip(chip::ChipConfig(), &vrm);
     chip.setMode(chip::GuardbandMode::AdaptiveUndervolt);
     for (size_t i = 0; i < size_t(state.range(0)); ++i)
-        chip.setLoad(i, chip::CoreLoad::running(1.0, 13e-3, 24e-3));
+        chip.setLoad(i, chip::CoreLoad::running(1.0, Volts{13e-3}, Volts{24e-3}));
     for (auto _ : state) {
-        chip.step(1e-3);
+        chip.step(Seconds{1e-3});
         benchmark::DoNotOptimize(chip.power());
     }
     state.SetItemsProcessed(int64_t(state.iterations()));
@@ -44,10 +44,10 @@ BM_ServerSecond(benchmark::State &state)
     server.setMode(chip::GuardbandMode::AdaptiveUndervolt);
     for (size_t i = 0; i < 8; ++i) {
         server.chip(0).setLoad(i,
-                               chip::CoreLoad::running(1.0, 13e-3, 24e-3));
+                               chip::CoreLoad::running(1.0, Volts{13e-3}, Volts{24e-3}));
     }
     for (auto _ : state)
-        server.settle(1.0); // one simulated second
+        server.settle(Seconds{1.0}); // one simulated second
     state.SetItemsProcessed(int64_t(state.iterations()) * 1000);
 }
 BENCHMARK(BM_ServerSecond)->Unit(benchmark::kMillisecond);
@@ -58,7 +58,7 @@ BM_PredictorObserve(benchmark::State &state)
     core::MipsFreqPredictor predictor;
     double mips = 5000.0;
     for (auto _ : state) {
-        predictor.observe(mips, 4.6e9 - 2500.0 * mips);
+        predictor.observe(mips, Hertz{4.6e9 - 2500.0 * mips});
         mips = mips >= 80000.0 ? 5000.0 : mips + 13.0;
         benchmark::DoNotOptimize(predictor.observations());
     }
@@ -70,7 +70,7 @@ BM_PredictorQuery(benchmark::State &state)
 {
     core::MipsFreqPredictor predictor;
     for (double mips = 5000; mips <= 80000; mips += 2500)
-        predictor.observe(mips, 4.6e9 - 2500.0 * mips);
+        predictor.observe(mips, Hertz{4.6e9 - 2500.0 * mips});
     double mips = 10000.0;
     for (auto _ : state) {
         benchmark::DoNotOptimize(predictor.predict(mips));
@@ -84,9 +84,9 @@ BM_SchedulerDecision(benchmark::State &state)
 {
     core::AdaptiveMappingScheduler scheduler;
     for (double mips = 5000; mips <= 80000; mips += 5000)
-        scheduler.observeFrequency(mips, 4.6e9 - 2500.0 * mips);
+        scheduler.observeFrequency(mips, Hertz{4.6e9 - 2500.0 * mips});
     for (double f = 4.40e9; f <= 4.60e9; f += 0.02e9)
-        scheduler.observeQos(f, 0.520 - (f - 4.40e9) * 5e-10);
+        scheduler.observeQos(Hertz{f}, 0.520 - (f - 4.40e9) * 5e-10);
     const std::vector<core::CorunnerOption> candidates = {
         {"light", 13000.0, 100.0},
         {"medium", 28000.0, 300.0},
@@ -105,7 +105,7 @@ BM_CpmBankRead(benchmark::State &state)
     sensors::CpmBank bank(&curve, sensors::CpmParams(), 0, 42);
     double v = 1.10;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(bank.minRead(v, 4.2e9));
+        benchmark::DoNotOptimize(bank.minRead(Volts{v}, 4.2_GHz));
         v = v >= 1.22 ? 1.10 : v + 1e-5;
     }
 }
@@ -117,7 +117,7 @@ BM_WebSearchWindow(benchmark::State &state)
     qos::WebSearchService service;
     for (auto _ : state) {
         benchmark::DoNotOptimize(
-            service.simulate(4.5e9, service.params().windowLength));
+            service.simulate(Hertz{4.5e9}, service.params().windowLength));
     }
     state.SetItemsProcessed(int64_t(state.iterations()));
 }

@@ -42,7 +42,7 @@ measureScenario(chip::GuardbandMode mode, size_t activeCores,
     c.setMode(mode);
     for (size_t i = 0; i < activeCores; ++i)
         c.setLoad(i, chip::CoreLoad::running(1.0, 13.0_mV, 24.0_mV));
-    c.settle(1.5, dt);
+    c.settle(Seconds{1.5}, dt);
 
     const auto start = std::chrono::steady_clock::now();
     for (size_t i = 0; i < steps; ++i)
@@ -61,7 +61,7 @@ main(int argc, char **argv)
     ParamSet params;
     params.parseArgs(argc, argv);
     const size_t steps = size_t(params.getInt("steps", 200000));
-    const Seconds dt = params.getDouble("dt", 1e-3);
+    const Seconds dt{params.getDouble("dt", 1e-3)};
 
     const double idle = measureScenario(
         chip::GuardbandMode::StaticGuardband, 0, steps, dt);
@@ -91,7 +91,7 @@ main(int argc, char **argv)
     record.set("undervolt_obs_steps_per_sec", undervoltObs);
     record.set("obs_overhead_pct", overheadPct);
     record.set("steps", uint64_t(steps));
-    record.set("dt", dt);
+    record.set("dt", dt.value());
     obs::writeJsonLine(record);
     return 0;
 }

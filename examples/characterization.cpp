@@ -48,9 +48,9 @@ main(int argc, char **argv)
         chip.setLoad(core, CoreLoad::running(0.08, 2.0_mV, 4.0_mV));
 
     stats::LinearFit fit;
-    for (Volts setpoint = 1.14; setpoint <= 1.23; setpoint += 0.005) {
+    for (Volts setpoint = Volts{1.14}; setpoint <= Volts{1.23}; setpoint += Volts{0.005}) {
         chip.forceSetpoint(setpoint);
-        chip.settle(0.1);
+        chip.settle(Seconds{0.1});
         std::vector<Volts> voltages;
         std::vector<Hertz> freqs;
         for (size_t core = 0; core < chip.coreCount(); ++core) {
@@ -78,14 +78,14 @@ main(int argc, char **argv)
                                               profile.didtTypicalAmp,
                                               profile.didtWorstAmp));
         }
-        chip.settle(0.3);
+        chip.settle(Seconds{0.3});
         const auto &d = chip.decomposition(0);
         table.addNumericRow(std::to_string(active),
                             {toMilliVolts(d.loadline),
                              toMilliVolts(d.irDrop()),
                              toMilliVolts(d.typicalDidt),
                              toMilliVolts(d.worstDidt),
-                             100.0 * d.total() / 1.2},
+                             100.0 * (d.total() / 1.2_V)},
                             1);
     }
     std::printf("%s", table.render().c_str());
@@ -93,7 +93,7 @@ main(int argc, char **argv)
     std::printf("\n=== 3. sticky vs sample CPM windows (8 active "
                 "cores, 2 s) ===\n");
     chip.telemetry().clearWindows();
-    chip.settle(2.0);
+    chip.settle(Seconds{2.0});
     stats::Accumulator sample, sticky;
     size_t droopWindows = 0;
     for (const auto &window : chip.telemetry().windows()) {
@@ -106,7 +106,7 @@ main(int argc, char **argv)
                 "sticky-mode mean %.2f,\n  %.0f%% of windows caught a "
                 "droop (sticky < sample)\n",
                 chip.telemetry().windows().size(),
-                chip.telemetry().params().windowLength * 1e3,
+                toMilliSeconds(chip.telemetry().params().windowLength),
                 sample.mean(), sticky.mean(),
                 100.0 * double(droopWindows) /
                     double(chip.telemetry().windows().size()));

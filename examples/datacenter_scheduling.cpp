@@ -32,8 +32,8 @@ chipPower(const workload::BenchmarkProfile &profile, size_t threads,
     spec.policy = policy;
     spec.mode = chip::GuardbandMode::AdaptiveUndervolt;
     spec.poweredCoreBudget = budget;
-    spec.simConfig.measureDuration = 1.0;
-    return core::runScheduled(spec).metrics.totalChipPower;
+    spec.simConfig.measureDuration = Seconds{1.0};
+    return core::runScheduled(spec).metrics.totalChipPower.value();
 }
 
 } // namespace
@@ -83,7 +83,7 @@ main(int argc, char **argv)
              clusterSpec, profile, budget)) {
         cluster.addNumericRow(core::clusterStrategyName(eval.strategy),
                               {double(eval.activeServers),
-                               eval.totalPower},
+                               eval.totalPower.value()},
                               1);
     }
     std::printf("%s", cluster.render().c_str());

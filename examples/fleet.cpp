@@ -48,17 +48,17 @@ main(int argc, char **argv)
                 servers, peak);
 
     // --- 1+2: batch energy over the day, naive vs AGS -----------------
-    const auto trace = core::makeDiurnalTrace(peak, 86400.0, 12);
+    const auto trace = core::makeDiurnalTrace(peak, Seconds{86400.0}, 12);
     const auto naive = core::evaluateDemandTrace(
         batch, trace, core::PlacementPolicy::Consolidate, peak, jobs);
     const auto ags = core::evaluateDemandTrace(
         batch, trace, core::PlacementPolicy::LoadlineBorrow, peak, jobs);
     std::printf("batch tier (per active server, %s):\n", batch.name.c_str());
     std::printf("  consolidate: %.2f MJ/day (%.1f W mean)\n",
-                naive.chipEnergy / 1e6, naive.meanPower);
+                naive.chipEnergy.value() / 1e6, naive.meanPower.value());
     std::printf("  AGS borrow : %.2f MJ/day (%.1f W mean) -> %.1f%% "
                 "chip energy saved\n",
-                ags.chipEnergy / 1e6, ags.meanPower,
+                ags.chipEnergy.value() / 1e6, ags.meanPower.value(),
                 100.0 * (1.0 - ags.chipEnergy / naive.chipEnergy));
 
     core::ClusterSpec clusterSpec;
@@ -74,10 +74,10 @@ main(int argc, char **argv)
                 peak);
     std::printf("  consolidate servers + borrow sockets: %zu server(s) "
                 "on, %.1f W total\n",
-                best.activeServers, best.totalPower);
+                best.activeServers, best.totalPower.value());
     std::printf("  spread everywhere                   : %zu server(s) "
                 "on, %.1f W total\n",
-                spread.activeServers, spread.totalPower);
+                spread.activeServers, spread.totalPower.value());
 
     // --- 3: the search server's mapping loop --------------------------
     std::printf("\nsearch server: blind colocation, then the Fig. 18 "
@@ -87,18 +87,20 @@ main(int argc, char **argv)
     core::MappingLoopConfig loop;
     loop.initialCorunner = 2; // ops blindly sold the cores to "heavy"
     loop.quanta = 5;
-    loop.qosHorizon = 9000.0;
+    loop.qosHorizon = Seconds{9000.0};
     const auto result = core::runMappingLoop(
         workload::byName("websearch"),
-        {workload::throttledCoremark("light", 13000e6 / 7.0),
-         workload::throttledCoremark("medium", 28000e6 / 7.0),
-         workload::throttledCoremark("heavy", 70000e6 / 7.0)},
+        {workload::throttledCoremark("light", InstrPerSec{13000e6 / 7.0}),
+         workload::throttledCoremark("medium",
+                                     InstrPerSec{28000e6 / 7.0}),
+         workload::throttledCoremark("heavy",
+                                     InstrPerSec{70000e6 / 7.0})},
         service, scheduler, loop);
     for (const auto &q : result.history) {
         std::printf("  quantum %zu: co-runner %-6s freq %4.0f MHz "
                     "p90 %3.0f ms violations %4.1f%%%s\n",
                     q.index, q.corunner.c_str(),
-                    toMegaHertz(q.frequency), q.meanP90 * 1e3,
+                    toMegaHertz(q.frequency), toMilliSeconds(q.meanP90),
                     100.0 * q.violationRate,
                     q.swapped ? "  -> swap" : "");
     }

@@ -41,13 +41,13 @@ main(int argc, char **argv)
         workload::ThreadedWorkload(profile, workload::RunMode::Rate),
         system::placeOnSocket(0, threads), profile.name});
     system::SimulationConfig config;
-    config.measureDuration = 1.0;
+    config.measureDuration = Seconds{1.0};
     const auto metrics = sim.run(config);
 
     std::printf("%s with %zu thread(s), undervolting mode:\n",
                 profile.name.c_str(), threads);
     std::printf("  socket 0 power %.1f W at %.0f MHz, Vdd %.0f mV\n\n",
-                metrics.socketPower[0],
+                metrics.socketPower[0].value(),
                 toMegaHertz(metrics.meanFrequency),
                 toMilliVolts(metrics.socketSetpoint[0]));
 

@@ -37,7 +37,7 @@ struct Colocation
 {
     std::string name;
     double chipMips = 0.0;
-    Hertz criticalFrequency = 0.0;
+    Hertz criticalFrequency = Hertz{0.0};
 };
 
 Colocation
@@ -55,8 +55,8 @@ colocate(const workload::BenchmarkProfile &corunner)
     sim.addJob(Job{ThreadedWorkload(corunner, RunMode::Rate), rest,
                    corunner.name});
     SimulationConfig config;
-    config.measureDuration = 0.6;
-    config.warmup = 0.8;
+    config.measureDuration = Seconds{0.6};
+    config.warmup = Seconds{0.8};
     const auto metrics = sim.run(config);
     return Colocation{corunner.name, metrics.meanChipMips,
                       server.chip(0).coreFrequency(0)};
@@ -69,7 +69,7 @@ main(int argc, char **argv)
 {
     ParamSet params;
     params.parseArgs(argc, argv);
-    const double horizon = params.getDouble("horizon", 30000.0);
+    const Seconds horizon{params.getDouble("horizon", 30000.0)};
 
     std::printf("WebSearch holds core 0; ops wants to sell the other "
                 "seven cores to batch jobs.\nSLA: p90 latency <= 500 ms "
@@ -86,7 +86,7 @@ main(int argc, char **argv)
     std::vector<Seconds> tail;
     for (const auto &[name, mips] : classes) {
         const auto corunner = workload::throttledCoremark(
-            name, mips * 1e6 / 7.0);
+            name, InstrPerSec{mips * 1e6 / 7.0});
         const auto result = colocate(corunner);
         service.reseed(service.params().seed);
         const auto windows = service.simulate(result.criticalFrequency,
@@ -97,11 +97,11 @@ main(int argc, char **argv)
                     "core at %4.0f MHz -> p90 %.0f ms, violations "
                     "%.1f%%\n",
                     name.c_str(), result.chipMips,
-                    toMegaHertz(result.criticalFrequency), p90 * 1e3,
-                    100.0 * v);
+                    toMegaHertz(result.criticalFrequency),
+                    toMilliSeconds(p90), 100.0 * v);
         scheduler.observeFrequency(result.chipMips,
                                    result.criticalFrequency);
-        scheduler.observeQos(result.criticalFrequency, p90);
+        scheduler.observeQos(result.criticalFrequency, p90.value());
         catalogue.push_back(core::CorunnerOption{name, result.chipMips,
                                                  mips * 0.1});
         violation.push_back(v);
@@ -113,7 +113,7 @@ main(int argc, char **argv)
                 100.0 * violation[2],
                 100.0 * scheduler.params().violationThreshold);
     const auto decision = scheduler.decide(
-        violation[2], service.params().qosTargetP90, 4500.0, 2,
+        violation[2], service.params().qosTargetP90.value(), 4500.0, 2,
         catalogue);
     if (decision.swap) {
         std::printf("Re-mapped to '%s' (%s).\n",

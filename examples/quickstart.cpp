@@ -36,7 +36,7 @@ main(int argc, char **argv)
     core::ScheduledRunSpec spec;
     spec.profile = profile;
     spec.threads = threads;
-    spec.simConfig.measureDuration = 1.0;
+    spec.simConfig.measureDuration = Seconds{1.0};
 
     spec.mode = chip::GuardbandMode::StaticGuardband;
     const auto fixed = core::runScheduled(spec);
@@ -48,18 +48,18 @@ main(int argc, char **argv)
     const auto overclock = core::runScheduled(spec);
 
     std::printf("static guardband : %6.1f W at %4.0f MHz\n",
-                fixed.metrics.socketPower[0],
+                fixed.metrics.socketPower[0].value(),
                 toMegaHertz(fixed.metrics.meanFrequency));
     std::printf("undervolting     : %6.1f W (%.1f%% saved, Vdd lowered "
                 "%.0f mV)\n",
-                undervolt.metrics.socketPower[0],
+                undervolt.metrics.socketPower[0].value(),
                 100.0 * (1.0 - undervolt.metrics.socketPower[0] /
                          fixed.metrics.socketPower[0]),
                 toMilliVolts(undervolt.metrics.socketUndervolt[0]));
     std::printf("overclocking     : %6.1f W at %4.0f MHz (+%.1f%%)\n",
-                overclock.metrics.socketPower[0],
+                overclock.metrics.socketPower[0].value(),
                 toMegaHertz(overclock.metrics.meanFrequency),
-                100.0 * (overclock.metrics.meanFrequency / 4.2e9 - 1.0));
+                100.0 * (overclock.metrics.meanFrequency / 4.2_GHz - 1.0));
 
     std::printf("\nvoltage-drop decomposition while undervolting:\n  %s\n",
                 undervolt.metrics.meanDecomposition.toString().c_str());

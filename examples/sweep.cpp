@@ -101,7 +101,7 @@ main(int argc, char **argv)
                                   ? core::PlacementPolicy::LoadlineBorrow
                                   : core::PlacementPolicy::Consolidate;
                 spec.poweredCoreBudget = budget;
-                spec.simConfig.measureDuration = measure;
+                spec.simConfig.measureDuration = Seconds{measure};
                 specs.push_back(std::move(spec));
                 cells.emplace_back(profile.name, modeName);
             }
@@ -118,11 +118,11 @@ main(int argc, char **argv)
             "%s,%zu,%s,%s,%.2f,%.2f,%.0f,%.1f,%.1f,%.0f,%.1f\n",
             cells[i].first.c_str(), specs[i].threads,
             cells[i].second.c_str(), borrow ? "borrow" : "consolidate",
-            m.totalChipPower, m.socketPower[0],
+            m.totalChipPower.value(), m.socketPower[0].value(),
             toMegaHertz(m.meanFrequency),
             toMilliVolts(m.socketUndervolt[0]),
             toMilliVolts(m.meanDecomposition.passive()),
-            m.meanChipMips, m.chipEnergy);
+            m.meanChipMips, m.chipEnergy.value());
     }
     return 0;
 }

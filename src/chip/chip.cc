@@ -38,7 +38,7 @@ Chip::Chip(const ChipConfig &config, pdn::Vrm *vrm)
             config.cpmsPerCore),
       telemetry_(config.coreCount, config.telemetry),
       undervoltCtl_(config.undervolt),
-      droopHistogram_(0.0, config.droopHistogramMax,
+      droopHistogram_(0.0, config.droopHistogramMax.value(),
                       config.droopHistogramBins),
       safety_(config.safety)
 {
@@ -55,16 +55,16 @@ Chip::Chip(const ChipConfig &config, pdn::Vrm *vrm)
     coreVoltage_.assign(config_.coreCount, curve_.vddStatic(
         config_.targetFrequency));
     coreCtrlVoltage_ = coreVoltage_;
-    coreCurrent_.assign(config_.coreCount, 0.0);
-    droopStall_.assign(config_.coreCount, 0.0);
+    coreCurrent_.assign(config_.coreCount, Amps{});
+    droopStall_.assign(config_.coreCount, Seconds{});
     decomposition_.assign(config_.coreCount, pdn::DropDecomposition());
 
-    scratchTypAmps_.assign(config_.coreCount, 0.0);
-    scratchWorstAmps_.assign(config_.coreCount, 0.0);
+    scratchTypAmps_.assign(config_.coreCount, Volts{});
+    scratchWorstAmps_.assign(config_.coreCount, Volts{});
     scratchObs_.sampleCpm.assign(config_.coreCount, 0);
     scratchObs_.stickyCpm.assign(config_.coreCount, 0);
-    scratchObs_.coreVoltage.assign(config_.coreCount, 0.0);
-    scratchObs_.coreFrequency.assign(config_.coreCount, 0.0);
+    scratchObs_.coreVoltage.assign(config_.coreCount, Volts{});
+    scratchObs_.coreFrequency.assign(config_.coreCount, Hertz{});
 
     registerMetrics();
     setMode(config_.mode);
@@ -143,17 +143,18 @@ Chip::applyMode(GuardbandMode mode)
     const Hertz target = config_.targetFrequency;
     staticSetpoint_ = curve_.vddStatic(target);
     vrm_->setSetpoint(config_.railIndex, staticSetpoint_);
-    sinceFirmware_ = 0.0;
+    sinceFirmware_ = Seconds{};
     for (auto &dpll : dplls_) {
         dpll.lockTo(target);
-        dpll.setCap(mode == GuardbandMode::AdaptiveUndervolt ? target : 0.0);
+        dpll.setCap(mode == GuardbandMode::AdaptiveUndervolt ? target
+                                                             : Hertz{});
     }
 }
 
 void
 Chip::setTargetFrequency(Hertz f)
 {
-    fatalIf(f <= 0.0, "target frequency must be positive");
+    fatalIf(f <= Hertz{0.0}, "target frequency must be positive");
     fatalIf(f > curve_.params().refFrequency,
             "target frequency above the DVFS range");
     config_.targetFrequency = f;
@@ -197,10 +198,10 @@ Chip::solveElectrical()
 
     for (int iter = 0; iter < config_.fixedPointIterations; ++iter) {
         const Volts previousRailVoltage = railVoltage;
-        Watts total = 0.0;
+        Watts total;
         for (size_t i = 0; i < n; ++i) {
             const CoreLoad &load = loads_[i];
-            Watts p = 0.0;
+            Watts p;
             if (load.gated) {
                 p = powerModel_.coreLeakage(railVoltage, temp, true);
             } else {
@@ -211,12 +212,12 @@ Chip::solveElectrical()
                 p = powerModel_.coreDynamic(coreVoltage_[i], f, activity) +
                     powerModel_.coreLeakage(coreVoltage_[i], temp, false);
             }
-            coreCurrent_[i] = p / std::max(railVoltage, 0.5);
+            coreCurrent_[i] = p / std::max(railVoltage, Volts{0.5});
             total += p;
         }
         total += powerModel_.uncore(railVoltage, temp);
 
-        railCurrent_ = total / std::max(railVoltage, 0.5);
+        railCurrent_ = total / std::max(railVoltage, Volts{0.5});
         railVoltage = vrm_->outputAt(config_.railIndex, railCurrent_);
         for (size_t i = 0; i < n; ++i) {
             coreVoltage_[i] = irModel_.onChipVoltage(
@@ -240,8 +241,8 @@ Chip::solveElectrical()
 
         // The V<->P fixed point usually converges in 1-2 iterations in
         // steady state: stop once the rail voltage has stopped moving.
-        if (config_.solverTolerance > 0.0 &&
-            std::abs(railVoltage - previousRailVoltage) <
+        if (config_.solverTolerance > Volts{0.0} &&
+            agsim::abs(railVoltage - previousRailVoltage) <
                 config_.solverTolerance) {
             break;
         }
@@ -282,7 +283,7 @@ Chip::runFirmware()
 void
 Chip::step(Seconds dt)
 {
-    panicIf(dt <= 0.0, "chip step must be positive");
+    panicIf(dt <= Seconds{0.0}, "chip step must be positive");
     const size_t n = config_.coreCount;
 
     obsSteps_->add();
@@ -328,8 +329,8 @@ Chip::step(Seconds dt)
             scratchWorstAmps_[i] = loads_[i].didtWorstAmp *
                                    droopDepthScale;
         } else {
-            scratchTypAmps_[i] = 0.0;
-            scratchWorstAmps_[i] = 0.0;
+            scratchTypAmps_[i] = Volts{};
+            scratchWorstAmps_[i] = Volts{};
         }
     }
     const pdn::DidtSample noise = didt_.step(scratchTypAmps_,
@@ -337,7 +338,7 @@ Chip::step(Seconds dt)
                                              droopRateScale);
     const Volts worstCharacteristic = didt_.worstDepth(scratchWorstAmps_);
     if (noise.droopEvents > 0)
-        droopHistogram_.add(noise.worstDroop);
+        droopHistogram_.add(noise.worstDroop.value());
 
     // Vcs (storage) rail: a lightly activity-dependent constant load,
     // reported separately from the Vdd metric the paper uses.
@@ -357,7 +358,7 @@ Chip::step(Seconds dt)
     for (size_t i = 0; i < n; ++i) {
         coreCtrlVoltage_[i] = coreVoltage_[i] -
             config_.rippleTrackingLoss * noise.typicalMean;
-        droopStall_[i] = 0.0;
+        droopStall_[i] = Seconds{};
 
         if (loads_[i].gated) {
             // A gated core's CPMs are dark; AMESTER reports the detector
@@ -365,7 +366,7 @@ Chip::step(Seconds dt)
             obs.sampleCpm[i] = config_.cpm.positions - 1;
             obs.stickyCpm[i] = config_.cpm.positions - 1;
             obs.coreVoltage[i] = railVoltage;
-            obs.coreFrequency[i] = 0.0;
+            obs.coreFrequency[i] = Hertz{};
             decomposition_[i] = pdn::DropDecomposition();
             decomposition_[i].loadline =
                 vrm_->loadlineDrop(config_.railIndex);
@@ -413,15 +414,15 @@ Chip::step(Seconds dt)
     // lands in the registry, the per-core events only when tracing.
     int stalledCores = 0;
     for (size_t i = 0; i < n; ++i) {
-        if (droopStall_[i] <= 0.0)
+        if (droopStall_[i] <= Seconds{})
             continue;
         ++stalledCores;
         if (obs::tracingEnabled()) {
             obs::TraceEvent event = chipEvent(obs::TraceKind::DroopResponse,
                                               simNow_, config_.railIndex);
             event.core = int32_t(i);
-            event.a = droopStall_[i];
-            event.b = noise.worstDroop;
+            event.a = droopStall_[i].value();
+            event.b = noise.worstDroop.value();
             obs::emit(std::move(event));
         }
     }
@@ -446,7 +447,7 @@ Chip::step(Seconds dt)
     }
 
     sinceFirmware_ += dt;
-    if (sinceFirmware_ >= config_.firmwareInterval - 1e-12) {
+    if (sinceFirmware_ >= config_.firmwareInterval - Seconds{1e-12}) {
         obs::ScopedTimer timer(obsFirmwareTimer_);
         const Volts setpointBefore = setpoint();
         bool stalled = false;
@@ -464,8 +465,8 @@ Chip::step(Seconds dt)
         if (obs::tracingEnabled()) {
             obs::TraceEvent event = chipEvent(obs::TraceKind::FirmwareTick,
                                               simNow_, config_.railIndex);
-            event.a = setpointBefore;
-            event.b = setpoint();
+            event.a = setpointBefore.value();
+            event.b = setpoint().value();
             if (stalled)
                 event.detail = "stalled";
             obs::emit(std::move(event));
@@ -477,8 +478,8 @@ Chip::step(Seconds dt)
         sinceFirmware_ -= config_.firmwareInterval;
         // The trigger's 1e-12 grace can leave the remainder a few ulps
         // below zero when dt divides the interval exactly.
-        if (sinceFirmware_ < 0.0)
-            sinceFirmware_ = 0.0;
+        if (sinceFirmware_ < Seconds{0.0})
+            sinceFirmware_ = Seconds{};
     }
 
     // Events inside this step were stamped with its start time; the
@@ -497,7 +498,7 @@ Chip::attachFaultInjector(fault::FaultInjector *injector)
     if (faultInjector_ == nullptr) {
         cpms_.clearFaults();
         vrm_->injectDacStuck(config_.railIndex, false);
-        vrm_->injectDacOffset(config_.railIndex, 0.0);
+        vrm_->injectDacOffset(config_.railIndex, Volts{});
     } else {
         applyFaults();
     }
@@ -540,7 +541,7 @@ Chip::runSafetyMonitor(const pdn::DidtSample &noise,
     Volts worst = curve_.params().staticGuardband;
     bool anyCore = false;
     const Volts envelopeDroop =
-        noise.droopEvents > 0 ? worstCharacteristic : 0.0;
+        noise.droopEvents > 0 ? worstCharacteristic : Volts{};
     for (size_t i = 0; i < n; ++i) {
         if (loads_[i].gated)
             continue;
@@ -603,7 +604,7 @@ Chip::runSafetyMonitor(const pdn::DidtSample &noise,
 void
 Chip::settle(Seconds duration, Seconds dt)
 {
-    fatalIf(duration <= 0.0 || dt <= 0.0, "settle needs positive times");
+    fatalIf(duration <= Seconds{0.0} || dt <= Seconds{0.0}, "settle needs positive times");
     const int steps = int(duration / dt);
     for (int i = 0; i < steps; ++i)
         step(dt);
@@ -614,7 +615,7 @@ Chip::coreFrequency(size_t core) const
 {
     panicIf(core >= config_.coreCount, "core index out of range");
     if (loads_[core].gated)
-        return 0.0;
+        return Hertz{0.0};
     return dplls_[core].frequency();
 }
 
@@ -628,7 +629,7 @@ Chip::coreVoltage(size_t core) const
 Hertz
 Chip::meanActiveFrequency() const
 {
-    double sum = 0.0;
+    Hertz sum;
     size_t count = 0;
     for (size_t i = 0; i < config_.coreCount; ++i) {
         if (loads_[i].active) {
@@ -642,7 +643,7 @@ Chip::meanActiveFrequency() const
 Hertz
 Chip::minActiveFrequency() const
 {
-    Hertz lowest = 0.0;
+    Hertz lowest;
     bool any = false;
     for (size_t i = 0; i < config_.coreCount; ++i) {
         if (loads_[i].active) {
@@ -671,7 +672,8 @@ Chip::droopStall(size_t core) const
 void
 Chip::resetDroopHistogram()
 {
-    droopHistogram_ = stats::Histogram(0.0, config_.droopHistogramMax,
+    droopHistogram_ = stats::Histogram(0.0,
+                                       config_.droopHistogramMax.value(),
                                        config_.droopHistogramBins);
 }
 

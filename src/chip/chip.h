@@ -133,7 +133,7 @@ class Chip
      * warm up before measuring; undervolting needs ~20 firmware
      * intervals to walk the guardband down).
      */
-    void settle(Seconds duration = 1.5, Seconds dt = 1e-3);
+    void settle(Seconds duration = Seconds{1.5}, Seconds dt = Seconds{1e-3});
 
     /** @name Observables */
     /// @{
@@ -275,11 +275,11 @@ class Chip
     std::vector<Volts> scratchWorstAmps_;
     sensors::StepObservation scratchObs_;
 
-    Watts chipPower_ = 0.0;
-    Watts vcsPower_ = 0.0;
-    Amps railCurrent_ = 0.0;
-    Seconds sinceFirmware_ = 0.0;
-    Volts staticSetpoint_ = 0.0; // cached vddStatic(targetFrequency)
+    Watts chipPower_ = Watts{0.0};
+    Watts vcsPower_ = Watts{0.0};
+    Amps railCurrent_ = Amps{0.0};
+    Seconds sinceFirmware_ = Seconds{0.0};
+    Volts staticSetpoint_ = Volts{0.0}; // cached vddStatic(targetFrequency)
     stats::Histogram droopHistogram_;
 
     // Fault injection and safety degradation.
@@ -290,14 +290,14 @@ class Chip
     GuardbandMode demotedFrom_ = GuardbandMode::StaticGuardband;
     int lastEmergencies_ = 0;
     int lastDemotions_ = 0;
-    Volts lastWorstMargin_ = 0.0;
+    Volts lastWorstMargin_ = Volts{0.0};
     int64_t missedFirmwareTicks_ = 0;
 
     // Observability (see docs/OBSERVABILITY.md). All of this is
     // write-only from the model's perspective: nothing below feeds back
     // into simulation state, so instrumented and plain runs are
     // bit-identical (tests/test_obs_determinism.cc).
-    Seconds simNow_ = 0.0;
+    Seconds simNow_ = Seconds{0.0};
     bool lastFaultActive_ = false;
     obs::Counter *obsSteps_ = nullptr;
     obs::Counter *obsFirmwareTicks_ = nullptr;

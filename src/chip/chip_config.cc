@@ -9,24 +9,44 @@ ChipConfig::validate() const
 {
     fatalIf(coreCount == 0, "chip needs cores");
     fatalIf(cpmsPerCore == 0, "chip needs at least one CPM per core");
-    fatalIf(targetFrequency <= 0.0, "target frequency must be positive");
-    fatalIf(firmwareInterval <= 0.0,
+    fatalIf(targetFrequency <= Hertz{0.0}, "target frequency must be positive");
+    fatalIf(firmwareInterval <= Seconds{0.0},
             "firmware interval must be positive");
     fatalIf(fixedPointIterations < 1,
             "need at least one fixed-point iteration");
-    fatalIf(solverTolerance < 0.0,
+    fatalIf(solverTolerance < Volts{0.0},
             "solver tolerance must be non-negative");
     fatalIf(rippleTrackingLoss < 0.0 || rippleTrackingLoss > 1.0,
             "ripple tracking loss must be a fraction in [0, 1]");
-    fatalIf(droopHistogramMax <= 0.0,
+    fatalIf(droopHistogramMax <= Volts{0.0},
             "droop histogram range must be positive");
     fatalIf(droopHistogramBins == 0,
             "droop histogram needs at least one bin");
-    fatalIf(vcs.powerAtRef < 0.0, "negative Vcs rail power");
+    fatalIf(vcs.powerAtRef < Watts{0.0}, "negative Vcs rail power");
     fatalIf(vcs.activityShare < 0.0 || vcs.activityShare > 1.0,
             "Vcs activity share must be a fraction in [0, 1]");
+    fatalIf(mode != GuardbandMode::StaticGuardband &&
+            mode != GuardbandMode::AdaptiveOverclock &&
+            mode != GuardbandMode::AdaptiveUndervolt &&
+            mode != GuardbandMode::Disabled,
+            "unknown guardband mode");
     undervolt.validate();
     safety.validate();
+    // Explicitly waived (tools/lint.py config-validate): any seed value
+    // is legal, and railIndex is bounds-checked by the Vrm when the
+    // chip is wired to it.
+    (void)seed;
+    (void)railIndex;
+    // The component parameter blocks (vf, power, thermal, ir, didt,
+    // cpm, telemetry, dpll) are validated by their owning components'
+    // constructors, which the Chip constructor invokes unconditionally.
+    (void)vf;
+    (void)thermal;
+    (void)ir;
+    (void)didt;
+    (void)cpm;
+    (void)telemetry;
+    (void)dpll;
 }
 
 } // namespace agsim::chip

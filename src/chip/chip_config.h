@@ -33,7 +33,7 @@ namespace agsim::chip {
 struct VcsRailParams
 {
     /** Vcs power with every core active. */
-    Watts powerAtRef = 14.0;
+    Watts powerAtRef = Watts{14.0};
     /** Fraction of Vcs power that scales with active-core fraction. */
     double activityShare = 0.25;
 };
@@ -53,11 +53,11 @@ struct ChipConfig
     /** Which VRM rail feeds this chip. */
     size_t railIndex = 0;
     /** DVFS target frequency (static-guardband operating point). */
-    Hertz targetFrequency = 4.2e9;
+    Hertz targetFrequency = Hertz{4.2e9};
     /** Guardband management mode. */
     GuardbandMode mode = GuardbandMode::StaticGuardband;
     /** Firmware decision interval (POWER7+: 32 ms). */
-    Seconds firmwareInterval = 32e-3;
+    Seconds firmwareInterval = Seconds{32e-3};
     /** Damped fixed-point iterations for the V<->P loop per step. */
     int fixedPointIterations = 4;
     /**
@@ -69,7 +69,7 @@ struct ChipConfig
      * rail perturbation is ~1e-6 relative in power). 0 disables the
      * early exit and always runs all fixedPointIterations.
      */
-    Volts solverTolerance = 1e-6;
+    Volts solverTolerance = Volts{1e-6};
     /**
      * Fraction of typical-case di/dt ripple the CPM-DPLL loop cannot
      * exploit. The DPLL slews fast enough to ride through most regular
@@ -83,7 +83,7 @@ struct ChipConfig
     /** Vcs (storage) rail model. */
     VcsRailParams vcs;
     /** Droop-depth histogram range (volts) and bin count. */
-    Volts droopHistogramMax = 0.080;
+    Volts droopHistogramMax = Volts{0.080};
     size_t droopHistogramBins = 32;
 
     power::VfCurveParams vf;

@@ -31,9 +31,9 @@ struct CoreLoad
     /** Dynamic activity factor (workload intensity); ignored if !active. */
     double activity = 0.0;
     /** Typical di/dt ripple amplitude contributed by this core. */
-    Volts didtTypicalAmp = 0.0;
+    Volts didtTypicalAmp = Volts{0.0};
     /** Worst-case droop amplitude contributed by this core. */
-    Volts didtWorstAmp = 0.0;
+    Volts didtWorstAmp = Volts{0.0};
 
     /** An idle, powered-on core. */
     static CoreLoad idle() { return CoreLoad{}; }

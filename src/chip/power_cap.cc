@@ -10,8 +10,8 @@ namespace agsim::chip {
 PowerCapController::PowerCapController(const PowerCapParams &params)
     : params_(params)
 {
-    fatalIf(params_.frequencyStep <= 0.0, "DVFS step must be positive");
-    fatalIf(params_.minFrequency <= 0.0 ||
+    fatalIf(params_.frequencyStep <= Hertz{0.0}, "DVFS step must be positive");
+    fatalIf(params_.minFrequency <= Hertz{0.0} ||
             params_.maxFrequency <= params_.minFrequency,
             "empty DVFS window");
     fatalIf(params_.raiseHysteresis < 0.0, "negative hysteresis");
@@ -32,8 +32,8 @@ Hertz
 PowerCapController::decide(Hertz currentTarget, Watts measuredPower,
                            Watts cap) const
 {
-    fatalIf(cap <= 0.0, "power cap must be positive");
-    panicIf(currentTarget <= 0.0, "non-positive DVFS target");
+    fatalIf(cap <= Watts{0.0}, "power cap must be positive");
+    panicIf(currentTarget <= Hertz{0.0}, "non-positive DVFS target");
     const Hertz current = quantize(currentTarget);
     if (measuredPower > cap)
         return std::max(current - params_.frequencyStep,

@@ -24,11 +24,11 @@ namespace agsim::chip {
 struct PowerCapParams
 {
     /** DVFS step (POWER7+: 28 MHz). */
-    Hertz frequencyStep = 28e6;
+    Hertz frequencyStep = Hertz{28e6};
     /** Lowest DVFS point the governor may select. */
-    Hertz minFrequency = 2.8e9;
+    Hertz minFrequency = Hertz{2.8e9};
     /** Highest DVFS point. */
-    Hertz maxFrequency = 4.2e9;
+    Hertz maxFrequency = Hertz{4.2e9};
     /** Fractional power slack below the cap before stepping back up. */
     double raiseHysteresis = 0.04;
 };

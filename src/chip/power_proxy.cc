@@ -8,7 +8,7 @@ namespace agsim::chip {
 PowerProxy::PowerProxy(const PowerProxyParams &params, uint64_t seed)
     : params_(params)
 {
-    fatalIf(params_.refFrequency <= 0.0,
+    fatalIf(params_.refFrequency <= Hertz{0.0},
             "proxy reference frequency must be positive");
     fatalIf(params_.calibrationSpread < 0.0, "negative calibration spread");
     Rng rng(seed, 0xCA11ull);

@@ -26,13 +26,13 @@ namespace agsim::chip {
 struct PowerProxyParams
 {
     /** Estimated watts per powered-on core at zero activity. */
-    Watts basePerCore = 3.9;
+    Watts basePerCore = Watts{3.9};
     /** Estimated watts per unit activity at the reference frequency. */
-    Watts perActivity = 10.0;
+    Watts perActivity = Watts{10.0};
     /** Estimated constant uncore share. */
-    Watts uncoreBase = 11.5;
+    Watts uncoreBase = Watts{11.5};
     /** Reference frequency the activity weight is quoted at. */
-    Hertz refFrequency = 4.2e9;
+    Hertz refFrequency = Hertz{4.2e9};
     /** Std-dev of the frozen per-chip multiplicative calibration error. */
     double calibrationSpread = 0.03;
 };

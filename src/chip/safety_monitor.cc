@@ -22,14 +22,14 @@ SafetyMonitorParams::validate() const
 {
     fatalIf(emergencyBudget < 1,
             "safety monitor emergency budget must be at least 1");
-    fatalIf(windowLength <= 0.0,
+    fatalIf(windowLength <= Seconds{0.0},
             "safety monitor window length must be positive");
-    fatalIf(rearmInterval <= 0.0,
+    fatalIf(rearmInterval <= Seconds{0.0},
             "safety monitor re-arm interval must be positive");
     fatalIf(rearmBackoff < 1.0,
             "safety monitor re-arm backoff must be at least 1 "
             "(hysteresis cannot shrink the clean interval)");
-    fatalIf(marginTolerance < 0.0,
+    fatalIf(marginTolerance < Volts{0.0},
             "safety monitor margin tolerance cannot be negative");
 }
 
@@ -42,7 +42,7 @@ SafetyMonitor::SafetyMonitor(const SafetyMonitorParams &params)
 SafetyMonitor::Action
 SafetyMonitor::observe(bool emergency, bool adaptiveMode, Seconds dt)
 {
-    panicIf(dt <= 0.0, "safety monitor step must be positive");
+    panicIf(dt <= Seconds{0.0}, "safety monitor step must be positive");
     now_ += dt;
     if (emergency)
         ++totalEmergencies_;
@@ -106,14 +106,14 @@ void
 SafetyMonitor::reset()
 {
     state_ = SafetyState::Monitoring;
-    now_ = 0.0;
-    windowStart_ = 0.0;
-    cleanSince_ = 0.0;
+    now_ = Seconds{};
+    windowStart_ = Seconds{};
+    cleanSince_ = Seconds{};
     windowEmergencies_ = 0;
     totalEmergencies_ = 0;
     demotions_ = 0;
     rearms_ = 0;
-    lastDemotionAt_ = -1.0;
+    lastDemotionAt_ = Seconds{-1.0};
 }
 
 } // namespace agsim::chip

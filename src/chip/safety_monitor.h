@@ -52,7 +52,7 @@ struct SafetyMonitorParams
      */
     int emergencyBudget = 8;
     /** Emergency counting window. */
-    Seconds windowLength = 0.25;
+    Seconds windowLength = Seconds{0.25};
     /**
      * How far below vmin the true margin must fall to count as an
      * emergency. The adaptive loop deliberately rides within a few mV
@@ -62,9 +62,9 @@ struct SafetyMonitorParams
      * that matter (optimistic sensor bias, DAC under-delivery) drive
      * the margin tens of mV negative and clear this band easily.
      */
-    Volts marginTolerance = 10e-3;
+    Volts marginTolerance = Volts{10e-3};
     /** Clean (emergency-free) time demoted before the first re-arm. */
-    Seconds rearmInterval = 1.0;
+    Seconds rearmInterval = Seconds{1.0};
     /** Required clean time multiplier per successive demotion. */
     double rearmBackoff = 2.0;
     /** Re-arms allowed before latching in StaticGuardband (< 0 = never
@@ -151,14 +151,14 @@ class SafetyMonitor
   private:
     SafetyMonitorParams params_;
     SafetyState state_ = SafetyState::Monitoring;
-    Seconds now_ = 0.0;
-    Seconds windowStart_ = 0.0;
-    Seconds cleanSince_ = 0.0;
+    Seconds now_ = Seconds{0.0};
+    Seconds windowStart_ = Seconds{0.0};
+    Seconds cleanSince_ = Seconds{0.0};
     int windowEmergencies_ = 0;
     int64_t totalEmergencies_ = 0;
     int64_t demotions_ = 0;
     int64_t rearms_ = 0;
-    Seconds lastDemotionAt_ = -1.0;
+    Seconds lastDemotionAt_ = Seconds{-1.0};
 };
 
 } // namespace agsim::chip

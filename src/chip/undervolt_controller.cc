@@ -7,13 +7,13 @@ namespace agsim::chip {
 void
 UndervoltControllerParams::validate() const
 {
-    fatalIf(voltageStep <= 0.0, "voltage step must be positive");
+    fatalIf(voltageStep <= Volts{0.0}, "voltage step must be positive");
     fatalIf(downThreshold < 0.0 || upThreshold < 0.0,
             "controller thresholds must be non-negative");
     fatalIf(downThreshold <= upThreshold,
             "down threshold must exceed the up threshold "
             "(equal or inverted thresholds limit-cycle the setpoint)");
-    fatalIf(maxUndervolt <= 0.0, "max undervolt must be positive");
+    fatalIf(maxUndervolt <= Volts{0.0}, "max undervolt must be positive");
 }
 
 UndervoltController::UndervoltController(
@@ -29,7 +29,7 @@ UndervoltController::decide(Volts currentSetpoint,
                             Hertz targetFrequency,
                             Volts staticSetpoint) const
 {
-    panicIf(targetFrequency <= 0.0, "target frequency must be positive");
+    panicIf(targetFrequency <= Hertz{0.0}, "target frequency must be positive");
     const Volts floor = staticSetpoint - params_.maxUndervolt;
     if (achievableFrequency >
         targetFrequency * (1.0 + params_.downThreshold)) {

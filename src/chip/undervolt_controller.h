@@ -22,7 +22,7 @@ namespace agsim::chip {
 struct UndervoltControllerParams
 {
     /** Setpoint change per decision (one VRM DAC step). */
-    Volts voltageStep = 6.25e-3;
+    Volts voltageStep = Volts{6.25e-3};
     /**
      * Frequency headroom (fraction of target) required before stepping
      * down — prevents limit cycling around the target.
@@ -36,7 +36,7 @@ struct UndervoltControllerParams
      * adaptive mechanism itself (paper Sec. 2.1: a precautionary share
      * of the guardband is never reclaimed).
      */
-    Volts maxUndervolt = 0.080;
+    Volts maxUndervolt = Volts{0.080};
 
     /**
      * Reject nonsensical values (non-positive step or undervolt depth,

@@ -13,28 +13,28 @@ Dpll::Dpll(const power::VfCurve *curve, const DpllParams &params,
 {
     fatalIf(curve_ == nullptr, "DPLL needs a VfCurve");
     fatalIf(params_.slewPerSecond <= 0.0, "DPLL slew must be positive");
-    fatalIf(initialFrequency <= 0.0,
+    fatalIf(initialFrequency <= Hertz{0.0},
             "DPLL initial frequency must be positive");
 }
 
 void
 Dpll::lockTo(Hertz f)
 {
-    panicIf(f <= 0.0, "DPLL lock frequency must be positive");
+    panicIf(f <= Hertz{0.0}, "DPLL lock frequency must be positive");
     frequency_ = f;
 }
 
 Hertz
 Dpll::step(Volts vCore, Seconds dt)
 {
-    panicIf(dt < 0.0, "negative DPLL step");
+    panicIf(dt < Seconds{0.0}, "negative DPLL step");
     Hertz target = std::max(curve_->fmaxWithMargin(vCore),
                             params_.floorFrequency);
-    if (cap_ > 0.0)
+    if (cap_ > Hertz{0.0})
         target = std::min(target, cap_);
 
     // Slew limit: |df| <= f * slewPerSecond * dt.
-    const Hertz maxDelta = frequency_ * params_.slewPerSecond * dt;
+    const Hertz maxDelta = frequency_ * (params_.slewPerSecond * dt.value());
     const Hertz delta = std::clamp(target - frequency_, -maxDelta, maxDelta);
     frequency_ += delta;
     return frequency_;
@@ -43,8 +43,8 @@ Dpll::step(Volts vCore, Seconds dt)
 Seconds
 Dpll::droopStall(Volts droopDepth, int events) const
 {
-    if (events <= 0 || droopDepth <= 0.0)
-        return 0.0;
+    if (events <= 0 || droopDepth <= Volts{0.0})
+        return Seconds{0.0};
     // During each droop the DPLL undershoots by the frequency equivalent
     // of the droop depth for roughly the response time.
     const Hertz dip = curve_->marginToFrequency(droopDepth);

@@ -25,9 +25,9 @@ struct DpllParams
     /** Fractional frequency change per second (7% per 10 ns). */
     double slewPerSecond = 0.07 / 10e-9;
     /** Lowest frequency the DPLL will emit while unlocked. */
-    Hertz floorFrequency = 1.0e9;
+    Hertz floorFrequency = Hertz{1.0e9};
     /** Duration of the reduced-frequency response to one droop. */
-    Seconds droopResponseTime = 200e-9;
+    Seconds droopResponseTime = Seconds{200e-9};
 };
 
 /**
@@ -82,7 +82,7 @@ class Dpll
     const power::VfCurve *curve_;
     DpllParams params_;
     Hertz frequency_;
-    Hertz cap_ = 0.0;
+    Hertz cap_ = Hertz{0.0};
 };
 
 } // namespace agsim::clock

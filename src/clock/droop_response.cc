@@ -19,11 +19,11 @@ waveformAt(Volts preVoltage, const DroopEvent &event, Seconds t)
         return preVoltage - event.depth * (t / event.onsetTime);
     }
     const Seconds past = t - event.onsetTime;
-    double v = preVoltage -
+    Volts v = preVoltage -
                event.depth * std::exp(-past / event.recoveryTau);
     if (event.ringFraction > 0.0) {
         // Damped resonance ring, trough-aligned at the sag bottom.
-        const double ring = event.ringFraction * event.depth *
+        const Volts ring = event.ringFraction * event.depth *
                             std::exp(-past / event.ringTau) *
                             std::cos(2.0 * M_PI * past /
                                      event.ringPeriod);
@@ -39,12 +39,12 @@ simulateDroop(const power::VfCurve &curve, const DpllParams &dpll,
               bool adaptive, Volts preVoltage, Hertz clockFrequency,
               const DroopEvent &event, const DroopSimParams &sim)
 {
-    fatalIf(sim.dt <= 0.0 || sim.duration <= 0.0,
+    fatalIf(sim.dt <= Seconds{0.0} || sim.duration <= Seconds{0.0},
             "droop simulation needs positive times");
-    fatalIf(event.depth < 0.0, "negative droop depth");
-    fatalIf(event.onsetTime <= 0.0, "onset time must be positive");
-    fatalIf(event.recoveryTau <= 0.0, "recovery tau must be positive");
-    fatalIf(preVoltage <= 0.0 || clockFrequency <= 0.0,
+    fatalIf(event.depth < Volts{0.0}, "negative droop depth");
+    fatalIf(event.onsetTime <= Seconds{0.0}, "onset time must be positive");
+    fatalIf(event.recoveryTau <= Seconds{0.0}, "recovery tau must be positive");
+    fatalIf(preVoltage <= Volts{0.0} || clockFrequency <= Hertz{0.0},
             "droop simulation needs a positive operating point");
 
     DroopOutcome outcome;
@@ -63,7 +63,7 @@ simulateDroop(const power::VfCurve &curve, const DpllParams &dpll,
         sample.fmax = curve.fmaxAt(sample.voltage);
         sample.clockFrequency =
             adaptive ? loop.step(sample.voltage, sim.dt) : clockFrequency;
-        sample.violation = sample.clockFrequency > sample.fmax + 1.0;
+        sample.violation = sample.clockFrequency > sample.fmax + Hertz{1.0};
         outcome.violated = outcome.violated || sample.violation;
         outcome.minMargin = std::min(
             outcome.minMargin,

@@ -31,43 +31,43 @@ namespace agsim::clock {
 struct DroopEvent
 {
     /** Sag below the pre-event voltage at the trough. */
-    Volts depth = 0.035;
+    Volts depth = Volts{0.035};
     /**
      * Time from onset to the trough (~a quarter of the PDN resonance
      * period — di/dt is large but finite, which is exactly what makes
      * a 7%-per-10 ns DPLL able to track where a conventional clock
      * cannot).
      */
-    Seconds onsetTime = 25e-9;
+    Seconds onsetTime = Seconds{25e-9};
     /** Exponential recovery time constant past the trough. */
-    Seconds recoveryTau = 250e-9;
+    Seconds recoveryTau = Seconds{250e-9};
     /** Resonance ring amplitude as a fraction of depth (0 = none). */
     double ringFraction = 0.25;
     /** Resonance period (PDN mid-frequency, ~10 MHz => 100 ns). */
-    Seconds ringPeriod = 100e-9;
+    Seconds ringPeriod = Seconds{100e-9};
     /** Ring damping time constant. */
-    Seconds ringTau = 120e-9;
+    Seconds ringTau = Seconds{120e-9};
 };
 
 /** Droop-simulation controls. */
 struct DroopSimParams
 {
     /** Integration step. */
-    Seconds dt = 1e-9;
+    Seconds dt = Seconds{1e-9};
     /** Simulated span after droop onset. */
-    Seconds duration = 1.5e-6;
+    Seconds duration = Seconds{1.5e-6};
 };
 
 /** One fine-grained sample. */
 struct DroopSample
 {
-    Seconds t = 0.0;
+    Seconds t = Seconds{0.0};
     /** Instantaneous on-chip voltage. */
-    Volts voltage = 0.0;
+    Volts voltage = Volts{0.0};
     /** Clock frequency the (DPLL or fixed) clock is emitting. */
-    Hertz clockFrequency = 0.0;
+    Hertz clockFrequency = Hertz{0.0};
     /** Highest safe frequency at this voltage (zero margin). */
-    Hertz fmax = 0.0;
+    Hertz fmax = Hertz{0.0};
     /** Clock faster than the circuit can run: a timing violation. */
     bool violation = false;
 };
@@ -80,9 +80,9 @@ struct DroopOutcome
     /** Cycles lost versus running at the pre-event frequency. */
     double lostCycles = 0.0;
     /** Equivalent stall time at the pre-event frequency. */
-    Seconds lostTime = 0.0;
+    Seconds lostTime = Seconds{0.0};
     /** Deepest instantaneous margin (can be negative if violated). */
-    Volts minMargin = 0.0;
+    Volts minMargin = Volts{0.0};
     /** Per-sample trace. */
     std::vector<DroopSample> trace;
 };

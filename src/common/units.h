@@ -1,13 +1,34 @@
 /**
  * @file
- * Physical unit conventions and literal helpers used across agsim.
+ * Dimensional strong types and literal helpers used across agsim.
  *
- * agsim uses plain `double` quantities with a strict naming convention
- * rather than heavyweight dimensional types: every quantity is stored in
- * its SI base unit and the variable/parameter name carries the unit where
- * ambiguity is possible. The aliases below document intent at interface
- * boundaries and the user-defined literals make call sites read like the
- * paper's own numbers (e.g. `21.0_mV`, `4.2_GHz`, `32.0_ms`).
+ * Every physical quantity in agsim is a `Quantity<...>` instantiation: a
+ * zero-overhead wrapper around one `double` whose template arguments carry
+ * the SI base-dimension exponents (mass, length, time, current,
+ * temperature) plus an `instructions` pseudo-dimension for work rates.
+ * Mixing incompatible units (`Volts + Watts`, passing `Seconds` where
+ * `Hertz` is expected) is a compile error, and dimensional arithmetic
+ * yields the correct derived type:
+ *
+ *     Watts / Volts   -> Amps
+ *     Volts / Ohms    -> Amps
+ *     Amps  * Ohms    -> Volts
+ *     Watts * Seconds -> Joules
+ *     Hertz * Seconds -> double (dimensionless)
+ *
+ * Values are always stored in the SI base unit (volts, hertz, seconds,
+ * ...); the user-defined literals make call sites read like the paper's
+ * own numbers (e.g. `21.0_mV`, `4.2_GHz`, `32.0_ms`) while constructing
+ * the base-unit value.
+ *
+ * Escape hatch policy (see docs/STATIC_ANALYSIS.md): `.value()` unwraps a
+ * quantity to its base-unit `double`. Use it only (a) at I/O boundaries
+ * (CSV, JSON, logging, plotting) via the `to*` presentation helpers
+ * below, and (b) inside physics formulas whose empirical constants are
+ * dimensionless (e.g. `C_eff * V^2 * f`); re-wrap the result in the
+ * correct type before it leaves the function. Public interfaces carry the
+ * typed quantities — `tools/lint.py` enforces this for the physics
+ * modules.
  *
  * Conventions:
  *  - voltage: volts        (alias Volts)
@@ -17,84 +38,369 @@
  *  - frequency: hertz      (alias Hertz)
  *  - time: seconds         (alias Seconds)
  *  - temperature: celsius  (alias Celsius)
+ *  - resistance: ohms      (alias Ohms)
  *  - rate: MIPS stored as instructions per second (alias InstrPerSec)
  */
 
 #ifndef AGSIM_COMMON_UNITS_H
 #define AGSIM_COMMON_UNITS_H
 
+#include <cmath>
+
 namespace agsim {
 
-using Volts = double;
-using Amps = double;
-using Watts = double;
-using Joules = double;
-using Hertz = double;
-using Seconds = double;
-using Celsius = double;
-using Ohms = double;
-/** Instructions per second; 1 MIPS == 1e6 InstrPerSec. */
-using InstrPerSec = double;
+/**
+ * A physical quantity: one double tagged with SI base-dimension
+ * exponents. `M` mass, `L` length, `T` time, `I` current, `K`
+ * temperature, `N` instruction count.
+ *
+ * Construction from a raw double is explicit (use the unit literals or
+ * brace-init, e.g. `Volts{1.2}`); unwrapping is explicit via `value()`.
+ * Same-dimension quantities add, subtract, and compare; any two
+ * quantities multiply/divide into the dimensionally-correct result type,
+ * collapsing to plain `double` when all exponents cancel.
+ */
+template <int M, int L, int T, int I, int K, int N>
+class Quantity
+{
+  public:
+    constexpr Quantity() = default;
+    constexpr explicit Quantity(double v) : value_(v) {}
 
-namespace units {
+    /** Raw base-unit magnitude (the escape hatch; see file comment). */
+    constexpr double value() const { return value_; }
+
+    constexpr Quantity operator+() const { return *this; }
+    constexpr Quantity operator-() const { return Quantity(-value_); }
+
+    constexpr Quantity &operator+=(Quantity other)
+    {
+        value_ += other.value_;
+        return *this;
+    }
+    constexpr Quantity &operator-=(Quantity other)
+    {
+        value_ -= other.value_;
+        return *this;
+    }
+    constexpr Quantity &operator*=(double s)
+    {
+        value_ *= s;
+        return *this;
+    }
+    constexpr Quantity &operator/=(double s)
+    {
+        value_ /= s;
+        return *this;
+    }
+
+    friend constexpr Quantity operator+(Quantity a, Quantity b)
+    {
+        return Quantity(a.value_ + b.value_);
+    }
+    friend constexpr Quantity operator-(Quantity a, Quantity b)
+    {
+        return Quantity(a.value_ - b.value_);
+    }
+    friend constexpr Quantity operator*(Quantity q, double s)
+    {
+        return Quantity(q.value_ * s);
+    }
+    friend constexpr Quantity operator*(double s, Quantity q)
+    {
+        return Quantity(s * q.value_);
+    }
+    friend constexpr Quantity operator/(Quantity q, double s)
+    {
+        return Quantity(q.value_ / s);
+    }
+
+    friend constexpr bool operator==(Quantity a, Quantity b)
+    {
+        return a.value_ == b.value_;
+    }
+    friend constexpr bool operator!=(Quantity a, Quantity b)
+    {
+        return a.value_ != b.value_;
+    }
+    friend constexpr bool operator<(Quantity a, Quantity b)
+    {
+        return a.value_ < b.value_;
+    }
+    friend constexpr bool operator<=(Quantity a, Quantity b)
+    {
+        return a.value_ <= b.value_;
+    }
+    friend constexpr bool operator>(Quantity a, Quantity b)
+    {
+        return a.value_ > b.value_;
+    }
+    friend constexpr bool operator>=(Quantity a, Quantity b)
+    {
+        return a.value_ >= b.value_;
+    }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Dimensional product: exponents add; all-zero collapses to double. */
+template <int M1, int L1, int T1, int I1, int K1, int N1, //
+          int M2, int L2, int T2, int I2, int K2, int N2>
+constexpr auto
+operator*(Quantity<M1, L1, T1, I1, K1, N1> a,
+          Quantity<M2, L2, T2, I2, K2, N2> b)
+{
+    if constexpr (M1 + M2 == 0 && L1 + L2 == 0 && T1 + T2 == 0 &&
+                  I1 + I2 == 0 && K1 + K2 == 0 && N1 + N2 == 0)
+        return a.value() * b.value();
+    else
+        return Quantity<M1 + M2, L1 + L2, T1 + T2, I1 + I2, K1 + K2,
+                        N1 + N2>(a.value() * b.value());
+}
+
+/** Dimensional quotient: exponents subtract; same-dimension -> double. */
+template <int M1, int L1, int T1, int I1, int K1, int N1, //
+          int M2, int L2, int T2, int I2, int K2, int N2>
+constexpr auto
+operator/(Quantity<M1, L1, T1, I1, K1, N1> a,
+          Quantity<M2, L2, T2, I2, K2, N2> b)
+{
+    if constexpr (M1 == M2 && L1 == L2 && T1 == T2 && I1 == I2 &&
+                  K1 == K2 && N1 == N2)
+        return a.value() / b.value();
+    else
+        return Quantity<M1 - M2, L1 - L2, T1 - T2, I1 - I2, K1 - K2,
+                        N1 - N2>(a.value() / b.value());
+}
+
+/** Scalar over quantity inverts the dimension (e.g. 1.0 / dt -> Hertz). */
+template <int M, int L, int T, int I, int K, int N>
+constexpr Quantity<-M, -L, -T, -I, -K, -N>
+operator/(double s, Quantity<M, L, T, I, K, N> q)
+{
+    return Quantity<-M, -L, -T, -I, -K, -N>(s / q.value());
+}
+
+/** Magnitude helpers mirroring <cmath> for typed quantities. */
+template <int M, int L, int T, int I, int K, int N>
+constexpr Quantity<M, L, T, I, K, N>
+abs(Quantity<M, L, T, I, K, N> q)
+{
+    return Quantity<M, L, T, I, K, N>(q.value() < 0.0 ? -q.value()
+                                                      : q.value());
+}
+
+template <int M, int L, int T, int I, int K, int N>
+inline bool
+isfinite(Quantity<M, L, T, I, K, N> q)
+{
+    return std::isfinite(q.value());
+}
+
+//                       M   L   T   I   K   N
+using Volts = Quantity<  1,  2, -3, -1,  0,  0>;
+using Amps = Quantity<   0,  0,  0,  1,  0,  0>;
+using Watts = Quantity<  1,  2, -3,  0,  0,  0>;
+using Joules = Quantity< 1,  2, -2,  0,  0,  0>;
+using Hertz = Quantity<  0,  0, -1,  0,  0,  0>;
+using Seconds = Quantity<0,  0,  1,  0,  0,  0>;
+using Celsius = Quantity<0,  0,  0,  0,  1,  0>;
+using Ohms = Quantity<   1,  2, -3, -2,  0,  0>;
+/** Instruction count (InstrPerSec * Seconds). */
+using Instructions = Quantity<0, 0, 0, 0, 0, 1>;
+/** Instructions per second; 1 MIPS == 1e6 InstrPerSec. */
+using InstrPerSec = Quantity<0, 0, -1, 0, 0, 1>;
+
+// The whole point of the strong types is that they cost nothing at
+// runtime: same size, layout, and triviality as the double they wrap.
+static_assert(sizeof(Volts) == sizeof(double));
+static_assert(alignof(Volts) == alignof(double));
+static_assert(__is_trivially_copyable(Volts));
+
+// The dimensional identities the model's physics depends on.
+static_assert(__is_same(decltype(Watts{} / Volts{1.0}), Amps));
+static_assert(__is_same(decltype(Volts{} / Ohms{1.0}), Amps));
+static_assert(__is_same(decltype(Amps{} * Ohms{}), Volts));
+static_assert(__is_same(decltype(Watts{} * Seconds{}), Joules));
+static_assert(__is_same(decltype(Hertz{} * Seconds{}), double));
+static_assert(__is_same(decltype(Volts{} * Amps{}), Watts));
+static_assert(__is_same(decltype(InstrPerSec{} * Seconds{}), Instructions));
+
+/**
+ * Aliases for derived-quantity fields: `Div<Volts, Hertz>` is the type
+ * of a volts-per-hertz slope, `Mul<Amps, Seconds>` a charge. Same-dim
+ * `Div` collapses to double, like the operators themselves.
+ */
+template <class A, class B> using Div = decltype(A{} / B{1.0});
+template <class A, class B> using Mul = decltype(A{} * B{});
+
+/**
+ * Unit literals. The namespace is `inline` so the suffixes resolve from
+ * any `agsim::*` scope (headers' default member initializers included)
+ * while `using namespace agsim::units;` keeps working for external code.
+ */
+inline namespace units {
 
 /** @name Voltage literals */
 /// @{
-constexpr Volts operator""_V(long double v) { return double(v); }
-constexpr Volts operator""_V(unsigned long long v) { return double(v); }
-constexpr Volts operator""_mV(long double v) { return double(v) * 1e-3; }
-constexpr Volts operator""_mV(unsigned long long v) { return double(v) * 1e-3; }
+constexpr Volts operator""_V(long double v) { return Volts(double(v)); }
+constexpr Volts operator""_V(unsigned long long v)
+{
+    return Volts(double(v));
+}
+constexpr Volts operator""_mV(long double v)
+{
+    return Volts(double(v) * 1e-3);
+}
+constexpr Volts operator""_mV(unsigned long long v)
+{
+    return Volts(double(v) * 1e-3);
+}
 /// @}
 
 /** @name Frequency literals */
 /// @{
-constexpr Hertz operator""_GHz(long double v) { return double(v) * 1e9; }
-constexpr Hertz operator""_GHz(unsigned long long v) { return double(v) * 1e9; }
-constexpr Hertz operator""_MHz(long double v) { return double(v) * 1e6; }
-constexpr Hertz operator""_MHz(unsigned long long v) { return double(v) * 1e6; }
+constexpr Hertz operator""_GHz(long double v)
+{
+    return Hertz(double(v) * 1e9);
+}
+constexpr Hertz operator""_GHz(unsigned long long v)
+{
+    return Hertz(double(v) * 1e9);
+}
+constexpr Hertz operator""_MHz(long double v)
+{
+    return Hertz(double(v) * 1e6);
+}
+constexpr Hertz operator""_MHz(unsigned long long v)
+{
+    return Hertz(double(v) * 1e6);
+}
+constexpr Hertz operator""_Hz(long double v) { return Hertz(double(v)); }
+constexpr Hertz operator""_Hz(unsigned long long v)
+{
+    return Hertz(double(v));
+}
 /// @}
 
 /** @name Time literals */
 /// @{
-constexpr Seconds operator""_s(long double v) { return double(v); }
-constexpr Seconds operator""_s(unsigned long long v) { return double(v); }
-constexpr Seconds operator""_ms(long double v) { return double(v) * 1e-3; }
-constexpr Seconds operator""_ms(unsigned long long v) { return double(v) * 1e-3; }
-constexpr Seconds operator""_us(long double v) { return double(v) * 1e-6; }
-constexpr Seconds operator""_us(unsigned long long v) { return double(v) * 1e-6; }
+constexpr Seconds operator""_s(long double v)
+{
+    return Seconds(double(v));
+}
+constexpr Seconds operator""_s(unsigned long long v)
+{
+    return Seconds(double(v));
+}
+constexpr Seconds operator""_ms(long double v)
+{
+    return Seconds(double(v) * 1e-3);
+}
+constexpr Seconds operator""_ms(unsigned long long v)
+{
+    return Seconds(double(v) * 1e-3);
+}
+constexpr Seconds operator""_us(long double v)
+{
+    return Seconds(double(v) * 1e-6);
+}
+constexpr Seconds operator""_us(unsigned long long v)
+{
+    return Seconds(double(v) * 1e-6);
+}
 /// @}
 
 /** @name Power literals */
 /// @{
-constexpr Watts operator""_W(long double v) { return double(v); }
-constexpr Watts operator""_W(unsigned long long v) { return double(v); }
+constexpr Watts operator""_W(long double v) { return Watts(double(v)); }
+constexpr Watts operator""_W(unsigned long long v)
+{
+    return Watts(double(v));
+}
+/// @}
+
+/** @name Energy literals */
+/// @{
+constexpr Joules operator""_J(long double v) { return Joules(double(v)); }
+constexpr Joules operator""_J(unsigned long long v)
+{
+    return Joules(double(v));
+}
+/// @}
+
+/** @name Current literals */
+/// @{
+constexpr Amps operator""_A(long double v) { return Amps(double(v)); }
+constexpr Amps operator""_A(unsigned long long v)
+{
+    return Amps(double(v));
+}
 /// @}
 
 /** @name Resistance literals */
 /// @{
-constexpr Ohms operator""_mOhm(long double v) { return double(v) * 1e-3; }
-constexpr Ohms operator""_mOhm(unsigned long long v) { return double(v) * 1e-3; }
+constexpr Ohms operator""_Ohm(long double v) { return Ohms(double(v)); }
+constexpr Ohms operator""_Ohm(unsigned long long v)
+{
+    return Ohms(double(v));
+}
+constexpr Ohms operator""_mOhm(long double v)
+{
+    return Ohms(double(v) * 1e-3);
+}
+constexpr Ohms operator""_mOhm(unsigned long long v)
+{
+    return Ohms(double(v) * 1e-3);
+}
+/// @}
+
+/** @name Temperature literals */
+/// @{
+constexpr Celsius operator""_degC(long double v)
+{
+    return Celsius(double(v));
+}
+constexpr Celsius operator""_degC(unsigned long long v)
+{
+    return Celsius(double(v));
+}
 /// @}
 
 /** @name Rate literals */
 /// @{
-constexpr InstrPerSec operator""_MIPS(long double v) { return double(v) * 1e6; }
+constexpr InstrPerSec operator""_MIPS(long double v)
+{
+    return InstrPerSec(double(v) * 1e6);
+}
 constexpr InstrPerSec operator""_MIPS(unsigned long long v)
 {
-    return double(v) * 1e6;
+    return InstrPerSec(double(v) * 1e6);
 }
 /// @}
 
 } // namespace units
 
-/** Convert volts to millivolts (presentation helper). */
-constexpr double toMilliVolts(Volts v) { return v * 1e3; }
-/** Convert hertz to megahertz (presentation helper). */
-constexpr double toMegaHertz(Hertz f) { return f * 1e-6; }
-/** Convert hertz to gigahertz (presentation helper). */
-constexpr double toGigaHertz(Hertz f) { return f * 1e-9; }
-/** Convert instructions/second to MIPS (presentation helper). */
-constexpr double toMips(InstrPerSec r) { return r * 1e-6; }
+/** @name Presentation helpers (I/O boundaries only)
+ * Convert typed quantities to display-scaled plain doubles for CSV,
+ * JSON, and chart output. Taking the typed quantity (not double) means
+ * output code cannot accidentally double-convert.
+ */
+/// @{
+/** Convert volts to millivolts. */
+constexpr double toMilliVolts(Volts v) { return v.value() * 1e3; }
+/** Convert hertz to megahertz. */
+constexpr double toMegaHertz(Hertz f) { return f.value() * 1e-6; }
+/** Convert hertz to gigahertz. */
+constexpr double toGigaHertz(Hertz f) { return f.value() * 1e-9; }
+/** Convert seconds to milliseconds. */
+constexpr double toMilliSeconds(Seconds t) { return t.value() * 1e3; }
+/** Convert seconds to microseconds. */
+constexpr double toMicroSeconds(Seconds t) { return t.value() * 1e6; }
+/** Convert instructions/second to MIPS. */
+constexpr double toMips(InstrPerSec r) { return r.value() * 1e-6; }
+/// @}
 
 } // namespace agsim
 

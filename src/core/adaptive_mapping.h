@@ -71,7 +71,7 @@ struct MappingDecision
     /** Index into the candidate list when swap is true. */
     size_t corunnerIndex = 0;
     /** Frequency the critical app needs (when frequency sensitive). */
-    Hertz requiredFrequency = 0.0;
+    Hertz requiredFrequency = Hertz{0.0};
     /** MIPS budget left for co-runners at that frequency. */
     double corunnerMipsBudget = 0.0;
     /** Why the decision was taken (for operator logs). */

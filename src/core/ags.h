@@ -97,7 +97,7 @@ runScheduledBatch(const std::vector<ScheduledRunSpec> &specs,
  * spec, using a fixed-duration rate measurement.
  */
 Watts measureChipPower(const ScheduledRunSpec &spec,
-                       Seconds duration = 2.0);
+                       Seconds duration = Seconds{2.0});
 
 } // namespace agsim::core
 

@@ -71,7 +71,7 @@ strategySpecs(const ClusterSpec &spec,
         run.mode = chip::GuardbandMode::AdaptiveUndervolt;
         run.poweredCoreBudget = spec.poweredCoreBudgetPerServer;
         run.serverConfig = spec.serverConfig;
-        run.simConfig.measureDuration = 1.0;
+        run.simConfig.measureDuration = Seconds{1.0};
         specs.push_back(std::move(run));
     }
     return specs;

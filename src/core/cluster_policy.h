@@ -46,11 +46,11 @@ struct ClusterEvaluation
     ClusterStrategy strategy;
     size_t activeServers = 0;
     /** Mean chip power summed over active servers. */
-    Watts chipPower = 0.0;
+    Watts chipPower = Watts{0.0};
     /** Platform power of powered servers. */
-    Watts platformPower = 0.0;
+    Watts platformPower = Watts{0.0};
     /** Total cluster power. */
-    Watts totalPower = 0.0;
+    Watts totalPower = Watts{0.0};
 };
 
 /** Cluster setup. */
@@ -61,7 +61,7 @@ struct ClusterSpec
     /** Per-server powered-core budget when a server is active. */
     size_t poweredCoreBudgetPerServer = 8;
     /** Platform power burned by any powered-on server. */
-    Watts platformPowerPerServer = 120.0;
+    Watts platformPowerPerServer = Watts{120.0};
     /** Server/socket/chip configuration. */
     system::ServerConfig serverConfig;
 };

@@ -12,7 +12,7 @@ DemandTrace
 makeDiurnalTrace(size_t peakThreads, Seconds dayLength, size_t segments)
 {
     fatalIf(peakThreads == 0, "diurnal trace needs a positive peak");
-    fatalIf(dayLength <= 0.0, "diurnal trace needs a positive day");
+    fatalIf(dayLength <= Seconds{0.0}, "diurnal trace needs a positive day");
     fatalIf(segments < 2, "diurnal trace needs at least two segments");
 
     DemandTrace trace;
@@ -42,7 +42,7 @@ evaluateDemandTrace(const workload::BenchmarkProfile &profile,
     // they are independent, so run them as a batch.
     std::map<size_t, Watts> steadyPower;
     for (const auto &segment : trace) {
-        fatalIf(segment.duration <= 0.0,
+        fatalIf(segment.duration <= Seconds{0.0},
                 "trace segment needs positive duration");
         fatalIf(segment.threads == 0 ||
                 segment.threads > poweredCoreBudget,
@@ -60,7 +60,7 @@ evaluateDemandTrace(const workload::BenchmarkProfile &profile,
         spec.policy = policy;
         spec.mode = chip::GuardbandMode::AdaptiveUndervolt;
         spec.poweredCoreBudget = poweredCoreBudget;
-        spec.simConfig.measureDuration = 0.6;
+        spec.simConfig.measureDuration = Seconds{0.6};
         specs.push_back(std::move(spec));
     }
     const auto results = runScheduledBatch(specs, jobs);

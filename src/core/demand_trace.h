@@ -27,7 +27,7 @@ namespace agsim::core {
 /** One trace segment: `threads` of demand for `duration`. */
 struct DemandSegment
 {
-    Seconds duration = 0.0;
+    Seconds duration = Seconds{0.0};
     size_t threads = 0;
 };
 
@@ -43,11 +43,11 @@ struct TraceEvaluation
 {
     PlacementPolicy policy;
     /** Total chip energy over the trace. */
-    Joules chipEnergy = 0.0;
+    Joules chipEnergy = Joules{0.0};
     /** Time-weighted mean chip power. */
-    Watts meanPower = 0.0;
+    Watts meanPower = Watts{0.0};
     /** Total trace duration. */
-    Seconds duration = 0.0;
+    Seconds duration = Seconds{0.0};
 };
 
 /**

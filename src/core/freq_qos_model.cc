@@ -10,15 +10,15 @@ namespace agsim::core {
 void
 FreqQosModel::observe(Hertz frequency, double qosMetric)
 {
-    fatalIf(frequency <= 0.0, "non-positive frequency observation");
-    fit_.add(frequency, qosMetric);
+    fatalIf(frequency <= Hertz{0.0}, "non-positive frequency observation");
+    fit_.add(frequency.value(), qosMetric);
 }
 
 double
 FreqQosModel::predictQos(Hertz frequency) const
 {
     fatalIf(!trained(), "freq-QoS model needs at least two observations");
-    return fit_.predict(frequency);
+    return fit_.predict(frequency.value());
 }
 
 Hertz
@@ -30,11 +30,11 @@ FreqQosModel::frequencyForQos(double qosTarget) const
         // Metric does not improve with frequency; either it always meets
         // the target or never does at the observed intercept.
         return fit_.intercept() <= qosTarget
-                   ? 0.0
-                   : std::numeric_limits<double>::max();
+                   ? Hertz{}
+                   : Hertz{std::numeric_limits<double>::max()};
     }
-    const Hertz f = (qosTarget - fit_.intercept()) / slope;
-    return f < 0.0 ? 0.0 : f;
+    const Hertz f{(qosTarget - fit_.intercept()) / slope};
+    return f < Hertz{0.0} ? Hertz{} : f;
 }
 
 bool

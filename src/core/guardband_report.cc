@@ -10,7 +10,7 @@ namespace agsim::core {
 double
 GuardbandReport::reclaimedFraction() const
 {
-    return staticGuardband > 0.0 ? reclaimed / staticGuardband : 0.0;
+    return staticGuardband > Volts{0.0} ? reclaimed / staticGuardband : 0.0;
 }
 
 std::string
@@ -24,11 +24,11 @@ GuardbandReport::toString() const
         "  passive (loadline+IR) %5.1f mV (%4.1f%%)\n"
         "  di/dt (typ + worst)   %5.1f mV (%4.1f%%)\n"
         "  reserve               %5.1f mV (%4.1f%%)",
-        staticGuardband * 1e3, reclaimed * 1e3,
-        100.0 * reclaimed / staticGuardband, passive * 1e3,
-        100.0 * passive / staticGuardband, noise * 1e3,
-        100.0 * noise / staticGuardband, reserve * 1e3,
-        100.0 * reserve / staticGuardband);
+        toMilliVolts(staticGuardband), toMilliVolts(reclaimed),
+        100.0 * (reclaimed / staticGuardband), toMilliVolts(passive),
+        100.0 * (passive / staticGuardband), toMilliVolts(noise),
+        100.0 * (noise / staticGuardband), toMilliVolts(reserve),
+        100.0 * (reserve / staticGuardband));
     return buf;
 }
 
@@ -36,18 +36,18 @@ GuardbandReport
 makeGuardbandReport(const system::RunMetrics &metrics,
                     Volts staticGuardband)
 {
-    fatalIf(staticGuardband <= 0.0, "guardband must be positive");
+    fatalIf(staticGuardband <= Volts{0.0}, "guardband must be positive");
     fatalIf(metrics.socketUndervolt.empty(), "metrics carry no sockets");
 
     GuardbandReport report;
     report.staticGuardband = staticGuardband;
-    report.reclaimed = std::max(metrics.socketUndervolt[0], 0.0);
+    report.reclaimed = std::max(metrics.socketUndervolt[0], Volts{});
     report.passive = metrics.meanDecomposition.passive();
     report.noise = metrics.meanDecomposition.typicalDidt +
                    metrics.meanDecomposition.worstDidt;
     report.reserve = std::max(
         staticGuardband - report.reclaimed - report.passive - report.noise,
-        0.0);
+        Volts{});
     return report;
 }
 

@@ -25,15 +25,15 @@ namespace agsim::core {
 struct GuardbandReport
 {
     /** Total static guardband at the run's operating point. */
-    Volts staticGuardband = 0.0;
+    Volts staticGuardband = Volts{0.0};
     /** Undervolt the firmware reclaimed (socket 0 mean). */
-    Volts reclaimed = 0.0;
+    Volts reclaimed = Volts{0.0};
     /** Passive drop (loadline + IR, core-0 mean). */
-    Volts passive = 0.0;
+    Volts passive = Volts{0.0};
     /** di/dt share (typical + worst-case characteristic). */
-    Volts noise = 0.0;
+    Volts noise = Volts{0.0};
     /** Residual reserve (non-negative up to model jitter). */
-    Volts reserve = 0.0;
+    Volts reserve = Volts{0.0};
 
     /** Fraction of the guardband the firmware turned into savings. */
     double reclaimedFraction() const;
@@ -49,7 +49,7 @@ struct GuardbandReport
  * @param staticGuardband The configured guardband (default model value).
  */
 GuardbandReport makeGuardbandReport(const system::RunMetrics &metrics,
-                                    Volts staticGuardband = 0.150);
+                                    Volts staticGuardband = Volts{0.150});
 
 } // namespace agsim::core
 

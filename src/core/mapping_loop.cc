@@ -79,10 +79,10 @@ runMappingLoop(const workload::BenchmarkProfile &critical,
         quantum.violationRate =
             qos::WebSearchService::violationRate(windows);
         quantum.meanP90 = qos::WebSearchService::meanP90(windows);
-        scheduler.observeQos(quantum.frequency, quantum.meanP90);
+        scheduler.observeQos(quantum.frequency, quantum.meanP90.value());
 
         const auto decision = scheduler.decide(
-            quantum.violationRate, service.params().qosTargetP90,
+            quantum.violationRate, service.params().qosTargetP90.value(),
             config.criticalMips, current, catalogue);
         quantum.swapped = decision.swap;
         quantum.decisionReason = decision.reason;
@@ -100,7 +100,7 @@ runMappingLoop(const workload::BenchmarkProfile &critical,
             event.simTime = double(q) * config.qosHorizon;
             event.duration = config.qosHorizon;
             event.a = quantum.violationRate;
-            event.b = quantum.frequency;
+            event.b = quantum.frequency.value();
             event.detail = quantum.corunner +
                            (quantum.swapped ? " (swap)" : "");
             obs::emit(std::move(event));

@@ -37,11 +37,11 @@ struct MappingQuantum
     /** Measured chip MIPS. */
     double chipMips = 0.0;
     /** Critical core's frequency. */
-    Hertz frequency = 0.0;
+    Hertz frequency = Hertz{0.0};
     /** QoS violation rate over the quantum. */
     double violationRate = 0.0;
     /** Mean windowed p90 over the quantum. */
-    Seconds meanP90 = 0.0;
+    Seconds meanP90 = Seconds{0.0};
     /** Whether the scheduler swapped at the end of the quantum. */
     bool swapped = false;
     std::string decisionReason;
@@ -53,11 +53,11 @@ struct MappingLoopConfig
     /** Scheduling quanta to run. */
     size_t quanta = 6;
     /** Service time simulated per quantum (QoS windows per decision). */
-    Seconds qosHorizon = 6000.0;
+    Seconds qosHorizon = Seconds{6000.0};
     /** Platform settle time per colocation measurement. */
-    Seconds settle = 0.8;
+    Seconds settle = Seconds{0.8};
     /** Platform measure time per colocation measurement. */
-    Seconds measure = 0.4;
+    Seconds measure = Seconds{0.4};
     /** Critical app's own MIPS estimate handed to the scheduler. */
     double criticalMips = 4500.0;
     /** Index of the initially (blindly) chosen co-runner class. */

@@ -10,16 +10,16 @@ void
 MipsFreqPredictor::observe(double chipMips, Hertz frequency)
 {
     fatalIf(chipMips < 0.0, "negative MIPS observation");
-    fatalIf(frequency <= 0.0, "non-positive frequency observation");
-    fit_.add(chipMips, frequency);
-    meanFreqSum_ += frequency;
+    fatalIf(frequency <= Hertz{0.0}, "non-positive frequency observation");
+    fit_.add(chipMips, frequency.value());
+    meanFreqSum_ += frequency.value();
 }
 
 Hertz
 MipsFreqPredictor::predict(double chipMips) const
 {
     fatalIf(!trained(), "predictor needs at least two observations");
-    return fit_.predict(chipMips);
+    return Hertz{fit_.predict(chipMips)};
 }
 
 double
@@ -30,9 +30,10 @@ MipsFreqPredictor::maxMipsForFrequency(Hertz requiredFrequency) const
     if (slope >= 0.0) {
         // Degenerate (frequency not decreasing in MIPS): any load is
         // admissible if the intercept meets the requirement.
-        return fit_.intercept() >= requiredFrequency ? 1e12 : 0.0;
+        return fit_.intercept() >= requiredFrequency.value() ? 1e12 : 0.0;
     }
-    const double mips = (requiredFrequency - fit_.intercept()) / slope;
+    const double mips =
+        (requiredFrequency.value() - fit_.intercept()) / slope;
     return mips < 0.0 ? 0.0 : mips;
 }
 

@@ -52,10 +52,10 @@ class MipsFreqPredictor
     double slope() const { return fit_.slope(); }
 
     /** Fit intercept (Hz at zero MIPS). */
-    Hertz intercept() const { return fit_.intercept(); }
+    Hertz intercept() const { return Hertz{fit_.intercept()}; }
 
     /** Absolute RMSE of the fit (Hz). */
-    Hertz rmse() const { return fit_.rmse(); }
+    Hertz rmse() const { return Hertz{fit_.rmse()}; }
 
     /** RMSE as a percentage of the mean observed frequency. */
     double rmsePercent() const;

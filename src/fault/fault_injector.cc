@@ -17,7 +17,7 @@ FaultInjector::FaultInjector(const FaultPlan &plan, size_t coreCount)
 void
 FaultInjector::advance(Seconds dt)
 {
-    panicIf(dt <= 0.0, "fault injector step must be positive");
+    panicIf(dt <= Seconds{0.0}, "fault injector step must be positive");
     now_ += dt;
     recompute();
 }
@@ -25,7 +25,7 @@ FaultInjector::advance(Seconds dt)
 void
 FaultInjector::reset()
 {
-    now_ = 0.0;
+    now_ = Seconds{};
     recompute();
 }
 
@@ -39,7 +39,7 @@ FaultInjector::recompute()
     for (auto &f : active_.cpm)
         f = sensors::CpmFault();
     active_.dacStuck = false;
-    active_.dacOffset = 0.0;
+    active_.dacOffset = Volts{};
     active_.firmwareStall = false;
     active_.droopRateScale = 1.0;
     active_.droopDepthScale = 1.0;
@@ -58,7 +58,7 @@ FaultInjector::recompute()
             break;
           case FaultKind::CpmOptimisticBias:
             for (size_t i = lo; i < hi; ++i)
-                active_.cpm[i].biasVolts += spec.magnitude;
+                active_.cpm[i].biasVolts += Volts{spec.magnitude};
             break;
           case FaultKind::CpmDropout:
             for (size_t i = lo; i < hi; ++i)
@@ -68,7 +68,7 @@ FaultInjector::recompute()
             active_.dacStuck = true;
             break;
           case FaultKind::VrmDacOffset:
-            active_.dacOffset += spec.magnitude;
+            active_.dacOffset += Volts{spec.magnitude};
             break;
           case FaultKind::FirmwareStall:
             active_.firmwareStall = true;

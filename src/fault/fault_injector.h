@@ -33,7 +33,7 @@ struct ActiveFaultSet
     bool dacStuck = false;
     /** Volts added to the delivered rail voltage behind the firmware's
      *  back (negative = under-delivery). */
-    Volts dacOffset = 0.0;
+    Volts dacOffset = Volts{0.0};
     /** Firmware decision tick suppressed. */
     bool firmwareStall = false;
     /** Multiplier on worst-case droop arrival rate. */
@@ -80,7 +80,7 @@ class FaultInjector
 
     FaultPlan plan_;
     size_t coreCount_;
-    Seconds now_ = 0.0;
+    Seconds now_ = Seconds{0.0};
     size_t activeSpecs_ = 0;
     ActiveFaultSet active_;
 };

@@ -50,7 +50,7 @@ FaultPlan::cpmOptimisticBias(Seconds start, Seconds duration, Volts bias,
     spec.start = start;
     spec.duration = duration;
     spec.core = core;
-    spec.magnitude = bias;
+    spec.magnitude = bias.value();
     return add(spec);
 }
 
@@ -82,7 +82,7 @@ FaultPlan::vrmDacOffset(Seconds start, Seconds duration, Volts offset)
     spec.kind = FaultKind::VrmDacOffset;
     spec.start = start;
     spec.duration = duration;
-    spec.magnitude = offset;
+    spec.magnitude = offset.value();
     return add(spec);
 }
 
@@ -117,7 +117,7 @@ FaultPlan::validate(size_t coreCount) const
         const std::string where =
             "fault plan spec " + std::to_string(i) + " (" +
             faultKindName(spec.kind) + "): ";
-        fatalIf(spec.start < 0.0, where + "negative start time");
+        fatalIf(spec.start < Seconds{0.0}, where + "negative start time");
         fatalIf(spec.core >= 0 && size_t(spec.core) >= coreCount,
                 where + "core index out of range");
         switch (spec.kind) {

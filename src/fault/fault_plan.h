@@ -70,9 +70,9 @@ struct FaultSpec
 {
     FaultKind kind = FaultKind::CpmOptimisticBias;
     /** Activation time (chip-sim seconds since the injector attached). */
-    Seconds start = 0.0;
+    Seconds start = Seconds{0.0};
     /** Active duration; <= 0 means active until the end of the run. */
-    Seconds duration = 0.0;
+    Seconds duration = Seconds{0.0};
     /** Target core for CPM faults; -1 = every core. Ignored otherwise. */
     int core = -1;
     /** Kind-specific magnitude (see FaultKind). */
@@ -84,7 +84,7 @@ struct FaultSpec
     /** Whether the fault is active at time t. */
     bool activeAt(Seconds t) const
     {
-        return t >= start && (duration <= 0.0 || t < start + duration);
+        return t >= start && (duration <= Seconds{0.0} || t < start + duration);
     }
 };
 
@@ -111,7 +111,7 @@ struct FaultPlan
     FaultPlan &cpmOptimisticBias(Seconds start, Seconds duration,
                                  Volts bias, int core = -1);
     FaultPlan &cpmDropout(Seconds start, Seconds duration, int core = -1);
-    FaultPlan &vrmDacStuck(Seconds start, Seconds duration = 0.0);
+    FaultPlan &vrmDacStuck(Seconds start, Seconds duration = Seconds{0.0});
     FaultPlan &vrmDacOffset(Seconds start, Seconds duration, Volts offset);
     FaultPlan &firmwareStall(Seconds start, Seconds duration);
     FaultPlan &droopStorm(Seconds start, Seconds duration,

@@ -89,7 +89,12 @@ JsonLineWriter::set(const std::string &key, bool value)
 JsonLineWriter &
 JsonLineWriter::set(const std::string &key, const std::string &value)
 {
-    return assign(key, "\"" + jsonEscape(value) + "\"");
+    std::string quoted;
+    quoted.reserve(value.size() + 2);
+    quoted += '"';
+    quoted += jsonEscape(value);
+    quoted += '"';
+    return assign(key, quoted);
 }
 
 JsonLineWriter &
@@ -111,8 +116,10 @@ JsonLineWriter::str() const
     for (size_t i = 0; i < fields_.size(); ++i) {
         if (i > 0)
             out += ", ";
-        out += "\"" + jsonEscape(fields_[i].first) + "\": " +
-               fields_[i].second;
+        out += '"';
+        out += jsonEscape(fields_[i].first);
+        out += "\": ";
+        out += fields_[i].second;
     }
     out += "}";
     return out;

@@ -126,15 +126,15 @@ chromeTraceJson(const std::vector<TraceEvent> &events)
         JsonLineWriter record;
         record.set("name", traceKindName(event.kind));
         record.set("cat", "agsim");
-        if (event.duration >= 0.0) {
+        if (event.duration >= Seconds{0.0}) {
             record.set("ph", "X");
-            record.set("dur", event.duration * 1e6);
+            record.set("dur", toMicroSeconds(event.duration));
         } else {
             // Instant event, thread-scoped.
             record.set("ph", "i");
             record.set("s", "t");
         }
-        record.set("ts", event.simTime * 1e6);
+        record.set("ts", toMicroSeconds(event.simTime));
         record.set("pid", int64_t(event.task));
         record.set("tid", exportTid(event));
         record.setRaw("args", argsJson(event));
@@ -153,15 +153,15 @@ traceJsonl(const std::vector<TraceEvent> &events)
     std::string out;
     for (const TraceEvent &event : sorted) {
         JsonLineWriter record;
-        record.set("t", event.simTime);
+        record.set("t", event.simTime.value());
         record.set("kind", traceKindName(event.kind));
         record.set("task", int64_t(event.task));
         record.set("chip", int64_t(event.chip));
         record.set("core", int64_t(event.core));
         record.set("a", event.a);
         record.set("b", event.b);
-        if (event.duration >= 0.0)
-            record.set("dur", event.duration);
+        if (event.duration >= Seconds{0.0})
+            record.set("dur", event.duration.value());
         if (!event.detail.empty())
             record.set("detail", event.detail);
         out += record.str();

@@ -64,7 +64,7 @@ const char *traceKindName(TraceKind kind);
 struct TraceEvent
 {
     /** Simulation-time stamp on the owning task's timeline. */
-    Seconds simTime = 0.0;
+    Seconds simTime = Seconds{0.0};
     TraceKind kind = TraceKind::Custom;
     /** Batch-task scope (0 outside a batch). */
     int32_t task = 0;
@@ -76,7 +76,7 @@ struct TraceEvent
     double a = 0.0;
     double b = 0.0;
     /** >= 0 turns the event into a complete ("X") span of this length. */
-    Seconds duration = -1.0;
+    Seconds duration = Seconds{-1.0};
     /** Short human-readable annotation (mode names, task labels). */
     std::string detail;
 };

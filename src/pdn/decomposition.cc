@@ -27,8 +27,9 @@ DropDecomposition::toString() const
     std::snprintf(buf, sizeof(buf),
                   "loadline=%.1fmV ir_global=%.1fmV ir_local=%.1fmV "
                   "didt_typ=%.1fmV didt_worst=%.1fmV total=%.1fmV",
-                  loadline * 1e3, irGlobal * 1e3, irLocal * 1e3,
-                  typicalDidt * 1e3, worstDidt * 1e3, total() * 1e3);
+                  toMilliVolts(loadline), toMilliVolts(irGlobal),
+                  toMilliVolts(irLocal), toMilliVolts(typicalDidt),
+                  toMilliVolts(worstDidt), toMilliVolts(total()));
     return buf;
 }
 

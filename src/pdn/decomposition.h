@@ -25,13 +25,13 @@ namespace agsim::pdn {
  */
 struct DropDecomposition
 {
-    Volts loadline = 0.0;
+    Volts loadline = Volts{0.0};
     /** Shared (board/package/grid-trunk) IR component. */
-    Volts irGlobal = 0.0;
+    Volts irGlobal = Volts{0.0};
     /** This core's local grid component (incl. neighbour coupling). */
-    Volts irLocal = 0.0;
-    Volts typicalDidt = 0.0;
-    Volts worstDidt = 0.0;
+    Volts irLocal = Volts{0.0};
+    Volts typicalDidt = Volts{0.0};
+    Volts worstDidt = Volts{0.0};
 
     /** Total IR drop seen by the core. */
     Volts irDrop() const { return irGlobal + irLocal; }

@@ -27,7 +27,7 @@ DidtModel::activeCount(const std::vector<Volts> &amps)
 {
     size_t n = 0;
     for (Volts a : amps) {
-        if (a > 0.0)
+        if (a > Volts{0.0})
             ++n;
     }
     return n;
@@ -38,11 +38,11 @@ DidtModel::typicalLevel(const std::vector<Volts> &typicalAmps) const
 {
     const size_t active = activeCount(typicalAmps);
     if (active == 0)
-        return 0.0;
+        return Volts{0.0};
     // Mean amplitude of the active cores, smoothed by staggering: the
     // shared PDN averages independent per-core ripple so the chip-level
     // amplitude falls off as 1/sqrt(active).
-    Volts sum = 0.0;
+    Volts sum;
     for (Volts a : typicalAmps)
         sum += a;
     const Volts meanAmp = sum / double(active);
@@ -54,8 +54,8 @@ DidtModel::worstDepth(const std::vector<Volts> &worstAmps) const
 {
     const size_t active = activeCount(worstAmps);
     if (active == 0)
-        return 0.0;
-    Volts peak = 0.0;
+        return Volts{0.0};
+    Volts peak;
     for (Volts a : worstAmps)
         peak = std::max(peak, a);
     // Random alignment across cores deepens the worst sag slightly with
@@ -71,15 +71,15 @@ DidtModel::step(const std::vector<Volts> &typicalAmps,
 {
     panicIf(typicalAmps.size() != worstAmps.size(),
             "didt amplitude vector size mismatch");
-    panicIf(dt < 0.0, "negative didt step");
+    panicIf(dt < Seconds{0.0}, "negative didt step");
     panicIf(rateScale <= 0.0, "droop rate scale must be positive");
 
     DidtSample sample;
     sample.typicalMean = typicalLevel(typicalAmps);
-    if (sample.typicalMean > 0.0) {
+    if (sample.typicalMean > Volts{0.0}) {
         const double jitter =
             1.0 + params_.rippleJitter * rng_.normal();
-        sample.typicalNow = std::max(0.0, sample.typicalMean * jitter);
+        sample.typicalNow = std::max(Volts{}, sample.typicalMean * jitter);
     }
 
     const size_t active = activeCount(worstAmps);
@@ -87,7 +87,7 @@ DidtModel::step(const std::vector<Volts> &typicalAmps,
         const double rate = rateScale * params_.droopRatePerSecond *
                             (1.0 + params_.ratePerExtraCore *
                              double(active - 1));
-        sample.droopEvents = rng_.poisson(rate * dt);
+        sample.droopEvents = rng_.poisson(rate * dt.value());
         if (sample.droopEvents > 0) {
             const Volts base = worstDepth(worstAmps);
             // Depth of the deepest of k events: apply positive-biased

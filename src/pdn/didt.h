@@ -47,11 +47,11 @@ struct DidtParams
 struct DidtSample
 {
     /** Instantaneous typical-case ripple depth (margin loss), volts. */
-    Volts typicalNow = 0.0;
+    Volts typicalNow = Volts{0.0};
     /** Mean typical-case ripple depth this step, volts. */
-    Volts typicalMean = 0.0;
+    Volts typicalMean = Volts{0.0};
     /** Deepest worst-case droop that occurred this step (0 if none). */
-    Volts worstDroop = 0.0;
+    Volts worstDroop = Volts{0.0};
     /** Number of worst-case droop events this step. */
     int droopEvents = 0;
 };

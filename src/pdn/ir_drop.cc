@@ -9,7 +9,7 @@ namespace agsim::pdn {
 IrDropModel::IrDropModel(const IrDropParams &params)
     : params_(params)
 {
-    fatalIf(params_.globalResistance < 0.0 || params_.localResistance < 0.0,
+    fatalIf(params_.globalResistance < Ohms{0.0} || params_.localResistance < Ohms{0.0},
             "negative grid resistance");
     fatalIf(params_.coreCount == 0, "ir-drop model needs cores");
     fatalIf(params_.coresPerRow == 0, "cores per row must be positive");
@@ -23,7 +23,7 @@ IrDropModel::IrDropModel(const IrDropParams &params)
 Volts
 IrDropModel::globalDrop(Amps chipCurrent) const
 {
-    panicIf(chipCurrent < 0.0, "negative chip current");
+    panicIf(chipCurrent < Amps{0.0}, "negative chip current");
     return params_.globalResistance * chipCurrent;
 }
 

@@ -33,9 +33,9 @@ namespace agsim::pdn {
 struct IrDropParams
 {
     /** Shared (board + package + grid trunk) resistance. */
-    Ohms globalResistance = 0.36e-3;
+    Ohms globalResistance = Ohms{0.36e-3};
     /** Per-core local grid resistance. */
-    Ohms localResistance = 2.00e-3;
+    Ohms localResistance = Ohms{2.00e-3};
     /** Fraction of a neighbour core's local drop that couples over. */
     double neighbourCoupling = 0.18;
     /** Fraction of a non-adjacent core's local drop that couples over. */

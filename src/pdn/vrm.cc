@@ -10,13 +10,13 @@ namespace agsim::pdn {
 Vrm::Vrm(size_t railCount, const RailParams &params)
 {
     fatalIf(railCount == 0, "VRM needs at least one rail");
-    fatalIf(params.loadlineResistance < 0.0, "negative loadline resistance");
+    fatalIf(params.loadlineResistance < Ohms{0.0}, "negative loadline resistance");
     fatalIf(params.minSetpoint > params.maxSetpoint,
             "empty setpoint window");
-    fatalIf(params.setpointStep <= 0.0, "setpoint step must be positive");
+    fatalIf(params.setpointStep <= Volts{0.0}, "setpoint step must be positive");
     rails_.reserve(railCount);
     for (size_t i = 0; i < railCount; ++i) {
-        Rail rail{params, params.initialSetpoint, 0.0};
+        Rail rail{params, params.initialSetpoint, Amps{0.0}};
         rails_.push_back(rail);
     }
     for (auto &rail : rails_)
@@ -65,7 +65,7 @@ Vrm::setpoint(size_t rail) const
 Volts
 Vrm::deliver(size_t rail, Amps current)
 {
-    panicIf(current < 0.0, "negative rail current");
+    panicIf(current < Amps{0.0}, "negative rail current");
     Rail &r = railAt(rail);
     r.lastCurrent = current;
     return outputAt(rail, current);
@@ -127,7 +127,7 @@ Vrm::clearFaults()
 {
     for (auto &rail : rails_) {
         rail.dacStuck = false;
-        rail.dacOffset = 0.0;
+        rail.dacOffset = Volts{0.0};
     }
 }
 

@@ -24,15 +24,15 @@ namespace agsim::pdn {
 struct RailParams
 {
     /** Loadline (output) resistance of this rail's delivery path. */
-    Ohms loadlineResistance = 0.46e-3;
+    Ohms loadlineResistance = Ohms{0.46e-3};
     /** Initial setpoint. */
-    Volts initialSetpoint = 1.200;
+    Volts initialSetpoint = Volts{1.200};
     /** Lowest setpoint the controller may program. */
-    Volts minSetpoint = 0.900;
+    Volts minSetpoint = Volts{0.900};
     /** Highest setpoint the controller may program. */
-    Volts maxSetpoint = 1.250;
+    Volts maxSetpoint = Volts{1.250};
     /** Setpoint DAC resolution (POWER7+ firmware steps ~6.25 mV). */
-    Volts setpointStep = 6.25e-3;
+    Volts setpointStep = Volts{6.25e-3};
 };
 
 /**
@@ -105,9 +105,9 @@ class Vrm
     {
         RailParams params;
         Volts setpoint;
-        Amps lastCurrent = 0.0;
+        Amps lastCurrent = Amps{0.0};
         bool dacStuck = false;
-        Volts dacOffset = 0.0;
+        Volts dacOffset = Volts{0.0};
     };
 
     const Rail &railAt(size_t rail) const;

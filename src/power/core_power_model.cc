@@ -9,10 +9,10 @@ namespace agsim::power {
 CorePowerModel::CorePowerModel(const PowerModelParams &params)
     : params_(params)
 {
-    fatalIf(params_.refVoltage <= 0.0, "reference voltage must be positive");
-    fatalIf(params_.refFrequency <= 0.0,
+    fatalIf(params_.refVoltage <= Volts{0.0}, "reference voltage must be positive");
+    fatalIf(params_.refFrequency <= Hertz{0.0},
             "reference frequency must be positive");
-    fatalIf(params_.coreDynamicAtRef < 0.0 || params_.coreLeakageAtRef < 0.0,
+    fatalIf(params_.coreDynamicAtRef < Watts{0.0} || params_.coreLeakageAtRef < Watts{0.0},
             "negative reference power");
     fatalIf(params_.gatedLeakageFraction < 0.0 ||
             params_.gatedLeakageFraction > 1.0,

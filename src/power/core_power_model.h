@@ -25,16 +25,16 @@ namespace agsim::power {
 struct PowerModelParams
 {
     /** Reference voltage for the calibration anchors below. */
-    Volts refVoltage = 1.200;
+    Volts refVoltage = Volts{1.200};
     /** Reference frequency for the calibration anchors below. */
-    Hertz refFrequency = 4.2e9;
+    Hertz refFrequency = Hertz{4.2e9};
     /**
      * Dynamic power of one core at (refVoltage, refFrequency) with
      * activity 1.0 and workload intensity 1.0.
      */
-    Watts coreDynamicAtRef = 11.5;
+    Watts coreDynamicAtRef = Watts{11.5};
     /** Leakage of one powered-on core at refVoltage and refTemperature. */
-    Watts coreLeakageAtRef = 4.2;
+    Watts coreLeakageAtRef = Watts{4.2};
     /**
      * Uncore (fabric, L3 control, PLLs) power on the Vdd rail at
      * reference conditions. Most of the L3 (eDRAM) sits on the separate
@@ -42,15 +42,15 @@ struct PowerModelParams
      * dominated by the cores, which is why per-core power gating (and
      * distributing the powered-on cores across sockets) pays off.
      */
-    Watts uncoreAtRef = 12.0;
+    Watts uncoreAtRef = Watts{12.0};
     /** Activity factor of a powered-on but idle core (OS idle loop). */
     double idleActivity = 0.12;
     /** Fraction of leakage that survives power gating (header leakage). */
     double gatedLeakageFraction = 0.03;
     /** Reference temperature for leakage calibration. */
-    Celsius refTemperature = 45.0;
+    Celsius refTemperature = Celsius{45.0};
     /** Leakage doubles every this many degrees above reference. */
-    Celsius leakageDoublingTemp = 35.0;
+    Celsius leakageDoublingTemp = Celsius{35.0};
     /** Leakage voltage exponent (I_leak ~ V^k; P = V * I). */
     double leakageVoltageExponent = 3.0;
 };

@@ -9,9 +9,9 @@ namespace agsim::power {
 ThermalModel::ThermalModel(const ThermalParams &params)
     : params_(params), temperature_(params.ambient)
 {
-    fatalIf(params_.thermalResistance < 0.0,
+    fatalIf(params_.thermalResistance.value() < 0.0,
             "negative thermal resistance");
-    fatalIf(params_.timeConstant <= 0.0,
+    fatalIf(params_.timeConstant <= Seconds{0.0},
             "thermal time constant must be positive");
 }
 
@@ -24,7 +24,7 @@ ThermalModel::steadyState(Watts power) const
 void
 ThermalModel::step(Watts power, Seconds dt)
 {
-    panicIf(dt < 0.0, "negative thermal step");
+    panicIf(dt < Seconds{0.0}, "negative thermal step");
     const Celsius target = steadyState(power);
     const double alpha = 1.0 - std::exp(-dt / params_.timeConstant);
     temperature_ += (target - temperature_) * alpha;

@@ -20,11 +20,11 @@ namespace agsim::power {
 struct ThermalParams
 {
     /** Inlet/ambient temperature. */
-    Celsius ambient = 25.0;
+    Celsius ambient = Celsius{25.0};
     /** Junction-to-ambient thermal resistance (°C per watt). */
-    double thermalResistance = 0.095;
+    Div<Celsius, Watts> thermalResistance{0.095};
     /** Thermal time constant of the die + heatsink node. */
-    Seconds timeConstant = 8.0;
+    Seconds timeConstant = Seconds{8.0};
 };
 
 /**

@@ -9,11 +9,12 @@ namespace agsim::power {
 VfCurve::VfCurve(const VfCurveParams &params)
     : params_(params)
 {
-    fatalIf(params_.voltsPerHertz <= 0.0, "vf curve slope must be positive");
+    fatalIf(params_.voltsPerHertz.value() <= 0.0,
+            "vf curve slope must be positive");
     fatalIf(params_.refFrequency <= params_.minFrequency,
             "vf curve frequency window is empty");
-    fatalIf(params_.staticGuardband < 0.0, "negative static guardband");
-    fatalIf(params_.calibratedMargin < 0.0, "negative calibrated margin");
+    fatalIf(params_.staticGuardband < Volts{}, "negative static guardband");
+    fatalIf(params_.calibratedMargin < Volts{}, "negative calibrated margin");
     fatalIf(params_.overclockCeiling < 1.0,
             "overclock ceiling below nominal frequency");
 }
@@ -31,7 +32,7 @@ VfCurve::fmaxAt(Volts v) const
     const Hertz raw = params_.refFrequency +
                       (v - params_.refVmin) / params_.voltsPerHertz;
     const Hertz ceiling = params_.refFrequency * params_.overclockCeiling;
-    return std::clamp(raw, 0.0, ceiling);
+    return std::clamp(raw, Hertz{}, ceiling);
 }
 
 Hertz

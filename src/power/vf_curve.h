@@ -28,21 +28,21 @@ namespace agsim::power {
 struct VfCurveParams
 {
     /** Reference (peak) frequency: the chip's nominal DVFS top point. */
-    Hertz refFrequency = 4.2e9;
+    Hertz refFrequency = 4.2_GHz;
     /** Minimum DVFS frequency. */
-    Hertz minFrequency = 2.8e9;
+    Hertz minFrequency = 2.8_GHz;
     /** At-transistor voltage where margin is zero at refFrequency. */
-    Volts refVmin = 1.050;
+    Volts refVmin = 1050.0_mV;
     /** Circuit-speed slope: volts of vmin per hertz (~0.185 mV/MHz). */
-    double voltsPerHertz = 0.185e-9;
+    Div<Volts, Hertz> voltsPerHertz{0.185e-9};
     /** Static voltage guardband applied by the baseline system. */
-    Volts staticGuardband = 0.150;
+    Volts staticGuardband = 150.0_mV;
     /**
      * Margin the CPM-DPLL loop is calibrated to preserve above vmin
      * (the "remaining guardband ... to tolerate nondeterministic sources
      * of error" of Sec. 2.1).
      */
-    Volts calibratedMargin = 0.006;
+    Volts calibratedMargin = 6.0_mV;
     /**
      * Hard DPLL overclock ceiling relative to refFrequency (ratio).
      * The paper: "clock frequency can be boosted by as much as 10%".

@@ -13,12 +13,12 @@ keyValuePreset()
 {
     WebSearchParams params;
     params.arrivalRatePerSec = 2000.0;
-    params.serviceMeanAtNominal = 320e-6;
+    params.serviceMeanAtNominal = Seconds{320e-6};
     params.serviceSigma = 0.35;
     params.memoryBoundedness = 0.25; // cache lookups stall on DRAM
     params.frequencyExponent = 1.2;  // no fan-out amplification
-    params.windowLength = 5.0;
-    params.qosTargetP90 = 1e-3;
+    params.windowLength = Seconds{5.0};
+    params.qosTargetP90 = Seconds{1e-3};
     return params;
 }
 
@@ -27,12 +27,12 @@ analyticsPreset()
 {
     WebSearchParams params;
     params.arrivalRatePerSec = 0.08;
-    params.serviceMeanAtNominal = 4.8;
+    params.serviceMeanAtNominal = Seconds{4.8};
     params.serviceSigma = 0.20;
     params.memoryBoundedness = 0.15;
     params.frequencyExponent = 1.6;
-    params.windowLength = 1800.0;
-    params.qosTargetP90 = 8.0;
+    params.windowLength = Seconds{1800.0};
+    params.qosTargetP90 = Seconds{8.0};
     return params;
 }
 

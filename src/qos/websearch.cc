@@ -13,16 +13,16 @@ WebSearchService::WebSearchService(const WebSearchParams &params)
 {
     fatalIf(params_.arrivalRatePerSec <= 0.0,
             "arrival rate must be positive");
-    fatalIf(params_.serviceMeanAtNominal <= 0.0,
+    fatalIf(params_.serviceMeanAtNominal <= Seconds{0.0},
             "service demand must be positive");
     fatalIf(params_.serviceSigma < 0.0, "negative service sigma");
-    fatalIf(params_.nominalFrequency <= 0.0,
+    fatalIf(params_.nominalFrequency <= Hertz{0.0},
             "nominal frequency must be positive");
     fatalIf(params_.memoryBoundedness < 0.0 ||
             params_.memoryBoundedness > 1.0,
             "memoryBoundedness out of [0, 1]");
-    fatalIf(params_.windowLength <= 0.0, "window must be positive");
-    fatalIf(params_.qosTargetP90 <= 0.0, "QoS target must be positive");
+    fatalIf(params_.windowLength <= Seconds{0.0}, "window must be positive");
+    fatalIf(params_.qosTargetP90 <= Seconds{0.0}, "QoS target must be positive");
 }
 
 void
@@ -34,7 +34,7 @@ WebSearchService::reseed(uint64_t seed)
 double
 WebSearchService::serviceScale(Hertz frequency) const
 {
-    panicIf(frequency <= 0.0, "service frequency must be positive");
+    panicIf(frequency <= Hertz{0.0}, "service frequency must be positive");
     // Throughput scales as (1-mb) * f/fnom + mb; latency inversely,
     // amplified by the tail exponent.
     const double mb = params_.memoryBoundedness;
@@ -47,37 +47,37 @@ std::vector<QosWindow>
 WebSearchService::simulate(Hertz frequency, Seconds duration,
                            double interference)
 {
-    fatalIf(duration <= 0.0, "duration must be positive");
+    fatalIf(duration <= Seconds{0.0}, "duration must be positive");
     fatalIf(interference < 0.0, "negative interference");
 
     const double scale = serviceScale(frequency) * (1.0 + interference);
     // Lognormal with the requested mean: median = mean / exp(sigma^2/2).
     const double sigma = params_.serviceSigma;
-    const double median = params_.serviceMeanAtNominal *
-                          std::exp(-sigma * sigma / 2.0);
+    const Seconds median = params_.serviceMeanAtNominal *
+                           std::exp(-sigma * sigma / 2.0);
 
     std::vector<QosWindow> windows;
     stats::PercentileTracker windowLatencies;
     Seconds windowEnd = params_.windowLength;
-    Seconds now = 0.0;
-    Seconds serverFreeAt = 0.0;
-    double latencySum = 0.0;
+    Seconds now;
+    Seconds serverFreeAt;
+    Seconds latencySum;
 
     auto closeWindow = [&]() {
         QosWindow window;
         window.queries = windowLatencies.count();
         if (window.queries > 0) {
-            window.p90 = windowLatencies.percentile(90.0);
+            window.p90 = Seconds{windowLatencies.percentile(90.0)};
             window.meanLatency = latencySum / double(window.queries);
         }
         window.violated = window.p90 > params_.qosTargetP90;
         windows.push_back(window);
         windowLatencies.clear();
-        latencySum = 0.0;
+        latencySum = Seconds{};
     };
 
     while (true) {
-        now += rng_.exponential(params_.arrivalRatePerSec);
+        now += Seconds{rng_.exponential(params_.arrivalRatePerSec)};
         if (now >= duration)
             break;
         while (now >= windowEnd && windowEnd <= duration) {
@@ -89,7 +89,7 @@ WebSearchService::simulate(Hertz frequency, Seconds duration,
         const Seconds start = std::max(now, serverFreeAt);
         serverFreeAt = start + service;
         const Seconds latency = serverFreeAt - now;
-        windowLatencies.add(latency);
+        windowLatencies.add(latency.value());
         latencySum += latency;
     }
     // Close remaining full windows only (partial tails are discarded so
@@ -118,8 +118,8 @@ Seconds
 WebSearchService::meanP90(const std::vector<QosWindow> &windows)
 {
     if (windows.empty())
-        return 0.0;
-    double sum = 0.0;
+        return Seconds{0.0};
+    Seconds sum;
     for (const auto &w : windows)
         sum += w.p90;
     return sum / double(windows.size());

@@ -34,11 +34,11 @@ struct WebSearchParams
     /** Mean query arrival rate. */
     double arrivalRatePerSec = 0.7;
     /** Mean service demand at the nominal frequency. */
-    Seconds serviceMeanAtNominal = 0.338;
+    Seconds serviceMeanAtNominal = Seconds{0.338};
     /** Lognormal sigma of service demand. */
     double serviceSigma = 0.12;
     /** Frequency the service demand is quoted at. */
-    Hertz nominalFrequency = 4.2e9;
+    Hertz nominalFrequency = Hertz{4.2e9};
     /** Memory-boundedness: governs how latency responds to frequency. */
     double memoryBoundedness = 0.0;
     /**
@@ -49,9 +49,9 @@ struct WebSearchParams
      */
     double frequencyExponent = 2.0;
     /** QoS evaluation window. */
-    Seconds windowLength = 150.0;
+    Seconds windowLength = Seconds{150.0};
     /** p90-latency QoS target (SLA). */
-    Seconds qosTargetP90 = 0.5;
+    Seconds qosTargetP90 = Seconds{0.5};
     /** RNG seed. */
     uint64_t seed = 0x5EA2C4u;
 };
@@ -59,8 +59,8 @@ struct WebSearchParams
 /** One QoS window outcome. */
 struct QosWindow
 {
-    Seconds p90 = 0.0;
-    Seconds meanLatency = 0.0;
+    Seconds p90 = Seconds{0.0};
+    Seconds meanLatency = Seconds{0.0};
     size_t queries = 0;
     bool violated = false;
 };

@@ -18,7 +18,7 @@ Cpm::Cpm(const power::VfCurve *curve, const CpmParams &params,
     fatalIf(params_.calibrationPosition < 0 ||
             params_.calibrationPosition >= params_.positions,
             "CPM calibration position out of range");
-    fatalIf(params_.voltsPerBitAtRef <= 0.0,
+    fatalIf(params_.voltsPerBitAtRef <= Volts{0.0},
             "CPM sensitivity must be positive");
     fatalIf(sensitivityScale_ <= 0.0,
             "CPM sensitivity scale must be positive");

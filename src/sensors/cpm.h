@@ -32,7 +32,7 @@ struct CpmParams
     /** Calibration target position. */
     int calibrationPosition = 2;
     /** Nominal sensitivity at the reference frequency (volts per bit). */
-    Volts voltsPerBitAtRef = 21e-3;
+    Volts voltsPerBitAtRef = Volts{21e-3};
     /**
      * Exponent of the mild frequency dependence of sensitivity:
      * voltsPerBit(f) = voltsPerBitAtRef * (fref / f)^exponent.

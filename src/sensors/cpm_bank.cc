@@ -97,7 +97,7 @@ CpmBank::voltsPerBit(size_t index, Hertz f) const
 Volts
 CpmBank::meanVoltsPerBit(Hertz f) const
 {
-    Volts sum = 0.0;
+    Volts sum;
     for (const auto &cpm : cpms_)
         sum += cpm.voltsPerBit(f);
     return sum / double(cpms_.size());

@@ -42,11 +42,11 @@ struct CpmFault
      *  believes the corresponding (constant) voltage. */
     int stuckPosition = -1;
     /** Volts of margin the bank over-reports (optimistic when > 0). */
-    Volts biasVolts = 0.0;
+    Volts biasVolts = Volts{0.0};
 
     bool any() const
     {
-        return dropout || stuckPosition >= 0 || biasVolts != 0.0;
+        return dropout || stuckPosition >= 0 || biasVolts != Volts{0.0};
     }
 };
 

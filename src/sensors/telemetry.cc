@@ -11,11 +11,11 @@ Telemetry::Telemetry(size_t coreCount, const TelemetryParams &params)
     : params_(params), coreCount_(coreCount)
 {
     fatalIf(coreCount_ == 0, "telemetry needs at least one core");
-    fatalIf(params_.windowLength <= 0.0,
+    fatalIf(params_.windowLength <= Seconds{0.0},
             "telemetry window must be positive");
     lastSample_.assign(coreCount_, 0);
     stickyMin_.assign(coreCount_, std::numeric_limits<int>::max());
-    voltageSum_.assign(coreCount_, 0.0);
+    voltageSum_.assign(coreCount_, Mul<Volts, Seconds>{});
     frequencySum_.assign(coreCount_, 0.0);
 }
 
@@ -27,7 +27,7 @@ Telemetry::step(const StepObservation &obs, Seconds dt)
             obs.coreVoltage.size() != coreCount_ ||
             obs.coreFrequency.size() != coreCount_,
             "telemetry observation size mismatch");
-    panicIf(dt <= 0.0, "telemetry step must be positive");
+    panicIf(dt <= Seconds{0.0}, "telemetry step must be positive");
 
     now_ += dt;
     windowElapsed_ += dt;
@@ -42,7 +42,8 @@ Telemetry::step(const StepObservation &obs, Seconds dt)
     powerSum_ += obs.chipPower * dt;
     currentSum_ += obs.railCurrent * dt;
     setpointSum_ += obs.setpoint * dt;
-    decompositionSum_ = decompositionSum_ + obs.decomposition.scaled(dt);
+    decompositionSum_ =
+        decompositionSum_ + obs.decomposition.scaled(dt.value());
     emergencySum_ += obs.timingEmergencies;
     demotionSum_ += obs.safetyDemotions;
     if (!marginSeen_ || obs.worstMargin < marginMin_) {
@@ -52,7 +53,7 @@ Telemetry::step(const StepObservation &obs, Seconds dt)
 
     // Close as many windows as the elapsed time covers (dt is normally
     // much smaller than the window, so at most one).
-    while (windowElapsed_ >= params_.windowLength - 1e-12) {
+    while (windowElapsed_ >= params_.windowLength - Seconds{1e-12}) {
         closeWindow();
         windowElapsed_ -= params_.windowLength;
     }
@@ -67,34 +68,34 @@ Telemetry::closeWindow()
     window.stickyCpm = stickyMin_;
     window.meanCoreVoltage.resize(coreCount_);
     window.meanCoreFrequency.resize(coreCount_);
-    const double w = weightSum_ > 0.0 ? weightSum_ : 1.0;
+    const Seconds w = weightSum_ > Seconds{} ? weightSum_ : Seconds{1.0};
     for (size_t core = 0; core < coreCount_; ++core) {
         window.meanCoreVoltage[core] = voltageSum_[core] / w;
-        window.meanCoreFrequency[core] = frequencySum_[core] / w;
+        window.meanCoreFrequency[core] = Hertz{frequencySum_[core] / w.value()};
     }
     window.meanChipPower = powerSum_ / w;
     window.meanRailCurrent = currentSum_ / w;
     window.meanSetpoint = setpointSum_ / w;
-    window.meanDecomposition = decompositionSum_.scaled(1.0 / w);
+    window.meanDecomposition = decompositionSum_.scaled(1.0 / w.value());
     window.emergencyCount = emergencySum_;
     window.demotionCount = demotionSum_;
-    window.worstMargin = marginSeen_ ? marginMin_ : 0.0;
+    window.worstMargin = marginSeen_ ? marginMin_ : Volts{};
     windows_.push_back(std::move(window));
     if (params_.maxWindows > 0 && windows_.size() > params_.maxWindows)
         windows_.erase(windows_.begin());
 
     // Reset in-progress accumulation.
     stickyMin_.assign(coreCount_, std::numeric_limits<int>::max());
-    voltageSum_.assign(coreCount_, 0.0);
+    voltageSum_.assign(coreCount_, Mul<Volts, Seconds>{});
     frequencySum_.assign(coreCount_, 0.0);
-    powerSum_ = 0.0;
-    currentSum_ = 0.0;
-    setpointSum_ = 0.0;
+    powerSum_ = Joules{};
+    currentSum_ = Mul<Amps, Seconds>{};
+    setpointSum_ = Mul<Volts, Seconds>{};
     decompositionSum_ = pdn::DropDecomposition();
-    weightSum_ = 0.0;
+    weightSum_ = Seconds{};
     emergencySum_ = 0;
     demotionSum_ = 0;
-    marginMin_ = 0.0;
+    marginMin_ = Volts{0.0};
     marginSeen_ = false;
 }
 

@@ -27,7 +27,7 @@ namespace agsim::sensors {
 struct TelemetryParams
 {
     /** Sensor aggregation window (AMESTER minimum: 32 ms). */
-    Seconds windowLength = 32e-3;
+    Seconds windowLength = Seconds{32e-3};
     /**
      * Keep at most this many completed windows (0 = unbounded).
      *
@@ -55,11 +55,11 @@ struct StepObservation
     /** Per-core clock frequency. */
     std::vector<Hertz> coreFrequency;
     /** Chip Vdd-rail power. */
-    Watts chipPower = 0.0;
+    Watts chipPower = Watts{0.0};
     /** VRM output current on this chip's rail. */
-    Amps railCurrent = 0.0;
+    Amps railCurrent = Amps{0.0};
     /** VRM setpoint. */
-    Volts setpoint = 0.0;
+    Volts setpoint = Volts{0.0};
     /** Drop decomposition this step (core 0 view). */
     pdn::DropDecomposition decomposition;
     /** Cores whose effective voltage fell below vmin this step. */
@@ -67,14 +67,14 @@ struct StepObservation
     /** Safety-monitor demotion events this step (0 or 1). */
     int safetyDemotions = 0;
     /** Worst true timing margin across non-gated cores (volts). */
-    Volts worstMargin = 0.0;
+    Volts worstMargin = Volts{0.0};
 };
 
 /** One completed 32 ms telemetry window. */
 struct TelemetryWindow
 {
     /** Window end time. */
-    Seconds time = 0.0;
+    Seconds time = Seconds{0.0};
     /** Last sample-mode CPM value per core. */
     std::vector<int> sampleCpm;
     /** Minimum (sticky) CPM value per core over the window. */
@@ -84,11 +84,11 @@ struct TelemetryWindow
     /** Mean per-core frequency. */
     std::vector<Hertz> meanCoreFrequency;
     /** Mean chip power. */
-    Watts meanChipPower = 0.0;
+    Watts meanChipPower = Watts{0.0};
     /** Mean rail current. */
-    Amps meanRailCurrent = 0.0;
+    Amps meanRailCurrent = Amps{0.0};
     /** Mean VRM setpoint. */
-    Volts meanSetpoint = 0.0;
+    Volts meanSetpoint = Volts{0.0};
     /** Mean drop decomposition. */
     pdn::DropDecomposition meanDecomposition;
     /** Timing emergencies accumulated over the window. */
@@ -96,7 +96,7 @@ struct TelemetryWindow
     /** Safety-monitor demotions over the window. */
     long demotionCount = 0;
     /** Worst true timing margin seen during the window (volts). */
-    Volts worstMargin = 0.0;
+    Volts worstMargin = Volts{0.0};
 };
 
 /**
@@ -130,22 +130,24 @@ class Telemetry
 
     TelemetryParams params_;
     size_t coreCount_;
-    Seconds now_ = 0.0;
-    Seconds windowElapsed_ = 0.0;
+    Seconds now_ = Seconds{0.0};
+    Seconds windowElapsed_ = Seconds{0.0};
 
     // In-progress accumulation.
     std::vector<int> lastSample_;
     std::vector<int> stickyMin_;
-    std::vector<double> voltageSum_;
-    std::vector<double> frequencySum_;
-    double powerSum_ = 0.0;
-    double currentSum_ = 0.0;
-    double setpointSum_ = 0.0;
+    // Time-weighted accumulators: quantity x seconds, so the mean falls
+    // out with the right dimension at window close (e.g. W*s / s -> W).
+    std::vector<Mul<Volts, Seconds>> voltageSum_;
+    std::vector<double> frequencySum_; // Hz*s is dimensionless (cycles)
+    Joules powerSum_;
+    Mul<Amps, Seconds> currentSum_;
+    Mul<Volts, Seconds> setpointSum_;
     pdn::DropDecomposition decompositionSum_;
-    double weightSum_ = 0.0;
+    Seconds weightSum_;
     long emergencySum_ = 0;
     long demotionSum_ = 0;
-    Volts marginMin_ = 0.0;
+    Volts marginMin_ = Volts{0.0};
     bool marginSeen_ = false;
 
     std::vector<TelemetryWindow> windows_;

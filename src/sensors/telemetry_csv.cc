@@ -23,23 +23,25 @@ writeTelemetryCsv(const Telemetry &telemetry, std::ostream &out)
 
     out << std::fixed;
     for (const auto &window : windows) {
-        out << std::setprecision(3) << window.time << ','
-            << std::setprecision(2) << window.meanChipPower << ','
-            << window.meanRailCurrent << ','
-            << window.meanSetpoint * 1e3;
+        out << std::setprecision(3) << window.time.value() << ','
+            << std::setprecision(2) << window.meanChipPower.value() << ','
+            << window.meanRailCurrent.value() << ','
+            << toMilliVolts(window.meanSetpoint);
         for (size_t core = 0; core < cores; ++core) {
             out << ',' << window.sampleCpm[core] << ','
                 << window.stickyCpm[core] << ','
                 << std::setprecision(1)
-                << window.meanCoreVoltage[core] * 1e3 << ','
-                << window.meanCoreFrequency[core] / 1e6;
+                << toMilliVolts(window.meanCoreVoltage[core]) << ','
+                << toMegaHertz(window.meanCoreFrequency[core]);
         }
         const auto &d = window.meanDecomposition;
-        out << ',' << std::setprecision(2) << d.loadline * 1e3 << ','
-            << d.irGlobal * 1e3 << ',' << d.irLocal * 1e3 << ','
-            << d.typicalDidt * 1e3 << ',' << d.worstDidt * 1e3 << ','
+        out << ',' << std::setprecision(2) << toMilliVolts(d.loadline)
+            << ',' << toMilliVolts(d.irGlobal) << ','
+            << toMilliVolts(d.irLocal) << ','
+            << toMilliVolts(d.typicalDidt) << ','
+            << toMilliVolts(d.worstDidt) << ','
             << window.emergencyCount << ',' << window.demotionCount
-            << ',' << window.worstMargin * 1e3 << '\n';
+            << ',' << toMilliVolts(window.worstMargin) << '\n';
     }
     return windows.size();
 }

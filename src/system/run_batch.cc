@@ -27,7 +27,7 @@ runBatchTask(const BatchTask &task)
 
     Server server(task.serverConfig);
     server.setMode(task.mode);
-    if (task.targetFrequency > 0.0)
+    if (task.targetFrequency > Hertz{0.0})
         server.setTargetFrequency(task.targetFrequency);
 
     WorkloadSimulation sim(&server);
@@ -48,18 +48,18 @@ runBatchTask(const BatchTask &task)
             result.finalCoreFrequency[s][core] = c.coreFrequency(core);
     }
 
-    result.wallTime = std::chrono::duration<double>(
-        std::chrono::steady_clock::now() - start).count();
+    result.wallTime = Seconds{std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count()};
 
     obs::registry().counter("batch.tasks").add();
     obs::registry()
         .histogram("batch.task_wall_ms", 0.0, 60e3, 120)
-        .observe(result.wallTime * 1e3);
+        .observe(result.wallTime.value() * 1e3);
     if (obs::tracingEnabled()) {
         obs::TraceEvent end;
         end.kind = obs::TraceKind::TaskEnd;
         end.duration = task.simConfig.warmup + result.metrics.executionTime;
-        end.a = result.wallTime;
+        end.a = result.wallTime.value();
         end.detail = task.label;
         obs::emit(std::move(end));
     }

@@ -57,7 +57,7 @@ struct BatchTask
      * DVFS target applied to every socket before the run; 0 keeps the
      * chip template's target.
      */
-    Hertz targetFrequency = 0.0;
+    Hertz targetFrequency = Hertz{0.0};
     /** Jobs to schedule (placements must be disjoint). */
     std::vector<Job> jobs;
     /** Cores to power-gate for the run: (socket, core). */
@@ -108,7 +108,7 @@ struct BatchResult
      */
     std::vector<std::vector<Hertz>> finalCoreFrequency;
     /** Host wall-clock seconds this task took to execute. */
-    Seconds wallTime = 0.0;
+    Seconds wallTime = Seconds{0.0};
 };
 
 /** Results plus captured failures for one round. */

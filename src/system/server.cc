@@ -8,12 +8,12 @@ void
 ServerConfig::validate() const
 {
     fatalIf(socketCount == 0, "server needs at least one socket");
-    fatalIf(platformPower < 0.0, "negative platform power");
-    fatalIf(rail.loadlineResistance < 0.0,
+    fatalIf(platformPower < Watts{0.0}, "negative platform power");
+    fatalIf(rail.loadlineResistance < Ohms{0.0},
             "negative loadline resistance");
     fatalIf(rail.minSetpoint > rail.maxSetpoint,
             "empty rail setpoint window");
-    fatalIf(rail.setpointStep <= 0.0,
+    fatalIf(rail.setpointStep <= Volts{0.0},
             "rail setpoint step must be positive");
     chipTemplate.validate();
 }
@@ -77,7 +77,7 @@ Server::step(Seconds dt)
 void
 Server::settle(Seconds duration, Seconds dt)
 {
-    fatalIf(duration <= 0.0 || dt <= 0.0, "settle needs positive times");
+    fatalIf(duration <= Seconds{0.0} || dt <= Seconds{0.0}, "settle needs positive times");
     const int steps = int(duration / dt);
     for (int i = 0; i < steps; ++i)
         step(dt);
@@ -86,7 +86,7 @@ Server::settle(Seconds duration, Seconds dt)
 Watts
 Server::totalChipPower() const
 {
-    Watts total = 0.0;
+    Watts total;
     for (const auto &c : chips_)
         total += c->power();
     return total;
@@ -95,7 +95,7 @@ Server::totalChipPower() const
 Watts
 Server::totalSystemPower() const
 {
-    Watts vcs = 0.0;
+    Watts vcs;
     for (const auto &c : chips_)
         vcs += c->vcsPower();
     return totalChipPower() + vcs + config_.platformPower;

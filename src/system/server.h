@@ -35,7 +35,7 @@ struct ServerConfig
      */
     chip::ChipConfig chipTemplate;
     /** Constant platform (memory/disk/network/fans) power. */
-    Watts platformPower = 120.0;
+    Watts platformPower = Watts{120.0};
 
     /**
      * Reject nonsensical values (zero sockets, negative platform power,
@@ -74,7 +74,7 @@ class Server
     void step(Seconds dt);
 
     /** Warm up firmware/thermal state on all sockets. */
-    void settle(Seconds duration = 1.5, Seconds dt = 1e-3);
+    void settle(Seconds duration = Seconds{1.5}, Seconds dt = Seconds{1e-3});
 
     /** Sum of all sockets' Vdd-rail power (the paper's metric). */
     Watts totalChipPower() const;

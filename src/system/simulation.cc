@@ -93,7 +93,7 @@ WorkloadSimulation::anyPhased() const
     return false;
 }
 
-double
+Instructions
 WorkloadSimulation::stepJobProgress(size_t jobIndex, Seconds t, Seconds dt)
 {
     const Job &job = jobs_[jobIndex];
@@ -103,7 +103,7 @@ WorkloadSimulation::stepJobProgress(size_t jobIndex, Seconds t, Seconds dt)
         socketsUsed.insert(p.socket);
     const bool spans = socketsUsed.size() > 1;
 
-    double instructions = 0.0;
+    Instructions instructions;
     for (const auto &p : job.placement) {
         const chip::Chip &c = server_->chip(p.socket);
         workload::PlacementContext ctx;
@@ -112,7 +112,7 @@ WorkloadSimulation::stepJobProgress(size_t jobIndex, Seconds t, Seconds dt)
         ctx.spansChips = spans;
         ctx.coresPerChip = c.coreCount();
         const Hertz f = c.coreFrequency(p.core);
-        double rate = job.work.threadRate(ctx, f) * rateScale;
+        InstrPerSec rate = job.work.threadRate(ctx, f) * rateScale;
         // Worst-case droop responses stall the core briefly.
         const double stallFraction =
             std::min(1.0, c.droopStall(p.core) / dt);
@@ -126,16 +126,16 @@ RunMetrics
 WorkloadSimulation::run(const SimulationConfig &config)
 {
     fatalIf(jobs_.empty(), "simulation needs at least one job");
-    fatalIf(config.dt <= 0.0, "simulation dt must be positive");
-    fatalIf(config.maxDuration <= 0.0, "maxDuration must be positive");
+    fatalIf(config.dt <= Seconds{0.0}, "simulation dt must be positive");
+    fatalIf(config.maxDuration <= Seconds{0.0}, "maxDuration must be positive");
 
-    applyLoads(0.0);
-    progress_.assign(jobs_.size(), 0.0);
+    applyLoads(Seconds{});
+    progress_.assign(jobs_.size(), Instructions{});
     const bool phased = anyPhased();
 
     // Warm-up: run the platform with loads applied, no accounting.
     const int warmupSteps = int(config.warmup / config.dt);
-    Seconds wallClock = 0.0;
+    Seconds wallClock;
     for (int i = 0; i < warmupSteps; ++i) {
         if (phased)
             applyLoads(wallClock);
@@ -157,10 +157,10 @@ WorkloadSimulation::run(const SimulationConfig &config)
     for (size_t j = 0; j < jobs_.size(); ++j)
         metrics.jobs[j].label = jobs_[j].label;
 
-    Seconds elapsed = 0.0;
-    Joules energy = 0.0;
+    Seconds elapsed;
+    Joules energy;
     size_t steps = 0;
-    const bool rateMode = config.measureDuration > 0.0;
+    const bool rateMode = config.measureDuration > Seconds{0.0};
     const Seconds horizon = rateMode
         ? std::min(config.measureDuration, config.maxDuration)
         : config.maxDuration;
@@ -173,9 +173,10 @@ WorkloadSimulation::run(const SimulationConfig &config)
         wallClock += config.dt;
         ++steps;
 
-        double stepInstructions = 0.0;
+        Instructions stepInstructions;
         for (size_t j = 0; j < jobs_.size(); ++j) {
-            const double instr = stepJobProgress(j, wallClock, config.dt);
+            const Instructions instr =
+                stepJobProgress(j, wallClock, config.dt);
             progress_[j] += instr;
             metrics.jobs[j].instructions += instr;
             stepInstructions += instr;
@@ -189,16 +190,16 @@ WorkloadSimulation::run(const SimulationConfig &config)
 
         for (size_t s = 0; s < sockets; ++s) {
             const chip::Chip &c = server_->chip(s);
-            socketPower[s].add(c.power());
-            socketUndervolt[s].add(c.undervoltAmount());
-            socketSetpoint[s].add(c.setpoint());
+            socketPower[s].add(c.power().value());
+            socketUndervolt[s].add(c.undervoltAmount().value());
+            socketSetpoint[s].add(c.setpoint().value());
             energy += c.power() * config.dt;
         }
         const chip::Chip &c0 = server_->chip(0);
-        freqMean.add(c0.meanActiveFrequency());
-        freqMin.add(c0.minActiveFrequency());
+        freqMean.add(c0.meanActiveFrequency().value());
+        freqMin.add(c0.minActiveFrequency().value());
         decompositionSum = decompositionSum + c0.decomposition(0);
-        chipMips.add(stepInstructions / config.dt * 1e-6);
+        chipMips.add((stepInstructions / config.dt).value() * 1e-6);
 
         if (!rateMode && metrics.jobs[0].completed)
             break;
@@ -211,21 +212,21 @@ WorkloadSimulation::run(const SimulationConfig &config)
     metrics.socketUndervolt.resize(sockets);
     metrics.socketSetpoint.resize(sockets);
     for (size_t s = 0; s < sockets; ++s) {
-        metrics.socketPower[s] = socketPower[s].mean();
-        metrics.socketUndervolt[s] = socketUndervolt[s].mean();
-        metrics.socketSetpoint[s] = socketSetpoint[s].mean();
+        metrics.socketPower[s] = Watts{socketPower[s].mean()};
+        metrics.socketUndervolt[s] = Volts{socketUndervolt[s].mean()};
+        metrics.socketSetpoint[s] = Volts{socketSetpoint[s].mean()};
         metrics.totalChipPower += metrics.socketPower[s];
     }
-    metrics.meanFrequency = freqMean.mean();
-    metrics.minFrequency = freqMin.mean();
+    metrics.meanFrequency = Hertz{freqMean.mean()};
+    metrics.minFrequency = Hertz{freqMin.mean()};
     if (steps > 0)
         metrics.meanDecomposition = decompositionSum.scaled(1.0 /
                                                             double(steps));
     metrics.meanChipMips = chipMips.mean();
     for (size_t j = 0; j < jobs_.size(); ++j) {
-        metrics.jobs[j].meanRate = elapsed > 0.0
+        metrics.jobs[j].meanRate = elapsed > Seconds{0.0}
             ? metrics.jobs[j].instructions / elapsed
-            : 0.0;
+            : InstrPerSec{};
     }
     return metrics;
 }

@@ -49,20 +49,20 @@ struct Job
 struct SimulationConfig
 {
     /** Engine step. */
-    Seconds dt = 1e-3;
+    Seconds dt = Seconds{1e-3};
     /**
      * Warm-up before measurement: loads applied, firmware walking,
      * thermal settling; energy/work counters reset afterwards.
      * Undervolting needs ~0.7 s to walk the guardband down.
      */
-    Seconds warmup = 1.2;
+    Seconds warmup = Seconds{1.2};
     /** Hard wall-clock cap on the measured phase. */
-    Seconds maxDuration = 600.0;
+    Seconds maxDuration = Seconds{600.0};
     /**
      * Fixed-duration rate measurement when > 0; otherwise the run ends
      * when the first job completes its work.
      */
-    Seconds measureDuration = 0.0;
+    Seconds measureDuration = Seconds{0.0};
 };
 
 /** Per-job outcome. */
@@ -70,32 +70,32 @@ struct JobMetrics
 {
     std::string label;
     /** Instructions retired during measurement. */
-    double instructions = 0.0;
+    Instructions instructions;
     /** Mean aggregate instruction rate (instructions/s). */
-    InstrPerSec meanRate = 0.0;
+    InstrPerSec meanRate = InstrPerSec{0.0};
     /** Whether the job's total work completed within the run. */
     bool completed = false;
     /** Time at which the work completed (measured phase clock). */
-    Seconds completionTime = 0.0;
+    Seconds completionTime = Seconds{0.0};
 };
 
 /** Whole-run outcome. */
 struct RunMetrics
 {
     /** Length of the measured phase. */
-    Seconds executionTime = 0.0;
+    Seconds executionTime = Seconds{0.0};
     /** Mean Vdd power per socket. */
     std::vector<Watts> socketPower;
     /** Sum of socket means. */
-    Watts totalChipPower = 0.0;
+    Watts totalChipPower = Watts{0.0};
     /** Vdd energy of all sockets over the measured phase. */
-    Joules chipEnergy = 0.0;
+    Joules chipEnergy = Joules{0.0};
     /** Energy-delay product (J * s). */
-    double edp = 0.0;
+    Mul<Joules, Seconds> edp;
     /** Time-weighted mean frequency across active cores. */
-    Hertz meanFrequency = 0.0;
+    Hertz meanFrequency = Hertz{0.0};
     /** Time-weighted min frequency across active cores. */
-    Hertz minFrequency = 0.0;
+    Hertz minFrequency = Hertz{0.0};
     /** Mean undervolt per socket (static setpoint minus programmed). */
     std::vector<Volts> socketUndervolt;
     /** Mean VRM setpoint per socket. */
@@ -147,8 +147,8 @@ class WorkloadSimulation
     /** Whether any job carries execution phases. */
     bool anyPhased() const;
 
-    /** Per-thread rate for one job at current frequencies and time. */
-    double stepJobProgress(size_t jobIndex, Seconds t, Seconds dt);
+    /** Per-thread work retired by one job this step. */
+    Instructions stepJobProgress(size_t jobIndex, Seconds t, Seconds dt);
 
     /** Threads (from any job) active on a socket. */
     size_t activeThreadsOnSocket(size_t socket) const;
@@ -156,7 +156,7 @@ class WorkloadSimulation
     Server *server_;
     std::vector<Job> jobs_;
     std::vector<std::pair<size_t, size_t>> gated_;
-    std::vector<double> progress_;
+    std::vector<Instructions> progress_;
 };
 
 /**

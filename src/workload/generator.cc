@@ -31,7 +31,7 @@ WorkloadGenerator::next()
     p.suite = Suite::Synthetic;
 
     const double mips = rng_.uniform(params_.minMips, params_.maxMips);
-    p.mipsPerThread = mips * 1e6;
+    p.mipsPerThread = InstrPerSec{mips * 1e6};
     // The physical IPC-power relationship with bounded scatter.
     p.intensity = std::clamp(
         params_.intensityBase +
@@ -54,11 +54,11 @@ WorkloadGenerator::next()
     p.crossChipPenalty = multithreaded ? rng_.uniform(0.01, 0.12) : 0.01;
 
     // Noise signatures follow intensity (busier pipelines ripple more).
-    p.didtTypicalAmp = (6.0 + 9.0 * p.intensity / 1.2) * 1e-3;
+    p.didtTypicalAmp = Volts{(6.0 + 9.0 * p.intensity / 1.2) * 1e-3};
     p.didtWorstAmp = p.didtTypicalAmp * rng_.uniform(1.6, 2.1);
 
     if (rng_.bernoulli(params_.phasedFraction)) {
-        const Seconds cycle = rng_.uniform(0.2, 2.0);
+        const Seconds cycle{rng_.uniform(0.2, 2.0)};
         const double duty = rng_.uniform(0.3, 0.7);
         const double high = rng_.uniform(1.05, 1.25);
         const double low = rng_.uniform(0.5, 0.9);

@@ -32,13 +32,13 @@ make(const char *name, Suite suite, double intensity, double mips,
     p.name = name;
     p.suite = suite;
     p.intensity = intensity;
-    p.mipsPerThread = mips * 1e6;
+    p.mipsPerThread = InstrPerSec{mips * 1e6};
     p.memoryBoundedness = memBound;
     p.serialFraction = serial;
     p.contentionSensitivity = contention;
     p.crossChipPenalty = crossChip;
-    p.didtTypicalAmp = typMv * 1e-3;
-    p.didtWorstAmp = worstMv * 1e-3;
+    p.didtTypicalAmp = Volts{typMv * 1e-3};
+    p.didtWorstAmp = Volts{worstMv * 1e-3};
     p.validate();
     return p;
 }
@@ -222,7 +222,7 @@ BenchmarkProfile
 throttledCoremark(const std::string &name, InstrPerSec mipsPerThread)
 {
     const BenchmarkProfile &base = byName("coremark");
-    fatalIf(mipsPerThread <= 0.0 || mipsPerThread > base.mipsPerThread,
+    fatalIf(mipsPerThread <= InstrPerSec{0.0} || mipsPerThread > base.mipsPerThread,
             "throttled coremark MIPS must be in (0, full]");
     BenchmarkProfile p = base;
     p.name = name;

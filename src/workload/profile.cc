@@ -26,7 +26,7 @@ BenchmarkProfile::validate() const
     fatalIf(name.empty(), "profile needs a name");
     fatalIf(intensity <= 0.0 || intensity > 2.0,
             "profile '" + name + "': intensity out of (0, 2]");
-    fatalIf(mipsPerThread <= 0.0,
+    fatalIf(mipsPerThread <= InstrPerSec{0.0},
             "profile '" + name + "': mipsPerThread must be positive");
     fatalIf(memoryBoundedness < 0.0 || memoryBoundedness > 1.0,
             "profile '" + name + "': memoryBoundedness out of [0, 1]");
@@ -36,14 +36,14 @@ BenchmarkProfile::validate() const
             "profile '" + name + "': contentionSensitivity out of [0, 1]");
     fatalIf(crossChipPenalty < 0.0 || crossChipPenalty > 0.5,
             "profile '" + name + "': crossChipPenalty out of [0, 0.5]");
-    fatalIf(didtTypicalAmp < 0.0 || didtTypicalAmp > 0.1,
+    fatalIf(didtTypicalAmp < Volts{0.0} || didtTypicalAmp > Volts{0.1},
             "profile '" + name + "': didtTypicalAmp out of [0, 100mV]");
-    fatalIf(didtWorstAmp < 0.0 || didtWorstAmp > 0.2,
+    fatalIf(didtWorstAmp < Volts{0.0} || didtWorstAmp > Volts{0.2},
             "profile '" + name + "': didtWorstAmp out of [0, 200mV]");
-    fatalIf(totalInstructions <= 0.0,
+    fatalIf(totalInstructions <= Instructions{},
             "profile '" + name + "': totalInstructions must be positive");
     for (const auto &phase : phases) {
-        fatalIf(phase.duration <= 0.0,
+        fatalIf(phase.duration <= Seconds{0.0},
                 "profile '" + name + "': phase duration must be positive");
         fatalIf(phase.intensityScale <= 0.0 || phase.intensityScale > 2.0,
                 "profile '" + name + "': phase intensity out of (0, 2]");
@@ -57,7 +57,7 @@ BenchmarkProfile::validate() const
 Seconds
 BenchmarkProfile::phaseCycleLength() const
 {
-    Seconds total = 0.0;
+    Seconds total;
     for (const auto &phase : phases)
         total += phase.duration;
     return total;
@@ -67,10 +67,10 @@ WorkloadPhase
 BenchmarkProfile::phaseAt(Seconds t) const
 {
     if (phases.empty())
-        return WorkloadPhase{0.0, 1.0, 1.0};
-    panicIf(t < 0.0, "negative phase time");
+        return WorkloadPhase{Seconds{0.0}, 1.0, 1.0};
+    panicIf(t < Seconds{0.0}, "negative phase time");
     const Seconds cycle = phaseCycleLength();
-    Seconds within = std::fmod(t, cycle);
+    Seconds within{std::fmod(t.value(), cycle.value())};
     for (const auto &phase : phases) {
         if (within < phase.duration)
             return phase;
@@ -83,7 +83,7 @@ BenchmarkProfile
 makePhased(const BenchmarkProfile &base, Seconds cycleLength, double duty,
            double highScale, double lowScale)
 {
-    fatalIf(cycleLength <= 0.0, "phase cycle must be positive");
+    fatalIf(cycleLength <= Seconds{0.0}, "phase cycle must be positive");
     fatalIf(duty <= 0.0 || duty >= 1.0, "duty must be in (0, 1)");
     BenchmarkProfile phased = base;
     phased.name = base.name + "-phased";

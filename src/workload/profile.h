@@ -31,7 +31,7 @@ namespace agsim::workload {
  */
 struct WorkloadPhase
 {
-    Seconds duration = 0.0;
+    Seconds duration = Seconds{0.0};
     /** Multiplier on the profile's power intensity during the phase. */
     double intensityScale = 1.0;
     /** Multiplier on the profile's instruction rate during the phase. */
@@ -71,7 +71,7 @@ struct BenchmarkProfile
     double intensity = 1.0;
 
     /** Per-thread retire rate at nominal frequency, instructions/s. */
-    InstrPerSec mipsPerThread = 5000e6;
+    InstrPerSec mipsPerThread = InstrPerSec{5000e6};
 
     /**
      * Memory-boundedness in [0, 1]: fraction of execution limited by the
@@ -102,17 +102,17 @@ struct BenchmarkProfile
     double crossChipPenalty = 0.03;
 
     /** Typical-case di/dt ripple amplitude per active core. */
-    Volts didtTypicalAmp = 12e-3;
+    Volts didtTypicalAmp = Volts{12e-3};
 
     /** Worst-case droop amplitude per active core. */
-    Volts didtWorstAmp = 22e-3;
+    Volts didtWorstAmp = Volts{22e-3};
 
     /**
      * Nominal amount of work for one PARSEC/SPLASH-2-style run *per
      * thread count of one*: total instructions retired by a single-
      * threaded run. Multithreaded runs retire the same total work.
      */
-    double totalInstructions = 400e9;
+    Instructions totalInstructions{400e9};
 
     /**
      * Execution phases, cycled for the duration of a run. Empty means

@@ -66,7 +66,7 @@ profileToText(const BenchmarkProfile &profile)
                   profile.intensity);
     out << line;
     std::snprintf(line, sizeof(line), "mips_per_thread %.6g\n",
-                  profile.mipsPerThread / 1e6);
+                  toMips(profile.mipsPerThread));
     out << line;
     std::snprintf(line, sizeof(line), "memory_boundedness %.6g\n",
                   profile.memoryBoundedness);
@@ -81,17 +81,17 @@ profileToText(const BenchmarkProfile &profile)
                   profile.crossChipPenalty);
     out << line;
     std::snprintf(line, sizeof(line), "didt_typical_mv %.6g\n",
-                  profile.didtTypicalAmp * 1e3);
+                  toMilliVolts(profile.didtTypicalAmp));
     out << line;
     std::snprintf(line, sizeof(line), "didt_worst_mv %.6g\n",
-                  profile.didtWorstAmp * 1e3);
+                  toMilliVolts(profile.didtWorstAmp));
     out << line;
     std::snprintf(line, sizeof(line), "total_instructions %.6g\n",
-                  profile.totalInstructions);
+                  profile.totalInstructions.value());
     out << line;
     for (const auto &phase : profile.phases) {
         std::snprintf(line, sizeof(line), "phase %.6g %.6g %.6g\n",
-                      phase.duration, phase.intensityScale,
+                      phase.duration.value(), phase.intensityScale,
                       phase.rateScale);
         out << line;
     }
@@ -162,7 +162,8 @@ parseProfiles(std::istream &in)
         } else if (key == "intensity") {
             current.intensity = parseNumber(key, rest);
         } else if (key == "mips_per_thread") {
-            current.mipsPerThread = parseNumber(key, rest) * 1e6;
+            current.mipsPerThread =
+                InstrPerSec{parseNumber(key, rest) * 1e6};
         } else if (key == "memory_boundedness") {
             current.memoryBoundedness = parseNumber(key, rest);
         } else if (key == "serial_fraction") {
@@ -172,16 +173,19 @@ parseProfiles(std::istream &in)
         } else if (key == "cross_chip_penalty") {
             current.crossChipPenalty = parseNumber(key, rest);
         } else if (key == "didt_typical_mv") {
-            current.didtTypicalAmp = parseNumber(key, rest) * 1e-3;
+            current.didtTypicalAmp = Volts{parseNumber(key, rest) * 1e-3};
         } else if (key == "didt_worst_mv") {
-            current.didtWorstAmp = parseNumber(key, rest) * 1e-3;
+            current.didtWorstAmp = Volts{parseNumber(key, rest) * 1e-3};
         } else if (key == "total_instructions") {
-            current.totalInstructions = parseNumber(key, rest);
+            current.totalInstructions =
+                Instructions{parseNumber(key, rest)};
         } else if (key == "phase") {
             std::istringstream phaseFields(rest);
             WorkloadPhase phase;
-            phaseFields >> phase.duration >> phase.intensityScale >>
+            double durationS = 0.0;
+            phaseFields >> durationS >> phase.intensityScale >>
                 phase.rateScale;
+            phase.duration = Seconds{durationS};
             fatalIf(phaseFields.fail(),
                     "profile key 'phase' needs three numbers");
             current.phases.push_back(phase);

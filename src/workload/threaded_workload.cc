@@ -12,14 +12,14 @@ ThreadedWorkload::ThreadedWorkload(const BenchmarkProfile &profile,
     : profile_(profile), mode_(mode), nominalFrequency_(nominalFrequency)
 {
     profile_.validate();
-    fatalIf(nominalFrequency_ <= 0.0,
+    fatalIf(nominalFrequency_ <= Hertz{0.0},
             "nominal frequency must be positive");
 }
 
 double
 ThreadedWorkload::frequencyScale(Hertz f) const
 {
-    panicIf(f < 0.0, "negative frequency");
+    panicIf(f < Hertz{0.0}, "negative frequency");
     const double mb = profile_.memoryBoundedness;
     return (1.0 - mb) * (f / nominalFrequency_) + mb;
 }
@@ -70,7 +70,7 @@ ThreadedWorkload::threadRate(const PlacementContext &ctx, Hertz f) const
            (1.0 - crossChipLoss(ctx.spansChips));
 }
 
-double
+Instructions
 ThreadedWorkload::totalWork(size_t threads) const
 {
     panicIf(threads == 0, "thread group cannot be empty");

@@ -66,7 +66,7 @@ class ThreadedWorkload
      * @param nominalFrequency Frequency the profile's MIPS is quoted at.
      */
     ThreadedWorkload(const BenchmarkProfile &profile, RunMode mode,
-                     Hertz nominalFrequency = 4.2e9);
+                     Hertz nominalFrequency = Hertz{4.2e9});
 
     const BenchmarkProfile &profile() const { return profile_; }
     RunMode mode() const { return mode_; }
@@ -90,7 +90,7 @@ class ThreadedWorkload
      * Total work of the run: the profile's totalInstructions for a
      * multithreaded program, totalInstructions * copies for Rate mode.
      */
-    double totalWork(size_t threads) const;
+    Instructions totalWork(size_t threads) const;
 
     /** Whole-group speedup over one thread at nominal frequency. */
     double groupSpeedup(const PlacementContext &ctx, Hertz f) const;

@@ -34,8 +34,8 @@ sec3Spec(const workload::BenchmarkProfile &profile, size_t threads,
     spec.threads = threads;
     spec.mode = mode;
     spec.poweredCoreBudget = 0;
-    spec.simConfig.measureDuration = 1.0;
-    spec.simConfig.warmup = 1.0;
+    spec.simConfig.measureDuration = Seconds{1.0};
+    spec.simConfig.warmup = Seconds{1.0};
     return spec;
 }
 
@@ -55,7 +55,7 @@ frequencyBoost(const workload::BenchmarkProfile &profile, size_t threads)
 {
     const auto boosted = runScheduled(
         sec3Spec(profile, threads, GuardbandMode::AdaptiveOverclock));
-    return boosted.metrics.meanFrequency / 4.2e9 - 1.0;
+    return boosted.metrics.meanFrequency / 4.2_GHz - 1.0;
 }
 
 class CoreScalingTest : public ::testing::TestWithParam<std::string>
@@ -127,9 +127,9 @@ TEST(CoreScaling, ExecutionTimeSpeedupLikeFig4b)
     // less at eight (paper Fig. 4b: 8% -> 3%).
     auto timeFor = [](size_t threads, GuardbandMode mode) {
         workload::BenchmarkProfile small = workload::byName("lu_cb");
-        small.totalInstructions = 120e9;
+        small.totalInstructions = Instructions{120e9};
         ScheduledRunSpec spec = sec3Spec(small, threads, mode);
-        spec.simConfig.measureDuration = 0.0; // run to completion
+        spec.simConfig.measureDuration = Seconds{0.0}; // run to completion
         const auto result = runScheduled(spec);
         return result.metrics.jobs[0].completionTime;
     };
@@ -148,9 +148,9 @@ TEST(CoreScaling, EdpImprovesMostAtLowCoreCounts)
     // Fig. 3b: EDP gap is big at 1 core and shrinks by 8.
     auto edpFor = [](size_t threads, GuardbandMode mode) {
         workload::BenchmarkProfile small = workload::byName("raytrace");
-        small.totalInstructions = 120e9;
+        small.totalInstructions = Instructions{120e9};
         ScheduledRunSpec spec = sec3Spec(small, threads, mode);
-        spec.simConfig.measureDuration = 0.0;
+        spec.simConfig.measureDuration = Seconds{0.0};
         return runScheduled(spec).metrics.edp;
     };
     const double gain1 = 1.0 -

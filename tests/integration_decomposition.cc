@@ -40,9 +40,9 @@ TEST(CpmVoltmeter, Fig6aSweepRecoversSensitivity)
         chip.setLoad(core, CoreLoad::running(0.08, 2.0_mV, 4.0_mV));
 
     stats::LinearFit fit;
-    for (Volts setpoint = 1.14; setpoint <= 1.23; setpoint += 0.01) {
+    for (Volts setpoint = Volts{1.14}; setpoint <= Volts{1.23}; setpoint += Volts{0.01}) {
         chip.forceSetpoint(setpoint);
-        chip.settle(0.2);
+        chip.settle(Seconds{0.2});
         std::vector<Volts> voltages;
         std::vector<Hertz> freqs;
         for (size_t core = 0; core < 8; ++core) {
@@ -51,7 +51,7 @@ TEST(CpmVoltmeter, Fig6aSweepRecoversSensitivity)
         }
         const double cpm = chip.cpmArray().chipMeanRaw(voltages, freqs);
         if (cpm > 0.5 && cpm < 10.5)
-            fit.add(setpoint, cpm);
+            fit.add(setpoint.value(), cpm);
     }
     ASSERT_GE(fit.count(), 5u);
     // One CPM position corresponds to ~21 mV (paper: 21 mV/bit).
@@ -68,10 +68,10 @@ TEST(CpmVoltmeter, HigherFrequencyShiftsCurveDown)
     pdn::Vrm vrm(1);
     Chip chip(ChipConfig(), &vrm);
     chip.setMode(GuardbandMode::Disabled);
-    chip.forceSetpoint(1.18);
-    chip.settle(0.2);
+    chip.forceSetpoint(Volts{1.18});
+    chip.settle(Seconds{0.2});
     std::vector<Volts> voltages;
-    std::vector<Hertz> freqs42(8, 4.2e9), freqs36(8, 3.6e9);
+    std::vector<Hertz> freqs42(8, Hertz{4.2e9}), freqs36(8, Hertz{3.6e9});
     for (size_t core = 0; core < 8; ++core)
         voltages.push_back(chip.coreVoltage(core));
     EXPECT_LT(chip.cpmArray().chipMeanRaw(voltages, freqs42),
@@ -97,12 +97,12 @@ TEST_P(VoltageDropTest, Fig7DropGrowsWithActiveCores)
                                               profile.didtTypicalAmp,
                                               profile.didtWorstAmp));
         }
-        chip.settle(0.4);
+        chip.settle(Seconds{0.4});
         const Volts setpoint = chip.setpoint();
         core0Drop.add(double(active),
-                      (setpoint - chip.coreVoltage(0)) / 1.2);
+                      (setpoint - chip.coreVoltage(0)) / Volts{1.2});
         core7Drop.add(double(active),
-                      (setpoint - chip.coreVoltage(7)) / 1.2);
+                      (setpoint - chip.coreVoltage(7)) / Volts{1.2});
     }
 
     // Global behaviour: even core 7 (idle until the 8th activation)
@@ -131,13 +131,13 @@ TEST_P(VoltageDropTest, Fig7LocalActivationStep)
         chip.setLoad(i, CoreLoad::running(profile.intensity,
                                           profile.didtTypicalAmp,
                                           profile.didtWorstAmp));
-    chip.settle(0.4);
+    chip.settle(Seconds{0.4});
     const Volts idleDrop = chip.setpoint() - chip.coreVoltage(7);
 
     chip.setLoad(7, CoreLoad::running(profile.intensity,
                                       profile.didtTypicalAmp,
                                       profile.didtWorstAmp));
-    chip.settle(0.4);
+    chip.settle(Seconds{0.4});
     const Volts activeDrop = chip.setpoint() - chip.coreVoltage(7);
     // Paper: ~2% (24 mV) step on self-activation; allow a broad band.
     EXPECT_GT(toMilliVolts(activeDrop - idleDrop), 6.0) << profile.name;
@@ -168,11 +168,11 @@ TEST_P(DecompositionTest, Fig9ComponentTrends)
                                               profile.didtTypicalAmp,
                                               profile.didtWorstAmp));
         }
-        chip.settle(0.4);
+        chip.settle(Seconds{0.4});
         const auto &d = chip.decomposition(0);
-        passive.add(double(active), d.passive());
-        typical.add(double(active), d.typicalDidt);
-        worst.add(double(active), d.worstDidt);
+        passive.add(double(active), d.passive().value());
+        typical.add(double(active), d.typicalDidt.value());
+        worst.add(double(active), d.worstDidt.value());
     }
 
     // Sec. 4.3: passive drop scales up almost linearly with cores and
@@ -202,7 +202,7 @@ TEST(Decomposition, StickyCapturesDroopsSampleDoesNot)
     chip.setMode(GuardbandMode::StaticGuardband);
     for (size_t i = 0; i < 8; ++i)
         chip.setLoad(i, CoreLoad::running(1.0, 13.0_mV, 26.0_mV));
-    chip.settle(2.0);
+    chip.settle(Seconds{2.0});
 
     int stickyLower = 0;
     int windows = 0;
@@ -232,10 +232,10 @@ TEST(Decomposition, Fig10PassiveDropLinearInPower)
                                               profile.didtTypicalAmp,
                                               profile.didtWorstAmp));
         }
-        chip.settle(0.5);
+        chip.settle(Seconds{0.5});
         // The paper's Fig. 10 passive drop comes from the VRM current
         // sensor: loadline plus the shared IR path.
-        fit.add(chip.power(),
+        fit.add(chip.power().value(),
                 toMilliVolts(chip.decomposition(0).sharedPassive()));
     }
     EXPECT_GT(fit.r2(), 0.98);

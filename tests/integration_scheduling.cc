@@ -45,8 +45,8 @@ borrowingSpec(const workload::BenchmarkProfile &profile, size_t threads,
     spec.policy = policy;
     spec.mode = mode;
     spec.poweredCoreBudget = 8; // the paper's 8-of-16 scenario
-    spec.simConfig.measureDuration = 1.0;
-    spec.simConfig.warmup = 1.0;
+    spec.simConfig.measureDuration = Seconds{1.0};
+    spec.simConfig.warmup = Seconds{1.0};
     return spec;
 }
 
@@ -62,9 +62,9 @@ TEST(LoadlineBorrowing, Fig12DeeperUndervoltOnBothSockets)
 
     // Borrowing undervolts deeper than the consolidated socket.
     EXPECT_GT(borrow.metrics.socketUndervolt[0],
-              cons.metrics.socketUndervolt[0] + 0.015);
+              cons.metrics.socketUndervolt[0] + Volts{0.015});
     EXPECT_GT(borrow.metrics.socketUndervolt[1],
-              cons.metrics.socketUndervolt[0] + 0.015);
+              cons.metrics.socketUndervolt[0] + Volts{0.015});
     // And saves total chip power (Fig. 12b: ~8.5% at 8 cores; we
     // reproduce the direction with a >=3% gap).
     EXPECT_LT(borrow.metrics.totalChipPower,
@@ -132,8 +132,8 @@ TEST(LoadlineBorrowing, Fig14WinnersAndLosers)
             return result.metrics.totalChipPower /
                    result.metrics.jobs[0].meanRate;
         };
-        const double cons = run(PlacementPolicy::Consolidate);
-        const double borrow = run(PlacementPolicy::LoadlineBorrow);
+        const auto cons = run(PlacementPolicy::Consolidate);
+        const auto borrow = run(PlacementPolicy::LoadlineBorrow);
         return 1.0 - borrow / cons; // positive = borrowing wins
     };
 
@@ -166,8 +166,8 @@ TEST(Colocation, Fig15CorunnerMovesCriticalFrequency)
                            rest, other});
         }
         SimulationConfig config;
-        config.measureDuration = 0.5;
-        config.warmup = 0.8;
+        config.measureDuration = Seconds{0.5};
+        config.warmup = Seconds{0.8};
         sim.run(config);
         return server.chip(0).coreFrequency(0);
     };
@@ -179,7 +179,7 @@ TEST(Colocation, Fig15CorunnerMovesCriticalFrequency)
     // and the span exceeds 100 MHz.
     EXPECT_LT(withLuCb, withCoremark);
     EXPECT_GT(withMcf, withCoremark);
-    EXPECT_GT(withMcf - withLuCb, 100e6);
+    EXPECT_GT(withMcf - withLuCb, Hertz{100e6});
 }
 
 TEST(MipsPredictor, Fig16TrainedOnSimulatorData)
@@ -197,8 +197,8 @@ TEST(MipsPredictor, Fig16TrainedOnSimulatorData)
                            : RunMode::Rate;
         spec.mode = GuardbandMode::AdaptiveOverclock;
         spec.poweredCoreBudget = 0;
-        spec.simConfig.measureDuration = 0.5;
-        spec.simConfig.warmup = 0.8;
+        spec.simConfig.measureDuration = Seconds{0.5};
+        spec.simConfig.warmup = Seconds{0.8};
         const auto result = runScheduled(spec);
         predictor.observe(result.metrics.meanChipMips,
                           result.metrics.meanFrequency);
@@ -226,7 +226,7 @@ TEST(AdaptiveMapping, Fig17EndToEndLoop)
     core::AdaptiveMappingScheduler scheduler;
     for (const auto &[name, mips] : classes) {
         const auto profile = workload::throttledCoremark(
-            name, mips * 1e6 / 7.0);
+            name, InstrPerSec{mips * 1e6 / 7.0});
         Server server;
         server.setMode(GuardbandMode::AdaptiveOverclock);
         WorkloadSimulation sim(&server);
@@ -239,8 +239,8 @@ TEST(AdaptiveMapping, Fig17EndToEndLoop)
         sim.addJob(Job{ThreadedWorkload(profile, RunMode::Rate), rest,
                        name});
         SimulationConfig config;
-        config.measureDuration = 0.5;
-        config.warmup = 0.8;
+        config.measureDuration = Seconds{0.5};
+        config.warmup = Seconds{0.8};
         const auto metrics = sim.run(config);
         const Hertz f = server.chip(0).coreFrequency(0);
         freq.push_back(f);
@@ -256,10 +256,10 @@ TEST(AdaptiveMapping, Fig17EndToEndLoop)
     std::vector<double> violation;
     for (size_t i = 0; i < 3; ++i) {
         service.reseed(service.params().seed);
-        const auto windows = service.simulate(freq[i], 30000.0);
+        const auto windows = service.simulate(freq[i], Seconds{30000.0});
         violation.push_back(qos::WebSearchService::violationRate(windows));
-        scheduler.observeQos(freq[i],
-                             qos::WebSearchService::meanP90(windows));
+        scheduler.observeQos(
+            freq[i], qos::WebSearchService::meanP90(windows).value());
     }
     // Ordering: light < medium < heavy (paper: <7%, ~15%, >25%).
     EXPECT_LT(violation[0], violation[1]);
@@ -269,7 +269,8 @@ TEST(AdaptiveMapping, Fig17EndToEndLoop)
 
     // Blind placement on heavy violates; the scheduler must swap off it.
     const auto decision = scheduler.decide(
-        violation[2], service.params().qosTargetP90, 4500.0, 2, options);
+        violation[2], service.params().qosTargetP90.value(), 4500.0, 2,
+        options);
     ASSERT_TRUE(decision.swap);
     EXPECT_NE(decision.corunnerIndex, 2u);
     // The swap lands on a class with a measured lower violation rate.

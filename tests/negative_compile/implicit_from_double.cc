@@ -1,0 +1,13 @@
+/**
+ * Negative-compile case: a raw double must not implicitly convert to a
+ * quantity. Entry into the typed world is explicit: Volts{x} or a
+ * literal like 950.0_mV.
+ */
+#include "common/units.h"
+
+int
+main()
+{
+    agsim::Volts v = 1.05;  // must fail: constructor is explicit
+    return static_cast<int>(v.value());
+}

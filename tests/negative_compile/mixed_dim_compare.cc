@@ -1,0 +1,13 @@
+/**
+ * Negative-compile case: comparing quantities of different dimensions
+ * must not compile — "is 1.05 V bigger than 98 W" is not a question.
+ */
+#include "common/units.h"
+
+int
+main()
+{
+    agsim::Volts v{1.05};
+    agsim::Watts p{98.0};
+    return (v < p) ? 0 : 1;  // must fail: no cross-dimension operator<
+}

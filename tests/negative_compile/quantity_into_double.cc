@@ -1,0 +1,14 @@
+/**
+ * Negative-compile case: a quantity must not silently decay back to
+ * double. Leaving the typed world requires an explicit .value() at an
+ * I/O boundary.
+ */
+#include "common/units.h"
+
+int
+main()
+{
+    agsim::Hertz f{4.2e9};
+    double raw = f;  // must fail: no implicit conversion operator
+    return static_cast<int>(raw);
+}

@@ -1,0 +1,20 @@
+/**
+ * Negative-compile case: passing a Seconds where a Hertz is expected
+ * must not compile. Swapping a period for a rate was the classic bug
+ * the strong types exist to kill.
+ */
+#include "common/units.h"
+
+static double
+cyclesIn(agsim::Hertz f, agsim::Seconds dt)
+{
+    return f * dt;  // dimensions cancel -> plain double
+}
+
+int
+main()
+{
+    agsim::Seconds period{250e-12};
+    agsim::Seconds dt{1e-3};
+    return static_cast<int>(cyclesIn(period, dt));  // must fail
+}

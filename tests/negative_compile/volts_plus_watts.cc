@@ -1,0 +1,15 @@
+/**
+ * Negative-compile case: adding quantities of different dimensions must
+ * not compile. A voltage plus a power has no physical meaning; the old
+ * `using Volts = double;` aliases silently accepted it.
+ */
+#include "common/units.h"
+
+int
+main()
+{
+    agsim::Volts v{1.05};
+    agsim::Watts p{98.0};
+    auto bad = v + p;  // must fail: operator+ requires matching dims
+    return static_cast<int>(bad.value());
+}

@@ -33,8 +33,8 @@ specFor(const std::string &name, size_t threads, GuardbandMode mode)
                        ? workload::RunMode::Multithreaded
                        : workload::RunMode::Rate;
     spec.mode = mode;
-    spec.simConfig.measureDuration = 0.5;
-    spec.simConfig.warmup = 0.9;
+    spec.simConfig.measureDuration = Seconds{0.5};
+    spec.simConfig.warmup = Seconds{0.9};
     return spec;
 }
 
@@ -65,21 +65,22 @@ TEST_P(WorkloadInvariantTest, EightCoreInvariantsHold)
         specFor(name, 8, GuardbandMode::AdaptiveOverclock));
 
     // Chip power inside the POWER7+ envelope.
-    EXPECT_GT(stat.metrics.socketPower[0], 70.0) << name;
-    EXPECT_LT(stat.metrics.socketPower[0], 165.0) << name;
+    EXPECT_GT(stat.metrics.socketPower[0], Watts{70.0}) << name;
+    EXPECT_LT(stat.metrics.socketPower[0], Watts{165.0}) << name;
 
     // Undervolting always helps, never exceeds the firmware bound.
     const double saving = 1.0 - undervolt.metrics.socketPower[0] /
                           stat.metrics.socketPower[0];
     EXPECT_GT(saving, 0.005) << name;
     EXPECT_LT(saving, 0.20) << name;
-    EXPECT_GE(undervolt.metrics.socketUndervolt[0], 0.0) << name;
-    EXPECT_LE(undervolt.metrics.socketUndervolt[0], 0.080 + 1e-9) << name;
+    EXPECT_GE(undervolt.metrics.socketUndervolt[0], Volts{0.0}) << name;
+    EXPECT_LE(undervolt.metrics.socketUndervolt[0], Volts{0.080 + 1e-9})
+        << name;
     // Undervolting must not sacrifice frequency.
-    EXPECT_NEAR(undervolt.metrics.meanFrequency, 4.2e9, 0.004e9) << name;
+    EXPECT_NEAR(undervolt.metrics.meanFrequency, Hertz{4.2e9}, Hertz{0.004e9}) << name;
 
     // Overclocking always helps and respects the 10% DPLL ceiling.
-    const double boost = overclock.metrics.meanFrequency / 4.2e9 - 1.0;
+    const double boost = overclock.metrics.meanFrequency / 4.2_GHz - 1.0;
     EXPECT_GT(boost, 0.005) << name;
     EXPECT_LE(boost, 0.101) << name;
 
@@ -138,8 +139,8 @@ TEST(Determinism, DifferentSeedsOnlyPerturb)
         spec.serverConfig.chipTemplate.seed = seed;
         return runScheduled(spec).metrics.meanFrequency;
     };
-    const double a = run(1);
-    const double b = run(999);
+    const Hertz a = run(1);
+    const Hertz b = run(999);
     EXPECT_NE(a, b);
     EXPECT_NEAR(a, b, a * 0.01);
 }
@@ -148,16 +149,16 @@ TEST(FailureInjection, TinyGuardbandCompensatedByVoltageBoost)
 {
     ScheduledRunSpec spec = specFor("lu_ncb", 8,
                                     GuardbandMode::AdaptiveUndervolt);
-    spec.serverConfig.chipTemplate.vf.staticGuardband = 0.040;
+    spec.serverConfig.chipTemplate.vf.staticGuardband = Volts{0.040};
     const auto result = runScheduled(spec);
     // A 40 mV guardband cannot absorb >100 mV of drop: the firmware
     // must *raise* the setpoint above the static point (negative
     // undervolt) to keep the target frequency achievable, bounded by
     // the VRM window.
-    EXPECT_LT(result.metrics.socketUndervolt[0], 0.0);
+    EXPECT_LT(result.metrics.socketUndervolt[0], Volts{0.0});
     EXPECT_LE(result.metrics.socketSetpoint[0],
-              spec.serverConfig.rail.maxSetpoint + 1e-9);
-    EXPECT_NEAR(result.metrics.meanFrequency, 4.2e9, 0.01e9);
+              spec.serverConfig.rail.maxSetpoint + Volts{1e-9});
+    EXPECT_NEAR(result.metrics.meanFrequency, Hertz{4.2e9}, Hertz{0.01e9});
 }
 
 TEST(FailureInjection, ExtremeNoiseStillControlled)
@@ -165,8 +166,8 @@ TEST(FailureInjection, ExtremeNoiseStillControlled)
     ScheduledRunSpec spec = specFor("bodytrack", 8,
                                     GuardbandMode::AdaptiveUndervolt);
     workload::BenchmarkProfile noisy = spec.profile;
-    noisy.didtTypicalAmp = 0.050;
-    noisy.didtWorstAmp = 0.120;
+    noisy.didtTypicalAmp = Volts{0.050};
+    noisy.didtWorstAmp = Volts{0.120};
     spec.profile = noisy;
     const auto result = runScheduled(spec);
     // Noise consumes guardband, so less undervolt than the quiet case,
@@ -174,8 +175,8 @@ TEST(FailureInjection, ExtremeNoiseStillControlled)
     const auto quiet = runScheduled(
         specFor("bodytrack", 8, GuardbandMode::AdaptiveUndervolt));
     EXPECT_LE(result.metrics.socketUndervolt[0],
-              quiet.metrics.socketUndervolt[0] + 1e-9);
-    EXPECT_NEAR(result.metrics.meanFrequency, 4.2e9, 0.01e9);
+              quiet.metrics.socketUndervolt[0] + Volts{1e-9});
+    EXPECT_NEAR(result.metrics.meanFrequency, Hertz{4.2e9}, Hertz{0.01e9});
 }
 
 TEST(FailureInjection, SaturatedVrmClampsAtMinimum)
@@ -184,11 +185,11 @@ TEST(FailureInjection, SaturatedVrmClampsAtMinimum)
     // the VRM's minimum setpoint stops it.
     ScheduledRunSpec spec = specFor("radix", 1,
                                     GuardbandMode::AdaptiveUndervolt);
-    spec.serverConfig.chipTemplate.vf.staticGuardband = 0.280;
-    spec.serverConfig.chipTemplate.undervolt.maxUndervolt = 0.400;
+    spec.serverConfig.chipTemplate.vf.staticGuardband = Volts{0.280};
+    spec.serverConfig.chipTemplate.undervolt.maxUndervolt = Volts{0.400};
     const auto result = runScheduled(spec);
     EXPECT_GE(result.metrics.socketSetpoint[0],
-              spec.serverConfig.rail.minSetpoint - 1e-9);
+              spec.serverConfig.rail.minSetpoint - Volts{1e-9});
 }
 
 TEST(FailureInjection, OverclockCeilingBindsUnderLightLoad)
@@ -199,7 +200,7 @@ TEST(FailureInjection, OverclockCeilingBindsUnderLightLoad)
                                     GuardbandMode::AdaptiveOverclock);
     const auto result = runScheduled(spec);
     EXPECT_LE(result.metrics.meanFrequency,
-              4.2e9 * 1.10 + 1e6);
+              Hertz{4.2e9 * 1.10 + 1e6});
 }
 
 TEST(Telemetry, CpmVoltageInversionTracksGroundTruth)
@@ -212,8 +213,8 @@ TEST(Telemetry, CpmVoltageInversionTracksGroundTruth)
     chip::Chip chip(config, &vrm);
     chip.setMode(GuardbandMode::StaticGuardband);
     for (size_t i = 0; i < 4; ++i)
-        chip.setLoad(i, chip::CoreLoad::running(1.0, 13e-3, 24e-3));
-    chip.settle(1.0);
+        chip.setLoad(i, chip::CoreLoad::running(1.0, Volts{13e-3}, Volts{24e-3}));
+    chip.settle(Seconds{1.0});
 
     const auto &window = chip.telemetry().latest();
     for (size_t core = 0; core < 4; ++core) {

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * googletest interop for the Quantity<> strong types.
+ *
+ * EXPECT_DOUBLE_EQ and EXPECT_NEAR lower onto helpers that take plain
+ * doubles, so they reject typed quantities. These overloads accept two
+ * quantities of the *same* dimension and forward their raw values; a
+ * mixed-dimension comparison stays a compile error, which is the point
+ * of the types. Force-included into every test target (see
+ * tests/CMakeLists.txt) so test code can assert on typed values
+ * directly.
+ */
+
+#ifndef AGSIM_TESTS_SUPPORT_GTEST_UNITS_H
+#define AGSIM_TESTS_SUPPORT_GTEST_UNITS_H
+
+#include <ostream>
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace agsim {
+
+/** gtest value printer: show the raw value plus the dimension vector. */
+template <int M, int L, int T, int I, int K, int N>
+void
+PrintTo(Quantity<M, L, T, I, K, N> q, std::ostream *os)
+{
+    *os << q.value() << " [" << M << "," << L << "," << T << "," << I
+        << "," << K << "," << N << "]";
+}
+
+} // namespace agsim
+
+namespace testing::internal {
+
+/** EXPECT_DOUBLE_EQ on two same-dimension quantities. */
+template <typename RawType, int M, int L, int T, int I, int K, int N>
+AssertionResult
+CmpHelperFloatingPointEQ(const char *lhsExpression,
+                         const char *rhsExpression,
+                         agsim::Quantity<M, L, T, I, K, N> lhs,
+                         agsim::Quantity<M, L, T, I, K, N> rhs)
+{
+    return CmpHelperFloatingPointEQ<RawType>(lhsExpression, rhsExpression,
+                                             lhs.value(), rhs.value());
+}
+
+/** EXPECT_NEAR on two same-dimension quantities, raw tolerance. */
+template <int M, int L, int T, int I, int K, int N>
+AssertionResult
+DoubleNearPredFormat(const char *expr1, const char *expr2,
+                     const char *absErrorExpr,
+                     agsim::Quantity<M, L, T, I, K, N> val1,
+                     agsim::Quantity<M, L, T, I, K, N> val2,
+                     double absError)
+{
+    return DoubleNearPredFormat(expr1, expr2, absErrorExpr, val1.value(),
+                                val2.value(), absError);
+}
+
+/** EXPECT_NEAR on two same-dimension quantities, typed tolerance. */
+template <int M, int L, int T, int I, int K, int N>
+AssertionResult
+DoubleNearPredFormat(const char *expr1, const char *expr2,
+                     const char *absErrorExpr,
+                     agsim::Quantity<M, L, T, I, K, N> val1,
+                     agsim::Quantity<M, L, T, I, K, N> val2,
+                     agsim::Quantity<M, L, T, I, K, N> absError)
+{
+    return DoubleNearPredFormat(expr1, expr2, absErrorExpr, val1.value(),
+                                val2.value(), absError.value());
+}
+
+} // namespace testing::internal
+
+#endif // AGSIM_TESTS_SUPPORT_GTEST_UNITS_H

@@ -20,12 +20,12 @@ trainedScheduler()
     AdaptiveMappingScheduler scheduler;
     // Frequency predictor: 4.6 GHz intercept, -2.5 MHz/kMIPS.
     for (double mips = 5000; mips <= 80000; mips += 5000)
-        scheduler.observeFrequency(mips, 4.6e9 - 2500.0 * mips);
+        scheduler.observeFrequency(mips, Hertz{4.6e9 - 2500.0 * mips});
     // QoS model: p90 improves 5 ms per 10 MHz; with the 8% tail guard
     // a 0.5 s target lands near 4.53 GHz, admitting only the lightest
     // co-runner.
     for (double f = 4.40e9; f <= 4.60e9; f += 0.02e9)
-        scheduler.observeQos(f, 0.520 - (f - 4.40e9) * 5e-10);
+        scheduler.observeQos(Hertz{f}, 0.520 - (f - 4.40e9) * 5e-10);
     return scheduler;
 }
 
@@ -54,7 +54,7 @@ TEST(AdaptiveMapping, SwapsHeavyForFittingCorunner)
                                            candidates());
     EXPECT_TRUE(decision.swap);
     EXPECT_NE(decision.corunnerIndex, 2u);
-    EXPECT_GT(decision.requiredFrequency, 0.0);
+    EXPECT_GT(decision.requiredFrequency, Hertz{0.0});
     EXPECT_GT(decision.corunnerMipsBudget, 0.0);
     // Picks the heaviest candidate that fits the budget.
     const auto c = candidates();
@@ -88,10 +88,10 @@ TEST(AdaptiveMapping, MemoryPathWhenNotFrequencySensitive)
 {
     AdaptiveMappingScheduler scheduler;
     for (double mips = 5000; mips <= 80000; mips += 5000)
-        scheduler.observeFrequency(mips, 4.6e9 - 2500.0 * mips);
+        scheduler.observeFrequency(mips, Hertz{4.6e9 - 2500.0 * mips});
     // QoS flat in frequency -> memory-contention branch.
     for (double f = 4.40e9; f <= 4.60e9; f += 0.02e9)
-        scheduler.observeQos(f, 0.510);
+        scheduler.observeQos(Hertz{f}, 0.510);
     const auto decision = scheduler.decide(0.40, 0.5, 4500.0, 2,
                                            candidates());
     EXPECT_TRUE(decision.swap);

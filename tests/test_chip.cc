@@ -42,48 +42,48 @@ TEST_F(ChipTest, StaticModeHoldsTargetFrequencyAndSetpoint)
 {
     chip_.setMode(GuardbandMode::StaticGuardband);
     activateCores(4);
-    chip_.settle(0.3);
+    chip_.settle(Seconds{0.3});
     EXPECT_NEAR(chip_.setpoint(), chip_.staticSetpoint(), 1e-9);
     for (size_t i = 0; i < chip_.coreCount(); ++i)
-        EXPECT_NEAR(chip_.coreFrequency(i), 4.2e9, 1.0);
-    EXPECT_NEAR(chip_.undervoltAmount(), 0.0, 1e-9);
+        EXPECT_NEAR(chip_.coreFrequency(i), Hertz{4.2e9}, Hertz{1.0});
+    EXPECT_NEAR(chip_.undervoltAmount(), Volts{0.0}, Volts{1e-9});
 }
 
 TEST_F(ChipTest, IdleChipPowerIsReasonable)
 {
     chip_.setMode(GuardbandMode::StaticGuardband);
-    chip_.settle(0.3);
+    chip_.settle(Seconds{0.3});
     // All-idle, all-on chip: tens of watts, well below busy power.
-    EXPECT_GT(chip_.power(), 30.0);
-    EXPECT_LT(chip_.power(), 70.0);
+    EXPECT_GT(chip_.power(), Watts{30.0});
+    EXPECT_LT(chip_.power(), Watts{70.0});
 }
 
 TEST_F(ChipTest, PowerEnvelopeMatchesFig3a)
 {
     chip_.setMode(GuardbandMode::StaticGuardband);
     activateCores(1, 1.03);
-    chip_.settle(0.4);
+    chip_.settle(Seconds{0.4});
     const Watts oneCore = chip_.power();
-    EXPECT_GT(oneCore, 50.0);
-    EXPECT_LT(oneCore, 75.0);
+    EXPECT_GT(oneCore, Watts{50.0});
+    EXPECT_LT(oneCore, Watts{75.0});
 
     activateCores(8, 1.03);
-    chip_.settle(0.4);
+    chip_.settle(Seconds{0.4});
     const Watts eightCores = chip_.power();
-    EXPECT_GT(eightCores, 110.0);
-    EXPECT_LT(eightCores, 150.0);
-    EXPECT_GT(eightCores, oneCore + 50.0);
+    EXPECT_GT(eightCores, Watts{110.0});
+    EXPECT_LT(eightCores, Watts{150.0});
+    EXPECT_GT(eightCores, oneCore + Watts{50.0});
 }
 
 TEST_F(ChipTest, UndervoltConvergesAndSavesPower)
 {
     chip_.setMode(GuardbandMode::StaticGuardband);
     activateCores(1, 1.03);
-    chip_.settle(1.0);
+    chip_.settle(Seconds{1.0});
     const Watts staticPower = chip_.power();
 
     chip_.setMode(GuardbandMode::AdaptiveUndervolt);
-    chip_.settle(1.5);
+    chip_.settle(Seconds{1.5});
     const Watts adaptivePower = chip_.power();
 
     // Paper Fig. 3a: ~13% saving with one active core.
@@ -94,18 +94,18 @@ TEST_F(ChipTest, UndervoltConvergesAndSavesPower)
     EXPECT_GT(toMilliVolts(chip_.undervoltAmount()), 40.0);
     EXPECT_LE(toMilliVolts(chip_.undervoltAmount()), 81.0);
     // Frequency stays pinned at the target.
-    EXPECT_NEAR(chip_.coreFrequency(0), 4.2e9, 0.002e9);
+    EXPECT_NEAR(chip_.coreFrequency(0), Hertz{4.2e9}, Hertz{0.002e9});
 }
 
 TEST_F(ChipTest, UndervoltShrinksWithMoreActiveCores)
 {
     chip_.setMode(GuardbandMode::AdaptiveUndervolt);
     activateCores(1, 1.03);
-    chip_.settle(1.5);
+    chip_.settle(Seconds{1.5});
     const Volts oneCore = chip_.undervoltAmount();
 
     activateCores(8, 1.03);
-    chip_.settle(1.5);
+    chip_.settle(Seconds{1.5});
     const Volts eightCores = chip_.undervoltAmount();
     EXPECT_LT(eightCores, oneCore);
 }
@@ -114,14 +114,14 @@ TEST_F(ChipTest, OverclockBoostMatchesFig4a)
 {
     chip_.setMode(GuardbandMode::AdaptiveOverclock);
     activateCores(1, 1.02);
-    chip_.settle(0.5);
-    const double boostOne = chip_.meanActiveFrequency() / 4.2e9 - 1.0;
+    chip_.settle(Seconds{0.5});
+    const double boostOne = chip_.meanActiveFrequency() / 4.2_GHz - 1.0;
     EXPECT_GT(boostOne, 0.07);
     EXPECT_LE(boostOne, 0.101);
 
     activateCores(8, 1.02);
-    chip_.settle(0.5);
-    const double boostEight = chip_.meanActiveFrequency() / 4.2e9 - 1.0;
+    chip_.settle(Seconds{0.5});
+    const double boostEight = chip_.meanActiveFrequency() / 4.2_GHz - 1.0;
     EXPECT_GT(boostEight, 0.015);
     EXPECT_LT(boostEight, boostOne);
 }
@@ -129,15 +129,15 @@ TEST_F(ChipTest, OverclockBoostMatchesFig4a)
 TEST_F(ChipTest, GatedCoresDrawAlmostNothing)
 {
     chip_.setMode(GuardbandMode::StaticGuardband);
-    chip_.settle(0.3);
+    chip_.settle(Seconds{0.3});
     const Watts allOn = chip_.power();
 
     for (size_t i = 0; i < 8; ++i)
         chip_.setLoad(i, CoreLoad::powerGated());
-    chip_.settle(0.3);
+    chip_.settle(Seconds{0.3});
     const Watts allGated = chip_.power();
     EXPECT_LT(allGated, allOn * 0.5);
-    EXPECT_DOUBLE_EQ(chip_.coreFrequency(0), 0.0);
+    EXPECT_DOUBLE_EQ(chip_.coreFrequency(0), Hertz{0.0});
 }
 
 TEST_F(ChipTest, GatedCoreCannotBeActive)
@@ -152,27 +152,27 @@ TEST_F(ChipTest, DecompositionComponentsAreSane)
 {
     chip_.setMode(GuardbandMode::StaticGuardband);
     activateCores(8, 1.0);
-    chip_.settle(0.5);
+    chip_.settle(Seconds{0.5});
     const auto &d = chip_.decomposition(0);
-    EXPECT_GT(d.loadline, 0.0);
-    EXPECT_GT(d.irGlobal, 0.0);
-    EXPECT_GT(d.irLocal, 0.0);
-    EXPECT_GT(d.typicalDidt, 0.0);
-    EXPECT_GT(d.worstDidt, 0.0);
+    EXPECT_GT(d.loadline, Volts{0.0});
+    EXPECT_GT(d.irGlobal, Volts{0.0});
+    EXPECT_GT(d.irLocal, Volts{0.0});
+    EXPECT_GT(d.typicalDidt, Volts{0.0});
+    EXPECT_GT(d.worstDidt, Volts{0.0});
     EXPECT_NEAR(d.total(),
                 d.loadline + d.irDrop() + d.typicalDidt + d.worstDidt,
                 1e-12);
     // Passive dominates at full load (Sec. 4.3 conclusion).
     EXPECT_GT(d.passive(), d.typicalDidt + d.worstDidt);
     // Total drop stays inside the static guardband's ballpark.
-    EXPECT_LT(d.total(), 0.155);
+    EXPECT_LT(d.total(), Volts{0.155});
 }
 
 TEST_F(ChipTest, ActiveCoreSeesDeeperLocalDropThanIdle)
 {
     chip_.setMode(GuardbandMode::StaticGuardband);
     activateCores(1, 1.1); // core 0 busy
-    chip_.settle(0.3);
+    chip_.settle(Seconds{0.3});
     EXPECT_LT(chip_.coreVoltage(0), chip_.coreVoltage(7));
 }
 
@@ -180,7 +180,7 @@ TEST_F(ChipTest, TelemetryFlowsWindows)
 {
     chip_.setMode(GuardbandMode::StaticGuardband);
     activateCores(2);
-    chip_.settle(0.2);
+    chip_.settle(Seconds{0.2});
     EXPECT_TRUE(chip_.telemetry().hasWindows());
     const auto &window = chip_.telemetry().latest();
     EXPECT_EQ(window.sampleCpm.size(), 8u);
@@ -192,17 +192,17 @@ TEST_F(ChipTest, TelemetryFlowsWindows)
 TEST_F(ChipTest, DisabledModeAllowsForcedSetpoint)
 {
     chip_.setMode(GuardbandMode::Disabled);
-    chip_.forceSetpoint(1.05);
-    chip_.settle(0.1);
-    EXPECT_NEAR(chip_.setpoint(), 1.05, 7e-3);
+    chip_.forceSetpoint(Volts{1.05});
+    chip_.settle(Seconds{0.1});
+    EXPECT_NEAR(chip_.setpoint(), Volts{1.05}, Volts{7e-3});
     // Frequency stays at target even at low voltage (characterization).
-    EXPECT_NEAR(chip_.coreFrequency(0), 4.2e9, 1.0);
+    EXPECT_NEAR(chip_.coreFrequency(0), Hertz{4.2e9}, Hertz{1.0});
 }
 
 TEST_F(ChipTest, ForcedSetpointRejectedInOtherModes)
 {
     chip_.setMode(GuardbandMode::AdaptiveUndervolt);
-    EXPECT_THROW(chip_.forceSetpoint(1.0), ConfigError);
+    EXPECT_THROW(chip_.forceSetpoint(Volts{1.0}), ConfigError);
 }
 
 TEST_F(ChipTest, TargetFrequencyChangesStaticSetpoint)
@@ -217,12 +217,12 @@ TEST_F(ChipTest, TargetFrequencyChangesStaticSetpoint)
 TEST_F(ChipTest, TemperatureRisesWithLoad)
 {
     chip_.setMode(GuardbandMode::StaticGuardband);
-    chip_.settle(30.0, 1e-2);
+    chip_.settle(Seconds{30.0}, Seconds{1e-2});
     const Celsius idle = chip_.temperature();
     activateCores(8, 1.1);
-    chip_.settle(60.0, 1e-2);
-    EXPECT_GT(chip_.temperature(), idle + 4.0);
-    EXPECT_LT(chip_.temperature(), 45.0);
+    chip_.settle(Seconds{60.0}, Seconds{1e-2});
+    EXPECT_GT(chip_.temperature(), idle + Celsius{4.0});
+    EXPECT_LT(chip_.temperature(), Celsius{45.0});
 }
 
 TEST_F(ChipTest, ActiveCountTracksLoads)
@@ -245,7 +245,7 @@ TEST(ChipConstruction, Validation)
     config.coreCount = 0;
     EXPECT_THROW(Chip(config, &vrm), ConfigError);
     config = ChipConfig();
-    config.solverTolerance = -1e-6;
+    config.solverTolerance = -Volts{1e-6};
     EXPECT_THROW(Chip(config, &vrm), ConfigError);
 }
 
@@ -280,7 +280,7 @@ class SolverParityTest
                 for (size_t i = 4; i < chip->coreCount(); ++i)
                     chip->setLoad(i, CoreLoad::powerGated());
             } // else "idle": all cores powered-on idle
-            chip->settle(1.0);
+            chip->settle(Seconds{1.0});
         }
 
         pdn::Vrm vrm;
@@ -290,8 +290,8 @@ class SolverParityTest
 
 TEST_P(SolverParityTest, EarlyExitMatchesFixedIteration)
 {
-    Rig exact(0.0, GetParam());     // tolerance 0: full iteration count
-    Rig fast(1e-6, GetParam());     // default early exit
+    Rig exact(Volts{0.0}, GetParam()); // tolerance 0: full iteration count
+    Rig fast(Volts{1e-6}, GetParam()); // default early exit
 
     // A 1 uV rail tolerance bounds the power error to well under the
     // milliwatt scale; frequency and setpoint follow the same rail.
@@ -318,18 +318,18 @@ TEST_F(ChipTest, FirmwareCadenceCarriesRemainderAcrossIntervals)
     // lands at 32.2 ms, so 0.2 ms must carry into the next interval
     // (the old reset-to-zero behavior would leave 0 and stretch the
     // cadence to 46 steps forever).
-    const Seconds dt = 0.7e-3;
+    const Seconds dt = Seconds{0.7e-3};
     for (int i = 0; i < 45; ++i)
         chip_.step(dt);
     EXPECT_NEAR(chip_.sinceFirmware(), 45 * dt, 1e-9);
     chip_.step(dt);
-    EXPECT_NEAR(chip_.sinceFirmware(), 46 * dt - 32e-3, 1e-9);
+    EXPECT_NEAR(chip_.sinceFirmware(), 46 * dt - Seconds{32e-3}, 1e-9);
 
     // Over a long run the accumulator stays inside [0, interval).
     for (int i = 0; i < 500; ++i) {
         chip_.step(dt);
-        EXPECT_GE(chip_.sinceFirmware(), 0.0);
-        EXPECT_LT(chip_.sinceFirmware(), 32e-3);
+        EXPECT_GE(chip_.sinceFirmware(), Seconds{0.0});
+        EXPECT_LT(chip_.sinceFirmware(), Seconds{32e-3});
     }
 }
 

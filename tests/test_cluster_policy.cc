@@ -18,7 +18,7 @@ smallSpec()
     ClusterSpec spec;
     spec.serverCount = 3;
     spec.poweredCoreBudgetPerServer = 8;
-    spec.platformPowerPerServer = 120.0;
+    spec.platformPowerPerServer = Watts{120.0};
     return spec;
 }
 
@@ -30,8 +30,8 @@ TEST(ClusterPolicy, ConsolidationPowersFewestServers)
         spec, profile, 8,
         ClusterStrategy::ConsolidateServersBorrowSockets);
     EXPECT_EQ(eval.activeServers, 1u);
-    EXPECT_NEAR(eval.platformPower, 120.0, 1e-9);
-    EXPECT_GT(eval.chipPower, 0.0);
+    EXPECT_NEAR(eval.platformPower, Watts{120.0}, Watts{1e-9});
+    EXPECT_GT(eval.chipPower, Watts{0.0});
     EXPECT_NEAR(eval.totalPower, eval.chipPower + eval.platformPower,
                 1e-9);
 }
@@ -43,7 +43,7 @@ TEST(ClusterPolicy, SpreadingPowersAllServers)
     const auto eval = evaluateClusterStrategy(
         spec, profile, 6, ClusterStrategy::SpreadServersBorrowSockets);
     EXPECT_EQ(eval.activeServers, 3u);
-    EXPECT_NEAR(eval.platformPower, 360.0, 1e-9);
+    EXPECT_NEAR(eval.platformPower, Watts{360.0}, Watts{1e-9});
 }
 
 TEST(ClusterPolicy, PaperRecommendationHoldsAtClusterLevel)

@@ -41,15 +41,15 @@ TEST_F(CpmTest, CalibrationPointReadsCalibrationPosition)
 TEST_F(CpmTest, OutputClampsToDetectorRange)
 {
     Cpm cpm(&curve_, params_, 1.0, 0.0);
-    EXPECT_EQ(cpm.read(0.5, 4.2_GHz), 0);
-    EXPECT_EQ(cpm.read(2.0, 4.2_GHz), params_.positions - 1);
+    EXPECT_EQ(cpm.read(Volts{0.5}, 4.2_GHz), 0);
+    EXPECT_EQ(cpm.read(Volts{2.0}, 4.2_GHz), params_.positions - 1);
 }
 
 TEST_F(CpmTest, MonotoneInVoltage)
 {
     Cpm cpm(&curve_, params_, 1.0, 0.0);
     int prev = -1;
-    for (Volts v = 0.95; v <= 1.25; v += 0.005) {
+    for (Volts v = Volts{0.95}; v <= Volts{1.25}; v += Volts{0.005}) {
         const int value = cpm.read(v, 4.2_GHz);
         EXPECT_GE(value, prev);
         prev = value;
@@ -60,7 +60,7 @@ TEST_F(CpmTest, HigherFrequencyReadsLower)
 {
     // Fig. 6a: at fixed voltage, higher frequency -> tighter margin.
     Cpm cpm(&curve_, params_, 1.0, 0.0);
-    const Volts v = 1.15;
+    const Volts v = Volts{1.15};
     EXPECT_LT(cpm.read(v, 4.2_GHz), cpm.read(v, 3.6_GHz));
 }
 
@@ -78,10 +78,10 @@ TEST_F(CpmTest, LinearFitRecoversSensitivity)
     // slope inverse should be ~21 mV/bit.
     Cpm cpm(&curve_, params_, 1.0, 0.0);
     stats::LinearFit fit;
-    for (Volts v = 1.10; v <= 1.22; v += 0.002) {
+    for (Volts v = Volts{1.10}; v <= Volts{1.22}; v += Volts{0.002}) {
         const double raw = cpm.rawPosition(v, 4.2_GHz);
         if (raw > 0.5 && raw < 10.5)
-            fit.add(v, raw);
+            fit.add(v.value(), raw);
     }
     ASSERT_GT(fit.count(), 10u);
     EXPECT_NEAR(1.0 / fit.slope(), 0.021, 0.001);
@@ -91,7 +91,7 @@ TEST_F(CpmTest, PositionToVoltageInvertsRead)
 {
     Cpm cpm(&curve_, params_, 1.0, 0.0);
     const Hertz f = 4.0_GHz;
-    for (Volts v = 1.05; v <= 1.18; v += 0.01) {
+    for (Volts v = Volts{1.05}; v <= Volts{1.18}; v += Volts{0.01}) {
         const double raw = cpm.rawPosition(v, f);
         if (raw <= 0.0 || raw >= 11.0)
             continue;
@@ -103,7 +103,7 @@ TEST_F(CpmTest, OffsetShiftsReading)
 {
     Cpm centered(&curve_, params_, 1.0, 0.0);
     Cpm offset(&curve_, params_, 1.0, 1.0);
-    const Volts v = 1.15;
+    const Volts v = Volts{1.15};
     EXPECT_EQ(offset.read(v, 4.2_GHz), centered.read(v, 4.2_GHz) + 1);
 }
 
@@ -143,7 +143,7 @@ TEST_F(CpmBankTest, FiveCpmsPerCore)
 TEST_F(CpmBankTest, MinReadIsLowestInstance)
 {
     CpmBank bank(&curve_, params_, 1, 42);
-    const Volts v = 1.16;
+    const Volts v = Volts{1.16};
     const Hertz f = 4.2_GHz;
     int lowest = params_.positions;
     for (size_t i = 0; i < bank.size(); ++i)
@@ -156,7 +156,7 @@ TEST_F(CpmBankTest, PersonalityFrozenBySeed)
     CpmBank a(&curve_, params_, 3, 42);
     CpmBank b(&curve_, params_, 3, 42);
     CpmBank c(&curve_, params_, 3, 43);
-    const Volts v = 1.15;
+    const Volts v = Volts{1.15};
     const Hertz f = 4.2_GHz;
     EXPECT_DOUBLE_EQ(a.meanRaw(v, f), b.meanRaw(v, f));
     EXPECT_NE(a.meanRaw(v, f), c.meanRaw(v, f));
@@ -173,7 +173,7 @@ TEST_F(CpmBankTest, VarianceClassesMatchFig6b)
             CpmBank bank(&curve_, params_, coreId, seed);
             stats::Accumulator vpb;
             for (size_t i = 0; i < bank.size(); ++i)
-                vpb.add(bank.voltsPerBit(i, f));
+                vpb.add(bank.voltsPerBit(i, f).value());
             acc.add(vpb.stddev());
         }
         return acc.mean();
@@ -195,14 +195,14 @@ TEST_F(CpmBankTest, ChipArrayHas40Cpms)
 TEST_F(CpmBankTest, ChipMeanRawAveragesBanks)
 {
     ChipCpmArray array(&curve_, params_, 8, 42);
-    std::vector<Volts> voltages(8, 1.16);
-    std::vector<Hertz> freqs(8, 4.2e9);
+    std::vector<Volts> voltages(8, Volts{1.16});
+    std::vector<Hertz> freqs(8, Hertz{4.2e9});
     const double mean = array.chipMeanRaw(voltages, freqs);
     // Should be within the detector's representable band.
     EXPECT_GT(mean, 0.0);
     EXPECT_LT(mean, 11.0);
     // Raising every core's voltage raises the mean.
-    std::vector<Volts> higher(8, 1.19);
+    std::vector<Volts> higher(8, Volts{1.19});
     EXPECT_GT(array.chipMeanRaw(higher, freqs), mean);
 }
 

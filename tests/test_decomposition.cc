@@ -14,40 +14,40 @@ DropDecomposition
 sample()
 {
     DropDecomposition d;
-    d.loadline = 0.040;
-    d.irGlobal = 0.025;
-    d.irLocal = 0.015;
-    d.typicalDidt = 0.006;
-    d.worstDidt = 0.030;
+    d.loadline = Volts{0.040};
+    d.irGlobal = Volts{0.025};
+    d.irLocal = Volts{0.015};
+    d.typicalDidt = Volts{0.006};
+    d.worstDidt = Volts{0.030};
     return d;
 }
 
 TEST(DropDecomposition, DerivedSums)
 {
     const auto d = sample();
-    EXPECT_NEAR(d.irDrop(), 0.040, 1e-12);
-    EXPECT_NEAR(d.passive(), 0.080, 1e-12);
-    EXPECT_NEAR(d.sharedPassive(), 0.065, 1e-12);
-    EXPECT_NEAR(d.steady(), 0.086, 1e-12);
-    EXPECT_NEAR(d.total(), 0.116, 1e-12);
+    EXPECT_NEAR(d.irDrop(), Volts{0.040}, Volts{1e-12});
+    EXPECT_NEAR(d.passive(), Volts{0.080}, Volts{1e-12});
+    EXPECT_NEAR(d.sharedPassive(), Volts{0.065}, Volts{1e-12});
+    EXPECT_NEAR(d.steady(), Volts{0.086}, Volts{1e-12});
+    EXPECT_NEAR(d.total(), Volts{0.116}, Volts{1e-12});
 }
 
 TEST(DropDecomposition, DefaultIsZero)
 {
     const DropDecomposition d;
-    EXPECT_DOUBLE_EQ(d.total(), 0.0);
-    EXPECT_DOUBLE_EQ(d.passive(), 0.0);
+    EXPECT_DOUBLE_EQ(d.total(), Volts{0.0});
+    EXPECT_DOUBLE_EQ(d.passive(), Volts{0.0});
 }
 
 TEST(DropDecomposition, AdditionIsComponentWise)
 {
     const auto d = sample();
     const auto sum = d + d;
-    EXPECT_NEAR(sum.loadline, 0.080, 1e-12);
-    EXPECT_NEAR(sum.irGlobal, 0.050, 1e-12);
-    EXPECT_NEAR(sum.irLocal, 0.030, 1e-12);
-    EXPECT_NEAR(sum.typicalDidt, 0.012, 1e-12);
-    EXPECT_NEAR(sum.worstDidt, 0.060, 1e-12);
+    EXPECT_NEAR(sum.loadline, Volts{0.080}, Volts{1e-12});
+    EXPECT_NEAR(sum.irGlobal, Volts{0.050}, Volts{1e-12});
+    EXPECT_NEAR(sum.irLocal, Volts{0.030}, Volts{1e-12});
+    EXPECT_NEAR(sum.typicalDidt, Volts{0.012}, Volts{1e-12});
+    EXPECT_NEAR(sum.worstDidt, Volts{0.060}, Volts{1e-12});
     EXPECT_NEAR(sum.total(), 2.0 * d.total(), 1e-12);
 }
 

@@ -20,9 +20,9 @@ using namespace agsim::units;
 
 TEST(DemandTrace, DiurnalShape)
 {
-    const auto trace = makeDiurnalTrace(8, 86400.0, 12);
+    const auto trace = makeDiurnalTrace(8, Seconds{86400.0}, 12);
     ASSERT_EQ(trace.size(), 12u);
-    Seconds total = 0.0;
+    Seconds total = Seconds{0.0};
     size_t peak = 0, trough = 99;
     for (const auto &segment : trace) {
         total += segment.duration;
@@ -31,7 +31,7 @@ TEST(DemandTrace, DiurnalShape)
         EXPECT_GE(segment.threads, 1u);
         EXPECT_LE(segment.threads, 8u);
     }
-    EXPECT_NEAR(total, 86400.0, 1e-6);
+    EXPECT_NEAR(total, Seconds{86400.0}, Seconds{1e-6});
     EXPECT_EQ(peak, 8u);
     EXPECT_LE(trough, 2u);
     // Peak sits mid-trace (daytime).
@@ -40,15 +40,15 @@ TEST(DemandTrace, DiurnalShape)
 
 TEST(DemandTrace, Validation)
 {
-    EXPECT_THROW(makeDiurnalTrace(0, 100.0), ConfigError);
-    EXPECT_THROW(makeDiurnalTrace(4, 0.0), ConfigError);
-    EXPECT_THROW(makeDiurnalTrace(4, 100.0, 1), ConfigError);
+    EXPECT_THROW(makeDiurnalTrace(0, Seconds{100.0}), ConfigError);
+    EXPECT_THROW(makeDiurnalTrace(4, Seconds{0.0}), ConfigError);
+    EXPECT_THROW(makeDiurnalTrace(4, Seconds{100.0}, 1), ConfigError);
 
     const auto &profile = workload::byName("raytrace");
     EXPECT_THROW(evaluateDemandTrace(profile, {},
                                      PlacementPolicy::Consolidate),
                  ConfigError);
-    DemandTrace over{{100.0, 9}};
+    DemandTrace over{{Seconds{100.0}, 9}};
     EXPECT_THROW(evaluateDemandTrace(profile, over,
                                      PlacementPolicy::Consolidate, 8),
                  ConfigError);
@@ -57,12 +57,13 @@ TEST(DemandTrace, Validation)
 TEST(DemandTrace, EnergyIntegratesOverSegments)
 {
     const auto &profile = workload::byName("raytrace");
-    const DemandTrace trace{{600.0, 2}, {1200.0, 6}, {600.0, 2}};
+    const DemandTrace trace{
+        {Seconds{600.0}, 2}, {Seconds{1200.0}, 6}, {Seconds{600.0}, 2}};
     const auto eval = evaluateDemandTrace(
         profile, trace, PlacementPolicy::LoadlineBorrow, 8);
-    EXPECT_NEAR(eval.duration, 2400.0, 1e-9);
-    EXPECT_GT(eval.meanPower, 50.0);
-    EXPECT_LT(eval.meanPower, 160.0);
+    EXPECT_NEAR(eval.duration, Seconds{2400.0}, Seconds{1e-9});
+    EXPECT_GT(eval.meanPower, Watts{50.0});
+    EXPECT_LT(eval.meanPower, Watts{160.0});
     EXPECT_NEAR(eval.chipEnergy, eval.meanPower * eval.duration, 1e-6);
 }
 
@@ -71,7 +72,7 @@ TEST(DemandTrace, BorrowingWinsOverADay)
     // The extension's claim: integrated over a diurnal profile,
     // loadline borrowing beats consolidation.
     const auto &profile = workload::byName("raytrace");
-    const auto trace = makeDiurnalTrace(8, 86400.0, 8);
+    const auto trace = makeDiurnalTrace(8, Seconds{86400.0}, 8);
     const auto cons = evaluateDemandTrace(
         profile, trace, PlacementPolicy::Consolidate, 8);
     const auto borrow = evaluateDemandTrace(
@@ -85,14 +86,14 @@ TEST(ChipExtras, VcsRailReportedSeparately)
     chip::ChipConfig config;
     chip::Chip chip(config, &vrm);
     chip.setMode(chip::GuardbandMode::StaticGuardband);
-    chip.settle(0.1);
+    chip.settle(Seconds{0.1});
     const Watts idleVcs = chip.vcsPower();
-    EXPECT_GT(idleVcs, 0.0);
-    EXPECT_LT(idleVcs, config.vcs.powerAtRef + 1e-9);
+    EXPECT_GT(idleVcs, Watts{0.0});
+    EXPECT_LT(idleVcs, config.vcs.powerAtRef + Watts{1e-9});
 
     for (size_t i = 0; i < 8; ++i)
         chip.setLoad(i, chip::CoreLoad::running(1.0, 13.0_mV, 24.0_mV));
-    chip.settle(0.1);
+    chip.settle(Seconds{0.1});
     EXPECT_NEAR(chip.vcsPower(), config.vcs.powerAtRef, 1e-9);
     EXPECT_GT(chip.vcsPower(), idleVcs);
 }
@@ -104,7 +105,7 @@ TEST(ChipExtras, DroopHistogramCollectsEvents)
     chip.setMode(chip::GuardbandMode::StaticGuardband);
     for (size_t i = 0; i < 8; ++i)
         chip.setLoad(i, chip::CoreLoad::running(1.0, 13.0_mV, 26.0_mV));
-    chip.settle(5.0);
+    chip.settle(Seconds{5.0});
 
     const auto &histogram = chip.droopHistogram();
     // Droops arrive ~10+/s at 8 active cores: 5 s collects dozens.
@@ -123,7 +124,7 @@ TEST(ChipExtras, IdleChipHasNoDroops)
     pdn::Vrm vrm(1);
     chip::Chip chip(chip::ChipConfig(), &vrm);
     chip.setMode(chip::GuardbandMode::StaticGuardband);
-    chip.settle(1.0);
+    chip.settle(Seconds{1.0});
     EXPECT_EQ(chip.droopHistogram().total(), 0u);
 }
 

@@ -22,7 +22,7 @@ using namespace agsim::units;
 std::vector<Volts>
 amps(size_t active, Volts amplitude, size_t cores = 8)
 {
-    std::vector<Volts> out(cores, 0.0);
+    std::vector<Volts> out(cores, Volts{0.0});
     for (size_t i = 0; i < active; ++i)
         out[i] = amplitude;
     return out;
@@ -31,7 +31,7 @@ amps(size_t active, Volts amplitude, size_t cores = 8)
 TEST(Didt, TypicalLevelZeroWhenIdle)
 {
     DidtModel model;
-    EXPECT_DOUBLE_EQ(model.typicalLevel(amps(0, 0.0)), 0.0);
+    EXPECT_DOUBLE_EQ(model.typicalLevel(amps(0, Volts{0.0})), Volts{0.0});
 }
 
 TEST(Didt, TypicalLevelEqualsAmplitudeForOneCore)
@@ -58,7 +58,7 @@ TEST(Didt, WorstDepthGrowsWithActiveCores)
     // Sec. 4.3: random alignment deepens worst-case droops slightly.
     DidtModel model;
     const Volts amp = 22.0_mV;
-    Volts prev = 0.0;
+    Volts prev = Volts{0.0};
     for (size_t active = 1; active <= 8; ++active) {
         const Volts depth = model.worstDepth(amps(active, amp));
         EXPECT_GT(depth, prev);
@@ -72,7 +72,7 @@ TEST(Didt, WorstDepthGrowsWithActiveCores)
 TEST(Didt, WorstDepthZeroWhenIdle)
 {
     DidtModel model;
-    EXPECT_DOUBLE_EQ(model.worstDepth(amps(0, 0.0)), 0.0);
+    EXPECT_DOUBLE_EQ(model.worstDepth(amps(0, Volts{0.0})), Volts{0.0});
 }
 
 TEST(Didt, StepDeterministicBySeed)
@@ -82,8 +82,8 @@ TEST(Didt, StepDeterministicBySeed)
     const auto ta = amps(4, 12.0_mV);
     const auto wa = amps(4, 22.0_mV);
     for (int i = 0; i < 100; ++i) {
-        const auto sa = a.step(ta, wa, 1e-3);
-        const auto sb = b.step(ta, wa, 1e-3);
+        const auto sa = a.step(ta, wa, Seconds{1e-3});
+        const auto sb = b.step(ta, wa, Seconds{1e-3});
         ASSERT_DOUBLE_EQ(sa.typicalNow, sb.typicalNow);
         ASSERT_DOUBLE_EQ(sa.worstDroop, sb.worstDroop);
         ASSERT_EQ(sa.droopEvents, sb.droopEvents);
@@ -101,7 +101,7 @@ TEST(Didt, DroopArrivalRateMatchesConfig)
     int events = 0;
     const int steps = 100000; // 100 s at 1 ms
     for (int i = 0; i < steps; ++i)
-        events += model.step(ta, wa, 1e-3).droopEvents;
+        events += model.step(ta, wa, Seconds{1e-3}).droopEvents;
     EXPECT_NEAR(double(events) / 100.0, 4.0, 0.5);
 }
 
@@ -113,7 +113,7 @@ TEST(Didt, DroopRateGrowsWithCores)
         const auto wa = amps(active, 22.0_mV);
         int events = 0;
         for (int i = 0; i < 50000; ++i)
-            events += model.step(ta, wa, 1e-3).droopEvents;
+            events += model.step(ta, wa, Seconds{1e-3}).droopEvents;
         return events;
     };
     const int one = countEvents(1);
@@ -126,31 +126,31 @@ TEST(Didt, TypicalSampleJittersAroundMean)
     DidtModel model(DidtParams(), 23);
     const auto ta = amps(4, 12.0_mV);
     const auto wa = amps(4, 22.0_mV);
-    double sum = 0.0;
+    Volts sum = Volts{0.0};
     const int n = 20000;
     for (int i = 0; i < n; ++i) {
-        const auto s = model.step(ta, wa, 1e-3);
-        EXPECT_GE(s.typicalNow, 0.0);
+        const auto s = model.step(ta, wa, Seconds{1e-3});
+        EXPECT_GE(s.typicalNow, Volts{0.0});
         sum += s.typicalNow;
     }
-    EXPECT_NEAR(sum / n, model.typicalLevel(ta), 0.001);
+    EXPECT_NEAR(sum / double(n), model.typicalLevel(ta), Volts{0.001});
 }
 
 TEST(Didt, NoDroopsWhenIdle)
 {
     DidtModel model(DidtParams(), 29);
-    const auto zero = amps(0, 0.0);
+    const auto zero = amps(0, Volts{0.0});
     for (int i = 0; i < 1000; ++i) {
-        const auto s = model.step(zero, zero, 1e-3);
+        const auto s = model.step(zero, zero, Seconds{1e-3});
         ASSERT_EQ(s.droopEvents, 0);
-        ASSERT_DOUBLE_EQ(s.worstDroop, 0.0);
+        ASSERT_DOUBLE_EQ(s.worstDroop, Volts{0.0});
     }
 }
 
 TEST(Didt, MismatchedVectorsPanic)
 {
     DidtModel model;
-    EXPECT_THROW(model.step(amps(1, 1.0_mV, 8), amps(1, 1.0_mV, 4), 1e-3),
+    EXPECT_THROW(model.step(amps(1, 1.0_mV, 8), amps(1, 1.0_mV, 4), Seconds{1e-3}),
                  InternalError);
 }
 

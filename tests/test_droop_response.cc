@@ -41,10 +41,10 @@ TEST_F(DroopResponseTest, FastDpllRidesThroughTypicalDroop)
                                        adaptiveVoltage(f), f, event);
     EXPECT_FALSE(outcome.violated);
     // Throughput cost: tens of nanoseconds of stall per event.
-    EXPECT_GT(outcome.lostTime, 1e-9);
-    EXPECT_LT(outcome.lostTime, 0.5e-6);
+    EXPECT_GT(outcome.lostTime, Seconds{1e-9});
+    EXPECT_LT(outcome.lostTime, Seconds{0.5e-6});
     // The loop never eats the full calibrated reserve.
-    EXPECT_GT(outcome.minMargin, -1e-6);
+    EXPECT_GT(outcome.minMargin, Volts{-1e-6});
 }
 
 TEST_F(DroopResponseTest, FixedClockWithTightMarginViolates)
@@ -54,7 +54,7 @@ TEST_F(DroopResponseTest, FixedClockWithTightMarginViolates)
     const auto outcome = simulateDroop(curve_, fastDpll_, false,
                                        adaptiveVoltage(f), f, event);
     EXPECT_TRUE(outcome.violated);
-    EXPECT_LT(outcome.minMargin, 0.0);
+    EXPECT_LT(outcome.minMargin, Volts{0.0});
     EXPECT_DOUBLE_EQ(outcome.lostCycles, 0.0); // it never slowed down
 }
 
@@ -76,23 +76,24 @@ TEST_F(DroopResponseTest, StaticDesignSurvivesWithFullGuardband)
     // Provision the static margin the helper reports: no violation.
     DroopEvent event;
     const Hertz f = 4.2_GHz;
-    const Volts needed = staticGuardbandNeeded(1.15, event);
+    const Volts needed = staticGuardbandNeeded(Volts{1.15}, event);
     const Volts vStatic = curve_.vminAt(f) + needed + 1.0_mV;
     const auto outcome = simulateDroop(curve_, fastDpll_, false, vStatic,
                                        f, event);
     EXPECT_FALSE(outcome.violated);
     // The needed margin exceeds the raw depth (the ring deepens it).
     EXPECT_GT(needed, event.depth);
-    EXPECT_LT(needed, event.depth * (1.0 + event.ringFraction) + 2e-3);
+    EXPECT_LT(needed,
+              event.depth * (1.0 + event.ringFraction) + 2.0_mV);
 }
 
 TEST_F(DroopResponseTest, LostCyclesScaleWithDepth)
 {
     const Hertz f = 4.2_GHz;
     DroopEvent shallow;
-    shallow.depth = 0.020;
+    shallow.depth = Volts{0.020};
     DroopEvent deep;
-    deep.depth = 0.050;
+    deep.depth = Volts{0.050};
     const auto a = simulateDroop(curve_, fastDpll_, true,
                                  adaptiveVoltage(f), f, shallow);
     const auto b = simulateDroop(curve_, fastDpll_, true,
@@ -104,7 +105,7 @@ TEST_F(DroopResponseTest, TraceIsWellFormed)
 {
     DroopEvent event;
     DroopSimParams sim;
-    sim.duration = 1.0e-6;
+    sim.duration = Seconds{1.0e-6};
     const Hertz f = 4.0_GHz;
     const auto outcome = simulateDroop(curve_, fastDpll_, true,
                                        adaptiveVoltage(f), f, event, sim);
@@ -114,8 +115,8 @@ TEST_F(DroopResponseTest, TraceIsWellFormed)
     for (size_t i = 0; i < 100; ++i)
         trough = std::min(trough, outcome.trace[i].voltage);
     const auto &last = outcome.trace.back();
-    EXPECT_LT(trough, adaptiveVoltage(f) - 0.030);
-    EXPECT_GT(last.voltage, adaptiveVoltage(f) - 0.005);
+    EXPECT_LT(trough, adaptiveVoltage(f) - Volts{0.030});
+    EXPECT_GT(last.voltage, adaptiveVoltage(f) - Volts{0.005});
     // The DPLL recovers its frequency by the end.
     EXPECT_NEAR(last.clockFrequency, curve_.fmaxWithMargin(last.voltage),
                 30e6);
@@ -125,19 +126,19 @@ TEST_F(DroopResponseTest, NoRingMatchesPureExponential)
 {
     DroopEvent event;
     event.ringFraction = 0.0;
-    EXPECT_NEAR(staticGuardbandNeeded(1.15, event), event.depth, 1e-4);
+    EXPECT_NEAR(staticGuardbandNeeded(Volts{1.15}, event), event.depth, 1e-4);
 }
 
 TEST_F(DroopResponseTest, Validation)
 {
     DroopEvent event;
     DroopSimParams sim;
-    sim.dt = 0.0;
-    EXPECT_THROW(simulateDroop(curve_, fastDpll_, true, 1.1, 4.2e9,
+    sim.dt = Seconds{0.0};
+    EXPECT_THROW(simulateDroop(curve_, fastDpll_, true, Volts{1.1}, Hertz{4.2e9},
                                event, sim),
                  ConfigError);
-    event.depth = -1.0;
-    EXPECT_THROW(simulateDroop(curve_, fastDpll_, true, 1.1, 4.2e9,
+    event.depth = -Volts{1.0};
+    EXPECT_THROW(simulateDroop(curve_, fastDpll_, true, Volts{1.1}, Hertz{4.2e9},
                                event),
                  ConfigError);
 }

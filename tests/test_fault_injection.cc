@@ -32,13 +32,13 @@ using chip::GuardbandMode;
 TEST(FaultPlan, BuildersAppendSpecs)
 {
     FaultPlan plan;
-    plan.cpmOptimisticBias(0.1, 0.5, 20.0_mV, 3)
-        .cpmStuckAt(0.2, 0.0, 7)
-        .cpmDropout(0.3, 0.1)
-        .vrmDacStuck(0.4)
-        .vrmDacOffset(0.5, 0.2, -5.0_mV)
-        .firmwareStall(0.6, 0.3)
-        .droopStorm(0.7, 0.4, 5.0, 1.2);
+    plan.cpmOptimisticBias(Seconds{0.1}, Seconds{0.5}, 20.0_mV, 3)
+        .cpmStuckAt(Seconds{0.2}, Seconds{0.0}, 7)
+        .cpmDropout(Seconds{0.3}, Seconds{0.1})
+        .vrmDacStuck(Seconds{0.4})
+        .vrmDacOffset(Seconds{0.5}, Seconds{0.2}, -5.0_mV)
+        .firmwareStall(Seconds{0.6}, Seconds{0.3})
+        .droopStorm(Seconds{0.7}, Seconds{0.4}, 5.0, 1.2);
     ASSERT_EQ(plan.faults.size(), 7u);
     EXPECT_EQ(plan.faults[0].kind, FaultKind::CpmOptimisticBias);
     EXPECT_EQ(plan.faults[0].core, 3);
@@ -52,37 +52,37 @@ TEST(FaultPlan, BuildersAppendSpecs)
 TEST(FaultPlan, ActiveAtRespectsWindows)
 {
     FaultSpec spec;
-    spec.start = 1.0;
-    spec.duration = 0.5;
-    EXPECT_FALSE(spec.activeAt(0.99));
-    EXPECT_TRUE(spec.activeAt(1.0));
-    EXPECT_TRUE(spec.activeAt(1.49));
-    EXPECT_FALSE(spec.activeAt(1.5));
+    spec.start = Seconds{1.0};
+    spec.duration = Seconds{0.5};
+    EXPECT_FALSE(spec.activeAt(Seconds{0.99}));
+    EXPECT_TRUE(spec.activeAt(Seconds{1.0}));
+    EXPECT_TRUE(spec.activeAt(Seconds{1.49}));
+    EXPECT_FALSE(spec.activeAt(Seconds{1.5}));
 
-    spec.duration = 0.0; // forever
-    EXPECT_TRUE(spec.activeAt(1e9));
+    spec.duration = Seconds{0.0}; // forever
+    EXPECT_TRUE(spec.activeAt(Seconds{1e9}));
 }
 
 TEST(FaultPlan, ValidationRejectsNonsense)
 {
     {
         FaultPlan plan;
-        plan.cpmDropout(-0.1, 0.0);
+        plan.cpmDropout(Seconds{-0.1}, Seconds{0.0});
         EXPECT_THROW(plan.validate(8), ConfigError);
     }
     {
         FaultPlan plan;
-        plan.cpmOptimisticBias(0.0, 0.0, 10.0_mV, 8); // core out of range
+        plan.cpmOptimisticBias(Seconds{0.0}, Seconds{0.0}, 10.0_mV, 8); // core out of range
         EXPECT_THROW(plan.validate(8), ConfigError);
     }
     {
         FaultPlan plan;
-        plan.droopStorm(0.0, 1.0, 0.0); // non-positive rate multiplier
+        plan.droopStorm(Seconds{0.0}, Seconds{1.0}, 0.0); // non-positive rate multiplier
         EXPECT_THROW(plan.validate(8), ConfigError);
     }
     {
         FaultPlan plan;
-        plan.cpmStuckAt(0.0, 1.0, -2); // negative detector position
+        plan.cpmStuckAt(Seconds{0.0}, Seconds{1.0}, -2); // negative detector position
         EXPECT_THROW(plan.validate(8), ConfigError);
     }
 }
@@ -90,35 +90,35 @@ TEST(FaultPlan, ValidationRejectsNonsense)
 TEST(FaultInjector, SchedulesAndExpiresFaults)
 {
     FaultPlan plan;
-    plan.firmwareStall(0.10, 0.05);
+    plan.firmwareStall(Seconds{0.10}, Seconds{0.05});
     FaultInjector injector(plan, 8);
     EXPECT_FALSE(injector.active().any);
 
-    injector.advance(0.09);
+    injector.advance(Seconds{0.09});
     EXPECT_FALSE(injector.active().firmwareStall);
-    injector.advance(0.02); // t = 0.11, inside window
+    injector.advance(Seconds{0.02}); // t = Seconds{0.11}, inside window
     EXPECT_TRUE(injector.active().firmwareStall);
     EXPECT_EQ(injector.activeSpecCount(), 1u);
-    injector.advance(0.05); // t = 0.16, past window
+    injector.advance(Seconds{0.05}); // t = Seconds{0.16}, past window
     EXPECT_FALSE(injector.active().firmwareStall);
     EXPECT_FALSE(injector.active().any);
 
     injector.reset();
-    EXPECT_EQ(injector.now(), 0.0);
+    EXPECT_EQ(injector.now(), Seconds{0.0});
     EXPECT_FALSE(injector.active().any);
 }
 
 TEST(FaultInjector, ComposesOverlappingFaults)
 {
     FaultPlan plan;
-    plan.cpmOptimisticBias(0.0, 0.0, 10.0_mV)       // all cores
-        .cpmOptimisticBias(0.0, 0.0, 5.0_mV, 2)     // extra on core 2
-        .droopStorm(0.0, 0.0, 2.0, 1.5)
-        .droopStorm(0.0, 0.0, 3.0)
-        .cpmStuckAt(0.0, 0.0, 5, 1)
-        .cpmStuckAt(0.0, 0.0, 9, 1);                // later spec wins
+    plan.cpmOptimisticBias(Seconds{0.0}, Seconds{0.0}, 10.0_mV)       // all cores
+        .cpmOptimisticBias(Seconds{0.0}, Seconds{0.0}, 5.0_mV, 2)     // extra on core 2
+        .droopStorm(Seconds{0.0}, Seconds{0.0}, 2.0, 1.5)
+        .droopStorm(Seconds{0.0}, Seconds{0.0}, 3.0)
+        .cpmStuckAt(Seconds{0.0}, Seconds{0.0}, 5, 1)
+        .cpmStuckAt(Seconds{0.0}, Seconds{0.0}, 9, 1);                // later spec wins
     FaultInjector injector(plan, 8);
-    injector.advance(0.1);
+    injector.advance(Seconds{0.1});
 
     const ActiveFaultSet &active = injector.active();
     EXPECT_TRUE(active.any);
@@ -135,19 +135,19 @@ TEST(FaultInjector, ComposesOverlappingFaults)
 TEST(FaultInjector, RejectsBadPlansAndSteps)
 {
     FaultPlan bad;
-    bad.cpmDropout(0.0, 0.0, 12); // core out of range for 8 cores
+    bad.cpmDropout(Seconds{0.0}, Seconds{0.0}, 12); // core out of range for 8 cores
     EXPECT_THROW(FaultInjector(bad, 8), ConfigError);
 
     FaultInjector injector(FaultPlan(), 8);
-    EXPECT_THROW(injector.advance(0.0), InternalError);
+    EXPECT_THROW(injector.advance(Seconds{0.0}), InternalError);
 }
 
 TEST(CpmBankFaults, FaultShapesControlVoltage)
 {
     power::VfCurve curve;
     sensors::CpmBank bank(&curve, sensors::CpmParams(), 0, 42);
-    const Hertz f = 4.2e9;
-    const Volts v = 1.15;
+    const Hertz f = Hertz{4.2e9};
+    const Volts v = Volts{1.15};
 
     const Volts healthy = bank.controlVoltage(v, f);
     EXPECT_NEAR(healthy, v, 20.0_mV); // small calibration residual only
@@ -173,49 +173,49 @@ TEST(CpmBankFaults, FaultShapesControlVoltage)
 TEST(VrmFaults, StuckDacIgnoresWritesAndOffsetIsInvisible)
 {
     pdn::Vrm vrm(1);
-    vrm.setSetpoint(0, 1.20);
+    vrm.setSetpoint(0, Volts{1.20});
     vrm.injectDacStuck(0, true);
-    vrm.setSetpoint(0, 1.10);
+    vrm.setSetpoint(0, Volts{1.10});
     // Write dropped: firmware reads back the stuck value.
-    EXPECT_NEAR(vrm.setpoint(0), 1.20, 1e-12);
+    EXPECT_NEAR(vrm.setpoint(0), Volts{1.20}, Volts{1e-12});
 
     vrm.injectDacStuck(0, false);
-    vrm.setSetpoint(0, 1.10);
-    EXPECT_NEAR(vrm.setpoint(0), 1.10, 1e-12);
+    vrm.setSetpoint(0, Volts{1.10});
+    EXPECT_NEAR(vrm.setpoint(0), Volts{1.10}, Volts{1e-12});
 
     // A DAC offset changes the delivered voltage but not the readback.
     vrm.injectDacOffset(0, -8.0_mV);
-    EXPECT_NEAR(vrm.setpoint(0), 1.10, 1e-12);
-    EXPECT_NEAR(vrm.outputAt(0, 0.0), 1.10 - 8.0_mV, 1e-12);
+    EXPECT_NEAR(vrm.setpoint(0), Volts{1.10}, Volts{1e-12});
+    EXPECT_NEAR(vrm.outputAt(0, Amps{0.0}), Volts{1.10} - 8.0_mV, 1e-12);
 
     vrm.clearFaults();
-    EXPECT_NEAR(vrm.outputAt(0, 0.0), 1.10, 1e-12);
+    EXPECT_NEAR(vrm.outputAt(0, Amps{0.0}), Volts{1.10}, Volts{1e-12});
 }
 
 /** Rig: one chip with an attached injector, stepped for a duration. */
 struct FaultRun
 {
     explicit FaultRun(const FaultPlan &plan, GuardbandMode mode,
-                      uint64_t seed = 0, Volts maxUndervolt = 0.0)
+                      uint64_t seed = 0, Volts maxUndervolt = Volts{0.0})
         : vrm(1)
     {
         ChipConfig config;
         if (seed != 0)
             config.seed = seed;
-        if (maxUndervolt > 0.0)
+        if (maxUndervolt > Volts{0.0})
             config.undervolt.maxUndervolt = maxUndervolt;
         chip = std::make_unique<Chip>(config, &vrm);
         chip->setMode(mode);
         for (size_t i = 0; i < chip->coreCount(); ++i)
             chip->setLoad(i, CoreLoad::running(1.0, 13.0_mV, 24.0_mV));
-        chip->settle(0.5);
+        chip->settle(Seconds{0.5});
         injector = std::make_unique<FaultInjector>(plan,
                                                    chip->coreCount());
         chip->attachFaultInjector(injector.get());
     }
 
     void
-    run(Seconds duration, Seconds dt = 1e-3)
+    run(Seconds duration, Seconds dt = Seconds{1e-3})
     {
         const int steps = int(duration / dt);
         for (int i = 0; i < steps; ++i)
@@ -245,39 +245,39 @@ class StaticImmunityTest
         FaultPlan plan;
         switch (variant) {
           case 0:
-            plan.cpmOptimisticBias(0.05, 0.0, 40.0_mV);
+            plan.cpmOptimisticBias(Seconds{0.05}, Seconds{0.0}, 40.0_mV);
             break;
           case 1:
-            plan.cpmDropout(0.05, 0.0);
+            plan.cpmDropout(Seconds{0.05}, Seconds{0.0});
             break;
           case 2:
-            plan.cpmStuckAt(0.05, 0.0, 11);
+            plan.cpmStuckAt(Seconds{0.05}, Seconds{0.0}, 11);
             break;
           case 3:
-            plan.firmwareStall(0.05, 0.0);
+            plan.firmwareStall(Seconds{0.05}, Seconds{0.0});
             break;
           case 4:
-            plan.vrmDacStuck(0.05);
+            plan.vrmDacStuck(Seconds{0.05});
             break;
           case 5:
             // Small under-delivery: inside the static guardband's
             // remaining slack plus the emergency tolerance band (the
             // provisioned envelope is nearly exhausted at the
             // full-load calibration corner — see docs/RELIABILITY.md).
-            plan.vrmDacOffset(0.05, 0.0, -5.0_mV);
+            plan.vrmDacOffset(Seconds{0.05}, Seconds{0.0}, -5.0_mV);
             break;
           case 6:
             // Rate-only storm: depths stay within the characterized
             // envelope the guardband was provisioned for.
-            plan.droopStorm(0.05, 0.0, 8.0);
+            plan.droopStorm(Seconds{0.05}, Seconds{0.0}, 8.0);
             break;
           default:
             // Everything at once.
-            plan.cpmOptimisticBias(0.05, 0.0, 40.0_mV)
-                .cpmDropout(0.1, 0.0, 3)
-                .firmwareStall(0.05, 0.0)
-                .vrmDacStuck(0.2)
-                .droopStorm(0.3, 0.0, 4.0);
+            plan.cpmOptimisticBias(Seconds{0.05}, Seconds{0.0}, 40.0_mV)
+                .cpmDropout(Seconds{0.1}, Seconds{0.0}, 3)
+                .firmwareStall(Seconds{0.05}, Seconds{0.0})
+                .vrmDacStuck(Seconds{0.2})
+                .droopStorm(Seconds{0.3}, Seconds{0.0}, 4.0);
             break;
         }
         return plan;
@@ -287,10 +287,10 @@ class StaticImmunityTest
 TEST_P(StaticImmunityTest, StaticModeNeverSeesEmergency)
 {
     FaultRun rig(planFor(GetParam()), GuardbandMode::StaticGuardband);
-    rig.run(1.0);
+    rig.run(Seconds{1.0});
     EXPECT_EQ(rig.chip->safetyMonitor().totalEmergencies(), 0);
     EXPECT_FALSE(rig.chip->safetyDemoted());
-    EXPECT_GT(rig.chip->lastWorstMargin(), 0.0);
+    EXPECT_GT(rig.chip->lastWorstMargin(), Volts{0.0});
 }
 
 INSTANTIATE_TEST_SUITE_P(ControlPathFaultPlans, StaticImmunityTest,
@@ -300,13 +300,14 @@ INSTANTIATE_TEST_SUITE_P(ControlPathFaultPlans, StaticImmunityTest,
 TEST(FaultDeterminism, SameSeedSamePlanBitIdenticalTelemetry)
 {
     FaultPlan plan;
-    plan.cpmOptimisticBias(0.1, 0.0, 30.0_mV)
-        .droopStorm(0.2, 0.3, 4.0, 1.1)
-        .firmwareStall(0.5, 0.1);
+    plan.cpmOptimisticBias(Seconds{0.1}, Seconds{0.0}, 30.0_mV)
+        .droopStorm(Seconds{0.2}, Seconds{0.3}, 4.0, 1.1)
+        .firmwareStall(Seconds{0.5}, Seconds{0.1});
 
     auto telemetryOf = [&](uint64_t seed) {
-        FaultRun rig(plan, GuardbandMode::AdaptiveUndervolt, seed, 0.12);
-        rig.run(1.2);
+        FaultRun rig(plan, GuardbandMode::AdaptiveUndervolt, seed,
+                     Volts{0.12});
+        rig.run(Seconds{1.2});
         return rig.chip->telemetry().windows();
     };
 
@@ -347,9 +348,9 @@ TEST(FaultDeterminism, SameSeedSamePlanBitIdenticalTelemetry)
 TEST(FaultChipIntegration, FirmwareStallFreezesDecisions)
 {
     FaultPlan plan;
-    plan.firmwareStall(0.1, 0.4);
+    plan.firmwareStall(Seconds{0.1}, Seconds{0.4});
     FaultRun rig(plan, GuardbandMode::AdaptiveUndervolt);
-    rig.run(0.6);
+    rig.run(Seconds{0.6});
     // ~0.4 s of stall at a 32 ms cadence: about 12 missed ticks.
     EXPECT_GE(rig.chip->missedFirmwareTicks(), 10);
     EXPECT_LE(rig.chip->missedFirmwareTicks(), 14);
@@ -358,15 +359,15 @@ TEST(FaultChipIntegration, FirmwareStallFreezesDecisions)
 TEST(FaultChipIntegration, DetachClearsInjectedState)
 {
     FaultPlan plan;
-    plan.cpmDropout(0.0, 0.0).vrmDacStuck(0.0);
+    plan.cpmDropout(Seconds{0.0}, Seconds{0.0}).vrmDacStuck(Seconds{0.0});
     FaultRun rig(plan, GuardbandMode::AdaptiveUndervolt);
-    rig.run(0.2);
+    rig.run(Seconds{0.2});
 
     rig.chip->attachFaultInjector(nullptr);
     EXPECT_EQ(rig.chip->faultInjector(), nullptr);
     EXPECT_FALSE(rig.vrm.dacStuck(0));
     // Loop recovers on its own once the sensors tell the truth again.
-    rig.chip->settle(1.0);
+    rig.chip->settle(Seconds{1.0});
     EXPECT_EQ(rig.chip->lastStepEmergencies(), 0);
 }
 

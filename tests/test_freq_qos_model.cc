@@ -17,7 +17,7 @@ TEST(FreqQosModel, UntrainedThrows)
 {
     FreqQosModel model;
     EXPECT_FALSE(model.trained());
-    EXPECT_THROW(model.predictQos(4.2e9), ConfigError);
+    EXPECT_THROW(model.predictQos(Hertz{4.2e9}), ConfigError);
     EXPECT_THROW(model.frequencyForQos(0.5), ConfigError);
 }
 
@@ -26,17 +26,17 @@ TEST(FreqQosModel, LatencyFallsWithFrequency)
     FreqQosModel model;
     // p90 latency drops ~1 ms per 10 MHz around 480 ms.
     for (double f = 4.40e9; f <= 4.60e9; f += 0.02e9)
-        model.observe(f, 0.480 - (f - 4.40e9) * 1e-10);
+        model.observe(Hertz{f}, 0.480 - (f - 4.40e9) * 1e-10);
     EXPECT_TRUE(model.trained());
     EXPECT_TRUE(model.frequencySensitive());
-    EXPECT_LT(model.predictQos(4.6e9), model.predictQos(4.4e9));
+    EXPECT_LT(model.predictQos(Hertz{4.6e9}), model.predictQos(Hertz{4.4e9}));
 }
 
 TEST(FreqQosModel, FrequencyForQosInverts)
 {
     FreqQosModel model;
     for (double f = 4.40e9; f <= 4.60e9; f += 0.02e9)
-        model.observe(f, 0.480 - (f - 4.40e9) * 1e-10);
+        model.observe(Hertz{f}, 0.480 - (f - 4.40e9) * 1e-10);
     const double target = 0.470;
     const Hertz needed = model.frequencyForQos(target);
     EXPECT_NEAR(model.predictQos(needed), target, 1e-6);
@@ -48,9 +48,9 @@ TEST(FreqQosModel, TargetAlreadyMetEverywhere)
 {
     FreqQosModel model;
     for (double f = 4.40e9; f <= 4.60e9; f += 0.02e9)
-        model.observe(f, 0.480 - (f - 4.40e9) * 1e-10);
+        model.observe(Hertz{f}, 0.480 - (f - 4.40e9) * 1e-10);
     // Looser than anything observed: any frequency works.
-    EXPECT_DOUBLE_EQ(model.frequencyForQos(10.0), 0.0);
+    EXPECT_DOUBLE_EQ(model.frequencyForQos(10.0), Hertz{0.0});
 }
 
 TEST(FreqQosModel, InsensitiveAppDetected)
@@ -58,13 +58,13 @@ TEST(FreqQosModel, InsensitiveAppDetected)
     FreqQosModel model;
     // QoS flat in frequency (e.g. purely memory-bound app).
     for (double f = 4.40e9; f <= 4.60e9; f += 0.02e9)
-        model.observe(f, 0.480);
+        model.observe(Hertz{f}, 0.480);
     EXPECT_FALSE(model.frequencySensitive());
     // Flat and meeting the target: any frequency.
-    EXPECT_DOUBLE_EQ(model.frequencyForQos(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(model.frequencyForQos(0.5), Hertz{0.0});
     // Flat and missing the target: none.
     EXPECT_EQ(model.frequencyForQos(0.4),
-              std::numeric_limits<double>::max());
+              Hertz{std::numeric_limits<double>::max()});
 }
 
 TEST(FreqQosModel, PositiveSlopeHandled)
@@ -72,18 +72,18 @@ TEST(FreqQosModel, PositiveSlopeHandled)
     FreqQosModel model;
     // Pathological: QoS worsens with frequency (thermal throttling-ish).
     for (double f = 4.40e9; f <= 4.60e9; f += 0.02e9)
-        model.observe(f, 0.400 + (f - 4.40e9) * 1e-10);
+        model.observe(Hertz{f}, 0.400 + (f - 4.40e9) * 1e-10);
     const Hertz needed = model.frequencyForQos(0.45);
     // Falls back to intercept logic rather than inverting wrongly.
-    EXPECT_TRUE(needed == 0.0 ||
-                needed == std::numeric_limits<double>::max());
+    EXPECT_TRUE(needed == Hertz{0.0} ||
+                needed == Hertz{std::numeric_limits<double>::max()});
 }
 
 TEST(FreqQosModel, ResetClears)
 {
     FreqQosModel model;
-    model.observe(4.4e9, 0.5);
-    model.observe(4.5e9, 0.4);
+    model.observe(Hertz{4.4e9}, 0.5);
+    model.observe(Hertz{4.5e9}, 0.4);
     model.reset();
     EXPECT_FALSE(model.trained());
 }
@@ -91,7 +91,7 @@ TEST(FreqQosModel, ResetClears)
 TEST(FreqQosModel, RejectsBadObservations)
 {
     FreqQosModel model;
-    EXPECT_THROW(model.observe(0.0, 0.5), ConfigError);
+    EXPECT_THROW(model.observe(Hertz{0.0}, 0.5), ConfigError);
 }
 
 } // namespace

@@ -44,7 +44,7 @@ TEST(Generator, ReproducesMipsPowerCorrelation)
     WorkloadGenerator generator(21);
     stats::LinearFit fit;
     for (const auto &p : generator.batch(200))
-        fit.add(p.mipsPerThread / 1e9, p.intensity);
+        fit.add(p.mipsPerThread / InstrPerSec{1e9}, p.intensity);
     EXPECT_NEAR(fit.slope(), 0.066, 0.01);
     EXPECT_GT(fit.r2(), 0.8);
 }
@@ -54,7 +54,7 @@ TEST(Generator, MemoryBoundednessAntiCorrelatesWithMips)
     WorkloadGenerator generator(22);
     stats::LinearFit fit;
     for (const auto &p : generator.batch(200))
-        fit.add(p.mipsPerThread / 1e9, p.memoryBoundedness);
+        fit.add(p.mipsPerThread / InstrPerSec{1e9}, p.memoryBoundedness);
     EXPECT_LT(fit.slope(), 0.0);
 }
 
@@ -99,8 +99,8 @@ TEST(Generator, PredictorGeneralizesToUnseenWorkloads)
                            ? RunMode::Multithreaded
                            : RunMode::Rate;
         spec.mode = chip::GuardbandMode::AdaptiveOverclock;
-        spec.simConfig.measureDuration = 0.4;
-        spec.simConfig.warmup = 0.8;
+        spec.simConfig.measureDuration = Seconds{0.4};
+        spec.simConfig.warmup = Seconds{0.8};
         const auto result = core::runScheduled(spec);
         return std::pair{result.metrics.meanChipMips,
                          result.metrics.meanFrequency};
@@ -117,7 +117,7 @@ TEST(Generator, PredictorGeneralizesToUnseenWorkloads)
     for (const auto &p : testGen.batch(8)) {
         const auto [mips, freq] = measure(p);
         const double errorPct =
-            std::abs(predictor.predict(mips) - freq) / freq * 100.0;
+            abs(predictor.predict(mips) - freq) / freq * 100.0;
         worstError = std::max(worstError, errorPct);
     }
     // Paper: RMSE ~0.3%; demand generalization within ~1.5% worst-case.

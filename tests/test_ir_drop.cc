@@ -20,10 +20,10 @@ using namespace agsim::units;
 TEST(IrDrop, GlobalDropLinearInChipCurrent)
 {
     IrDropModel model;
-    EXPECT_DOUBLE_EQ(model.globalDrop(0.0), 0.0);
-    EXPECT_NEAR(model.globalDrop(100.0),
-                model.params().globalResistance * 100.0, 1e-12);
-    EXPECT_NEAR(model.globalDrop(200.0) / model.globalDrop(100.0), 2.0,
+    EXPECT_DOUBLE_EQ(model.globalDrop(Amps{0.0}), Volts{0.0});
+    EXPECT_NEAR(model.globalDrop(Amps{100.0}),
+                model.params().globalResistance * Amps{100.0}, 1e-12);
+    EXPECT_NEAR(model.globalDrop(Amps{200.0}) / model.globalDrop(Amps{100.0}), 2.0,
                 1e-9);
 }
 
@@ -45,20 +45,20 @@ TEST(IrDrop, FloorplanAdjacency)
 TEST(IrDrop, OwnActivationDominatesLocalDrop)
 {
     IrDropModel model;
-    std::vector<Amps> currents(8, 0.0);
-    currents[2] = 9.0;
+    std::vector<Amps> currents(8, Amps{0.0});
+    currents[2] = Amps{9.0};
     const Volts own = model.localDrop(2, currents);
     const Volts neighbour = model.localDrop(3, currents);
     const Volts far = model.localDrop(7, currents);
     EXPECT_GT(own, neighbour);
     EXPECT_GT(neighbour, far);
-    EXPECT_NEAR(own, model.params().localResistance * 9.0, 1e-12);
+    EXPECT_NEAR(own, model.params().localResistance * Amps{9.0}, 1e-12);
     EXPECT_NEAR(neighbour,
                 model.params().neighbourCoupling *
-                model.params().localResistance * 9.0, 1e-12);
+                (model.params().localResistance * Amps{9.0}), 1e-12);
     EXPECT_NEAR(far,
                 model.params().farCoupling *
-                model.params().localResistance * 9.0, 1e-12);
+                (model.params().localResistance * Amps{9.0}), 1e-12);
 }
 
 TEST(IrDrop, ActivationStepMatchesPaperScale)
@@ -67,9 +67,9 @@ TEST(IrDrop, ActivationStepMatchesPaperScale)
     // shared components) when the core itself activates. The local-only
     // share is ~18 mV for a ~9 A core.
     IrDropModel model;
-    std::vector<Amps> idle(8, 1.0);
+    std::vector<Amps> idle(8, Amps{1.0});
     std::vector<Amps> active = idle;
-    active[5] = 9.0;
+    active[5] = Amps{9.0};
     const Volts step = model.localDrop(5, active) - model.localDrop(5, idle);
     EXPECT_GT(toMilliVolts(step), 10.0);
     EXPECT_LT(toMilliVolts(step), 25.0);
@@ -78,9 +78,9 @@ TEST(IrDrop, ActivationStepMatchesPaperScale)
 TEST(IrDrop, OnChipVoltageComposition)
 {
     IrDropModel model;
-    std::vector<Amps> currents(8, 5.0);
-    const Amps chipCurrent = 80.0;
-    const Volts rail = 1.15;
+    std::vector<Amps> currents(8, Amps{5.0});
+    const Amps chipCurrent = Amps{80.0};
+    const Volts rail = Volts{1.15};
     const Volts v = model.onChipVoltage(0, rail, chipCurrent, currents);
     EXPECT_NEAR(v,
                 rail - model.globalDrop(chipCurrent) -
@@ -93,12 +93,12 @@ TEST(IrDrop, DropGrowsWithActiveCores)
     // The Sec. 4.2 core-scaling trend: activating cores one by one
     // monotonically deepens every core's drop.
     IrDropModel model;
-    std::vector<Amps> currents(8, 0.5);
-    Volts prev = -1.0;
+    std::vector<Amps> currents(8, Amps{0.5});
+    Volts prev = Volts{-1.0};
     for (size_t active = 1; active <= 8; ++active) {
         for (size_t i = 0; i < active; ++i)
-            currents[i] = 9.0;
-        const Amps chip = 40.0 + 9.0 * double(active);
+            currents[i] = Amps{9.0};
+        const Amps chip{40.0 + 9.0 * double(active)};
         const Volts drop = model.globalDrop(chip) +
                            model.localDrop(0, currents);
         EXPECT_GT(drop, prev);
@@ -110,19 +110,19 @@ TEST(IrDrop, InactiveCoreSeesGlobalEffect)
 {
     // Paper: cores 4-7 see drop even when only 0-3 run work.
     IrDropModel model;
-    std::vector<Amps> currents(8, 0.0);
+    std::vector<Amps> currents(8, Amps{0.0});
     for (size_t i = 0; i < 4; ++i)
-        currents[i] = 9.0;
-    const Volts idleCoreDrop = model.onChipVoltage(7, 1.15, 76.0, currents);
+        currents[i] = Amps{9.0};
+    const Volts idleCoreDrop = model.onChipVoltage(7, Volts{1.15}, Amps{76.0}, currents);
     const Volts noLoad = model.onChipVoltage(
-        7, 1.15, 0.0, std::vector<Amps>(8, 0.0));
+        7, Volts{1.15}, Amps{0.0}, std::vector<Amps>(8, Amps{0.0}));
     EXPECT_LT(idleCoreDrop, noLoad);
 }
 
 TEST(IrDrop, RejectsBadParams)
 {
     IrDropParams params;
-    params.globalResistance = -1.0;
+    params.globalResistance = -Ohms{1.0};
     EXPECT_THROW(IrDropModel{params}, ConfigError);
 
     params = IrDropParams();
@@ -137,9 +137,9 @@ TEST(IrDrop, RejectsBadParams)
 TEST(IrDrop, SizeMismatchPanics)
 {
     IrDropModel model;
-    std::vector<Amps> wrong(4, 1.0);
+    std::vector<Amps> wrong(4, Amps{1.0});
     EXPECT_THROW(model.localDrop(0, wrong), InternalError);
-    EXPECT_THROW(model.localDrop(9, std::vector<Amps>(8, 1.0)),
+    EXPECT_THROW(model.localDrop(9, std::vector<Amps>(8, Amps{1.0})),
                  InternalError);
 }
 

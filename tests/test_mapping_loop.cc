@@ -16,9 +16,9 @@ namespace {
 std::vector<workload::BenchmarkProfile>
 corunnerClasses()
 {
-    return {workload::throttledCoremark("light", 13000e6 / 7.0),
-            workload::throttledCoremark("medium", 28000e6 / 7.0),
-            workload::throttledCoremark("heavy", 70000e6 / 7.0)};
+    return {workload::throttledCoremark("light", InstrPerSec{13000e6 / 7.0}),
+            workload::throttledCoremark("medium", InstrPerSec{28000e6 / 7.0}),
+            workload::throttledCoremark("heavy", InstrPerSec{70000e6 / 7.0})};
 }
 
 TEST(MappingLoop, BlindHeavyMappingGetsCorrected)
@@ -28,7 +28,7 @@ TEST(MappingLoop, BlindHeavyMappingGetsCorrected)
     MappingLoopConfig config;
     config.initialCorunner = 2; // blind: heavy
     config.quanta = 5;
-    config.qosHorizon = 9000.0;
+    config.qosHorizon = Seconds{9000.0};
 
     const auto result = runMappingLoop(
         workload::byName("websearch"), corunnerClasses(), service,
@@ -55,7 +55,7 @@ TEST(MappingLoop, HealthyMappingLeftAlone)
     MappingLoopConfig config;
     config.initialCorunner = 0; // light: QoS healthy
     config.quanta = 3;
-    config.qosHorizon = 6000.0;
+    config.qosHorizon = Seconds{6000.0};
 
     const auto result = runMappingLoop(
         workload::byName("websearch"), corunnerClasses(), service,
@@ -103,9 +103,9 @@ TEST(ServicePresets, EveryClassRespondsToFrequency)
                                qos::analyticsPreset()}) {
         qos::WebSearchService service(params);
         const Seconds horizon = params.windowLength * 40.0;
-        const auto slow = service.simulate(4.3e9, horizon);
+        const auto slow = service.simulate(Hertz{4.3e9}, horizon);
         service.reseed(params.seed);
-        const auto fast = service.simulate(4.6e9, horizon);
+        const auto fast = service.simulate(Hertz{4.6e9}, horizon);
         EXPECT_GT(qos::WebSearchService::meanP90(slow),
                   qos::WebSearchService::meanP90(fast));
     }
@@ -117,8 +117,8 @@ TEST(ServicePresets, UtilizationIsSane)
     for (const auto &params : {qos::webSearchPreset(),
                                qos::keyValuePreset(),
                                qos::analyticsPreset()}) {
-        const double utilization = params.arrivalRatePerSec *
-                                   params.serviceMeanAtNominal;
+        const double utilization =
+            params.arrivalRatePerSec * params.serviceMeanAtNominal.value();
         EXPECT_GT(utilization, 0.05);
         EXPECT_LT(utilization, 0.85);
     }

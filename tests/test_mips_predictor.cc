@@ -17,10 +17,10 @@ TEST(MipsPredictor, UntrainedThrows)
     MipsFreqPredictor predictor;
     EXPECT_FALSE(predictor.trained());
     EXPECT_THROW(predictor.predict(10000.0), ConfigError);
-    EXPECT_THROW(predictor.maxMipsForFrequency(4.4e9), ConfigError);
-    predictor.observe(10000.0, 4.5e9);
+    EXPECT_THROW(predictor.maxMipsForFrequency(Hertz{4.4e9}), ConfigError);
+    predictor.observe(10000.0, Hertz{4.5e9});
     EXPECT_FALSE(predictor.trained());
-    predictor.observe(20000.0, 4.48e9);
+    predictor.observe(20000.0, Hertz{4.48e9});
     EXPECT_TRUE(predictor.trained());
 }
 
@@ -29,10 +29,10 @@ TEST(MipsPredictor, RecoversLinearLaw)
     MipsFreqPredictor predictor;
     // The Fig. 16 regime: 4600 MHz intercept, -2.5 MHz per 1000 MIPS.
     for (double mips = 5000; mips <= 80000; mips += 2500)
-        predictor.observe(mips, 4.6e9 - 2500.0 * mips);
+        predictor.observe(mips, Hertz{4.6e9 - 2500.0 * mips});
     EXPECT_NEAR(predictor.slope(), -2500.0, 1.0);
-    EXPECT_NEAR(predictor.intercept(), 4.6e9, 1e4);
-    EXPECT_NEAR(predictor.predict(40000.0), 4.5e9, 1e5);
+    EXPECT_NEAR(predictor.intercept(), Hertz{4.6e9}, Hertz{1e4});
+    EXPECT_NEAR(predictor.predict(40000.0), Hertz{4.5e9}, Hertz{1e5});
     EXPECT_LT(predictor.rmsePercent(), 1e-6);
     EXPECT_NEAR(predictor.r2(), 1.0, 1e-9);
 }
@@ -41,29 +41,29 @@ TEST(MipsPredictor, InverseQueryMatchesForwardModel)
 {
     MipsFreqPredictor predictor;
     for (double mips = 5000; mips <= 80000; mips += 2500)
-        predictor.observe(mips, 4.6e9 - 2500.0 * mips);
-    const double budget = predictor.maxMipsForFrequency(4.45e9);
-    EXPECT_NEAR(predictor.predict(budget), 4.45e9, 1e3);
+        predictor.observe(mips, Hertz{4.6e9 - 2500.0 * mips});
+    const double budget = predictor.maxMipsForFrequency(Hertz{4.45e9});
+    EXPECT_NEAR(predictor.predict(budget), Hertz{4.45e9}, Hertz{1e3});
     // Demanding more frequency shrinks the budget.
-    EXPECT_LT(predictor.maxMipsForFrequency(4.55e9), budget);
+    EXPECT_LT(predictor.maxMipsForFrequency(Hertz{4.55e9}), budget);
 }
 
 TEST(MipsPredictor, ImpossibleFrequencyYieldsZeroBudget)
 {
     MipsFreqPredictor predictor;
-    predictor.observe(10000.0, 4.5e9);
-    predictor.observe(50000.0, 4.4e9);
-    EXPECT_DOUBLE_EQ(predictor.maxMipsForFrequency(5.0e9), 0.0);
+    predictor.observe(10000.0, Hertz{4.5e9});
+    predictor.observe(50000.0, Hertz{4.4e9});
+    EXPECT_DOUBLE_EQ(predictor.maxMipsForFrequency(Hertz{5.0e9}), 0.0);
 }
 
 TEST(MipsPredictor, DegenerateFlatModel)
 {
     MipsFreqPredictor predictor;
-    predictor.observe(10000.0, 4.5e9);
-    predictor.observe(50000.0, 4.5e9);
+    predictor.observe(10000.0, Hertz{4.5e9});
+    predictor.observe(50000.0, Hertz{4.5e9});
     // Flat: any load admissible when the intercept meets the target.
-    EXPECT_GT(predictor.maxMipsForFrequency(4.4e9), 1e9);
-    EXPECT_DOUBLE_EQ(predictor.maxMipsForFrequency(4.6e9), 0.0);
+    EXPECT_GT(predictor.maxMipsForFrequency(Hertz{4.4e9}), 1e9);
+    EXPECT_DOUBLE_EQ(predictor.maxMipsForFrequency(Hertz{4.6e9}), 0.0);
 }
 
 TEST(MipsPredictor, RmsePercentWithNoise)
@@ -72,8 +72,8 @@ TEST(MipsPredictor, RmsePercentWithNoise)
     MipsFreqPredictor predictor;
     for (int i = 0; i < 1000; ++i) {
         const double mips = rng.uniform(5000.0, 80000.0);
-        const double freq = 4.6e9 - 2500.0 * mips +
-                            rng.normal(0.0, 13e6); // ~0.3% of 4.5 GHz
+        const Hertz freq = Hertz{4.6e9 - 2500.0 * mips +
+                                 rng.normal(0.0, 13e6)}; // ~0.3% of 4.5 GHz
         predictor.observe(mips, freq);
     }
     EXPECT_NEAR(predictor.rmsePercent(), 0.29, 0.05);
@@ -83,8 +83,8 @@ TEST(MipsPredictor, RmsePercentWithNoise)
 TEST(MipsPredictor, ResetClearsTraining)
 {
     MipsFreqPredictor predictor;
-    predictor.observe(1.0, 4e9);
-    predictor.observe(2.0, 4e9);
+    predictor.observe(1.0, Hertz{4e9});
+    predictor.observe(2.0, Hertz{4e9});
     predictor.reset();
     EXPECT_FALSE(predictor.trained());
     EXPECT_EQ(predictor.observations(), 0u);
@@ -94,8 +94,8 @@ TEST(MipsPredictor, ResetClearsTraining)
 TEST(MipsPredictor, RejectsBadObservations)
 {
     MipsFreqPredictor predictor;
-    EXPECT_THROW(predictor.observe(-1.0, 4e9), ConfigError);
-    EXPECT_THROW(predictor.observe(1000.0, 0.0), ConfigError);
+    EXPECT_THROW(predictor.observe(-1.0, Hertz{4e9}), ConfigError);
+    EXPECT_THROW(predictor.observe(1000.0, Hertz{0.0}), ConfigError);
 }
 
 } // namespace

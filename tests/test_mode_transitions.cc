@@ -34,38 +34,38 @@ class ModeTransitionTest : public ::testing::Test
 TEST_F(ModeTransitionTest, UndervoltToStaticRestoresSetpoint)
 {
     chip_.setMode(GuardbandMode::AdaptiveUndervolt);
-    chip_.settle(1.0);
-    ASSERT_GT(chip_.undervoltAmount(), 0.020);
+    chip_.settle(Seconds{1.0});
+    ASSERT_GT(chip_.undervoltAmount(), Volts{0.020});
 
     chip_.setMode(GuardbandMode::StaticGuardband);
-    chip_.settle(0.2);
-    EXPECT_NEAR(chip_.undervoltAmount(), 0.0, 1e-9);
-    EXPECT_NEAR(chip_.coreFrequency(0), 4.2e9, 1.0);
+    chip_.settle(Seconds{0.2});
+    EXPECT_NEAR(chip_.undervoltAmount(), Volts{0.0}, Volts{1e-9});
+    EXPECT_NEAR(chip_.coreFrequency(0), Hertz{4.2e9}, Hertz{1.0});
 }
 
 TEST_F(ModeTransitionTest, StaticToOverclockBoostsWithoutSetpointChange)
 {
     chip_.setMode(GuardbandMode::StaticGuardband);
-    chip_.settle(0.3);
+    chip_.settle(Seconds{0.3});
     const Volts setpoint = chip_.setpoint();
 
     chip_.setMode(GuardbandMode::AdaptiveOverclock);
-    chip_.settle(0.3);
+    chip_.settle(Seconds{0.3});
     EXPECT_NEAR(chip_.setpoint(), setpoint, 1e-9);
-    EXPECT_GT(chip_.meanActiveFrequency(), 4.25e9);
+    EXPECT_GT(chip_.meanActiveFrequency(), Hertz{4.25e9});
 }
 
 TEST_F(ModeTransitionTest, OverclockToUndervoltRepinsFrequency)
 {
     chip_.setMode(GuardbandMode::AdaptiveOverclock);
-    chip_.settle(0.3);
-    ASSERT_GT(chip_.meanActiveFrequency(), 4.25e9);
+    chip_.settle(Seconds{0.3});
+    ASSERT_GT(chip_.meanActiveFrequency(), Hertz{4.25e9});
 
     chip_.setMode(GuardbandMode::AdaptiveUndervolt);
-    chip_.settle(1.0);
+    chip_.settle(Seconds{1.0});
     // Frequency returns to the target; the margin goes to voltage.
-    EXPECT_NEAR(chip_.meanActiveFrequency(), 4.2e9, 0.003e9);
-    EXPECT_GT(chip_.undervoltAmount(), 0.020);
+    EXPECT_NEAR(chip_.meanActiveFrequency(), Hertz{4.2e9}, Hertz{0.003e9});
+    EXPECT_GT(chip_.undervoltAmount(), Volts{0.020});
 }
 
 TEST_F(ModeTransitionTest, RepeatedTogglingIsStable)
@@ -74,16 +74,16 @@ TEST_F(ModeTransitionTest, RepeatedTogglingIsStable)
     // firmware or leak voltage steps.
     for (int cycle = 0; cycle < 4; ++cycle) {
         chip_.setMode(GuardbandMode::AdaptiveUndervolt);
-        chip_.settle(0.2);
+        chip_.settle(Seconds{0.2});
         chip_.setMode(GuardbandMode::AdaptiveOverclock);
-        chip_.settle(0.2);
+        chip_.settle(Seconds{0.2});
         chip_.setMode(GuardbandMode::StaticGuardband);
-        chip_.settle(0.2);
+        chip_.settle(Seconds{0.2});
     }
     EXPECT_NEAR(chip_.setpoint(), chip_.staticSetpoint(), 1e-9);
-    EXPECT_NEAR(chip_.coreFrequency(0), 4.2e9, 1.0);
-    EXPECT_GT(chip_.power(), 40.0);
-    EXPECT_LT(chip_.power(), 130.0);
+    EXPECT_NEAR(chip_.coreFrequency(0), Hertz{4.2e9}, Hertz{1.0});
+    EXPECT_GT(chip_.power(), Watts{40.0});
+    EXPECT_LT(chip_.power(), Watts{130.0});
 }
 
 TEST_F(ModeTransitionTest, LoadChangesWhileUndervolted)
@@ -91,25 +91,25 @@ TEST_F(ModeTransitionTest, LoadChangesWhileUndervolted)
     // Activating more cores mid-undervolt must walk the voltage back
     // up (less margin available), not violate the target frequency.
     chip_.setMode(GuardbandMode::AdaptiveUndervolt);
-    chip_.settle(1.2);
+    chip_.settle(Seconds{1.2});
     const Volts lightUndervolt = chip_.undervoltAmount();
 
     for (size_t i = 4; i < 8; ++i)
         chip_.setLoad(i, CoreLoad::running(1.1, 13.0_mV, 24.0_mV));
-    chip_.settle(1.2);
+    chip_.settle(Seconds{1.2});
     EXPECT_LT(chip_.undervoltAmount(), lightUndervolt);
-    EXPECT_NEAR(chip_.minActiveFrequency(), 4.2e9, 0.01e9);
+    EXPECT_NEAR(chip_.minActiveFrequency(), Hertz{4.2e9}, Hertz{0.01e9});
 }
 
 TEST_F(ModeTransitionTest, GatingWhileUndervoltedDeepensWalk)
 {
     chip_.setMode(GuardbandMode::AdaptiveUndervolt);
-    chip_.settle(1.2);
+    chip_.settle(Seconds{1.2});
     const Volts allOn = chip_.undervoltAmount();
 
     for (size_t i = 4; i < 8; ++i)
         chip_.setLoad(i, CoreLoad::powerGated());
-    chip_.settle(1.2);
+    chip_.settle(Seconds{1.2});
     EXPECT_GE(chip_.undervoltAmount(), allOn);
 }
 

@@ -35,20 +35,20 @@ instrumentedChipRun(uint64_t seed)
     pdn::Vrm vrm(1);
     chip::ChipConfig config;
     config.seed = seed;
-    config.undervolt.maxUndervolt = 0.120;
+    config.undervolt.maxUndervolt = Volts{0.120};
     config.safety.maxRearms = 0;
     chip::Chip c(config, &vrm);
     c.setMode(chip::GuardbandMode::AdaptiveUndervolt);
     for (size_t i = 0; i < c.coreCount(); ++i)
-        c.setLoad(i, chip::CoreLoad::running(1.0, 13.0e-3, 24.0e-3));
-    c.settle(0.5, 1e-3);
+        c.setLoad(i, chip::CoreLoad::running(1.0, Volts{13.0e-3}, Volts{24.0e-3}));
+    c.settle(Seconds{0.5}, Seconds{1e-3});
 
     fault::FaultPlan plan;
-    plan.cpmOptimisticBias(0.05, 0.0, 0.040);
+    plan.cpmOptimisticBias(Seconds{0.05}, Seconds{0.0}, Volts{0.040});
     fault::FaultInjector injector(plan, c.coreCount());
     c.attachFaultInjector(&injector);
     for (int i = 0; i < 2000; ++i)
-        c.step(1e-3);
+        c.step(Seconds{1e-3});
     return sensors::telemetryCsvString(c.telemetry());
 }
 
@@ -62,8 +62,8 @@ batchFingerprint(uint64_t seed, size_t workers)
         task.label = "task" + std::to_string(t);
         task.mode = chip::GuardbandMode::AdaptiveUndervolt;
         task.serverConfig.chipTemplate.seed = seed + uint64_t(t);
-        task.simConfig.warmup = 0.2;
-        task.simConfig.measureDuration = 0.2;
+        task.simConfig.warmup = Seconds{0.2};
+        task.simConfig.measureDuration = Seconds{0.2};
         task.jobs.push_back(system::Job{
             workload::ThreadedWorkload(workload::byName("raytrace"),
                                        workload::RunMode::Rate),
@@ -78,8 +78,9 @@ batchFingerprint(uint64_t seed, size_t workers)
     for (const auto &result : results) {
         out += result.label + ":";
         out += std::to_string(result.metrics.meanChipMips) + ",";
-        out += std::to_string(result.metrics.socketPower[0]) + ",";
-        out += std::to_string(result.finalCoreFrequency[0][0]) + ";";
+        out += std::to_string(result.metrics.socketPower[0].value()) + ",";
+        out +=
+            std::to_string(result.finalCoreFrequency[0][0].value()) + ";";
     }
     return out;
 }

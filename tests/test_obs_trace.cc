@@ -24,7 +24,7 @@ TraceEvent
 makeEvent(double t, TraceKind kind)
 {
     TraceEvent event;
-    event.simTime = t;
+    event.simTime = Seconds{t};
     event.kind = kind;
     return event;
 }
@@ -44,7 +44,7 @@ TEST(TraceRecorder, KeepsEventsInOrder)
     recorder.record(makeEvent(0.2, TraceKind::ModeTransition));
     const auto events = recorder.events();
     ASSERT_EQ(events.size(), 2u);
-    EXPECT_DOUBLE_EQ(events[0].simTime, 0.1);
+    EXPECT_DOUBLE_EQ(events[0].simTime, Seconds{0.1});
     EXPECT_EQ(events[1].kind, TraceKind::ModeTransition);
     EXPECT_EQ(recorder.recorded(), 2u);
     EXPECT_EQ(recorder.dropped(), 0u);
@@ -58,8 +58,8 @@ TEST(TraceRecorder, RingDropsOldestWhenFull)
     const auto events = recorder.events();
     ASSERT_EQ(events.size(), 4u);
     // The newest four survive: t = 6, 7, 8, 9.
-    EXPECT_DOUBLE_EQ(events.front().simTime, 6.0);
-    EXPECT_DOUBLE_EQ(events.back().simTime, 9.0);
+    EXPECT_DOUBLE_EQ(events.front().simTime, Seconds{6.0});
+    EXPECT_DOUBLE_EQ(events.back().simTime, Seconds{9.0});
     EXPECT_EQ(recorder.recorded(), 10u);
     EXPECT_EQ(recorder.dropped(), 6u);
 }
@@ -118,7 +118,7 @@ TEST(TraceExport, ChromeJsonShapeAndSortOrder)
     late.task = 1;
     TraceEvent early = makeEvent(0.25, TraceKind::TaskEnd);
     early.task = 0;
-    early.duration = 0.25;
+    early.duration = Seconds{0.25};
     early.detail = "label \"quoted\"";
     events.push_back(late);
     events.push_back(early);
@@ -159,27 +159,27 @@ TEST(ChipTracing, EmitsControlEvents)
 
     pdn::Vrm vrm(1);
     chip::ChipConfig config;
-    config.undervolt.maxUndervolt = 0.120;
+    config.undervolt.maxUndervolt = Volts{0.120};
     config.safety.maxRearms = 0;
     chip::Chip c(config, &vrm);
     c.setMode(chip::GuardbandMode::AdaptiveUndervolt);
     for (size_t i = 0; i < c.coreCount(); ++i)
-        c.setLoad(i, chip::CoreLoad::running(1.0, 13.0e-3, 24.0e-3));
-    c.settle(0.5, 1e-3);
+        c.setLoad(i, chip::CoreLoad::running(1.0, Volts{13.0e-3}, Volts{24.0e-3}));
+    c.settle(Seconds{0.5}, Seconds{1e-3});
 
     // An optimistic CPM lie drives the firmware under vmin; the safety
     // monitor must demote — all of it visible in the trace.
     fault::FaultPlan plan;
-    plan.cpmOptimisticBias(0.05, 0.0, 0.040);
+    plan.cpmOptimisticBias(Seconds{0.05}, Seconds{0.0}, Volts{0.040});
     fault::FaultInjector injector(plan, c.coreCount());
     c.attachFaultInjector(&injector);
     for (int i = 0; i < 4000 && !c.safetyDemoted(); ++i)
-        c.step(1e-3);
+        c.step(Seconds{1e-3});
     ASSERT_TRUE(c.safetyDemoted());
 
     bool sawMode = false, sawTick = false, sawFault = false,
          sawDemotion = false;
-    double lastTime = -1.0;
+    Seconds lastTime = Seconds{-1.0};
     for (const auto &event : trace().events()) {
         sawMode |= event.kind == TraceKind::ModeTransition;
         sawTick |= event.kind == TraceKind::FirmwareTick;

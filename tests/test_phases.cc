@@ -18,18 +18,18 @@ TEST(Phases, SteadyProfileReturnsUnitScales)
 {
     const auto &profile = byName("raytrace");
     EXPECT_TRUE(profile.phases.empty());
-    EXPECT_DOUBLE_EQ(profile.phaseAt(0.0).intensityScale, 1.0);
-    EXPECT_DOUBLE_EQ(profile.phaseAt(123.4).rateScale, 1.0);
-    EXPECT_DOUBLE_EQ(profile.phaseCycleLength(), 0.0);
+    EXPECT_DOUBLE_EQ(profile.phaseAt(Seconds{0.0}).intensityScale, 1.0);
+    EXPECT_DOUBLE_EQ(profile.phaseAt(Seconds{123.4}).rateScale, 1.0);
+    EXPECT_DOUBLE_EQ(profile.phaseCycleLength(), Seconds{0.0});
 }
 
 TEST(Phases, MakePhasedBuildsTwoPhases)
 {
-    const auto phased = makePhased(byName("raytrace"), 1.0, 0.25, 1.3,
+    const auto phased = makePhased(byName("raytrace"), Seconds{1.0}, 0.25, 1.3,
                                    0.5);
     ASSERT_EQ(phased.phases.size(), 2u);
-    EXPECT_NEAR(phased.phaseCycleLength(), 1.0, 1e-12);
-    EXPECT_DOUBLE_EQ(phased.phases[0].duration, 0.25);
+    EXPECT_NEAR(phased.phaseCycleLength(), Seconds{1.0}, Seconds{1e-12});
+    EXPECT_DOUBLE_EQ(phased.phases[0].duration, Seconds{0.25});
     EXPECT_DOUBLE_EQ(phased.phases[0].intensityScale, 1.3);
     EXPECT_DOUBLE_EQ(phased.phases[1].intensityScale, 0.5);
     EXPECT_EQ(phased.name, "raytrace-phased");
@@ -37,29 +37,29 @@ TEST(Phases, MakePhasedBuildsTwoPhases)
 
 TEST(Phases, PhaseAtCyclesThroughTime)
 {
-    const auto phased = makePhased(byName("raytrace"), 1.0, 0.25, 1.3,
+    const auto phased = makePhased(byName("raytrace"), Seconds{1.0}, 0.25, 1.3,
                                    0.5);
-    EXPECT_DOUBLE_EQ(phased.phaseAt(0.10).intensityScale, 1.3);
-    EXPECT_DOUBLE_EQ(phased.phaseAt(0.30).intensityScale, 0.5);
-    EXPECT_DOUBLE_EQ(phased.phaseAt(0.99).intensityScale, 0.5);
+    EXPECT_DOUBLE_EQ(phased.phaseAt(Seconds{0.10}).intensityScale, 1.3);
+    EXPECT_DOUBLE_EQ(phased.phaseAt(Seconds{0.30}).intensityScale, 0.5);
+    EXPECT_DOUBLE_EQ(phased.phaseAt(Seconds{0.99}).intensityScale, 0.5);
     // Next cycle wraps back into the high phase.
-    EXPECT_DOUBLE_EQ(phased.phaseAt(1.10).intensityScale, 1.3);
-    EXPECT_DOUBLE_EQ(phased.phaseAt(42.05).intensityScale, 1.3);
+    EXPECT_DOUBLE_EQ(phased.phaseAt(Seconds{1.10}).intensityScale, 1.3);
+    EXPECT_DOUBLE_EQ(phased.phaseAt(Seconds{42.05}).intensityScale, 1.3);
 }
 
 TEST(Phases, Validation)
 {
-    EXPECT_THROW(makePhased(byName("raytrace"), 0.0, 0.5, 1.2, 0.5),
+    EXPECT_THROW(makePhased(byName("raytrace"), Seconds{0.0}, 0.5, 1.2, 0.5),
                  ConfigError);
-    EXPECT_THROW(makePhased(byName("raytrace"), 1.0, 0.0, 1.2, 0.5),
+    EXPECT_THROW(makePhased(byName("raytrace"), Seconds{1.0}, 0.0, 1.2, 0.5),
                  ConfigError);
-    EXPECT_THROW(makePhased(byName("raytrace"), 1.0, 1.0, 1.2, 0.5),
+    EXPECT_THROW(makePhased(byName("raytrace"), Seconds{1.0}, 1.0, 1.2, 0.5),
                  ConfigError);
     // Phased intensity above the 2.0 ceiling rejected.
-    EXPECT_THROW(makePhased(byName("lu_ncb"), 1.0, 0.5, 1.9, 0.5),
+    EXPECT_THROW(makePhased(byName("lu_ncb"), Seconds{1.0}, 0.5, 1.9, 0.5),
                  ConfigError);
     BenchmarkProfile bad = byName("raytrace");
-    bad.phases = {WorkloadPhase{1.0, -0.5, 1.0}};
+    bad.phases = {WorkloadPhase{Seconds{1.0}, -0.5, 1.0}};
     EXPECT_THROW(bad.validate(), ConfigError);
 }
 
@@ -75,8 +75,8 @@ TEST(Phases, PhasedRunAveragesPower)
         sim.addJob(Job{ThreadedWorkload(profile, RunMode::Rate),
                        placeOnSocket(0, 8), profile.name});
         SimulationConfig config;
-        config.measureDuration = 1.2;
-        config.warmup = 0.6;
+        config.measureDuration = Seconds{1.2};
+        config.warmup = Seconds{0.6};
         return sim.run(config).socketPower[0];
     };
 
@@ -84,13 +84,13 @@ TEST(Phases, PhasedRunAveragesPower)
     high.intensity *= 1.2;
     BenchmarkProfile low = byName("raytrace");
     low.intensity *= 0.6;
-    const auto phased = makePhased(byName("raytrace"), 0.3, 0.5, 1.2,
+    const auto phased = makePhased(byName("raytrace"), Seconds{0.3}, 0.5, 1.2,
                                    0.6);
     const Watts highPower = measure(high);
     const Watts lowPower = measure(low);
     const Watts phasedPower = measure(phased);
-    EXPECT_GT(phasedPower, lowPower + 2.0);
-    EXPECT_LT(phasedPower, highPower - 2.0);
+    EXPECT_GT(phasedPower, lowPower + Watts{2.0});
+    EXPECT_LT(phasedPower, highPower - Watts{2.0});
 }
 
 TEST(Phases, FirmwareTracksSlowPhases)
@@ -106,11 +106,11 @@ TEST(Phases, FirmwareTracksSlowPhases)
         sim.addJob(Job{ThreadedWorkload(profile, RunMode::Rate),
                        placeOnSocket(0, 8), profile.name});
         SimulationConfig config;
-        config.warmup = 1.2;
-        config.measureDuration = 6.0;
+        config.warmup = Seconds{1.2};
+        config.measureDuration = Seconds{6.0};
         sim.run(config);
         // Range of the setpoint across telemetry windows.
-        Volts lo = 10.0, hi = 0.0;
+        Volts lo = Volts{10.0}, hi = Volts{0.0};
         for (const auto &w : server.chip(0).telemetry().windows()) {
             lo = std::min(lo, w.meanSetpoint);
             hi = std::max(hi, w.meanSetpoint);
@@ -118,11 +118,11 @@ TEST(Phases, FirmwareTracksSlowPhases)
         return hi - lo;
     };
 
-    const auto phased = makePhased(byName("raytrace"), 6.0, 0.5, 1.2,
+    const auto phased = makePhased(byName("raytrace"), Seconds{6.0}, 0.5, 1.2,
                                    0.55);
     const Volts steadyRange = undervoltRange(byName("raytrace"));
     const Volts phasedRange = undervoltRange(phased);
-    EXPECT_GT(phasedRange, steadyRange + 0.010);
+    EXPECT_GT(phasedRange, steadyRange + Volts{0.010});
 }
 
 TEST(Phases, RateScaleAffectsThroughput)
@@ -135,11 +135,11 @@ TEST(Phases, RateScaleAffectsThroughput)
         sim.addJob(Job{ThreadedWorkload(profile, RunMode::Rate),
                        placeOnSocket(0, 4), profile.name});
         SimulationConfig config;
-        config.measureDuration = 1.0;
-        config.warmup = 0.4;
+        config.measureDuration = Seconds{1.0};
+        config.warmup = Seconds{0.4};
         return sim.run(config).jobs[0].meanRate;
     };
-    const auto phased = makePhased(byName("gcc"), 0.2, 0.5, 1.0, 0.5);
+    const auto phased = makePhased(byName("gcc"), Seconds{0.2}, 0.5, 1.0, 0.5);
     // Half the time at half rate: ~25% lower throughput than steady.
     const double ratio = throughput(phased) / throughput(byName("gcc"));
     EXPECT_NEAR(ratio, 0.75, 0.05);

@@ -20,51 +20,51 @@ using namespace agsim::units;
 TEST(PowerCap, QuantizesToDvfsGrid)
 {
     PowerCapController governor;
-    EXPECT_DOUBLE_EQ(governor.quantize(4.2e9), 4.2e9);
-    EXPECT_DOUBLE_EQ(governor.quantize(2.8e9), 2.8e9);
+    EXPECT_DOUBLE_EQ(governor.quantize(Hertz{4.2e9}), Hertz{4.2e9});
+    EXPECT_DOUBLE_EQ(governor.quantize(Hertz{2.8e9}), Hertz{2.8e9});
     // Between grid points: snaps down.
-    const Hertz snapped = governor.quantize(4.2e9 - 10e6);
-    EXPECT_NEAR(snapped, 4.2e9 - 28e6, 1.0);
+    const Hertz snapped = governor.quantize(Hertz{4.2e9 - 10e6});
+    EXPECT_NEAR(snapped, Hertz{4.2e9 - 28e6}, Hertz{1.0});
     // Outside the window: clamps.
-    EXPECT_DOUBLE_EQ(governor.quantize(1.0e9), 2.8e9);
-    EXPECT_DOUBLE_EQ(governor.quantize(9.9e9), 4.2e9);
+    EXPECT_DOUBLE_EQ(governor.quantize(Hertz{1.0e9}), Hertz{2.8e9});
+    EXPECT_DOUBLE_EQ(governor.quantize(Hertz{9.9e9}), Hertz{4.2e9});
 }
 
 TEST(PowerCap, StepsDownWhenOverCap)
 {
     PowerCapController governor;
-    const Hertz next = governor.decide(4.2_GHz, 130.0, 110.0);
-    EXPECT_NEAR(next, 4.2e9 - 28e6, 1.0);
+    const Hertz next = governor.decide(4.2_GHz, Watts{130.0}, Watts{110.0});
+    EXPECT_NEAR(next, Hertz{4.2e9 - 28e6}, Hertz{1.0});
 }
 
 TEST(PowerCap, StepsUpWithSlack)
 {
     PowerCapController governor;
-    const Hertz next = governor.decide(3.5_GHz, 80.0, 110.0);
-    EXPECT_NEAR(next, 3.5e9 + 28e6, 2e6);
+    const Hertz next = governor.decide(3.5_GHz, Watts{80.0}, Watts{110.0});
+    EXPECT_NEAR(next, Hertz{3.5e9 + 28e6}, Hertz{2e6});
 }
 
 TEST(PowerCap, HoldsInsideHysteresisBand)
 {
     PowerCapController governor;
     // Power just under the cap (within the raise hysteresis): hold.
-    const Watts cap = 110.0;
+    const Watts cap = Watts{110.0};
     const Watts justUnder = cap * (1.0 - 0.01);
-    const Hertz f = governor.quantize(3.8e9);
+    const Hertz f = governor.quantize(Hertz{3.8e9});
     EXPECT_DOUBLE_EQ(governor.decide(f, justUnder, cap), f);
 }
 
 TEST(PowerCap, RespectsWindowEdges)
 {
     PowerCapController governor;
-    EXPECT_DOUBLE_EQ(governor.decide(2.8_GHz, 200.0, 100.0), 2.8e9);
-    EXPECT_DOUBLE_EQ(governor.decide(4.2_GHz, 10.0, 100.0), 4.2e9);
+    EXPECT_DOUBLE_EQ(governor.decide(2.8_GHz, Watts{200.0}, Watts{100.0}), Hertz{2.8e9});
+    EXPECT_DOUBLE_EQ(governor.decide(4.2_GHz, Watts{10.0}, Watts{100.0}), Hertz{4.2e9});
 }
 
 TEST(PowerCap, RejectsBadInput)
 {
     PowerCapParams params;
-    params.frequencyStep = 0.0;
+    params.frequencyStep = Hertz{0.0};
     EXPECT_THROW(PowerCapController{params}, ConfigError);
 
     params = PowerCapParams();
@@ -72,7 +72,7 @@ TEST(PowerCap, RejectsBadInput)
     EXPECT_THROW(PowerCapController{params}, ConfigError);
 
     PowerCapController governor;
-    EXPECT_THROW(governor.decide(4.2e9, 100.0, 0.0), ConfigError);
+    EXPECT_THROW(governor.decide(Hertz{4.2e9}, Watts{100.0}, Watts{0.0}), ConfigError);
 }
 
 TEST(PowerCap, CapsARealChipUnderLoad)
@@ -84,23 +84,23 @@ TEST(PowerCap, CapsARealChipUnderLoad)
     chip.setMode(GuardbandMode::AdaptiveUndervolt);
     for (size_t i = 0; i < 8; ++i)
         chip.setLoad(i, CoreLoad::running(1.1, 13.0_mV, 24.0_mV));
-    chip.settle(1.0);
+    chip.settle(Seconds{1.0});
     const Watts uncapped = chip.power();
-    ASSERT_GT(uncapped, 100.0);
+    ASSERT_GT(uncapped, Watts{100.0});
 
-    const Watts cap = uncapped - 20.0;
+    const Watts cap = uncapped - Watts{20.0};
     PowerCapController governor;
     for (int interval = 0; interval < 120; ++interval) {
-        chip.settle(0.032);
+        chip.settle(Seconds{0.032});
         const Hertz next = governor.decide(chip.targetFrequency(),
                                            chip.power(), cap);
         if (next != chip.targetFrequency())
             chip.setTargetFrequency(next);
     }
-    chip.settle(1.0);
+    chip.settle(Seconds{1.0});
     EXPECT_LE(chip.power(), cap * 1.03);
-    EXPECT_LT(chip.targetFrequency(), 4.2e9);
-    EXPECT_GE(chip.targetFrequency(), 2.8e9);
+    EXPECT_LT(chip.targetFrequency(), Hertz{4.2e9});
+    EXPECT_GE(chip.targetFrequency(), Hertz{2.8e9});
 }
 
 TEST(PowerCap, AdaptiveGuardbandingRaisesCappedFrequency)
@@ -118,21 +118,21 @@ TEST(PowerCap, AdaptiveGuardbandingRaisesCappedFrequency)
         for (size_t i = 0; i < 8; ++i)
             chip.setLoad(i, CoreLoad::running(1.1, 13.0_mV, 24.0_mV));
         PowerCapController governor;
-        const Watts cap = 105.0;
+        const Watts cap = Watts{105.0};
         for (int interval = 0; interval < 40; ++interval) {
-            chip.settle(0.6);
+            chip.settle(Seconds{0.6});
             const Hertz next = governor.decide(chip.targetFrequency(),
                                                chip.power(), cap);
             if (next != chip.targetFrequency())
                 chip.setTargetFrequency(next);
         }
-        chip.settle(1.0);
+        chip.settle(Seconds{1.0});
         return chip.targetFrequency();
     };
     const Hertz capped = cappedFrequency(GuardbandMode::StaticGuardband);
     const Hertz adaptive = cappedFrequency(
         GuardbandMode::AdaptiveUndervolt);
-    EXPECT_GT(adaptive, capped + 50e6);
+    EXPECT_GT(adaptive, capped + Hertz{50e6});
 }
 
 } // namespace

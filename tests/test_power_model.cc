@@ -26,8 +26,8 @@ TEST(CorePowerModel, DynamicQuadraticInVoltage)
 {
     CorePowerModel model;
     const auto &p = model.params();
-    const Watts base = model.coreDynamic(1.0, p.refFrequency, 1.0);
-    const Watts doubled = model.coreDynamic(2.0, p.refFrequency, 1.0);
+    const Watts base = model.coreDynamic(Volts{1.0}, p.refFrequency, 1.0);
+    const Watts doubled = model.coreDynamic(Volts{2.0}, p.refFrequency, 1.0);
     EXPECT_NEAR(doubled / base, 4.0, 1e-9);
 }
 
@@ -35,17 +35,17 @@ TEST(CorePowerModel, DynamicLinearInFrequencyAndActivity)
 {
     CorePowerModel model;
     const auto &p = model.params();
-    const Watts base = model.coreDynamic(p.refVoltage, 2.0e9, 0.5);
-    EXPECT_NEAR(model.coreDynamic(p.refVoltage, 4.0e9, 0.5) / base, 2.0,
+    const Watts base = model.coreDynamic(p.refVoltage, Hertz{2.0e9}, 0.5);
+    EXPECT_NEAR(model.coreDynamic(p.refVoltage, Hertz{4.0e9}, 0.5) / base, 2.0,
                 1e-9);
-    EXPECT_NEAR(model.coreDynamic(p.refVoltage, 2.0e9, 1.0) / base, 2.0,
+    EXPECT_NEAR(model.coreDynamic(p.refVoltage, Hertz{2.0e9}, 1.0) / base, 2.0,
                 1e-9);
 }
 
 TEST(CorePowerModel, ZeroActivityZeroDynamic)
 {
     CorePowerModel model;
-    EXPECT_DOUBLE_EQ(model.coreDynamic(1.2, 4.2e9, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(model.coreDynamic(Volts{1.2}, Hertz{4.2e9}, 0.0), Watts{0.0});
 }
 
 TEST(CorePowerModel, LeakageAtReference)
@@ -88,7 +88,7 @@ TEST(CorePowerModel, GatingRemovesNearlyAllLeakage)
     const Watts gated = model.coreLeakage(p.refVoltage, p.refTemperature,
                                           true);
     EXPECT_NEAR(gated / on, p.gatedLeakageFraction, 1e-9);
-    EXPECT_LT(gated, 0.2);
+    EXPECT_LT(gated, Watts{0.2});
 }
 
 TEST(CorePowerModel, UncoreScalesWithVoltage)
@@ -107,29 +107,29 @@ TEST(CorePowerModel, SingleSocketEnvelopeMatchesPaper)
     // raytrace-class workload at the static 1.2 V / 4.2 GHz point
     // (before PDN dissipation, which the chip model adds).
     CorePowerModel model;
-    const Volts v = 1.18; // roughly the on-chip voltage under load
-    const Celsius t = 36.0;
+    const Volts v = Volts{1.18}; // roughly the on-chip voltage under load
+    const Celsius t = Celsius{36.0};
     const double intensity = 1.03;
 
-    const Watts idleCore = model.coreDynamic(v, 4.2e9,
+    const Watts idleCore = model.coreDynamic(v, Hertz{4.2e9},
                                              model.idleActivity()) +
                            model.coreLeakage(v, t, false);
-    const Watts busyCore = model.coreDynamic(v, 4.2e9, intensity) +
+    const Watts busyCore = model.coreDynamic(v, Hertz{4.2e9}, intensity) +
                            model.coreLeakage(v, t, false);
     const Watts uncore = model.uncore(v, t);
 
     const Watts oneActive = uncore + busyCore + 7 * idleCore;
     const Watts eightActive = uncore + 8 * busyCore;
-    EXPECT_GT(oneActive, 50.0);
-    EXPECT_LT(oneActive, 72.0);
-    EXPECT_GT(eightActive, 115.0);
-    EXPECT_LT(eightActive, 145.0);
+    EXPECT_GT(oneActive, Watts{50.0});
+    EXPECT_LT(oneActive, Watts{72.0});
+    EXPECT_GT(eightActive, Watts{115.0});
+    EXPECT_LT(eightActive, Watts{145.0});
 }
 
 TEST(CorePowerModel, RejectsBadParams)
 {
     PowerModelParams params;
-    params.refVoltage = 0.0;
+    params.refVoltage = Volts{0.0};
     EXPECT_THROW(CorePowerModel{params}, ConfigError);
 
     params = PowerModelParams();
@@ -137,14 +137,14 @@ TEST(CorePowerModel, RejectsBadParams)
     EXPECT_THROW(CorePowerModel{params}, ConfigError);
 
     params = PowerModelParams();
-    params.coreDynamicAtRef = -1.0;
+    params.coreDynamicAtRef = -Watts{1.0};
     EXPECT_THROW(CorePowerModel{params}, ConfigError);
 }
 
 TEST(CorePowerModel, NegativeActivityPanics)
 {
     CorePowerModel model;
-    EXPECT_THROW(model.coreDynamic(1.2, 4.2e9, -0.1), InternalError);
+    EXPECT_THROW(model.coreDynamic(Volts{1.2}, Hertz{4.2e9}, -0.1), InternalError);
 }
 
 } // namespace

@@ -37,7 +37,7 @@ TEST_F(PowerProxyTest, TracksTruePowerAcrossLoadLevels)
         chip_.clearLoads();
         for (size_t i = 0; i < active; ++i)
             chip_.setLoad(i, CoreLoad::running(1.0, 13.0_mV, 24.0_mV));
-        chip_.settle(0.3);
+        chip_.settle(Seconds{0.3});
         const Watts truth = chip_.power();
         const Watts estimate = proxy_.estimate(chip_);
         EXPECT_NEAR(estimate, truth, truth * 0.15)
@@ -48,13 +48,13 @@ TEST_F(PowerProxyTest, TracksTruePowerAcrossLoadLevels)
 TEST_F(PowerProxyTest, EstimateGrowsWithLoadAndIntensity)
 {
     chip_.setMode(GuardbandMode::StaticGuardband);
-    chip_.settle(0.1);
+    chip_.settle(Seconds{0.1});
     const Watts idle = proxy_.estimate(chip_);
     chip_.setLoad(0, CoreLoad::running(0.6, 10.0_mV, 18.0_mV));
-    chip_.settle(0.1);
+    chip_.settle(Seconds{0.1});
     const Watts light = proxy_.estimate(chip_);
     chip_.setLoad(0, CoreLoad::running(1.2, 14.0_mV, 26.0_mV));
-    chip_.settle(0.1);
+    chip_.settle(Seconds{0.1});
     const Watts heavy = proxy_.estimate(chip_);
     EXPECT_GT(light, idle);
     EXPECT_GT(heavy, light);
@@ -63,13 +63,13 @@ TEST_F(PowerProxyTest, EstimateGrowsWithLoadAndIntensity)
 TEST_F(PowerProxyTest, GatedCoresInvisible)
 {
     chip_.setMode(GuardbandMode::StaticGuardband);
-    chip_.settle(0.1);
+    chip_.settle(Seconds{0.1});
     const Watts allOn = proxy_.estimate(chip_);
     for (size_t i = 0; i < 8; ++i)
         chip_.setLoad(i, CoreLoad::powerGated());
-    chip_.settle(0.1);
+    chip_.settle(Seconds{0.1});
     const Watts allGated = proxy_.estimate(chip_);
-    EXPECT_LT(allGated, allOn - 8.0 * proxy_.params().basePerCore + 1.0);
+    EXPECT_LT(allGated, allOn - 8.0 * proxy_.params().basePerCore + Watts{1.0});
 }
 
 TEST_F(PowerProxyTest, CalibrationErrorFrozenBySeed)
@@ -90,25 +90,25 @@ TEST_F(PowerProxyTest, ProxyDrivenCappingHoldsNearCap)
     for (size_t i = 0; i < 8; ++i)
         chip_.setLoad(i, CoreLoad::running(1.1, 13.0_mV, 24.0_mV));
     PowerCapController governor;
-    const Watts cap = 100.0;
+    const Watts cap = Watts{100.0};
     for (int interval = 0; interval < 40; ++interval) {
-        chip_.settle(0.6);
+        chip_.settle(Seconds{0.6});
         const Hertz next = governor.decide(chip_.targetFrequency(),
                                            proxy_.estimate(chip_), cap);
         if (next != chip_.targetFrequency())
             chip_.setTargetFrequency(next);
     }
-    chip_.settle(1.0);
+    chip_.settle(Seconds{1.0});
     const double errorBudget = std::abs(proxy_.calibrationScale() - 1.0) +
                                0.18;
     EXPECT_LE(chip_.power(), cap * (1.0 + errorBudget));
-    EXPECT_GE(chip_.power(), cap * (1.0 - errorBudget) - 10.0);
+    EXPECT_GE(chip_.power(), cap * (1.0 - errorBudget) - Watts{10.0});
 }
 
 TEST(PowerProxyValidation, RejectsBadParams)
 {
     PowerProxyParams params;
-    params.refFrequency = 0.0;
+    params.refFrequency = Hertz{0.0};
     EXPECT_THROW(PowerProxy(params, 1), ConfigError);
     params = PowerProxyParams();
     params.calibrationSpread = -1.0;

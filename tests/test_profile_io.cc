@@ -40,12 +40,12 @@ TEST(ProfileIo, RoundTripsEveryLibraryProfile)
 
 TEST(ProfileIo, RoundTripsPhases)
 {
-    const auto phased = makePhased(byName("raytrace"), 1.0, 0.3, 1.2,
+    const auto phased = makePhased(byName("raytrace"), Seconds{1.0}, 0.3, 1.2,
                                    0.6);
     const auto parsed = parseProfiles(profileToText(phased));
     ASSERT_EQ(parsed.size(), 1u);
     ASSERT_EQ(parsed[0].phases.size(), 2u);
-    EXPECT_NEAR(parsed[0].phases[0].duration, 0.3, 1e-9);
+    EXPECT_NEAR(parsed[0].phases[0].duration, Seconds{0.3}, Seconds{1e-9});
     EXPECT_NEAR(parsed[0].phases[0].intensityScale, 1.2, 1e-9);
     EXPECT_NEAR(parsed[0].phases[1].rateScale, 0.6, 1e-9);
 }
@@ -74,7 +74,7 @@ TEST(ProfileIo, MultipleBlocksAndComments)
     ASSERT_EQ(parsed.size(), 2u);
     EXPECT_EQ(parsed[0].name, "alpha");
     EXPECT_EQ(parsed[1].name, "beta");
-    EXPECT_DOUBLE_EQ(parsed[1].mipsPerThread, 9000e6);
+    EXPECT_DOUBLE_EQ(parsed[1].mipsPerThread, InstrPerSec{9000e6});
 }
 
 TEST(ProfileIo, ErrorsAreLoud)
@@ -101,7 +101,7 @@ TEST(ProfileIo, SuiteTokensRoundTrip)
                         Suite::SpecCpu2006, Suite::Coremark,
                         Suite::Datacenter, Suite::Synthetic}) {
         BenchmarkProfile p = byName("raytrace");
-        p.name = "t";
+        p.name = std::string{"t"};
         p.suite = suite;
         const auto parsed = parseProfiles(profileToText(p));
         ASSERT_EQ(parsed.size(), 1u);
@@ -115,16 +115,16 @@ TEST(QosQueueTheory, MatchesMd1InTheDeterministicLimit)
     // M/D/1: mean sojourn = S * (1 + rho / (2 (1 - rho))).
     qos::WebSearchParams params;
     params.arrivalRatePerSec = 2.0;
-    params.serviceMeanAtNominal = 0.2;
+    params.serviceMeanAtNominal = Seconds{0.2};
     params.serviceSigma = 0.01;
     params.memoryBoundedness = 0.0;
     params.frequencyExponent = 1.0;
-    params.windowLength = 500.0;
+    params.windowLength = Seconds{500.0};
     qos::WebSearchService service(params);
 
     const auto windows = service.simulate(params.nominalFrequency,
-                                          200000.0);
-    double meanLatency = 0.0;
+                                          Seconds{200000.0});
+    Seconds meanLatency = Seconds{0.0};
     size_t queries = 0;
     for (const auto &w : windows) {
         meanLatency += w.meanLatency * double(w.queries);
@@ -133,9 +133,9 @@ TEST(QosQueueTheory, MatchesMd1InTheDeterministicLimit)
     meanLatency /= double(queries);
 
     const double rho = params.arrivalRatePerSec *
-                       params.serviceMeanAtNominal;
-    const double md1 = params.serviceMeanAtNominal *
-                       (1.0 + rho / (2.0 * (1.0 - rho)));
+                       params.serviceMeanAtNominal.value();
+    const Seconds md1 = params.serviceMeanAtNominal *
+                        (1.0 + rho / (2.0 * (1.0 - rho)));
     EXPECT_NEAR(meanLatency, md1, md1 * 0.05);
 }
 

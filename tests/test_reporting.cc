@@ -27,14 +27,14 @@ TEST(GuardbandReport, ComponentsSumToGuardband)
     spec.profile = workload::byName("raytrace");
     spec.threads = 4;
     spec.mode = chip::GuardbandMode::AdaptiveUndervolt;
-    spec.simConfig.measureDuration = 0.5;
+    spec.simConfig.measureDuration = Seconds{0.5};
     const auto result = core::runScheduled(spec);
 
     const auto report = core::makeGuardbandReport(result.metrics);
-    EXPECT_GT(report.reclaimed, 0.0);
-    EXPECT_GT(report.passive, 0.0);
-    EXPECT_GT(report.noise, 0.0);
-    EXPECT_GE(report.reserve, 0.0);
+    EXPECT_GT(report.reclaimed, Volts{0.0});
+    EXPECT_GT(report.passive, Volts{0.0});
+    EXPECT_GT(report.noise, Volts{0.0});
+    EXPECT_GE(report.reserve, Volts{0.0});
     EXPECT_GT(report.reclaimedFraction(), 0.15);
     EXPECT_LT(report.reclaimedFraction(), 0.60);
     // The four shares cover the guardband (reserve absorbs the rest).
@@ -52,7 +52,7 @@ TEST(GuardbandReport, MoreCoresLessReclaimed)
         spec.profile = workload::byName("raytrace");
         spec.threads = threads;
         spec.mode = chip::GuardbandMode::AdaptiveUndervolt;
-        spec.simConfig.measureDuration = 0.5;
+        spec.simConfig.measureDuration = Seconds{0.5};
         return core::makeGuardbandReport(
                    core::runScheduled(spec).metrics)
             .reclaimedFraction();
@@ -66,7 +66,7 @@ TEST(GuardbandReport, RenderingMentionsEveryShare)
     spec.profile = workload::byName("radix");
     spec.threads = 2;
     spec.mode = chip::GuardbandMode::AdaptiveUndervolt;
-    spec.simConfig.measureDuration = 0.4;
+    spec.simConfig.measureDuration = Seconds{0.4};
     const auto report = core::makeGuardbandReport(
         core::runScheduled(spec).metrics);
     const std::string text = report.toString();
@@ -97,7 +97,7 @@ TEST(TelemetryCsv, RowsMatchWindowsAndHeader)
     chip.setMode(chip::GuardbandMode::StaticGuardband);
     for (size_t i = 0; i < 2; ++i)
         chip.setLoad(i, chip::CoreLoad::running(1.0, 13.0_mV, 24.0_mV));
-    chip.settle(0.2);
+    chip.settle(Seconds{0.2});
 
     const std::string csv =
         sensors::telemetryCsvString(chip.telemetry());

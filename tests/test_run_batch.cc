@@ -28,7 +28,7 @@ makeSpec(const std::string &workload, size_t threads,
     spec.threads = threads;
     spec.runMode = agsim::workload::RunMode::Rate;
     spec.mode = mode;
-    spec.simConfig.warmup = 0.2;
+    spec.simConfig.warmup = Seconds{0.2};
     spec.simConfig.measureDuration = measure;
     return spec;
 }
@@ -62,15 +62,15 @@ TEST(RunBatch, ParallelIsBitIdenticalToSerial)
     // workloads, thread counts, and guardband modes.
     std::vector<core::ScheduledRunSpec> specs;
     specs.push_back(makeSpec("raytrace", 1,
-                             chip::GuardbandMode::StaticGuardband, 0.1));
+                             chip::GuardbandMode::StaticGuardband, Seconds{0.1}));
     specs.push_back(makeSpec("raytrace", 8,
-                             chip::GuardbandMode::AdaptiveUndervolt, 0.1));
+                             chip::GuardbandMode::AdaptiveUndervolt, Seconds{0.1}));
     specs.push_back(makeSpec("swaptions", 4,
-                             chip::GuardbandMode::AdaptiveOverclock, 0.1));
+                             chip::GuardbandMode::AdaptiveOverclock, Seconds{0.1}));
     specs.push_back(makeSpec("radix", 2,
-                             chip::GuardbandMode::AdaptiveUndervolt, 0.2));
+                             chip::GuardbandMode::AdaptiveUndervolt, Seconds{0.2}));
     auto borrow = makeSpec("lu_cb", 4,
-                           chip::GuardbandMode::AdaptiveUndervolt, 0.1);
+                           chip::GuardbandMode::AdaptiveUndervolt, Seconds{0.1});
     borrow.policy = core::PlacementPolicy::LoadlineBorrow;
     borrow.poweredCoreBudget = 8;
     specs.push_back(std::move(borrow));
@@ -89,7 +89,7 @@ TEST(RunBatch, ParallelIsBitIdenticalToSerial)
 TEST(RunBatch, BatchOfOneMatchesRunScheduled)
 {
     const auto spec = makeSpec(
-        "raytrace", 4, chip::GuardbandMode::AdaptiveUndervolt, 0.1);
+        "raytrace", 4, chip::GuardbandMode::AdaptiveUndervolt, Seconds{0.1});
     const auto direct = core::runScheduled(spec);
     const auto batched = core::runScheduledBatch({spec}, 4);
     ASSERT_EQ(batched.size(), 1u);
@@ -100,7 +100,7 @@ TEST(RunBatch, ResultsComeBackInSubmissionOrder)
 {
     // First-submitted task runs longest: with 4 workers it finishes
     // *last*, so order must come from submission, not completion.
-    const Seconds durations[] = {0.4, 0.2, 0.1, 0.05};
+    const Seconds durations[] = {Seconds{0.4}, Seconds{0.2}, Seconds{0.1}, Seconds{0.05}};
     std::vector<BatchTask> tasks;
     for (size_t i = 0; i < 4; ++i) {
         auto spec = makeSpec("raytrace", 1,
@@ -120,7 +120,7 @@ TEST(RunBatch, ResultsComeBackInSubmissionOrder)
 TEST(RunBatch, RunnerIsReusableAcrossRounds)
 {
     const auto spec = makeSpec(
-        "raytrace", 1, chip::GuardbandMode::StaticGuardband, 0.05);
+        "raytrace", 1, chip::GuardbandMode::StaticGuardband, Seconds{0.05});
 
     BatchRunner runner(2);
     EXPECT_EQ(runner.workerCount(), 2u);
@@ -140,7 +140,7 @@ TEST(RunBatch, RunnerIsReusableAcrossRounds)
 TEST(RunBatch, WorkerExceptionsPropagateToWait)
 {
     auto good = core::makeBatchTask(makeSpec(
-        "raytrace", 1, chip::GuardbandMode::StaticGuardband, 0.05));
+        "raytrace", 1, chip::GuardbandMode::StaticGuardband, Seconds{0.05}));
     BatchTask bad; // no jobs: runBatchTask rejects it on the worker
 
     BatchRunner runner(2);
@@ -158,7 +158,7 @@ TEST(RunBatch, EmptyBatchIsEmpty)
 TEST(RunBatch, ContinueOnErrorReturnsPartialResults)
 {
     auto spec = makeSpec(
-        "raytrace", 1, chip::GuardbandMode::StaticGuardband, 0.05);
+        "raytrace", 1, chip::GuardbandMode::StaticGuardband, Seconds{0.05});
 
     BatchRunner runner(2, BatchErrorPolicy::ContinueOnError);
     EXPECT_EQ(runner.errorPolicy(), BatchErrorPolicy::ContinueOnError);
@@ -180,8 +180,8 @@ TEST(RunBatch, ContinueOnErrorReturnsPartialResults)
     EXPECT_EQ(results[0].label, "good0");
     EXPECT_EQ(results[1].label, ""); // failed slot: default-constructed
     EXPECT_EQ(results[2].label, "good2");
-    EXPECT_GT(results[0].metrics.totalChipPower, 0.0);
-    EXPECT_GT(results[2].metrics.totalChipPower, 0.0);
+    EXPECT_GT(results[0].metrics.totalChipPower, Watts{0.0});
+    EXPECT_GT(results[2].metrics.totalChipPower, Watts{0.0});
 
     ASSERT_EQ(runner.lastErrors().size(), 1u);
     EXPECT_EQ(runner.lastErrors()[0].taskIndex, 1u);
@@ -198,7 +198,7 @@ TEST(RunBatch, ContinueOnErrorReturnsPartialResults)
 TEST(RunBatch, WaitOutcomeCapturesErrorsUnderBothPolicies)
 {
     auto spec = makeSpec(
-        "raytrace", 1, chip::GuardbandMode::StaticGuardband, 0.05);
+        "raytrace", 1, chip::GuardbandMode::StaticGuardband, Seconds{0.05});
 
     for (auto policy : {BatchErrorPolicy::AbortOnFirstError,
                         BatchErrorPolicy::ContinueOnError}) {
@@ -221,7 +221,7 @@ TEST(RunBatch, WaitOutcomeCapturesErrorsUnderBothPolicies)
 TEST(RunBatch, RunAllPartialMatchesSerialAndParallel)
 {
     auto spec = makeSpec(
-        "raytrace", 1, chip::GuardbandMode::StaticGuardband, 0.05);
+        "raytrace", 1, chip::GuardbandMode::StaticGuardband, Seconds{0.05});
 
     for (size_t workers : {size_t(1), size_t(4)}) {
         std::vector<BatchTask> tasks;
@@ -247,7 +247,7 @@ TEST(RunBatch, RunAllPartialMatchesSerialAndParallel)
 TEST(RunBatch, AllClearOutcomeIsOk)
 {
     auto spec = makeSpec(
-        "raytrace", 1, chip::GuardbandMode::StaticGuardband, 0.05);
+        "raytrace", 1, chip::GuardbandMode::StaticGuardband, Seconds{0.05});
     std::vector<BatchTask> tasks;
     tasks.push_back(core::makeBatchTask(spec));
     const BatchOutcome outcome =

@@ -23,15 +23,15 @@ namespace {
 using namespace agsim::units;
 using Action = SafetyMonitor::Action;
 
-constexpr Seconds kDt = 1e-3;
+constexpr Seconds kDt = Seconds{1e-3};
 
 SafetyMonitorParams
 fastParams()
 {
     SafetyMonitorParams p;
     p.emergencyBudget = 4;
-    p.windowLength = 0.1;
-    p.rearmInterval = 0.05;
+    p.windowLength = Seconds{0.1};
+    p.rearmInterval = Seconds{0.05};
     p.rearmBackoff = 2.0;
     p.maxRearms = 2;
     return p;
@@ -67,7 +67,7 @@ TEST(SafetyMonitorUnit, DemotesWhenBudgetExceededInWindow)
     EXPECT_EQ(monitor.observe(true, true, kDt), Action::Demote);
     EXPECT_EQ(monitor.state(), SafetyState::Demoted);
     EXPECT_EQ(monitor.demotionCount(), 1);
-    EXPECT_GE(monitor.lastDemotionAt(), 0.0);
+    EXPECT_GE(monitor.lastDemotionAt(), Seconds{0.0});
 }
 
 TEST(SafetyMonitorUnit, SparseEmergenciesStayUnderBudget)
@@ -216,7 +216,7 @@ TEST(SafetyMonitorUnit, ResetForgetsHistory)
     EXPECT_EQ(monitor.state(), SafetyState::Monitoring);
     EXPECT_EQ(monitor.totalEmergencies(), 0);
     EXPECT_EQ(monitor.demotionCount(), 0);
-    EXPECT_EQ(monitor.now(), 0.0);
+    EXPECT_EQ(monitor.now(), Seconds{0.0});
 }
 
 TEST(SafetyMonitorUnit, ParamValidation)
@@ -225,16 +225,16 @@ TEST(SafetyMonitorUnit, ParamValidation)
     params.emergencyBudget = 0;
     EXPECT_THROW(params.validate(), ConfigError);
     params = SafetyMonitorParams();
-    params.windowLength = 0.0;
+    params.windowLength = Seconds{0.0};
     EXPECT_THROW(params.validate(), ConfigError);
     params = SafetyMonitorParams();
-    params.rearmInterval = -1.0;
+    params.rearmInterval = -Seconds{1.0};
     EXPECT_THROW(params.validate(), ConfigError);
     params = SafetyMonitorParams();
     params.rearmBackoff = 0.5;
     EXPECT_THROW(params.validate(), ConfigError);
     params = SafetyMonitorParams();
-    params.marginTolerance = -1e-3;
+    params.marginTolerance = -Volts{1e-3};
     EXPECT_THROW(params.validate(), ConfigError);
 }
 
@@ -253,10 +253,10 @@ class ChipDemotionTest : public ::testing::Test
         // Let the optimistic bias express fully: the default 80 mV
         // undervolt ceiling would clip a 30 mV lie on top of the ~70 mV
         // legitimate reclaim.
-        config.undervolt.maxUndervolt = 0.12;
+        config.undervolt.maxUndervolt = Volts{0.12};
         config.safety.emergencyBudget = 8;
-        config.safety.windowLength = 0.25;
-        config.safety.rearmInterval = 1.0;
+        config.safety.windowLength = Seconds{0.25};
+        config.safety.rearmInterval = Seconds{1.0};
         chip_ = std::make_unique<Chip>(config, &vrm_);
         for (size_t i = 0; i < chip_->coreCount(); ++i) {
             chip_->setLoad(i, CoreLoad::running(1.0, 13.0_mV, 24.0_mV));
@@ -270,7 +270,7 @@ class ChipDemotionTest : public ::testing::Test
 TEST_F(ChipDemotionTest, OptimisticBiasDemotesAndStopsViolations)
 {
     chip_->setMode(GuardbandMode::AdaptiveUndervolt);
-    chip_->settle(1.5);
+    chip_->settle(Seconds{1.5});
     ASSERT_EQ(chip_->mode(), GuardbandMode::AdaptiveUndervolt);
     EXPECT_EQ(chip_->safetyMonitor().totalEmergencies(), 0);
 
@@ -279,16 +279,16 @@ TEST_F(ChipDemotionTest, OptimisticBiasDemotesAndStopsViolations)
     // of believed headroom) plus the monitor's 10 mV tolerance band
     // with real clearance, so the resulting emergencies are sustained.
     fault::FaultPlan plan;
-    plan.cpmOptimisticBias(0.1, 0.0, 40.0_mV);
+    plan.cpmOptimisticBias(Seconds{0.1}, Seconds{0.0}, 40.0_mV);
     fault::FaultInjector injector(plan, chip_->coreCount());
     chip_->attachFaultInjector(&injector);
 
-    const Seconds dt = 1e-3;
-    Seconds demotedAt = -1.0;
+    const Seconds dt = Seconds{1e-3};
+    Seconds demotedAt = Seconds{-1.0};
     int emergenciesBeforeDemotion = 0;
     for (int i = 0; i < 4000; ++i) {
         chip_->step(dt);
-        if (demotedAt < 0.0 && chip_->safetyDemoted()) {
+        if (demotedAt < Seconds{0.0} && chip_->safetyDemoted()) {
             demotedAt = injector.now();
             emergenciesBeforeDemotion =
                 int(chip_->safetyMonitor().totalEmergencies());
@@ -296,7 +296,7 @@ TEST_F(ChipDemotionTest, OptimisticBiasDemotesAndStopsViolations)
     }
 
     // The monitor fired...
-    ASSERT_GT(demotedAt, 0.1);
+    ASSERT_GT(demotedAt, Seconds{0.1});
     EXPECT_EQ(chip_->mode(), GuardbandMode::StaticGuardband);
     EXPECT_EQ(chip_->commandedMode(), GuardbandMode::AdaptiveUndervolt);
     EXPECT_GE(chip_->safetyMonitor().demotionCount(), 1);
@@ -306,31 +306,31 @@ TEST_F(ChipDemotionTest, OptimisticBiasDemotesAndStopsViolations)
               2 * chip_->config().safety.emergencyBudget);
     // ...and promptly: the firmware walks ~6.25 mV per 32 ms tick, so
     // a 30 mV lie takes well under a second to express and be caught.
-    EXPECT_LT(demotedAt, 1.5);
+    EXPECT_LT(demotedAt, Seconds{1.5});
 
     // After demotion (allowing the rail to recover), static guardband
     // absorbs the lying sensor: zero further vmin violations.
-    chip_->settle(0.5);
+    chip_->settle(Seconds{0.5});
     const int64_t settled = chip_->safetyMonitor().totalEmergencies();
     for (int i = 0; i < 1000; ++i) {
         chip_->step(dt);
         EXPECT_EQ(chip_->lastStepEmergencies(), 0) << "step " << i;
     }
     EXPECT_EQ(chip_->safetyMonitor().totalEmergencies(), settled);
-    EXPECT_GT(chip_->lastWorstMargin(), 0.0);
+    EXPECT_GT(chip_->lastWorstMargin(), Volts{0.0});
 }
 
 TEST_F(ChipDemotionTest, UserModeCommandResetsWatchdog)
 {
     chip_->setMode(GuardbandMode::AdaptiveUndervolt);
-    chip_->settle(1.0);
+    chip_->settle(Seconds{1.0});
 
     fault::FaultPlan plan;
-    plan.cpmOptimisticBias(0.0, 0.0, 40.0_mV);
+    plan.cpmOptimisticBias(Seconds{0.0}, Seconds{0.0}, 40.0_mV);
     fault::FaultInjector injector(plan, chip_->coreCount());
     chip_->attachFaultInjector(&injector);
     for (int i = 0; i < 3000; ++i)
-        chip_->step(1e-3);
+        chip_->step(Seconds{1e-3});
     ASSERT_TRUE(chip_->safetyDemoted());
 
     // Clear the fault and recommand the mode: an explicit operator
@@ -339,7 +339,7 @@ TEST_F(ChipDemotionTest, UserModeCommandResetsWatchdog)
     chip_->setMode(GuardbandMode::AdaptiveUndervolt);
     EXPECT_FALSE(chip_->safetyDemoted());
     EXPECT_EQ(chip_->safetyMonitor().demotionCount(), 0);
-    chip_->settle(1.0);
+    chip_->settle(Seconds{1.0});
     EXPECT_EQ(chip_->mode(), GuardbandMode::AdaptiveUndervolt);
 }
 

@@ -46,7 +46,7 @@ TEST(Server, TotalPowerSumsSockets)
 {
     Server server;
     server.setMode(GuardbandMode::StaticGuardband);
-    server.settle(0.2);
+    server.settle(Seconds{0.2});
     EXPECT_NEAR(server.totalChipPower(),
                 server.chip(0).power() + server.chip(1).power(), 1e-9);
     // System power adds the Vcs rails and the platform constant.
@@ -106,11 +106,11 @@ TEST(WorkloadSimulation, RateRunMetricsConsistent)
     sim.addJob(makeJob("raytrace", placeOnSocket(0, 4)));
 
     SimulationConfig config;
-    config.measureDuration = 0.5;
-    config.warmup = 0.3;
+    config.measureDuration = Seconds{0.5};
+    config.warmup = Seconds{0.3};
     const RunMetrics metrics = sim.run(config);
 
-    EXPECT_NEAR(metrics.executionTime, 0.5, 1e-6);
+    EXPECT_NEAR(metrics.executionTime, Seconds{0.5}, Seconds{1e-6});
     ASSERT_EQ(metrics.socketPower.size(), 2u);
     EXPECT_GT(metrics.socketPower[0], metrics.socketPower[1]);
     EXPECT_NEAR(metrics.totalChipPower,
@@ -122,7 +122,7 @@ TEST(WorkloadSimulation, RateRunMetricsConsistent)
     EXPECT_NEAR(metrics.edp, metrics.chipEnergy * metrics.executionTime,
                 1e-6);
     ASSERT_EQ(metrics.jobs.size(), 1u);
-    EXPECT_GT(metrics.jobs[0].meanRate, 0.0);
+    EXPECT_GT(metrics.jobs[0].meanRate, InstrPerSec{0.0});
     EXPECT_GT(metrics.meanChipMips, 0.0);
     // 4 raytrace threads at ~8.6k MIPS each, minus losses.
     EXPECT_GT(metrics.meanChipMips, 20000.0);
@@ -137,18 +137,18 @@ TEST(WorkloadSimulation, RunToCompletionFinishesWork)
     Job job = makeJob("swaptions", placeOnSocket(0, 8));
     // Shrink the work so the test is fast: ~2 s of simulated compute.
     workload::BenchmarkProfile small = byName("swaptions");
-    small.totalInstructions = 100e9;
+    small.totalInstructions = Instructions{100e9};
     job.work = ThreadedWorkload(small, RunMode::Multithreaded);
     sim.addJob(std::move(job));
 
     SimulationConfig config;
-    config.warmup = 0.2;
+    config.warmup = Seconds{0.2};
     const RunMetrics metrics = sim.run(config);
     ASSERT_EQ(metrics.jobs.size(), 1u);
     EXPECT_TRUE(metrics.jobs[0].completed);
-    EXPECT_GT(metrics.jobs[0].completionTime, 0.0);
-    EXPECT_GE(metrics.jobs[0].instructions, 100e9);
-    EXPECT_LT(metrics.executionTime, 10.0);
+    EXPECT_GT(metrics.jobs[0].completionTime, Seconds{0.0});
+    EXPECT_GE(metrics.jobs[0].instructions, Instructions{100e9});
+    EXPECT_LT(metrics.executionTime, Seconds{10.0});
 }
 
 TEST(WorkloadSimulation, OverclockShortensExecution)
@@ -158,11 +158,11 @@ TEST(WorkloadSimulation, OverclockShortensExecution)
         server.setMode(mode);
         WorkloadSimulation sim(&server);
         workload::BenchmarkProfile small = byName("swaptions");
-        small.totalInstructions = 150e9;
+        small.totalInstructions = Instructions{150e9};
         sim.addJob(Job{ThreadedWorkload(small, RunMode::Multithreaded),
                        placeOnSocket(0, 1), "swaptions"});
         SimulationConfig config;
-        config.warmup = 0.3;
+        config.warmup = Seconds{0.3};
         return sim.run(config);
     };
     const auto staticRun = runWith(GuardbandMode::StaticGuardband);
@@ -190,8 +190,8 @@ TEST(WorkloadSimulation, MultiJobColocationSharesChip)
     sim.addJob(makeJob("mcf", second, RunMode::Rate));
 
     SimulationConfig config;
-    config.measureDuration = 0.5;
-    config.warmup = 0.3;
+    config.measureDuration = Seconds{0.5};
+    config.warmup = Seconds{0.3};
     const RunMetrics metrics = sim.run(config);
     ASSERT_EQ(metrics.jobs.size(), 2u);
     EXPECT_GT(metrics.jobs[0].meanRate, metrics.jobs[1].meanRate);
@@ -211,11 +211,11 @@ TEST(WorkloadSimulation, GatedSpareCoresCutPower)
                 sim.gateCore(1, core);
         }
         SimulationConfig config;
-        config.measureDuration = 0.3;
-        config.warmup = 0.3;
+        config.measureDuration = Seconds{0.3};
+        config.warmup = Seconds{0.3};
         return sim.run(config).totalChipPower;
     };
-    EXPECT_LT(measure(true), measure(false) - 20.0);
+    EXPECT_LT(measure(true), measure(false) - Watts{20.0});
 }
 
 TEST(WorkloadSimulation, EmptyRunRejected)

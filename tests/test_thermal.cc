@@ -14,34 +14,34 @@ namespace {
 TEST(ThermalModel, StartsAtAmbient)
 {
     ThermalModel model;
-    EXPECT_DOUBLE_EQ(model.temperature(), model.steadyState(0.0));
+    EXPECT_DOUBLE_EQ(model.temperature(), model.steadyState(Watts{0.0}));
 }
 
 TEST(ThermalModel, SteadyStateLinearInPower)
 {
     ThermalParams params;
-    params.ambient = 25.0;
-    params.thermalResistance = 0.1;
+    params.ambient = Celsius{25.0};
+    params.thermalResistance = Div<Celsius, Watts>{0.1};
     ThermalModel model(params);
-    EXPECT_DOUBLE_EQ(model.steadyState(100.0), 35.0);
-    EXPECT_DOUBLE_EQ(model.steadyState(0.0), 25.0);
+    EXPECT_DOUBLE_EQ(model.steadyState(Watts{100.0}), Celsius{35.0});
+    EXPECT_DOUBLE_EQ(model.steadyState(Watts{0.0}), Celsius{25.0});
 }
 
 TEST(ThermalModel, ConvergesToSteadyState)
 {
     ThermalModel model;
     for (int i = 0; i < 100000; ++i)
-        model.step(120.0, 1e-3);
-    EXPECT_NEAR(model.temperature(), model.steadyState(120.0), 0.1);
+        model.step(Watts{120.0}, Seconds{1e-3});
+    EXPECT_NEAR(model.temperature(), model.steadyState(Watts{120.0}), 0.1);
 }
 
 TEST(ThermalModel, ApproachIsMonotone)
 {
     ThermalModel model;
-    double prev = model.temperature();
+    Celsius prev = model.temperature();
     for (int i = 0; i < 1000; ++i) {
-        model.step(100.0, 1e-2);
-        EXPECT_GE(model.temperature(), prev - 1e-12);
+        model.step(Watts{100.0}, Seconds{1e-2});
+        EXPECT_GE(model.temperature(), prev - Celsius{1e-12});
         prev = model.temperature();
     }
 }
@@ -49,45 +49,45 @@ TEST(ThermalModel, ApproachIsMonotone)
 TEST(ThermalModel, SettleJumpsToSteadyState)
 {
     ThermalModel model;
-    model.settle(140.0);
-    EXPECT_DOUBLE_EQ(model.temperature(), model.steadyState(140.0));
+    model.settle(Watts{140.0});
+    EXPECT_DOUBLE_EQ(model.temperature(), model.steadyState(Watts{140.0}));
 }
 
 TEST(ThermalModel, PaperTemperatureWindow)
 {
     // Paper Sec. 4.1: 27 °C at the lowest load to 38 °C at peak.
     ThermalModel model;
-    model.settle(30.0); // near-idle chip
-    EXPECT_GT(model.temperature(), 25.0);
-    EXPECT_LT(model.temperature(), 31.0);
-    model.settle(140.0); // peak chip power
-    EXPECT_GT(model.temperature(), 34.0);
-    EXPECT_LT(model.temperature(), 42.0);
+    model.settle(Watts{30.0}); // near-idle chip
+    EXPECT_GT(model.temperature(), Celsius{25.0});
+    EXPECT_LT(model.temperature(), Celsius{31.0});
+    model.settle(Watts{140.0}); // peak chip power
+    EXPECT_GT(model.temperature(), Celsius{34.0});
+    EXPECT_LT(model.temperature(), Celsius{42.0});
 }
 
 TEST(ThermalModel, ResetReturnsToAmbient)
 {
     ThermalModel model;
-    model.settle(140.0);
+    model.settle(Watts{140.0});
     model.reset();
-    EXPECT_DOUBLE_EQ(model.temperature(), 25.0);
+    EXPECT_DOUBLE_EQ(model.temperature(), Celsius{25.0});
 }
 
 TEST(ThermalModel, LargeStepDoesNotOvershoot)
 {
     ThermalModel model;
-    model.step(100.0, 1e6); // absurdly long step
-    EXPECT_NEAR(model.temperature(), model.steadyState(100.0), 1e-6);
+    model.step(Watts{100.0}, Seconds{1e6}); // absurdly long step
+    EXPECT_NEAR(model.temperature(), model.steadyState(Watts{100.0}), 1e-6);
 }
 
 TEST(ThermalModel, RejectsBadParams)
 {
     ThermalParams params;
-    params.timeConstant = 0.0;
+    params.timeConstant = Seconds{0.0};
     EXPECT_THROW(ThermalModel{params}, ConfigError);
 
     params = ThermalParams();
-    params.thermalResistance = -0.1;
+    params.thermalResistance = Div<Celsius, Watts>{-0.1};
     EXPECT_THROW(ThermalModel{params}, ConfigError);
 }
 

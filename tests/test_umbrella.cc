@@ -16,7 +16,7 @@ TEST(Umbrella, EverythingComposesFromOneInclude)
     // Touch one symbol from each layer.
     using namespace agsim::units;
     power::VfCurve curve;
-    EXPECT_NEAR(curve.vddStatic(4.2_GHz), 1.2, 1e-9);
+    EXPECT_NEAR(curve.vddStatic(4.2_GHz), Volts{1.2}, Volts{1e-9});
 
     stats::Accumulator acc;
     acc.add(1.0);
@@ -28,10 +28,10 @@ TEST(Umbrella, EverythingComposesFromOneInclude)
     core::ScheduledRunSpec spec;
     spec.profile = profile;
     spec.threads = 1;
-    spec.simConfig.measureDuration = 0.1;
-    spec.simConfig.warmup = 0.2;
+    spec.simConfig.measureDuration = Seconds{0.1};
+    spec.simConfig.warmup = Seconds{0.2};
     const auto result = core::runScheduled(spec);
-    EXPECT_GT(result.metrics.totalChipPower, 0.0);
+    EXPECT_GT(result.metrics.totalChipPower, Watts{0.0});
 }
 
 } // namespace

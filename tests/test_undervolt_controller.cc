@@ -17,9 +17,9 @@ using namespace agsim::units;
 TEST(UndervoltController, StepsDownWithHeadroom)
 {
     UndervoltController ctl;
-    const Volts now = 1.200;
+    const Volts now = Volts{1.200};
     // Achievable frequency well above target: spare margin exists.
-    const Volts next = ctl.decide(now, 4.40_GHz, 4.2_GHz, 1.200);
+    const Volts next = ctl.decide(now, 4.40_GHz, 4.2_GHz, Volts{1.200});
     EXPECT_NEAR(now - next, ctl.params().voltageStep, 1e-12);
 }
 
@@ -29,23 +29,23 @@ TEST(UndervoltController, HoldsInsideDeadband)
     const Hertz target = 4.2_GHz;
     const Hertz slightlyAbove = target * (1.0 + ctl.params().downThreshold
                                           * 0.5);
-    EXPECT_DOUBLE_EQ(ctl.decide(1.15, slightlyAbove, target, 1.2), 1.15);
+    EXPECT_DOUBLE_EQ(ctl.decide(Volts{1.15}, slightlyAbove, target, Volts{1.2}), Volts{1.15});
 }
 
 TEST(UndervoltController, StepsUpOnShortfall)
 {
     UndervoltController ctl;
-    const Volts next = ctl.decide(1.12, 4.10_GHz, 4.2_GHz, 1.2);
-    EXPECT_NEAR(next - 1.12, ctl.params().voltageStep, 1e-12);
+    const Volts next = ctl.decide(Volts{1.12}, 4.10_GHz, 4.2_GHz, Volts{1.2});
+    EXPECT_NEAR(next - Volts{1.12}, ctl.params().voltageStep, 1e-12);
 }
 
 TEST(UndervoltController, RespectsMaxUndervoltFloor)
 {
     UndervoltController ctl;
-    const Volts staticSetpoint = 1.200;
+    const Volts staticSetpoint = Volts{1.200};
     const Volts floor = staticSetpoint - ctl.params().maxUndervolt;
     // Already at the floor: no further lowering even with headroom.
-    const Volts atFloor = floor + 1e-6;
+    const Volts atFloor = floor + Volts{1e-6};
     EXPECT_DOUBLE_EQ(ctl.decide(atFloor, 4.5_GHz, 4.2_GHz,
                                 staticSetpoint), atFloor);
     // One step above the floor: may lower only if it stays above.
@@ -60,11 +60,13 @@ TEST(UndervoltController, ConvergesToTargetInWalk)
     // drops margin stays constant; emulate a simple linear plant.
     UndervoltController ctl;
     const Hertz target = 4.2_GHz;
-    const Volts staticSetpoint = 1.200;
+    const Volts staticSetpoint = Volts{1.200};
     Volts setpoint = staticSetpoint;
     auto achievable = [](Volts v) {
         // 5.4 MHz per mV above a 1.08 V zero-margin point.
-        return (v - 0.060 - 1.080) / 0.185e-9 + 4.2e9;
+        return (v - Volts{0.060} - Volts{1.080}) /
+                   Div<Volts, Hertz>{0.185e-9} +
+               4.2_GHz;
     };
     for (int i = 0; i < 40; ++i)
         setpoint = ctl.decide(setpoint, achievable(setpoint), target,
@@ -75,13 +77,13 @@ TEST(UndervoltController, ConvergesToTargetInWalk)
     EXPECT_DOUBLE_EQ(settled, setpoint);
     // And the plant still meets the target.
     EXPECT_GE(achievable(setpoint), target);
-    EXPECT_LT(staticSetpoint - setpoint, ctl.params().maxUndervolt + 1e-9);
+    EXPECT_LT(staticSetpoint - setpoint, ctl.params().maxUndervolt + Volts{1e-9});
 }
 
 TEST(UndervoltController, RejectsBadParams)
 {
     UndervoltControllerParams params;
-    params.voltageStep = 0.0;
+    params.voltageStep = Volts{0.0};
     EXPECT_THROW(UndervoltController{params}, ConfigError);
 
     params = UndervoltControllerParams();
@@ -92,7 +94,7 @@ TEST(UndervoltController, RejectsBadParams)
 TEST(UndervoltController, ZeroTargetPanics)
 {
     UndervoltController ctl;
-    EXPECT_THROW(ctl.decide(1.2, 4.2e9, 0.0, 1.2), InternalError);
+    EXPECT_THROW(ctl.decide(Volts{1.2}, Hertz{4.2e9}, Hertz{0.0}, Volts{1.2}), InternalError);
 }
 
 } // namespace

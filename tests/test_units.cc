@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <type_traits>
+
 #include "common/units.h"
 
 namespace agsim {
@@ -14,52 +17,148 @@ using namespace agsim::units;
 
 TEST(Units, VoltageLiterals)
 {
-    EXPECT_DOUBLE_EQ(1.2_V, 1.2);
-    EXPECT_DOUBLE_EQ(1_V, 1.0);
-    EXPECT_DOUBLE_EQ(21.0_mV, 0.021);
-    EXPECT_DOUBLE_EQ(150_mV, 0.150);
+    EXPECT_DOUBLE_EQ(1.2_V, Volts{1.2});
+    EXPECT_DOUBLE_EQ(1_V, Volts{1.0});
+    EXPECT_DOUBLE_EQ(21.0_mV, Volts{0.021});
+    EXPECT_DOUBLE_EQ(150_mV, Volts{0.150});
 }
 
 TEST(Units, FrequencyLiterals)
 {
-    EXPECT_DOUBLE_EQ(4.2_GHz, 4.2e9);
-    EXPECT_DOUBLE_EQ(4_GHz, 4e9);
-    EXPECT_DOUBLE_EQ(28.0_MHz, 28e6);
-    EXPECT_DOUBLE_EQ(4200_MHz, 4.2e9);
+    EXPECT_DOUBLE_EQ(4.2_GHz, Hertz{4.2e9});
+    EXPECT_DOUBLE_EQ(4_GHz, Hertz{4e9});
+    EXPECT_DOUBLE_EQ(28.0_MHz, Hertz{28e6});
+    EXPECT_DOUBLE_EQ(4200_MHz, Hertz{4.2e9});
 }
 
 TEST(Units, TimeLiterals)
 {
-    EXPECT_DOUBLE_EQ(32.0_ms, 0.032);
-    EXPECT_DOUBLE_EQ(1_s, 1.0);
-    EXPECT_DOUBLE_EQ(10_us, 1e-5);
+    EXPECT_DOUBLE_EQ(32.0_ms, Seconds{0.032});
+    EXPECT_DOUBLE_EQ(1_s, Seconds{1.0});
+    EXPECT_DOUBLE_EQ(10_us, Seconds{1e-5});
 }
 
 TEST(Units, PowerAndResistanceLiterals)
 {
-    EXPECT_DOUBLE_EQ(140_W, 140.0);
-    EXPECT_DOUBLE_EQ(0.38_mOhm, 0.38e-3);
+    EXPECT_DOUBLE_EQ(140_W, Watts{140.0});
+    EXPECT_DOUBLE_EQ(0.38_mOhm, Ohms{0.38e-3});
 }
 
 TEST(Units, MipsLiterals)
 {
-    EXPECT_DOUBLE_EQ(70000.0_MIPS, 7e10);
+    EXPECT_DOUBLE_EQ(70000.0_MIPS, InstrPerSec{7e10});
 }
 
 TEST(Units, ConversionsRoundTrip)
 {
-    EXPECT_DOUBLE_EQ(toMilliVolts(0.021), 21.0);
-    EXPECT_DOUBLE_EQ(toMegaHertz(4.2e9), 4200.0);
-    EXPECT_DOUBLE_EQ(toGigaHertz(4.2e9), 4.2);
-    EXPECT_DOUBLE_EQ(toMips(7e10), 70000.0);
+    EXPECT_DOUBLE_EQ(toMilliVolts(Volts{0.021}), 21.0);
+    EXPECT_DOUBLE_EQ(toMegaHertz(Hertz{4.2e9}), 4200.0);
+    EXPECT_DOUBLE_EQ(toGigaHertz(Hertz{4.2e9}), 4.2);
+    EXPECT_DOUBLE_EQ(toMips(InstrPerSec{7e10}), 70000.0);
 }
 
 TEST(Units, LiteralsComposeInExpressions)
 {
     const Volts guardband = 1.2_V - 1.05_V;
-    EXPECT_NEAR(guardband, 0.150, 1e-12);
+    EXPECT_NEAR(guardband, Volts{0.150}, Volts{1e-12});
     const Hertz boost = 4.2_GHz * 0.10;
     EXPECT_NEAR(toMegaHertz(boost), 420.0, 1e-9);
+}
+
+TEST(Units, DimensionalArithmeticDerivesCorrectTypes)
+{
+    // The electrical identities the PDN model leans on, checked both
+    // for value and (statically) for resulting type.
+    const Watts p = 98.0_W;
+    const Volts v = 1.05_V;
+    const Amps i = p / v;  // P / V -> I
+    static_assert(std::is_same_v<decltype(p / v), Amps>);
+    EXPECT_NEAR(i, Amps{93.333333333}, Amps{1e-6});
+
+    const Ohms loadline = 0.54_mOhm;
+    const Volts drop = i * loadline;  // I * R -> V (Ohm's law)
+    static_assert(std::is_same_v<decltype(i * loadline), Volts>);
+    EXPECT_NEAR(drop, Volts{0.0504}, Volts{1e-9});
+
+    const Amps i2 = v / loadline;  // V / R -> I
+    static_assert(std::is_same_v<decltype(v / loadline), Amps>);
+    EXPECT_NEAR(i2, Amps{1944.444444}, Amps{1e-3});
+
+    const Joules e = p * 2.0_s;  // P * t -> E
+    static_assert(std::is_same_v<decltype(p * Seconds{2.0}), Joules>);
+    EXPECT_DOUBLE_EQ(e, Joules{196.0});
+
+    const Watts back = e / 2.0_s;  // E / t -> P round-trips
+    static_assert(std::is_same_v<decltype(e / Seconds{2.0}), Watts>);
+    EXPECT_DOUBLE_EQ(back, p);
+}
+
+TEST(Units, DimensionlessRatiosCollapseToDouble)
+{
+    // Same-dimension division and rate*time cancel all exponents and
+    // yield a plain double, so they slot into dimensionless formulas.
+    static_assert(std::is_same_v<decltype(Volts{1.2} / Volts{1.0}),
+                                 double>);
+    EXPECT_DOUBLE_EQ(Volts{1.2} / Volts{0.6}, 2.0);
+
+    static_assert(std::is_same_v<decltype(Hertz{1.0} * Seconds{1.0}),
+                                 double>);
+    EXPECT_DOUBLE_EQ(4.2_GHz * Seconds{1e-9}, 4.2);
+
+    static_assert(std::is_same_v<
+        decltype(InstrPerSec{1.0} * Seconds{1.0}), Instructions>);
+    EXPECT_DOUBLE_EQ(70000.0_MIPS * 1_s, Instructions{7e10});
+}
+
+TEST(Units, ScalarScalingPreservesDimension)
+{
+    static_assert(std::is_same_v<decltype(2.0 * Volts{1.0}), Volts>);
+    static_assert(std::is_same_v<decltype(Volts{1.0} * 2.0), Volts>);
+    static_assert(std::is_same_v<decltype(Volts{1.0} / 2.0), Volts>);
+    EXPECT_DOUBLE_EQ(0.5 * 1.2_V, Volts{0.6});
+
+    Hertz f = 3.0_GHz;
+    f += 0.2_GHz;
+    f -= 0.1_GHz;
+    f *= 2.0;
+    EXPECT_NEAR(toGigaHertz(f), 6.2, 1e-9);
+}
+
+TEST(Units, DerivedAliasesMatchQuantityAlgebra)
+{
+    // Div<>/Mul<> aliases name the composite dimensions used for model
+    // slopes; they interoperate with the base aliases' arithmetic.
+    const Div<Volts, Hertz> slope = Volts{0.15} / Hertz{1.4e9};
+    const Volts uplift = slope * Hertz{0.7e9};
+    EXPECT_NEAR(uplift, Volts{0.075}, Volts{1e-12});
+
+    const Div<Celsius, Watts> rth = Celsius{0.25} / Watts{1.0};
+    const Celsius rise = rth * Watts{80.0};
+    EXPECT_NEAR(rise, Celsius{20.0}, Celsius{1e-9});
+
+    static_assert(std::is_same_v<Mul<Watts, Seconds>, Joules>);
+}
+
+TEST(Units, ZeroOverheadLayout)
+{
+    // The whole point: the strong types must be bit-identical to the
+    // doubles they replaced.
+    static_assert(sizeof(Volts) == sizeof(double));
+    static_assert(sizeof(InstrPerSec) == sizeof(double));
+    static_assert(std::is_trivially_copyable_v<Watts>);
+    static_assert(alignof(Hertz) == alignof(double));
+
+    // Value-initialized quantities are zero, matching `double x{};`.
+    EXPECT_DOUBLE_EQ(Seconds{}, Seconds{0.0});
+}
+
+TEST(Units, ComparisonAndAbs)
+{
+    EXPECT_TRUE(Volts{1.1} > Volts{1.0});
+    EXPECT_TRUE(Seconds{1e-3} <= Seconds{1e-3});
+    EXPECT_TRUE(Hertz{2.8e9} != Hertz{4.2e9});
+    EXPECT_DOUBLE_EQ(agsim::abs(Volts{-0.02}), Volts{0.02});
+    EXPECT_DOUBLE_EQ(std::max(Watts{10.0}, Watts{12.0}), Watts{12.0});
 }
 
 } // namespace

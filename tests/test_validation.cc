@@ -38,11 +38,11 @@ TEST(ChipConfigValidation, RejectsNonsense)
     EXPECT_THROW(config.validate(), ConfigError);
 
     config = ChipConfig();
-    config.targetFrequency = 0.0;
+    config.targetFrequency = Hertz{0.0};
     EXPECT_THROW(config.validate(), ConfigError);
 
     config = ChipConfig();
-    config.firmwareInterval = -1e-3;
+    config.firmwareInterval = -Seconds{1e-3};
     EXPECT_THROW(config.validate(), ConfigError);
 
     config = ChipConfig();
@@ -50,7 +50,7 @@ TEST(ChipConfigValidation, RejectsNonsense)
     EXPECT_THROW(config.validate(), ConfigError);
 
     config = ChipConfig();
-    config.solverTolerance = -1e-9;
+    config.solverTolerance = -Volts{1e-9};
     EXPECT_THROW(config.validate(), ConfigError);
 
     config = ChipConfig();
@@ -62,7 +62,7 @@ TEST(ChipConfigValidation, ChipConstructorValidates)
 {
     pdn::Vrm vrm(1);
     ChipConfig config;
-    config.firmwareInterval = 0.0;
+    config.firmwareInterval = Seconds{0.0};
     EXPECT_THROW(chip::Chip(config, &vrm), ConfigError);
 }
 
@@ -72,15 +72,15 @@ TEST(UndervoltParamsValidation, RejectsNonsense)
     EXPECT_NO_THROW(params.validate());
 
     params = UndervoltControllerParams();
-    params.voltageStep = 0.0;
+    params.voltageStep = Volts{0.0};
     EXPECT_THROW(params.validate(), ConfigError);
 
     params = UndervoltControllerParams();
-    params.maxUndervolt = 0.0;
+    params.maxUndervolt = Volts{0.0};
     EXPECT_THROW(params.validate(), ConfigError);
 
     params = UndervoltControllerParams();
-    params.maxUndervolt = -0.05;
+    params.maxUndervolt = -Volts{0.05};
     EXPECT_THROW(params.validate(), ConfigError);
 
     params = UndervoltControllerParams();
@@ -100,7 +100,7 @@ TEST(UndervoltParamsValidation, RejectsNonsense)
 TEST(UndervoltParamsValidation, ControllerConstructorValidates)
 {
     UndervoltControllerParams params;
-    params.voltageStep = -1e-3;
+    params.voltageStep = -Volts{1e-3};
     EXPECT_THROW(chip::UndervoltController{params}, ConfigError);
 }
 
@@ -116,19 +116,19 @@ TEST(ServerConfigValidation, RejectsNonsense)
     EXPECT_THROW(config.validate(), ConfigError);
 
     config = ServerConfig();
-    config.platformPower = -10.0;
+    config.platformPower = -Watts{10.0};
     EXPECT_THROW(config.validate(), ConfigError);
 
     config = ServerConfig();
-    config.rail.loadlineResistance = -1e-3;
+    config.rail.loadlineResistance = -Ohms{1e-3};
     EXPECT_THROW(config.validate(), ConfigError);
 
     config = ServerConfig();
-    config.rail.minSetpoint = config.rail.maxSetpoint + 0.1;
+    config.rail.minSetpoint = config.rail.maxSetpoint + Volts{0.1};
     EXPECT_THROW(config.validate(), ConfigError);
 
     config = ServerConfig();
-    config.rail.setpointStep = 0.0;
+    config.rail.setpointStep = Volts{0.0};
     EXPECT_THROW(config.validate(), ConfigError);
 
     // Chip template errors surface through the server's validate too.
@@ -137,7 +137,7 @@ TEST(ServerConfigValidation, RejectsNonsense)
     EXPECT_THROW(config.validate(), ConfigError);
 
     config = ServerConfig();
-    config.chipTemplate.undervolt.maxUndervolt = -0.01;
+    config.chipTemplate.undervolt.maxUndervolt = -Volts{0.01};
     EXPECT_THROW(config.validate(), ConfigError);
 
     config = ServerConfig();
@@ -148,7 +148,7 @@ TEST(ServerConfigValidation, RejectsNonsense)
 TEST(ServerConfigValidation, ServerConstructorValidates)
 {
     ServerConfig config;
-    config.platformPower = -1.0;
+    config.platformPower = -Watts{1.0};
     EXPECT_THROW(Server{config}, ConfigError);
 }
 

@@ -20,9 +20,9 @@ TEST(VfCurve, DefaultAnchorsMatchPaper)
 {
     VfCurve curve;
     // Static setpoint at the 4.2 GHz DVFS top point is ~1.2 V.
-    EXPECT_NEAR(curve.vddStatic(4.2_GHz), 1.200, 1e-9);
+    EXPECT_NEAR(curve.vddStatic(4.2_GHz), Volts{1.200}, Volts{1e-9});
     // At 2.8 GHz the setpoint is ~941 mV (Fig. 6a leftmost diagonal).
-    EXPECT_NEAR(curve.vddStatic(2.8_GHz), 0.941, 2e-3);
+    EXPECT_NEAR(curve.vddStatic(2.8_GHz), Volts{0.941}, Volts{2e-3});
 }
 
 TEST(VfCurve, VminSlopeMatchesFig6a)
@@ -36,7 +36,7 @@ TEST(VfCurve, VminSlopeMatchesFig6a)
 TEST(VfCurve, FmaxInvertsVmin)
 {
     VfCurve curve;
-    for (Hertz f = 2.8e9; f <= 4.2e9; f += 0.1e9)
+    for (Hertz f = Hertz{2.8e9}; f <= Hertz{4.2e9}; f += Hertz{0.1e9})
         EXPECT_NEAR(curve.fmaxAt(curve.vminAt(f)), f, 1.0);
 }
 
@@ -45,8 +45,8 @@ TEST(VfCurve, FmaxClampsToOverclockCeiling)
     VfCurve curve;
     const Hertz ceiling = curve.params().refFrequency *
                           curve.params().overclockCeiling;
-    EXPECT_DOUBLE_EQ(curve.fmaxAt(2.0), ceiling);
-    EXPECT_DOUBLE_EQ(curve.fmaxAt(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(curve.fmaxAt(Volts{2.0}), ceiling);
+    EXPECT_DOUBLE_EQ(curve.fmaxAt(Volts{0.0}), Hertz{0.0});
 }
 
 TEST(VfCurve, TenPercentBoostCeiling)
@@ -71,18 +71,18 @@ TEST(VfCurve, MarginAt)
 {
     VfCurve curve;
     const Hertz f = 4.0_GHz;
-    EXPECT_NEAR(curve.marginAt(curve.vminAt(f), f), 0.0, 1e-12);
-    EXPECT_NEAR(curve.marginAt(curve.vminAt(f) + 0.05, f), 0.05, 1e-12);
+    EXPECT_NEAR(curve.marginAt(curve.vminAt(f), f), Volts{0.0}, Volts{1e-12});
+    EXPECT_NEAR(curve.marginAt(curve.vminAt(f) + Volts{0.05}, f), Volts{0.05}, Volts{1e-12});
 }
 
 TEST(VfCurve, MarginToFrequencyUsesSlope)
 {
     VfCurve curve;
     // ~5.4 MHz per mV.
-    EXPECT_NEAR(curve.marginToFrequency(1.0_mV) / 1e6, 5.4, 0.1);
+    EXPECT_NEAR(curve.marginToFrequency(1.0_mV) / 1e6, Hertz{5.4}, Hertz{0.1});
     // 150 mV guardband is worth ~810 MHz of headroom.
     EXPECT_NEAR(curve.marginToFrequency(curve.params().staticGuardband) /
-                1e6, 810, 15);
+                1e6, Hertz{810}, Hertz{15});
 }
 
 TEST(VfCurve, GuardbandAnatomy)
@@ -96,7 +96,7 @@ TEST(VfCurve, GuardbandAnatomy)
 TEST(VfCurve, RejectsBadParams)
 {
     VfCurveParams params;
-    params.voltsPerHertz = 0.0;
+    params.voltsPerHertz = Div<Volts, Hertz>{0.0};
     EXPECT_THROW(VfCurve{params}, ConfigError);
 
     params = VfCurveParams();
@@ -104,7 +104,7 @@ TEST(VfCurve, RejectsBadParams)
     EXPECT_THROW(VfCurve{params}, ConfigError);
 
     params = VfCurveParams();
-    params.staticGuardband = -0.01;
+    params.staticGuardband = -Volts{0.01};
     EXPECT_THROW(VfCurve{params}, ConfigError);
 
     params = VfCurveParams();
@@ -120,7 +120,7 @@ class VfRoundTripTest : public ::testing::TestWithParam<double>
 TEST_P(VfRoundTripTest, VminFmaxRoundTrip)
 {
     VfCurve curve;
-    const Hertz f = GetParam() * 1e9;
+    const Hertz f{GetParam() * 1e9};
     EXPECT_NEAR(curve.fmaxAt(curve.vminAt(f)), f, 1.0);
 }
 

@@ -19,9 +19,9 @@ using namespace agsim::units;
 TEST(Vrm, LoadlineSagProportionalToCurrent)
 {
     Vrm vrm(1);
-    const Volts noLoad = vrm.deliver(0, 0.0);
+    const Volts noLoad = vrm.deliver(0, Amps{0.0});
     EXPECT_DOUBLE_EQ(noLoad, vrm.setpoint(0));
-    const Amps current = 100.0;
+    const Amps current = Amps{100.0};
     const Volts loaded = vrm.deliver(0, current);
     EXPECT_NEAR(noLoad - loaded,
                 vrm.railParams(0).loadlineResistance * current, 1e-12);
@@ -31,9 +31,10 @@ TEST(Vrm, LoadlineSagProportionalToCurrent)
 TEST(Vrm, LoadlineDropAccessor)
 {
     Vrm vrm(1);
-    vrm.deliver(0, 120.0);
+    vrm.deliver(0, Amps{120.0});
     EXPECT_NEAR(toMilliVolts(vrm.loadlineDrop(0)),
-                toMilliVolts(vrm.railParams(0).loadlineResistance * 120.0),
+                toMilliVolts(vrm.railParams(0).loadlineResistance *
+                             Amps{120.0}),
                 1e-9);
 }
 
@@ -41,7 +42,7 @@ TEST(Vrm, DefaultLoadlineMatchesCalibration)
 {
     // ~0.46 mOhm: 120 A of chip current sags ~55 mV (Fig. 10a scale).
     Vrm vrm(1);
-    vrm.deliver(0, 120.0);
+    vrm.deliver(0, Amps{120.0});
     EXPECT_NEAR(toMilliVolts(vrm.loadlineDrop(0)), 55.2, 0.5);
 }
 
@@ -49,8 +50,8 @@ TEST(Vrm, SetpointQuantizesUpward)
 {
     Vrm vrm(1);
     // Request between DAC steps: must not under-deliver.
-    vrm.setSetpoint(0, 1.1501);
-    EXPECT_GE(vrm.setpoint(0), 1.1501 - 1e-12);
+    vrm.setSetpoint(0, Volts{1.1501});
+    EXPECT_GE(vrm.setpoint(0), Volts{1.1501 - 1e-12});
     const double steps = (vrm.setpoint(0) - vrm.railParams(0).minSetpoint) /
                          vrm.railParams(0).setpointStep;
     EXPECT_NEAR(steps, std::round(steps), 1e-6);
@@ -59,9 +60,9 @@ TEST(Vrm, SetpointQuantizesUpward)
 TEST(Vrm, SetpointClampsToWindow)
 {
     Vrm vrm(1);
-    vrm.setSetpoint(0, 0.5);
+    vrm.setSetpoint(0, Volts{0.5});
     EXPECT_DOUBLE_EQ(vrm.setpoint(0), vrm.railParams(0).minSetpoint);
-    vrm.setSetpoint(0, 2.0);
+    vrm.setSetpoint(0, Volts{2.0});
     EXPECT_DOUBLE_EQ(vrm.setpoint(0), vrm.railParams(0).maxSetpoint);
 }
 
@@ -77,22 +78,22 @@ TEST(Vrm, ExactStepRequestsAreStable)
 TEST(Vrm, RailsAreIndependent)
 {
     Vrm vrm(2);
-    vrm.setSetpoint(0, 1.10);
-    vrm.setSetpoint(1, 1.20);
-    vrm.deliver(0, 50.0);
-    vrm.deliver(1, 100.0);
+    vrm.setSetpoint(0, Volts{1.10});
+    vrm.setSetpoint(1, Volts{1.20});
+    vrm.deliver(0, Amps{50.0});
+    vrm.deliver(1, Amps{100.0});
     EXPECT_NE(vrm.setpoint(0), vrm.setpoint(1));
-    EXPECT_DOUBLE_EQ(vrm.sensedCurrent(0), 50.0);
-    EXPECT_DOUBLE_EQ(vrm.sensedCurrent(1), 100.0);
-    EXPECT_GT(vrm.outputAt(1, 100.0), vrm.outputAt(0, 100.0));
+    EXPECT_DOUBLE_EQ(vrm.sensedCurrent(0), Amps{50.0});
+    EXPECT_DOUBLE_EQ(vrm.sensedCurrent(1), Amps{100.0});
+    EXPECT_GT(vrm.outputAt(1, Amps{100.0}), vrm.outputAt(0, Amps{100.0}));
 }
 
 TEST(Vrm, OutputAtDoesNotUpdateSensor)
 {
     Vrm vrm(1);
-    vrm.deliver(0, 10.0);
-    (void)vrm.outputAt(0, 200.0);
-    EXPECT_DOUBLE_EQ(vrm.sensedCurrent(0), 10.0);
+    vrm.deliver(0, Amps{10.0});
+    (void)vrm.outputAt(0, Amps{200.0});
+    EXPECT_DOUBLE_EQ(vrm.sensedCurrent(0), Amps{10.0});
 }
 
 TEST(Vrm, RejectsBadConstruction)
@@ -100,12 +101,12 @@ TEST(Vrm, RejectsBadConstruction)
     EXPECT_THROW(Vrm(0), ConfigError);
 
     RailParams bad;
-    bad.loadlineResistance = -1.0;
+    bad.loadlineResistance = -Ohms{1.0};
     EXPECT_THROW(Vrm(1, bad), ConfigError);
 
     bad = RailParams();
-    bad.minSetpoint = 1.3;
-    bad.maxSetpoint = 1.2;
+    bad.minSetpoint = Volts{1.3};
+    bad.maxSetpoint = Volts{1.2};
     EXPECT_THROW(Vrm(1, bad), ConfigError);
 }
 
@@ -113,13 +114,13 @@ TEST(Vrm, OutOfRangeRailPanics)
 {
     Vrm vrm(1);
     EXPECT_THROW(vrm.setpoint(1), InternalError);
-    EXPECT_THROW(vrm.deliver(2, 1.0), InternalError);
+    EXPECT_THROW(vrm.deliver(2, Amps{1.0}), InternalError);
 }
 
 TEST(Vrm, NegativeCurrentPanics)
 {
     Vrm vrm(1);
-    EXPECT_THROW(vrm.deliver(0, -1.0), InternalError);
+    EXPECT_THROW(vrm.deliver(0, Amps{-1.0}), InternalError);
 }
 
 } // namespace

@@ -14,13 +14,13 @@ namespace {
 TEST(WebSearch, ProducesWindows)
 {
     WebSearchService service;
-    const auto windows = service.simulate(4.5e9, 3000.0);
+    const auto windows = service.simulate(Hertz{4.5e9}, Seconds{3000.0});
     // 3000 s / 150 s window... default window is 300 s: 10 windows.
     EXPECT_EQ(windows.size(),
-              size_t(3000.0 / service.params().windowLength));
+              size_t(Seconds{3000.0} / service.params().windowLength));
     for (const auto &w : windows) {
         EXPECT_GT(w.queries, 0u);
-        EXPECT_GT(w.p90, 0.0);
+        EXPECT_GT(w.p90, Seconds{0.0});
         EXPECT_GT(w.p90, w.meanLatency);
     }
 }
@@ -28,8 +28,8 @@ TEST(WebSearch, ProducesWindows)
 TEST(WebSearch, ReproducibleWithSameSeed)
 {
     WebSearchService a, b;
-    const auto wa = a.simulate(4.5e9, 1500.0);
-    const auto wb = b.simulate(4.5e9, 1500.0);
+    const auto wa = a.simulate(Hertz{4.5e9}, Seconds{1500.0});
+    const auto wb = b.simulate(Hertz{4.5e9}, Seconds{1500.0});
     ASSERT_EQ(wa.size(), wb.size());
     for (size_t i = 0; i < wa.size(); ++i)
         EXPECT_DOUBLE_EQ(wa[i].p90, wb[i].p90);
@@ -38,9 +38,9 @@ TEST(WebSearch, ReproducibleWithSameSeed)
 TEST(WebSearch, ReseedResetsStream)
 {
     WebSearchService service;
-    const auto first = service.simulate(4.5e9, 1500.0);
+    const auto first = service.simulate(Hertz{4.5e9}, Seconds{1500.0});
     service.reseed(service.params().seed);
-    const auto again = service.simulate(4.5e9, 1500.0);
+    const auto again = service.simulate(Hertz{4.5e9}, Seconds{1500.0});
     ASSERT_EQ(first.size(), again.size());
     EXPECT_DOUBLE_EQ(first[0].p90, again[0].p90);
 }
@@ -48,9 +48,9 @@ TEST(WebSearch, ReseedResetsStream)
 TEST(WebSearch, LatencyFallsWithFrequency)
 {
     WebSearchService service;
-    const auto slow = service.simulate(4.3e9, 6000.0);
+    const auto slow = service.simulate(Hertz{4.3e9}, Seconds{6000.0});
     service.reseed(service.params().seed);
-    const auto fast = service.simulate(4.6e9, 6000.0);
+    const auto fast = service.simulate(Hertz{4.6e9}, Seconds{6000.0});
     EXPECT_GT(WebSearchService::meanP90(slow),
               WebSearchService::meanP90(fast));
 }
@@ -62,15 +62,15 @@ TEST(WebSearch, ViolationRateOrderingMatchesFig17)
     auto rateAt = [&service](Hertz f) {
         service.reseed(service.params().seed);
         return WebSearchService::violationRate(
-            service.simulate(f, 30000.0));
+            service.simulate(f, Seconds{30000.0}));
     };
     // Frequencies from the simulator's colocation runs: a lone
     // websearch core rides the 10% DPLL ceiling (~4.62 GHz); the heavy
     // co-runner drags the chip to ~4.47 GHz.
-    const double solo = rateAt(4.62e9);
-    const double light = rateAt(4.60e9);
-    const double medium = rateAt(4.58e9);
-    const double heavy = rateAt(4.47e9);
+    const double solo = rateAt(Hertz{4.62e9});
+    const double light = rateAt(Hertz{4.60e9});
+    const double medium = rateAt(Hertz{4.58e9});
+    const double heavy = rateAt(Hertz{4.47e9});
     EXPECT_LE(solo, light + 0.02);
     EXPECT_LT(light, medium);
     EXPECT_LT(medium, heavy);
@@ -82,9 +82,9 @@ TEST(WebSearch, ViolationRateOrderingMatchesFig17)
 TEST(WebSearch, InterferenceAddsLatency)
 {
     WebSearchService service;
-    const auto clean = service.simulate(4.5e9, 6000.0, 0.0);
+    const auto clean = service.simulate(Hertz{4.5e9}, Seconds{6000.0}, 0.0);
     service.reseed(service.params().seed);
-    const auto noisy = service.simulate(4.5e9, 6000.0, 0.05);
+    const auto noisy = service.simulate(Hertz{4.5e9}, Seconds{6000.0}, 0.05);
     EXPECT_GT(WebSearchService::meanP90(noisy),
               WebSearchService::meanP90(clean));
 }
@@ -92,7 +92,7 @@ TEST(WebSearch, InterferenceAddsLatency)
 TEST(WebSearch, SortedP90IsSorted)
 {
     WebSearchService service;
-    const auto windows = service.simulate(4.45e9, 6000.0);
+    const auto windows = service.simulate(Hertz{4.45e9}, Seconds{6000.0});
     const auto sorted = WebSearchService::sortedP90(windows);
     ASSERT_EQ(sorted.size(), windows.size());
     for (size_t i = 1; i < sorted.size(); ++i)
@@ -102,7 +102,7 @@ TEST(WebSearch, SortedP90IsSorted)
 TEST(WebSearch, EmptyWindowHelpers)
 {
     EXPECT_DOUBLE_EQ(WebSearchService::violationRate({}), 0.0);
-    EXPECT_DOUBLE_EQ(WebSearchService::meanP90({}), 0.0);
+    EXPECT_DOUBLE_EQ(WebSearchService::meanP90({}), Seconds{0.0});
 }
 
 TEST(WebSearch, Validation)
@@ -116,8 +116,8 @@ TEST(WebSearch, Validation)
     EXPECT_THROW(WebSearchService{params}, ConfigError);
 
     WebSearchService service;
-    EXPECT_THROW(service.simulate(4.5e9, 0.0), ConfigError);
-    EXPECT_THROW(service.simulate(4.5e9, 100.0, -0.1), ConfigError);
+    EXPECT_THROW(service.simulate(Hertz{4.5e9}, Seconds{0.0}), ConfigError);
+    EXPECT_THROW(service.simulate(Hertz{4.5e9}, Seconds{100.0}, -0.1), ConfigError);
 }
 
 } // namespace

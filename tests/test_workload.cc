@@ -87,14 +87,15 @@ TEST(Library, MipsPowerCorrelationHolds)
     for (const auto &p : library()) {
         if (p.suite == Suite::Coremark || p.suite == Suite::Datacenter)
             continue;
-        const double predicted = 0.46 + 0.066 * p.mipsPerThread / 1e9;
+        const double predicted =
+            0.46 + 0.066 * (p.mipsPerThread / InstrPerSec{1e9});
         EXPECT_NEAR(p.intensity, predicted, 0.08) << p.name;
     }
 }
 
 TEST(ThrottledCoremark, ScalesRateAndPower)
 {
-    const auto light = throttledCoremark("light", 13000e6 / 7.0);
+    const auto light = throttledCoremark("light", InstrPerSec{13000e6 / 7.0});
     const auto &full = byName("coremark");
     EXPECT_LT(light.mipsPerThread, full.mipsPerThread);
     EXPECT_LT(light.intensity, full.intensity);
@@ -104,8 +105,8 @@ TEST(ThrottledCoremark, ScalesRateAndPower)
 
 TEST(ThrottledCoremark, RejectsBadRates)
 {
-    EXPECT_THROW(throttledCoremark("bad", 0.0), ConfigError);
-    EXPECT_THROW(throttledCoremark("bad", 20000e6), ConfigError);
+    EXPECT_THROW(throttledCoremark("bad", InstrPerSec{0.0}), ConfigError);
+    EXPECT_THROW(throttledCoremark("bad", InstrPerSec{20000e6}), ConfigError);
 }
 
 TEST(ThreadedWorkload, FrequencyScaleHonoursMemoryBoundedness)
@@ -113,12 +114,12 @@ TEST(ThreadedWorkload, FrequencyScaleHonoursMemoryBoundedness)
     ThreadedWorkload compute(byName("swaptions"), RunMode::Multithreaded);
     ThreadedWorkload memory(byName("mcf"), RunMode::Rate);
     // A 10% overclock speeds the compute-bound job nearly 10%...
-    EXPECT_NEAR(compute.frequencyScale(4.62e9), 1.096, 0.01);
+    EXPECT_NEAR(compute.frequencyScale(Hertz{4.62e9}), 1.096, 0.01);
     // ...but the memory-bound one much less.
-    EXPECT_LT(memory.frequencyScale(4.62e9), 1.02);
+    EXPECT_LT(memory.frequencyScale(Hertz{4.62e9}), 1.02);
     // Both are exactly 1 at nominal.
-    EXPECT_DOUBLE_EQ(compute.frequencyScale(4.2e9), 1.0);
-    EXPECT_DOUBLE_EQ(memory.frequencyScale(4.2e9), 1.0);
+    EXPECT_DOUBLE_EQ(compute.frequencyScale(Hertz{4.2e9}), 1.0);
+    EXPECT_DOUBLE_EQ(memory.frequencyScale(Hertz{4.2e9}), 1.0);
 }
 
 TEST(ThreadedWorkload, AmdahlEfficiency)
@@ -154,16 +155,16 @@ TEST(ThreadedWorkload, ThreadRateComposition)
 {
     ThreadedWorkload w(byName("raytrace"), RunMode::Multithreaded);
     PlacementContext solo{1, 1, false, 8};
-    const double base = w.threadRate(solo, 4.2e9);
-    EXPECT_NEAR(base, w.profile().mipsPerThread, 1e-3);
+    const InstrPerSec base = w.threadRate(solo, Hertz{4.2e9});
+    EXPECT_NEAR(base, w.profile().mipsPerThread, InstrPerSec{1e-3});
 
     PlacementContext crowded{8, 8, false, 8};
-    EXPECT_LT(w.threadRate(crowded, 4.2e9), base);
+    EXPECT_LT(w.threadRate(crowded, Hertz{4.2e9}), base);
 
     PlacementContext spanning{8, 4, true, 8};
     // Fewer threads per chip relieves contention but adds comm loss.
-    const double s = w.threadRate(spanning, 4.2e9);
-    EXPECT_GT(s, 0.0);
+    const InstrPerSec s = w.threadRate(spanning, Hertz{4.2e9});
+    EXPECT_GT(s, InstrPerSec{0.0});
 }
 
 TEST(ThreadedWorkload, TotalWorkSemantics)
@@ -179,7 +180,7 @@ TEST(ThreadedWorkload, GroupSpeedupIsSublinearUnderContention)
 {
     ThreadedWorkload w(byName("ferret"), RunMode::Multithreaded);
     PlacementContext eight{8, 8, false, 8};
-    const double speedup = w.groupSpeedup(eight, 4.2e9);
+    const double speedup = w.groupSpeedup(eight, Hertz{4.2e9});
     EXPECT_GT(speedup, 3.0);
     EXPECT_LT(speedup, 8.0);
 }

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""agsim project lint gate.
+
+Three project-specific rules that clang-tidy cannot express:
+
+  naked-double      In public headers of the physics modules (src/pdn,
+                    src/power, src/chip, src/clock, src/sensors), a
+                    declaration `double name` whose identifier claims a
+                    physical unit (powerWatts, droopMv, windowSeconds...)
+                    must use the matching Quantity alias from
+                    common/units.h instead. Rates and ratios (`...PerSec`,
+                    fractions, scales) are exempt: their unit is not the
+                    suffix unit.
+
+  config-validate   Every field of a `*_config.h` configuration struct
+                    must be mentioned by the struct's validate()
+                    implementation, so no tunable can silently escape
+                    range checking.
+
+  include-guard     Header guards must spell AGSIM_<DIRS>_<FILE>_H from
+                    the header's path (src/ prefix stripped), so guards
+                    stay collision-free as files move.
+
+Usage: tools/lint.py [--root DIR] [--json FILE]
+Exit status 1 when any finding is reported.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+PHYSICS_DIRS = ("src/pdn", "src/power", "src/chip", "src/clock",
+                "src/sensors")
+
+# Identifier suffixes that claim a unit. A `double` whose name ends in
+# one of these is lying about its type.
+UNIT_SUFFIX = re.compile(
+    r".*(Volts|Millivolts|Mv|Watts|Joules|Hertz|Ghz|Mhz|Hz|Seconds|"
+    r"Celsius|DegC|Ohms|MilliOhms|Amps|Mips)$")
+# ...unless the name is a rate/ratio built on the unit (perSecond,
+# sensitivityPerVolt): the composite is dimensionally something else.
+RATE_NAME = re.compile(r".*[Pp]er[A-Z]\w*$")
+
+DECL = re.compile(r"^\s*(?:const\s+)?double\s+([A-Za-z_]\w*)\s*[;={]")
+GUARD = re.compile(r"^#ifndef\s+(\w+)\s*$", re.M)
+FIELD = re.compile(
+    r"^\s{4}(?:[A-Za-z_][\w:]*(?:<[\w:,\s]+>)?)\s+([a-z]\w*)\s*(?:=[^=]|\{|;)")
+
+
+def find_headers(root):
+    for base in ("src", "tests", "bench", "examples"):
+        yield from sorted((root / base).rglob("*.h")) if (
+            root / base).is_dir() else ()
+
+
+def check_naked_double(root, findings):
+    for d in PHYSICS_DIRS:
+        for header in sorted((root / d).glob("*.h")):
+            for lineno, line in enumerate(
+                    header.read_text().splitlines(), 1):
+                m = DECL.match(line)
+                if not m:
+                    continue
+                name = m.group(1)
+                if UNIT_SUFFIX.match(name) and not RATE_NAME.match(name):
+                    findings.append({
+                        "rule": "naked-double",
+                        "file": str(header.relative_to(root)),
+                        "line": lineno,
+                        "message": f"'double {name}' claims a unit in its "
+                                   "name; use the Quantity alias from "
+                                   "common/units.h",
+                    })
+
+
+def struct_fields(text):
+    """Field names of every top-level struct body in a header."""
+    fields = []
+    for body in re.finditer(r"^struct\s+\w+\s*\n\{\n(.*?)^\};", text,
+                            re.M | re.S):
+        depth = 0
+        for line in body.group(1).splitlines():
+            if depth == 0:
+                m = FIELD.match(line)
+                if m and m.group(1) != "return":
+                    fields.append(m.group(1))
+            depth += line.count("{") - line.count("}")
+    return fields
+
+
+def check_config_validate(root, findings):
+    for header in sorted((root / "src").rglob("*_config.h")):
+        text = header.read_text()
+        impl = text
+        sibling = header.with_suffix(".cc")
+        if sibling.exists():
+            impl += sibling.read_text()
+        validate_bodies = "".join(
+            m.group(0) for m in re.finditer(
+                r"validate\(\)\s*const\s*\n\{.*?^\}", impl, re.M | re.S))
+        if not validate_bodies:
+            findings.append({
+                "rule": "config-validate",
+                "file": str(header.relative_to(root)),
+                "line": 1,
+                "message": "config header has no validate() implementation",
+            })
+            continue
+        for field in struct_fields(text):
+            if not re.search(r"\b" + re.escape(field) + r"\b",
+                             validate_bodies):
+                findings.append({
+                    "rule": "config-validate",
+                    "file": str(header.relative_to(root)),
+                    "line": 1,
+                    "message": f"field '{field}' is never mentioned by "
+                               "validate()",
+                })
+
+
+def expected_guard(root, header):
+    rel = header.relative_to(root)
+    parts = list(rel.parts)
+    if parts[0] == "src":
+        parts = parts[1:]
+    parts[-1] = parts[-1].replace(".h", "")
+    return "AGSIM_" + "_".join(p.upper().replace("-", "_")
+                               for p in parts) + "_H"
+
+
+def check_include_guards(root, findings):
+    for header in find_headers(root):
+        text = header.read_text()
+        m = GUARD.search(text)
+        want = expected_guard(root, header)
+        if not m:
+            findings.append({
+                "rule": "include-guard",
+                "file": str(header.relative_to(root)),
+                "line": 1,
+                "message": f"missing include guard (expected {want})",
+            })
+        elif m.group(1) != want:
+            findings.append({
+                "rule": "include-guard",
+                "file": str(header.relative_to(root)),
+                "line": text[:m.start()].count("\n") + 1,
+                "message": f"guard {m.group(1)} should be {want}",
+            })
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=Path(__file__).parent.parent,
+                        type=Path)
+    parser.add_argument("--json", type=Path,
+                        help="also write findings as JSON")
+    args = parser.parse_args()
+    root = args.root.resolve()
+
+    findings = []
+    check_naked_double(root, findings)
+    check_config_validate(root, findings)
+    check_include_guards(root, findings)
+
+    for f in findings:
+        print(f"{f['file']}:{f['line']}: [{f['rule']}] {f['message']}")
+    print(f"lint: {len(findings)} finding(s)")
+    if args.json:
+        args.json.write_text(json.dumps(findings, indent=2) + "\n")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
