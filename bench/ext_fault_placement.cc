@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Extension bench: fault-aware placement on safety telemetry.
+ *
+ * A two-socket fleet runs independent SPECrate-style copies in
+ * AdaptiveOverclock while socket 0 takes a persistent droop storm with
+ * its CPM bank dropped out (the composition that actually demotes a
+ * chip: blind cores are assessed against the storm-scaled envelope, so
+ * the watchdog trips and the chip latches in StaticGuardband). Three
+ * arms run the same quantum-by-quantum schedule:
+ *
+ *  - healthy: no faults; balanced loadline-borrowing placement. The
+ *             fleet-throughput ceiling.
+ *  - blind:   faulted; placement stays balanced regardless of health.
+ *             The demoted socket's threads forfeit the overclock boost.
+ *  - aware:   faulted; a core::HealthAwarePlacer reads each socket's
+ *             ChipHealthView between quanta and steers threads toward
+ *             the sockets that still hold adaptive headroom.
+ *
+ * Reported: per-quantum and mean fleet MIPS per arm, the throughput
+ * lost to the fault (healthy - blind), how much the health-aware
+ * policy claws back (aware - blind), and the recovery fraction. The
+ * acceptance criterion is recovery >= 0.5: steering must recover at
+ * least half of what the fault cost the blind baseline.
+ *
+ * Output is one single-line JSON record (scripts/CI) plus a table when
+ * chart=1.
+ *
+ * Usage: ext_fault_placement [threads=4] [quanta=8] [profile=swaptions]
+ *        [qwarmup=0.2] [qmeasure=0.45] [storm_rate=30] [storm_depth=1.8]
+ *        [seed=...] [chart=0|1]
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "chip/chip_health.h"
+#include "core/placement.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "system/server.h"
+#include "system/simulation.h"
+
+using namespace agsim;
+using namespace agsim::units;
+
+namespace {
+
+constexpr Seconds kDt = Seconds{1e-3};
+constexpr Seconds kFaultStart = Seconds{0.05};
+
+/** Everything one arm of the study needs. */
+struct ArmSpec
+{
+    std::string name;
+    bool faulted = false;
+    bool aware = false;
+};
+
+struct ArmResult
+{
+    std::string name;
+    std::vector<double> quantumMips;
+    std::vector<size_t> finalCounts;
+    double meanMips = 0.0;
+    int64_t migrations = 0;
+    std::string faultedHealth; // describeChipHealth of socket 0 at end
+};
+
+struct StudyConfig
+{
+    size_t threads = 4;
+    int quanta = 8;
+    Seconds quantumWarmup = Seconds{0.2};
+    Seconds quantumMeasure = Seconds{0.45};
+    double stormRate = 30.0;
+    double stormDepth = 1.8;
+    workload::BenchmarkProfile profile;
+};
+
+system::ServerConfig
+serverConfig(uint64_t seed)
+{
+    system::ServerConfig config;
+    config.chipTemplate.seed = seed;
+    // Latch on the first demotion: the storm is permanent, and the
+    // study measures steady-state steering, not the re-arm cycle (the
+    // placer's hysteresis across re-arms is covered by
+    // tests/test_health_placement.cc).
+    config.chipTemplate.safety.maxRearms = 0;
+    return config;
+}
+
+/** Run one arm: probe quantum to surface the fault, then the schedule. */
+ArmResult
+runArm(const ArmSpec &arm, const StudyConfig &study,
+       const bench::BenchOptions &options)
+{
+    ArmResult result;
+    result.name = arm.name;
+
+    // Injector declared before the Server so it outlives Chip::step()
+    // during destruction.
+    std::unique_ptr<fault::FaultInjector> injector;
+    system::Server server(serverConfig(options.seed));
+    server.setMode(chip::GuardbandMode::AdaptiveOverclock);
+    const size_t sockets = server.socketCount();
+    const size_t coresPerSocket = server.chip(0).coreCount();
+
+    if (arm.faulted) {
+        fault::FaultPlan plan;
+        plan.droopStorm(kFaultStart, Seconds{0.0}, study.stormRate,
+                        study.stormDepth)
+            .cpmDropout(kFaultStart, Seconds{0.0});
+        injector = std::make_unique<fault::FaultInjector>(
+            plan, server.chip(0).coreCount());
+        server.chip(0).attachFaultInjector(injector.get());
+    }
+
+    core::HealthAwareParams params;
+    params.enabled = arm.aware;
+    core::HealthAwarePlacer placer(params);
+
+    const auto balancedPlan = [&] {
+        return core::makePlacementPlan(
+            core::PlacementPolicy::LoadlineBorrow, sockets, coresPerSocket,
+            study.threads, study.threads);
+    };
+
+    const auto runQuantum = [&](const core::PlacementPlan &plan,
+                                Seconds warmup, Seconds measure) {
+        system::WorkloadSimulation sim(&server);
+        sim.addJob(system::Job{
+            workload::ThreadedWorkload(study.profile, workload::RunMode::Rate),
+            plan.threads, arm.name});
+        for (const auto &[socket, core] : plan.gatedCores)
+            sim.gateCore(socket, core);
+        system::SimulationConfig simConfig;
+        simConfig.dt = kDt;
+        simConfig.warmup = warmup;
+        simConfig.measureDuration = measure;
+        return sim.run(simConfig);
+    };
+
+    // Probe: one throwaway balanced quantum so the fault (injected at
+    // kFaultStart) surfaces in the health telemetry before the first
+    // scheduling decision — every arm runs it so thermal/firmware state
+    // stays comparable.
+    runQuantum(balancedPlan(), Seconds{0.35}, Seconds{0.02});
+
+    Seconds now = Seconds{0.37};
+    for (int q = 0; q < study.quanta; ++q) {
+        core::PlacementPlan plan;
+        if (arm.aware) {
+            std::vector<chip::ChipHealthView> health;
+            health.reserve(sockets);
+            for (size_t s = 0; s < sockets; ++s)
+                health.push_back(server.chip(s).healthView());
+            const auto decision = placer.place(health, study.threads,
+                                               coresPerSocket, now);
+            plan = core::makeHealthAwarePlacementPlan(decision,
+                                                      coresPerSocket,
+                                                      study.threads);
+            result.finalCounts = decision.threadsPerSocket;
+        } else {
+            plan = balancedPlan();
+        }
+        const auto metrics =
+            runQuantum(plan, study.quantumWarmup, study.quantumMeasure);
+        result.quantumMips.push_back(metrics.meanChipMips);
+        now += study.quantumWarmup + study.quantumMeasure;
+    }
+
+    if (!arm.aware) {
+        result.finalCounts.assign(sockets, 0);
+        const auto plan = balancedPlan();
+        for (const auto &p : plan.threads)
+            ++result.finalCounts[p.socket];
+    }
+    result.migrations = placer.migrations();
+    result.faultedHealth = chip::describeChipHealth(
+        server.chip(0).healthView());
+
+    double sum = 0.0;
+    for (double mips : result.quantumMips)
+        sum += mips;
+    result.meanMips = result.quantumMips.empty()
+                          ? 0.0
+                          : sum / double(result.quantumMips.size());
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchOptions options = bench::parseOptions(argc, argv);
+
+    StudyConfig study;
+    study.threads = size_t(options.params.getInt("threads", 4));
+    study.quanta = options.params.getInt("quanta", 8);
+    study.quantumWarmup =
+        Seconds{options.params.getDouble("qwarmup", 0.2)};
+    study.quantumMeasure =
+        Seconds{options.params.getDouble("qmeasure", 0.45)};
+    study.stormRate = options.params.getDouble("storm_rate", 30.0);
+    study.stormDepth = options.params.getDouble("storm_depth", 1.8);
+    study.profile = workload::byName(
+        options.params.getString("profile", "swaptions"));
+
+    const std::vector<ArmSpec> arms = {
+        {"healthy", false, false},
+        {"blind", true, false},
+        {"aware", true, true},
+    };
+    std::vector<ArmResult> results;
+    results.reserve(arms.size());
+    for (const auto &arm : arms)
+        results.push_back(runArm(arm, study, options));
+
+    const ArmResult &healthy = results[0];
+    const ArmResult &blind = results[1];
+    const ArmResult &aware = results[2];
+    const double lost = healthy.meanMips - blind.meanMips;
+    const double recovered = aware.meanMips - blind.meanMips;
+    const double recovery = lost > 1e-9 ? recovered / lost : 0.0;
+    const bool pass = recovery >= 0.5;
+
+    if (options.chart) {
+        bench::banner(
+            "ext_fault_placement: health-aware steering under a droop "
+            "storm (" + study.profile.name + ", AdaptiveOverclock)",
+            "a demoted chip forfeits the overclock boost; steering work "
+            "toward healthy sockets recovers most of it");
+        std::printf("%8s %12s %12s %12s\n", "quantum", "healthy", "blind",
+                    "aware");
+        for (int q = 0; q < study.quanta; ++q)
+            std::printf("%8d %12.1f %12.1f %12.1f\n", q,
+                        healthy.quantumMips[q], blind.quantumMips[q],
+                        aware.quantumMips[q]);
+        std::printf("%8s %12.1f %12.1f %12.1f\n", "mean", healthy.meanMips,
+                    blind.meanMips, aware.meanMips);
+        std::printf("\nlost to fault: %.1f MIPS, recovered by steering: "
+                    "%.1f MIPS (%.0f%%) -> %s\n", lost, recovered,
+                    100.0 * recovery, pass ? "PASS" : "FAIL");
+        std::printf("aware arm migrations: %lld, final counts:",
+                    (long long)aware.migrations);
+        for (size_t c : aware.finalCounts)
+            std::printf(" %zu", c);
+        std::printf("\nfaulted socket (aware): %s\n",
+                    aware.faultedHealth.c_str());
+    }
+
+    auto summary = bench::benchSummary("ext_fault_placement", options);
+    summary.set("profile", study.profile.name);
+    summary.set("threads", int64_t(study.threads));
+    summary.set("quanta", int64_t(study.quanta));
+    std::string armsJson = "[";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        obs::JsonLineWriter record;
+        record.set("arm", r.name);
+        record.set("mean_mips", r.meanMips);
+        record.set("migrations", r.migrations);
+        std::string series = "[";
+        for (size_t q = 0; q < r.quantumMips.size(); ++q)
+            series += (q == 0 ? "" : ", ") +
+                      std::to_string(r.quantumMips[q]);
+        series += "]";
+        record.setRaw("quantum_mips", series);
+        armsJson += (i == 0 ? "" : ", ") + record.str();
+    }
+    armsJson += "]";
+    summary.setRaw("arms", armsJson);
+    summary.set("lost_mips", lost);
+    summary.set("recovered_mips", recovered);
+    summary.set("recovery_fraction", recovery);
+    summary.set("pass", pass);
+    bench::finishBench(options, summary);
+    return pass ? 0 : 1;
+}

@@ -123,6 +123,7 @@ Chip::setMode(GuardbandMode mode)
     applyMode(mode);
     demotedFrom_ = mode;
     safety_.reset();
+    latchedDroopDepth_ = Volts{0.0};
 }
 
 void
@@ -337,8 +338,11 @@ Chip::step(Seconds dt)
                                              scratchWorstAmps_, dt,
                                              droopRateScale);
     const Volts worstCharacteristic = didt_.worstDepth(scratchWorstAmps_);
-    if (noise.droopEvents > 0)
+    if (noise.droopEvents > 0) {
         droopHistogram_.add(noise.worstDroop.value());
+        if (noise.worstDroop > latchedDroopDepth_)
+            latchedDroopDepth_ = noise.worstDroop;
+    }
 
     // Vcs (storage) rail: a lightly activity-dependent constant load,
     // reported separately from the Vdd metric the paper uses.
@@ -440,6 +444,7 @@ Chip::step(Seconds dt)
     obs.decomposition = decomposition_[0];
     obs.timingEmergencies = lastEmergencies_;
     obs.safetyDemotions = lastDemotions_;
+    obs.safetyRearms = lastRearms_;
     obs.worstMargin = lastWorstMargin_;
     {
         obs::ScopedTimer timer(obsTelemetryTimer_);
@@ -564,6 +569,7 @@ Chip::runSafetyMonitor(const pdn::DidtSample &noise,
     lastEmergencies_ = emergencies;
     lastWorstMargin_ = worst;
     lastDemotions_ = 0;
+    lastRearms_ = 0;
     if (emergencies > 0)
         obsEmergencies_->add(emergencies);
 
@@ -589,6 +595,7 @@ Chip::runSafetyMonitor(const pdn::DidtSample &noise,
         break;
       case SafetyMonitor::Action::Rearm:
         applyMode(demotedFrom_);
+        lastRearms_ = 1;
         obsRearms_->add();
         if (obs::tracingEnabled()) {
             obs::TraceEvent event = chipEvent(obs::TraceKind::SafetyRearm,
@@ -599,6 +606,21 @@ Chip::runSafetyMonitor(const pdn::DidtSample &noise,
         }
         break;
     }
+}
+
+ChipHealthView
+Chip::healthView() const
+{
+    ChipHealthView view;
+    view.state = safety_.state();
+    view.commandedMode = demotedFrom_;
+    view.effectiveMode = config_.mode;
+    view.demotions = safety_.demotionCount();
+    view.rearms = safety_.rearmCount();
+    view.emergencies = safety_.totalEmergencies();
+    view.rearmBudget = safety_.rearmBudget();
+    view.latchedDroopDepth = latchedDroopDepth_;
+    return view;
 }
 
 void

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "chip/chip_config.h"
+#include "chip/chip_health.h"
 #include "chip/core_load.h"
 #include "chip/safety_monitor.h"
 #include "clock/dpll.h"
@@ -122,6 +123,33 @@ class Chip
 
     /** Firmware decisions suppressed by injected stalls. */
     int64_t missedFirmwareTicks() const { return missedFirmwareTicks_; }
+
+    /** @name Public safety telemetry (scheduler/CSV-facing) */
+    /// @{
+
+    /** Timing emergencies since the last operator mode command. */
+    int64_t totalEmergencies() const { return safety_.totalEmergencies(); }
+
+    /** Safety demotions since the last operator mode command. */
+    int64_t totalDemotions() const { return safety_.demotionCount(); }
+
+    /** Safety re-arms since the last operator mode command. */
+    int64_t totalRearms() const { return safety_.rearmCount(); }
+
+    /**
+     * Deepest worst-case droop seen since the last operator mode
+     * command (sticky maximum, reset by setMode()).
+     */
+    Volts latchedDroopDepth() const { return latchedDroopDepth_; }
+
+    /**
+     * Snapshot of this chip's safety telemetry for schedulers — the
+     * tie between the watchdog and the placement policies in
+     * src/core/ (see chip/chip_health.h).
+     */
+    ChipHealthView healthView() const;
+
+    /// @}
 
     /// @}
 
@@ -290,7 +318,11 @@ class Chip
     GuardbandMode demotedFrom_ = GuardbandMode::StaticGuardband;
     int lastEmergencies_ = 0;
     int lastDemotions_ = 0;
+    int lastRearms_ = 0;
     Volts lastWorstMargin_ = Volts{0.0};
+    // Sticky max worst-case droop since the last operator mode command
+    // (the AMESTER sticky-mode analogue exported via healthView()).
+    Volts latchedDroopDepth_ = Volts{0.0};
     int64_t missedFirmwareTicks_ = 0;
 
     // Observability (see docs/OBSERVABILITY.md). All of this is

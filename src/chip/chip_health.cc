@@ -1,0 +1,24 @@
+#include "chip/chip_health.h"
+
+#include <sstream>
+
+namespace agsim::chip {
+
+std::string
+describeChipHealth(const ChipHealthView &view)
+{
+    std::ostringstream out;
+    out << safetyStateName(view.state) << " ("
+        << guardbandModeName(view.effectiveMode);
+    if (view.effectiveMode != view.commandedMode)
+        out << ", commanded " << guardbandModeName(view.commandedMode);
+    out << "), demotions=" << view.demotions << ", rearms=" << view.rearms
+        << ", emergencies=" << view.emergencies;
+    if (view.state == SafetyState::Demoted)
+        out << ", rearm in " << toMilliSeconds(view.rearmBudget) << " ms";
+    out << ", droop depth " << toMilliVolts(view.latchedDroopDepth)
+        << " mV";
+    return out.str();
+}
+
+} // namespace agsim::chip

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * ChipHealthView: the safety telemetry one chip exports to schedulers.
+ *
+ * The paper's system-level win (Sec. 5) depends on the scheduler
+ * knowing each chip's true guardband state; a chip the SafetyMonitor
+ * demoted to StaticGuardband no longer has the ~25% adaptive recovery
+ * headroom the loadline-borrowing math assumes. This view is the
+ * contract between the chip layer and the placement policies in
+ * src/core/: a snapshot of the watchdog's verdict plus the counters a
+ * middleware scheduler can actually read, crossing the interface as
+ * the strong unit types from common/units.h (re-arm budget in Seconds,
+ * latched droop depth in Volts) so the placement math inherits the
+ * same compile-time dimensional checks as the physics core.
+ *
+ * The view is a pure value snapshot — schedulers poll it between
+ * quanta; nothing in it feeds back into chip state.
+ */
+
+#ifndef AGSIM_CHIP_CHIP_HEALTH_H
+#define AGSIM_CHIP_CHIP_HEALTH_H
+
+#include <cstdint>
+#include <string>
+
+#include "chip/guardband_mode.h"
+#include "chip/safety_monitor.h"
+#include "common/units.h"
+
+namespace agsim::chip {
+
+/** One chip's safety telemetry as the scheduler sees it. */
+struct ChipHealthView
+{
+    /** Watchdog verdict (Monitoring / Demoted / Latched). */
+    SafetyState state = SafetyState::Monitoring;
+    /** Mode the operator commanded (what the chip re-arms back to). */
+    GuardbandMode commandedMode = GuardbandMode::StaticGuardband;
+    /** Mode the chip is actually running (differs while demoted). */
+    GuardbandMode effectiveMode = GuardbandMode::StaticGuardband;
+    /** Safety demotions since the last operator mode command. */
+    int64_t demotions = 0;
+    /** Re-arms since the last operator mode command. */
+    int64_t rearms = 0;
+    /** Timing emergencies since the last operator mode command. */
+    int64_t emergencies = 0;
+    /**
+     * Clean time still owed before the next re-arm attempt: zero while
+     * Monitoring, the remaining (backoff-scaled) clean interval while
+     * Demoted, negative while Latched — no budget will ever re-arm a
+     * latched chip, which is how a scheduler tells "wait it out" from
+     * "rebalance permanently".
+     */
+    Seconds rearmBudget = Seconds{0.0};
+    /**
+     * Deepest worst-case droop latched since the last operator mode
+     * command (sticky maximum, the AMESTER sticky-mode analogue). A
+     * value far above the characterized envelope marks a storm-struck
+     * chip even before the watchdog demotes it.
+     */
+    Volts latchedDroopDepth = Volts{0.0};
+
+    /** Whether the watchdog currently withholds the adaptive mode. */
+    bool demoted() const { return state != SafetyState::Monitoring; }
+
+    /** Whether the commanded mode is a demotable (adaptive) one. */
+    bool adaptiveCommanded() const
+    {
+        return commandedMode == GuardbandMode::AdaptiveOverclock ||
+               commandedMode == GuardbandMode::AdaptiveUndervolt;
+    }
+
+    /**
+     * Whether placement may credit this chip with adaptive headroom:
+     * armed watchdog, adaptive mode commanded and effective.
+     */
+    bool healthy() const
+    {
+        return state == SafetyState::Monitoring &&
+               commandedMode == effectiveMode;
+    }
+};
+
+/** One-line human-readable rendering (operator logs, trace details). */
+std::string describeChipHealth(const ChipHealthView &view);
+
+} // namespace agsim::chip
+
+#endif // AGSIM_CHIP_CHIP_HEALTH_H

@@ -1,5 +1,6 @@
 #include "chip/safety_monitor.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
@@ -100,6 +101,31 @@ SafetyMonitor::observe(bool emergency, bool adaptiveMode, Seconds dt)
         return Action::None;
     }
     return Action::None;
+}
+
+Seconds
+SafetyMonitor::requiredCleanInterval() const
+{
+    switch (state_) {
+      case SafetyState::Monitoring:
+        return Seconds{0.0};
+      case SafetyState::Demoted:
+        return params_.rearmInterval *
+               std::pow(params_.rearmBackoff, double(demotions_ - 1));
+      case SafetyState::Latched:
+        return Seconds{-1.0};
+    }
+    return Seconds{0.0};
+}
+
+Seconds
+SafetyMonitor::rearmBudget() const
+{
+    if (state_ != SafetyState::Demoted)
+        return requiredCleanInterval();
+    const Seconds remaining = requiredCleanInterval() -
+                              (now_ - cleanSince_);
+    return std::max(remaining, Seconds{0.0});
 }
 
 void

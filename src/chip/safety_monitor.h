@@ -139,6 +139,21 @@ class SafetyMonitor
     int64_t rearmCount() const { return rearms_; }
     /** Time of the most recent demotion (-1 if none). */
     Seconds lastDemotionAt() const { return lastDemotionAt_; }
+
+    /**
+     * Full clean interval the current demotion must wait out (re-arm
+     * backoff applied); zero while Monitoring, negative once Latched.
+     */
+    Seconds requiredCleanInterval() const;
+
+    /**
+     * Clean time still owed before the next re-arm attempt: zero while
+     * Monitoring, the remaining clean interval while Demoted (restored
+     * to the full interval by any emergency), negative while Latched
+     * (no budget will ever re-arm the chip). This is the scheduler's
+     * "how long until this chip might come back" signal.
+     */
+    Seconds rearmBudget() const;
     /// @}
 
     /**

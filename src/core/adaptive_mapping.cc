@@ -17,6 +17,9 @@ AdaptiveMappingScheduler::AdaptiveMappingScheduler(
     fatalIf(params_.frequencyMargin < 0.0, "negative frequency margin");
     fatalIf(params_.qosMargin < 0.0 || params_.qosMargin >= 1.0,
             "QoS margin out of [0, 1)");
+    fatalIf(params_.demotedMipsDiscount < 0.0 ||
+            params_.demotedMipsDiscount >= 1.0,
+            "demoted MIPS discount out of [0, 1)");
 }
 
 void
@@ -35,7 +38,8 @@ MappingDecision
 AdaptiveMappingScheduler::decide(
     double violationRate, double qosTarget, double criticalMips,
     size_t currentCorunner,
-    const std::vector<CorunnerOption> &candidates) const
+    const std::vector<CorunnerOption> &candidates,
+    const chip::ChipHealthView *health) const
 {
     fatalIf(candidates.empty(), "adaptive mapping needs candidates");
     fatalIf(currentCorunner >= candidates.size(),
@@ -56,7 +60,14 @@ AdaptiveMappingScheduler::decide(
                              (1.0 + params_.frequencyMargin);
         decision.requiredFrequency = needed;
         const double maxChipMips = predictor_.maxMipsForFrequency(needed);
-        const double budget = maxChipMips - criticalMips;
+        double budget = maxChipMips - criticalMips;
+        // A demoted host runs at static-guardband frequencies the
+        // predictor's fit (trained with adaptive headroom) overstates:
+        // shave the budget so the co-runner pick does not overcommit.
+        const bool demotedHost = health != nullptr && health->demoted() &&
+                                 health->adaptiveCommanded();
+        if (demotedHost)
+            budget *= 1.0 - params_.demotedMipsDiscount;
         decision.corunnerMipsBudget = std::max(budget, 0.0);
 
         // Highest-throughput candidate that fits the budget keeps
@@ -81,6 +92,8 @@ AdaptiveMappingScheduler::decide(
             decision.reason = "heaviest co-runner within the predicted "
                               "MIPS budget";
         }
+        if (demotedHost)
+            decision.reason += " (budget discounted: host demoted)";
         decision.swap = best != currentCorunner;
         decision.corunnerIndex = best;
         return decision;
@@ -130,9 +143,10 @@ AdaptiveMappingScheduler::decideAll(
             poolIndex.push_back(i);
         }
 
-        MappingDecision decision = decide(app.violationRate,
-                                          app.qosTarget, app.ownMips,
-                                          currentVisible, visible);
+        MappingDecision decision =
+            decide(app.violationRate, app.qosTarget, app.ownMips,
+                   currentVisible, visible,
+                   app.health ? &*app.health : nullptr);
         const size_t chosenPool = poolIndex[decision.corunnerIndex];
         decision.corunnerIndex = chosenPool;
         if (decision.swap) {

@@ -22,9 +22,11 @@
 #define AGSIM_CORE_ADAPTIVE_MAPPING_H
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "chip/chip_health.h"
 #include "common/units.h"
 #include "core/freq_qos_model.h"
 #include "core/mips_predictor.h"
@@ -53,6 +55,13 @@ struct CriticalAppState
     double ownMips = 0.0;
     /** Index into the co-runner pool of the currently mapped class. */
     size_t currentCorunner = 0;
+    /**
+     * Safety telemetry of the chip hosting this app, when available:
+     * a demoted host cannot reach the frequencies the predictor was
+     * trained on, so its MIPS budget is discounted (see
+     * AdaptiveMappingParams::demotedMipsDiscount).
+     */
+    std::optional<chip::ChipHealthView> health;
 };
 
 /** A co-runner class with a finite number of schedulable instances. */
@@ -93,6 +102,14 @@ struct AdaptiveMappingParams
      * makes a mean sitting exactly on the SLA violate ~half the time.
      */
     double qosMargin = 0.08;
+    /**
+     * Fraction shaved off the co-runner MIPS budget when the host
+     * chip's safety telemetry says it is demoted: the predictor's
+     * MIPS -> frequency fit was learned with adaptive headroom the
+     * demoted chip no longer has, so the raw budget overcommits.
+     * Matches the single-core overclock boost by default.
+     */
+    double demotedMipsDiscount = 0.10;
 };
 
 /**
@@ -119,10 +136,14 @@ class AdaptiveMappingScheduler
      * @param currentCorunner Index into `candidates` of the co-runner
      *        currently scheduled.
      * @param candidates Available co-runners (non-empty).
+     * @param health Host-chip safety telemetry, or nullptr when the
+     *        middleware has none; a demoted host's MIPS budget is
+     *        discounted by demotedMipsDiscount.
      */
     MappingDecision decide(double violationRate, double qosTarget,
                            double criticalMips, size_t currentCorunner,
-                           const std::vector<CorunnerOption> &candidates)
+                           const std::vector<CorunnerOption> &candidates,
+                           const chip::ChipHealthView *health = nullptr)
         const;
 
     /**

@@ -29,6 +29,7 @@ makeBatchTask(const ScheduledRunSpec &spec, PlacementPlan *planOut)
         workload::ThreadedWorkload(spec.profile, spec.runMode),
         plan.threads, spec.profile.name});
     task.gatedCores = plan.gatedCores;
+    task.faultPlans = spec.faultPlans;
 
     if (planOut)
         *planOut = plan;
@@ -40,7 +41,9 @@ runScheduled(const ScheduledRunSpec &spec)
 {
     ScheduledRunResult result;
     const system::BatchTask task = makeBatchTask(spec, &result.plan);
-    result.metrics = system::runBatchTask(task).metrics;
+    system::BatchResult batch = system::runBatchTask(task);
+    result.metrics = std::move(batch.metrics);
+    result.finalHealth = std::move(batch.finalHealth);
     return result;
 }
 
@@ -55,8 +58,10 @@ runScheduledBatch(const std::vector<ScheduledRunSpec> &specs, size_t jobs)
 
     std::vector<system::BatchResult> batch =
         system::BatchRunner::runAll(std::move(tasks), jobs);
-    for (size_t i = 0; i < specs.size(); ++i)
+    for (size_t i = 0; i < specs.size(); ++i) {
         results[i].metrics = std::move(batch[i].metrics);
+        results[i].finalHealth = std::move(batch[i].finalHealth);
+    }
     return results;
 }
 

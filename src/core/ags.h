@@ -50,6 +50,8 @@ struct ScheduledRunSpec
     system::ServerConfig serverConfig;
     /** Engine configuration. */
     system::SimulationConfig simConfig;
+    /** Fault plans injected per socket (see BatchTask::faultPlans). */
+    std::vector<std::pair<size_t, fault::FaultPlan>> faultPlans;
 };
 
 /** Result of one scheduled experiment. */
@@ -57,6 +59,8 @@ struct ScheduledRunResult
 {
     system::RunMetrics metrics;
     PlacementPlan plan;
+    /** Final per-socket safety telemetry (scheduler feedback). */
+    std::vector<chip::ChipHealthView> finalHealth;
 };
 
 /**

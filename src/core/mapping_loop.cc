@@ -1,6 +1,9 @@
 #include "core/mapping_loop.h"
 
+#include <memory>
+
 #include "common/error.h"
+#include "fault/fault_injector.h"
 #include "obs/observability.h"
 #include "system/simulation.h"
 
@@ -8,14 +11,30 @@ namespace agsim::core {
 
 namespace {
 
+/** One colocation measurement's outcome. */
+struct ColocationSample
+{
+    double chipMips = 0.0;
+    Hertz criticalFrequency = Hertz{0.0};
+    chip::ChipHealthView health;
+};
+
 /** Colocation measurement: chip MIPS + critical-core frequency. */
-std::pair<double, Hertz>
+ColocationSample
 measureColocation(const workload::BenchmarkProfile &critical,
                   const workload::BenchmarkProfile &corunner,
                   const MappingLoopConfig &config)
 {
+    // The injector must outlive every Chip::step(), so it is declared
+    // before the server that owns the chips.
+    std::unique_ptr<fault::FaultInjector> injector;
     system::Server server;
     server.setMode(chip::GuardbandMode::AdaptiveOverclock);
+    if (!config.colocationFaults.empty()) {
+        injector = std::make_unique<fault::FaultInjector>(
+            config.colocationFaults, server.chip(0).coreCount());
+        server.chip(0).attachFaultInjector(injector.get());
+    }
     system::WorkloadSimulation sim(&server);
     sim.addJob(system::Job{
         workload::ThreadedWorkload(critical, workload::RunMode::Rate),
@@ -30,7 +49,13 @@ measureColocation(const workload::BenchmarkProfile &critical,
     simConfig.warmup = config.settle;
     simConfig.measureDuration = config.measure;
     const auto metrics = sim.run(simConfig);
-    return {metrics.meanChipMips, server.chip(0).coreFrequency(0)};
+    ColocationSample sample;
+    sample.chipMips = metrics.meanChipMips;
+    sample.criticalFrequency = server.chip(0).coreFrequency(0);
+    sample.health = server.chip(0).healthView();
+    if (injector)
+        server.chip(0).attachFaultInjector(nullptr);
+    return sample;
 }
 
 } // namespace
@@ -53,14 +78,17 @@ runMappingLoop(const workload::BenchmarkProfile &critical,
     // counter profiles).
     std::vector<CorunnerOption> catalogue;
     std::vector<Hertz> classFrequency;
+    std::vector<chip::ChipHealthView> classHealth;
     for (const auto &corunner : corunnerClasses) {
-        const auto [mips, freq] = measureColocation(critical, corunner,
-                                                    config);
+        const ColocationSample sample =
+            measureColocation(critical, corunner, config);
         catalogue.push_back(CorunnerOption{
-            corunner.name, mips,
-            corunner.memoryBoundedness * mips});
-        classFrequency.push_back(freq);
-        scheduler.observeFrequency(mips, freq);
+            corunner.name, sample.chipMips,
+            corunner.memoryBoundedness * sample.chipMips});
+        classFrequency.push_back(sample.criticalFrequency);
+        classHealth.push_back(sample.health);
+        scheduler.observeFrequency(sample.chipMips,
+                                   sample.criticalFrequency);
     }
 
     MappingLoopResult result;
@@ -72,6 +100,7 @@ runMappingLoop(const workload::BenchmarkProfile &critical,
         quantum.corunner = corunnerClasses[current].name;
         quantum.chipMips = catalogue[current].totalMips;
         quantum.frequency = classFrequency[current];
+        quantum.health = classHealth[current];
 
         service.reseed(service.params().seed + q);
         const auto windows = service.simulate(quantum.frequency,
@@ -83,7 +112,7 @@ runMappingLoop(const workload::BenchmarkProfile &critical,
 
         const auto decision = scheduler.decide(
             quantum.violationRate, service.params().qosTargetP90.value(),
-            config.criticalMips, current, catalogue);
+            config.criticalMips, current, catalogue, &quantum.health);
         quantum.swapped = decision.swap;
         quantum.decisionReason = decision.reason;
         if (decision.swap) {

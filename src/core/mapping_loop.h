@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/adaptive_mapping.h"
+#include "fault/fault_plan.h"
 #include "qos/websearch.h"
 #include "workload/profile.h"
 
@@ -45,6 +46,8 @@ struct MappingQuantum
     /** Whether the scheduler swapped at the end of the quantum. */
     bool swapped = false;
     std::string decisionReason;
+    /** Host-chip safety telemetry captured with the colocation. */
+    chip::ChipHealthView health;
 };
 
 /** Loop configuration. */
@@ -62,6 +65,13 @@ struct MappingLoopConfig
     double criticalMips = 4500.0;
     /** Index of the initially (blindly) chosen co-runner class. */
     size_t initialCorunner = 0;
+    /**
+     * Faults injected into the host chip during every colocation
+     * measurement (empty = healthy platform). The measured health view
+     * rides along to the scheduler, so a demoted host discounts its
+     * own MIPS budget (AdaptiveMappingParams::demotedMipsDiscount).
+     */
+    fault::FaultPlan colocationFaults;
 };
 
 /** Loop outcome. */

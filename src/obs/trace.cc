@@ -20,6 +20,7 @@ traceKindName(TraceKind kind)
       case TraceKind::TaskBegin: return "task_begin";
       case TraceKind::TaskEnd: return "task_end";
       case TraceKind::Quantum: return "quantum";
+      case TraceKind::PlacementDecision: return "placement_decision";
       case TraceKind::Custom: return "custom";
     }
     return "?";

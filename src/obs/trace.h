@@ -53,6 +53,9 @@ enum class TraceKind
     TaskEnd,
     /** One adaptive-mapping scheduling quantum. a: violation, b: Hz. */
     Quantum,
+    /** Health-aware placement decision. a: threads moved, b: healthy
+     *  sockets; detail: reason. */
+    PlacementDecision,
     /** Free-form instrumentation. */
     Custom,
 };

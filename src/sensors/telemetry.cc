@@ -46,6 +46,7 @@ Telemetry::step(const StepObservation &obs, Seconds dt)
         decompositionSum_ + obs.decomposition.scaled(dt.value());
     emergencySum_ += obs.timingEmergencies;
     demotionSum_ += obs.safetyDemotions;
+    rearmSum_ += obs.safetyRearms;
     if (!marginSeen_ || obs.worstMargin < marginMin_) {
         marginMin_ = obs.worstMargin;
         marginSeen_ = true;
@@ -79,6 +80,7 @@ Telemetry::closeWindow()
     window.meanDecomposition = decompositionSum_.scaled(1.0 / w.value());
     window.emergencyCount = emergencySum_;
     window.demotionCount = demotionSum_;
+    window.rearmCount = rearmSum_;
     window.worstMargin = marginSeen_ ? marginMin_ : Volts{};
     windows_.push_back(std::move(window));
     if (params_.maxWindows > 0 && windows_.size() > params_.maxWindows)
@@ -95,6 +97,7 @@ Telemetry::closeWindow()
     weightSum_ = Seconds{};
     emergencySum_ = 0;
     demotionSum_ = 0;
+    rearmSum_ = 0;
     marginMin_ = Volts{0.0};
     marginSeen_ = false;
 }

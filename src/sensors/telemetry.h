@@ -66,6 +66,8 @@ struct StepObservation
     int timingEmergencies = 0;
     /** Safety-monitor demotion events this step (0 or 1). */
     int safetyDemotions = 0;
+    /** Safety-monitor re-arm events this step (0 or 1). */
+    int safetyRearms = 0;
     /** Worst true timing margin across non-gated cores (volts). */
     Volts worstMargin = Volts{0.0};
 };
@@ -95,6 +97,8 @@ struct TelemetryWindow
     long emergencyCount = 0;
     /** Safety-monitor demotions over the window. */
     long demotionCount = 0;
+    /** Safety-monitor re-arms over the window. */
+    long rearmCount = 0;
     /** Worst true timing margin seen during the window (volts). */
     Volts worstMargin = Volts{0.0};
 };
@@ -147,6 +151,7 @@ class Telemetry
     Seconds weightSum_;
     long emergencySum_ = 0;
     long demotionSum_ = 0;
+    long rearmSum_ = 0;
     Volts marginMin_ = Volts{0.0};
     bool marginSeen_ = false;
 

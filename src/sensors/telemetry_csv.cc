@@ -19,7 +19,7 @@ writeTelemetryCsv(const Telemetry &telemetry, std::ostream &out)
             << ",voltage_mv_" << core << ",freq_mhz_" << core;
     }
     out << ",loadline_mv,ir_global_mv,ir_local_mv,didt_typ_mv,"
-           "didt_worst_mv,emergencies,demotions,worst_margin_mv\n";
+           "didt_worst_mv,emergencies,demotions,rearms,worst_margin_mv\n";
 
     out << std::fixed;
     for (const auto &window : windows) {
@@ -41,7 +41,8 @@ writeTelemetryCsv(const Telemetry &telemetry, std::ostream &out)
             << toMilliVolts(d.typicalDidt) << ','
             << toMilliVolts(d.worstDidt) << ','
             << window.emergencyCount << ',' << window.demotionCount
-            << ',' << toMilliVolts(window.worstMargin) << '\n';
+            << ',' << window.rearmCount << ','
+            << toMilliVolts(window.worstMargin) << '\n';
     }
     return windows.size();
 }

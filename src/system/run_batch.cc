@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 
 #include "common/error.h"
+#include "fault/fault_injector.h"
 #include "obs/observability.h"
 
 namespace agsim::system {
@@ -25,10 +27,20 @@ runBatchTask(const BatchTask &task)
 
     const auto start = std::chrono::steady_clock::now();
 
+    // Injectors are declared before the Server so they outlive every
+    // Chip::step() during destruction.
+    std::vector<std::unique_ptr<fault::FaultInjector>> injectors;
     Server server(task.serverConfig);
     server.setMode(task.mode);
     if (task.targetFrequency > Hertz{0.0})
         server.setTargetFrequency(task.targetFrequency);
+    for (const auto &[socket, plan] : task.faultPlans) {
+        fatalIf(socket >= server.socketCount(),
+                "fault plan targets a socket the server does not have");
+        injectors.push_back(std::make_unique<fault::FaultInjector>(
+            plan, server.chip(socket).coreCount()));
+        server.chip(socket).attachFaultInjector(injectors.back().get());
+    }
 
     WorkloadSimulation sim(&server);
     for (const auto &job : task.jobs)
@@ -41,12 +53,19 @@ runBatchTask(const BatchTask &task)
     result.metrics = sim.run(task.simConfig);
 
     result.finalCoreFrequency.resize(server.socketCount());
+    result.finalHealth.resize(server.socketCount());
     for (size_t s = 0; s < server.socketCount(); ++s) {
         const chip::Chip &c = server.chip(s);
         result.finalCoreFrequency[s].resize(c.coreCount());
         for (size_t core = 0; core < c.coreCount(); ++core)
             result.finalCoreFrequency[s][core] = c.coreFrequency(core);
+        result.finalHealth[s] = c.healthView();
     }
+
+    // Detach before the injectors go out of scope (declaration order
+    // already guarantees safety; this keeps the chips consistent).
+    for (const auto &[socket, plan] : task.faultPlans)
+        server.chip(socket).attachFaultInjector(nullptr);
 
     result.wallTime = Seconds{std::chrono::duration<double>(
         std::chrono::steady_clock::now() - start).count()};

@@ -37,6 +37,8 @@
 #include <utility>
 #include <vector>
 
+#include "chip/chip_health.h"
+#include "fault/fault_plan.h"
 #include "system/simulation.h"
 
 namespace agsim::system {
@@ -62,6 +64,12 @@ struct BatchTask
     std::vector<Job> jobs;
     /** Cores to power-gate for the run: (socket, core). */
     std::vector<std::pair<size_t, size_t>> gatedCores;
+    /**
+     * Fault plans to inject, one per targeted socket. Plans are part
+     * of the task value, so the determinism contract extends to
+     * fault-injected runs: (task, seed) fully determines the outcome.
+     */
+    std::vector<std::pair<size_t, fault::FaultPlan>> faultPlans;
     /** Caller's tag, copied into the result. */
     std::string label;
 };
@@ -107,6 +115,12 @@ struct BatchResult
      * Fig. 18 scheduling loop reads this).
      */
     std::vector<std::vector<Hertz>> finalCoreFrequency;
+    /**
+     * Final per-socket safety telemetry (one view per socket) — what
+     * a health-aware scheduler reads between quanta to steer the next
+     * round's placement (core::HealthAwarePlacer).
+     */
+    std::vector<chip::ChipHealthView> finalHealth;
     /** Host wall-clock seconds this task took to execute. */
     Seconds wallTime = Seconds{0.0};
 };

@@ -84,6 +84,69 @@ TEST(AdaptiveMapping, GenerousTargetKeepsHeavy)
     EXPECT_EQ(decision.corunnerIndex, 2u);
 }
 
+chip::ChipHealthView
+demotedHostView()
+{
+    chip::ChipHealthView view;
+    view.state = chip::SafetyState::Demoted;
+    view.commandedMode = chip::GuardbandMode::AdaptiveUndervolt;
+    view.effectiveMode = chip::GuardbandMode::StaticGuardband;
+    view.demotions = 1;
+    return view;
+}
+
+TEST(AdaptiveMapping, DemotedHostDiscountsMipsBudget)
+{
+    const auto scheduler = trainedScheduler();
+    const auto baseline = scheduler.decide(0.40, 0.5, 4500.0, 2,
+                                           candidates());
+    const auto view = demotedHostView();
+    const auto demoted = scheduler.decide(0.40, 0.5, 4500.0, 2,
+                                          candidates(), &view);
+    const double discount =
+        scheduler.params().demotedMipsDiscount;
+    EXPECT_NEAR(demoted.corunnerMipsBudget,
+                baseline.corunnerMipsBudget * (1.0 - discount), 1e-6);
+    EXPECT_NE(demoted.reason.find("budget discounted: host demoted"),
+              std::string::npos);
+    EXPECT_EQ(baseline.reason.find("discounted"), std::string::npos);
+}
+
+TEST(AdaptiveMapping, HealthyOrStaticHostKeepsFullBudget)
+{
+    const auto scheduler = trainedScheduler();
+    const auto baseline = scheduler.decide(0.40, 0.5, 4500.0, 2,
+                                           candidates());
+
+    chip::ChipHealthView healthy;
+    healthy.state = chip::SafetyState::Monitoring;
+    healthy.commandedMode = chip::GuardbandMode::AdaptiveUndervolt;
+    healthy.effectiveMode = chip::GuardbandMode::AdaptiveUndervolt;
+    const auto withHealthy = scheduler.decide(0.40, 0.5, 4500.0, 2,
+                                              candidates(), &healthy);
+    EXPECT_EQ(withHealthy.corunnerMipsBudget,
+              baseline.corunnerMipsBudget);
+
+    // A statically-commanded host never had adaptive headroom in the
+    // first place, so demotion changes nothing for the predictor.
+    auto staticHost = demotedHostView();
+    staticHost.commandedMode = chip::GuardbandMode::StaticGuardband;
+    const auto withStatic = scheduler.decide(0.40, 0.5, 4500.0, 2,
+                                             candidates(), &staticHost);
+    EXPECT_EQ(withStatic.corunnerMipsBudget,
+              baseline.corunnerMipsBudget);
+}
+
+TEST(AdaptiveMapping, RejectsDiscountOutOfRange)
+{
+    AdaptiveMappingParams low;
+    low.demotedMipsDiscount = -0.1;
+    EXPECT_THROW(AdaptiveMappingScheduler{low}, ConfigError);
+    AdaptiveMappingParams high;
+    high.demotedMipsDiscount = 1.0;
+    EXPECT_THROW(AdaptiveMappingScheduler{high}, ConfigError);
+}
+
 TEST(AdaptiveMapping, MemoryPathWhenNotFrequencySensitive)
 {
     AdaptiveMappingScheduler scheduler;

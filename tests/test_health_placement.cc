@@ -1,0 +1,373 @@
+/**
+ * @file
+ * HealthAwarePlacer: quantum-by-quantum thread apportionment over
+ * per-socket safety telemetry, including the re-arm hysteresis
+ * properties the scheduling docs promise.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chip/chip_health.h"
+#include "common/error.h"
+#include "core/placement.h"
+#include "obs/observability.h"
+
+using namespace agsim;
+using namespace agsim::core;
+
+namespace {
+
+constexpr size_t kCores = 8;
+
+chip::ChipHealthView
+healthyView()
+{
+    chip::ChipHealthView view;
+    view.state = chip::SafetyState::Monitoring;
+    view.commandedMode = chip::GuardbandMode::AdaptiveOverclock;
+    view.effectiveMode = chip::GuardbandMode::AdaptiveOverclock;
+    return view;
+}
+
+chip::ChipHealthView
+demotedView(Seconds budget = Seconds{0.5})
+{
+    chip::ChipHealthView view = healthyView();
+    view.state = chip::SafetyState::Demoted;
+    view.effectiveMode = chip::GuardbandMode::StaticGuardband;
+    view.demotions = 1;
+    view.rearmBudget = budget;
+    return view;
+}
+
+chip::ChipHealthView
+latchedView()
+{
+    chip::ChipHealthView view = healthyView();
+    view.state = chip::SafetyState::Latched;
+    view.effectiveMode = chip::GuardbandMode::StaticGuardband;
+    view.demotions = 3;
+    view.rearms = 2;
+    view.rearmBudget = Seconds{-1.0};
+    return view;
+}
+
+/** Replicate the placer's per-thread speed credit for expectations. */
+double
+speedAt(const HealthAwareParams &params, bool trusted, size_t k)
+{
+    if (!trusted)
+        return 1.0;
+    return 1.0 + params.adaptiveHeadroom *
+                     (1.0 - params.headroomDecay * double(k - 1) /
+                                double(kCores - 1));
+}
+
+} // namespace
+
+TEST(HealthAwarePlacer, HealthyFleetBalances)
+{
+    HealthAwarePlacer placer;
+    const auto decision = placer.place({healthyView(), healthyView()},
+                                       /*threads=*/4, kCores);
+    EXPECT_EQ(decision.threadsPerSocket, (std::vector<size_t>{2, 2}));
+    EXPECT_TRUE(decision.trusted[0]);
+    EXPECT_TRUE(decision.trusted[1]);
+    EXPECT_EQ(decision.migrated, 0u);
+    EXPECT_NEAR(decision.share[0], 0.5, 1e-12);
+    EXPECT_NE(decision.reason.find("healthy"), std::string::npos);
+}
+
+TEST(HealthAwarePlacer, SteersAwayFromDemotedSocket)
+{
+    HealthAwarePlacer placer;
+    placer.place({healthyView(), healthyView()}, 4, kCores);
+
+    const auto decision =
+        placer.place({demotedView(), healthyView()}, 4, kCores);
+    EXPECT_EQ(decision.threadsPerSocket, (std::vector<size_t>{0, 4}));
+    EXPECT_FALSE(decision.trusted[0]);
+    EXPECT_TRUE(decision.trusted[1]);
+    EXPECT_EQ(decision.migrated, 2u);
+    EXPECT_NE(decision.reason.find("steering around socket 0"),
+              std::string::npos);
+    EXPECT_NE(decision.reason.find("rearm in"), std::string::npos);
+    EXPECT_EQ(placer.migrations(), 2);
+}
+
+TEST(HealthAwarePlacer, FirstQuantumWithSickSocketSteersWithoutMigration)
+{
+    HealthAwarePlacer placer;
+    const auto decision =
+        placer.place({latchedView(), healthyView()}, 4, kCores);
+    EXPECT_EQ(decision.threadsPerSocket, (std::vector<size_t>{0, 4}));
+    EXPECT_EQ(decision.migrated, 0u); // nothing placed yet, nothing moves
+    EXPECT_NE(decision.reason.find("latched"), std::string::npos);
+}
+
+TEST(HealthAwarePlacer, RearmHysteresisDelaysReturn)
+{
+    HealthAwareParams params;
+    params.rearmConfidence = 2;
+    HealthAwarePlacer placer(params);
+    placer.place({healthyView(), healthyView()}, 4, kCores);
+    placer.place({demotedView(), healthyView()}, 4, kCores);
+
+    // First healthy observation after the re-arm: not yet trusted, the
+    // assignment must not flap back.
+    const auto tentative =
+        placer.place({healthyView(), healthyView()}, 4, kCores);
+    EXPECT_EQ(tentative.threadsPerSocket, (std::vector<size_t>{0, 4}));
+    EXPECT_FALSE(tentative.trusted[0]);
+    EXPECT_EQ(tentative.migrated, 0u);
+    EXPECT_NE(tentative.reason.find("awaiting rearm confidence"),
+              std::string::npos);
+
+    // Second consecutive healthy observation: trust returns, threads
+    // rebalance.
+    const auto rebalanced =
+        placer.place({healthyView(), healthyView()}, 4, kCores);
+    EXPECT_EQ(rebalanced.threadsPerSocket, (std::vector<size_t>{2, 2}));
+    EXPECT_TRUE(rebalanced.trusted[0]);
+    EXPECT_EQ(rebalanced.migrated, 2u);
+}
+
+/**
+ * Property (docs/SCHEDULING.md): one demote/re-arm cycle causes at most
+ * one migration away, and at most one return migration after trust is
+ * re-established — never a flap per quantum.
+ */
+TEST(HealthAwarePlacer, SingleCycleCausesAtMostOneMigrationEachWay)
+{
+    for (int demoteAt = 1; demoteAt <= 4; ++demoteAt) {
+        for (int cycleLen = 1; cycleLen <= 6; ++cycleLen) {
+            HealthAwarePlacer placer;
+            int eventsBeforeHeal = 0;
+            int eventsAfterHeal = 0;
+            const int healAt = demoteAt + cycleLen;
+            for (int q = 0; q < healAt + 8; ++q) {
+                const bool sick = q >= demoteAt && q < healAt;
+                const auto decision = placer.place(
+                    {sick ? demotedView() : healthyView(), healthyView()},
+                    4, kCores);
+                if (decision.migrated > 0)
+                    (q < healAt ? eventsBeforeHeal : eventsAfterHeal)++;
+            }
+            EXPECT_LE(eventsBeforeHeal, 1)
+                << "demoteAt=" << demoteAt << " cycleLen=" << cycleLen;
+            EXPECT_LE(eventsAfterHeal, 1)
+                << "demoteAt=" << demoteAt << " cycleLen=" << cycleLen;
+        }
+    }
+}
+
+/** Flapping faster than the confidence window never migrates back. */
+TEST(HealthAwarePlacer, RapidFlappingCausesOneMigrationTotal)
+{
+    HealthAwarePlacer placer;
+    placer.place({healthyView(), healthyView()}, 4, kCores);
+    int events = 0;
+    for (int q = 0; q < 20; ++q) {
+        const bool sick = q % 2 == 0; // heals for one quantum at a time
+        const auto decision = placer.place(
+            {sick ? demotedView() : healthyView(), healthyView()}, 4,
+            kCores);
+        if (decision.migrated > 0)
+            ++events;
+    }
+    EXPECT_EQ(events, 1); // the initial steer-away only
+    EXPECT_EQ(placer.migrations(), 2);
+}
+
+/**
+ * Property: under full load a permanently latched socket still runs
+ * work, and its expected MIPS share converges to its static-guardband
+ * share of the fleet (threads cannot all fit elsewhere).
+ */
+TEST(HealthAwarePlacer, LatchedSocketConvergesToStaticShare)
+{
+    HealthAwareParams params;
+    HealthAwarePlacer placer(params);
+    HealthAwarePlacer::Decision decision;
+    for (int q = 0; q < 6; ++q)
+        decision = placer.place({latchedView(), healthyView()},
+                                /*threads=*/2 * kCores, kCores);
+
+    // Full machine: capacity forces 8 + 8.
+    EXPECT_EQ(decision.threadsPerSocket,
+              (std::vector<size_t>{kCores, kCores}));
+
+    double staticSpeed = 0.0;
+    double trustedSpeed = 0.0;
+    for (size_t k = 1; k <= kCores; ++k) {
+        staticSpeed += speedAt(params, false, k);
+        trustedSpeed += speedAt(params, true, k);
+    }
+    const double expected = staticSpeed / (staticSpeed + trustedSpeed);
+    EXPECT_NEAR(decision.share[0], expected, 1e-12);
+    EXPECT_LT(decision.share[0], decision.share[1]);
+}
+
+TEST(HealthAwarePlacer, PartialOverloadSpillsOntoLatchedSocket)
+{
+    HealthAwarePlacer placer;
+    const auto decision =
+        placer.place({latchedView(), healthyView()}, 12, kCores);
+    // The healthy socket fills first; only the spill lands on the
+    // latched one.
+    EXPECT_EQ(decision.threadsPerSocket, (std::vector<size_t>{4, 8}));
+}
+
+TEST(HealthAwarePlacer, DisabledFallsBackToBorrowing)
+{
+    HealthAwareParams params;
+    params.enabled = false;
+    HealthAwarePlacer placer(params);
+    const auto decision =
+        placer.place({latchedView(), healthyView()}, 4, kCores);
+    EXPECT_EQ(decision.threadsPerSocket, (std::vector<size_t>{2, 2}));
+    EXPECT_NE(decision.reason.find("disabled"), std::string::npos);
+}
+
+TEST(HealthAwarePlacer, StaticFleetCarriesNoHeadroom)
+{
+    auto staticView = healthyView();
+    staticView.commandedMode = chip::GuardbandMode::StaticGuardband;
+    staticView.effectiveMode = chip::GuardbandMode::StaticGuardband;
+    HealthAwarePlacer placer;
+    const auto decision =
+        placer.place({staticView, staticView}, 4, kCores);
+    EXPECT_EQ(decision.threadsPerSocket, (std::vector<size_t>{2, 2}));
+    EXPECT_FALSE(decision.trusted[0]);
+    EXPECT_FALSE(decision.trusted[1]);
+    EXPECT_NE(decision.reason.find("no adaptive headroom"),
+              std::string::npos);
+}
+
+TEST(HealthAwarePlacer, DroopCeilingDistrustsStormStruckSocket)
+{
+    HealthAwareParams params;
+    params.droopDepthCeiling = Volts{60e-3};
+    HealthAwarePlacer placer(params);
+    auto stormStruck = healthyView();
+    stormStruck.latchedDroopDepth = Volts{80e-3};
+    const auto decision =
+        placer.place({stormStruck, healthyView()}, 4, kCores);
+    EXPECT_EQ(decision.threadsPerSocket, (std::vector<size_t>{0, 4}));
+    EXPECT_FALSE(decision.trusted[0]);
+}
+
+TEST(HealthAwarePlacer, ResetForgetsHistory)
+{
+    HealthAwarePlacer placer;
+    placer.place({healthyView(), healthyView()}, 4, kCores);
+    placer.place({demotedView(), healthyView()}, 4, kCores);
+    placer.reset();
+    // After reset the next decision is a "first" one again: no
+    // migration accounting against the forgotten assignment.
+    const auto decision =
+        placer.place({healthyView(), healthyView()}, 4, kCores);
+    EXPECT_EQ(decision.migrated, 0u);
+}
+
+TEST(HealthAwarePlacer, ValidatesParamsAndInputs)
+{
+    HealthAwareParams negative;
+    negative.adaptiveHeadroom = -0.1;
+    EXPECT_THROW(HealthAwarePlacer{negative}, ConfigError);
+
+    HealthAwareParams decay;
+    decay.headroomDecay = 1.5;
+    EXPECT_THROW(HealthAwarePlacer{decay}, ConfigError);
+
+    HealthAwareParams confidence;
+    confidence.rearmConfidence = 0;
+    EXPECT_THROW(HealthAwarePlacer{confidence}, ConfigError);
+
+    HealthAwarePlacer placer;
+    EXPECT_THROW(placer.place({}, 4, kCores), ConfigError);
+    EXPECT_THROW(placer.place({healthyView()}, 0, kCores), ConfigError);
+    EXPECT_THROW(placer.place({healthyView()}, kCores + 1, kCores),
+                 ConfigError);
+}
+
+TEST(HealthAwarePlacer, EmitsObsCountersAndTraceEvents)
+{
+    const int64_t decisionsBefore =
+        obs::registry().counter("placement.health.decisions").value();
+    const int64_t migrationsBefore =
+        obs::registry().counter("placement.health.migrations").value();
+    obs::setTracingEnabled(true);
+    const uint64_t recordedBefore = obs::trace().recorded();
+
+    HealthAwarePlacer placer;
+    placer.place({healthyView(), healthyView()}, 4, kCores, Seconds{1.0});
+    placer.place({demotedView(), healthyView()}, 4, kCores, Seconds{2.0});
+    obs::setTracingEnabled(false);
+
+    EXPECT_EQ(obs::registry().counter("placement.health.decisions").value(),
+              decisionsBefore + 2);
+    EXPECT_EQ(obs::registry().counter("placement.health.migrations").value(),
+              migrationsBefore + placer.migrations());
+    EXPECT_GE(obs::trace().recorded(), recordedBefore + 2);
+
+    bool sawDecision = false;
+    for (const auto &event : obs::trace().events()) {
+        if (event.kind == obs::TraceKind::PlacementDecision &&
+            event.detail.find("steering around socket 0") !=
+                std::string::npos)
+            sawDecision = true;
+    }
+    EXPECT_TRUE(sawDecision);
+}
+
+TEST(HealthAwarePlan, ExpandsDecisionWithTrustedFirstReserve)
+{
+    HealthAwarePlacer::Decision decision;
+    decision.threadsPerSocket = {1, 3};
+    decision.trusted = {false, true};
+
+    const PlacementPlan plan =
+        makeHealthAwarePlacementPlan(decision, kCores,
+                                     /*poweredCoreBudget=*/6);
+    ASSERT_EQ(plan.threads.size(), 4u);
+    EXPECT_EQ(plan.threads[0].socket, 0u);
+    EXPECT_EQ(plan.threads[1].socket, 1u);
+    // Threads occupy each socket's low cores.
+    for (const auto &p : plan.threads)
+        EXPECT_LT(p.core, decision.threadsPerSocket[p.socket]);
+
+    // 2 spare powered cores go to the trusted socket first.
+    ASSERT_EQ(plan.idleCores.size(), 2u);
+    EXPECT_EQ(plan.idleCores[0].first, 1u);
+    EXPECT_EQ(plan.idleCores[1].first, 1u);
+
+    // Everything else gates: 16 cores = 4 threads + 2 idle + 10 gated.
+    EXPECT_EQ(plan.gatedCores.size(), 10u);
+
+    // Accounting: every core appears exactly once.
+    std::vector<int> seen(2 * kCores, 0);
+    for (const auto &p : plan.threads)
+        ++seen[p.socket * kCores + p.core];
+    for (const auto &[s, c] : plan.idleCores)
+        ++seen[s * kCores + c];
+    for (const auto &[s, c] : plan.gatedCores)
+        ++seen[s * kCores + c];
+    for (int count : seen)
+        EXPECT_EQ(count, 1);
+}
+
+TEST(HealthAwarePlan, RejectsOverCapacityDecisions)
+{
+    HealthAwarePlacer::Decision decision;
+    decision.threadsPerSocket = {kCores + 1, 0};
+    EXPECT_THROW(makeHealthAwarePlacementPlan(decision, kCores, 16),
+                 ConfigError);
+
+    decision.threadsPerSocket = {4, 4};
+    EXPECT_THROW(makeHealthAwarePlacementPlan(decision, kCores, 4),
+                 ConfigError);
+}

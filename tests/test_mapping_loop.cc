@@ -67,6 +67,52 @@ TEST(MappingLoop, HealthyMappingLeftAlone)
     EXPECT_EQ(result.convergedAt, 0u);
 }
 
+TEST(MappingLoop, HealthyPlatformReportsHealthyTelemetry)
+{
+    qos::WebSearchService service;
+    AdaptiveMappingScheduler scheduler;
+    MappingLoopConfig config;
+    config.quanta = 2;
+    config.qosHorizon = Seconds{3000.0};
+
+    const auto result = runMappingLoop(
+        workload::byName("websearch"), corunnerClasses(), service,
+        scheduler, config);
+    for (const auto &quantum : result.history) {
+        EXPECT_TRUE(quantum.health.healthy());
+        EXPECT_EQ(quantum.health.commandedMode,
+                  chip::GuardbandMode::AdaptiveOverclock);
+        EXPECT_EQ(quantum.health.demotions, 0);
+    }
+}
+
+TEST(MappingLoop, ColocationFaultsSurfaceDemotedHealth)
+{
+    qos::WebSearchService service;
+    AdaptiveMappingScheduler scheduler;
+    MappingLoopConfig config;
+    config.quanta = 2;
+    config.qosHorizon = Seconds{3000.0};
+    // Storm + CPM dropout demotes the host during every colocation
+    // measurement; the view must ride along into the quantum records
+    // (and from there into the scheduler's budget discount).
+    config.colocationFaults.droopStorm(Seconds{0.05}, Seconds{0.0},
+                                       30.0, 1.8)
+        .cpmDropout(Seconds{0.05}, Seconds{0.0});
+
+    const auto result = runMappingLoop(
+        workload::byName("websearch"), corunnerClasses(), service,
+        scheduler, config);
+    for (const auto &quantum : result.history) {
+        EXPECT_TRUE(quantum.health.demoted());
+        EXPECT_EQ(quantum.health.commandedMode,
+                  chip::GuardbandMode::AdaptiveOverclock);
+        EXPECT_EQ(quantum.health.effectiveMode,
+                  chip::GuardbandMode::StaticGuardband);
+        EXPECT_GE(quantum.health.emergencies, 1);
+    }
+}
+
 TEST(MappingLoop, Validation)
 {
     qos::WebSearchService service;

@@ -244,6 +244,76 @@ TEST(RunBatch, RunAllPartialMatchesSerialAndParallel)
     }
 }
 
+TEST(RunBatch, FaultPlansDemoteAndSurfaceInFinalHealth)
+{
+    auto spec = makeSpec("swaptions", 4,
+                         chip::GuardbandMode::AdaptiveOverclock,
+                         Seconds{0.1});
+    spec.simConfig.warmup = Seconds{0.4};
+    // Storm + CPM dropout: blind cores get assessed against the
+    // storm-scaled envelope, which reliably demotes the socket.
+    fault::FaultPlan plan;
+    plan.droopStorm(Seconds{0.05}, Seconds{0.0}, 30.0, 1.8)
+        .cpmDropout(Seconds{0.05}, Seconds{0.0});
+    spec.faultPlans.emplace_back(0, plan);
+
+    const auto result = core::runScheduled(spec);
+    ASSERT_EQ(result.finalHealth.size(), 2u);
+    // The targeted socket demoted; the other stayed healthy.
+    EXPECT_TRUE(result.finalHealth[0].demoted());
+    EXPECT_EQ(result.finalHealth[0].commandedMode,
+              chip::GuardbandMode::AdaptiveOverclock);
+    EXPECT_EQ(result.finalHealth[0].effectiveMode,
+              chip::GuardbandMode::StaticGuardband);
+    EXPECT_GE(result.finalHealth[0].emergencies, 1);
+    EXPECT_TRUE(result.finalHealth[1].healthy());
+    EXPECT_EQ(result.finalHealth[1].demotions, 0);
+}
+
+TEST(RunBatch, FaultInjectedBatchesStayBitIdentical)
+{
+    fault::FaultPlan plan;
+    plan.droopStorm(Seconds{0.05}, Seconds{0.0}, 10.0, 1.5)
+        .cpmDropout(Seconds{0.05}, Seconds{0.0});
+    std::vector<core::ScheduledRunSpec> specs;
+    for (int i = 0; i < 3; ++i) {
+        auto spec = makeSpec("swaptions", 2,
+                             chip::GuardbandMode::AdaptiveOverclock,
+                             Seconds{0.1});
+        spec.faultPlans.emplace_back(0, plan);
+        specs.push_back(std::move(spec));
+    }
+
+    const auto serial = core::runScheduledBatch(specs, 1);
+    const auto parallel = core::runScheduledBatch(specs, 3);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        expectMetricsIdentical(serial[i].metrics, parallel[i].metrics);
+        ASSERT_EQ(serial[i].finalHealth.size(),
+                  parallel[i].finalHealth.size());
+        for (size_t s = 0; s < serial[i].finalHealth.size(); ++s) {
+            EXPECT_EQ(serial[i].finalHealth[s].state,
+                      parallel[i].finalHealth[s].state);
+            EXPECT_EQ(serial[i].finalHealth[s].demotions,
+                      parallel[i].finalHealth[s].demotions);
+            EXPECT_EQ(serial[i].finalHealth[s].emergencies,
+                      parallel[i].finalHealth[s].emergencies);
+            EXPECT_EQ(serial[i].finalHealth[s].latchedDroopDepth,
+                      parallel[i].finalHealth[s].latchedDroopDepth);
+        }
+    }
+}
+
+TEST(RunBatch, FaultPlanSocketOutOfRangeIsRejected)
+{
+    auto spec = makeSpec("swaptions", 1,
+                         chip::GuardbandMode::StaticGuardband,
+                         Seconds{0.05});
+    spec.faultPlans.emplace_back(7, fault::FaultPlan().vrmDacStuck(
+                                        Seconds{0.0}));
+    EXPECT_THROW(core::runScheduled(spec), ConfigError);
+}
+
 TEST(RunBatch, AllClearOutcomeIsOk)
 {
     auto spec = makeSpec(

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for CI.
+
+Compares a fresh perf_steps + ext_fault_placement run against the
+checked-in baseline (bench/baseline.json) and fails when any
+higher-is-better metric drops more than the tolerance. Writes the
+merged current numbers (plus the verdict) to --out so CI can upload
+one BENCH_perf.json artifact per run.
+
+Tolerance: --tolerance, else the PERF_TOLERANCE env var, else 0.10
+(the 10%% gate from the issue). CI runners are noisy; the baseline
+should be refreshed (re-seeded from a clean run) whenever the hot
+path legitimately changes speed.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Higher-is-better metrics gated per bench. Keys absent from either
+# side are skipped (so older baselines keep working when a bench
+# grows a new column).
+GATED = {
+    "perf_steps": [
+        "steps_per_sec",
+        "active8_steps_per_sec",
+        "undervolt_steps_per_sec",
+    ],
+    "ext_fault_placement": [
+        "recovery_fraction",
+    ],
+}
+
+
+def load(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="bench/baseline.json")
+    parser.add_argument("--perf", required=True,
+                        help="perf_steps JSON output")
+    parser.add_argument("--fault", required=True,
+                        help="ext_fault_placement JSON output")
+    parser.add_argument("--out", default="BENCH_perf.json",
+                        help="merged artifact to write")
+    parser.add_argument("--tolerance", type=float,
+                        default=float(os.environ.get("PERF_TOLERANCE",
+                                                     "0.10")),
+                        help="allowed fractional drop (default 0.10)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = {
+        "perf_steps": load(args.perf),
+        "ext_fault_placement": load(args.fault),
+    }
+
+    failures = []
+    checks = []
+    for bench, keys in GATED.items():
+        base = baseline.get(bench, {})
+        cur = current.get(bench, {})
+        for key in keys:
+            if key not in base or key not in cur:
+                continue
+            floor = base[key] * (1.0 - args.tolerance)
+            ok = cur[key] >= floor
+            checks.append({
+                "bench": bench,
+                "metric": key,
+                "baseline": base[key],
+                "current": cur[key],
+                "floor": floor,
+                "ok": ok,
+            })
+            if not ok:
+                failures.append(
+                    f"{bench}.{key}: {cur[key]:.4g} < floor "
+                    f"{floor:.4g} (baseline {base[key]:.4g}, "
+                    f"tolerance {args.tolerance:.0%})")
+
+    # The fault bench carries its own acceptance verdict (recovery
+    # fraction >= 0.5); a false there is a failure regardless of the
+    # baseline comparison.
+    if current["ext_fault_placement"].get("pass") is False:
+        failures.append("ext_fault_placement reported pass=false")
+
+    verdict = {
+        "tolerance": args.tolerance,
+        "checks": checks,
+        "failures": failures,
+        "ok": not failures,
+    }
+    current["gate"] = verdict
+    with open(args.out, "w") as fh:
+        json.dump(current, fh, indent=2)
+        fh.write("\n")
+
+    for check in checks:
+        mark = "ok " if check["ok"] else "FAIL"
+        print(f"[{mark}] {check['bench']}.{check['metric']}: "
+              f"{check['current']:.6g} vs baseline "
+              f"{check['baseline']:.6g} (floor {check['floor']:.6g})")
+    if failures:
+        print("\nperf regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nperf gate passed ({len(checks)} checks, "
+          f"tolerance {args.tolerance:.0%}); wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
