@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Fleet-scale stepping microbenchmark: aggregate chip-steps/s for a
+ * shard of identical-config (distinct-seed) chips under three regimes:
+ *
+ *  - scalar: the pre-FleetStepper pattern — a tick-major sweep calling
+ *    Chip::step per chip per tick, every chip in its private SoA block;
+ *  - exact: FleetStepper shard stepping — chips adopted into one SoA
+ *    arena, temporal blocking, bit-identical to scalar;
+ *  - sampled: FleetStepper with the phase detector and analytic
+ *    fast-forward enabled on a steady-state fleet (approximate; bounds
+ *    in docs/PERFORMANCE.md).
+ *
+ * Each regime is timed `repeats` times on its own settled fleet and the
+ * median rate is reported (stddev alongside), in one JSON line:
+ *
+ *   {"scalar_steps_per_sec": ..., "fleet_exact_steps_per_sec": ...,
+ *    "fleet_sampled_steps_per_sec": ..., "speedup_exact": ...,
+ *    "speedup_sampled": ..., ...}
+ *
+ * Rates count *effective* chip-ticks advanced per wall-clock second
+ * (fast-forwarded ticks count as advanced — that is the point).
+ *
+ * Usage: perf_fleet_steps [chips=256] [ticks=2000] [dt=0.001]
+ *                         [repeats=3]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "chip/chip.h"
+#include "common/config.h"
+#include "obs/json_writer.h"
+#include "pdn/vrm.h"
+#include "system/fleet_stepper.h"
+
+using namespace agsim;
+using namespace agsim::units;
+
+namespace {
+
+/** A fleet of independently-seeded chips on one many-rail VRM. */
+struct Fleet
+{
+    std::unique_ptr<pdn::Vrm> vrm;
+    std::vector<std::unique_ptr<chip::Chip>> chips;
+};
+
+Fleet
+buildFleet(size_t chipCount)
+{
+    Fleet fleet;
+    fleet.vrm = std::make_unique<pdn::Vrm>(chipCount);
+    fleet.chips.reserve(chipCount);
+    for (size_t i = 0; i < chipCount; ++i) {
+        chip::ChipConfig config;
+        config.railIndex = i;
+        config.seed = 0xF1EE7ull + 0x9E3779B9ull * i;
+        auto c = std::make_unique<chip::Chip>(config, fleet.vrm.get());
+        c->setMode(chip::GuardbandMode::StaticGuardband);
+        for (size_t core = 0; core < c->coreCount(); ++core)
+            c->setLoad(core, chip::CoreLoad::running(1.0, 13.0_mV,
+                                                     24.0_mV));
+        fleet.chips.push_back(std::move(c));
+    }
+    return fleet;
+}
+
+double
+median(std::vector<double> xs)
+{
+    std::sort(xs.begin(), xs.end());
+    const size_t n = xs.size();
+    return n % 2 == 1 ? xs[n / 2]
+                      : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double mean = 0.0;
+    for (double x : xs)
+        mean += x;
+    mean /= double(xs.size());
+    double sumSq = 0.0;
+    for (double x : xs)
+        sumSq += (x - mean) * (x - mean);
+    return std::sqrt(sumSq / double(xs.size() - 1));
+}
+
+/** Aggregate chip-ticks/s for the tick-major scalar sweep. */
+double
+timeScalar(Fleet &fleet, int64_t ticks, Seconds dt)
+{
+    const auto start = std::chrono::steady_clock::now();
+    for (int64_t t = 0; t < ticks; ++t) {
+        for (auto &c : fleet.chips)
+            c->step(dt);
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    const double elapsed =
+        std::chrono::duration<double>(stop - start).count();
+    return double(ticks) * double(fleet.chips.size()) / elapsed;
+}
+
+/** Aggregate effective chip-ticks/s for a FleetStepper run. */
+double
+timeStepper(system::FleetStepper &stepper, int64_t ticks, Seconds dt)
+{
+    const auto start = std::chrono::steady_clock::now();
+    stepper.run(ticks, dt);
+    const auto stop = std::chrono::steady_clock::now();
+    const double elapsed =
+        std::chrono::duration<double>(stop - start).count();
+    return double(ticks) * double(stepper.chipCount()) / elapsed;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ParamSet params;
+    params.parseArgs(argc, argv);
+    const size_t chips = size_t(params.getInt("chips", 256));
+    const int64_t ticks = params.getInt("ticks", 2000);
+    const int repeats = std::max(1, params.getInt("repeats", 3));
+    const Seconds dt{params.getDouble("dt", 1e-3)};
+    const Seconds warmup{0.3};
+
+    // Scalar reference: private SoA blocks, tick-major sweep.
+    std::vector<double> scalarRates;
+    {
+        Fleet fleet = buildFleet(chips);
+        for (auto &c : fleet.chips)
+            c->settle(warmup, dt);
+        for (int r = 0; r < repeats; ++r)
+            scalarRates.push_back(timeScalar(fleet, ticks, dt));
+    }
+
+    // Shard-exact: one arena, temporal blocking. Bit-identical.
+    std::vector<double> exactRates;
+    {
+        Fleet fleet = buildFleet(chips);
+        system::FleetStepperConfig config;
+        system::FleetStepper stepper(config);
+        for (auto &c : fleet.chips)
+            stepper.addChip(c.get());
+        stepper.run(int64_t(warmup / dt), dt);
+        for (int r = 0; r < repeats; ++r)
+            exactRates.push_back(timeStepper(stepper, ticks, dt));
+    }
+
+    // Sampled: phase detector + analytic fast-forward on a settled,
+    // steady-state fleet.
+    std::vector<double> sampledRates;
+    double exactFraction = 1.0;
+    {
+        Fleet fleet = buildFleet(chips);
+        system::FleetStepperConfig config;
+        config.sampling = true;
+        system::FleetStepper stepper(config);
+        for (auto &c : fleet.chips)
+            stepper.addChip(c.get());
+        stepper.run(int64_t(warmup / dt), dt);
+        const int64_t exactBefore = stepper.exactSteps();
+        const int64_t forwardedBefore = stepper.fastForwardedTicks();
+        for (int r = 0; r < repeats; ++r)
+            sampledRates.push_back(timeStepper(stepper, ticks, dt));
+        const double exactDone =
+            double(stepper.exactSteps() - exactBefore);
+        const double forwardedDone =
+            double(stepper.fastForwardedTicks() - forwardedBefore);
+        exactFraction = exactDone / (exactDone + forwardedDone);
+    }
+
+    const double scalar = median(scalarRates);
+    const double exact = median(exactRates);
+    const double sampled = median(sampledRates);
+
+    obs::JsonLineWriter record;
+    record.set("scalar_steps_per_sec", scalar);
+    record.set("scalar_stddev", stddev(scalarRates));
+    record.set("fleet_exact_steps_per_sec", exact);
+    record.set("fleet_exact_stddev", stddev(exactRates));
+    record.set("fleet_sampled_steps_per_sec", sampled);
+    record.set("fleet_sampled_stddev", stddev(sampledRates));
+    record.set("speedup_exact", exact / scalar);
+    record.set("speedup_sampled", sampled / scalar);
+    record.set("sampled_exact_fraction", exactFraction);
+    record.set("chips", uint64_t(chips));
+    record.set("ticks", uint64_t(ticks));
+    record.set("repeats", uint64_t(repeats));
+    record.set("dt", dt.value());
+    obs::writeJsonLine(record);
+    return 0;
+}

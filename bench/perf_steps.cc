@@ -7,7 +7,12 @@
  * mode (firmware + histogram work included) — and prints a single-line
  * JSON record so CI and scripts can track throughput over time:
  *
- *   {"steps_per_sec": <mean>, "idle_steps_per_sec": ..., ...}
+ *   {"steps_per_sec": <mean of medians>, "idle_steps_per_sec": ..., ...}
+ *
+ * Every scenario is timed `repeats` times; the reported rate is the
+ * *median* of the repeats (so one noisy-neighbour run on a shared CI
+ * box cannot flap the 10% perf gate) and the per-scenario sample
+ * stddev rides along in <scenario>_stddev.
  *
  * Also the observability overhead watchdog: the undervolt scenario is
  * re-timed with tracing + profiling enabled and the enabled-vs-disabled
@@ -15,11 +20,14 @@
  * default, so the main numbers above *are* the disabled numbers — the
  * <5% acceptance bound guards the gated-off cost of the trace hooks).
  *
- * Usage: perf_steps [steps=200000] [dt=0.001]
+ * Usage: perf_steps [steps=200000] [dt=0.001] [repeats=5]
  */
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "chip/chip.h"
 #include "common/config.h"
@@ -32,10 +40,18 @@ using namespace agsim::units;
 
 namespace {
 
-/** Time `steps` calls of Chip::step(dt) on a settled chip. */
-double
+/** Repeated timing of one scenario: median rate plus sample stddev. */
+struct ScenarioTiming
+{
+    double median = 0.0;
+    double stddev = 0.0;
+};
+
+/** Time `steps` calls of Chip::step(dt), `repeats` times, on one
+ *  settled chip (the chip stays in steady state between repeats). */
+ScenarioTiming
 measureScenario(chip::GuardbandMode mode, size_t activeCores,
-                size_t steps, Seconds dt)
+                size_t steps, Seconds dt, int repeats)
 {
     pdn::Vrm vrm(1);
     chip::Chip c{chip::ChipConfig(), &vrm};
@@ -44,13 +60,35 @@ measureScenario(chip::GuardbandMode mode, size_t activeCores,
         c.setLoad(i, chip::CoreLoad::running(1.0, 13.0_mV, 24.0_mV));
     c.settle(Seconds{1.5}, dt);
 
-    const auto start = std::chrono::steady_clock::now();
-    for (size_t i = 0; i < steps; ++i)
-        c.step(dt);
-    const auto stop = std::chrono::steady_clock::now();
-    const double elapsed =
-        std::chrono::duration<double>(stop - start).count();
-    return double(steps) / elapsed;
+    std::vector<double> rates;
+    rates.reserve(size_t(repeats));
+    for (int r = 0; r < repeats; ++r) {
+        const auto start = std::chrono::steady_clock::now();
+        for (size_t i = 0; i < steps; ++i)
+            c.step(dt);
+        const auto stop = std::chrono::steady_clock::now();
+        const double elapsed =
+            std::chrono::duration<double>(stop - start).count();
+        rates.push_back(double(steps) / elapsed);
+    }
+
+    ScenarioTiming timing;
+    std::sort(rates.begin(), rates.end());
+    const size_t n = rates.size();
+    timing.median = n % 2 == 1
+                        ? rates[n / 2]
+                        : 0.5 * (rates[n / 2 - 1] + rates[n / 2]);
+    if (n >= 2) {
+        double mean = 0.0;
+        for (double x : rates)
+            mean += x;
+        mean /= double(n);
+        double sumSq = 0.0;
+        for (double x : rates)
+            sumSq += (x - mean) * (x - mean);
+        timing.stddev = std::sqrt(sumSq / double(n - 1));
+    }
+    return timing;
 }
 
 } // namespace
@@ -62,14 +100,16 @@ main(int argc, char **argv)
     params.parseArgs(argc, argv);
     const size_t steps = size_t(params.getInt("steps", 200000));
     const Seconds dt{params.getDouble("dt", 1e-3)};
+    const int repeats = std::max(1, params.getInt("repeats", 5));
 
-    const double idle = measureScenario(
-        chip::GuardbandMode::StaticGuardband, 0, steps, dt);
-    const double active = measureScenario(
-        chip::GuardbandMode::StaticGuardband, 8, steps, dt);
-    const double undervolt = measureScenario(
-        chip::GuardbandMode::AdaptiveUndervolt, 8, steps, dt);
-    const double mean = (idle + active + undervolt) / 3.0;
+    const ScenarioTiming idle = measureScenario(
+        chip::GuardbandMode::StaticGuardband, 0, steps, dt, repeats);
+    const ScenarioTiming active = measureScenario(
+        chip::GuardbandMode::StaticGuardband, 8, steps, dt, repeats);
+    const ScenarioTiming undervolt = measureScenario(
+        chip::GuardbandMode::AdaptiveUndervolt, 8, steps, dt, repeats);
+    const double mean =
+        (idle.median + active.median + undervolt.median) / 3.0;
 
     // Same scenario with the full observability stack armed: events
     // into the ring, scoped timers into the registry. The delta vs the
@@ -77,21 +117,26 @@ main(int argc, char **argv)
     // numbers already include the gated-off checks.
     obs::setTracingEnabled(true);
     obs::setProfilingEnabled(true);
-    const double undervoltObs = measureScenario(
-        chip::GuardbandMode::AdaptiveUndervolt, 8, steps, dt);
+    const ScenarioTiming undervoltObs = measureScenario(
+        chip::GuardbandMode::AdaptiveUndervolt, 8, steps, dt, repeats);
     obs::resetAll();
-    const double overheadPct =
-        100.0 * (undervolt - undervoltObs) / undervolt;
+    const double overheadPct = 100.0 *
+        (undervolt.median - undervoltObs.median) / undervolt.median;
 
     obs::JsonLineWriter record;
     record.set("steps_per_sec", mean);
-    record.set("idle_steps_per_sec", idle);
-    record.set("active8_steps_per_sec", active);
-    record.set("undervolt_steps_per_sec", undervolt);
-    record.set("undervolt_obs_steps_per_sec", undervoltObs);
+    record.set("idle_steps_per_sec", idle.median);
+    record.set("idle_stddev", idle.stddev);
+    record.set("active8_steps_per_sec", active.median);
+    record.set("active8_stddev", active.stddev);
+    record.set("undervolt_steps_per_sec", undervolt.median);
+    record.set("undervolt_stddev", undervolt.stddev);
+    record.set("undervolt_obs_steps_per_sec", undervoltObs.median);
+    record.set("undervolt_obs_stddev", undervoltObs.stddev);
     record.set("obs_overhead_pct", overheadPct);
     record.set("steps", uint64_t(steps));
     record.set("dt", dt.value());
+    record.set("repeats", uint64_t(repeats));
     obs::writeJsonLine(record);
     return 0;
 }

@@ -51,16 +51,23 @@ Chip::Chip(const ChipConfig &config, pdn::Vrm *vrm)
     for (size_t i = 0; i < config_.coreCount; ++i)
         dplls_.emplace_back(&curve_, config_.dpll, config_.targetFrequency);
 
+    // A standalone chip owns a private single-slot SoA block; a fleet
+    // arena can adopt the state later (migrateState()).
+    soa_ = std::make_shared<ChipStateSoA>(config_.coreCount);
+    slot_ = soa_->addSlot();
+    const Volts v0 = curve_.vddStatic(config_.targetFrequency);
+    for (size_t i = 0; i < config_.coreCount; ++i) {
+        laneVoltage()[i] = v0;
+        laneCtrlVoltage()[i] = v0;
+        laneFrequency()[i] = config_.targetFrequency;
+    }
+
     loads_.assign(config_.coreCount, CoreLoad::idle());
-    coreVoltage_.assign(config_.coreCount, curve_.vddStatic(
-        config_.targetFrequency));
-    coreCtrlVoltage_ = coreVoltage_;
-    coreCurrent_.assign(config_.coreCount, Amps{});
-    droopStall_.assign(config_.coreCount, Seconds{});
     decomposition_.assign(config_.coreCount, pdn::DropDecomposition());
 
     scratchTypAmps_.assign(config_.coreCount, Volts{});
     scratchWorstAmps_.assign(config_.coreCount, Volts{});
+    scratchLocalDrop_.assign(config_.coreCount, Volts{});
     scratchObs_.sampleCpm.assign(config_.coreCount, 0);
     scratchObs_.stickyCpm.assign(config_.coreCount, 0);
     scratchObs_.coreVoltage.assign(config_.coreCount, Volts{});
@@ -93,6 +100,21 @@ Chip::registerMetrics()
 }
 
 void
+Chip::migrateState(std::shared_ptr<ChipStateSoA> block, size_t slot)
+{
+    fatalIf(block == nullptr, "cannot migrate to a null SoA block");
+    fatalIf(block->coreCount() != config_.coreCount,
+            "SoA block core count does not match the chip");
+    fatalIf(slot >= block->chipCount(),
+            "SoA migration target slot does not exist");
+    if (block.get() == soa_.get() && slot == slot_)
+        return;
+    block->copySlotFrom(*soa_, slot_, slot);
+    soa_ = std::move(block);
+    slot_ = slot;
+}
+
+void
 Chip::setLoad(size_t core, const CoreLoad &load)
 {
     panicIf(core >= config_.coreCount, "core index out of range");
@@ -100,12 +122,14 @@ Chip::setLoad(size_t core, const CoreLoad &load)
     fatalIf(load.active && load.activity <= 0.0,
             "active core needs positive activity");
     loads_[core] = load;
+    ++stateEpoch_;
 }
 
 void
 Chip::clearLoads()
 {
     loads_.assign(config_.coreCount, CoreLoad::idle());
+    ++stateEpoch_;
 }
 
 const CoreLoad &
@@ -123,7 +147,7 @@ Chip::setMode(GuardbandMode mode)
     applyMode(mode);
     demotedFrom_ = mode;
     safety_.reset();
-    latchedDroopDepth_ = Volts{0.0};
+    soa_->latchedDroopDepth[slot_] = Volts{0.0};
 }
 
 void
@@ -133,7 +157,7 @@ Chip::applyMode(GuardbandMode mode)
     obsModeTransitions_->add();
     if (obs::tracingEnabled()) {
         obs::TraceEvent event = chipEvent(obs::TraceKind::ModeTransition,
-                                          simNow_, config_.railIndex);
+                                          simTime(), config_.railIndex);
         event.a = double(previous);
         event.b = double(mode);
         event.detail = std::string(guardbandModeName(previous)) + "->" +
@@ -142,14 +166,15 @@ Chip::applyMode(GuardbandMode mode)
     }
     config_.mode = mode;
     const Hertz target = config_.targetFrequency;
-    staticSetpoint_ = curve_.vddStatic(target);
-    vrm_->setSetpoint(config_.railIndex, staticSetpoint_);
-    sinceFirmware_ = Seconds{};
+    soa_->staticSetpoint[slot_] = curve_.vddStatic(target);
+    vrm_->setSetpoint(config_.railIndex, soa_->staticSetpoint[slot_]);
+    soa_->sinceFirmware[slot_] = Seconds{};
     for (auto &dpll : dplls_) {
         dpll.lockTo(target);
         dpll.setCap(mode == GuardbandMode::AdaptiveUndervolt ? target
                                                              : Hertz{});
     }
+    ++stateEpoch_;
 }
 
 void
@@ -168,6 +193,7 @@ Chip::forceSetpoint(Volts v)
     fatalIf(config_.mode != GuardbandMode::Disabled,
             "forceSetpoint is only legal in Disabled mode");
     vrm_->setSetpoint(config_.railIndex, v);
+    ++stateEpoch_;
 }
 
 Volts
@@ -181,7 +207,7 @@ Chip::staticSetpoint() const
 {
     // Cached at setMode()/setTargetFrequency(); the firmware reads this
     // every decision, so it must not recompute the curve each call.
-    return staticSetpoint_;
+    return soa_->staticSetpoint[slot_];
 }
 
 Volts
@@ -195,7 +221,10 @@ Chip::solveElectrical()
 {
     const size_t n = config_.coreCount;
     const Celsius temp = thermal_.temperature();
-    Volts railVoltage = vrm_->outputAt(config_.railIndex, railCurrent_);
+    Volts *const cv = laneVoltage();
+    Amps *const cc = laneCurrent();
+    Amps &railCurrent = soa_->railCurrent[slot_];
+    Volts railVoltage = vrm_->outputAt(config_.railIndex, railCurrent);
 
     for (int iter = 0; iter < config_.fixedPointIterations; ++iter) {
         const Volts previousRailVoltage = railVoltage;
@@ -210,20 +239,25 @@ Chip::solveElectrical()
                                             ? load.activity
                                             : powerModel_.idleActivity();
                 const Hertz f = dplls_[i].frequency();
-                p = powerModel_.coreDynamic(coreVoltage_[i], f, activity) +
-                    powerModel_.coreLeakage(coreVoltage_[i], temp, false);
+                p = powerModel_.coreDynamic(cv[i], f, activity) +
+                    powerModel_.coreLeakage(cv[i], temp, false);
             }
-            coreCurrent_[i] = p / std::max(railVoltage, Volts{0.5});
+            cc[i] = p / std::max(railVoltage, Volts{0.5});
             total += p;
         }
         total += powerModel_.uncore(railVoltage, temp);
 
-        railCurrent_ = total / std::max(railVoltage, Volts{0.5});
-        railVoltage = vrm_->outputAt(config_.railIndex, railCurrent_);
-        for (size_t i = 0; i < n; ++i) {
-            coreVoltage_[i] = irModel_.onChipVoltage(
-                i, railVoltage, railCurrent_, coreCurrent_);
-        }
+        railCurrent = total / std::max(railVoltage, Volts{0.5});
+        railVoltage = vrm_->outputAt(config_.railIndex, railCurrent);
+        // One matrix sweep yields every core's local drop for this
+        // iteration (the voltage update below and the dissipation sum
+        // consume the same values); the global component is shared by
+        // all cores.
+        irModel_.localDropInto(coreCurrentSpan(), scratchLocalDrop_);
+        const Volts globalDrop = irModel_.globalDrop(railCurrent);
+        const Volts vAfterGlobal = railVoltage - globalDrop;
+        for (size_t i = 0; i < n; ++i)
+            cv[i] = vAfterGlobal - scratchLocalDrop_[i];
 
         // The Vdd-rail power sensor sits at the VRM, so the series
         // dissipation in the loadline and the PDN grid (I^2 R) is part
@@ -232,13 +266,11 @@ Chip::solveElectrical()
         // the effects loadline borrowing reclaims (Sec. 5.1).
         Watts dissipation = vrm_->railParams(config_.railIndex)
                                 .loadlineResistance *
-                            railCurrent_ * railCurrent_;
-        dissipation += irModel_.globalDrop(railCurrent_) * railCurrent_;
-        for (size_t i = 0; i < n; ++i) {
-            dissipation += irModel_.localDrop(i, coreCurrent_) *
-                           coreCurrent_[i];
-        }
-        chipPower_ = total + dissipation;
+                            railCurrent * railCurrent;
+        dissipation += globalDrop * railCurrent;
+        for (size_t i = 0; i < n; ++i)
+            dissipation += scratchLocalDrop_[i] * cc[i];
+        soa_->chipPower[slot_] = total + dissipation;
 
         // The V<->P fixed point usually converges in 1-2 iterations in
         // steady state: stop once the rail voltage has stopped moving.
@@ -248,7 +280,7 @@ Chip::solveElectrical()
             break;
         }
     }
-    vrm_->deliver(config_.railIndex, railCurrent_);
+    vrm_->deliver(config_.railIndex, railCurrent);
 }
 
 void
@@ -262,6 +294,7 @@ Chip::runFirmware()
     Hertz achievable = curve_.params().refFrequency *
                        curve_.params().overclockCeiling;
     bool anyOn = false;
+    const Volts *const ctrl = laneCtrlVoltage();
     for (size_t i = 0; i < config_.coreCount; ++i) {
         if (loads_[i].gated)
             continue;
@@ -270,7 +303,7 @@ Chip::runFirmware()
         // calibration error — and any injected sensor fault — biases
         // its view of the margin.
         const Volts seen = cpms_.bank(i).controlVoltage(
-            coreCtrlVoltage_[i], config_.targetFrequency);
+            ctrl[i], config_.targetFrequency);
         achievable = std::min(achievable, curve_.fmaxWithMargin(seen));
     }
     if (!anyOn)
@@ -282,10 +315,25 @@ Chip::runFirmware()
 }
 
 void
-Chip::step(Seconds dt)
+Chip::fillDidtAmps(double droopDepthScale)
+{
+    const size_t n = config_.coreCount;
+    for (size_t i = 0; i < n; ++i) {
+        if (loads_[i].active) {
+            scratchTypAmps_[i] = loads_[i].didtTypicalAmp;
+            scratchWorstAmps_[i] = loads_[i].didtWorstAmp *
+                                   droopDepthScale;
+        } else {
+            scratchTypAmps_[i] = Volts{};
+            scratchWorstAmps_[i] = Volts{};
+        }
+    }
+}
+
+void
+Chip::stepSensePhase(Seconds dt)
 {
     panicIf(dt <= Seconds{0.0}, "chip step must be positive");
-    const size_t n = config_.coreCount;
 
     obsSteps_->add();
 
@@ -299,7 +347,7 @@ Chip::step(Seconds dt)
             lastFaultActive_ = faultActive;
             if (obs::tracingEnabled()) {
                 obs::TraceEvent event = chipEvent(
-                    obs::TraceKind::FaultChange, simNow_,
+                    obs::TraceKind::FaultChange, simTime(),
                     config_.railIndex);
                 event.a = double(faultInjector_->activeSpecCount());
                 event.detail = faultActive ? "activated" : "cleared";
@@ -308,7 +356,7 @@ Chip::step(Seconds dt)
         }
     }
 
-    thermal_.step(chipPower_, dt);
+    thermal_.step(soa_->chipPower[slot_], dt);
     {
         obs::ScopedTimer timer(obsSolverTimer_);
         solveElectrical();
@@ -324,45 +372,50 @@ Chip::step(Seconds dt)
         droopRateScale = faultInjector_->active().droopRateScale;
         droopDepthScale = faultInjector_->active().droopDepthScale;
     }
-    for (size_t i = 0; i < n; ++i) {
-        if (loads_[i].active) {
-            scratchTypAmps_[i] = loads_[i].didtTypicalAmp;
-            scratchWorstAmps_[i] = loads_[i].didtWorstAmp *
-                                   droopDepthScale;
-        } else {
-            scratchTypAmps_[i] = Volts{};
-            scratchWorstAmps_[i] = Volts{};
-        }
-    }
-    const pdn::DidtSample noise = didt_.step(scratchTypAmps_,
-                                             scratchWorstAmps_, dt,
-                                             droopRateScale);
-    const Volts worstCharacteristic = didt_.worstDepth(scratchWorstAmps_);
-    if (noise.droopEvents > 0) {
-        droopHistogram_.add(noise.worstDroop.value());
-        if (noise.worstDroop > latchedDroopDepth_)
-            latchedDroopDepth_ = noise.worstDroop;
+    fillDidtAmps(droopDepthScale);
+    pendingNoise_ = didt_.step(scratchTypAmps_, scratchWorstAmps_, dt,
+                               droopRateScale);
+    pendingWorstCharacteristic_ = didt_.worstDepth(scratchWorstAmps_);
+    if (pendingNoise_.droopEvents > 0) {
+        droopHistogram_.add(pendingNoise_.worstDroop.value());
+        if (pendingNoise_.worstDroop > soa_->latchedDroopDepth[slot_])
+            soa_->latchedDroopDepth[slot_] = pendingNoise_.worstDroop;
     }
 
     // Vcs (storage) rail: a lightly activity-dependent constant load,
     // reported separately from the Vdd metric the paper uses.
     const double activeFraction = double(activeCoreCount()) /
                                   double(config_.coreCount);
-    vcsPower_ = config_.vcs.powerAtRef *
-                (1.0 - config_.vcs.activityShare +
-                 config_.vcs.activityShare * activeFraction);
+    soa_->vcsPower[slot_] = config_.vcs.powerAtRef *
+                            (1.0 - config_.vcs.activityShare +
+                             config_.vcs.activityShare * activeFraction);
+}
 
+void
+Chip::stepControlPhase(Seconds dt)
+{
+    const size_t n = config_.coreCount;
+    const pdn::DidtSample &noise = pendingNoise_;
+    Volts *const cv = laneVoltage();
+    Volts *const ctrl = laneCtrlVoltage();
+    Hertz *const freq = laneFrequency();
+    Seconds *const stall = laneDroopStall();
+    const Amps railCurrent = soa_->railCurrent[slot_];
     const Volts railVoltage = vrm_->outputAt(config_.railIndex,
-                                             railCurrent_);
+                                             railCurrent);
+    // Loop-invariant drop components; the per-core local drops are the
+    // ones the solver's final iteration left in scratchLocalDrop_ (the
+    // core currents have not changed since).
+    const Volts loadlineDrop = vrm_->loadlineDrop(config_.railIndex);
+    const Volts globalDrop = irModel_.globalDrop(railCurrent);
     // Reuse the preallocated observation; every entry is overwritten
     // below (both the gated and the running branch fill all four
     // per-core arrays).
     sensors::StepObservation &obs = scratchObs_;
 
     for (size_t i = 0; i < n; ++i) {
-        coreCtrlVoltage_[i] = coreVoltage_[i] -
-            config_.rippleTrackingLoss * noise.typicalMean;
-        droopStall_[i] = Seconds{};
+        ctrl[i] = cv[i] - config_.rippleTrackingLoss * noise.typicalMean;
+        stall[i] = Seconds{};
 
         if (loads_[i].gated) {
             // A gated core's CPMs are dark; AMESTER reports the detector
@@ -371,10 +424,10 @@ Chip::step(Seconds dt)
             obs.stickyCpm[i] = config_.cpm.positions - 1;
             obs.coreVoltage[i] = railVoltage;
             obs.coreFrequency[i] = Hertz{};
+            freq[i] = Hertz{};
             decomposition_[i] = pdn::DropDecomposition();
-            decomposition_[i].loadline =
-                vrm_->loadlineDrop(config_.railIndex);
-            decomposition_[i].irGlobal = irModel_.globalDrop(railCurrent_);
+            decomposition_[i].loadline = loadlineDrop;
+            decomposition_[i].irGlobal = globalDrop;
             continue;
         }
 
@@ -389,28 +442,32 @@ Chip::step(Seconds dt)
             // calibration error — and any injected sensor fault —
             // tilts the margin it preserves.
             dplls_[i].step(cpms_.bank(i).controlVoltage(
-                               coreCtrlVoltage_[i],
-                               config_.targetFrequency),
+                               ctrl[i], config_.targetFrequency),
                            dt);
-            droopStall_[i] = dplls_[i].droopStall(noise.worstDroop,
-                                                  noise.droopEvents);
+            stall[i] = dplls_[i].droopStall(noise.worstDroop,
+                                            noise.droopEvents);
             break;
         }
 
         const Hertz f = dplls_[i].frequency();
-        const Volts vInstant = coreVoltage_[i] - noise.typicalNow;
-        const Volts vSticky = coreVoltage_[i] -
+        const Volts vInstant = cv[i] - noise.typicalNow;
+        const Volts vSticky = cv[i] -
             std::max(noise.typicalNow, noise.worstDroop);
         obs.sampleCpm[i] = cpms_.bank(i).minRead(vInstant, f);
-        obs.stickyCpm[i] = cpms_.bank(i).minRead(vSticky, f);
-        obs.coreVoltage[i] = coreVoltage_[i];
+        // On droop-free steps (the overwhelming majority) the sticky
+        // read sees the same voltage as the sampled read — reuse it.
+        obs.stickyCpm[i] = vSticky == vInstant
+                               ? obs.sampleCpm[i]
+                               : cpms_.bank(i).minRead(vSticky, f);
+        obs.coreVoltage[i] = cv[i];
         obs.coreFrequency[i] = f;
+        freq[i] = f;
 
-        decomposition_[i].loadline = vrm_->loadlineDrop(config_.railIndex);
-        decomposition_[i].irGlobal = irModel_.globalDrop(railCurrent_);
-        decomposition_[i].irLocal = irModel_.localDrop(i, coreCurrent_);
+        decomposition_[i].loadline = loadlineDrop;
+        decomposition_[i].irGlobal = globalDrop;
+        decomposition_[i].irLocal = scratchLocalDrop_[i];
         decomposition_[i].typicalDidt = noise.typicalMean;
-        decomposition_[i].worstDidt = worstCharacteristic;
+        decomposition_[i].worstDidt = pendingWorstCharacteristic_;
     }
 
     // Droop-response accounting: every core whose DPLL rode through a
@@ -418,78 +475,234 @@ Chip::step(Seconds dt)
     // lands in the registry, the per-core events only when tracing.
     int stalledCores = 0;
     for (size_t i = 0; i < n; ++i) {
-        if (droopStall_[i] <= Seconds{})
+        if (stall[i] <= Seconds{})
             continue;
         ++stalledCores;
         if (obs::tracingEnabled()) {
             obs::TraceEvent event = chipEvent(obs::TraceKind::DroopResponse,
-                                              simNow_, config_.railIndex);
+                                              simTime(), config_.railIndex);
             event.core = int32_t(i);
-            event.a = droopStall_[i].value();
+            event.a = stall[i].value();
             event.b = noise.worstDroop.value();
             obs::emit(std::move(event));
         }
     }
     if (stalledCores > 0)
         obsDroopResponses_->add(stalledCores);
+}
 
+void
+Chip::stepCommitPhase(Seconds dt)
+{
     // Watchdog: count emergencies against the true (model ground-truth)
     // margin and let the monitor demote/re-arm. Runs before telemetry so
     // the step's counters land in the current window.
-    runSafetyMonitor(noise, worstCharacteristic, dt);
+    runSafetyMonitor(pendingNoise_, pendingWorstCharacteristic_, dt);
 
-    obs.chipPower = chipPower_;
-    obs.railCurrent = railCurrent_;
+    sensors::StepObservation &obs = scratchObs_;
+    obs.chipPower = soa_->chipPower[slot_];
+    obs.railCurrent = soa_->railCurrent[slot_];
     obs.setpoint = setpoint();
     obs.decomposition = decomposition_[0];
     obs.timingEmergencies = lastEmergencies_;
     obs.safetyDemotions = lastDemotions_;
     obs.safetyRearms = lastRearms_;
-    obs.worstMargin = lastWorstMargin_;
+    obs.worstMargin = soa_->lastWorstMargin[slot_];
     {
         obs::ScopedTimer timer(obsTelemetryTimer_);
         telemetry_.step(obs, dt);
     }
 
-    sinceFirmware_ += dt;
-    if (sinceFirmware_ >= config_.firmwareInterval - Seconds{1e-12}) {
-        obs::ScopedTimer timer(obsFirmwareTimer_);
-        const Volts setpointBefore = setpoint();
-        bool stalled = false;
-        // An injected stall makes the service processor miss this
-        // decision entirely; the loop coasts on the last setpoint.
-        if (faultInjector_ != nullptr &&
-            faultInjector_->active().firmwareStall) {
-            ++missedFirmwareTicks_;
-            obsMissedTicks_->add();
-            stalled = true;
-        } else {
-            runFirmware();
-        }
-        obsFirmwareTicks_->add();
-        if (obs::tracingEnabled()) {
-            obs::TraceEvent event = chipEvent(obs::TraceKind::FirmwareTick,
-                                              simNow_, config_.railIndex);
-            event.a = setpointBefore.value();
-            event.b = setpoint().value();
-            if (stalled)
-                event.detail = "stalled";
-            obs::emit(std::move(event));
-        }
+    Seconds &sinceFirmware = soa_->sinceFirmware[slot_];
+    sinceFirmware += dt;
+    if (sinceFirmware >= config_.firmwareInterval - Seconds{1e-12}) {
+        firmwareTick();
         // Carry the overshoot past the interval instead of discarding
         // it, so the firmware cadence stays exactly firmwareInterval on
         // average for any dt (a 1 ms step no longer stretches the 32 ms
         // cadence when the interval is not a multiple of dt).
-        sinceFirmware_ -= config_.firmwareInterval;
+        sinceFirmware -= config_.firmwareInterval;
         // The trigger's 1e-12 grace can leave the remainder a few ulps
         // below zero when dt divides the interval exactly.
-        if (sinceFirmware_ < Seconds{0.0})
-            sinceFirmware_ = Seconds{};
+        if (sinceFirmware < Seconds{0.0})
+            sinceFirmware = Seconds{};
     }
 
     // Events inside this step were stamped with its start time; the
     // clock advances last.
-    simNow_ += dt;
+    soa_->simNow[slot_] += dt;
+}
+
+void
+Chip::firmwareTick()
+{
+    obs::ScopedTimer timer(obsFirmwareTimer_);
+    const Volts setpointBefore = setpoint();
+    bool stalled = false;
+    // An injected stall makes the service processor miss this
+    // decision entirely; the loop coasts on the last setpoint.
+    if (faultInjector_ != nullptr &&
+        faultInjector_->active().firmwareStall) {
+        ++missedFirmwareTicks_;
+        obsMissedTicks_->add();
+        stalled = true;
+    } else {
+        runFirmware();
+    }
+    obsFirmwareTicks_->add();
+    if (obs::tracingEnabled()) {
+        obs::TraceEvent event = chipEvent(obs::TraceKind::FirmwareTick,
+                                          simTime(), config_.railIndex);
+        event.a = setpointBefore.value();
+        event.b = setpoint().value();
+        if (stalled)
+            event.detail = "stalled";
+        obs::emit(std::move(event));
+    }
+}
+
+void
+Chip::step(Seconds dt)
+{
+    stepSensePhase(dt);
+    stepControlPhase(dt);
+    stepCommitPhase(dt);
+}
+
+int64_t
+Chip::fastForward(int64_t maxTicks, Seconds dt)
+{
+    panicIf(maxTicks <= 0, "fastForward needs at least one tick");
+    panicIf(dt <= Seconds{0.0}, "chip step must be positive");
+    const size_t n = config_.coreCount;
+    const Seconds interval = config_.firmwareInterval;
+    const bool adaptive =
+        config_.mode == GuardbandMode::AdaptiveUndervolt ||
+        config_.mode == GuardbandMode::AdaptiveOverclock;
+
+    int64_t consumed = 0;
+    while (consumed < maxTicks) {
+        // Consume ticks up to (and including) the next firmware
+        // boundary, so every firmware decision still happens at its
+        // exact due time against the held sensor view.
+        Seconds &sinceFirmware = soa_->sinceFirmware[slot_];
+        const double toBoundary =
+            (interval - Seconds{1e-12} - sinceFirmware).value() /
+            dt.value();
+        int64_t k = int64_t(std::ceil(toBoundary));
+        k = std::max<int64_t>(k, 1);
+        k = std::min(k, maxTicks - consumed);
+        const Seconds span = dt * double(k);
+
+        // Fault clock stays aligned with simulated time; the caller
+        // guarantees no plan edge falls inside the span.
+        if (faultInjector_ != nullptr) {
+            faultInjector_->advance(span);
+            applyFaults();
+        }
+
+        // The thermal RC step composes exponentially, so one span-long
+        // step is exactly k dt-long steps at the held power.
+        thermal_.step(soa_->chipPower[slot_], span);
+
+        // Aggregate di/dt over the span: the arrival process is
+        // Poisson, so one draw with rate*span replaces k per-tick
+        // draws; depth statistics come from the same seeded model.
+        double droopRateScale = 1.0;
+        double droopDepthScale = 1.0;
+        if (faultInjector_ != nullptr && faultInjector_->active().any) {
+            droopRateScale = faultInjector_->active().droopRateScale;
+            droopDepthScale = faultInjector_->active().droopDepthScale;
+        }
+        fillDidtAmps(droopDepthScale);
+        const pdn::DidtSample noise =
+            didt_.step(scratchTypAmps_, scratchWorstAmps_, span,
+                       droopRateScale);
+        const Volts envelope = didt_.worstDepth(scratchWorstAmps_);
+        if (noise.droopEvents > 0) {
+            droopHistogram_.add(noise.worstDroop.value());
+            if (noise.worstDroop > soa_->latchedDroopDepth[slot_])
+                soa_->latchedDroopDepth[slot_] = noise.worstDroop;
+        }
+
+        // Analytic margin over the span: the per-tick ripple jitter is
+        // replaced by its mean. Unprotected cores are assessed against
+        // the characterized envelope whenever the span saw a droop
+        // (matching the window-minimum semantics the exact path feeds
+        // telemetry), protected cores against the mean ripple.
+        const Volts *const cv = laneVoltage();
+        const Volts envelopeDroop =
+            noise.droopEvents > 0 ? envelope : Volts{};
+        int emergencies = 0;
+        Volts worst = curve_.params().staticGuardband;
+        bool anyCore = false;
+        for (size_t i = 0; i < n; ++i) {
+            if (loads_[i].gated)
+                continue;
+            const bool loopProtects = adaptive && !cpms_.bank(i).blind();
+            const Volts sag = loopProtects
+                                  ? noise.typicalMean
+                                  : std::max(noise.typicalMean,
+                                             envelopeDroop);
+            const Volts margin = (cv[i] - sag) -
+                                 curve_.vminAt(dplls_[i].frequency());
+            if (!anyCore || margin < worst)
+                worst = margin;
+            anyCore = true;
+            if (margin < -safety_.params().marginTolerance)
+                ++emergencies;
+        }
+        lastEmergencies_ = emergencies;
+        soa_->lastWorstMargin[slot_] = worst;
+        lastDemotions_ = 0;
+        lastRearms_ = 0;
+        if (emergencies > 0)
+            obsEmergencies_->add(emergencies);
+        // One observation covering the span keeps the watchdog's
+        // re-arm hysteresis clock aligned with simulated time.
+        applySafetyAction(safety_.observe(emergencies > 0, adaptive,
+                                          span),
+                          emergencies);
+        const bool modeChanged = lastDemotions_ > 0 || lastRearms_ > 0;
+
+        // Telemetry: the held observation weighted by the span lands in
+        // the same windows the exact path would have filled (window
+        // closes are span-aware).
+        sensors::StepObservation &obs = scratchObs_;
+        obs.chipPower = soa_->chipPower[slot_];
+        obs.railCurrent = soa_->railCurrent[slot_];
+        obs.setpoint = setpoint();
+        obs.decomposition = decomposition_[0];
+        obs.timingEmergencies = lastEmergencies_;
+        obs.safetyDemotions = lastDemotions_;
+        obs.safetyRearms = lastRearms_;
+        obs.worstMargin = worst;
+        {
+            obs::ScopedTimer timer(obsTelemetryTimer_);
+            telemetry_.step(obs, span);
+        }
+
+        sinceFirmware += span;
+        bool setpointMoved = false;
+        if (sinceFirmware >= interval - Seconds{1e-12}) {
+            const Volts before = setpoint();
+            firmwareTick();
+            sinceFirmware -= interval;
+            if (sinceFirmware < Seconds{0.0})
+                sinceFirmware = Seconds{};
+            setpointMoved = setpoint() != before;
+        }
+
+        soa_->simNow[slot_] += span;
+        consumed += k;
+
+        // A moved setpoint or a safety action invalidates the held
+        // operating point: hand the remaining ticks back to the exact
+        // path.
+        if (setpointMoved || modeChanged)
+            break;
+    }
+    return consumed;
 }
 
 void
@@ -507,6 +720,7 @@ Chip::attachFaultInjector(fault::FaultInjector *injector)
     } else {
         applyFaults();
     }
+    ++stateEpoch_;
 }
 
 void
@@ -541,7 +755,9 @@ Chip::runSafetyMonitor(const pdn::DidtSample &noise,
     // envelope, and the sampler's synthetic heavy tail above it would
     // otherwise flag a healthy chip at full load. Margin violations
     // from undervolting below vmin (lying CPMs, DAC under-delivery)
-    // enter through coreVoltage_ and are unaffected by this choice.
+    // enter through the voltage lanes and are unaffected by this
+    // choice.
+    const Volts *const cv = laneVoltage();
     int emergencies = 0;
     Volts worst = curve_.params().staticGuardband;
     bool anyCore = false;
@@ -555,7 +771,7 @@ Chip::runSafetyMonitor(const pdn::DidtSample &noise,
                               ? noise.typicalNow
                               : std::max(noise.typicalNow,
                                          envelopeDroop);
-        const Volts margin = (coreVoltage_[i] - sag) -
+        const Volts margin = (cv[i] - sag) -
                              curve_.vminAt(dplls_[i].frequency());
         if (!anyCore || margin < worst)
             worst = margin;
@@ -567,13 +783,20 @@ Chip::runSafetyMonitor(const pdn::DidtSample &noise,
             ++emergencies;
     }
     lastEmergencies_ = emergencies;
-    lastWorstMargin_ = worst;
+    soa_->lastWorstMargin[slot_] = worst;
     lastDemotions_ = 0;
     lastRearms_ = 0;
     if (emergencies > 0)
         obsEmergencies_->add(emergencies);
 
-    switch (safety_.observe(emergencies > 0, adaptive, dt)) {
+    applySafetyAction(safety_.observe(emergencies > 0, adaptive, dt),
+                      emergencies);
+}
+
+void
+Chip::applySafetyAction(SafetyMonitor::Action action, int emergencies)
+{
+    switch (action) {
       case SafetyMonitor::Action::None:
         break;
       case SafetyMonitor::Action::Demote:
@@ -585,7 +808,7 @@ Chip::runSafetyMonitor(const pdn::DidtSample &noise,
         obsDemotions_->add();
         if (obs::tracingEnabled()) {
             obs::TraceEvent event = chipEvent(
-                obs::TraceKind::SafetyDemotion, simNow_,
+                obs::TraceKind::SafetyDemotion, simTime(),
                 config_.railIndex);
             event.a = double(emergencies);
             event.detail = std::string("demoted from ") +
@@ -599,7 +822,7 @@ Chip::runSafetyMonitor(const pdn::DidtSample &noise,
         obsRearms_->add();
         if (obs::tracingEnabled()) {
             obs::TraceEvent event = chipEvent(obs::TraceKind::SafetyRearm,
-                                              simNow_, config_.railIndex);
+                                              simTime(), config_.railIndex);
             event.detail = std::string("re-armed ") +
                            guardbandModeName(demotedFrom_);
             obs::emit(std::move(event));
@@ -619,7 +842,7 @@ Chip::healthView() const
     view.rearms = safety_.rearmCount();
     view.emergencies = safety_.totalEmergencies();
     view.rearmBudget = safety_.rearmBudget();
-    view.latchedDroopDepth = latchedDroopDepth_;
+    view.latchedDroopDepth = soa_->latchedDroopDepth[slot_];
     return view;
 }
 
@@ -645,7 +868,7 @@ Volts
 Chip::coreVoltage(size_t core) const
 {
     panicIf(core >= config_.coreCount, "core index out of range");
-    return coreVoltage_[core];
+    return laneVoltage()[core];
 }
 
 Hertz
@@ -688,7 +911,7 @@ Seconds
 Chip::droopStall(size_t core) const
 {
     panicIf(core >= config_.coreCount, "core index out of range");
-    return droopStall_[core];
+    return laneDroopStall()[core];
 }
 
 void

@@ -14,16 +14,26 @@
  *
  * The chip does not know about workloads or schedulers — the system layer
  * assigns CoreLoads before each step.
+ *
+ * Fleet stepping: the per-tick hot state (power accumulators, firmware
+ * cadence, margins, IR-drop solver lanes, DPLL frequency lane) lives in
+ * a ChipStateSoA block the chip merely views (see chip_state_soa.h). A
+ * standalone chip owns a private single-slot block; system::FleetStepper
+ * migrates whole shards into one contiguous arena and sweeps them with
+ * the phase methods below. step() remains the canonical single-chip
+ * entry point and is bit-identical regardless of where the state lives.
  */
 
 #ifndef AGSIM_CHIP_CHIP_H
 #define AGSIM_CHIP_CHIP_H
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "chip/chip_config.h"
 #include "chip/chip_health.h"
+#include "chip/chip_state_soa.h"
 #include "chip/core_load.h"
 #include "chip/safety_monitor.h"
 #include "clock/dpll.h"
@@ -119,7 +129,10 @@ class Chip
     int lastStepEmergencies() const { return lastEmergencies_; }
 
     /** Worst true timing margin across non-gated cores, last step. */
-    Volts lastWorstMargin() const { return lastWorstMargin_; }
+    Volts lastWorstMargin() const
+    {
+        return soa_->lastWorstMargin[slot_];
+    }
 
     /** Firmware decisions suppressed by injected stalls. */
     int64_t missedFirmwareTicks() const { return missedFirmwareTicks_; }
@@ -140,7 +153,10 @@ class Chip
      * Deepest worst-case droop seen since the last operator mode
      * command (sticky maximum, reset by setMode()).
      */
-    Volts latchedDroopDepth() const { return latchedDroopDepth_; }
+    Volts latchedDroopDepth() const
+    {
+        return soa_->latchedDroopDepth[slot_];
+    }
 
     /**
      * Snapshot of this chip's safety telemetry for schedulers — the
@@ -156,6 +172,72 @@ class Chip
     /** Advance the chip by dt. */
     void step(Seconds dt);
 
+    /** @name Phase stepping (system::FleetStepper sweeps)
+     *
+     * step() decomposes into three phases so a shard sweep can run the
+     * same phase across many chips back-to-back (sense → control →
+     * commit share code paths and model tables across the shard).
+     * Calling the three phases in order with the same dt is exactly
+     * step(); any other interleaving per chip is undefined.
+     */
+    /// @{
+
+    /** Faults, thermal, electrical fixed point, di/dt draw. */
+    void stepSensePhase(Seconds dt);
+
+    /** CPM reads, DPLL updates, droop-response accounting. */
+    void stepControlPhase(Seconds dt);
+
+    /** Safety monitor, telemetry, firmware cadence, clock advance. */
+    void stepCommitPhase(Seconds dt);
+
+    /// @}
+
+    /** @name Sampled stepping (phase-detected fast-forward)
+     *
+     * The interval-stepping primitive behind FleetStepper's sampled
+     * mode (docs/PERFORMANCE.md): advance up to maxTicks ticks of dt
+     * while holding the electrical operating point at its last solved
+     * value. The caller (the phase detector) must have established
+     * quiescence: no external state change since the last exact step,
+     * no fault-plan edge within the span, and a stable margin window.
+     *
+     * What stays exact: thermal relaxation (the RC step composes
+     * exponentially), firmware cadence and every firmware decision
+     * (run at their due times against the held sensor view), fault
+     * clock alignment, telemetry window timing, droop arrival
+     * statistics (one aggregate draw over the span from the same
+     * seeded model). What is approximated: per-tick ripple jitter is
+     * replaced by its mean, per-core droop stall time is not accrued,
+     * and RNG draw order differs from the exact path. Consumption
+     * stops early when a firmware decision moves the setpoint (the
+     * held operating point would no longer be valid).
+     *
+     * @return Ticks actually consumed (>= 1, <= maxTicks).
+     */
+    int64_t fastForward(int64_t maxTicks, Seconds dt);
+
+    /**
+     * Monotone counter bumped by every externally visible control
+     * change (loads, mode, DVFS target, forced setpoint, injector
+     * attach, safety demotion/re-arm). Phase detectors use it to drop
+     * back to exact stepping on any transient.
+     */
+    uint64_t stateEpoch() const { return stateEpoch_; }
+
+    /**
+     * Repoint this chip's hot state into `block` at `slot` (copying
+     * current values). The slot must already exist and belong to this
+     * chip alone. Must not be called between phases of one step.
+     */
+    void migrateState(std::shared_ptr<ChipStateSoA> block, size_t slot);
+
+    /** The SoA block currently backing this chip's hot state. */
+    const ChipStateSoA &stateBlock() const { return *soa_; }
+
+    /** This chip's slot in stateBlock(). */
+    size_t stateSlot() const { return slot_; }
+
     /**
      * Run steps until the firmware and thermal state settle (used to
      * warm up before measuring; undervolting needs ~20 firmware
@@ -169,13 +251,13 @@ class Chip
     size_t coreCount() const { return config_.coreCount; }
 
     /** Chip Vdd-rail power from the last step (the paper's metric). */
-    Watts power() const { return chipPower_; }
+    Watts power() const { return soa_->chipPower[slot_]; }
 
     /** Vcs (storage) rail power from the last step. */
-    Watts vcsPower() const { return vcsPower_; }
+    Watts vcsPower() const { return soa_->vcsPower[slot_]; }
 
     /** Rail current from the last step. */
-    Amps railCurrent() const { return railCurrent_; }
+    Amps railCurrent() const { return soa_->railCurrent[slot_]; }
 
     /** VRM setpoint currently programmed for this chip's rail. */
     Volts setpoint() const;
@@ -209,7 +291,7 @@ class Chip
      * this chip's trace events). Pure bookkeeping: nothing in the
      * model reads it back.
      */
-    Seconds simTime() const { return simNow_; }
+    Seconds simTime() const { return soa_->simNow[slot_]; }
 
     /**
      * Time accumulated toward the next firmware decision. Stays within
@@ -217,7 +299,7 @@ class Chip
      * interval is carried, not discarded, so the firmware cadence stays
      * exact for any dt.
      */
-    Seconds sinceFirmware() const { return sinceFirmware_; }
+    Seconds sinceFirmware() const { return soa_->sinceFirmware[slot_]; }
 
     /** Per-step stall time from worst-case droop responses (core). */
     Seconds droopStall(size_t core) const;
@@ -252,11 +334,14 @@ class Chip
     /// @}
 
   private:
-    /** Solve the V<->P fixed point; fills the per-core state vectors. */
+    /** Solve the V<->P fixed point; fills the per-core state lanes. */
     void solveElectrical();
 
     /** Run one firmware decision (undervolt mode). */
     void runFirmware();
+
+    /** One due firmware tick: stall check, decision, obs accounting. */
+    void firmwareTick();
 
     /** Switch mode without resetting safety state (monitor actions). */
     void applyMode(GuardbandMode mode);
@@ -277,6 +362,56 @@ class Chip
     void runSafetyMonitor(const pdn::DidtSample &noise,
                           Volts worstCharacteristic, Seconds dt);
 
+    /** Apply a safety-monitor action (demote/re-arm bookkeeping). */
+    void applySafetyAction(SafetyMonitor::Action action, int emergencies);
+
+    /** Fill the step's di/dt amplitude scratch from the loads. */
+    void fillDidtAmps(double droopDepthScale);
+
+    /** @name Hot-state lane access (SoA view helpers) */
+    /// @{
+    Volts *laneVoltage()
+    {
+        return soa_->coreVoltage.data() + slot_ * config_.coreCount;
+    }
+    const Volts *laneVoltage() const
+    {
+        return soa_->coreVoltage.data() + slot_ * config_.coreCount;
+    }
+    Volts *laneCtrlVoltage()
+    {
+        return soa_->coreCtrlVoltage.data() + slot_ * config_.coreCount;
+    }
+    const Volts *laneCtrlVoltage() const
+    {
+        return soa_->coreCtrlVoltage.data() + slot_ * config_.coreCount;
+    }
+    Amps *laneCurrent()
+    {
+        return soa_->coreCurrent.data() + slot_ * config_.coreCount;
+    }
+    const Amps *laneCurrent() const
+    {
+        return soa_->coreCurrent.data() + slot_ * config_.coreCount;
+    }
+    Hertz *laneFrequency()
+    {
+        return soa_->coreFrequency.data() + slot_ * config_.coreCount;
+    }
+    Seconds *laneDroopStall()
+    {
+        return soa_->droopStall.data() + slot_ * config_.coreCount;
+    }
+    const Seconds *laneDroopStall() const
+    {
+        return soa_->droopStall.data() + slot_ * config_.coreCount;
+    }
+    std::span<const Amps> coreCurrentSpan() const
+    {
+        return {laneCurrent(), config_.coreCount};
+    }
+    /// @}
+
     ChipConfig config_;
     pdn::Vrm *vrm_;
 
@@ -291,23 +426,26 @@ class Chip
     std::vector<clock::Dpll> dplls_;
 
     std::vector<CoreLoad> loads_;
-    std::vector<Volts> coreVoltage_;     // steady (passive-only) voltage
-    std::vector<Volts> coreCtrlVoltage_; // steady minus typical ripple
-    std::vector<Amps> coreCurrent_;
-    std::vector<Seconds> droopStall_;
     std::vector<pdn::DropDecomposition> decomposition_;
+
+    // Hot per-tick state, hoisted into an SoA block (see file comment).
+    // Standalone chips own a private single-slot block; fleet-adopted
+    // chips view a shared arena.
+    std::shared_ptr<ChipStateSoA> soa_;
+    size_t slot_ = 0;
 
     // Preallocated scratch reused every step() so the steady-state hot
     // path performs no heap allocations.
     std::vector<Volts> scratchTypAmps_;
     std::vector<Volts> scratchWorstAmps_;
+    std::vector<Volts> scratchLocalDrop_;
     sensors::StepObservation scratchObs_;
 
-    Watts chipPower_ = Watts{0.0};
-    Watts vcsPower_ = Watts{0.0};
-    Amps railCurrent_ = Amps{0.0};
-    Seconds sinceFirmware_ = Seconds{0.0};
-    Volts staticSetpoint_ = Volts{0.0}; // cached vddStatic(targetFrequency)
+    // Sense-phase outputs consumed by the control/commit phases of the
+    // same tick.
+    pdn::DidtSample pendingNoise_;
+    Volts pendingWorstCharacteristic_ = Volts{0.0};
+
     stats::Histogram droopHistogram_;
 
     // Fault injection and safety degradation.
@@ -319,17 +457,13 @@ class Chip
     int lastEmergencies_ = 0;
     int lastDemotions_ = 0;
     int lastRearms_ = 0;
-    Volts lastWorstMargin_ = Volts{0.0};
-    // Sticky max worst-case droop since the last operator mode command
-    // (the AMESTER sticky-mode analogue exported via healthView()).
-    Volts latchedDroopDepth_ = Volts{0.0};
     int64_t missedFirmwareTicks_ = 0;
+    uint64_t stateEpoch_ = 0;
 
     // Observability (see docs/OBSERVABILITY.md). All of this is
     // write-only from the model's perspective: nothing below feeds back
     // into simulation state, so instrumented and plain runs are
     // bit-identical (tests/test_obs_determinism.cc).
-    Seconds simNow_ = Seconds{0.0};
     bool lastFaultActive_ = false;
     obs::Counter *obsSteps_ = nullptr;
     obs::Counter *obsFirmwareTicks_ = nullptr;

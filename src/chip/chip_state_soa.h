@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Structure-of-arrays storage for the per-chip state touched every
+ * simulation tick.
+ *
+ * A fleet run steps hundreds–thousands of chips; with the hot scalars
+ * embedded in each Chip object, a tick-major sweep walks one cache
+ * line per chip per field and thrashes the cache hierarchy. This block
+ * hoists that state into contiguous lanes — one array per field, one
+ * slot per chip — so a shard sweep touches dense, prefetchable memory
+ * and the inner loops over a lane vectorize.
+ *
+ * Ownership model: every Chip is a *view* (block pointer + slot) over
+ * one of these blocks. A standalone chip owns a private single-slot
+ * block, so nothing changes for existing call sites; a FleetStepper
+ * migrates its chips into one shared arena (Chip::migrateState) so a
+ * whole shard's hot state is contiguous. All public Chip accessors
+ * read through the view, so telemetry, health snapshots and the
+ * safety machinery are oblivious to where the state lives.
+ *
+ * Lanes come in two shapes:
+ *  - scalar lanes: one value per chip (power accumulators, firmware
+ *    cadence, margins);
+ *  - per-core lanes: coreCount values per chip, chip-major
+ *    (slot * coreCount + core), the IR-drop solver inputs and DPLL
+ *    frequency state swept by the electrical phases.
+ *
+ * Thread safety: slots are disjoint, so concurrent sweeps over
+ * different slots need no synchronization; growing a block (addSlot)
+ * while any chip steps is undefined — FleetStepper freezes its arena
+ * before the first run.
+ */
+
+#ifndef AGSIM_CHIP_CHIP_STATE_SOA_H
+#define AGSIM_CHIP_CHIP_STATE_SOA_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace agsim::chip {
+
+/**
+ * One block of SoA chip state. All chips in a block share a core
+ * count (the per-core lane stride).
+ */
+class ChipStateSoA
+{
+  public:
+    explicit ChipStateSoA(size_t coreCount) : coreCount_(coreCount)
+    {
+        fatalIf(coreCount_ == 0, "SoA block needs at least one core");
+    }
+
+    /** Per-core lane stride. */
+    size_t coreCount() const { return coreCount_; }
+
+    /** Chips stored in this block. */
+    size_t chipCount() const { return chipPower.size(); }
+
+    /**
+     * Append one zero-initialized slot to every lane and return its
+     * index. Must not race with any chip stepping on this block.
+     */
+    size_t addSlot()
+    {
+        const size_t slot = chipCount();
+        chipPower.emplace_back();
+        vcsPower.emplace_back();
+        railCurrent.emplace_back();
+        sinceFirmware.emplace_back();
+        simNow.emplace_back();
+        staticSetpoint.emplace_back();
+        lastWorstMargin.emplace_back();
+        latchedDroopDepth.emplace_back();
+        coreVoltage.resize(coreVoltage.size() + coreCount_);
+        coreCtrlVoltage.resize(coreCtrlVoltage.size() + coreCount_);
+        coreCurrent.resize(coreCurrent.size() + coreCount_);
+        coreFrequency.resize(coreFrequency.size() + coreCount_);
+        droopStall.resize(droopStall.size() + coreCount_);
+        return slot;
+    }
+
+    /** Copy one chip's state between blocks (migration helper). */
+    void copySlotFrom(const ChipStateSoA &src, size_t srcSlot,
+                      size_t dstSlot)
+    {
+        fatalIf(src.coreCount_ != coreCount_,
+                "SoA migration across different core counts");
+        panicIf(srcSlot >= src.chipCount() || dstSlot >= chipCount(),
+                "SoA slot out of range");
+        chipPower[dstSlot] = src.chipPower[srcSlot];
+        vcsPower[dstSlot] = src.vcsPower[srcSlot];
+        railCurrent[dstSlot] = src.railCurrent[srcSlot];
+        sinceFirmware[dstSlot] = src.sinceFirmware[srcSlot];
+        simNow[dstSlot] = src.simNow[srcSlot];
+        staticSetpoint[dstSlot] = src.staticSetpoint[srcSlot];
+        lastWorstMargin[dstSlot] = src.lastWorstMargin[srcSlot];
+        latchedDroopDepth[dstSlot] = src.latchedDroopDepth[srcSlot];
+        for (size_t i = 0; i < coreCount_; ++i) {
+            const size_t s = srcSlot * coreCount_ + i;
+            const size_t d = dstSlot * coreCount_ + i;
+            coreVoltage[d] = src.coreVoltage[s];
+            coreCtrlVoltage[d] = src.coreCtrlVoltage[s];
+            coreCurrent[d] = src.coreCurrent[s];
+            coreFrequency[d] = src.coreFrequency[s];
+            droopStall[d] = src.droopStall[s];
+        }
+    }
+
+    /** @name Scalar lanes (one entry per chip) */
+    /// @{
+    std::vector<Watts> chipPower;
+    std::vector<Watts> vcsPower;
+    std::vector<Amps> railCurrent;
+    std::vector<Seconds> sinceFirmware;
+    std::vector<Seconds> simNow;
+    std::vector<Volts> staticSetpoint;
+    std::vector<Volts> lastWorstMargin;
+    std::vector<Volts> latchedDroopDepth;
+    /// @}
+
+    /** @name Per-core lanes (coreCount entries per chip, chip-major) */
+    /// @{
+    std::vector<Volts> coreVoltage;     // steady (passive-only) voltage
+    std::vector<Volts> coreCtrlVoltage; // steady minus typical ripple
+    std::vector<Amps> coreCurrent;
+    std::vector<Hertz> coreFrequency;   // DPLL output (0 when gated)
+    std::vector<Seconds> droopStall;
+    /// @}
+
+  private:
+    size_t coreCount_;
+};
+
+} // namespace agsim::chip
+
+#endif // AGSIM_CHIP_CHIP_STATE_SOA_H

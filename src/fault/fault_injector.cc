@@ -22,6 +22,24 @@ FaultInjector::advance(Seconds dt)
     recompute();
 }
 
+Seconds
+FaultInjector::nextTransition() const
+{
+    Seconds next = Seconds{-1.0};
+    auto consider = [&](Seconds edge) {
+        if (edge <= now_)
+            return;
+        if (next < Seconds{0.0} || edge < next)
+            next = edge;
+    };
+    for (const FaultSpec &spec : plan_.faults) {
+        consider(spec.start);
+        if (spec.duration > Seconds{0.0})
+            consider(spec.start + spec.duration);
+    }
+    return next < Seconds{0.0} ? next : next - now_;
+}
+
 void
 FaultInjector::reset()
 {

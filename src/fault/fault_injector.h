@@ -70,6 +70,14 @@ class FaultInjector
     /** Specs active after the last advance(). */
     size_t activeSpecCount() const { return activeSpecs_; }
 
+    /**
+     * Time until the next fault-plan edge (an onset or expiry strictly
+     * after now()), or a negative value when no edge remains. Phase
+     * detectors clamp fast-forward spans to this so a plan edge never
+     * lands inside an analytically-skipped interval.
+     */
+    Seconds nextTransition() const;
+
     /** Rewind to t = 0 (for replaying the same plan). */
     void reset();
 

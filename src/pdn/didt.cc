@@ -23,7 +23,7 @@ DidtModel::reseed(uint64_t seed, uint64_t stream)
 }
 
 size_t
-DidtModel::activeCount(const std::vector<Volts> &amps)
+DidtModel::activeCount(std::span<const Volts> amps)
 {
     size_t n = 0;
     for (Volts a : amps) {
@@ -34,7 +34,7 @@ DidtModel::activeCount(const std::vector<Volts> &amps)
 }
 
 Volts
-DidtModel::typicalLevel(const std::vector<Volts> &typicalAmps) const
+DidtModel::typicalLevel(std::span<const Volts> typicalAmps) const
 {
     const size_t active = activeCount(typicalAmps);
     if (active == 0)
@@ -50,7 +50,7 @@ DidtModel::typicalLevel(const std::vector<Volts> &typicalAmps) const
 }
 
 Volts
-DidtModel::worstDepth(const std::vector<Volts> &worstAmps) const
+DidtModel::worstDepth(std::span<const Volts> worstAmps) const
 {
     const size_t active = activeCount(worstAmps);
     if (active == 0)
@@ -65,8 +65,8 @@ DidtModel::worstDepth(const std::vector<Volts> &worstAmps) const
 }
 
 DidtSample
-DidtModel::step(const std::vector<Volts> &typicalAmps,
-                const std::vector<Volts> &worstAmps, Seconds dt,
+DidtModel::step(std::span<const Volts> typicalAmps,
+                std::span<const Volts> worstAmps, Seconds dt,
                 double rateScale)
 {
     panicIf(typicalAmps.size() != worstAmps.size(),

@@ -21,7 +21,7 @@
 #define AGSIM_PDN_DIDT_H
 
 #include <cstddef>
-#include <vector>
+#include <span>
 
 #include "common/rng.h"
 #include "common/units.h"
@@ -80,32 +80,36 @@ class DidtModel
      *        running there (0 for idle/gated cores).
      * @return Smoothed chip-level ripple depth.
      */
-    Volts typicalLevel(const std::vector<Volts> &typicalAmps) const;
+    Volts typicalLevel(std::span<const Volts> typicalAmps) const;
 
     /**
      * Worst-case droop depth for the current load, excluding jitter.
      *
      * @param worstAmps Per-core worst-droop amplitude (0 when idle).
      */
-    Volts worstDepth(const std::vector<Volts> &worstAmps) const;
+    Volts worstDepth(std::span<const Volts> worstAmps) const;
 
     /**
      * Advance one step: draw the instantaneous ripple and any worst-case
      * droop arrivals within dt.
      *
+     * dt need not be one tick: the arrival process is Poisson, so a
+     * span-long step draws Poisson(rate * span) events in one call —
+     * the aggregate the fast-forward path relies on.
+     *
      * @param rateScale Multiplier on the droop arrival rate (fault
      *        injection's droop storms; 1.0 = nominal). Depth scaling is
      *        applied by the caller through the amplitude vectors.
      */
-    DidtSample step(const std::vector<Volts> &typicalAmps,
-                    const std::vector<Volts> &worstAmps, Seconds dt,
+    DidtSample step(std::span<const Volts> typicalAmps,
+                    std::span<const Volts> worstAmps, Seconds dt,
                     double rateScale = 1.0);
 
     /** Deterministic reseed (per-run reproducibility). */
     void reseed(uint64_t seed, uint64_t stream = 0);
 
   private:
-    static size_t activeCount(const std::vector<Volts> &amps);
+    static size_t activeCount(std::span<const Volts> amps);
 
     DidtParams params_;
     Rng rng_;

@@ -18,6 +18,22 @@ IrDropModel::IrDropModel(const IrDropParams &params)
     fatalIf(params_.farCoupling < 0.0 ||
             params_.farCoupling > params_.neighbourCoupling,
             "far coupling must be in [0, neighbourCoupling]");
+
+    const size_t n = params_.coreCount;
+    weights_.resize(n * n);
+    for (size_t core = 0; core < n; ++core) {
+        for (size_t other = 0; other < n; ++other) {
+            if (other == core) {
+                weights_[core * n + other] = params_.localResistance;
+                continue;
+            }
+            const double coupling = adjacent(core, other)
+                                        ? params_.neighbourCoupling
+                                        : params_.farCoupling;
+            weights_[core * n + other] =
+                coupling * params_.localResistance;
+        }
+    }
 }
 
 Volts
@@ -46,27 +62,44 @@ IrDropModel::adjacent(size_t a, size_t b) const
 }
 
 Volts
-IrDropModel::localDrop(size_t core, const std::vector<Amps> &coreCurrents) const
+IrDropModel::localDrop(size_t core, std::span<const Amps> coreCurrents) const
 {
     panicIf(core >= params_.coreCount, "core index out of range");
     panicIf(coreCurrents.size() != params_.coreCount,
             "core current vector size mismatch");
 
-    Volts drop = params_.localResistance * coreCurrents[core];
+    const Ohms *weights = weights_.data() + core * params_.coreCount;
+    Volts drop = weights[core] * coreCurrents[core];
     for (size_t other = 0; other < params_.coreCount; ++other) {
         if (other == core)
             continue;
-        const double coupling = adjacent(core, other)
-                                    ? params_.neighbourCoupling
-                                    : params_.farCoupling;
-        drop += coupling * params_.localResistance * coreCurrents[other];
+        drop += weights[other] * coreCurrents[other];
     }
     return drop;
 }
 
+void
+IrDropModel::localDropInto(std::span<const Amps> coreCurrents,
+                           std::span<Volts> out) const
+{
+    const size_t n = params_.coreCount;
+    panicIf(coreCurrents.size() != n || out.size() != n,
+            "core current vector size mismatch");
+    for (size_t core = 0; core < n; ++core) {
+        const Ohms *weights = weights_.data() + core * n;
+        Volts drop = weights[core] * coreCurrents[core];
+        for (size_t other = 0; other < n; ++other) {
+            if (other == core)
+                continue;
+            drop += weights[other] * coreCurrents[other];
+        }
+        out[core] = drop;
+    }
+}
+
 Volts
 IrDropModel::onChipVoltage(size_t core, Volts railVoltage, Amps chipCurrent,
-                           const std::vector<Amps> &coreCurrents) const
+                           std::span<const Amps> coreCurrents) const
 {
     return railVoltage - globalDrop(chipCurrent) -
            localDrop(core, coreCurrents);

@@ -23,6 +23,7 @@
 
 #include <array>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/units.h"
@@ -62,21 +63,39 @@ class IrDropModel
     /**
      * Local component seen by `core` given every core's own current,
      * including cross-coupling from the other cores' local drops.
+     * Accepts any contiguous view (vector or SoA lane) of coreCount
+     * currents.
      */
-    Volts localDrop(size_t core, const std::vector<Amps> &coreCurrents) const;
+    Volts localDrop(size_t core, std::span<const Amps> coreCurrents) const;
+
+    /**
+     * Every core's local drop in one pass (out[i] == localDrop(i, ...)
+     * exactly). The electrical solver needs all coreCount values per
+     * iteration; one matrix sweep beats coreCount row calls.
+     */
+    void localDropInto(std::span<const Amps> coreCurrents,
+                       std::span<Volts> out) const;
 
     /**
      * On-chip voltage at `core`: rail voltage minus global minus local
      * components.
      */
     Volts onChipVoltage(size_t core, Volts railVoltage, Amps chipCurrent,
-                        const std::vector<Amps> &coreCurrents) const;
+                        std::span<const Amps> coreCurrents) const;
 
     /** Whether two cores are floorplan neighbours (same row, adjacent). */
     bool adjacent(size_t a, size_t b) const;
 
   private:
     IrDropParams params_;
+    /**
+     * Precomputed coupling weights: weights_[a * coreCount + b] is the
+     * ohms of effective resistance core b's current contributes to core
+     * a's local drop (localResistance on the diagonal, coupling-scaled
+     * off it). localDrop is the hottest leaf of the electrical solver —
+     * the adjacency arithmetic must not run per call.
+     */
+    std::vector<Ohms> weights_;
 };
 
 } // namespace agsim::pdn

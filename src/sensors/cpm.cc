@@ -24,12 +24,32 @@ Cpm::Cpm(const power::VfCurve *curve, const CpmParams &params,
             "CPM sensitivity scale must be positive");
 }
 
+namespace {
+
+/**
+ * ratio^exponent with a fast path for the default exponent of 0.5:
+ * both std::pow and std::sqrt are correctly rounded, so the substitution
+ * is value-identical while avoiding the full pow on every CPM read —
+ * this sits on the chip's per-step hot path (dozens of reads per step).
+ */
+inline double
+sensitivityScaling(double ratio, double exponent)
+{
+    if (exponent == 0.5)
+        return std::sqrt(ratio);
+    if (exponent == 0.0)
+        return 1.0;
+    return std::pow(ratio, exponent);
+}
+
+} // namespace
+
 Volts
 Cpm::voltsPerBit(Hertz f) const
 {
     const double ratio = curve_->params().refFrequency / f;
     return params_.voltsPerBitAtRef * sensitivityScale_ *
-           std::pow(ratio, params_.sensitivityFreqExponent);
+           sensitivityScaling(ratio, params_.sensitivityFreqExponent);
 }
 
 double
@@ -51,10 +71,38 @@ Cpm::read(Volts v, Hertz f) const
     return std::clamp(quantized, 0, params_.positions - 1);
 }
 
+double
+Cpm::frequencyScaling(double ratio, double exponent)
+{
+    return sensitivityScaling(ratio, exponent);
+}
+
+int
+Cpm::readAt(Volts excess, double scaling) const
+{
+    // Same arithmetic as read(): (voltsPerBitAtRef * sensitivityScale_)
+    // * scaling keeps the multiplication order of voltsPerBit(), so the
+    // result is bit-identical to read(v, f) with excess = marginAt(v, f)
+    // - calibratedMargin and scaling = frequencyScaling(fref / f, exp).
+    const Volts vpb =
+        params_.voltsPerBitAtRef * sensitivityScale_ * scaling;
+    const double raw =
+        double(params_.calibrationPosition) + excess / vpb + offsetBits_;
+    const int quantized = int(std::floor(raw + 0.5));
+    return std::clamp(quantized, 0, params_.positions - 1);
+}
+
 Volts
 Cpm::controlBias(Hertz f) const
 {
     return controlOffsetBits_ * voltsPerBit(f);
+}
+
+Volts
+Cpm::controlBiasScaled(double scaling) const
+{
+    return controlOffsetBits_ *
+           (params_.voltsPerBitAtRef * sensitivityScale_ * scaling);
 }
 
 Volts
@@ -63,7 +111,7 @@ Cpm::positionToVoltage(double position, Hertz f) const
     // Inversion with *nominal* sensitivity: the experimenter's view.
     const double ratio = curve_->params().refFrequency / f;
     const Volts nominalVpb = params_.voltsPerBitAtRef *
-        std::pow(ratio, params_.sensitivityFreqExponent);
+        sensitivityScaling(ratio, params_.sensitivityFreqExponent);
     const Volts excess =
         (position - double(params_.calibrationPosition)) * nominalVpb;
     return curve_->vminAt(f) + curve_->params().calibratedMargin + excess;

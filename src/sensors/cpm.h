@@ -86,6 +86,27 @@ class Cpm
     /** Quantized, clamped edge position (the hardware output 0..11). */
     int read(Volts v, Hertz f) const;
 
+    /** @name Bank-shared fast path
+     *
+     * The five CPMs of a bank read the same (voltage, frequency) pair,
+     * so the margin excess and the frequency-dependent sensitivity
+     * scaling are computed once per bank read and shared; only the
+     * per-instance variation is applied per CPM. Value-identical to
+     * read()/controlBias() — CpmBank uses these on the per-step path.
+     */
+    /// @{
+
+    /** (refFrequency / f)^sensitivityFreqExponent. */
+    static double frequencyScaling(double ratio, double exponent);
+
+    /** read() given precomputed margin excess and frequency scaling. */
+    int readAt(Volts excess, double scaling) const;
+
+    /** controlBias() given precomputed frequency scaling. */
+    Volts controlBiasScaled(double scaling) const;
+
+    /// @}
+
     /**
      * Invert a reading into an estimated on-chip voltage at frequency f —
      * the paper's "CPMs as performance counters for voltage" methodology
@@ -103,6 +124,7 @@ class Cpm
     Volts controlBias(Hertz f) const;
 
     const CpmParams &params() const { return params_; }
+    const power::VfCurve *curve() const { return curve_; }
     double sensitivityScale() const { return sensitivityScale_; }
     double offsetBits() const { return offsetBits_; }
     double controlOffsetBits() const { return controlOffsetBits_; }

@@ -72,9 +72,19 @@ CpmBank::minRead(Volts v, Hertz f) const
                         cpms_.front().params().positions - 1);
     }
     v += fault_.biasVolts;
-    int lowest = cpms_.front().read(v, f);
+    // Every CPM of the bank reads the same (v, f), so the margin excess
+    // and the frequency scaling are computed once and shared across the
+    // bank (value-identical to per-CPM read(); see Cpm::readAt).
+    const Cpm &front = cpms_.front();
+    const power::VfCurve *curve = front.curve();
+    const Volts excess =
+        curve->marginAt(v, f) - curve->params().calibratedMargin;
+    const double scaling = Cpm::frequencyScaling(
+        curve->params().refFrequency / f,
+        front.params().sensitivityFreqExponent);
+    int lowest = front.readAt(excess, scaling);
     for (size_t i = 1; i < cpms_.size(); ++i)
-        lowest = std::min(lowest, cpms_[i].read(v, f));
+        lowest = std::min(lowest, cpms_[i].readAt(excess, scaling));
     return lowest;
 }
 
@@ -106,9 +116,14 @@ CpmBank::meanVoltsPerBit(Hertz f) const
 Volts
 CpmBank::controlBias(Hertz f) const
 {
-    Volts lowest = cpms_.front().controlBias(f);
+    // Shared frequency scaling across the bank, as in minRead().
+    const Cpm &front = cpms_.front();
+    const double scaling = Cpm::frequencyScaling(
+        front.curve()->params().refFrequency / f,
+        front.params().sensitivityFreqExponent);
+    Volts lowest = front.controlBiasScaled(scaling);
     for (size_t i = 1; i < cpms_.size(); ++i)
-        lowest = std::min(lowest, cpms_[i].controlBias(f));
+        lowest = std::min(lowest, cpms_[i].controlBiasScaled(scaling));
     return lowest + fault_.biasVolts;
 }
 

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Fleet-scale chip stepping: SoA shard sweeps plus phase-sampled
+ * fast-forward (the hot path behind the ROADMAP's production-scale
+ * fleet item; layout and exactness bounds in docs/PERFORMANCE.md).
+ *
+ * Chips are mutually independent (each uses only its own VRM rail), so
+ * a fleet of N chips stepping T ticks is N×T independent unit steps
+ * that may run in any order. FleetStepper exploits that freedom twice:
+ *
+ *  - *Shard stepping (exact)*: chips are migrated into one shared
+ *    ChipStateSoA arena (Chip::migrateState) and swept in shards with
+ *    temporal blocking — each chip advances `tickBlock` ticks before
+ *    the sweep moves on, so its hot lanes stay resident in L1 instead
+ *    of being evicted N-1 times per tick. Bit-identical to stepping
+ *    every chip serially: same model code, same per-chip RNG streams.
+ *    Multiple worker threads split the shard list on multicore hosts.
+ *
+ *  - *Sampled stepping*: a per-chip steady-state detector watches a
+ *    window of exact steps (margin variance/drift, frequency spread,
+ *    setpoint, emergencies, droop responses, the chip's state epoch,
+ *    fault-plan edges); once the window is quiescent the chip is
+ *    advanced analytically with Chip::fastForward in spans of up to
+ *    maxFastForwardTicks, dropping back to exact stepping on any
+ *    transient. Deterministic (same seed → same run) but not
+ *    bit-identical to the exact path; the divergence bound is
+ *    documented in docs/PERFORMANCE.md and enforced by
+ *    tests/test_fleet_stepper.cc.
+ */
+
+#ifndef AGSIM_SYSTEM_FLEET_STEPPER_H
+#define AGSIM_SYSTEM_FLEET_STEPPER_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "chip/chip.h"
+#include "obs/metrics.h"
+#include "system/server.h"
+
+namespace agsim::system {
+
+/** Steady-state detector tunables (per chip). */
+struct PhaseDetectorParams
+{
+    /** Exact ticks observed before fast-forward can arm. */
+    size_t window = 32;
+    /**
+     * Max stddev of the worst-margin samples across the window. The
+     * default accommodates the ~2-3 mV per-tick ripple jitter of the
+     * default di/dt model; see docs/PERFORMANCE.md before tightening.
+     */
+    Volts marginStddev = Volts{6e-3};
+    /** Max |mean(second half) - mean(first half)| margin drift. */
+    Volts marginDrift = Volts{2e-3};
+    /** Max relative spread of the mean active frequency. */
+    double freqSpread = 5e-3;
+    /** Longest span one fastForward call may consume. */
+    int64_t maxFastForwardTicks = 512;
+};
+
+/** Fleet sweep configuration. */
+struct FleetStepperConfig
+{
+    /** Chips per shard (progress-reporting / timer granularity). */
+    size_t shardSize = 64;
+    /**
+     * Worker threads sweeping disjoint chip ranges; 0 = hardware
+     * concurrency. Chips are independent, so any thread count is
+     * bit-identical to serial.
+     */
+    size_t threads = 1;
+    /**
+     * Temporal blocking depth: ticks each chip advances before the
+     * sweep moves to the next chip. Larger blocks keep a chip's hot
+     * state cache-resident longer; chips drift at most tickBlock ticks
+     * apart in sim time mid-run (they re-align at every run() exit).
+     */
+    int64_t tickBlock = 64;
+    /** Enable phase-sampled fast-forward (approximate; see file doc). */
+    bool sampling = false;
+    PhaseDetectorParams detector;
+    /**
+     * Migrate all chips into one shared SoA arena on the first run.
+     * Requires a uniform core count across the fleet; skipped (with no
+     * behaviour change) otherwise.
+     */
+    bool adoptSoA = true;
+};
+
+/**
+ * Steps a fleet of chips. Chips are borrowed, never owned; every chip
+ * (and the Server/VRM behind it) must outlive the stepper.
+ */
+class FleetStepper
+{
+  public:
+    explicit FleetStepper(const FleetStepperConfig &config =
+                              FleetStepperConfig());
+
+    /** Register one chip. Must happen before the first run()/step(). */
+    void addChip(chip::Chip *c);
+
+    /** Register every socket of a server. */
+    void addServer(Server &server);
+
+    size_t chipCount() const { return slots_.size(); }
+
+    /**
+     * Advance every chip by `ticks` steps of dt — the fleet-bench entry
+     * point (temporal blocking; sampling when configured).
+     */
+    void run(int64_t ticks, Seconds dt);
+
+    /**
+     * One tick-synchronous sweep: each phase runs across every chip
+     * before the next phase starts, so all chips share one consistent
+     * sim time at every call boundary (what a per-tick scheduler
+     * loop needs). Always exact.
+     */
+    void step(Seconds dt);
+
+    /** Exact chip-steps executed so far. */
+    int64_t exactSteps() const { return exactSteps_; }
+
+    /** Ticks consumed by fast-forward spans so far. */
+    int64_t fastForwardedTicks() const { return fastForwardedTicks_; }
+
+    const FleetStepperConfig &config() const { return config_; }
+
+  private:
+    /** Per-chip detector state. */
+    struct Slot
+    {
+        chip::Chip *chip = nullptr;
+        /** Ring of worst-margin samples (volts). */
+        std::vector<double> margin;
+        /** Ring of mean-active-frequency samples (hertz). */
+        std::vector<double> freq;
+        size_t head = 0;
+        size_t filled = 0;
+        uint64_t epoch = 0;
+        double setpoint = 0.0;
+        bool armed = false;
+        /**
+         * Ticks fast-forwarded since the last exact step. run() hands
+         * each chip at most tickBlock ticks at a time, so one logical
+         * fast-forward span crosses many blocks; this counter enforces
+         * the maxFastForwardTicks re-anchor cadence across them.
+         */
+        int64_t forwardedSinceExact = 0;
+    };
+
+    /** Adopt all chips into one SoA arena (first run/step). */
+    void freeze();
+
+    /** Advance one chip by `ticks` (detector + fast-forward inside). */
+    void stepChipBlock(Slot &slot, int64_t ticks, Seconds dt,
+                       int64_t &exact, int64_t &forwarded);
+
+    /** Record one exact step's signals; arm when quiescent. */
+    void observe(Slot &slot);
+
+    /**
+     * Whether the chip's last exact step showed any transient (control
+     * change, emergency, droop response, setpoint motion, active
+     * fault). Updates the slot's epoch/setpoint references.
+     */
+    bool transientSeen(Slot &slot) const;
+
+    /** Reset a slot's window (transient seen). */
+    static void disarm(Slot &slot);
+
+    /** Ticks fastForward may consume for this chip right now. */
+    int64_t forwardBudget(const Slot &slot, Seconds dt) const;
+
+    FleetStepperConfig config_;
+    std::vector<Slot> slots_;
+    std::shared_ptr<chip::ChipStateSoA> arena_;
+    bool frozen_ = false;
+
+    int64_t exactSteps_ = 0;
+    int64_t fastForwardedTicks_ = 0;
+
+    obs::Counter *obsChipsStepped_ = nullptr;
+    obs::Counter *obsFastForwarded_ = nullptr;
+    obs::TimerStat obsSweepTimer_;
+};
+
+} // namespace agsim::system
+
+#endif // AGSIM_SYSTEM_FLEET_STEPPER_H

@@ -46,6 +46,16 @@ Server::chip(size_t socket) const
     return *chips_[socket];
 }
 
+std::vector<chip::Chip *>
+Server::chips()
+{
+    std::vector<chip::Chip *> out;
+    out.reserve(chips_.size());
+    for (auto &c : chips_)
+        out.push_back(c.get());
+    return out;
+}
+
 void
 Server::setMode(chip::GuardbandMode mode)
 {
@@ -70,8 +80,14 @@ Server::clearLoads()
 void
 Server::step(Seconds dt)
 {
+    // Phase sweep (see header): one phase across all sockets before the
+    // next, keeping each phase's lane accesses dense.
     for (auto &c : chips_)
-        c->step(dt);
+        c->stepSensePhase(dt);
+    for (auto &c : chips_)
+        c->stepControlPhase(dt);
+    for (auto &c : chips_)
+        c->stepCommitPhase(dt);
 }
 
 void

@@ -58,6 +58,9 @@ class Server
     chip::Chip &chip(size_t socket);
     const chip::Chip &chip(size_t socket) const;
 
+    /** Raw chip pointers, one per socket (FleetStepper adoption). */
+    std::vector<chip::Chip *> chips();
+
     pdn::Vrm &vrm() { return vrm_; }
     const pdn::Vrm &vrm() const { return vrm_; }
 
@@ -70,7 +73,13 @@ class Server
     /** Set every core on every socket to powered-on idle. */
     void clearLoads();
 
-    /** Advance all sockets by dt. */
+    /**
+     * Advance all sockets by dt. Sweeps each step phase across the
+     * sockets (sense, control, commit) so both chips' hot SoA lanes are
+     * walked back-to-back per phase — bit-identical to stepping each
+     * socket in isolation, since sockets share nothing but the VRM's
+     * per-rail state.
+     */
     void step(Seconds dt);
 
     /** Warm up firmware/thermal state on all sockets. */

@@ -1,0 +1,382 @@
+/**
+ * @file
+ * FleetStepper tests: the exact shard sweep (serial, threaded,
+ * tick-synchronous) must be bit-identical to stepping every chip
+ * serially, and phase-sampled fast-forward must stay within the
+ * divergence bounds documented in docs/PERFORMANCE.md.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "chip/chip.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "pdn/vrm.h"
+#include "system/fleet_stepper.h"
+
+namespace agsim::system {
+namespace {
+
+using namespace agsim::units;
+
+constexpr size_t kChips = 8;
+constexpr Seconds kDt{1e-3};
+
+/**
+ * Documented divergence bounds for sampled stepping (keep in sync with
+ * docs/PERFORMANCE.md). Margin: mean telemetry-window worst margin.
+ * MIPS proxy: mean active-core frequency integrated over windows.
+ */
+constexpr Volts kMarginEpsilon{10e-3};
+constexpr double kMipsEpsilon = 0.01;
+constexpr double kPowerEpsilon = 0.03;
+
+/**
+ * One self-contained fleet: a many-rail VRM plus one chip per rail,
+ * with varied per-chip personas (seed, mode, active core count) so the
+ * sweep sees heterogeneous work.
+ */
+struct Fleet
+{
+    explicit Fleet(size_t count = kChips)
+        : vrm(count)
+    {
+        for (size_t i = 0; i < count; ++i) {
+            chip::ChipConfig config;
+            config.railIndex = i;
+            config.seed = 0xF1EE7ull + 0x9E3779B97F4A7C15ull * i;
+            config.mode = i % 2 == 0
+                              ? chip::GuardbandMode::AdaptiveUndervolt
+                              : chip::GuardbandMode::StaticGuardband;
+            auto c = std::make_unique<chip::Chip>(config, &vrm);
+            const size_t active = 2 + i % 7;
+            for (size_t core = 0; core < active; ++core) {
+                c->setLoad(core, chip::CoreLoad::running(1.0, 13.0_mV,
+                                                         24.0_mV));
+            }
+            chips.push_back(std::move(c));
+        }
+    }
+
+    void
+    stepSerial(int64_t ticks)
+    {
+        for (int64_t t = 0; t < ticks; ++t) {
+            for (auto &c : chips)
+                c->step(kDt);
+        }
+    }
+
+    void
+    settle(Seconds duration = Seconds{1.5})
+    {
+        for (auto &c : chips)
+            c->settle(duration, kDt);
+        for (auto &c : chips)
+            c->telemetry().clearWindows();
+    }
+
+    pdn::Vrm vrm;
+    std::vector<std::unique_ptr<chip::Chip>> chips;
+};
+
+/** Every externally visible hot observable, compared exactly. */
+void
+expectBitIdentical(const Fleet &a, const Fleet &b)
+{
+    ASSERT_EQ(a.chips.size(), b.chips.size());
+    for (size_t i = 0; i < a.chips.size(); ++i) {
+        const chip::Chip &x = *a.chips[i];
+        const chip::Chip &y = *b.chips[i];
+        EXPECT_EQ(x.power().value(), y.power().value()) << "chip " << i;
+        EXPECT_EQ(x.railCurrent().value(), y.railCurrent().value());
+        EXPECT_EQ(x.setpoint().value(), y.setpoint().value());
+        EXPECT_EQ(x.simTime().value(), y.simTime().value());
+        EXPECT_EQ(x.sinceFirmware().value(), y.sinceFirmware().value());
+        EXPECT_EQ(x.lastWorstMargin().value(),
+                  y.lastWorstMargin().value());
+        EXPECT_EQ(x.temperature().value(), y.temperature().value());
+        for (size_t core = 0; core < x.coreCount(); ++core) {
+            EXPECT_EQ(x.coreVoltage(core).value(),
+                      y.coreVoltage(core).value())
+                << "chip " << i << " core " << core;
+            EXPECT_EQ(x.coreFrequency(core).value(),
+                      y.coreFrequency(core).value());
+        }
+        ASSERT_EQ(x.telemetry().windows().size(),
+                  y.telemetry().windows().size());
+        if (x.telemetry().hasWindows()) {
+            EXPECT_EQ(x.telemetry().latest().meanChipPower.value(),
+                      y.telemetry().latest().meanChipPower.value());
+            EXPECT_EQ(x.telemetry().latest().worstMargin.value(),
+                      y.telemetry().latest().worstMargin.value());
+        }
+    }
+}
+
+/** Mean of each window's worst margin over a chip's telemetry. */
+double
+meanWindowWorstMargin(const chip::Chip &c)
+{
+    const auto &windows = c.telemetry().windows();
+    double sum = 0.0;
+    for (const auto &w : windows)
+        sum += w.worstMargin.value();
+    return windows.empty() ? 0.0 : sum / double(windows.size());
+}
+
+/** MIPS proxy: mean active-core frequency across a chip's windows. */
+double
+meanActiveFrequency(const chip::Chip &c)
+{
+    double sum = 0.0;
+    size_t count = 0;
+    for (const auto &w : c.telemetry().windows()) {
+        for (const Hertz f : w.meanCoreFrequency) {
+            if (f > Hertz{0.0}) {
+                sum += f.value();
+                ++count;
+            }
+        }
+    }
+    return count == 0 ? 0.0 : sum / double(count);
+}
+
+/** Mean chip power across a chip's windows. */
+double
+meanWindowPower(const chip::Chip &c)
+{
+    const auto &windows = c.telemetry().windows();
+    double sum = 0.0;
+    for (const auto &w : windows)
+        sum += w.meanChipPower.value();
+    return windows.empty() ? 0.0 : sum / double(windows.size());
+}
+
+TEST(FleetStepperExact, ShardSweepIsBitIdenticalToSerialStepping)
+{
+    Fleet serial;
+    Fleet fleet;
+
+    FleetStepperConfig config;
+    config.sampling = false;
+    config.tickBlock = 64;
+    FleetStepper stepper(config);
+    for (auto &c : fleet.chips)
+        stepper.addChip(c.get());
+
+    // 400 ticks spans several firmware decisions and telemetry windows,
+    // and the tick count is deliberately not a tickBlock multiple.
+    serial.stepSerial(400);
+    stepper.run(400, kDt);
+
+    EXPECT_EQ(stepper.exactSteps(), 400 * int64_t(kChips));
+    EXPECT_EQ(stepper.fastForwardedTicks(), 0);
+    expectBitIdentical(serial, fleet);
+}
+
+TEST(FleetStepperExact, ThreadedSweepIsBitIdenticalToSerialStepping)
+{
+    Fleet serial;
+    Fleet fleet;
+
+    FleetStepperConfig config;
+    config.sampling = false;
+    config.threads = 2;
+    FleetStepper stepper(config);
+    for (auto &c : fleet.chips)
+        stepper.addChip(c.get());
+
+    serial.stepSerial(300);
+    stepper.run(300, kDt);
+
+    expectBitIdentical(serial, fleet);
+}
+
+TEST(FleetStepperExact, TickSynchronousStepMatchesChipStep)
+{
+    Fleet serial;
+    Fleet fleet;
+
+    FleetStepper stepper;
+    for (auto &c : fleet.chips)
+        stepper.addChip(c.get());
+
+    for (int64_t t = 0; t < 200; ++t) {
+        for (auto &c : serial.chips)
+            c->step(kDt);
+        stepper.step(kDt);
+    }
+
+    expectBitIdentical(serial, fleet);
+}
+
+TEST(FleetStepperExact, PhaseSplitEqualsMonolithicStep)
+{
+    Fleet whole(2);
+    Fleet split(2);
+
+    for (int64_t t = 0; t < 500; ++t) {
+        for (auto &c : whole.chips)
+            c->step(kDt);
+        for (auto &c : split.chips) {
+            c->stepSensePhase(kDt);
+            c->stepControlPhase(kDt);
+            c->stepCommitPhase(kDt);
+        }
+    }
+
+    expectBitIdentical(whole, split);
+}
+
+TEST(FleetStepperSampled, SteadyFleetStaysWithinDocumentedBounds)
+{
+    Fleet exact;
+    Fleet sampled;
+    exact.settle();
+    sampled.settle();
+
+    FleetStepperConfig config;
+    config.sampling = true;
+    FleetStepper stepper(config);
+    for (auto &c : sampled.chips)
+        stepper.addChip(c.get());
+
+    const int64_t ticks = 3000;
+    exact.stepSerial(ticks);
+    stepper.run(ticks, kDt);
+
+    // Sampling must actually engage on a settled fleet: the majority of
+    // ticks are fast-forwarded, and the re-anchor cadence bounds how
+    // many ticks any one span covers without an exact re-solve.
+    EXPECT_GT(stepper.fastForwardedTicks(),
+              ticks * int64_t(kChips) / 2);
+    EXPECT_GE(stepper.exactSteps(),
+              stepper.fastForwardedTicks() /
+                  config.detector.maxFastForwardTicks);
+
+    for (size_t i = 0; i < kChips; ++i) {
+        const chip::Chip &e = *exact.chips[i];
+        const chip::Chip &s = *sampled.chips[i];
+        // Simulated time agrees to accumulation rounding (the span
+        // clock adds dt*k chunks, the exact clock adds dt k times).
+        EXPECT_NEAR(e.simTime().value(), s.simTime().value(), 1e-9);
+        ASSERT_EQ(e.telemetry().windows().size(),
+                  s.telemetry().windows().size());
+        EXPECT_NEAR(meanWindowWorstMargin(e), meanWindowWorstMargin(s),
+                    kMarginEpsilon.value())
+            << "chip " << i;
+        const double fExact = meanActiveFrequency(e);
+        const double fSampled = meanActiveFrequency(s);
+        EXPECT_NEAR(fSampled, fExact, kMipsEpsilon * fExact)
+            << "chip " << i;
+        const double pExact = meanWindowPower(e);
+        EXPECT_NEAR(meanWindowPower(s), pExact, kPowerEpsilon * pExact)
+            << "chip " << i;
+    }
+}
+
+TEST(FleetStepperSampled, RidesThroughFaultAndDroopStorms)
+{
+    Fleet exact;
+    Fleet sampled;
+
+    // Staggered rate-only droop storms on every chip plus a firmware
+    // stall on one: the detector must drop to exact stepping around
+    // every plan edge (forwardBudget never skips across one) and
+    // re-arm in the quiet gaps.
+    auto makePlan = [](size_t i) {
+        fault::FaultPlan plan;
+        fault::FaultSpec storm;
+        storm.kind = fault::FaultKind::DroopStorm;
+        storm.start = Seconds{0.2 + 0.1 * double(i)};
+        storm.duration = Seconds{0.3};
+        storm.magnitude = 6.0;
+        plan.add(storm);
+        if (i == 0) {
+            fault::FaultSpec stall;
+            stall.kind = fault::FaultKind::FirmwareStall;
+            stall.start = Seconds{1.2};
+            stall.duration = Seconds{0.2};
+            plan.add(stall);
+        }
+        return plan;
+    };
+    std::vector<std::unique_ptr<fault::FaultInjector>> exactInjectors;
+    std::vector<std::unique_ptr<fault::FaultInjector>> sampledInjectors;
+    for (size_t i = 0; i < kChips; ++i) {
+        exactInjectors.push_back(std::make_unique<fault::FaultInjector>(
+            makePlan(i), exact.chips[i]->coreCount()));
+        sampledInjectors.push_back(
+            std::make_unique<fault::FaultInjector>(
+                makePlan(i), sampled.chips[i]->coreCount()));
+        exact.chips[i]->attachFaultInjector(exactInjectors[i].get());
+        sampled.chips[i]->attachFaultInjector(sampledInjectors[i].get());
+    }
+
+    FleetStepperConfig config;
+    config.sampling = true;
+    FleetStepper stepper(config);
+    for (auto &c : sampled.chips)
+        stepper.addChip(c.get());
+
+    const int64_t ticks = 2000;
+    exact.stepSerial(ticks);
+    stepper.run(ticks, kDt);
+
+    // Storms force exact stepping while active, quiet gaps fast-forward.
+    EXPECT_GT(stepper.fastForwardedTicks(), 0);
+    EXPECT_GT(stepper.exactSteps(),
+              int64_t(config.detector.window) * int64_t(kChips));
+
+    for (size_t i = 0; i < kChips; ++i) {
+        const chip::Chip &e = *exact.chips[i];
+        const chip::Chip &s = *sampled.chips[i];
+        EXPECT_NEAR(e.simTime().value(), s.simTime().value(), 1e-9);
+        ASSERT_EQ(e.telemetry().windows().size(),
+                  s.telemetry().windows().size());
+        EXPECT_NEAR(meanWindowWorstMargin(e), meanWindowWorstMargin(s),
+                    kMarginEpsilon.value())
+            << "chip " << i;
+        const double fExact = meanActiveFrequency(e);
+        EXPECT_NEAR(meanActiveFrequency(s), fExact,
+                    kMipsEpsilon * fExact)
+            << "chip " << i;
+        // No sampled-mode safety surprises: neither run demotes (the
+        // storms stay within the characterized depth envelope).
+        EXPECT_EQ(e.totalDemotions(), 0) << "chip " << i;
+        EXPECT_EQ(s.totalDemotions(), 0) << "chip " << i;
+    }
+}
+
+TEST(FleetStepperSampled, DisarmsOnExternalControlChanges)
+{
+    Fleet fleet;
+    fleet.settle();
+
+    FleetStepperConfig config;
+    config.sampling = true;
+    FleetStepper stepper(config);
+    for (auto &c : fleet.chips)
+        stepper.addChip(c.get());
+
+    stepper.run(1000, kDt);
+    const int64_t forwardedBefore = stepper.fastForwardedTicks();
+    EXPECT_GT(forwardedBefore, 0);
+
+    // A load change bumps the chip's state epoch; the very next sweep
+    // must re-run the exact path for at least a full detector window.
+    fleet.chips[0]->setLoad(7, chip::CoreLoad::running(0.5, 13.0_mV,
+                                                       24.0_mV));
+    const int64_t exactBefore = stepper.exactSteps();
+    stepper.run(int64_t(config.detector.window), kDt);
+    const int64_t exactDelta = stepper.exactSteps() - exactBefore;
+    EXPECT_GE(exactDelta, int64_t(config.detector.window));
+}
+
+} // namespace
+} // namespace agsim::system

@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
 """Perf-regression gate for CI.
 
-Compares a fresh perf_steps + ext_fault_placement run against the
-checked-in baseline (bench/baseline.json) and fails when any
-higher-is-better metric drops more than the tolerance. Writes the
+Compares a fresh perf_steps + ext_fault_placement (and, when --fleet
+is given, perf_fleet_steps) run against the checked-in baseline
+(bench/baseline.json) and fails when any higher-is-better metric
+drops more than the tolerance. Writes the
 merged current numbers (plus the verdict) to --out so CI can upload
 one BENCH_perf.json artifact per run.
 
@@ -30,6 +31,12 @@ GATED = {
     "ext_fault_placement": [
         "recovery_fraction",
     ],
+    "perf_fleet_steps": [
+        "scalar_steps_per_sec",
+        "fleet_exact_steps_per_sec",
+        "fleet_sampled_steps_per_sec",
+        "speedup_sampled",
+    ],
 }
 
 
@@ -45,6 +52,8 @@ def main():
                         help="perf_steps JSON output")
     parser.add_argument("--fault", required=True,
                         help="ext_fault_placement JSON output")
+    parser.add_argument("--fleet", default=None,
+                        help="perf_fleet_steps JSON output (optional)")
     parser.add_argument("--out", default="BENCH_perf.json",
                         help="merged artifact to write")
     parser.add_argument("--tolerance", type=float,
@@ -58,6 +67,8 @@ def main():
         "perf_steps": load(args.perf),
         "ext_fault_placement": load(args.fault),
     }
+    if args.fleet:
+        current["perf_fleet_steps"] = load(args.fleet)
 
     failures = []
     checks = []
@@ -78,9 +89,11 @@ def main():
                 "ok": ok,
             })
             if not ok:
+                ratio = cur[key] / base[key] if base[key] else 0.0
                 failures.append(
                     f"{bench}.{key}: {cur[key]:.4g} < floor "
                     f"{floor:.4g} (baseline {base[key]:.4g}, "
+                    f"observed/baseline {ratio:.3f}, "
                     f"tolerance {args.tolerance:.0%})")
 
     # The fault bench carries its own acceptance verdict (recovery
