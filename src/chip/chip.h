@@ -52,6 +52,8 @@
 
 namespace agsim::chip {
 
+struct ChipCheckpoint;
+
 /**
  * One simulated processor.
  */
@@ -244,6 +246,35 @@ class Chip
      * intervals to walk the guardband down).
      */
     void settle(Seconds duration = Seconds{1.5}, Seconds dt = Seconds{1e-3});
+
+    /** @name Checkpoint / restore (see chip/chip_checkpoint.h)
+     *
+     * A checkpoint captures everything a restarted server needs to
+     * resume this chip deterministically: the SoA hot-state slot,
+     * loads, drop decomposition, component state (thermal node, di/dt
+     * RNG stream, DPLLs, safety monitor, in-progress telemetry, VRM
+     * rail), firmware counters, and the fault-injector clock. A
+     * restore onto a same-config chip followed by identical steps is
+     * bit-identical to the checkpointed chip continuing (test-enforced
+     * in tests/test_checkpoint.cc). Completed telemetry windows, the
+     * droop histogram, and obs state are NOT captured — a restarted
+     * server's RAM-resident history is gone by definition.
+     */
+    /// @{
+
+    /** Snapshot the full resumable state. Side-effect free. */
+    ChipCheckpoint checkpoint() const;
+
+    /**
+     * Restore a snapshot taken from a chip with the same config
+     * (coreCount and seed are verified; mismatch throws ConfigError).
+     * Bumps stateEpoch() so fleet phase detectors drop to exact
+     * stepping; if a fault injector is attached its clock is restored
+     * and active faults re-applied.
+     */
+    void restoreCheckpoint(const ChipCheckpoint &checkpoint);
+
+    /// @}
 
     /** @name Observables */
     /// @{

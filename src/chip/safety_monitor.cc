@@ -32,6 +32,11 @@ SafetyMonitorParams::validate() const
             "(hysteresis cannot shrink the clean interval)");
     fatalIf(marginTolerance < Volts{0.0},
             "safety monitor margin tolerance cannot be negative");
+    fatalIf(demotedRestartFraction < 0.0 || demotedRestartFraction > 1.0,
+            "safety monitor demoted restart fraction must be in [0, 1]");
+    fatalIf(rearmBackoffCap != 0.0 && rearmBackoffCap < 1.0,
+            "safety monitor re-arm backoff cap must be 0 (uncapped) "
+            "or at least 1");
 }
 
 SafetyMonitor::SafetyMonitor(const SafetyMonitorParams &params)
@@ -80,14 +85,15 @@ SafetyMonitor::observe(bool emergency, bool adaptiveMode, Seconds dt)
 
       case SafetyState::Demoted: {
         // An emergency while demoted (e.g. a droop storm deep enough to
-        // breach even the static guardband) restarts the clean clock.
+        // breach even the static guardband) forfeits
+        // demotedRestartFraction of the accumulated clean time (1.0 =
+        // restart the clean clock from zero).
         if (emergency) {
-            cleanSince_ = now_;
+            cleanSince_ = now_ - (now_ - cleanSince_) *
+                                     (1.0 - params_.demotedRestartFraction);
             return Action::None;
         }
-        const Seconds required =
-            params_.rearmInterval *
-            std::pow(params_.rearmBackoff, double(demotions_ - 1));
+        const Seconds required = params_.rearmInterval * backoffMultiplier();
         if (now_ - cleanSince_ < required)
             return Action::None;
         ++rearms_;
@@ -103,6 +109,16 @@ SafetyMonitor::observe(bool emergency, bool adaptiveMode, Seconds dt)
     return Action::None;
 }
 
+double
+SafetyMonitor::backoffMultiplier() const
+{
+    double multiplier =
+        std::pow(params_.rearmBackoff, double(demotions_ - 1));
+    if (params_.rearmBackoffCap > 0.0)
+        multiplier = std::min(multiplier, params_.rearmBackoffCap);
+    return multiplier;
+}
+
 Seconds
 SafetyMonitor::requiredCleanInterval() const
 {
@@ -110,8 +126,7 @@ SafetyMonitor::requiredCleanInterval() const
       case SafetyState::Monitoring:
         return Seconds{0.0};
       case SafetyState::Demoted:
-        return params_.rearmInterval *
-               std::pow(params_.rearmBackoff, double(demotions_ - 1));
+        return params_.rearmInterval * backoffMultiplier();
       case SafetyState::Latched:
         return Seconds{-1.0};
     }
@@ -126,6 +141,36 @@ SafetyMonitor::rearmBudget() const
     const Seconds remaining = requiredCleanInterval() -
                               (now_ - cleanSince_);
     return std::max(remaining, Seconds{0.0});
+}
+
+SafetyMonitor::Snapshot
+SafetyMonitor::snapshot() const
+{
+    Snapshot s;
+    s.state = state_;
+    s.now = now_;
+    s.windowStart = windowStart_;
+    s.cleanSince = cleanSince_;
+    s.windowEmergencies = windowEmergencies_;
+    s.totalEmergencies = totalEmergencies_;
+    s.demotions = demotions_;
+    s.rearms = rearms_;
+    s.lastDemotionAt = lastDemotionAt_;
+    return s;
+}
+
+void
+SafetyMonitor::restore(const Snapshot &snapshot)
+{
+    state_ = snapshot.state;
+    now_ = snapshot.now;
+    windowStart_ = snapshot.windowStart;
+    cleanSince_ = snapshot.cleanSince;
+    windowEmergencies_ = snapshot.windowEmergencies;
+    totalEmergencies_ = snapshot.totalEmergencies;
+    demotions_ = snapshot.demotions;
+    rearms_ = snapshot.rearms;
+    lastDemotionAt_ = snapshot.lastDemotionAt;
 }
 
 void

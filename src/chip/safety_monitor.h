@@ -70,6 +70,22 @@ struct SafetyMonitorParams
     /** Re-arms allowed before latching in StaticGuardband (< 0 = never
      *  latch; 0 = latch on the first demotion). */
     int maxRearms = 2;
+    /**
+     * Fraction of accumulated clean time forfeited when an emergency
+     * lands while Demoted. 1.0 (the historical behaviour) restarts the
+     * clean clock from zero; smaller values keep part of the credit so
+     * a single stray droop during a long quiet stretch does not push
+     * re-arm out by a whole interval.
+     */
+    double demotedRestartFraction = 1.0;
+    /**
+     * Upper bound on the re-arm backoff multiplier
+     * (rearmBackoff^(demotions-1)); 0 = uncapped (the historical
+     * behaviour). When set it must be >= 1, and keeps repeated
+     * demote/re-arm cycles from pushing the clean interval to
+     * astronomical values when maxRearms < 0 (never latch).
+     */
+    double rearmBackoffCap = 0.0;
 
     /** Reject nonsensical values with a descriptive ConfigError. */
     void validate() const;
@@ -163,7 +179,34 @@ class SafetyMonitor
      */
     void reset();
 
+    /**
+     * Complete machine state for chip checkpoints. Parameters are not
+     * part of the snapshot — they belong to the (immutable) config the
+     * restored chip was built with.
+     */
+    struct Snapshot
+    {
+        SafetyState state = SafetyState::Monitoring;
+        Seconds now = Seconds{0.0};
+        Seconds windowStart = Seconds{0.0};
+        Seconds cleanSince = Seconds{0.0};
+        int windowEmergencies = 0;
+        int64_t totalEmergencies = 0;
+        int64_t demotions = 0;
+        int64_t rearms = 0;
+        Seconds lastDemotionAt = Seconds{-1.0};
+    };
+
+    /** Snapshot the full machine state (for checkpointing). */
+    Snapshot snapshot() const;
+
+    /** Restore a snapshotted machine state bit-exactly. */
+    void restore(const Snapshot &snapshot);
+
   private:
+    /** rearmBackoff^(demotions-1), clamped to rearmBackoffCap. */
+    double backoffMultiplier() const;
+
     SafetyMonitorParams params_;
     SafetyState state_ = SafetyState::Monitoring;
     Seconds now_ = Seconds{0.0};

@@ -54,6 +54,9 @@ class Dpll
     /** Set/clear an upper frequency cap (0 = uncapped). */
     void setCap(Hertz cap) { cap_ = cap; }
 
+    /** Current frequency cap (0 = uncapped); for checkpointing. */
+    Hertz cap() const { return cap_; }
+
     /** Force the output (static-guardband mode bypasses the loop). */
     void lockTo(Hertz f);
 

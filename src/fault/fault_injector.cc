@@ -5,11 +5,12 @@
 
 namespace agsim::fault {
 
-FaultInjector::FaultInjector(const FaultPlan &plan, size_t coreCount)
-    : plan_(plan), coreCount_(coreCount)
+FaultInjector::FaultInjector(const FaultPlan &plan, size_t coreCount,
+                             FaultScope scope)
+    : plan_(plan), coreCount_(coreCount), scope_(scope)
 {
     fatalIf(coreCount_ == 0, "fault injector needs at least one core");
-    plan_.validate(coreCount_);
+    plan_.validate(coreCount_, scope_);
     active_.cpm.assign(coreCount_, sensors::CpmFault());
     recompute();
 }
@@ -48,6 +49,14 @@ FaultInjector::reset()
 }
 
 void
+FaultInjector::restoreClock(Seconds t)
+{
+    fatalIf(t < Seconds{0.0}, "fault injector clock cannot be negative");
+    now_ = t;
+    recompute();
+}
+
+void
 FaultInjector::recompute()
 {
     const size_t previousSpecs = activeSpecs_;
@@ -61,6 +70,10 @@ FaultInjector::recompute()
     active_.firmwareStall = false;
     active_.droopRateScale = 1.0;
     active_.droopDepthScale = 1.0;
+    active_.serverCrash = false;
+    active_.serverHang = false;
+    active_.vrmShutdown = false;
+    active_.restartSlowdown = 1.0;
     activeSpecs_ = 0;
 
     for (const FaultSpec &spec : plan_.faults) {
@@ -94,6 +107,18 @@ FaultInjector::recompute()
           case FaultKind::DroopStorm:
             active_.droopRateScale *= spec.magnitude;
             active_.droopDepthScale *= spec.depthScale;
+            break;
+          case FaultKind::ServerCrash:
+            active_.serverCrash = true;
+            break;
+          case FaultKind::ServerHang:
+            active_.serverHang = true;
+            break;
+          case FaultKind::VrmShutdown:
+            active_.vrmShutdown = true;
+            break;
+          case FaultKind::SlowRestart:
+            active_.restartSlowdown *= spec.magnitude;
             break;
         }
     }

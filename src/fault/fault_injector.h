@@ -40,6 +40,14 @@ struct ActiveFaultSet
     double droopRateScale = 1.0;
     /** Multiplier on worst-case droop depth. */
     double droopDepthScale = 1.0;
+    /** Server dead with volatile state lost (server scope). */
+    bool serverCrash = false;
+    /** Server unresponsive but state retained (server scope). */
+    bool serverHang = false;
+    /** Bulk VRM offline — crash-equivalent outage (server scope). */
+    bool vrmShutdown = false;
+    /** Multiplier on restart latency (server scope; >= 1). */
+    double restartSlowdown = 1.0;
     /** Whether anything at all is active (fast path check). */
     bool any = false;
 };
@@ -51,12 +59,18 @@ class FaultInjector
 {
   public:
     /**
-     * @param plan Fault schedule (validated against coreCount; copied).
+     * @param plan Fault schedule (validated against coreCount and
+     *        scope; copied).
      * @param coreCount Cores on the chip this injector will attach to.
+     * @param scope Chip-scope (the default; rejects server-scope
+     *        kinds) or server-scope (accepts every kind).
      */
-    FaultInjector(const FaultPlan &plan, size_t coreCount);
+    FaultInjector(const FaultPlan &plan, size_t coreCount,
+                  FaultScope scope = FaultScope::Chip);
 
     size_t coreCount() const { return coreCount_; }
+
+    FaultScope scope() const { return scope_; }
 
     /** Chip-sim time since attach (advanced by Chip::step). */
     Seconds now() const { return now_; }
@@ -81,6 +95,14 @@ class FaultInjector
     /** Rewind to t = 0 (for replaying the same plan). */
     void reset();
 
+    /**
+     * Jump the clock to an absolute chip-sim time and recompute the
+     * active set — used when a chip is restored from a checkpoint so
+     * the injector resumes at the checkpointed position instead of
+     * replaying the plan from t = 0.
+     */
+    void restoreClock(Seconds t);
+
     const FaultPlan &plan() const { return plan_; }
 
   private:
@@ -88,6 +110,7 @@ class FaultInjector
 
     FaultPlan plan_;
     size_t coreCount_;
+    FaultScope scope_ = FaultScope::Chip;
     Seconds now_ = Seconds{0.0};
     size_t activeSpecs_ = 0;
     ActiveFaultSet active_;

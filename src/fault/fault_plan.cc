@@ -17,8 +17,26 @@ faultKindName(FaultKind kind)
       case FaultKind::VrmDacOffset: return "vrm-dac-offset";
       case FaultKind::FirmwareStall: return "firmware-stall";
       case FaultKind::DroopStorm: return "droop-storm";
+      case FaultKind::ServerCrash: return "server-crash";
+      case FaultKind::ServerHang: return "server-hang";
+      case FaultKind::VrmShutdown: return "vrm-shutdown";
+      case FaultKind::SlowRestart: return "slow-restart";
     }
     return "?";
+}
+
+bool
+serverScopeFault(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::ServerCrash:
+      case FaultKind::ServerHang:
+      case FaultKind::VrmShutdown:
+      case FaultKind::SlowRestart:
+        return true;
+      default:
+        return false;
+    }
 }
 
 FaultPlan &
@@ -109,8 +127,49 @@ FaultPlan::droopStorm(Seconds start, Seconds duration, double rateScale,
     return add(spec);
 }
 
+FaultPlan &
+FaultPlan::serverCrash(Seconds start, Seconds duration)
+{
+    FaultSpec spec;
+    spec.kind = FaultKind::ServerCrash;
+    spec.start = start;
+    spec.duration = duration;
+    return add(spec);
+}
+
+FaultPlan &
+FaultPlan::serverHang(Seconds start, Seconds duration)
+{
+    FaultSpec spec;
+    spec.kind = FaultKind::ServerHang;
+    spec.start = start;
+    spec.duration = duration;
+    return add(spec);
+}
+
+FaultPlan &
+FaultPlan::vrmShutdown(Seconds start, Seconds duration)
+{
+    FaultSpec spec;
+    spec.kind = FaultKind::VrmShutdown;
+    spec.start = start;
+    spec.duration = duration;
+    return add(spec);
+}
+
+FaultPlan &
+FaultPlan::slowRestart(Seconds start, Seconds duration, double factor)
+{
+    FaultSpec spec;
+    spec.kind = FaultKind::SlowRestart;
+    spec.start = start;
+    spec.duration = duration;
+    spec.magnitude = factor;
+    return add(spec);
+}
+
 void
-FaultPlan::validate(size_t coreCount) const
+FaultPlan::validate(size_t coreCount, FaultScope scope) const
 {
     for (size_t i = 0; i < faults.size(); ++i) {
         const FaultSpec &spec = faults[i];
@@ -118,8 +177,13 @@ FaultPlan::validate(size_t coreCount) const
             "fault plan spec " + std::to_string(i) + " (" +
             faultKindName(spec.kind) + "): ";
         fatalIf(spec.start < Seconds{0.0}, where + "negative start time");
+        fatalIf(spec.duration < Seconds{0.0},
+                where + "negative duration (use 0 for until-end-of-run)");
         fatalIf(spec.core >= 0 && size_t(spec.core) >= coreCount,
                 where + "core index out of range");
+        fatalIf(scope == FaultScope::Chip && serverScopeFault(spec.kind),
+                where + "server-scope fault in a chip-scope plan "
+                        "(attach it to a recovery::RecoveryManager)");
         switch (spec.kind) {
           case FaultKind::CpmStuckAt:
             fatalIf(spec.magnitude < 0.0,
@@ -131,12 +195,35 @@ FaultPlan::validate(size_t coreCount) const
             fatalIf(spec.depthScale <= 0.0,
                     where + "storm depth multiplier must be positive");
             break;
+          case FaultKind::SlowRestart:
+            fatalIf(spec.magnitude < 1.0,
+                    where + "restart slowdown factor must be >= 1");
+            break;
           case FaultKind::CpmOptimisticBias:
           case FaultKind::CpmDropout:
           case FaultKind::VrmDacStuck:
           case FaultKind::VrmDacOffset:
           case FaultKind::FirmwareStall:
+          case FaultKind::ServerCrash:
+          case FaultKind::ServerHang:
+          case FaultKind::VrmShutdown:
             break;
+        }
+        // Same-kind/same-target schedules must be sane: listed in start
+        // order and non-overlapping. (Different kinds, or the same kind
+        // on different targets such as chip-wide vs. one core, still
+        // compose — see the FaultPlan doc.)
+        for (size_t j = 0; j < i; ++j) {
+            const FaultSpec &prev = faults[j];
+            if (prev.kind != spec.kind || prev.core != spec.core)
+                continue;
+            fatalIf(spec.start < prev.start,
+                    where + "non-monotonic start times for one target "
+                            "(spec " + std::to_string(j) + " starts later)");
+            fatalIf(prev.duration <= Seconds{0.0} ||
+                        prev.start + prev.duration > spec.start,
+                    where + "overlaps spec " + std::to_string(j) +
+                        " on the same target");
         }
     }
 }

@@ -23,6 +23,19 @@
  *  - DroopStorm: di/dt worst-case droops arrive more often and/or
  *    deeper than the characterized envelope.
  *
+ * Beyond the chip-scope loop faults, *server-scope* events model whole
+ * machines failing (the recovery subsystem's input, src/recovery/):
+ *
+ *  - ServerCrash: the server dies and loses volatile state; it cannot
+ *    restart until the outage window ends.
+ *  - ServerHang: the server stops making progress but retains state; it
+ *    resumes by itself when the window ends unless an operator
+ *    power-cycles it first (which loses state like a crash).
+ *  - VrmShutdown: the bulk regulator trips offline — electrically a
+ *    crash, tracked separately for the failure taxonomy.
+ *  - SlowRestart: restart latency is multiplied by `magnitude` while
+ *    active (cold spares, degraded boot media).
+ *
  * A FaultPlan is a pure-value schedule: (kind, start, duration, target,
  * magnitude) tuples. Plans introduce no randomness of their own —
  * stochastic effects (storm droop depths) flow through the chip's
@@ -60,10 +73,37 @@ enum class FaultKind
     /** Worst-case droop arrivals multiplied by `magnitude`; depths
      *  multiplied by `depthScale`. */
     DroopStorm,
+    /** Server dies and loses volatile state; restart probes cannot
+     *  succeed until the outage window ends. Server scope. */
+    ServerCrash,
+    /** Server stops making step progress but retains state; resolves
+     *  by itself at window end unless power-cycled. Server scope. */
+    ServerHang,
+    /** Bulk VRM trips offline — behaves like a crash, tracked as a
+     *  distinct taxonomy entry. Server scope. */
+    VrmShutdown,
+    /** Restart latency multiplied by `magnitude` (>= 1) while active.
+     *  Server scope. */
+    SlowRestart,
 };
 
 /** Human-readable fault kind name. */
 const char *faultKindName(FaultKind kind);
+
+/** True for the server-scope kinds (ServerCrash .. SlowRestart). */
+bool serverScopeFault(FaultKind kind);
+
+/**
+ * What a plan attaches to. Chip-scope injectors (attached via
+ * Chip::attachFaultInjector, including run_batch task plans) reject
+ * server-scope kinds at validate() time; server-scope injectors (owned
+ * by recovery::RecoveryManager) accept every kind.
+ */
+enum class FaultScope
+{
+    Chip,
+    Server,
+};
 
 /** One scheduled fault. */
 struct FaultSpec
@@ -89,11 +129,17 @@ struct FaultSpec
 };
 
 /**
- * A schedule of faults for one chip.
+ * A schedule of faults for one chip (or, at FaultScope::Server, one
+ * server).
  *
- * Overlapping faults compose: biases add, storm multipliers multiply,
- * boolean faults (dropout, stuck DAC, stall) OR together, and for
- * conflicting stuck-at positions the *later spec in plan order* wins.
+ * Faults of *different* kinds, or of the same kind on *different*
+ * targets (e.g. a chip-wide bias plus an extra per-core bias), may
+ * overlap and compose: biases add, boolean faults (dropout, stuck DAC,
+ * stall) OR together, and a later per-core stuck-at overrides a
+ * chip-wide position for its core. Two specs of the same kind on the
+ * *same* target must not overlap and must be listed in start order —
+ * validate() rejects overlapping windows, non-monotonic start times,
+ * and negative durations (use duration 0 for "until end of run").
  */
 struct FaultPlan
 {
@@ -116,16 +162,25 @@ struct FaultPlan
     FaultPlan &firmwareStall(Seconds start, Seconds duration);
     FaultPlan &droopStorm(Seconds start, Seconds duration,
                           double rateScale, double depthScale = 1.0);
+    FaultPlan &serverCrash(Seconds start, Seconds duration);
+    FaultPlan &serverHang(Seconds start, Seconds duration);
+    FaultPlan &vrmShutdown(Seconds start, Seconds duration);
+    FaultPlan &slowRestart(Seconds start, Seconds duration, double factor);
     /// @}
 
     /**
-     * Reject nonsensical specs (negative times, out-of-range cores,
-     * non-positive storm multipliers, negative stuck positions) with a
-     * descriptive ConfigError.
+     * Reject nonsensical specs (negative times or durations,
+     * out-of-range cores, non-positive storm multipliers, negative
+     * stuck positions, restart factors below 1, server-scope kinds in
+     * a chip-scope plan) and ill-formed schedules (same-kind/same-
+     * target specs that overlap or are listed out of start order) with
+     * a descriptive ConfigError.
      *
      * @param coreCount Cores on the chip the plan will attach to.
+     * @param scope What the plan attaches to (see FaultScope).
      */
-    void validate(size_t coreCount) const;
+    void validate(size_t coreCount,
+                  FaultScope scope = FaultScope::Chip) const;
 };
 
 } // namespace agsim::fault

@@ -21,6 +21,9 @@ traceKindName(TraceKind kind)
       case TraceKind::TaskEnd: return "task_end";
       case TraceKind::Quantum: return "quantum";
       case TraceKind::PlacementDecision: return "placement_decision";
+      case TraceKind::ServerFailure: return "server_failure";
+      case TraceKind::ServerRecovery: return "server_recovery";
+      case TraceKind::DegradationStep: return "degradation_step";
       case TraceKind::Custom: return "custom";
     }
     return "?";

@@ -56,6 +56,13 @@ enum class TraceKind
     /** Health-aware placement decision. a: threads moved, b: healthy
      *  sockets; detail: reason. */
     PlacementDecision,
+    /** Server-scope failure detected. a: server index; detail: kind. */
+    ServerFailure,
+    /** Server back online. a: server index, b: outage s; detail: how
+     *  (restore/cold/self). */
+    ServerRecovery,
+    /** Fleet degradation ladder moved. a: old rung, b: new rung. */
+    DegradationStep,
     /** Free-form instrumentation. */
     Custom,
 };

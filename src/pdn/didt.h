@@ -108,6 +108,15 @@ class DidtModel
     /** Deterministic reseed (per-run reproducibility). */
     void reseed(uint64_t seed, uint64_t stream = 0);
 
+    /** Snapshot the draw-stream state (for chip checkpoints). */
+    Rng::State rngState() const { return rng_.state(); }
+
+    /** Restore a snapshotted draw-stream state bit-exactly. */
+    void restoreRngState(const Rng::State &state)
+    {
+        rng_.restoreState(state);
+    }
+
   private:
     static size_t activeCount(std::span<const Volts> amps);
 

@@ -131,4 +131,14 @@ Vrm::clearFaults()
     }
 }
 
+void
+Vrm::restoreRail(size_t rail, Volts setpoint, Amps lastCurrent)
+{
+    Rail &r = railAt(rail);
+    r.setpoint = setpoint;
+    r.lastCurrent = lastCurrent;
+    r.dacStuck = false;
+    r.dacOffset = Volts{0.0};
+}
+
 } // namespace agsim::pdn

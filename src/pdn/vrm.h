@@ -100,6 +100,15 @@ class Vrm
 
     /// @}
 
+    /**
+     * Restore a rail's electrical state from a chip checkpoint: the
+     * exact programmed setpoint and last sensed current, bypassing DAC
+     * quantization/clamping (the value was produced by this VRM, so it
+     * is already legal) and any stuck-DAC fault. Injected fault state
+     * on the rail is cleared; the caller re-applies active faults.
+     */
+    void restoreRail(size_t rail, Volts setpoint, Amps lastCurrent);
+
   private:
     struct Rail
     {

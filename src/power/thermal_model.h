@@ -50,6 +50,12 @@ class ThermalModel
     /** Reset to ambient. */
     void reset();
 
+    /** Jump to an exact temperature (checkpoint restore). */
+    void restoreTemperature(Celsius temperature)
+    {
+        temperature_ = temperature;
+    }
+
   private:
     ThermalParams params_;
     Celsius temperature_;

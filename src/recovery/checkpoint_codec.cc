@@ -1,0 +1,427 @@
+#include "recovery/checkpoint_codec.h"
+
+#include <cstring>
+#include <string>
+
+#include "common/error.h"
+
+namespace agsim::recovery {
+namespace {
+
+constexpr uint32_t kMagic = 0x4B434741u; // 'A''G''C''K' little-endian
+
+/** Append-only little-endian byte writer. */
+class Writer
+{
+  public:
+    explicit Writer(std::vector<uint8_t> &out) : out_(out) {}
+
+    void u32(uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            out_.push_back(uint8_t(v >> (8 * i)));
+    }
+
+    void u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            out_.push_back(uint8_t(v >> (8 * i)));
+    }
+
+    void i64(int64_t v) { u64(uint64_t(v)); }
+
+    void f64(double v)
+    {
+        uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void boolean(bool v) { out_.push_back(v ? 1 : 0); }
+
+    template <typename Q> void quantity(Q q) { f64(q.value()); }
+
+    template <typename Q> void quantityVector(const std::vector<Q> &v)
+    {
+        u32(uint32_t(v.size()));
+        for (const Q &q : v)
+            f64(q.value());
+    }
+
+  private:
+    std::vector<uint8_t> &out_;
+};
+
+/** Bounds-checked little-endian byte reader. */
+class Reader
+{
+  public:
+    explicit Reader(const std::vector<uint8_t> &bytes) : bytes_(bytes) {}
+
+    uint32_t u32()
+    {
+        need(4);
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= uint32_t(bytes_[pos_ + size_t(i)]) << (8 * i);
+        pos_ += 4;
+        return v;
+    }
+
+    uint64_t u64()
+    {
+        need(8);
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= uint64_t(bytes_[pos_ + size_t(i)]) << (8 * i);
+        pos_ += 8;
+        return v;
+    }
+
+    int64_t i64() { return int64_t(u64()); }
+
+    double f64()
+    {
+        const uint64_t bits = u64();
+        double v = 0.0;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    bool boolean()
+    {
+        need(1);
+        const uint8_t v = bytes_[pos_++];
+        fatalIf(v > 1, "chip checkpoint corrupt: boolean byte is " +
+                           std::to_string(int(v)));
+        return v == 1;
+    }
+
+    template <typename Q> Q quantity() { return Q{f64()}; }
+
+    /** Length-prefixed vector that must match the expected size. */
+    template <typename Q> std::vector<Q> quantityVector(size_t expected)
+    {
+        const uint32_t count = u32();
+        fatalIf(count != expected,
+                "chip checkpoint corrupt: vector length " +
+                    std::to_string(count) + ", expected " +
+                    std::to_string(expected));
+        std::vector<Q> v;
+        v.reserve(count);
+        for (uint32_t i = 0; i < count; ++i)
+            v.push_back(Q{f64()});
+        return v;
+    }
+
+    void finish() const
+    {
+        fatalIf(pos_ != bytes_.size(),
+                "chip checkpoint corrupt: " +
+                    std::to_string(bytes_.size() - pos_) +
+                    " trailing bytes");
+    }
+
+  private:
+    void need(size_t n) const
+    {
+        fatalIf(pos_ + n > bytes_.size(),
+                "chip checkpoint corrupt: truncated at byte " +
+                    std::to_string(pos_));
+    }
+
+    const std::vector<uint8_t> &bytes_;
+    size_t pos_ = 0;
+};
+
+uint32_t
+modeCode(chip::GuardbandMode mode)
+{
+    return uint32_t(mode);
+}
+
+chip::GuardbandMode
+decodeMode(uint32_t code)
+{
+    switch (code) {
+      case uint32_t(chip::GuardbandMode::StaticGuardband):
+        return chip::GuardbandMode::StaticGuardband;
+      case uint32_t(chip::GuardbandMode::AdaptiveOverclock):
+        return chip::GuardbandMode::AdaptiveOverclock;
+      case uint32_t(chip::GuardbandMode::AdaptiveUndervolt):
+        return chip::GuardbandMode::AdaptiveUndervolt;
+      case uint32_t(chip::GuardbandMode::Disabled):
+        return chip::GuardbandMode::Disabled;
+      default:
+        fatalIf(true, "chip checkpoint corrupt: unknown guardband mode " +
+                          std::to_string(code));
+    }
+    return chip::GuardbandMode::StaticGuardband; // unreachable
+}
+
+chip::SafetyState
+decodeSafetyState(uint32_t code)
+{
+    switch (code) {
+      case uint32_t(chip::SafetyState::Monitoring):
+        return chip::SafetyState::Monitoring;
+      case uint32_t(chip::SafetyState::Demoted):
+        return chip::SafetyState::Demoted;
+      case uint32_t(chip::SafetyState::Latched):
+        return chip::SafetyState::Latched;
+      default:
+        fatalIf(true, "chip checkpoint corrupt: unknown safety state " +
+                          std::to_string(code));
+    }
+    return chip::SafetyState::Monitoring; // unreachable
+}
+
+void
+encodeDecomposition(Writer &w, const pdn::DropDecomposition &d)
+{
+    w.quantity(d.loadline);
+    w.quantity(d.irGlobal);
+    w.quantity(d.irLocal);
+    w.quantity(d.typicalDidt);
+    w.quantity(d.worstDidt);
+}
+
+pdn::DropDecomposition
+decodeDecomposition(Reader &r)
+{
+    pdn::DropDecomposition d;
+    d.loadline = r.quantity<Volts>();
+    d.irGlobal = r.quantity<Volts>();
+    d.irLocal = r.quantity<Volts>();
+    d.typicalDidt = r.quantity<Volts>();
+    d.worstDidt = r.quantity<Volts>();
+    return d;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+encodeChipCheckpoint(const chip::ChipCheckpoint &cp)
+{
+    std::vector<uint8_t> bytes;
+    Writer w(bytes);
+
+    w.u32(kMagic);
+    w.u32(kChipCheckpointVersion);
+
+    w.u64(cp.seed);
+    w.u64(cp.coreCount);
+    w.u32(modeCode(cp.mode));
+    w.u32(modeCode(cp.commandedMode));
+    w.quantity(cp.targetFrequency);
+
+    w.quantity(cp.chipPower);
+    w.quantity(cp.vcsPower);
+    w.quantity(cp.railCurrent);
+    w.quantity(cp.sinceFirmware);
+    w.quantity(cp.simNow);
+    w.quantity(cp.staticSetpoint);
+    w.quantity(cp.lastWorstMargin);
+    w.quantity(cp.latchedDroopDepth);
+
+    w.quantityVector(cp.coreVoltage);
+    w.quantityVector(cp.coreCtrlVoltage);
+    w.quantityVector(cp.coreCurrent);
+    w.quantityVector(cp.coreFrequency);
+    w.quantityVector(cp.droopStall);
+
+    w.u32(uint32_t(cp.loads.size()));
+    for (const chip::CoreLoad &load : cp.loads) {
+        w.boolean(load.gated);
+        w.boolean(load.active);
+        w.f64(load.activity);
+        w.quantity(load.didtTypicalAmp);
+        w.quantity(load.didtWorstAmp);
+    }
+
+    w.u32(uint32_t(cp.decomposition.size()));
+    for (const pdn::DropDecomposition &d : cp.decomposition)
+        encodeDecomposition(w, d);
+
+    w.quantity(cp.temperature);
+    for (uint64_t word : cp.didtRng.s)
+        w.u64(word);
+    w.f64(cp.didtRng.cachedNormal);
+    w.boolean(cp.didtRng.hasCachedNormal);
+
+    w.u32(uint32_t(cp.safety.state));
+    w.quantity(cp.safety.now);
+    w.quantity(cp.safety.windowStart);
+    w.quantity(cp.safety.cleanSince);
+    w.i64(cp.safety.windowEmergencies);
+    w.i64(cp.safety.totalEmergencies);
+    w.i64(cp.safety.demotions);
+    w.i64(cp.safety.rearms);
+    w.quantity(cp.safety.lastDemotionAt);
+
+    const sensors::Telemetry::Snapshot &t = cp.telemetry;
+    w.quantity(t.now);
+    w.quantity(t.windowElapsed);
+    w.u32(uint32_t(t.lastSample.size()));
+    for (int s : t.lastSample)
+        w.i64(s);
+    w.u32(uint32_t(t.stickyMin.size()));
+    for (int s : t.stickyMin)
+        w.i64(s);
+    w.quantityVector(t.voltageSum);
+    w.u32(uint32_t(t.frequencySum.size()));
+    for (double f : t.frequencySum)
+        w.f64(f);
+    w.quantity(t.powerSum);
+    w.quantity(t.currentSum);
+    w.quantity(t.setpointSum);
+    encodeDecomposition(w, t.decompositionSum);
+    w.quantity(t.weightSum);
+    w.i64(t.emergencySum);
+    w.i64(t.demotionSum);
+    w.i64(t.rearmSum);
+    w.quantity(t.marginMin);
+    w.boolean(t.marginSeen);
+
+    w.quantityVector(cp.dpllFrequency);
+    w.quantityVector(cp.dpllCap);
+    w.quantity(cp.railSetpoint);
+    w.quantity(cp.railLastCurrent);
+
+    w.i64(cp.lastEmergencies);
+    w.i64(cp.lastDemotions);
+    w.i64(cp.lastRearms);
+    w.i64(cp.missedFirmwareTicks);
+    w.boolean(cp.hadInjector);
+    w.quantity(cp.faultClock);
+    w.boolean(cp.lastFaultActive);
+
+    return bytes;
+}
+
+chip::ChipCheckpoint
+decodeChipCheckpoint(const std::vector<uint8_t> &bytes)
+{
+    Reader r(bytes);
+
+    fatalIf(r.u32() != kMagic,
+            "chip checkpoint corrupt: bad magic (not an AGCK blob)");
+    const uint32_t version = r.u32();
+    fatalIf(version != kChipCheckpointVersion,
+            "chip checkpoint version " + std::to_string(version) +
+                " is not supported (this build reads version " +
+                std::to_string(kChipCheckpointVersion) + ")");
+
+    chip::ChipCheckpoint cp;
+    cp.seed = r.u64();
+    cp.coreCount = r.u64();
+    const size_t n = size_t(cp.coreCount);
+    fatalIf(n == 0 || n > 4096,
+            "chip checkpoint corrupt: implausible core count " +
+                std::to_string(cp.coreCount));
+    cp.mode = decodeMode(r.u32());
+    cp.commandedMode = decodeMode(r.u32());
+    cp.targetFrequency = r.quantity<Hertz>();
+
+    cp.chipPower = r.quantity<Watts>();
+    cp.vcsPower = r.quantity<Watts>();
+    cp.railCurrent = r.quantity<Amps>();
+    cp.sinceFirmware = r.quantity<Seconds>();
+    cp.simNow = r.quantity<Seconds>();
+    cp.staticSetpoint = r.quantity<Volts>();
+    cp.lastWorstMargin = r.quantity<Volts>();
+    cp.latchedDroopDepth = r.quantity<Volts>();
+
+    cp.coreVoltage = r.quantityVector<Volts>(n);
+    cp.coreCtrlVoltage = r.quantityVector<Volts>(n);
+    cp.coreCurrent = r.quantityVector<Amps>(n);
+    cp.coreFrequency = r.quantityVector<Hertz>(n);
+    cp.droopStall = r.quantityVector<Seconds>(n);
+
+    const uint32_t loadCount = r.u32();
+    fatalIf(loadCount != n,
+            "chip checkpoint corrupt: load count mismatch");
+    cp.loads.resize(n);
+    for (chip::CoreLoad &load : cp.loads) {
+        load.gated = r.boolean();
+        load.active = r.boolean();
+        load.activity = r.f64();
+        load.didtTypicalAmp = r.quantity<Volts>();
+        load.didtWorstAmp = r.quantity<Volts>();
+    }
+
+    const uint32_t decompCount = r.u32();
+    fatalIf(decompCount != n,
+            "chip checkpoint corrupt: decomposition count mismatch");
+    cp.decomposition.resize(n);
+    for (pdn::DropDecomposition &d : cp.decomposition)
+        d = decodeDecomposition(r);
+
+    cp.temperature = r.quantity<Celsius>();
+    for (uint64_t &word : cp.didtRng.s)
+        word = r.u64();
+    cp.didtRng.cachedNormal = r.f64();
+    cp.didtRng.hasCachedNormal = r.boolean();
+
+    cp.safety.state = decodeSafetyState(r.u32());
+    cp.safety.now = r.quantity<Seconds>();
+    cp.safety.windowStart = r.quantity<Seconds>();
+    cp.safety.cleanSince = r.quantity<Seconds>();
+    cp.safety.windowEmergencies = int(r.i64());
+    cp.safety.totalEmergencies = r.i64();
+    cp.safety.demotions = r.i64();
+    cp.safety.rearms = r.i64();
+    cp.safety.lastDemotionAt = r.quantity<Seconds>();
+
+    sensors::Telemetry::Snapshot &t = cp.telemetry;
+    t.now = r.quantity<Seconds>();
+    t.windowElapsed = r.quantity<Seconds>();
+    const uint32_t sampleCount = r.u32();
+    fatalIf(sampleCount != n,
+            "chip checkpoint corrupt: telemetry sample count mismatch");
+    t.lastSample.resize(n);
+    for (int &s : t.lastSample)
+        s = int(r.i64());
+    const uint32_t stickyCount = r.u32();
+    fatalIf(stickyCount != n,
+            "chip checkpoint corrupt: telemetry sticky count mismatch");
+    t.stickyMin.resize(n);
+    for (int &s : t.stickyMin)
+        s = int(r.i64());
+    t.voltageSum = r.quantityVector<Mul<Volts, Seconds>>(n);
+    const uint32_t freqCount = r.u32();
+    fatalIf(freqCount != n,
+            "chip checkpoint corrupt: telemetry frequency count mismatch");
+    t.frequencySum.resize(n);
+    for (double &f : t.frequencySum)
+        f = r.f64();
+    t.powerSum = r.quantity<Joules>();
+    t.currentSum = r.quantity<Mul<Amps, Seconds>>();
+    t.setpointSum = r.quantity<Mul<Volts, Seconds>>();
+    t.decompositionSum = decodeDecomposition(r);
+    t.weightSum = r.quantity<Seconds>();
+    t.emergencySum = long(r.i64());
+    t.demotionSum = long(r.i64());
+    t.rearmSum = long(r.i64());
+    t.marginMin = r.quantity<Volts>();
+    t.marginSeen = r.boolean();
+
+    cp.dpllFrequency = r.quantityVector<Hertz>(n);
+    cp.dpllCap = r.quantityVector<Hertz>(n);
+    cp.railSetpoint = r.quantity<Volts>();
+    cp.railLastCurrent = r.quantity<Amps>();
+
+    cp.lastEmergencies = int(r.i64());
+    cp.lastDemotions = int(r.i64());
+    cp.lastRearms = int(r.i64());
+    cp.missedFirmwareTicks = r.i64();
+    cp.hadInjector = r.boolean();
+    cp.faultClock = r.quantity<Seconds>();
+    cp.lastFaultActive = r.boolean();
+
+    r.finish();
+    return cp;
+}
+
+} // namespace agsim::recovery

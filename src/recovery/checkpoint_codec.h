@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Versioned binary wire format for ChipCheckpoint.
+ *
+ * RecoveryManager stores checkpoints as encoded bytes (what a real
+ * fleet would write to a checkpoint store) and decodes them on
+ * restore, so the wire format itself is exercised on every recovery.
+ *
+ * Format "AGCK" v1, little-endian:
+ *
+ *     magic   u32  'A''G''C''K' (0x4B434741 LE)
+ *     version u32  1
+ *     ... ChipCheckpoint fields in declaration order; every floating
+ *     value is an IEEE-754 double (bit-exact via its u64 pattern),
+ *     every vector is a u32 length prefix followed by its elements.
+ *
+ * Decoding is strict: a bad magic, an unsupported version, trailing
+ *  bytes, or any truncation throws ConfigError (a corrupt checkpoint
+ * must fail loudly — restoring garbage state "successfully" is the
+ * one unrecoverable outcome). Versioning policy: v(N) decoders keep
+ * accepting all formats back to v1 or reject with a message naming
+ * both versions; see docs/RELIABILITY.md.
+ */
+
+#ifndef AGSIM_RECOVERY_CHECKPOINT_CODEC_H
+#define AGSIM_RECOVERY_CHECKPOINT_CODEC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "chip/chip_checkpoint.h"
+
+namespace agsim::recovery {
+
+/** Current wire-format version written by encodeChipCheckpoint. */
+inline constexpr uint32_t kChipCheckpointVersion = 1;
+
+/** Serialize a checkpoint to the versioned binary format. */
+std::vector<uint8_t> encodeChipCheckpoint(const chip::ChipCheckpoint &cp);
+
+/**
+ * Parse an encoded checkpoint. Throws ConfigError on bad magic,
+ * unsupported version, truncation, or trailing bytes.
+ */
+chip::ChipCheckpoint decodeChipCheckpoint(const std::vector<uint8_t> &bytes);
+
+} // namespace agsim::recovery
+
+#endif // AGSIM_RECOVERY_CHECKPOINT_CODEC_H

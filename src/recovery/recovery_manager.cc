@@ -1,0 +1,513 @@
+#include "recovery/recovery_manager.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "obs/observability.h"
+#include "recovery/checkpoint_codec.h"
+
+namespace agsim::recovery {
+
+void
+RecoveryPolicy::validate() const
+{
+    fatalIf(heartbeatTimeout <= Seconds{0.0},
+            "recovery heartbeat timeout must be positive");
+    fatalIf(probeInitialDelay <= Seconds{0.0},
+            "recovery probe delay must be positive");
+    fatalIf(probeBackoff < 1.0,
+            "recovery probe backoff must be >= 1 (delays cannot shrink)");
+    fatalIf(probeBudget < 1, "recovery probe budget must be >= 1");
+    fatalIf(checkpointInterval <= Seconds{0.0},
+            "recovery checkpoint interval must be positive");
+    fatalIf(restartLatency < Seconds{0.0},
+            "recovery restart latency cannot be negative");
+    fatalIf(stormFailureThreshold < 1,
+            "storm failure threshold must be >= 1");
+    fatalIf(cascadeFailureThreshold < stormFailureThreshold,
+            "cascade threshold cannot sit below the storm threshold");
+    fatalIf(shedFailureThreshold < cascadeFailureThreshold,
+            "shed threshold cannot sit below the cascade threshold");
+    fatalIf(stormWindow <= Seconds{0.0},
+            "storm window must be positive");
+    fatalIf(shedFraction < 0.0 || shedFraction >= 1.0,
+            "shed fraction must be in [0, 1)");
+}
+
+const char *
+serverRecoveryStateName(ServerRecoveryState state)
+{
+    switch (state) {
+      case ServerRecoveryState::Online: return "online";
+      case ServerRecoveryState::Failed: return "failed";
+      case ServerRecoveryState::Restoring: return "restoring";
+      case ServerRecoveryState::Abandoned: return "abandoned";
+    }
+    return "?";
+}
+
+RecoveryManager::RecoveryManager(system::FleetStepper *stepper,
+                                 const RecoveryPolicy &policy)
+    : stepper_(stepper), policy_(policy)
+{
+    fatalIf(stepper_ == nullptr, "recovery manager needs a fleet stepper");
+    policy_.validate();
+    obs::MetricRegistry &reg = obs::registry();
+    obsFailures_ = &reg.counter("recovery.failures_total");
+    obsDetections_ = &reg.counter("recovery.detections_total");
+    obsProbes_ = &reg.counter("recovery.probes_total");
+    obsProbeFailures_ = &reg.counter("recovery.probe_failures_total");
+    obsRestarts_ = &reg.counter("recovery.restarts_total");
+    obsRestores_ = &reg.counter("recovery.restores_total");
+    obsSelfRecoveries_ = &reg.counter("recovery.self_recoveries_total");
+    obsCheckpoints_ = &reg.counter("recovery.checkpoints_total");
+    obsMigrations_ = &reg.counter("recovery.migrations_total");
+    obsLadderTransitions_ = &reg.counter("recovery.ladder_transitions_total");
+    obsShedThreads_ = &reg.gauge("recovery.shed_threads");
+}
+
+size_t
+RecoveryManager::addServer(system::Server &server,
+                           const fault::FaultPlan *plan)
+{
+    ServerRecord record;
+    record.server = &server;
+    record.slots = stepper_->addServer(server);
+    if (plan != nullptr) {
+        record.injector = std::make_unique<fault::FaultInjector>(
+            *plan, server.chip(0).coreCount(), fault::FaultScope::Server);
+    }
+    record.checkpointBytes.resize(server.socketCount());
+    record.baselineMode.reserve(server.socketCount());
+    for (size_t s = 0; s < server.socketCount(); ++s)
+        record.baselineMode.push_back(server.chip(s).commandedMode());
+    record.lastSimTime = server.chip(0).simTime();
+    record.lastProgressAt = now_;
+    servers_.push_back(std::move(record));
+    return servers_.size() - 1;
+}
+
+void
+RecoveryManager::setWorkload(size_t threads, const chip::CoreLoad &load)
+{
+    size_t capacity = 0;
+    for (const ServerRecord &record : servers_) {
+        capacity += record.server->socketCount() *
+                    record.server->chip(0).coreCount();
+    }
+    fatalIf(threads > capacity,
+            "fleet workload exceeds total core capacity");
+    workloadThreads_ = threads;
+    workloadLoad_ = load;
+    haveWorkload_ = true;
+    applyPlacement();
+}
+
+ServerRecoveryState
+RecoveryManager::state(size_t server) const
+{
+    fatalIf(server >= servers_.size(), "recovery server index out of range");
+    return servers_[server].state;
+}
+
+size_t
+RecoveryManager::onlineCount() const
+{
+    size_t n = 0;
+    for (const ServerRecord &record : servers_) {
+        if (servable(record))
+            ++n;
+    }
+    return n;
+}
+
+Seconds
+RecoveryManager::meanTimeToRecover() const
+{
+    if (mttrCount_ == 0)
+        return Seconds{0.0};
+    return mttrSum_ / double(mttrCount_);
+}
+
+bool
+RecoveryManager::servable(const ServerRecord &record)
+{
+    return record.state == ServerRecoveryState::Online && !record.frozen;
+}
+
+void
+RecoveryManager::tick(Seconds dt)
+{
+    fatalIf(dt <= Seconds{0.0}, "recovery tick needs a positive dt");
+    now_ += dt;
+    // Phase 1 runs even when disabled: faults strike regardless of
+    // whether anyone is watching.
+    applyServerFaults(dt);
+    if (!policy_.enabled)
+        return;
+    runWatchdog();
+    runProbes();
+    completeRestores();
+    captureCheckpoints();
+    stepLadder();
+}
+
+const char *
+RecoveryManager::outageKind(const ServerRecord &record)
+{
+    if (record.injector == nullptr)
+        return "unknown";
+    const fault::ActiveFaultSet &active = record.injector->active();
+    if (active.serverCrash)
+        return "server-crash";
+    if (active.vrmShutdown)
+        return "vrm-shutdown";
+    if (active.serverHang)
+        return "server-hang";
+    return "unknown";
+}
+
+void
+RecoveryManager::freezeServer(ServerRecord &record)
+{
+    for (size_t slot : record.slots)
+        stepper_->setChipActive(slot, false);
+    record.frozen = true;
+}
+
+void
+RecoveryManager::unfreezeServer(ServerRecord &record)
+{
+    for (size_t slot : record.slots)
+        stepper_->setChipActive(slot, true);
+    record.frozen = false;
+}
+
+void
+RecoveryManager::finishOutage(ServerRecord &record, size_t index,
+                              const char *how)
+{
+    const Seconds outage = now_ - record.outageStart;
+    mttrSum_ += outage;
+    ++mttrCount_;
+    obs::TraceEvent event;
+    event.simTime = now_;
+    event.kind = obs::TraceKind::ServerRecovery;
+    event.chip = int32_t(index);
+    event.a = double(index);
+    event.b = outage.value();
+    event.detail = how;
+    obs::emit(std::move(event));
+    record.stateLost = false;
+    record.state = ServerRecoveryState::Online;
+    record.lastSimTime = record.server->chip(0).simTime();
+    record.lastProgressAt = now_;
+}
+
+void
+RecoveryManager::applyServerFaults(Seconds dt)
+{
+    for (size_t i = 0; i < servers_.size(); ++i) {
+        ServerRecord &record = servers_[i];
+        if (record.injector == nullptr)
+            continue;
+        record.injector->advance(dt);
+        const fault::ActiveFaultSet &active = record.injector->active();
+        const bool faultUp = active.serverCrash || active.serverHang ||
+                             active.vrmShutdown;
+        if (!faultUp)
+            record.suppressFaultFreeze = false;
+        const bool outage = faultUp && !record.suppressFaultFreeze;
+        if (outage && !record.frozen) {
+            freezeServer(record);
+            record.outageStart = now_;
+        }
+        if (active.serverCrash || active.vrmShutdown)
+            record.stateLost = true;
+        if (!outage && record.frozen && !record.stateLost) {
+            // A hang window expired with volatile state intact: the
+            // server picks up exactly where it stopped, no help needed
+            // (this is the only recovery path the blind arm has).
+            unfreezeServer(record);
+            finishOutage(record, i, "self");
+            ++selfRecoveries_;
+            obsSelfRecoveries_->add(1);
+            if (policy_.enabled)
+                applyPlacement();
+        }
+    }
+}
+
+void
+RecoveryManager::runWatchdog()
+{
+    for (size_t i = 0; i < servers_.size(); ++i) {
+        ServerRecord &record = servers_[i];
+        if (record.state != ServerRecoveryState::Online)
+            continue;
+        const Seconds simTime = record.server->chip(0).simTime();
+        if (simTime > record.lastSimTime) {
+            record.lastSimTime = simTime;
+            record.lastProgressAt = now_;
+            continue;
+        }
+        if (now_ - record.lastProgressAt <= policy_.heartbeatTimeout)
+            continue;
+        record.state = ServerRecoveryState::Failed;
+        record.probeDelay = policy_.probeInitialDelay;
+        record.nextProbeAt = now_ + record.probeDelay;
+        record.probesUsed = 0;
+        ++failures_;
+        obsFailures_->add(1);
+        obsDetections_->add(1);
+        failureTimes_.push_back(now_);
+        obs::TraceEvent event;
+        event.simTime = now_;
+        event.kind = obs::TraceKind::ServerFailure;
+        event.chip = int32_t(i);
+        event.a = double(i);
+        event.detail = outageKind(record);
+        obs::emit(std::move(event));
+        // Drain: re-apportion the workload over surviving capacity.
+        applyPlacement();
+    }
+}
+
+void
+RecoveryManager::runProbes()
+{
+    for (ServerRecord &record : servers_) {
+        if (record.state != ServerRecoveryState::Failed)
+            continue;
+        if (now_ < record.nextProbeAt || record.injector == nullptr)
+            continue;
+        obsProbes_->add(1);
+        const fault::ActiveFaultSet &active = record.injector->active();
+        const bool hardDown = active.serverCrash || active.vrmShutdown;
+        bool success = false;
+        if (!hardDown && active.serverHang) {
+            // A hung-but-powered server answers a power-cycle even
+            // mid-window — at the cost of its volatile state.
+            record.stateLost = true;
+            record.suppressFaultFreeze = true;
+            success = true;
+        } else if (!hardDown) {
+            // Crash/VRM cause has cleared; the restart will take.
+            success = true;
+        }
+        if (success) {
+            record.state = ServerRecoveryState::Restoring;
+            record.restoreDoneAt =
+                now_ + policy_.restartLatency * active.restartSlowdown;
+            obsRestarts_->add(1);
+            continue;
+        }
+        obsProbeFailures_->add(1);
+        ++record.probesUsed;
+        record.probeDelay = record.probeDelay * policy_.probeBackoff;
+        record.nextProbeAt = now_ + record.probeDelay;
+        if (record.probesUsed >= policy_.probeBudget)
+            record.state = ServerRecoveryState::Abandoned;
+    }
+}
+
+void
+RecoveryManager::completeRestores()
+{
+    bool recovered = false;
+    for (size_t i = 0; i < servers_.size(); ++i) {
+        ServerRecord &record = servers_[i];
+        if (record.state != ServerRecoveryState::Restoring ||
+            now_ < record.restoreDoneAt)
+            continue;
+        const char *how = "warm";
+        if (record.stateLost && record.hasCheckpoint) {
+            // Decode the stored bytes (never a kept live object): a
+            // recovery exercises the full wire format every time.
+            for (size_t s = 0; s < record.server->socketCount(); ++s) {
+                const chip::ChipCheckpoint checkpoint =
+                    decodeChipCheckpoint(record.checkpointBytes[s]);
+                record.server->chip(s).restoreCheckpoint(checkpoint);
+            }
+            how = "restore";
+            obsRestores_->add(1);
+        } else if (record.stateLost) {
+            // No checkpoint yet: cold start at the configured modes
+            // with an empty load set; placement refills it below.
+            for (size_t s = 0; s < record.server->socketCount(); ++s)
+                record.server->chip(s).setMode(record.baselineMode[s]);
+            record.server->clearLoads();
+            how = "cold";
+        }
+        unfreezeServer(record);
+        finishOutage(record, i, how);
+        ++recoveries_;
+        recovered = true;
+    }
+    if (recovered) {
+        // The recovered chips may carry pre-outage (checkpointed) modes
+        // from before a ladder move; re-impose the current rung, then
+        // give the servers their share of the workload back.
+        applyLadderModes();
+        applyPlacement();
+    }
+}
+
+void
+RecoveryManager::captureCheckpoints()
+{
+    for (ServerRecord &record : servers_) {
+        if (!servable(record))
+            continue;
+        if (record.hasCheckpoint &&
+            now_ - record.lastCheckpointAt < policy_.checkpointInterval)
+            continue;
+        if (!record.hasCheckpoint &&
+            now_ < policy_.checkpointInterval)
+            continue;
+        for (size_t s = 0; s < record.server->socketCount(); ++s) {
+            record.checkpointBytes[s] =
+                encodeChipCheckpoint(record.server->chip(s).checkpoint());
+        }
+        record.hasCheckpoint = true;
+        record.lastCheckpointAt = now_;
+        ++checkpointsTaken_;
+        obsCheckpoints_->add(1);
+    }
+}
+
+void
+RecoveryManager::stepLadder()
+{
+    while (!failureTimes_.empty() &&
+           now_ - failureTimes_.front() > policy_.stormWindow)
+        failureTimes_.pop_front();
+    const int recent = int(failureTimes_.size());
+    int desired = 0;
+    if (recent >= policy_.shedFailureThreshold)
+        desired = 3;
+    else if (recent >= policy_.cascadeFailureThreshold)
+        desired = 2;
+    else if (recent >= policy_.stormFailureThreshold)
+        desired = 1;
+
+    int target = rung_;
+    if (desired > rung_) {
+        target = desired; // escalate immediately
+    } else if (desired < rung_ &&
+               now_ - lastRungChangeAt_ >= policy_.stormWindow) {
+        target = rung_ - 1; // de-escalate one rung per clean window
+    }
+    if (target == rung_)
+        return;
+    obs::TraceEvent event;
+    event.simTime = now_;
+    event.kind = obs::TraceKind::DegradationStep;
+    event.a = double(rung_);
+    event.b = double(target);
+    event.detail = recent >= policy_.stormFailureThreshold
+                       ? "failure storm"
+                       : "storm clearing";
+    obs::emit(std::move(event));
+    rung_ = target;
+    lastRungChangeAt_ = now_;
+    obsLadderTransitions_->add(1);
+    applyLadderModes();
+    applyPlacement();
+}
+
+void
+RecoveryManager::applyLadderModes()
+{
+    for (ServerRecord &record : servers_) {
+        if (!servable(record))
+            continue;
+        for (size_t s = 0; s < record.server->socketCount(); ++s) {
+            chip::GuardbandMode mode = record.baselineMode[s];
+            if (rung_ >= 2) {
+                mode = chip::GuardbandMode::StaticGuardband;
+            } else if (rung_ == 1 &&
+                       mode == chip::GuardbandMode::AdaptiveOverclock) {
+                mode = chip::GuardbandMode::AdaptiveUndervolt;
+            }
+            if (record.server->chip(s).commandedMode() != mode)
+                record.server->chip(s).setMode(mode);
+        }
+    }
+}
+
+void
+RecoveryManager::applyPlacement()
+{
+    if (!haveWorkload_)
+        return;
+    size_t want = workloadThreads_;
+    if (rung_ >= 3) {
+        const size_t shed =
+            size_t(double(workloadThreads_) * policy_.shedFraction);
+        want = workloadThreads_ - shed;
+    }
+
+    // Balanced apportion over servable servers, clamped to capacity:
+    // hand threads out one at a time to the least-loaded server with
+    // spare cores, so a downed server's share spills evenly.
+    std::vector<size_t> counts(servers_.size(), 0);
+    std::vector<size_t> capacity(servers_.size(), 0);
+    for (size_t i = 0; i < servers_.size(); ++i) {
+        if (servable(servers_[i])) {
+            capacity[i] = servers_[i].server->socketCount() *
+                          servers_[i].server->chip(0).coreCount();
+        }
+    }
+    size_t placed = 0;
+    for (size_t t = 0; t < want; ++t) {
+        size_t best = servers_.size();
+        for (size_t i = 0; i < servers_.size(); ++i) {
+            if (counts[i] >= capacity[i])
+                continue;
+            if (best == servers_.size() || counts[i] < counts[best])
+                best = i;
+        }
+        if (best == servers_.size())
+            break; // fleet is out of cores; the rest is shed by force
+        ++counts[best];
+        ++placed;
+    }
+
+    int64_t moved = 0;
+    for (size_t i = 0; i < servers_.size(); ++i) {
+        if (counts[i] < servers_[i].assignedThreads)
+            moved += int64_t(servers_[i].assignedThreads - counts[i]);
+    }
+    if (moved > 0)
+        obsMigrations_->add(moved);
+
+    for (size_t i = 0; i < servers_.size(); ++i) {
+        ServerRecord &record = servers_[i];
+        if (!servable(record)) {
+            record.assignedThreads = 0;
+            continue;
+        }
+        system::Server &server = *record.server;
+        const size_t coresPerSocket = server.chip(0).coreCount();
+        std::vector<chip::ChipHealthView> health;
+        health.reserve(server.socketCount());
+        for (size_t s = 0; s < server.socketCount(); ++s)
+            health.push_back(server.chip(s).healthView());
+        const core::HealthAwarePlacer::Decision decision =
+            record.placer.place(health, counts[i], coresPerSocket, now_);
+        const core::PlacementPlan plan = core::makeHealthAwarePlacementPlan(
+            decision, coresPerSocket, capacity[i]);
+        server.clearLoads();
+        for (const auto &[socket, core] : plan.gatedCores)
+            server.chip(socket).setLoad(core, chip::CoreLoad::powerGated());
+        for (const system::ThreadPlacement &thread : plan.threads)
+            server.chip(thread.socket).setLoad(thread.core, workloadLoad_);
+        record.assignedThreads = counts[i];
+    }
+
+    placedThreads_ = placed;
+    obsShedThreads_->set(double(workloadThreads_ - placed));
+}
+
+} // namespace agsim::recovery

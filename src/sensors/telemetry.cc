@@ -115,4 +115,54 @@ Telemetry::clearWindows()
     windows_.clear();
 }
 
+Telemetry::Snapshot
+Telemetry::snapshot() const
+{
+    Snapshot s;
+    s.now = now_;
+    s.windowElapsed = windowElapsed_;
+    s.lastSample = lastSample_;
+    s.stickyMin = stickyMin_;
+    s.voltageSum = voltageSum_;
+    s.frequencySum = frequencySum_;
+    s.powerSum = powerSum_;
+    s.currentSum = currentSum_;
+    s.setpointSum = setpointSum_;
+    s.decompositionSum = decompositionSum_;
+    s.weightSum = weightSum_;
+    s.emergencySum = emergencySum_;
+    s.demotionSum = demotionSum_;
+    s.rearmSum = rearmSum_;
+    s.marginMin = marginMin_;
+    s.marginSeen = marginSeen_;
+    return s;
+}
+
+void
+Telemetry::restore(const Snapshot &snapshot)
+{
+    panicIf(snapshot.lastSample.size() != coreCount_ ||
+                snapshot.stickyMin.size() != coreCount_ ||
+                snapshot.voltageSum.size() != coreCount_ ||
+                snapshot.frequencySum.size() != coreCount_,
+            "telemetry snapshot core count mismatch");
+    now_ = snapshot.now;
+    windowElapsed_ = snapshot.windowElapsed;
+    lastSample_ = snapshot.lastSample;
+    stickyMin_ = snapshot.stickyMin;
+    voltageSum_ = snapshot.voltageSum;
+    frequencySum_ = snapshot.frequencySum;
+    powerSum_ = snapshot.powerSum;
+    currentSum_ = snapshot.currentSum;
+    setpointSum_ = snapshot.setpointSum;
+    decompositionSum_ = snapshot.decompositionSum;
+    weightSum_ = snapshot.weightSum;
+    emergencySum_ = snapshot.emergencySum;
+    demotionSum_ = snapshot.demotionSum;
+    rearmSum_ = snapshot.rearmSum;
+    marginMin_ = snapshot.marginMin;
+    marginSeen_ = snapshot.marginSeen;
+    windows_.clear();
+}
+
 } // namespace agsim::sensors

@@ -129,6 +129,42 @@ class Telemetry
 
     const TelemetryParams &params() const { return params_; }
 
+    /**
+     * In-progress aggregation state for chip checkpoints: the clock and
+     * every partial-window accumulator, but *not* the completed-window
+     * store — a restarted server's RAM-resident history is gone; only
+     * the partial window matters for deterministic resume.
+     */
+    struct Snapshot
+    {
+        Seconds now = Seconds{0.0};
+        Seconds windowElapsed = Seconds{0.0};
+        std::vector<int> lastSample;
+        std::vector<int> stickyMin;
+        std::vector<Mul<Volts, Seconds>> voltageSum;
+        std::vector<double> frequencySum;
+        Joules powerSum = Joules{0.0};
+        Mul<Amps, Seconds> currentSum{};
+        Mul<Volts, Seconds> setpointSum{};
+        pdn::DropDecomposition decompositionSum;
+        Seconds weightSum = Seconds{0.0};
+        long emergencySum = 0;
+        long demotionSum = 0;
+        long rearmSum = 0;
+        Volts marginMin = Volts{0.0};
+        bool marginSeen = false;
+    };
+
+    /** Snapshot the in-progress aggregation state. */
+    Snapshot snapshot() const;
+
+    /**
+     * Restore a snapshotted aggregation state bit-exactly and drop all
+     * completed windows (see Snapshot): subsequent windows are exactly
+     * those the checkpointed chip would have produced.
+     */
+    void restore(const Snapshot &snapshot);
+
   private:
     void closeWindow();
 

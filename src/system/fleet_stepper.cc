@@ -24,7 +24,7 @@ FleetStepper::FleetStepper(const FleetStepperConfig &config)
     obsSweepTimer_ = reg.timer("fleet.shard.sweep");
 }
 
-void
+size_t
 FleetStepper::addChip(chip::Chip *c)
 {
     fatalIf(c == nullptr, "cannot add a null chip to the fleet");
@@ -34,13 +34,43 @@ FleetStepper::addChip(chip::Chip *c)
     slot.margin.assign(config_.detector.window, 0.0);
     slot.freq.assign(config_.detector.window, 0.0);
     slots_.push_back(std::move(slot));
+    return slots_.size() - 1;
+}
+
+std::vector<size_t>
+FleetStepper::addServer(Server &server)
+{
+    std::vector<size_t> indices;
+    indices.reserve(server.socketCount());
+    for (size_t i = 0; i < server.socketCount(); ++i)
+        indices.push_back(addChip(&server.chip(i)));
+    return indices;
 }
 
 void
-FleetStepper::addServer(Server &server)
+FleetStepper::setChipActive(size_t index, bool active)
 {
-    for (size_t i = 0; i < server.socketCount(); ++i)
-        addChip(&server.chip(i));
+    fatalIf(index >= slots_.size(), "fleet chip index out of range");
+    Slot &slot = slots_[index];
+    if (slot.active == active)
+        return;
+    slot.active = active;
+    if (active) {
+        // The chip may have been restored or cold-restarted while
+        // frozen; any quiescence evidence predates that. Resync the
+        // transient references and make the detector start over.
+        slot.epoch = slot.chip->stateEpoch();
+        slot.setpoint = slot.chip->setpoint().value();
+        slot.forwardedSinceExact = 0;
+        disarm(slot);
+    }
+}
+
+bool
+FleetStepper::chipActive(size_t index) const
+{
+    fatalIf(index >= slots_.size(), "fleet chip index out of range");
+    return slots_[index].active;
 }
 
 void
@@ -202,6 +232,8 @@ void
 FleetStepper::stepChipBlock(Slot &slot, int64_t ticks, Seconds dt,
                             int64_t &exact, int64_t &forwarded)
 {
+    if (!slot.active)
+        return;
     chip::Chip &c = *slot.chip;
     int64_t left = ticks;
     if (!config_.sampling) {
@@ -331,14 +363,23 @@ FleetStepper::step(Seconds dt)
 {
     freeze();
     obs::ScopedTimer timer(obsSweepTimer_);
-    for (Slot &slot : slots_)
-        slot.chip->stepSensePhase(dt);
-    for (Slot &slot : slots_)
-        slot.chip->stepControlPhase(dt);
-    for (Slot &slot : slots_)
-        slot.chip->stepCommitPhase(dt);
-    exactSteps_ += int64_t(slots_.size());
-    obsChipsStepped_->add(int64_t(slots_.size()));
+    int64_t stepped = 0;
+    for (Slot &slot : slots_) {
+        if (slot.active)
+            slot.chip->stepSensePhase(dt);
+    }
+    for (Slot &slot : slots_) {
+        if (slot.active)
+            slot.chip->stepControlPhase(dt);
+    }
+    for (Slot &slot : slots_) {
+        if (slot.active) {
+            slot.chip->stepCommitPhase(dt);
+            ++stepped;
+        }
+    }
+    exactSteps_ += stepped;
+    obsChipsStepped_->add(stepped);
 }
 
 } // namespace agsim::system

@@ -99,13 +99,31 @@ class FleetStepper
     explicit FleetStepper(const FleetStepperConfig &config =
                               FleetStepperConfig());
 
-    /** Register one chip. Must happen before the first run()/step(). */
-    void addChip(chip::Chip *c);
+    /**
+     * Register one chip. Must happen before the first run()/step().
+     * Returns the chip's fleet slot index (for setChipActive).
+     */
+    size_t addChip(chip::Chip *c);
 
-    /** Register every socket of a server. */
-    void addServer(Server &server);
+    /**
+     * Register every socket of a server. Returns the slot index of
+     * each socket, in socket order.
+     */
+    std::vector<size_t> addServer(Server &server);
 
     size_t chipCount() const { return slots_.size(); }
+
+    /**
+     * Mark a chip active (stepped) or inactive (skipped entirely —
+     * a crashed/hung server's sockets make no progress and their sim
+     * clocks freeze). Reactivating disarms the slot's phase detector
+     * and resyncs its epoch/setpoint references, so sampled mode never
+     * fast-forwards across a failure edge on stale quiescence evidence.
+     */
+    void setChipActive(size_t index, bool active);
+
+    /** Whether the chip at `index` is currently being stepped. */
+    bool chipActive(size_t index) const;
 
     /**
      * Advance every chip by `ticks` steps of dt — the fleet-bench entry
@@ -143,6 +161,8 @@ class FleetStepper
         uint64_t epoch = 0;
         double setpoint = 0.0;
         bool armed = false;
+        /** Inactive chips (failed servers) are skipped by every sweep. */
+        bool active = true;
         /**
          * Ticks fast-forwarded since the last exact step. run() hands
          * each chip at most tickBlock ticks at a time, so one logical

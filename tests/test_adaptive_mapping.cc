@@ -197,8 +197,8 @@ TEST(AdaptiveMappingPool, MultiAppSharesFinitePool)
     // is free. The first (higher priority) app takes it; the second
     // falls back to whatever remains visible.
     std::vector<CriticalAppState> apps = {
-        {"search-a", 0.40, 0.5, 4500.0, 2},
-        {"search-b", 0.40, 0.5, 4500.0, 2},
+        {"search-a", 0.40, 0.5, 4500.0, 2, {}},
+        {"search-b", 0.40, 0.5, 4500.0, 2, {}},
     };
     auto pool = pooled(1, 0, 1);
     const auto decisions = scheduler.decideAll(apps, pool);
@@ -220,8 +220,8 @@ TEST(AdaptiveMappingPool, ReleasedInstanceServesNextApp)
     // App a swaps heavy -> light, releasing a heavy instance; app b
     // (healthy QoS) keeps its mapping untouched.
     std::vector<CriticalAppState> apps = {
-        {"violating", 0.40, 0.5, 4500.0, 2},
-        {"healthy", 0.05, 0.5, 4500.0, 0},
+        {"violating", 0.40, 0.5, 4500.0, 2, {}},
+        {"healthy", 0.05, 0.5, 4500.0, 0, {}},
     };
     auto pool = pooled(1, 1, 0);
     const auto decisions = scheduler.decideAll(apps, pool);
@@ -234,7 +234,7 @@ TEST(AdaptiveMappingPool, Validation)
 {
     const auto scheduler = trainedScheduler();
     std::vector<CorunnerPoolEntry> empty;
-    std::vector<CriticalAppState> apps = {{"a", 0.4, 0.5, 4500.0, 0}};
+    std::vector<CriticalAppState> apps = {{"a", 0.4, 0.5, 4500.0, 0, {}}};
     EXPECT_THROW(scheduler.decideAll(apps, empty), ConfigError);
 
     auto pool = pooled(1, 1, 1);

@@ -85,6 +85,71 @@ TEST(FaultPlan, ValidationRejectsNonsense)
         plan.cpmStuckAt(Seconds{0.0}, Seconds{1.0}, -2); // negative detector position
         EXPECT_THROW(plan.validate(8), ConfigError);
     }
+    {
+        FaultPlan plan;
+        plan.firmwareStall(Seconds{0.1}, Seconds{-0.5}); // negative duration
+        EXPECT_THROW(plan.validate(8), ConfigError);
+    }
+    {
+        FaultPlan plan; // overlapping same-kind/same-target windows
+        plan.droopStorm(Seconds{0.0}, Seconds{1.0}, 2.0)
+            .droopStorm(Seconds{0.5}, Seconds{1.0}, 3.0);
+        EXPECT_THROW(plan.validate(8), ConfigError);
+    }
+    {
+        FaultPlan plan; // an open-ended spec shadows any later same-target spec
+        plan.vrmDacStuck(Seconds{0.0})
+            .vrmDacStuck(Seconds{5.0}, Seconds{1.0});
+        EXPECT_THROW(plan.validate(8), ConfigError);
+    }
+    {
+        FaultPlan plan; // non-monotonic start times for one target
+        plan.cpmDropout(Seconds{1.0}, Seconds{0.1}, 2)
+            .cpmDropout(Seconds{0.5}, Seconds{0.1}, 2);
+        EXPECT_THROW(plan.validate(8), ConfigError);
+    }
+    {
+        FaultPlan plan;
+        plan.slowRestart(Seconds{0.0}, Seconds{1.0}, 0.5); // factor < 1
+        EXPECT_THROW(plan.validate(8, FaultScope::Server), ConfigError);
+    }
+}
+
+TEST(FaultPlan, ServerScopeKindsRejectedAtChipScope)
+{
+    FaultPlan plan;
+    plan.serverCrash(Seconds{0.1}, Seconds{0.2});
+    EXPECT_THROW(plan.validate(8), ConfigError);
+    EXPECT_THROW(plan.validate(8, FaultScope::Chip), ConfigError);
+    EXPECT_NO_THROW(plan.validate(8, FaultScope::Server));
+    EXPECT_THROW(FaultInjector(plan, 8), ConfigError);
+    EXPECT_NO_THROW(FaultInjector(plan, 8, FaultScope::Server));
+}
+
+TEST(FaultInjector, ServerScopeEffectsAndRestoreClock)
+{
+    FaultPlan plan;
+    plan.serverCrash(Seconds{0.1}, Seconds{0.2})
+        .serverHang(Seconds{0.5}, Seconds{0.1})
+        .vrmShutdown(Seconds{0.8}, Seconds{0.1})
+        .slowRestart(Seconds{0.0}, Seconds{1.0}, 3.0);
+    FaultInjector injector(plan, 8, FaultScope::Server);
+    EXPECT_EQ(injector.scope(), FaultScope::Server);
+
+    injector.advance(Seconds{0.15});
+    EXPECT_TRUE(injector.active().serverCrash);
+    EXPECT_FALSE(injector.active().serverHang);
+    EXPECT_NEAR(injector.active().restartSlowdown, 3.0, 1e-12);
+
+    injector.advance(Seconds{0.4}); // t = 0.55: hang window
+    EXPECT_FALSE(injector.active().serverCrash);
+    EXPECT_TRUE(injector.active().serverHang);
+
+    injector.restoreClock(Seconds{0.85}); // jump into the VRM outage
+    EXPECT_EQ(injector.now(), Seconds{0.85});
+    EXPECT_TRUE(injector.active().vrmShutdown);
+    EXPECT_FALSE(injector.active().serverHang);
+    EXPECT_THROW(injector.restoreClock(Seconds{-1.0}), ConfigError);
 }
 
 TEST(FaultInjector, SchedulesAndExpiresFaults)
@@ -110,12 +175,14 @@ TEST(FaultInjector, SchedulesAndExpiresFaults)
 
 TEST(FaultInjector, ComposesOverlappingFaults)
 {
+    // Same kind on *different* targets (chip-wide + one core) and
+    // different kinds may overlap; validate() only rejects same-kind/
+    // same-target overlap.
     FaultPlan plan;
     plan.cpmOptimisticBias(Seconds{0.0}, Seconds{0.0}, 10.0_mV)       // all cores
         .cpmOptimisticBias(Seconds{0.0}, Seconds{0.0}, 5.0_mV, 2)     // extra on core 2
-        .droopStorm(Seconds{0.0}, Seconds{0.0}, 2.0, 1.5)
-        .droopStorm(Seconds{0.0}, Seconds{0.0}, 3.0)
-        .cpmStuckAt(Seconds{0.0}, Seconds{0.0}, 5, 1)
+        .droopStorm(Seconds{0.0}, Seconds{0.0}, 6.0, 1.5)
+        .cpmStuckAt(Seconds{0.0}, Seconds{0.0}, 5)                    // chip-wide
         .cpmStuckAt(Seconds{0.0}, Seconds{0.0}, 9, 1);                // later spec wins
     FaultInjector injector(plan, 8);
     injector.advance(Seconds{0.1});
@@ -125,11 +192,26 @@ TEST(FaultInjector, ComposesOverlappingFaults)
     // Biases add.
     EXPECT_NEAR(active.cpm[0].biasVolts, 10.0_mV, 1e-12);
     EXPECT_NEAR(active.cpm[2].biasVolts, 15.0_mV, 1e-12);
-    // Storm multipliers multiply.
     EXPECT_NEAR(active.droopRateScale, 6.0, 1e-12);
     EXPECT_NEAR(active.droopDepthScale, 1.5, 1e-12);
-    // Conflicting stuck-at: later spec in plan order wins.
+    // Stuck-at: the later per-core spec overrides the chip-wide one
+    // on its core; other cores keep the chip-wide position.
     EXPECT_EQ(active.cpm[1].stuckPosition, 9);
+    EXPECT_EQ(active.cpm[0].stuckPosition, 5);
+}
+
+TEST(FaultInjector, SequentialSameTargetWindowsAreLegal)
+{
+    FaultPlan plan;
+    plan.firmwareStall(Seconds{0.1}, Seconds{0.1})
+        .firmwareStall(Seconds{0.2}, Seconds{0.1}); // abuts, no overlap
+    FaultInjector injector(plan, 8);
+    injector.advance(Seconds{0.15});
+    EXPECT_TRUE(injector.active().firmwareStall);
+    injector.advance(Seconds{0.1}); // t = 0.25, inside the second window
+    EXPECT_TRUE(injector.active().firmwareStall);
+    injector.advance(Seconds{0.1}); // t = 0.35, past both
+    EXPECT_FALSE(injector.active().any);
 }
 
 TEST(FaultInjector, RejectsBadPlansAndSteps)

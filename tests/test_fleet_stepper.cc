@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "chip/chip.h"
+#include "chip/chip_checkpoint.h"
+#include "common/error.h"
 #include "fault/fault_injector.h"
 #include "fault/fault_plan.h"
 #include "pdn/vrm.h"
@@ -376,6 +378,163 @@ TEST(FleetStepperSampled, DisarmsOnExternalControlChanges)
     stepper.run(int64_t(config.detector.window), kDt);
     const int64_t exactDelta = stepper.exactSteps() - exactBefore;
     EXPECT_GE(exactDelta, int64_t(config.detector.window));
+}
+
+TEST(FleetStepperExact, InactiveChipsAreSkippedAndResyncOnReactivation)
+{
+    Fleet serial;
+    Fleet fleet;
+
+    FleetStepperConfig config;
+    config.sampling = false;
+    FleetStepper stepper(config);
+    std::vector<size_t> indices;
+    for (auto &c : fleet.chips)
+        indices.push_back(stepper.addChip(c.get()));
+    EXPECT_EQ(indices.front(), 0u);
+    EXPECT_EQ(indices.back(), kChips - 1);
+
+    serial.stepSerial(100);
+    stepper.run(100, kDt);
+
+    // Freeze chip 0 (a crashed server's socket): it makes no progress
+    // and its sim clock stops; everyone else keeps stepping.
+    EXPECT_TRUE(stepper.chipActive(0));
+    stepper.setChipActive(0, false);
+    EXPECT_FALSE(stepper.chipActive(0));
+    const Seconds frozenAt = fleet.chips[0]->simTime();
+    for (int64_t t = 0; t < 80; ++t) {
+        for (size_t i = 1; i < kChips; ++i)
+            serial.chips[i]->step(kDt);
+    }
+    stepper.run(80, kDt);
+    EXPECT_EQ(fleet.chips[0]->simTime().value(), frozenAt.value());
+
+    // Reactivate and continue: bit-identical to the serial reference
+    // that skipped the same ticks.
+    stepper.setChipActive(0, true);
+    for (int64_t t = 0; t < 50; ++t) {
+        for (auto &c : serial.chips)
+            c->step(kDt);
+    }
+    stepper.run(50, kDt);
+    expectBitIdentical(serial, fleet);
+
+    EXPECT_THROW(stepper.setChipActive(kChips, true), ConfigError);
+    EXPECT_THROW((void)stepper.chipActive(kChips), ConfigError);
+}
+
+TEST(FleetStepperExact, TickSynchronousStepSkipsInactiveChips)
+{
+    Fleet fleet(2);
+    FleetStepper stepper;
+    stepper.addChip(fleet.chips[0].get());
+    stepper.addChip(fleet.chips[1].get());
+    stepper.setChipActive(1, false);
+
+    const int64_t exactBefore = stepper.exactSteps();
+    for (int64_t t = 0; t < 20; ++t)
+        stepper.step(kDt);
+    EXPECT_EQ(stepper.exactSteps() - exactBefore, 20);
+    EXPECT_EQ(fleet.chips[1]->simTime().value(), 0.0);
+    EXPECT_GT(fleet.chips[0]->simTime().value(), 0.0);
+}
+
+/**
+ * Satellite: a fastForward span that runs into a safety demotion must
+ * stop at the demotion edge (consumed < requested) and count the
+ * demotion exactly once — the analytic path may never blur a safety
+ * action across a span.
+ */
+TEST(ChipFastForward, SpanBreaksAtSafetyDemotionEdge)
+{
+    pdn::Vrm vrm(1);
+    chip::ChipConfig config;
+    config.railIndex = 0;
+    config.seed = 0xFA57F0ull;
+    config.mode = chip::GuardbandMode::AdaptiveOverclock;
+    // Span stepping emits one safety observation per firmware chunk
+    // (32 ms), so the budget must be reachable at that cadence inside
+    // the 0.25 s window.
+    config.safety.emergencyBudget = 4;
+    chip::Chip chip(config, &vrm);
+    for (size_t i = 0; i < chip.coreCount(); ++i)
+        chip.setLoad(i, chip::CoreLoad::running(1.0, 13.0_mV, 24.0_mV));
+    chip.settle(Seconds{1.5}, kDt);
+
+    // Storm + fleet-wide CPM dropout: blind cores get assessed against
+    // the storm-scaled droop envelope, which reliably produces span
+    // emergencies (same recipe as test_run_batch.cc).
+    fault::FaultPlan plan;
+    plan.droopStorm(Seconds{0.05}, Seconds{0.0}, 30.0, 1.8)
+        .cpmDropout(Seconds{0.05}, Seconds{0.0});
+    fault::FaultInjector injector(plan, chip.coreCount());
+    chip.attachFaultInjector(&injector);
+
+    // Step exactly to the plan edge (fastForward callers must never
+    // cross one) so every storm-exposed observation lands inside a
+    // fast-forwarded span, then fast-forward until the watchdog
+    // demotes the chip.
+    for (int64_t t = 0; t < 50; ++t)
+        chip.step(kDt);
+    ASSERT_FALSE(chip.safetyDemoted());
+
+    // Request spans far longer than the time-to-demotion so the break
+    // is unambiguous: the controller's walk-down breaks spans at every
+    // setpoint move, and the demoting span must break at the demotion
+    // itself rather than coast to the requested length.
+    bool sawShortSpan = false;
+    for (int guard = 0; guard < 100 && !chip.safetyDemoted(); ++guard) {
+        const int64_t consumed = chip.fastForward(5000, kDt);
+        ASSERT_GT(consumed, 0);
+        ASSERT_LE(consumed, 5000);
+        if (chip.safetyDemoted())
+            sawShortSpan = consumed < 5000;
+    }
+    ASSERT_TRUE(chip.safetyDemoted());
+    // The demoting span broke early instead of coasting past the edge.
+    EXPECT_TRUE(sawShortSpan);
+    EXPECT_EQ(chip.mode(), chip::GuardbandMode::StaticGuardband);
+    EXPECT_EQ(chip.totalDemotions(), 1);
+}
+
+/**
+ * Satellite: restoring a checkpoint mid-run bumps the chip's state
+ * epoch, which must force an armed phase detector back to exact
+ * stepping — the ticks right after a recovery edge are bit-identical
+ * to a scalar chip restored from the same checkpoint.
+ */
+TEST(FleetStepperSampled, RestoreEpochEdgeForcesExactStepping)
+{
+    Fleet scalar(1);
+    Fleet sampled(1);
+    scalar.settle();
+    sampled.settle();
+
+    FleetStepperConfig config;
+    config.sampling = true;
+    FleetStepper stepper(config);
+    stepper.addChip(sampled.chips[0].get());
+    stepper.run(2000, kDt);
+    ASSERT_GT(stepper.fastForwardedTicks(), 0);
+
+    // A checkpoint from the (identically configured) scalar chip plays
+    // the role of the recovery subsystem's restore-from-checkpoint.
+    scalar.stepSerial(500);
+    const chip::ChipCheckpoint checkpoint =
+        scalar.chips[0]->checkpoint();
+    scalar.chips[0]->restoreCheckpoint(checkpoint);
+    sampled.chips[0]->restoreCheckpoint(checkpoint);
+
+    // The next 30 ticks sit inside the detector window (32): if the
+    // epoch bump disarmed the detector as required, every one of them
+    // runs on the exact path and the chips stay bit-identical.
+    const int64_t forwardedBefore = stepper.fastForwardedTicks();
+    for (int64_t t = 0; t < 30; ++t)
+        scalar.chips[0]->step(kDt);
+    stepper.run(30, kDt);
+    EXPECT_EQ(stepper.fastForwardedTicks(), forwardedBefore);
+    expectBitIdentical(scalar, sampled);
 }
 
 } // namespace

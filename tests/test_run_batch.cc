@@ -314,6 +314,41 @@ TEST(RunBatch, FaultPlanSocketOutOfRangeIsRejected)
     EXPECT_THROW(core::runScheduled(spec), ConfigError);
 }
 
+TEST(RunBatch, ServerScopePlanSurfacesAsPerTaskError)
+{
+    // Server-level faults (crash/hang/VRM shutdown) belong to the
+    // recovery subsystem, not to a chip-scope batch plan: the injector
+    // rejects them at attach time, and under ContinueOnError that
+    // rejection must cost only the offending task.
+    auto good = makeSpec(
+        "raytrace", 1, chip::GuardbandMode::StaticGuardband, Seconds{0.05});
+    auto bad = makeSpec(
+        "raytrace", 1, chip::GuardbandMode::StaticGuardband, Seconds{0.05});
+    bad.faultPlans.emplace_back(
+        0, fault::FaultPlan().serverCrash(Seconds{0.01}, Seconds{0.02}));
+
+    EXPECT_THROW(core::runScheduled(bad), ConfigError);
+
+    BatchRunner runner(2, BatchErrorPolicy::ContinueOnError);
+    auto goodTask = core::makeBatchTask(good);
+    goodTask.label = "good";
+    auto badTask = core::makeBatchTask(bad);
+    badTask.label = "serverScope";
+    runner.submit(std::move(goodTask));
+    runner.submit(std::move(badTask));
+
+    const BatchOutcome outcome = runner.waitOutcome();
+    EXPECT_FALSE(outcome.ok());
+    ASSERT_EQ(outcome.results.size(), 2u);
+    EXPECT_EQ(outcome.results[0].label, "good");
+    EXPECT_GT(outcome.results[0].metrics.totalChipPower, Watts{0.0});
+    ASSERT_EQ(outcome.errors.size(), 1u);
+    EXPECT_EQ(outcome.errors[0].taskIndex, 1u);
+    EXPECT_EQ(outcome.errors[0].label, "serverScope");
+    EXPECT_NE(outcome.errors[0].message.find("server-scope"),
+              std::string::npos);
+}
+
 TEST(RunBatch, AllClearOutcomeIsOk)
 {
     auto spec = makeSpec(

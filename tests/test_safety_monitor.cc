@@ -236,6 +236,85 @@ TEST(SafetyMonitorUnit, ParamValidation)
     params = SafetyMonitorParams();
     params.marginTolerance = -Volts{1e-3};
     EXPECT_THROW(params.validate(), ConfigError);
+    params = SafetyMonitorParams();
+    params.demotedRestartFraction = -0.1;
+    EXPECT_THROW(params.validate(), ConfigError);
+    params = SafetyMonitorParams();
+    params.demotedRestartFraction = 1.5;
+    EXPECT_THROW(params.validate(), ConfigError);
+    params = SafetyMonitorParams();
+    params.rearmBackoffCap = 0.5;
+    EXPECT_THROW(params.validate(), ConfigError);
+}
+
+TEST(SafetyMonitorUnit, PartialRestartFractionKeepsCleanCredit)
+{
+    // demotedRestartFraction = 0.5: a slip while demoted forfeits only
+    // half of the accumulated clean time instead of all of it.
+    SafetyMonitorParams params = fastParams();
+    params.demotedRestartFraction = 0.5;
+    SafetyMonitor monitor(params);
+    feed(monitor, 4, true);
+    ASSERT_EQ(monitor.state(), SafetyState::Demoted);
+
+    // 40 ms clean, then one slip: 41 ms of credit halves to 20.5 ms,
+    // leaving 29.5 ms owed against the 50 ms interval...
+    feed(monitor, 40, false);
+    EXPECT_EQ(monitor.observe(true, true, kDt), Action::None);
+    EXPECT_NEAR(monitor.rearmBudget().value(), 0.0295, 1e-9);
+
+    // ...so 28 more clean steps are not enough, but 2 beyond that are.
+    EXPECT_EQ(feed(monitor, 28, false), Action::None);
+    EXPECT_EQ(monitor.state(), SafetyState::Demoted);
+    feed(monitor, 2, false);
+    EXPECT_EQ(monitor.state(), SafetyState::Monitoring);
+    EXPECT_EQ(monitor.rearmCount(), 1);
+}
+
+TEST(SafetyMonitorUnit, ZeroRestartFractionForgivesSlipsEntirely)
+{
+    SafetyMonitorParams params = fastParams();
+    params.demotedRestartFraction = 0.0;
+    SafetyMonitor monitor(params);
+    feed(monitor, 4, true);
+    ASSERT_EQ(monitor.state(), SafetyState::Demoted);
+
+    // The slip costs nothing: the clean clock keeps running through it,
+    // so 50 ms of wall time demoted re-arms regardless.
+    feed(monitor, 40, false);
+    EXPECT_EQ(monitor.observe(true, true, kDt), Action::None);
+    feed(monitor, 10, false);
+    EXPECT_EQ(monitor.state(), SafetyState::Monitoring);
+}
+
+TEST(SafetyMonitorUnit, RearmBackoffCapBoundsCleanRequirement)
+{
+    SafetyMonitorParams params = fastParams();
+    params.maxRearms = -1; // never latch: exercise repeated cycles
+    params.rearmBackoffCap = 2.0;
+    SafetyMonitor monitor(params);
+
+    // Demotion n requires rearmInterval * min(2^(n-1), cap).
+    const double expected[] = {0.05, 0.1, 0.1, 0.1};
+    for (int n = 0; n < 4; ++n) {
+        feed(monitor, 4, true);
+        ASSERT_EQ(monitor.state(), SafetyState::Demoted) << n;
+        EXPECT_NEAR(monitor.requiredCleanInterval().value(), expected[n],
+                    1e-12)
+            << "demotion " << n + 1;
+        feed(monitor, 100000, false);
+        ASSERT_EQ(monitor.state(), SafetyState::Monitoring) << n;
+    }
+
+    // Control: uncapped, the third demotion owes 4x the base interval.
+    params.rearmBackoffCap = 0.0;
+    SafetyMonitor uncapped(params);
+    for (int n = 0; n < 2; ++n) {
+        feed(uncapped, 4, true);
+        feed(uncapped, 100000, false);
+    }
+    feed(uncapped, 4, true);
+    EXPECT_NEAR(uncapped.requiredCleanInterval().value(), 0.2, 1e-12);
 }
 
 /**

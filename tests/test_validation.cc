@@ -56,6 +56,19 @@ TEST(ChipConfigValidation, RejectsNonsense)
     config = ChipConfig();
     config.rippleTrackingLoss = 1.5;
     EXPECT_THROW(config.validate(), ConfigError);
+
+    // Safety-monitor knobs surface through the chip config too.
+    config = ChipConfig();
+    config.safety.demotedRestartFraction = 1.5;
+    EXPECT_THROW(config.validate(), ConfigError);
+
+    config = ChipConfig();
+    config.safety.demotedRestartFraction = -0.25;
+    EXPECT_THROW(config.validate(), ConfigError);
+
+    config = ChipConfig();
+    config.safety.rearmBackoffCap = 0.9;
+    EXPECT_THROW(config.validate(), ConfigError);
 }
 
 TEST(ChipConfigValidation, ChipConstructorValidates)
