@@ -12,6 +12,7 @@
 #define AGSIM_BENCH_BENCH_UTIL_H
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,10 +20,51 @@
 #include "core/ags.h"
 #include "obs/json_writer.h"
 #include "obs/observability.h"
+#include "obs/telemetry/telemetry_hub.h"
 #include "stats/table.h"
 #include "workload/library.h"
 
 namespace agsim::bench {
+
+/**
+ * RAII backstop for the trace / metric exports: a bench that exits
+ * early — a failed gate, an uncaught exception — used to lose every
+ * buffered trace event because only finishBench() wrote the files.
+ * parseOptions() arms one of these when an export is requested;
+ * finishBench() disarms it and exports normally. If the bench never
+ * reaches finishBench(), the guard's destructor writes the files
+ * anyway, so the evidence of *why* the run died survives.
+ */
+class ObsFlushGuard
+{
+  public:
+    ObsFlushGuard(std::string tracePath, std::string metricsPath)
+        : tracePath_(std::move(tracePath)),
+          metricsPath_(std::move(metricsPath))
+    {
+    }
+
+    ~ObsFlushGuard()
+    {
+        if (!armed_)
+            return;
+        if (!tracePath_.empty())
+            obs::writeChromeTrace(obs::trace(), tracePath_);
+        if (!metricsPath_.empty())
+            obs::writeTextFile(metricsPath_,
+                               obs::registry().snapshotJson() + "\n");
+    }
+
+    void disarm() { armed_ = false; }
+
+    ObsFlushGuard(const ObsFlushGuard &) = delete;
+    ObsFlushGuard &operator=(const ObsFlushGuard &) = delete;
+
+  private:
+    std::string tracePath_;
+    std::string metricsPath_;
+    bool armed_ = true;
+};
 
 /** Parsed common bench options. */
 struct BenchOptions
@@ -41,6 +83,16 @@ struct BenchOptions
     std::string tracePath;
     /** Metric snapshot path (metrics=... / --metrics=...); "" = off. */
     std::string metricsPath;
+    /** Enable the streaming telemetry plane (telemetry=1). */
+    bool telemetry = false;
+    /** Streaming JSONL path (stream=...); "" = no stream file. */
+    std::string streamPath;
+    /** Flight-recorder dump directory (dumps=...); "" = cwd. */
+    std::string dumpDir;
+    /** Telemetry sample interval in sim seconds (tsample=...). */
+    double telemetrySample = 0.01;
+    /** Error-path export backstop (shared: copies keep it armed). */
+    std::shared_ptr<ObsFlushGuard> flushGuard;
     ParamSet params;
 };
 
@@ -68,6 +120,12 @@ parseOptions(int argc, char **argv)
     options.jobs = size_t(options.params.getInt("jobs", int(options.jobs)));
     options.tracePath = dashedOption(options.params, "trace");
     options.metricsPath = dashedOption(options.params, "metrics");
+    options.telemetry = options.params.getBool("telemetry",
+                                               options.telemetry);
+    options.streamPath = dashedOption(options.params, "stream");
+    options.dumpDir = dashedOption(options.params, "dumps");
+    options.telemetrySample = options.params.getDouble(
+        "tsample", options.telemetrySample);
     // Requesting an export arms the corresponding subsystem; with
     // neither flag the gates stay off and the run pays no overhead
     // beyond rare-event counters (measured by bench/perf_steps).
@@ -75,7 +133,28 @@ parseOptions(int argc, char **argv)
         obs::setTracingEnabled(true);
     if (!options.metricsPath.empty())
         obs::setProfilingEnabled(true);
+    if (!options.tracePath.empty() || !options.metricsPath.empty())
+        options.flushGuard = std::make_shared<ObsFlushGuard>(
+            options.tracePath, options.metricsPath);
     return options;
+}
+
+/**
+ * Build the hub config the bench's telemetry flags describe: enabled
+ * plane, flight recorder on (dumps land in `dumps=` or the cwd), and
+ * a stream file when `stream=` is given.
+ */
+inline obs::telemetry::TelemetryConfig
+telemetryConfig(const BenchOptions &options)
+{
+    obs::telemetry::TelemetryConfig config;
+    config.enabled = options.telemetry;
+    config.sampleInterval = Seconds{options.telemetrySample};
+    config.streamPath = options.streamPath;
+    config.enableRecorder = options.telemetry;
+    if (!options.dumpDir.empty())
+        config.recorder.dir = options.dumpDir;
+    return config;
 }
 
 /** The Sec. 3 methodology run spec: socket-0 consolidation, no gating. */
@@ -148,6 +227,8 @@ benchSummary(const std::string &name, const BenchOptions &options)
 inline void
 finishBench(const BenchOptions &options, obs::JsonLineWriter &summary)
 {
+    if (options.flushGuard)
+        options.flushGuard->disarm();
     if (!options.tracePath.empty()) {
         summary.set("trace_events", obs::trace().recorded());
         summary.set("trace_dropped", obs::trace().dropped());

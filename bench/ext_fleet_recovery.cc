@@ -68,6 +68,9 @@ struct ArmResult
     int maxRung = 0;
     double mttr = 0.0;
     size_t finalOnline = 0;
+    int64_t sloAlerts = 0;
+    int64_t flightDumps = 0;
+    int64_t streamLines = 0;
 };
 
 struct StudyConfig
@@ -77,6 +80,52 @@ struct StudyConfig
     Seconds duration = Seconds{2.0};
     double gate = 0.7;
 };
+
+/**
+ * The bench's declarative SLOs (telemetry=1): availability (any server
+ * down burns budget), margin floor, and recovery MTTR. The scripted
+ * storm is engineered to burn the availability budget at every outage,
+ * so the alert stream lines up with the chaos schedule.
+ */
+void
+addSloRules(obs::telemetry::TelemetryHub &hub, size_t servers)
+{
+    obs::telemetry::SloRule online;
+    online.name = "fleet.availability";
+    online.series = "recovery.online";
+    online.stat = obs::telemetry::BucketStat::Min;
+    online.threshold = double(servers) - 0.5;
+    online.violationIsAbove = false; // bad when any server is down
+    online.budget = 0.05;
+    online.shortWindow = Seconds{0.05};
+    online.longWindow = Seconds{0.25};
+    online.burnRate = 2.0;
+    hub.slo().addRule(online);
+
+    obs::telemetry::SloRule margin;
+    margin.name = "fleet.margin_floor";
+    margin.series = "fleet.margin";
+    margin.stat = obs::telemetry::BucketStat::Min;
+    margin.threshold = 0.0; // a negative-margin bucket is an emergency
+    margin.violationIsAbove = false;
+    margin.budget = 0.01;
+    margin.shortWindow = Seconds{0.05};
+    margin.longWindow = Seconds{0.25};
+    margin.burnRate = 2.0;
+    hub.slo().addRule(margin);
+
+    obs::telemetry::SloRule mttr;
+    mttr.name = "recovery.mttr";
+    mttr.series = "recovery.mttr_s";
+    mttr.stat = obs::telemetry::BucketStat::Last;
+    mttr.threshold = 0.25;
+    mttr.violationIsAbove = true;
+    mttr.budget = 0.1;
+    mttr.shortWindow = Seconds{0.1};
+    mttr.longWindow = Seconds{0.5};
+    mttr.burnRate = 1.5;
+    hub.slo().addRule(mttr);
+}
 
 system::ServerConfig
 serverConfig(size_t index, uint64_t seed)
@@ -133,6 +182,18 @@ runArm(const ArmSpec &arm, const StudyConfig &study,
     policy.enabled = arm.managed;
     recovery::RecoveryManager manager(&stepper, policy);
 
+    // The live telemetry plane rides the managed arm only: one stream
+    // file and one dump directory per run, tied to the arm whose
+    // alerts the acceptance test checks against the chaos schedule.
+    std::unique_ptr<obs::telemetry::TelemetryHub> hub;
+    if (options.telemetry && arm.managed) {
+        hub = std::make_unique<obs::telemetry::TelemetryHub>(
+            bench::telemetryConfig(options));
+        addSloRules(*hub, study.servers);
+        stepper.setTelemetry(hub.get());
+        manager.setTelemetry(hub.get());
+    }
+
     const std::vector<fault::FaultPlan> plans =
         arm.faulted ? chaosSchedule(study.servers)
                     : std::vector<fault::FaultPlan>(study.servers);
@@ -182,6 +243,12 @@ runArm(const ArmSpec &arm, const StudyConfig &study,
     result.checkpoints = manager.checkpoints();
     result.mttr = manager.meanTimeToRecover().value();
     result.finalOnline = manager.onlineCount();
+    if (hub) {
+        result.sloAlerts = int64_t(hub->slo().totalFires());
+        if (hub->recorder() != nullptr)
+            result.flightDumps = int64_t(hub->recorder()->dumps().size());
+        result.streamLines = int64_t(hub->streamLines());
+    }
     return result;
 }
 
@@ -268,6 +335,11 @@ main(int argc, char **argv)
     summary.set("throughput_retained_blind", retainedBlind);
     summary.set("throughput_retained_recovery", retainedRecovery);
     summary.set("mttr_s", recovery.mttr);
+    if (options.telemetry) {
+        summary.set("slo_alerts", recovery.sloAlerts);
+        summary.set("flight_dumps", recovery.flightDumps);
+        summary.set("stream_lines", recovery.streamLines);
+    }
     summary.set("gate", study.gate);
     summary.set("pass", pass);
     bench::finishBench(options, summary);

@@ -50,11 +50,34 @@ MetricRegistry::key(const std::string &name, const MetricLabels &labels)
     return key;
 }
 
+MetricLabels
+MetricRegistry::overflowLabels()
+{
+    return {{"overflow", "true"}};
+}
+
+bool
+MetricRegistry::admitSeriesLocked(const std::string &name)
+{
+    size_t &count = seriesPerName_[name];
+    if (maxSeriesPerMetric_ != 0 && count >= maxSeriesPerMetric_) {
+        droppedSeries_.add(1);
+        return false;
+    }
+    ++count;
+    return true;
+}
+
 Counter &
 MetricRegistry::counter(const std::string &name, const MetricLabels &labels)
 {
-    const std::string k = key(name, labels);
+    std::string k = key(name, labels);
     std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(k);
+    if (it != counters_.end())
+        return *it->second;
+    if (!admitSeriesLocked(name))
+        k = key(name, overflowLabels());
     auto &slot = counters_[k];
     if (!slot)
         slot = std::make_unique<Counter>();
@@ -64,8 +87,13 @@ MetricRegistry::counter(const std::string &name, const MetricLabels &labels)
 Gauge &
 MetricRegistry::gauge(const std::string &name, const MetricLabels &labels)
 {
-    const std::string k = key(name, labels);
+    std::string k = key(name, labels);
     std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(k);
+    if (it != gauges_.end())
+        return *it->second;
+    if (!admitSeriesLocked(name))
+        k = key(name, overflowLabels());
     auto &slot = gauges_[k];
     if (!slot)
         slot = std::make_unique<Gauge>();
@@ -77,12 +105,37 @@ MetricRegistry::histogram(const std::string &name, double lo, double hi,
                           size_t bins, const MetricLabels &labels)
 {
     fatalIf(hi <= lo || bins == 0, "histogram metric needs hi > lo and bins");
-    const std::string k = key(name, labels);
+    std::string k = key(name, labels);
     std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(k);
+    if (it != histograms_.end())
+        return *it->second;
+    if (!admitSeriesLocked(name))
+        k = key(name, overflowLabels());
     auto &slot = histograms_[k];
     if (!slot)
         slot = std::make_unique<HistogramMetric>(lo, hi, bins);
     return *slot;
+}
+
+void
+MetricRegistry::setMaxSeriesPerMetric(size_t cap)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    maxSeriesPerMetric_ = cap;
+}
+
+size_t
+MetricRegistry::maxSeriesPerMetric() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return maxSeriesPerMetric_;
+}
+
+int64_t
+MetricRegistry::droppedSeries() const
+{
+    return droppedSeries_.value();
 }
 
 TimerStat
@@ -106,7 +159,10 @@ MetricRegistry::snapshotJson() const
                std::to_string(c->value());
         first = false;
     }
-    out += first ? "},\n" : "\n  },\n";
+    out += first ? "\n" : ",\n";
+    out += "    \"obs.dropped_series_total\": " +
+           std::to_string(droppedSeries_.value());
+    out += "\n  },\n";
 
     out += "  \"gauges\": {";
     first = true;
@@ -151,6 +207,7 @@ MetricRegistry::resetValues()
         g->reset();
     for (auto &[k, h] : histograms_)
         h->reset();
+    droppedSeries_.reset();
 }
 
 } // namespace agsim::obs

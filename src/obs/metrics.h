@@ -117,6 +117,16 @@ struct TimerStat
 class MetricRegistry
 {
   public:
+    /**
+     * Default bound on distinct label sets per metric name. Long-lived
+     * fleet runs mint labels from unbounded domains (server indices,
+     * task ids); the cap keeps registry memory finite: once a metric
+     * name holds this many series, further *new* label sets collapse
+     * into one shared `name{overflow=true}` cell and each rejected
+     * registration bumps `obs.dropped_series_total`.
+     */
+    static constexpr size_t kDefaultMaxSeriesPerMetric = 512;
+
     /** Get or create a counter. */
     Counter &counter(const std::string &name,
                      const MetricLabels &labels = {});
@@ -145,15 +155,41 @@ class MetricRegistry
     /** Zero every value (handles stay valid); for tests and benches. */
     void resetValues();
 
+    /**
+     * Set the per-metric-name series cap (0 = unbounded). Takes effect
+     * for new registrations only; existing cells are never evicted, so
+     * handles stay valid.
+     */
+    void setMaxSeriesPerMetric(size_t cap);
+
+    /** The current per-metric-name series cap (0 = unbounded). */
+    size_t maxSeriesPerMetric() const;
+
+    /**
+     * Registrations rejected by the cardinality cap so far (the live
+     * value of the `obs.dropped_series_total` counter).
+     */
+    int64_t droppedSeries() const;
+
     /** Canonical identity: `name{k=v,...}` with labels sorted by key. */
     static std::string key(const std::string &name,
                            const MetricLabels &labels);
 
   private:
+    /** Under mutex_: whether a *new* series for `name` may register. */
+    bool admitSeriesLocked(const std::string &name);
+
+    /** The shared overflow label set rejected series collapse into. */
+    static MetricLabels overflowLabels();
+
     mutable std::mutex mutex_;
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+    /** Distinct series registered per metric name (all instrument kinds). */
+    std::map<std::string, size_t> seriesPerName_;
+    size_t maxSeriesPerMetric_ = kDefaultMaxSeriesPerMetric;
+    Counter droppedSeries_;
 };
 
 } // namespace agsim::obs

@@ -1,6 +1,8 @@
 #include "obs/observability.h"
 
 #include <atomic>
+#include <mutex>
+#include <utility>
 
 namespace agsim::obs {
 
@@ -8,6 +10,16 @@ namespace {
 
 std::atomic<bool> tracingOn{false};
 std::atomic<bool> profilingOn{false};
+// The tap itself sits behind a mutex; the atomic flag keeps the
+// common no-tap emit path at one extra relaxed load.
+std::atomic<bool> tapOn{false};
+std::mutex tapMutex;
+std::function<void(const TraceEvent &)> &
+tapSlot()
+{
+    static auto *slot = new std::function<void(const TraceEvent &)>();
+    return *slot;
+}
 thread_local int32_t tlsTaskId = 0;
 
 } // namespace
@@ -69,11 +81,30 @@ TaskIdScope::~TaskIdScope()
 }
 
 void
+setEventTap(std::function<void(const TraceEvent &)> tap)
+{
+    std::lock_guard<std::mutex> lock(tapMutex);
+    tapSlot() = std::move(tap);
+    tapOn.store(bool(tapSlot()), std::memory_order_release);
+}
+
+bool
+eventTapInstalled()
+{
+    return tapOn.load(std::memory_order_acquire);
+}
+
+void
 emit(TraceEvent event)
 {
     if (!tracingEnabled())
         return;
     event.task = tlsTaskId;
+    if (tapOn.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> lock(tapMutex);
+        if (tapSlot())
+            tapSlot()(event);
+    }
     trace().record(std::move(event));
 }
 
@@ -82,6 +113,7 @@ resetAll()
 {
     setTracingEnabled(false);
     setProfilingEnabled(false);
+    setEventTap({});
     trace().clear();
     registry().resetValues();
 }

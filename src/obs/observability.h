@@ -30,6 +30,7 @@
 #define AGSIM_OBS_OBSERVABILITY_H
 
 #include <cstdint>
+#include <functional>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -72,6 +73,20 @@ class TaskIdScope
  * The tracing gate is checked here so call sites stay one-liners.
  */
 void emit(TraceEvent event);
+
+/**
+ * Live event tap for the streaming telemetry plane: when installed
+ * (and tracing is enabled), every emitted event is also handed to the
+ * tap *before* entering the bounded ring — this is how the flight
+ * recorder sees events the ring may later overwrite. The tap runs on
+ * the emitting thread (possibly a batch/fleet worker) and must be
+ * thread-safe; it must never feed back into simulation state. Install
+ * an empty function to clear. One tap at a time (last install wins).
+ */
+void setEventTap(std::function<void(const TraceEvent &)> tap);
+
+/** Whether an event tap is currently installed. */
+bool eventTapInstalled();
 
 /**
  * Test/bench hygiene: clear the recorder, zero every metric, disable

@@ -1,0 +1,44 @@
+#include "obs/telemetry/stream_exporter.h"
+
+namespace agsim::obs::telemetry {
+
+StreamExporter::~StreamExporter()
+{
+    close();
+}
+
+bool
+StreamExporter::open(const std::string &path)
+{
+    close();
+    file_ = std::fopen(path.c_str(), "w");
+    if (!file_)
+        return false;
+    path_ = path;
+    lines_ = 0;
+    return true;
+}
+
+void
+StreamExporter::writeLine(const JsonLineWriter &line)
+{
+    if (!file_)
+        return;
+    const std::string text = line.str();
+    std::fwrite(text.data(), 1, text.size(), file_);
+    std::fputc('\n', file_);
+    std::fflush(file_);
+    ++lines_;
+}
+
+void
+StreamExporter::close()
+{
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+    path_.clear();
+}
+
+} // namespace agsim::obs::telemetry

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Streaming JSONL exporter for live telemetry.
+ *
+ * Unlike the batch exporters (which serialize a whole ring at exit),
+ * the stream exporter appends one self-describing JSON object per line
+ * as the run progresses and flushes after every line, so an external
+ * consumer — `tools/fleetdash.py` tailing the file — sees samples with
+ * sub-second latency even if the run later crashes. Line kinds:
+ *
+ *   {"kind":"sample", "t":..., "series":..., ...stats}
+ *   {"kind":"alert",  "t":..., "rule":..., "edge":"fire"|"resolve", ...}
+ *   {"kind":"dump",   "t":..., "path":..., "reason":..., "events":...}
+ *
+ * Single-threaded by contract: only the telemetry hub's tick path
+ * writes (between fleet sweeps), so no lock is taken.
+ */
+
+#ifndef AGSIM_OBS_TELEMETRY_STREAM_EXPORTER_H
+#define AGSIM_OBS_TELEMETRY_STREAM_EXPORTER_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "obs/json_writer.h"
+
+namespace agsim::obs::telemetry {
+
+class StreamExporter
+{
+  public:
+    StreamExporter() = default;
+    ~StreamExporter();
+
+    StreamExporter(const StreamExporter &) = delete;
+    StreamExporter &operator=(const StreamExporter &) = delete;
+
+    /** Open (truncate) the stream file; returns false on I/O failure. */
+    bool open(const std::string &path);
+
+    bool isOpen() const { return file_ != nullptr; }
+
+    const std::string &path() const { return path_; }
+
+    /** Append one pre-rendered JSON object as a line and flush. */
+    void writeLine(const JsonLineWriter &line);
+
+    /** Lines written so far. */
+    uint64_t lines() const { return lines_; }
+
+    void close();
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::string path_;
+    uint64_t lines_ = 0;
+};
+
+} // namespace agsim::obs::telemetry
+
+#endif // AGSIM_OBS_TELEMETRY_STREAM_EXPORTER_H

@@ -24,6 +24,8 @@ traceKindName(TraceKind kind)
       case TraceKind::ServerFailure: return "server_failure";
       case TraceKind::ServerRecovery: return "server_recovery";
       case TraceKind::DegradationStep: return "degradation_step";
+      case TraceKind::SloAlert: return "slo_alert";
+      case TraceKind::FlightDump: return "flight_dump";
       case TraceKind::Custom: return "custom";
     }
     return "?";
@@ -151,24 +153,30 @@ chromeTraceJson(const std::vector<TraceEvent> &events)
 }
 
 std::string
+traceEventJson(const TraceEvent &event)
+{
+    JsonLineWriter record;
+    record.set("t", event.simTime.value());
+    record.set("kind", traceKindName(event.kind));
+    record.set("task", int64_t(event.task));
+    record.set("chip", int64_t(event.chip));
+    record.set("core", int64_t(event.core));
+    record.set("a", event.a);
+    record.set("b", event.b);
+    if (event.duration >= Seconds{0.0})
+        record.set("dur", event.duration.value());
+    if (!event.detail.empty())
+        record.set("detail", event.detail);
+    return record.str();
+}
+
+std::string
 traceJsonl(const std::vector<TraceEvent> &events)
 {
     const std::vector<TraceEvent> sorted = sortedForExport(events);
     std::string out;
     for (const TraceEvent &event : sorted) {
-        JsonLineWriter record;
-        record.set("t", event.simTime.value());
-        record.set("kind", traceKindName(event.kind));
-        record.set("task", int64_t(event.task));
-        record.set("chip", int64_t(event.chip));
-        record.set("core", int64_t(event.core));
-        record.set("a", event.a);
-        record.set("b", event.b);
-        if (event.duration >= Seconds{0.0})
-            record.set("dur", event.duration.value());
-        if (!event.detail.empty())
-            record.set("detail", event.detail);
-        out += record.str();
+        out += traceEventJson(event);
         out += "\n";
     }
     return out;

@@ -63,6 +63,12 @@ enum class TraceKind
     ServerRecovery,
     /** Fleet degradation ladder moved. a: old rung, b: new rung. */
     DegradationStep,
+    /** SLO burn-rate alert edge. a: short-window burn, b: long-window
+     *  burn; detail: "fire:<rule>" / "resolve:<rule>". */
+    SloAlert,
+    /** Flight-recorder capture written. a: events in dump; detail:
+     *  dump path. */
+    FlightDump,
     /** Free-form instrumentation. */
     Custom,
 };
@@ -142,6 +148,13 @@ std::string chromeTraceJson(const std::vector<TraceEvent> &events);
 
 /** Render events as JSONL: one flat JSON object per line. */
 std::string traceJsonl(const std::vector<TraceEvent> &events);
+
+/**
+ * Render one event as a single flat JSON object (no trailing newline) —
+ * the line format traceJsonl emits, shared with the flight recorder's
+ * dump files so every exported event spells fields identically.
+ */
+std::string traceEventJson(const TraceEvent &event);
 
 /** Export a recorder's events to a Chrome trace file. */
 bool writeChromeTrace(const TraceRecorder &recorder,

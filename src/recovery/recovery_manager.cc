@@ -136,6 +136,30 @@ RecoveryManager::servable(const ServerRecord &record)
 }
 
 void
+RecoveryManager::setTelemetry(obs::telemetry::TelemetryHub *hub)
+{
+    hub_ = hub;
+    if (hub_ == nullptr || !hub_->enabled())
+        return;
+    tsOnline_ = hub_->declareSeries("recovery.online");
+    tsRung_ = hub_->declareSeries("recovery.rung");
+    tsMttr_ = hub_->declareSeries("recovery.mttr_s");
+    tsPlaced_ = hub_->declareSeries("recovery.placed_threads");
+}
+
+void
+RecoveryManager::sampleTelemetry()
+{
+    if (hub_ == nullptr || !hub_->enabled() || now_ < nextTelemetryAt_)
+        return;
+    nextTelemetryAt_ = now_ + hub_->sampleInterval();
+    hub_->record(tsOnline_, 0, now_, double(onlineCount()));
+    hub_->record(tsRung_, 0, now_, double(rung_));
+    hub_->record(tsMttr_, 0, now_, meanTimeToRecover().value());
+    hub_->record(tsPlaced_, 0, now_, double(placedThreads_));
+}
+
+void
 RecoveryManager::tick(Seconds dt)
 {
     fatalIf(dt <= Seconds{0.0}, "recovery tick needs a positive dt");
@@ -143,13 +167,17 @@ RecoveryManager::tick(Seconds dt)
     // Phase 1 runs even when disabled: faults strike regardless of
     // whether anyone is watching.
     applyServerFaults(dt);
-    if (!policy_.enabled)
-        return;
-    runWatchdog();
-    runProbes();
-    completeRestores();
-    captureCheckpoints();
-    stepLadder();
+    if (policy_.enabled) {
+        runWatchdog();
+        runProbes();
+        completeRestores();
+        captureCheckpoints();
+        stepLadder();
+    }
+    // Telemetry last, so samples see this tick's recovery actions.
+    sampleTelemetry();
+    if (hub_ != nullptr)
+        hub_->tick(now_);
 }
 
 const char *

@@ -157,6 +157,16 @@ class RecoveryManager
      */
     void tick(Seconds dt);
 
+    /**
+     * Attach the streaming telemetry plane (optional; may be null, must
+     * outlive the manager). Declares the recovery.* series and makes
+     * tick() the hub's heartbeat: recovery state is sampled on the hub
+     * cadence and hub->tick(now) runs after every pipeline pass, so SLO
+     * evaluation, stream lines, and flight-recorder closure all advance
+     * on fleet time.
+     */
+    void setTelemetry(obs::telemetry::TelemetryHub *hub);
+
     const RecoveryPolicy &policy() const { return policy_; }
     size_t serverCount() const { return servers_.size(); }
     ServerRecoveryState state(size_t server) const;
@@ -238,6 +248,9 @@ class RecoveryManager
     /** Re-derive and apply the fleet placement onto servable servers. */
     void applyPlacement();
 
+    /** Sample recovery.* series if the hub cadence is due. */
+    void sampleTelemetry();
+
     system::FleetStepper *stepper_ = nullptr;
     RecoveryPolicy policy_;
     std::vector<ServerRecord> servers_;
@@ -271,6 +284,13 @@ class RecoveryManager
     obs::Counter *obsMigrations_ = nullptr;
     obs::Counter *obsLadderTransitions_ = nullptr;
     obs::Gauge *obsShedThreads_ = nullptr;
+
+    obs::telemetry::TelemetryHub *hub_ = nullptr;
+    obs::telemetry::SeriesId tsOnline_ = 0;
+    obs::telemetry::SeriesId tsRung_ = 0;
+    obs::telemetry::SeriesId tsMttr_ = 0;
+    obs::telemetry::SeriesId tsPlaced_ = 0;
+    Seconds nextTelemetryAt_ = Seconds{0.0};
 };
 
 } // namespace agsim::recovery

@@ -30,6 +30,13 @@ class PercentileTracker
     /** Add one sample. */
     void add(double x);
 
+    /**
+     * Fold another tracker's samples into this one. Exact: the merged
+     * tracker answers every percentile query as if both streams had
+     * been added to it directly (order never matters).
+     */
+    void merge(const PercentileTracker &other);
+
     /** Number of stored samples. */
     size_t count() const { return samples_.size(); }
 

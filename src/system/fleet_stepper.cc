@@ -74,12 +74,27 @@ FleetStepper::chipActive(size_t index) const
 }
 
 void
+FleetStepper::setTelemetry(obs::telemetry::TelemetryHub *hub)
+{
+    fatalIf(frozen_, "attach telemetry before the first fleet sweep");
+    hub_ = hub;
+}
+
+void
 FleetStepper::freeze()
 {
     if (frozen_)
         return;
     frozen_ = true;
     fatalIf(slots_.empty(), "fleet has no chips");
+    telemetryOn_ = hub_ != nullptr && hub_->enabled();
+    if (telemetryOn_) {
+        const size_t shards =
+            (slots_.size() + config_.shardSize - 1) / config_.shardSize;
+        tsMargin_ = hub_->declareSeries("fleet.margin", shards);
+        tsFreq_ = hub_->declareSeries("fleet.freq_ghz", shards);
+        tsPower_ = hub_->declareSeries("fleet.power_w", shards);
+    }
     if (!config_.adoptSoA)
         return;
     // A shared arena needs one per-core lane stride; mixed-core fleets
@@ -229,6 +244,32 @@ FleetStepper::forwardBudget(const Slot &slot, Seconds dt) const
 }
 
 void
+FleetStepper::sampleSlot(Slot &slot)
+{
+    chip::Chip &c = *slot.chip;
+    const Seconds t = c.simTime();
+    if (t < slot.nextSampleAt)
+        return;
+    slot.nextSampleAt = t + hub_->sampleInterval();
+    const size_t shard =
+        size_t(&slot - slots_.data()) / config_.shardSize;
+    hub_->record(tsMargin_, shard, t, c.lastWorstMargin().value());
+    hub_->record(tsPower_, shard, t, c.power().value());
+    double meanFreq = 0.0;
+    size_t activeCores = 0;
+    for (size_t i = 0; i < c.coreCount(); ++i) {
+        const double f = c.coreFrequency(i).value();
+        if (f > 0.0) {
+            meanFreq += f;
+            ++activeCores;
+        }
+    }
+    if (activeCores > 0)
+        meanFreq /= double(activeCores);
+    hub_->record(tsFreq_, shard, t, meanFreq / 1e9);
+}
+
+void
 FleetStepper::stepChipBlock(Slot &slot, int64_t ticks, Seconds dt,
                             int64_t &exact, int64_t &forwarded)
 {
@@ -240,6 +281,8 @@ FleetStepper::stepChipBlock(Slot &slot, int64_t ticks, Seconds dt,
         for (int64_t k = 0; k < left; ++k)
             c.step(dt);
         exact += left;
+        if (telemetryOn_)
+            sampleSlot(slot);
         return;
     }
     while (left > 0) {
@@ -300,6 +343,8 @@ FleetStepper::stepChipBlock(Slot &slot, int64_t ticks, Seconds dt,
             observe(slot);
         }
     }
+    if (telemetryOn_)
+        sampleSlot(slot);
 }
 
 void
@@ -323,12 +368,15 @@ FleetStepper::run(int64_t ticks, Seconds dt)
                 stepChipBlock(slot, n, dt, exact, forwarded);
         } else {
             // Chips are independent; disjoint contiguous ranges per
-            // worker are bit-identical to the serial sweep.
+            // worker are bit-identical to the serial sweep. Ranges are
+            // rounded up to shard boundaries so every telemetry shard
+            // lane keeps exactly one writer thread.
             std::vector<std::thread> pool;
             std::vector<int64_t> exactPer(threads, 0);
             std::vector<int64_t> forwardedPer(threads, 0);
-            const size_t stride =
-                (slots_.size() + threads - 1) / threads;
+            size_t stride = (slots_.size() + threads - 1) / threads;
+            stride = (stride + config_.shardSize - 1) /
+                     config_.shardSize * config_.shardSize;
             for (size_t t = 0; t < threads; ++t) {
                 const size_t lo = t * stride;
                 const size_t hi = std::min(slots_.size(),
@@ -377,6 +425,11 @@ FleetStepper::step(Seconds dt)
             slot.chip->stepCommitPhase(dt);
             ++stepped;
         }
+    }
+    if (telemetryOn_) {
+        for (Slot &slot : slots_)
+            if (slot.active)
+                sampleSlot(slot);
     }
     exactSteps_ += stepped;
     obsChipsStepped_->add(stepped);

@@ -37,6 +37,7 @@
 
 #include "chip/chip.h"
 #include "obs/metrics.h"
+#include "obs/telemetry/telemetry_hub.h"
 #include "system/server.h"
 
 namespace agsim::system {
@@ -139,6 +140,16 @@ class FleetStepper
      */
     void step(Seconds dt);
 
+    /**
+     * Attach the streaming telemetry plane (optional; may be null).
+     * Must happen before the first run()/step(): freeze() declares the
+     * fleet series with one single-writer lane per chip shard, and the
+     * worker split is aligned to shard boundaries so each lane keeps
+     * exactly one writer thread. The hub must outlive the stepper.
+     * A disabled hub leaves the sweep bit-identical and branch-cheap.
+     */
+    void setTelemetry(obs::telemetry::TelemetryHub *hub);
+
     /** Exact chip-steps executed so far. */
     int64_t exactSteps() const { return exactSteps_; }
 
@@ -170,6 +181,8 @@ class FleetStepper
          * the maxFastForwardTicks re-anchor cadence across them.
          */
         int64_t forwardedSinceExact = 0;
+        /** Next telemetry sample time for this chip (downsampling). */
+        Seconds nextSampleAt = Seconds{0.0};
     };
 
     /** Adopt all chips into one SoA arena (first run/step). */
@@ -195,6 +208,9 @@ class FleetStepper
     /** Ticks fastForward may consume for this chip right now. */
     int64_t forwardBudget(const Slot &slot, Seconds dt) const;
 
+    /** Record this chip's signals if its sample cadence is due. */
+    void sampleSlot(Slot &slot);
+
     FleetStepperConfig config_;
     std::vector<Slot> slots_;
     std::shared_ptr<chip::ChipStateSoA> arena_;
@@ -206,6 +222,13 @@ class FleetStepper
     obs::Counter *obsChipsStepped_ = nullptr;
     obs::Counter *obsFastForwarded_ = nullptr;
     obs::TimerStat obsSweepTimer_;
+
+    obs::telemetry::TelemetryHub *hub_ = nullptr;
+    /** Cached at freeze(): hub attached and enabled. */
+    bool telemetryOn_ = false;
+    obs::telemetry::SeriesId tsMargin_ = 0;
+    obs::telemetry::SeriesId tsFreq_ = 0;
+    obs::telemetry::SeriesId tsPower_ = 0;
 };
 
 } // namespace agsim::system

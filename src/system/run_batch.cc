@@ -10,6 +10,42 @@
 
 namespace agsim::system {
 
+namespace {
+
+/**
+ * Closes the task's trace timeline on every exit path. A throwing
+ * sim.run (swallowed by a ContinueOnError batch) used to leave an
+ * orphan TaskBegin with no TaskEnd, so trace consumers saw the task as
+ * still running; the guard emits an error-tagged TaskEnd instead.
+ */
+class TaskEndGuard
+{
+  public:
+    explicit TaskEndGuard(const std::string &label) : label_(label) {}
+
+    ~TaskEndGuard()
+    {
+        if (finished_ || !obs::tracingEnabled())
+            return;
+        obs::TraceEvent end;
+        end.kind = obs::TraceKind::TaskEnd;
+        end.detail = "error:" + label_;
+        obs::emit(std::move(end));
+    }
+
+    /** The normal TaskEnd was emitted; stand down. */
+    void finish() { finished_ = true; }
+
+    TaskEndGuard(const TaskEndGuard &) = delete;
+    TaskEndGuard &operator=(const TaskEndGuard &) = delete;
+
+  private:
+    std::string label_;
+    bool finished_ = false;
+};
+
+} // namespace
+
 BatchResult
 runBatchTask(const BatchTask &task)
 {
@@ -24,6 +60,7 @@ runBatchTask(const BatchTask &task)
         begin.detail = task.label;
         obs::emit(std::move(begin));
     }
+    TaskEndGuard endGuard(task.label);
 
     const auto start = std::chrono::steady_clock::now();
 
@@ -82,6 +119,7 @@ runBatchTask(const BatchTask &task)
         end.detail = task.label;
         obs::emit(std::move(end));
     }
+    endGuard.finish();
     return result;
 }
 

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * FlightRecorder tests: trigger arming, pre/post window bracketing,
+ * the dump cap, trigger suppression during captures, and the dump
+ * file format (header line + one JSON event per line).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry/flight_recorder.h"
+#include "obs/trace.h"
+
+namespace agsim::obs::telemetry {
+namespace {
+
+TraceEvent
+eventAt(double t, TraceKind kind = TraceKind::Custom,
+        const std::string &detail = "")
+{
+    TraceEvent event;
+    event.simTime = Seconds{t};
+    event.kind = kind;
+    event.detail = detail;
+    return event;
+}
+
+FlightRecorderConfig
+testConfig(const std::string &dir)
+{
+    FlightRecorderConfig config;
+    config.preWindow = Seconds{0.1};
+    config.postWindow = Seconds{0.05};
+    config.dir = dir;
+    return config;
+}
+
+TEST(FlightRecorder, CaptureBracketsTheTrigger)
+{
+    const std::string dir = ::testing::TempDir();
+    FlightRecorder recorder(testConfig(dir));
+
+    // Pre-window noise; the oldest event falls outside the window.
+    recorder.observe(eventAt(0.10));
+    recorder.observe(eventAt(0.25));
+    recorder.observe(eventAt(0.29));
+    recorder.observe(
+        eventAt(0.30, TraceKind::ServerFailure, "crash"));
+    EXPECT_TRUE(recorder.capturing());
+
+    // Post-window events keep landing in the open capture.
+    recorder.observe(eventAt(0.32));
+    recorder.tick(Seconds{0.34});
+    EXPECT_TRUE(recorder.capturing());
+    recorder.observe(eventAt(0.36));
+    recorder.tick(Seconds{0.36});
+    EXPECT_FALSE(recorder.capturing());
+
+    const auto dumps = recorder.dumps();
+    ASSERT_EQ(dumps.size(), 1u);
+    const FlightDump &dump = dumps[0];
+    EXPECT_EQ(dump.reason, "server_failure:crash");
+    EXPECT_DOUBLE_EQ(dump.triggerTime.value(), 0.30);
+    EXPECT_DOUBLE_EQ(dump.windowStart.value(), 0.20);
+    EXPECT_DOUBLE_EQ(dump.windowEnd.value(), 0.35);
+    // 0.10 predates the window; 0.36 postdates it. The four in
+    // [0.20, 0.35] — 0.25, 0.29, the trigger, 0.32 — are kept.
+    EXPECT_EQ(dump.events, 4u);
+    EXPECT_FALSE(dump.path.empty());
+
+    // File shape: one header line then one JSON object per event.
+    std::ifstream in(dump.path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    size_t lines = 0;
+    while (std::getline(in, line)) {
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        ++lines;
+    }
+    EXPECT_EQ(lines, 1u + dump.events);
+    std::remove(dump.path.c_str());
+}
+
+TEST(FlightRecorder, TriggersDuringCaptureAreAbsorbed)
+{
+    const std::string dir = ::testing::TempDir();
+    FlightRecorder recorder(testConfig(dir));
+    recorder.observe(eventAt(1.0, TraceKind::ServerFailure, "first"));
+    // The failure storm: more triggers while the capture is open all
+    // belong to the same dump.
+    recorder.observe(eventAt(1.01, TraceKind::ServerFailure, "second"));
+    recorder.observe(eventAt(1.02, TraceKind::DegradationStep));
+    recorder.tick(Seconds{1.2});
+    const auto dumps = recorder.dumps();
+    ASSERT_EQ(dumps.size(), 1u);
+    EXPECT_EQ(dumps[0].reason, "server_failure:first");
+    EXPECT_EQ(dumps[0].events, 3u);
+    EXPECT_EQ(recorder.suppressedTriggers(), 2u);
+    std::remove(dumps[0].path.c_str());
+}
+
+TEST(FlightRecorder, ManualTriggerAndDumpCap)
+{
+    FlightRecorderConfig config = testConfig(::testing::TempDir());
+    config.maxDumps = 2;
+    FlightRecorder recorder(config);
+    for (int i = 0; i < 4; ++i) {
+        const double t = double(i);
+        recorder.observe(eventAt(t));
+        recorder.trigger("slo:margin_floor", Seconds{t});
+        recorder.tick(Seconds{t + 0.2});
+    }
+    const auto dumps = recorder.dumps();
+    ASSERT_EQ(dumps.size(), 2u);
+    EXPECT_EQ(dumps[0].reason, "slo:margin_floor");
+    // Two later triggers were refused by the cap.
+    EXPECT_EQ(recorder.suppressedTriggers(), 2u);
+    for (const auto &dump : dumps)
+        std::remove(dump.path.c_str());
+}
+
+TEST(FlightRecorder, FlightDumpEventsNeverTrigger)
+{
+    FlightRecorder recorder(testConfig(::testing::TempDir()));
+    TraceEvent event = eventAt(1.0, TraceKind::FlightDump);
+    recorder.observe(event);
+    EXPECT_FALSE(recorder.capturing());
+    EXPECT_TRUE(recorder.dumps().empty());
+}
+
+TEST(FlightRecorder, DumpEventsAreTimeSorted)
+{
+    FlightRecorder recorder(testConfig(::testing::TempDir()));
+    // Worker shards drift, so observed order is not time order.
+    recorder.observe(eventAt(0.95));
+    recorder.observe(eventAt(0.93));
+    recorder.observe(eventAt(0.98));
+    recorder.observe(eventAt(1.0, TraceKind::ServerFailure, "crash"));
+    recorder.tick(Seconds{1.2});
+    const auto dumps = recorder.dumps();
+    ASSERT_EQ(dumps.size(), 1u);
+
+    std::ifstream in(dumps[0].path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line)); // header
+    double previous = -1.0;
+    size_t events = 0;
+    while (std::getline(in, line)) {
+        const auto pos = line.find("\"t\":");
+        ASSERT_NE(pos, std::string::npos);
+        const double t = std::stod(line.substr(pos + 4));
+        EXPECT_GE(t, previous);
+        previous = t;
+        ++events;
+    }
+    EXPECT_EQ(events, 4u);
+    std::remove(dumps[0].path.c_str());
+}
+
+} // namespace
+} // namespace agsim::obs::telemetry

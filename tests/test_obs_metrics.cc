@@ -120,6 +120,73 @@ TEST(ScopedTimer, RecordsOnlyWhenProfilingEnabled)
     EXPECT_GE(stat.nanos->value(), 0);
 }
 
+TEST(MetricRegistry, CardinalityCapCollapsesNewSeries)
+{
+    MetricRegistry registry;
+    registry.setMaxSeriesPerMetric(2);
+    Counter &a = registry.counter("fleet.events", {{"server", "0"}});
+    Counter &b = registry.counter("fleet.events", {{"server", "1"}});
+    EXPECT_EQ(registry.droppedSeries(), 0);
+
+    // The cap is reached: further new label sets collapse into the
+    // shared overflow cell, one dropped-series bump each.
+    Counter &over1 = registry.counter("fleet.events", {{"server", "2"}});
+    Counter &over2 = registry.counter("fleet.events", {{"server", "3"}});
+    EXPECT_EQ(&over1, &over2);
+    EXPECT_NE(&over1, &a);
+    EXPECT_NE(&over1, &b);
+    EXPECT_EQ(registry.droppedSeries(), 2);
+
+    // Existing series stay individually addressable.
+    Counter &aAgain = registry.counter("fleet.events", {{"server", "0"}});
+    EXPECT_EQ(&aAgain, &a);
+    EXPECT_EQ(registry.droppedSeries(), 2);
+
+    // Other metric names have their own budget.
+    registry.counter("other.metric", {{"server", "7"}});
+    EXPECT_EQ(registry.droppedSeries(), 2);
+
+    over1.add(5);
+    const std::string snapshot = registry.snapshotJson();
+    EXPECT_NE(snapshot.find("fleet.events{overflow=true}"),
+              std::string::npos);
+    EXPECT_NE(snapshot.find("obs.dropped_series_total"),
+              std::string::npos);
+}
+
+TEST(MetricRegistry, CardinalityCapSpansInstrumentKinds)
+{
+    MetricRegistry registry;
+    registry.setMaxSeriesPerMetric(1);
+    registry.counter("mixed", {{"k", "a"}});
+    // The same name's budget is shared across instrument kinds, so a
+    // gauge under a fresh label set is already over.
+    Gauge &g1 = registry.gauge("mixed", {{"k", "b"}});
+    Gauge &g2 = registry.gauge("mixed", {{"k", "c"}});
+    EXPECT_EQ(&g1, &g2);
+    EXPECT_EQ(registry.droppedSeries(), 2);
+}
+
+TEST(MetricRegistry, UnboundedCapNeverDrops)
+{
+    MetricRegistry registry;
+    registry.setMaxSeriesPerMetric(0);
+    for (int i = 0; i < 64; ++i)
+        registry.counter("wide", {{"i", std::to_string(i)}});
+    EXPECT_EQ(registry.droppedSeries(), 0);
+}
+
+TEST(MetricRegistry, ResetValuesClearsDroppedSeries)
+{
+    MetricRegistry registry;
+    registry.setMaxSeriesPerMetric(1);
+    registry.counter("w", {{"i", "0"}});
+    registry.counter("w", {{"i", "1"}});
+    EXPECT_EQ(registry.droppedSeries(), 1);
+    registry.resetValues();
+    EXPECT_EQ(registry.droppedSeries(), 0);
+}
+
 TEST(JsonWriter, EscapesAndFormats)
 {
     EXPECT_EQ(jsonEscape("a\"b\\c\n"), "a\\\"b\\\\c\\n");

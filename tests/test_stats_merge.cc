@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Cross-shard merge semantics for the retained stats containers:
+ * Histogram::merge and PercentileTracker::merge must behave exactly
+ * as if both sample streams had been added to one container —
+ * associative, commutative, empty-tolerant — since the telemetry
+ * plane folds per-shard instances on read.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "stats/histogram.h"
+#include "stats/percentile.h"
+
+namespace agsim::stats {
+namespace {
+
+TEST(HistogramMerge, MatchesCombinedStream)
+{
+    Histogram combined(0.0, 10.0, 20);
+    Histogram shardA(0.0, 10.0, 20);
+    Histogram shardB(0.0, 10.0, 20);
+    Rng rng(0x1234ull);
+    for (int i = 0; i < 4000; ++i) {
+        // Deliberately spill both tails to exercise under/overflow.
+        const double x = rng.uniform(-1.0, 12.0);
+        combined.add(x);
+        (i % 3 == 0 ? shardA : shardB).add(x);
+    }
+    shardA.merge(shardB);
+    EXPECT_EQ(shardA.total(), combined.total());
+    EXPECT_EQ(shardA.underflow(), combined.underflow());
+    EXPECT_EQ(shardA.overflow(), combined.overflow());
+    for (size_t i = 0; i < combined.bins(); ++i)
+        EXPECT_EQ(shardA.binCount(i), combined.binCount(i))
+            << "bin " << i;
+    EXPECT_DOUBLE_EQ(shardA.cdf(5.0), combined.cdf(5.0));
+}
+
+TEST(HistogramMerge, EmptyIsIdentityAndOrderIrrelevant)
+{
+    Histogram a(0.0, 1.0, 4);
+    Histogram b(0.0, 1.0, 4);
+    Histogram empty(0.0, 1.0, 4);
+    a.add(0.1);
+    a.add(0.6);
+    b.add(0.6);
+
+    Histogram ab = a;
+    ab.merge(b);
+    Histogram ba = b;
+    ba.merge(a);
+    ba.merge(empty);
+    EXPECT_EQ(ab.total(), 3u);
+    for (size_t i = 0; i < ab.bins(); ++i)
+        EXPECT_EQ(ab.binCount(i), ba.binCount(i));
+
+    empty.merge(a);
+    EXPECT_EQ(empty.total(), a.total());
+}
+
+TEST(HistogramMerge, RejectsMismatchedLayouts)
+{
+    Histogram a(0.0, 1.0, 4);
+    Histogram differentRange(0.0, 2.0, 4);
+    Histogram differentBins(0.0, 1.0, 8);
+    EXPECT_THROW(a.merge(differentRange), ConfigError);
+    EXPECT_THROW(a.merge(differentBins), ConfigError);
+}
+
+TEST(PercentileMerge, MatchesCombinedStream)
+{
+    PercentileTracker combined;
+    PercentileTracker shardA;
+    PercentileTracker shardB;
+    Rng rng(0x77ull);
+    for (int i = 0; i < 999; ++i) {
+        const double x = rng.uniform(0.0, 100.0);
+        combined.add(x);
+        (i % 2 == 0 ? shardA : shardB).add(x);
+    }
+    shardA.merge(shardB);
+    ASSERT_EQ(shardA.count(), combined.count());
+    for (double p : {1.0, 10.0, 50.0, 90.0, 99.0})
+        EXPECT_DOUBLE_EQ(shardA.percentile(p), combined.percentile(p))
+            << "p" << p;
+}
+
+TEST(PercentileMerge, MergeAfterQueryKeepsExactness)
+{
+    PercentileTracker a;
+    PercentileTracker b;
+    for (int i = 0; i < 10; ++i)
+        a.add(double(i));
+    // Query a first so its lazily-sorted state is primed, then merge:
+    // the merged tracker must still answer over the union.
+    EXPECT_DOUBLE_EQ(a.percentile(50.0), 4.5);
+    for (int i = 10; i < 20; ++i)
+        b.add(double(i));
+    a.merge(b);
+    EXPECT_EQ(a.count(), 20u);
+    EXPECT_DOUBLE_EQ(a.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(a.percentile(100.0), 19.0);
+    EXPECT_DOUBLE_EQ(a.percentile(50.0), 9.5);
+}
+
+TEST(PercentileMerge, EmptyIsIdentity)
+{
+    PercentileTracker tracker;
+    PercentileTracker empty;
+    tracker.add(7.0);
+    tracker.merge(empty);
+    EXPECT_EQ(tracker.count(), 1u);
+    empty.merge(tracker);
+    EXPECT_DOUBLE_EQ(empty.percentile(50.0), 7.0);
+}
+
+} // namespace
+} // namespace agsim::stats

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * TimeSeriesBuffer tests: bucket aggregation, ring wrap and old-sample
+ * drops, and the merge() algebra the sharded telemetry lanes rely on
+ * (associative, commutative, empty-tolerant).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/telemetry/time_series.h"
+
+namespace agsim::obs::telemetry {
+namespace {
+
+TEST(TimeBucket, AggregatesCountSumMinMaxLast)
+{
+    TimeBucket bucket;
+    bucket.add(3.0);
+    bucket.add(-1.0);
+    bucket.add(2.0);
+    EXPECT_EQ(bucket.count, 4u - 1u);
+    EXPECT_DOUBLE_EQ(bucket.sum, 4.0);
+    EXPECT_DOUBLE_EQ(bucket.min, -1.0);
+    EXPECT_DOUBLE_EQ(bucket.max, 3.0);
+    EXPECT_DOUBLE_EQ(bucket.last, 2.0);
+    EXPECT_NEAR(bucket.mean(), 4.0 / 3.0, 1e-12);
+}
+
+TEST(TimeSeriesBuffer, SamplesLandInFixedIntervals)
+{
+    TimeSeriesBuffer buffer(Seconds{0.01}, 16);
+    buffer.record(Seconds{0.000}, 1.0);
+    buffer.record(Seconds{0.009}, 3.0);
+    buffer.record(Seconds{0.010}, 5.0);
+    EXPECT_EQ(buffer.firstBucket(), 0);
+    EXPECT_EQ(buffer.lastBucket(), 1);
+    EXPECT_EQ(buffer.bucket(0).count, 2u);
+    EXPECT_DOUBLE_EQ(buffer.bucket(0).sum, 4.0);
+    EXPECT_EQ(buffer.bucket(1).count, 1u);
+    EXPECT_DOUBLE_EQ(buffer.bucket(1).last, 5.0);
+}
+
+TEST(TimeSeriesBuffer, SkippedBucketsReadEmpty)
+{
+    TimeSeriesBuffer buffer(Seconds{0.01}, 32);
+    buffer.record(Seconds{0.005}, 1.0);
+    // A fleet block can span many bucket widths; the gap must read as
+    // empty buckets, not as stale data from an earlier ring lap.
+    buffer.record(Seconds{0.095}, 2.0);
+    EXPECT_EQ(buffer.lastBucket(), 9);
+    for (int64_t b = 1; b <= 8; ++b)
+        EXPECT_EQ(buffer.bucket(b).count, 0u) << "bucket " << b;
+    EXPECT_EQ(buffer.bucket(9).count, 1u);
+}
+
+TEST(TimeSeriesBuffer, RingWrapEvictsOldestAndDropsStale)
+{
+    TimeSeriesBuffer buffer(Seconds{1.0}, 4);
+    for (int i = 0; i < 8; ++i)
+        buffer.record(Seconds{double(i) + 0.5}, double(i));
+    // Only the newest 4 buckets [4, 7] are retained.
+    EXPECT_EQ(buffer.firstBucket(), 4);
+    EXPECT_EQ(buffer.lastBucket(), 7);
+    EXPECT_EQ(buffer.bucket(3).count, 0u);
+    EXPECT_DOUBLE_EQ(buffer.bucket(4).last, 4.0);
+
+    // A sample older than the retained window is dropped and counted.
+    const uint64_t before = buffer.droppedOld();
+    buffer.record(Seconds{1.5}, 99.0);
+    EXPECT_EQ(buffer.droppedOld(), before + 1);
+    EXPECT_EQ(buffer.bucket(1).count, 0u);
+}
+
+TEST(TimeSeriesBuffer, StaleLapSlotNeverLeaksAfterWrap)
+{
+    TimeSeriesBuffer buffer(Seconds{1.0}, 4);
+    buffer.record(Seconds{0.5}, 1.0);
+    // Jump far ahead: bucket 8 reuses bucket 0's ring slot; buckets
+    // 5..7 were never written. All of them must read empty except 8.
+    buffer.record(Seconds{8.5}, 2.0);
+    EXPECT_EQ(buffer.firstBucket(), 5);
+    for (int64_t b = 5; b <= 7; ++b)
+        EXPECT_EQ(buffer.bucket(b).count, 0u) << "bucket " << b;
+    EXPECT_EQ(buffer.bucket(8).count, 1u);
+    EXPECT_DOUBLE_EQ(buffer.bucket(8).last, 2.0);
+}
+
+TEST(TimeSeriesBuffer, TimeMayMoveBackwardWithinWindow)
+{
+    TimeSeriesBuffer buffer(Seconds{1.0}, 8);
+    buffer.record(Seconds{0.5}, 0.0);
+    buffer.record(Seconds{5.5}, 1.0);
+    // Shards drift by up to a tick block; writes behind the head but
+    // inside the retained window must land normally.
+    buffer.record(Seconds{3.5}, 2.0);
+    EXPECT_EQ(buffer.bucket(3).count, 1u);
+    EXPECT_EQ(buffer.lastBucket(), 5);
+}
+
+TEST(TimeSeriesBuffer, ClearForgetsEverything)
+{
+    TimeSeriesBuffer buffer(Seconds{0.5}, 8);
+    buffer.record(Seconds{1.0}, 7.0);
+    buffer.clear();
+    EXPECT_TRUE(buffer.empty());
+    buffer.record(Seconds{0.1}, 1.0);
+    EXPECT_EQ(buffer.firstBucket(), 0);
+    EXPECT_EQ(buffer.bucket(2).count, 0u);
+}
+
+TEST(MergedSeries, LatestSkipsEmptyBuckets)
+{
+    TimeSeriesBuffer buffer(Seconds{1.0}, 8);
+    buffer.record(Seconds{0.5}, 4.0);
+    buffer.record(Seconds{3.5}, 9.0);
+    const MergedSeries merged = TimeSeriesBuffer::merge({&buffer});
+    EXPECT_DOUBLE_EQ(merged.latest(BucketStat::Last), 9.0);
+    EXPECT_DOUBLE_EQ(merged.latest(BucketStat::Mean), 9.0);
+    EXPECT_EQ(merged.firstBucket, 0);
+    EXPECT_EQ(merged.buckets.size(), 4u);
+    EXPECT_DOUBLE_EQ(merged.bucketStart(3).value(), 3.0);
+}
+
+TEST(MergedSeries, MergeFoldsAlignedBuckets)
+{
+    TimeSeriesBuffer a(Seconds{1.0}, 8);
+    TimeSeriesBuffer b(Seconds{1.0}, 8);
+    a.record(Seconds{0.5}, 1.0);
+    a.record(Seconds{1.5}, 3.0);
+    b.record(Seconds{0.6}, 5.0);
+    b.record(Seconds{2.5}, 7.0);
+    const MergedSeries merged = TimeSeriesBuffer::merge({&a, &b});
+    ASSERT_EQ(merged.buckets.size(), 3u);
+    EXPECT_EQ(merged.buckets[0].count, 2u);
+    EXPECT_DOUBLE_EQ(merged.buckets[0].min, 1.0);
+    EXPECT_DOUBLE_EQ(merged.buckets[0].max, 5.0);
+    EXPECT_EQ(merged.buckets[1].count, 1u);
+    EXPECT_EQ(merged.buckets[2].count, 1u);
+}
+
+TEST(MergedSeries, MergeIsCommutativeAndSkipsNullsAndEmpties)
+{
+    TimeSeriesBuffer a(Seconds{0.5}, 16);
+    TimeSeriesBuffer b(Seconds{0.5}, 16);
+    TimeSeriesBuffer empty(Seconds{0.5}, 16);
+    for (int i = 0; i < 10; ++i)
+        a.record(Seconds{0.1 * double(i)}, double(i));
+    for (int i = 0; i < 7; ++i)
+        b.record(Seconds{0.3 * double(i)}, -double(i));
+
+    const MergedSeries ab =
+        TimeSeriesBuffer::merge({&a, &b, nullptr, &empty});
+    const MergedSeries ba = TimeSeriesBuffer::merge({&b, &a});
+    ASSERT_EQ(ab.buckets.size(), ba.buckets.size());
+    EXPECT_EQ(ab.firstBucket, ba.firstBucket);
+    for (size_t k = 0; k < ab.buckets.size(); ++k) {
+        EXPECT_EQ(ab.buckets[k].count, ba.buckets[k].count);
+        EXPECT_DOUBLE_EQ(ab.buckets[k].sum, ba.buckets[k].sum);
+        EXPECT_DOUBLE_EQ(ab.buckets[k].min, ba.buckets[k].min);
+        EXPECT_DOUBLE_EQ(ab.buckets[k].max, ba.buckets[k].max);
+    }
+}
+
+TEST(MergedSeries, MergeOfNothingIsEmpty)
+{
+    const MergedSeries merged = TimeSeriesBuffer::merge({});
+    EXPECT_TRUE(merged.empty());
+    EXPECT_DOUBLE_EQ(merged.latest(BucketStat::Mean), 0.0);
+}
+
+} // namespace
+} // namespace agsim::obs::telemetry

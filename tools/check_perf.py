@@ -35,9 +35,15 @@ GATED = {
         "scalar_steps_per_sec",
         "fleet_exact_steps_per_sec",
         "fleet_sampled_steps_per_sec",
+        "fleet_telemetry_steps_per_sec",
         "speedup_sampled",
     ],
 }
+
+# The telemetry plane's cost on the sampled fleet regime is a ceiling
+# gate, not a floor: overhead above this fraction of the sampled rate
+# fails the run (the issue's <= 5% acceptance bound).
+TELEMETRY_OVERHEAD_LIMIT_PCT = 5.0
 
 
 def load(path):
@@ -96,6 +102,28 @@ def main():
                     f"observed/baseline {ratio:.3f}, "
                     f"tolerance {args.tolerance:.0%})")
 
+    # Ceiling gate: the telemetry plane must stay cheap relative to
+    # the sampled regime it instruments. The bench reports best-of-N
+    # rates for both arms, so this is robust to one-sided CPU-steal
+    # noise on shared runners.
+    fleet = current.get("perf_fleet_steps", {})
+    if "telemetry_overhead_pct" in fleet:
+        overhead = fleet["telemetry_overhead_pct"]
+        ok = overhead <= TELEMETRY_OVERHEAD_LIMIT_PCT
+        checks.append({
+            "bench": "perf_fleet_steps",
+            "metric": "telemetry_overhead_pct",
+            "baseline": TELEMETRY_OVERHEAD_LIMIT_PCT,
+            "current": overhead,
+            "ceiling": TELEMETRY_OVERHEAD_LIMIT_PCT,
+            "ok": ok,
+        })
+        if not ok:
+            failures.append(
+                f"perf_fleet_steps.telemetry_overhead_pct: "
+                f"{overhead:.2f}% > ceiling "
+                f"{TELEMETRY_OVERHEAD_LIMIT_PCT:.1f}%")
+
     # The fault bench carries its own acceptance verdict (recovery
     # fraction >= 0.5); a false there is a failure regardless of the
     # baseline comparison.
@@ -115,9 +143,13 @@ def main():
 
     for check in checks:
         mark = "ok " if check["ok"] else "FAIL"
+        if "ceiling" in check:
+            bound = f"ceiling {check['ceiling']:.6g}"
+        else:
+            bound = f"floor {check['floor']:.6g}"
         print(f"[{mark}] {check['bench']}.{check['metric']}: "
               f"{check['current']:.6g} vs baseline "
-              f"{check['baseline']:.6g} (floor {check['floor']:.6g})")
+              f"{check['baseline']:.6g} ({bound})")
     if failures:
         print("\nperf regression gate FAILED:", file=sys.stderr)
         for failure in failures:

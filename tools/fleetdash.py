@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Live text dashboard over the telemetry streaming JSONL.
+
+Tails the stream written by ``TelemetryHub`` (``telemetry=1 stream=...``
+in the ext_* benches, or ``TelemetryConfig::streamPath`` in code) and
+renders a terminal dashboard: the latest sample per series, active SLO
+alerts with their burn rates, and the flight-recorder dump log.
+
+Stdlib only. Two modes:
+
+  tools/fleetdash.py out/stream.jsonl            # follow live
+  tools/fleetdash.py out/stream.jsonl --once     # one snapshot (CI)
+
+Line kinds consumed (anything else is counted but ignored):
+  {"kind": "sample", "t": ..., "series": ..., mean/min/max/last/n,
+   p50/p99/total_n}
+  {"kind": "alert", "t": ..., "rule": ..., "edge": "fire"|"resolve",
+   "short_burn": ..., "long_burn": ...}
+  {"kind": "dump", "t": ..., "path": ..., "reason": ..., "events": ...}
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+MAX_RECENT = 8
+
+
+class DashState:
+    """Aggregated view of everything read from the stream so far."""
+
+    def __init__(self):
+        self.samples = {}  # series name -> latest sample line
+        self.active_alerts = {}  # rule -> latest fire line
+        self.recent_alerts = []  # (t, rule, edge) newest last
+        self.dumps = []  # dump lines, oldest first
+        self.lines = 0
+        self.bad_lines = 0
+        self.last_t = 0.0
+
+    def ingest(self, raw):
+        self.lines += 1
+        try:
+            record = json.loads(raw)
+        except ValueError:
+            self.bad_lines += 1
+            return
+        kind = record.get("kind")
+        t = record.get("t")
+        if isinstance(t, (int, float)):
+            self.last_t = max(self.last_t, t)
+        if kind == "sample" and "series" in record:
+            self.samples[record["series"]] = record
+        elif kind == "alert":
+            rule = record.get("rule", "?")
+            if record.get("edge") == "fire":
+                self.active_alerts[rule] = record
+            else:
+                self.active_alerts.pop(rule, None)
+            self.recent_alerts.append(record)
+            del self.recent_alerts[:-MAX_RECENT]
+        elif kind == "dump":
+            self.dumps.append(record)
+        else:
+            self.bad_lines += 1
+
+
+def fmt(value, width=10, digits=4):
+    if value is None:
+        return "-".rjust(width)
+    if isinstance(value, float):
+        return f"{value:.{digits}g}".rjust(width)
+    return str(value).rjust(width)
+
+
+def render(state, path):
+    out = []
+    out.append(
+        f"fleetdash  {path}  sim_t={state.last_t:.3f}s  "
+        f"lines={state.lines}"
+        + (f"  unparsed={state.bad_lines}" if state.bad_lines else "")
+    )
+    out.append("")
+
+    out.append(
+        "  series".ljust(26)
+        + "".join(
+            h.rjust(10)
+            for h in ("last", "mean", "min", "max", "n", "p50", "p99")
+        )
+        + "total_n".rjust(10)
+    )
+    for name in sorted(state.samples):
+        s = state.samples[name]
+        out.append(
+            ("  " + name).ljust(26)
+            + fmt(s.get("last"))
+            + fmt(s.get("mean"))
+            + fmt(s.get("min"))
+            + fmt(s.get("max"))
+            + fmt(s.get("n"))
+            + fmt(s.get("p50"))
+            + fmt(s.get("p99"))
+            + fmt(s.get("total_n"))
+        )
+    if not state.samples:
+        out.append("  (no samples yet)")
+    out.append("")
+
+    if state.active_alerts:
+        out.append(f"  SLO ALERTS ACTIVE: {len(state.active_alerts)}")
+        for rule in sorted(state.active_alerts):
+            a = state.active_alerts[rule]
+            out.append(
+                f"    !! {rule}  fired_t={a.get('t', 0):.3f}  "
+                f"short_burn={a.get('short_burn', 0):.2f}  "
+                f"long_burn={a.get('long_burn', 0):.2f}"
+            )
+    else:
+        out.append("  SLO: all quiet")
+    for a in state.recent_alerts:
+        out.append(
+            f"    {a.get('edge', '?'):>7} t={a.get('t', 0):.3f} "
+            f"{a.get('rule', '?')}"
+        )
+    out.append("")
+
+    out.append(f"  flight dumps: {len(state.dumps)}")
+    for d in state.dumps[-MAX_RECENT:]:
+        out.append(
+            f"    t={d.get('t', 0):.3f} events={d.get('events', 0)} "
+            f"reason={d.get('reason', '?')} -> {d.get('path', '?')}"
+        )
+    return "\n".join(out)
+
+
+def follow(path, state, interval, once):
+    """Read the stream to EOF, render; in follow mode keep tailing."""
+    clear = "" if once else "\x1b[2J\x1b[H"
+    position = 0
+    while True:
+        if os.path.exists(path):
+            with open(path, "r") as stream:
+                stream.seek(position)
+                while True:
+                    line = stream.readline()
+                    # A line without its newline is still being
+                    # written; re-read it whole on the next pass.
+                    if not line.endswith("\n"):
+                        break
+                    state.ingest(line.strip())
+                    position = stream.tell()
+        try:
+            print(clear + render(state, path), flush=True)
+        except BrokenPipeError:
+            # Downstream (e.g. `| head`) closed the pipe; not an error.
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            return 0
+        if once:
+            return 0 if os.path.exists(path) else 1
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Live dashboard over a telemetry stream JSONL"
+    )
+    parser.add_argument("stream", help="path to the stream JSONL file")
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="render one snapshot and exit (CI artifact mode)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="refresh period in seconds while following",
+    )
+    args = parser.parse_args(argv)
+    return follow(args.stream, DashState(), args.interval, args.once)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
