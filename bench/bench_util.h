@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/thread_annotations.h"
 #include "core/ags.h"
 #include "obs/json_writer.h"
 #include "obs/observability.h"
@@ -104,7 +105,11 @@ dashedOption(const ParamSet &params, const std::string &key)
     return bare.empty() ? params.getString("--" + key, "") : bare;
 }
 
-/** Parse argv key=value options shared by all benches. */
+/**
+ * Parse argv key=value options shared by all benches. Flips the global
+ * obs gates, so it must run before any worker pool spins up.
+ */
+AG_CONTROL_THREAD
 inline BenchOptions
 parseOptions(int argc, char **argv)
 {
@@ -223,7 +228,10 @@ benchSummary(const std::string &name, const BenchOptions &options)
  * Finish a bench: export the trace / metric snapshot if requested and
  * print the single-line JSON summary (the one machine-readable record
  * every bench emits, bench-specific fields included by the caller).
+ * Reads the global trace ring, so every batch round must have been
+ * wait()ed first.
  */
+AG_CONTROL_THREAD
 inline void
 finishBench(const BenchOptions &options, obs::JsonLineWriter &summary)
 {

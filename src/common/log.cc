@@ -2,7 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace agsim {
 
@@ -14,10 +15,10 @@ namespace {
 std::atomic<LogLevel> globalLevel{LogLevel::Warn};
 
 /** Serializes sink writes so parallel workers' lines cannot tear. */
-std::mutex &
+ag::Mutex &
 sinkMutex()
 {
-    static std::mutex mutex;
+    static ag::Mutex mutex;
     return mutex;
 }
 
@@ -56,7 +57,7 @@ logMessage(LogLevel level, const std::string &msg)
         return;
     // One locked fprintf per message: interleaved calls from parallel
     // batch tasks emit whole lines, never spliced fragments.
-    std::lock_guard<std::mutex> lock(sinkMutex());
+    ag::MutexLock lock(sinkMutex());
     std::fprintf(stderr, "[agsim:%s] %s\n", levelName(level), msg.c_str());
 }
 

@@ -122,6 +122,8 @@ class AdaptiveMappingScheduler
                                           AdaptiveMappingParams());
 
     /** Train the chip-frequency predictor (hardware counter samples). */
+    // lint: allow(units-boundary): MIPS is the predictor's raw counter
+    // feature; units.h has no Mips Quantity (toMips is presentation).
     void observeFrequency(double chipMips, Hertz frequency);
 
     /** Log the critical app's QoS at a chip frequency. */
@@ -141,6 +143,8 @@ class AdaptiveMappingScheduler
      *        discounted by demotedMipsDiscount.
      */
     MappingDecision decide(double violationRate, double qosTarget,
+                           // lint: allow(units-boundary): raw counter
+                           // feature, same as observeFrequency above.
                            double criticalMips, size_t currentCorunner,
                            const std::vector<CorunnerOption> &candidates,
                            const chip::ChipHealthView *health = nullptr)

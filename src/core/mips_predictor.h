@@ -30,6 +30,8 @@ class MipsFreqPredictor
 {
   public:
     /** Record one training observation. @param chipMips Total chip MIPS. */
+    // lint: allow(units-boundary): MIPS is the model's raw counter
+    // feature; units.h has no Mips Quantity (toMips is presentation).
     void observe(double chipMips, Hertz frequency);
 
     /** Number of training observations. */
@@ -39,6 +41,7 @@ class MipsFreqPredictor
     bool trained() const { return fit_.count() >= 2; }
 
     /** Predicted settled chip frequency at the given total MIPS. */
+    // lint: allow(units-boundary): raw counter feature, as observe().
     Hertz predict(double chipMips) const;
 
     /**

@@ -15,21 +15,21 @@ HistogramMetric::HistogramMetric(double lo, double hi, size_t bins)
 void
 HistogramMetric::observe(double x)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ag::MutexLock lock(mutex_);
     histogram_.add(x);
 }
 
 stats::Histogram
 HistogramMetric::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ag::MutexLock lock(mutex_);
     return histogram_;
 }
 
 void
 HistogramMetric::reset()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ag::MutexLock lock(mutex_);
     histogram_ = stats::Histogram(lo_, hi_, bins_);
 }
 
@@ -68,27 +68,42 @@ MetricRegistry::admitSeriesLocked(const std::string &name)
     return true;
 }
 
-Counter &
-MetricRegistry::counter(const std::string &name, const MetricLabels &labels)
+bool
+MetricRegistry::canAdmitSeriesLocked(const std::string &name) const
 {
-    std::string k = key(name, labels);
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = counters_.find(k);
-    if (it != counters_.end())
-        return *it->second;
-    if (!admitSeriesLocked(name))
-        k = key(name, overflowLabels());
+    if (maxSeriesPerMetric_ == 0)
+        return true;
+    auto it = seriesPerName_.find(name);
+    return it == seriesPerName_.end() || it->second < maxSeriesPerMetric_;
+}
+
+Counter &
+MetricRegistry::counterCellLocked(const std::string &k)
+{
     auto &slot = counters_[k];
     if (!slot)
         slot = std::make_unique<Counter>();
     return *slot;
 }
 
+Counter &
+MetricRegistry::counter(const std::string &name, const MetricLabels &labels)
+{
+    std::string k = key(name, labels);
+    ag::MutexLock lock(mutex_);
+    auto it = counters_.find(k);
+    if (it != counters_.end())
+        return *it->second;
+    if (!admitSeriesLocked(name))
+        k = key(name, overflowLabels());
+    return counterCellLocked(k);
+}
+
 Gauge &
 MetricRegistry::gauge(const std::string &name, const MetricLabels &labels)
 {
     std::string k = key(name, labels);
-    std::lock_guard<std::mutex> lock(mutex_);
+    ag::MutexLock lock(mutex_);
     auto it = gauges_.find(k);
     if (it != gauges_.end())
         return *it->second;
@@ -104,12 +119,15 @@ HistogramMetric &
 MetricRegistry::histogram(const std::string &name, double lo, double hi,
                           size_t bins, const MetricLabels &labels)
 {
-    fatalIf(hi <= lo || bins == 0, "histogram metric needs hi > lo and bins");
     std::string k = key(name, labels);
-    std::lock_guard<std::mutex> lock(mutex_);
+    ag::MutexLock lock(mutex_);
     auto it = histograms_.find(k);
     if (it != histograms_.end())
         return *it->second;
+    // Validate the layout only when it is actually used: the documented
+    // contract is that later calls with an existing identity ignore
+    // lo/hi/bins, so a re-fetch with placeholder bounds must not abort.
+    fatalIf(hi <= lo || bins == 0, "histogram metric needs hi > lo and bins");
     if (!admitSeriesLocked(name))
         k = key(name, overflowLabels());
     auto &slot = histograms_[k];
@@ -121,14 +139,14 @@ MetricRegistry::histogram(const std::string &name, double lo, double hi,
 void
 MetricRegistry::setMaxSeriesPerMetric(size_t cap)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ag::MutexLock lock(mutex_);
     maxSeriesPerMetric_ = cap;
 }
 
 size_t
 MetricRegistry::maxSeriesPerMetric() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ag::MutexLock lock(mutex_);
     return maxSeriesPerMetric_;
 }
 
@@ -141,16 +159,43 @@ MetricRegistry::droppedSeries() const
 TimerStat
 MetricRegistry::timer(const std::string &name, const MetricLabels &labels)
 {
+    const std::string callsName = name + ".calls";
+    const std::string nanosName = name + ".ns";
+    std::string callsKey = key(callsName, labels);
+    std::string nanosKey = key(nanosName, labels);
     TimerStat stat;
-    stat.calls = &counter(name + ".calls", labels);
-    stat.nanos = &counter(name + ".ns", labels);
+    ag::MutexLock lock(mutex_);
+    const bool callsNew = counters_.find(callsKey) == counters_.end();
+    const bool nanosNew = counters_.find(nanosKey) == counters_.end();
+    // Joint admission under a single lock hold. Admitting the halves
+    // independently (two counter() calls) could split the pair at the
+    // cardinality boundary — `.calls` landing in a live series while
+    // `.ns` collapses into the shared overflow cell — which silently
+    // corrupts ns-per-call math and, worse, races: another thread's
+    // registration between the two locks decides which half overflows.
+    if ((callsNew && !canAdmitSeriesLocked(callsName)) ||
+        (nanosNew && !canAdmitSeriesLocked(nanosName))) {
+        if (callsNew)
+            droppedSeries_.add(1);
+        if (nanosNew)
+            droppedSeries_.add(1);
+        callsKey = key(callsName, overflowLabels());
+        nanosKey = key(nanosName, overflowLabels());
+    } else {
+        if (callsNew)
+            admitSeriesLocked(callsName);
+        if (nanosNew)
+            admitSeriesLocked(nanosName);
+    }
+    stat.calls = &counterCellLocked(callsKey);
+    stat.nanos = &counterCellLocked(nanosKey);
     return stat;
 }
 
 std::string
 MetricRegistry::snapshotJson() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ag::MutexLock lock(mutex_);
     std::string out = "{\n  \"counters\": {";
     bool first = true;
     for (const auto &[k, c] : counters_) {
@@ -200,7 +245,7 @@ MetricRegistry::snapshotJson() const
 void
 MetricRegistry::resetValues()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ag::MutexLock lock(mutex_);
     for (auto &[k, c] : counters_)
         c->reset();
     for (auto &[k, g] : gauges_)

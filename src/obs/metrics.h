@@ -29,11 +29,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "stats/histogram.h"
 
 namespace agsim::obs {
@@ -93,8 +93,8 @@ class HistogramMetric
     const double lo_;
     const double hi_;
     const size_t bins_;
-    mutable std::mutex mutex_;
-    stats::Histogram histogram_;
+    mutable ag::Mutex mutex_;
+    stats::Histogram histogram_ AG_GUARDED_BY(mutex_);
 };
 
 /**
@@ -142,7 +142,13 @@ class MetricRegistry
                                double hi, size_t bins,
                                const MetricLabels &labels = {});
 
-    /** Get or create a timer (registers `<name>.calls` + `<name>.ns`). */
+    /**
+     * Get or create a timer (registers `<name>.calls` + `<name>.ns`).
+     * The pair is admitted against the cardinality cap jointly: either
+     * both cells are live series or both collapse to their overflow
+     * cells, so ns-per-call ratios never mix a live half with the
+     * shared overflow half.
+     */
     TimerStat timer(const std::string &name,
                     const MetricLabels &labels = {});
 
@@ -176,19 +182,30 @@ class MetricRegistry
                            const MetricLabels &labels);
 
   private:
-    /** Under mutex_: whether a *new* series for `name` may register. */
-    bool admitSeriesLocked(const std::string &name);
+    /** Whether a *new* series for `name` may register, and commit it. */
+    bool admitSeriesLocked(const std::string &name) AG_REQUIRES(mutex_);
+
+    /** Probe-only variant: no budget commit, no drop accounting. */
+    bool canAdmitSeriesLocked(const std::string &name) const
+        AG_REQUIRES(mutex_);
+
+    /** Get or create the counter cell for an exact series key. */
+    Counter &counterCellLocked(const std::string &key) AG_REQUIRES(mutex_);
 
     /** The shared overflow label set rejected series collapse into. */
     static MetricLabels overflowLabels();
 
-    mutable std::mutex mutex_;
-    std::map<std::string, std::unique_ptr<Counter>> counters_;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-    std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+    mutable ag::Mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_
+        AG_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_
+        AG_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_
+        AG_GUARDED_BY(mutex_);
     /** Distinct series registered per metric name (all instrument kinds). */
-    std::map<std::string, size_t> seriesPerName_;
-    size_t maxSeriesPerMetric_ = kDefaultMaxSeriesPerMetric;
+    std::map<std::string, size_t> seriesPerName_ AG_GUARDED_BY(mutex_);
+    size_t maxSeriesPerMetric_ AG_GUARDED_BY(mutex_) =
+        kDefaultMaxSeriesPerMetric;
     Counter droppedSeries_;
 };
 

@@ -1,8 +1,9 @@
 #include "obs/observability.h"
 
 #include <atomic>
-#include <mutex>
 #include <utility>
+
+#include "common/thread_annotations.h"
 
 namespace agsim::obs {
 
@@ -13,9 +14,11 @@ std::atomic<bool> profilingOn{false};
 // The tap itself sits behind a mutex; the atomic flag keeps the
 // common no-tap emit path at one extra relaxed load.
 std::atomic<bool> tapOn{false};
-std::mutex tapMutex;
+ag::Mutex tapMutex;
+// Function-local static, so the slot (like the global recorder) is
+// immortal; the returned reference is only dereferenced under tapMutex.
 std::function<void(const TraceEvent &)> &
-tapSlot()
+tapSlot() AG_REQUIRES(tapMutex)
 {
     static auto *slot = new std::function<void(const TraceEvent &)>();
     return *slot;
@@ -83,7 +86,7 @@ TaskIdScope::~TaskIdScope()
 void
 setEventTap(std::function<void(const TraceEvent &)> tap)
 {
-    std::lock_guard<std::mutex> lock(tapMutex);
+    ag::MutexLock lock(tapMutex);
     tapSlot() = std::move(tap);
     tapOn.store(bool(tapSlot()), std::memory_order_release);
 }
@@ -101,7 +104,7 @@ emit(TraceEvent event)
         return;
     event.task = tlsTaskId;
     if (tapOn.load(std::memory_order_acquire)) {
-        std::lock_guard<std::mutex> lock(tapMutex);
+        ag::MutexLock lock(tapMutex);
         if (tapSlot())
             tapSlot()(event);
     }

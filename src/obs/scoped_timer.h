@@ -29,14 +29,18 @@ class ScopedTimer
                                stat.calls != nullptr &&
                                stat.nanos != nullptr)
     {
-        if (active_)
-            start_ = std::chrono::steady_clock::now();
+        if (!active_)
+            return;
+        // lint: allow(determinism): profiling reads land in the
+        // registry only, never in simulation state.
+        start_ = std::chrono::steady_clock::now();
     }
 
     ~ScopedTimer()
     {
         if (!active_)
             return;
+        // lint: allow(determinism): see constructor note.
         const auto elapsed = std::chrono::steady_clock::now() - start_;
         stat_.calls->add(1);
         stat_.nanos->add(

@@ -22,7 +22,7 @@ FlightRecorder::FlightRecorder(FlightRecorderConfig config)
 void
 FlightRecorder::armLocked(const std::string &reason, Seconds when)
 {
-    if (capturing_ || dumps_.size() >= config_.maxDumps) {
+    if (capturing_ || dumpsTaken_ >= config_.maxDumps) {
         ++suppressed_;
         return;
     }
@@ -46,7 +46,7 @@ FlightRecorder::pruneLocked(Seconds now)
 void
 FlightRecorder::observe(const TraceEvent &event)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ag::MutexLock lock(mutex_);
     ring_.push_back(event);
     pruneLocked(event.simTime);
     if (event.kind == TraceKind::FlightDump)
@@ -65,7 +65,7 @@ FlightRecorder::observe(const TraceEvent &event)
 void
 FlightRecorder::trigger(const std::string &reason, Seconds when)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ag::MutexLock lock(mutex_);
     armLocked(reason, when);
 }
 
@@ -73,7 +73,7 @@ bool
 FlightRecorder::finalize(Seconds now, FlightDump &dump,
                          std::vector<TraceEvent> &events)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ag::MutexLock lock(mutex_);
     if (!capturing_ || now < triggerTime_ + config_.postWindow)
         return false;
 
@@ -98,6 +98,11 @@ FlightRecorder::finalize(Seconds now, FlightDump &dump,
 
     capturing_ = false;
     reason_.clear();
+    // Commit the capture against the maxDumps budget here, before the
+    // lock drops for the file write: armLocked checks dumpsTaken_, so a
+    // trigger landing while the dump is being written cannot overrun
+    // the cap (dumps_ itself is only pushed after the write).
+    ++dumpsTaken_;
     pruneLocked(now);
     return true;
 }
@@ -108,7 +113,7 @@ FlightRecorder::tick(Seconds now)
     FlightDump dump;
     std::vector<TraceEvent> events;
     if (!finalize(now, dump, events)) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        ag::MutexLock lock(mutex_);
         pruneLocked(now);
         return;
     }
@@ -129,7 +134,7 @@ FlightRecorder::tick(Seconds now)
         dump.path.clear();
 
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        ag::MutexLock lock(mutex_);
         dumps_.push_back(dump);
     }
 
@@ -145,21 +150,21 @@ FlightRecorder::tick(Seconds now)
 bool
 FlightRecorder::capturing() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ag::MutexLock lock(mutex_);
     return capturing_;
 }
 
 std::vector<FlightDump>
 FlightRecorder::dumps() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ag::MutexLock lock(mutex_);
     return dumps_;
 }
 
 uint64_t
 FlightRecorder::suppressedTriggers() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ag::MutexLock lock(mutex_);
     return suppressed_;
 }
 

@@ -27,10 +27,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/units.h"
 #include "obs/trace.h"
 
@@ -103,26 +103,36 @@ class FlightRecorder
     const FlightRecorderConfig &config() const { return config_; }
 
   private:
-    /** Under lock: start a capture if none is open and dumps remain. */
-    void armLocked(const std::string &reason, Seconds when);
+    /** Start a capture if none is open and the dump budget remains. */
+    void armLocked(const std::string &reason, Seconds when)
+        AG_REQUIRES(mutex_);
 
-    /** Under lock: drop ring events older than the pre-window. */
-    void pruneLocked(Seconds now);
+    /** Drop ring events older than the pre-window. */
+    void pruneLocked(Seconds now) AG_REQUIRES(mutex_);
 
     /** Close the open capture; returns the dump to write. */
     bool finalize(Seconds now, FlightDump &dump,
-                  std::vector<TraceEvent> &events);
+                  std::vector<TraceEvent> &events) AG_EXCLUDES(mutex_);
 
     const FlightRecorderConfig config_;
 
-    mutable std::mutex mutex_;
-    std::deque<TraceEvent> ring_;
-    bool capturing_ = false;
-    std::string reason_;
-    Seconds triggerTime_ = Seconds{0.0};
-    std::vector<FlightDump> dumps_;
-    uint64_t suppressed_ = 0;
-    uint64_t sequence_ = 0;
+    mutable ag::Mutex mutex_;
+    std::deque<TraceEvent> ring_ AG_GUARDED_BY(mutex_);
+    bool capturing_ AG_GUARDED_BY(mutex_) = false;
+    std::string reason_ AG_GUARDED_BY(mutex_);
+    Seconds triggerTime_ AG_GUARDED_BY(mutex_) = Seconds{0.0};
+    std::vector<FlightDump> dumps_ AG_GUARDED_BY(mutex_);
+    /**
+     * Captures finalized so far, committed inside finalize() while the
+     * dump file is still being written. The maxDumps budget is checked
+     * against this, not dumps_.size(): the push into dumps_ happens
+     * only after the unlocked file write, and a trigger arriving in
+     * that window would otherwise see an undercount and overrun the
+     * cap.
+     */
+    size_t dumpsTaken_ AG_GUARDED_BY(mutex_) = 0;
+    uint64_t suppressed_ AG_GUARDED_BY(mutex_) = 0;
+    uint64_t sequence_ AG_GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace agsim::obs::telemetry

@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/thread_annotations.h"
 #include "obs/json_writer.h"
 
 namespace agsim::obs::telemetry {
@@ -44,6 +45,7 @@ class StreamExporter
     const std::string &path() const { return path_; }
 
     /** Append one pre-rendered JSON object as a line and flush. */
+    AG_CONTROL_THREAD
     void writeLine(const JsonLineWriter &line);
 
     /** Lines written so far. */

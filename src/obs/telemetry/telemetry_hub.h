@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/units.h"
 #include "obs/telemetry/flight_recorder.h"
 #include "obs/telemetry/slo.h"
@@ -90,9 +91,17 @@ class TelemetryHub
      * Control-thread only, before workers start recording. Declaring
      * an existing name again returns the same id (shards must match).
      */
+    AG_CONTROL_THREAD
     SeriesId declareSeries(const std::string &name, size_t shards = 1);
 
-    /** Lock-free sample write into one shard lane (one writer each). */
+    /**
+     * Lock-free sample write into one shard lane. The single-writer
+     * contract (one thread per (id, shard) lane) is what makes the
+     * lockless TimeSeriesBuffer sound; tools/lint.py's single-writer
+     * check pins the caller set to the owning shard sweeps.
+     */
+    AG_SINGLE_WRITER("src/system/fleet_stepper.cc,"
+                     "src/recovery/recovery_manager.cc")
     void record(SeriesId id, size_t shard, Seconds t, double value)
     {
         if (!config_.enabled)
@@ -126,6 +135,7 @@ class TelemetryHub
      * Control-thread heartbeat: on the stream cadence, evaluates SLO
      * rules, advances the flight recorder, and appends stream lines.
      */
+    AG_CONTROL_THREAD
     void tick(Seconds now);
 
   private:

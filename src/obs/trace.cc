@@ -31,16 +31,17 @@ traceKindName(TraceKind kind)
     return "?";
 }
 
-TraceRecorder::TraceRecorder(size_t capacity)
+TraceRecorder::TraceRecorder(size_t capacity) : capacity_(capacity)
 {
     fatalIf(capacity == 0, "trace recorder needs a positive capacity");
+    ag::MutexLock lock(mutex_);
     ring_.resize(capacity);
 }
 
 void
 TraceRecorder::record(TraceEvent event)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ag::MutexLock lock(mutex_);
     ring_[next_] = std::move(event);
     next_ = (next_ + 1) % ring_.size();
     ++recorded_;
@@ -49,7 +50,7 @@ TraceRecorder::record(TraceEvent event)
 std::vector<TraceEvent>
 TraceRecorder::events() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ag::MutexLock lock(mutex_);
     std::vector<TraceEvent> out;
     const size_t count = recorded_ < ring_.size() ? size_t(recorded_)
                                                   : ring_.size();
@@ -64,21 +65,21 @@ TraceRecorder::events() const
 uint64_t
 TraceRecorder::recorded() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ag::MutexLock lock(mutex_);
     return recorded_;
 }
 
 uint64_t
 TraceRecorder::dropped() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ag::MutexLock lock(mutex_);
     return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
 }
 
 void
 TraceRecorder::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ag::MutexLock lock(mutex_);
     for (auto &slot : ring_)
         slot = TraceEvent();
     next_ = 0;

@@ -24,10 +24,10 @@
 #define AGSIM_OBS_TRACE_H
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/units.h"
 
 namespace agsim::obs {
@@ -125,16 +125,18 @@ class TraceRecorder
     /** Events lost to ring wrap-around. */
     uint64_t dropped() const;
 
-    size_t capacity() const { return ring_.size(); }
+    size_t capacity() const { return capacity_; }
 
     /** Discard all events and the drop count. */
     void clear();
 
   private:
-    mutable std::mutex mutex_;
-    std::vector<TraceEvent> ring_;
-    size_t next_ = 0;
-    uint64_t recorded_ = 0;
+    /** Fixed at construction; readable without mutex_ (capacity()). */
+    size_t capacity_ = 0;
+    mutable ag::Mutex mutex_;
+    std::vector<TraceEvent> ring_ AG_GUARDED_BY(mutex_);
+    size_t next_ AG_GUARDED_BY(mutex_) = 0;
+    uint64_t recorded_ AG_GUARDED_BY(mutex_) = 0;
 };
 
 /**

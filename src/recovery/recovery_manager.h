@@ -59,6 +59,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 #include "chip/core_load.h"
 #include "core/placement.h"
 #include "fault/fault_injector.h"
@@ -153,8 +155,11 @@ class RecoveryManager
     /**
      * Advance fleet time by dt and run the recovery pipeline: apply
      * server-scope faults, watchdog, probes, restores, checkpoint
-     * capture, degradation ladder.
+     * capture, degradation ladder. Runs between fleet sweeps (no
+     * worker threads are live), which is also what makes the manager's
+     * shard-0 telemetry writes single-writer.
      */
+    AG_CONTROL_THREAD
     void tick(Seconds dt);
 
     /**
@@ -249,6 +254,7 @@ class RecoveryManager
     void applyPlacement();
 
     /** Sample recovery.* series if the hub cadence is due. */
+    AG_CONTROL_THREAD
     void sampleTelemetry();
 
     system::FleetStepper *stepper_ = nullptr;

@@ -35,6 +35,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 #include "chip/chip.h"
 #include "obs/metrics.h"
 #include "obs/telemetry/telemetry_hub.h"
@@ -128,8 +130,12 @@ class FleetStepper
 
     /**
      * Advance every chip by `ticks` steps of dt — the fleet-bench entry
-     * point (temporal blocking; sampling when configured).
+     * point (temporal blocking; sampling when configured). Spawns and
+     * joins the worker pool internally, so from the caller's view this
+     * is control-thread code; workers touch only their own disjoint,
+     * shard-aligned slot ranges (no locks needed or taken).
      */
+    AG_CONTROL_THREAD
     void run(int64_t ticks, Seconds dt);
 
     /**
@@ -208,7 +214,11 @@ class FleetStepper
     /** Ticks fastForward may consume for this chip right now. */
     int64_t forwardBudget(const Slot &slot, Seconds dt) const;
 
-    /** Record this chip's signals if its sample cadence is due. */
+    /**
+     * Record this chip's signals if its sample cadence is due. Runs on
+     * the worker that owns the slot's shard — the one writer of that
+     * shard's telemetry lanes (hub_->record's AG_SINGLE_WRITER).
+     */
     void sampleSlot(Slot &slot);
 
     FleetStepperConfig config_;

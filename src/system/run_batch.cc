@@ -62,6 +62,9 @@ runBatchTask(const BatchTask &task)
     }
     TaskEndGuard endGuard(task.label);
 
+    // Wall-clock feeds only the reported wallTime observability field,
+    // never simulation state (docs/OBSERVABILITY.md determinism note).
+    // lint: allow(determinism): wall-time profiling of the task harness
     const auto start = std::chrono::steady_clock::now();
 
     // Injectors are declared before the Server so they outlive every
@@ -104,8 +107,10 @@ runBatchTask(const BatchTask &task)
     for (const auto &[socket, plan] : task.faultPlans)
         server.chip(socket).attachFaultInjector(nullptr);
 
-    result.wallTime = Seconds{std::chrono::duration<double>(
-        std::chrono::steady_clock::now() - start).count()};
+    // lint: allow(determinism): wall-time profiling of the task harness
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    result.wallTime =
+        Seconds{std::chrono::duration<double>(elapsed).count()};
 
     obs::registry().counter("batch.tasks").add();
     obs::registry()
@@ -153,7 +158,7 @@ BatchRunner::BatchRunner(size_t workers, BatchErrorPolicy policy)
 BatchRunner::~BatchRunner()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        ag::MutexLock lock(mutex_);
         stopping_ = true;
     }
     workReady_.notify_all();
@@ -166,7 +171,7 @@ BatchRunner::submit(BatchTask task)
 {
     size_t index;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        ag::MutexLock lock(mutex_);
         index = submitted_++;
         results_.resize(submitted_);
         errors_.resize(submitted_);
@@ -182,8 +187,12 @@ BatchRunner::Round
 BatchRunner::collectRound()
 {
     Round round;
-    std::unique_lock<std::mutex> lock(mutex_);
-    roundDone_.wait(lock, [this] { return completed_ == submitted_; });
+    ag::UniqueLock lock(mutex_);
+    // Explicit wait loop (not a predicate lambda): thread-safety
+    // analysis treats lambdas as separate functions, so the loop form
+    // is what lets the guarded reads stay visibly under mutex_.
+    while (completed_ != submitted_)
+        roundDone_.wait(lock);
     round.results = std::move(results_);
     round.errors = std::move(errors_);
     round.labels = std::move(taskLabels_);
@@ -240,17 +249,20 @@ void
 BatchRunner::workerLoop()
 {
     for (;;) {
-        std::unique_lock<std::mutex> lock(mutex_);
-        workReady_.wait(lock,
-                        [this] { return stopping_ || !queue_.empty(); });
-        if (queue_.empty()) {
-            if (stopping_)
+        size_t index = 0;
+        BatchTask task;
+        {
+            ag::UniqueLock lock(mutex_);
+            while (!stopping_ && queue_.empty())
+                workReady_.wait(lock);
+            if (queue_.empty()) {
+                // stopping_ with a drained queue: pool shutdown.
                 return;
-            continue;
+            }
+            index = queue_.front().first;
+            task = std::move(queue_.front().second);
+            queue_.pop_front();
         }
-        auto [index, task] = std::move(queue_.front());
-        queue_.pop_front();
-        lock.unlock();
 
         BatchResult result;
         std::exception_ptr error;
@@ -262,12 +274,14 @@ BatchRunner::workerLoop()
             obs::registry().counter("batch.task_failures").add();
         }
 
-        lock.lock();
-        results_[index] = std::move(result);
-        errors_[index] = error;
-        ++completed_;
-        const bool done = completed_ == submitted_;
-        lock.unlock();
+        bool done = false;
+        {
+            ag::MutexLock lock(mutex_);
+            results_[index] = std::move(result);
+            errors_[index] = error;
+            ++completed_;
+            done = completed_ == submitted_;
+        }
         if (done)
             roundDone_.notify_all();
     }

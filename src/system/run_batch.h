@@ -27,15 +27,15 @@
 #ifndef AGSIM_SYSTEM_RUN_BATCH_H
 #define AGSIM_SYSTEM_RUN_BATCH_H
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 #include "chip/chip_health.h"
 #include "fault/fault_plan.h"
@@ -246,17 +246,23 @@ class BatchRunner
     static std::vector<BatchTaskError> captureErrors(const Round &round);
 
     const BatchErrorPolicy policy_;
-    std::mutex mutex_;
-    std::condition_variable workReady_;
-    std::condition_variable roundDone_;
-    std::deque<std::pair<size_t, BatchTask>> queue_;
-    std::vector<BatchResult> results_;
-    std::vector<std::exception_ptr> errors_;
-    std::vector<std::string> taskLabels_;
+    ag::Mutex mutex_;
+    ag::CondVar workReady_;
+    ag::CondVar roundDone_;
+    std::deque<std::pair<size_t, BatchTask>> queue_ AG_GUARDED_BY(mutex_);
+    std::vector<BatchResult> results_ AG_GUARDED_BY(mutex_);
+    std::vector<std::exception_ptr> errors_ AG_GUARDED_BY(mutex_);
+    std::vector<std::string> taskLabels_ AG_GUARDED_BY(mutex_);
+    /**
+     * Owned by the caller thread between rounds: written only inside
+     * wait()/waitOutcome() after the round barrier, read through
+     * lastErrors() before the next submit — never touched by workers.
+     */
     std::vector<BatchTaskError> lastErrors_;
-    size_t submitted_ = 0;
-    size_t completed_ = 0;
-    bool stopping_ = false;
+    size_t submitted_ AG_GUARDED_BY(mutex_) = 0;
+    size_t completed_ AG_GUARDED_BY(mutex_) = 0;
+    bool stopping_ AG_GUARDED_BY(mutex_) = false;
+    /** Written in the constructor, joined in the destructor only. */
     std::vector<std::thread> workers_;
 };
 

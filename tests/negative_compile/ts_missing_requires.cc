@@ -1,0 +1,40 @@
+/**
+ * Negative-compile case (Clang only, -Werror=thread-safety): calling a
+ * function annotated AG_REQUIRES(mutex) without holding that mutex must
+ * not compile. The `*Locked()` helper idiom (MetricRegistry,
+ * FlightRecorder) leans on exactly this check.
+ */
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Ledger
+{
+  public:
+    void post(int delta)
+    {
+        agsim::ag::MutexLock lock(mutex_);
+        applyLocked(delta);
+    }
+
+    void postUnsafe(int delta)
+    {
+        applyLocked(delta);  // must fail: caller does not hold mutex_
+    }
+
+  private:
+    void applyLocked(int delta) AG_REQUIRES(mutex_) { balance_ += delta; }
+
+    agsim::ag::Mutex mutex_;
+    int balance_ AG_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Ledger ledger;
+    ledger.postUnsafe(1);
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * Negative-compile case (Clang only, -Werror=thread-safety): reading a
+ * field declared AG_GUARDED_BY without holding its mutex must not
+ * compile. This is the core guarantee the annotation layer buys — a
+ * forgotten lock is a build break, not a TSan lottery ticket.
+ */
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Tally
+{
+  public:
+    void bump()
+    {
+        agsim::ag::MutexLock lock(mutex_);
+        ++count_;
+    }
+
+    int peek() const
+    {
+        return count_;  // must fail: reading count_ without mutex_
+    }
+
+  private:
+    mutable agsim::ag::Mutex mutex_;
+    int count_ AG_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Tally tally;
+    tally.bump();
+    return tally.peek();
+}

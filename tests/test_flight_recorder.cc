@@ -7,9 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/telemetry/flight_recorder.h"
@@ -120,6 +122,45 @@ TEST(FlightRecorder, ManualTriggerAndDumpCap)
     EXPECT_EQ(dumps[0].reason, "slo:margin_floor");
     // Two later triggers were refused by the cap.
     EXPECT_EQ(recorder.suppressedTriggers(), 2u);
+    for (const auto &dump : dumps)
+        std::remove(dump.path.c_str());
+}
+
+TEST(FlightRecorder, DumpCapHoldsUnderConcurrentTriggers)
+{
+    // Regression: the maxDumps budget used to be checked against
+    // dumps_.size(), which lags while a finalized dump's file is
+    // written outside the lock; a trigger() landing in that window saw
+    // an undercount and could arm a capture past the cap. The budget is
+    // now committed inside finalize() (dumpsTaken_), so the cap holds
+    // no matter how triggers interleave with the unlocked write.
+    FlightRecorderConfig config = testConfig(::testing::TempDir());
+    config.maxDumps = 4;
+    FlightRecorder recorder(config);
+
+    std::atomic<bool> stop{false};
+    std::thread hammer([&] {
+        // A competing trigger source, like an SLO fire callback racing
+        // the control thread's tick.
+        uint64_t i = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+            recorder.trigger("slo:concurrent",
+                             Seconds{double(i) * 1e-3});
+            ++i;
+        }
+    });
+    for (int i = 0; i < 200; ++i) {
+        const double t = double(i);
+        recorder.observe(eventAt(t));
+        recorder.trigger("manual", Seconds{t});
+        recorder.tick(Seconds{t + 0.2});
+    }
+    stop.store(true, std::memory_order_relaxed);
+    hammer.join();
+    recorder.tick(Seconds{1e6});
+
+    const auto dumps = recorder.dumps();
+    EXPECT_EQ(dumps.size(), 4u);
     for (const auto &dump : dumps)
         std::remove(dump.path.c_str());
 }

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/error.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
 #include "obs/observability.h"
@@ -165,6 +166,58 @@ TEST(MetricRegistry, CardinalityCapSpansInstrumentKinds)
     Gauge &g2 = registry.gauge("mixed", {{"k", "c"}});
     EXPECT_EQ(&g1, &g2);
     EXPECT_EQ(registry.droppedSeries(), 2);
+}
+
+TEST(MetricRegistry, TimerPairAdmitsJointlyAtTheCap)
+{
+    MetricRegistry registry;
+    registry.setMaxSeriesPerMetric(1);
+    // Exhaust `t.ns`'s budget while `t.calls` still has room.
+    registry.counter("t.ns", {{"k", "a"}});
+
+    // Regression: admitting the halves independently would land
+    // `t.calls{k=b}` as a live series while `t.ns{k=b}` collapses into
+    // the overflow cell — a split pair whose ns-per-call ratio mixes
+    // unrelated series. Joint admission collapses both halves.
+    TimerStat split = registry.timer("t", {{"k", "b"}});
+    split.calls->add(7);
+    split.nanos->add(700);
+    EXPECT_EQ(registry.counter("t.calls", {{"overflow", "true"}}).value(),
+              7);
+    EXPECT_EQ(registry.counter("t.ns", {{"overflow", "true"}}).value(),
+              700);
+    EXPECT_EQ(registry.droppedSeries(), 2);
+
+    // The live `t.calls` budget was not consumed by the collapse.
+    TimerStat fresh = registry.timer("u", {{"k", "a"}});
+    EXPECT_NE(fresh.calls, split.calls);
+    EXPECT_EQ(registry.droppedSeries(), 2);
+}
+
+TEST(MetricRegistry, TimerRefetchReturnsTheSamePair)
+{
+    MetricRegistry registry;
+    registry.setMaxSeriesPerMetric(1);
+    TimerStat first = registry.timer("t", {{"k", "a"}});
+    TimerStat again = registry.timer("t", {{"k", "a"}});
+    EXPECT_EQ(first.calls, again.calls);
+    EXPECT_EQ(first.nanos, again.nanos);
+    EXPECT_EQ(registry.droppedSeries(), 0);
+}
+
+TEST(MetricRegistry, HistogramRefetchIgnoresLayoutArguments)
+{
+    MetricRegistry registry;
+    HistogramMetric &h = registry.histogram("h", 0.0, 10.0, 10);
+    // Documented contract: later calls with an existing identity ignore
+    // lo/hi/bins — a handle re-fetch with placeholder bounds must not
+    // abort (it used to validate before the identity lookup).
+    HistogramMetric &again = registry.histogram("h", 0.0, 0.0, 0);
+    EXPECT_EQ(&h, &again);
+    EXPECT_DOUBLE_EQ(again.hi(), 10.0);
+    EXPECT_EQ(again.bins(), 10u);
+    // A genuinely new registration still validates its layout.
+    EXPECT_THROW(registry.histogram("h2", 1.0, 1.0, 4), ConfigError);
 }
 
 TEST(MetricRegistry, UnboundedCapNeverDrops)

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Content-hash gate for slow static analyzers (clang-tidy, cppcheck).
+
+Both analyzers are pure functions of (file contents, tool, tool
+config), so re-running them on files that haven't changed since the
+last clean run is wasted CI time. This tool maintains a stamp
+directory — one empty file per (tool, source-file) pair, named by a
+sha256 over the tool name, the source bytes, and every --config file's
+bytes — that CI persists via actions/cache.
+
+  plan  Print the repo-relative candidate files that have NO valid
+        stamp (i.e. must be analyzed). With --diff-base REF the
+        candidate set is first narrowed to files changed since REF
+        (the PR fast path); without it every candidate is considered
+        (the main-branch full-tree path).
+
+  mark  Write stamps for files that just passed analysis.
+
+Typical CI shape:
+
+  FILES=$(tools/analysis_gate.py plan --tool clang-tidy [--diff-base R])
+  <run clang-tidy on $FILES; fail the job on findings>
+  tools/analysis_gate.py mark --tool clang-tidy --files $FILES
+
+Stamps are self-invalidating: editing a source file, the tool's
+version string passed via --salt, or any --config file changes the
+hash, so stale stamps simply never match and are pruned by `mark`.
+"""
+
+import argparse
+import hashlib
+import subprocess
+import sys
+from pathlib import Path
+
+DEFAULT_GLOBS = ("src/**/*.cc", "src/**/*.h")
+
+
+def repo_files(root, globs):
+    files = []
+    for pattern in globs:
+        files.extend(p for p in sorted(root.glob(pattern)) if p.is_file())
+    return files
+
+
+def changed_since(root, base):
+    """Repo-relative paths changed versus `base` (merge-base diff)."""
+    out = subprocess.run(
+        ["git", "diff", "--name-only", "--merge-base", base, "HEAD"],
+        cwd=root, capture_output=True, text=True)
+    if out.returncode != 0:
+        # A shallow checkout may not have the base; fall back to the
+        # two-dot diff, then to "everything changed".
+        out = subprocess.run(["git", "diff", "--name-only", base],
+                             cwd=root, capture_output=True, text=True)
+    if out.returncode != 0:
+        return None
+    return {line.strip() for line in out.stdout.splitlines()
+            if line.strip()}
+
+
+def stamp_name(tool, path, config_blobs, salt):
+    digest = hashlib.sha256()
+    digest.update(tool.encode())
+    digest.update(b"\0" + salt.encode() + b"\0")
+    for blob in config_blobs:
+        digest.update(blob + b"\0")
+    digest.update(path.read_bytes())
+    return f"{tool}-{digest.hexdigest()[:24]}.ok"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("command", choices=("plan", "mark"))
+    parser.add_argument("--tool", required=True,
+                        help="analyzer name; part of the stamp key")
+    parser.add_argument("--root", default=Path(__file__).parent.parent,
+                        type=Path)
+    parser.add_argument("--cache-dir", default=".analysis-cache",
+                        type=Path,
+                        help="stamp directory (persisted by CI cache)")
+    parser.add_argument("--config", nargs="*", default=[], type=Path,
+                        help="config files folded into the stamp key "
+                             "(e.g. .clang-tidy); changing one "
+                             "invalidates every stamp for the tool")
+    parser.add_argument("--salt", default="",
+                        help="extra key material, e.g. the tool's "
+                             "--version line")
+    parser.add_argument("--glob", nargs="*", default=list(DEFAULT_GLOBS),
+                        help="candidate file globs (repo-relative)")
+    parser.add_argument("--files", nargs="*",
+                        help="explicit repo-relative files (mark mode, "
+                             "or to override the globs in plan mode)")
+    parser.add_argument("--diff-base",
+                        help="plan only files changed since this git "
+                             "ref (PR fast path)")
+    args = parser.parse_args()
+    root = args.root.resolve()
+    cache = args.cache_dir if args.cache_dir.is_absolute() \
+        else root / args.cache_dir
+    cache.mkdir(parents=True, exist_ok=True)
+
+    config_blobs = []
+    for config in args.config:
+        path = config if config.is_absolute() else root / config
+        config_blobs.append(path.read_bytes() if path.exists() else b"")
+
+    if args.files is not None:
+        candidates = [root / f for f in args.files]
+    else:
+        candidates = repo_files(root, args.glob)
+
+    if args.command == "plan":
+        if args.diff_base:
+            changed = changed_since(root, args.diff_base)
+            if changed is not None:
+                candidates = [p for p in candidates
+                              if str(p.relative_to(root)) in changed]
+        planned = []
+        for path in candidates:
+            if not path.exists():
+                continue
+            stamp = cache / stamp_name(args.tool, path, config_blobs,
+                                       args.salt)
+            if not stamp.exists():
+                planned.append(str(path.relative_to(root)))
+        try:
+            for rel in planned:
+                print(rel)
+        except BrokenPipeError:
+            pass
+        return 0
+
+    # mark: stamp the files that just passed, then prune stamps that
+    # match no current file's hash (cache hygiene: edited or deleted
+    # files leave orphaned stamps behind otherwise).
+    for path in candidates:
+        if path.exists():
+            (cache / stamp_name(args.tool, path, config_blobs,
+                                args.salt)).touch()
+    current = {stamp_name(args.tool, p, config_blobs, args.salt)
+               for p in repo_files(root, args.glob) if p.exists()}
+    for stale in cache.glob(f"{args.tool}-*.ok"):
+        if stale.name not in current:
+            stale.unlink()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

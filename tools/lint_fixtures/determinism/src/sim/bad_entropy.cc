@@ -1,0 +1,41 @@
+// Fixture: entropy and wall-clock reads in simulation code. Every
+// line marked EXPECT must produce exactly one determinism finding;
+// unmarked lines must stay silent (comments, strings, suppressions).
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+double
+drawNoise()
+{
+    // Mentioning rand() or time() in prose must not trip the rule.
+    std::random_device entropy;                     // EXPECT: determinism
+    double v = double(rand());                      // EXPECT: determinism
+    srand(42);                                      // EXPECT: determinism
+    v += double(time(nullptr));                     // EXPECT: determinism
+    const char *label = "calls rand() and time()";  // string, not a call
+    (void)label;
+    return v;
+}
+
+double
+stamp()
+{
+    auto wall = std::chrono::system_clock::now();   // EXPECT: determinism
+    auto mono =
+        std::chrono::steady_clock::now();           // EXPECT: determinism
+    // A declared time_point type is fine; only ::now() reads are reads.
+    std::chrono::steady_clock::time_point heldType;
+    (void)heldType;
+    // lint: allow(determinism): fixture exercising the suppression path
+    auto waived = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(wall - mono.time_since_epoch() -
+                                         waived.time_since_epoch())
+        .count();
+}
+
+} // namespace fixture

@@ -1,0 +1,30 @@
+// Fixture: deterministic simulation code — seeded engine, simulation
+// timestamps. Must produce zero determinism findings.
+
+#include <cstdint>
+
+namespace fixture {
+
+// A seeded xorshift stands in for common/rng.h: no entropy source.
+struct SeededRng
+{
+    uint64_t state;
+    explicit SeededRng(uint64_t seed) : state(seed ? seed : 1) {}
+    uint64_t next()
+    {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    }
+};
+
+double
+advance(double simTime, double dt, SeededRng &rng)
+{
+    // Timestamps derive from simulation time, never the host clock.
+    const double jitter = double(rng.next() % 1000) * 1e-9;
+    return simTime + dt + jitter;
+}
+
+} // namespace fixture

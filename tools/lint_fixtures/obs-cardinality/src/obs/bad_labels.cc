@@ -1,0 +1,32 @@
+// Fixture: metric label values must be bounded — string literals,
+// std::to_string of an index, or a *Name() enum-to-string helper.
+// Free-form strings explode series cardinality.
+
+#include <string>
+
+namespace fixture {
+
+struct Registry
+{
+    void counter(const std::string &, ...) {}
+    void gauge(const std::string &, ...) {}
+    void timer(const std::string &, ...) {}
+};
+Registry &registry();
+const char *phaseName(int phase);
+
+void
+emitMetrics(const std::string &serverName, int socket, int phase)
+{
+    registry().counter("fleet.steps", {{"phase", phaseName(phase)}});
+    registry().gauge("rail.load", {{"socket", std::to_string(socket)}});
+    registry().counter("fleet.errors", {{"kind", "timeout"}});
+    registry().counter("fleet.dumps",
+                       {{"server", serverName}}); // EXPECT: obs-cardinality
+    registry().timer("step.latency",
+                     {{"host", serverName.substr(0, 8)}}); // EXPECT: obs-cardinality
+    // lint: allow(obs-cardinality): fixture exercising suppression
+    registry().gauge("debug.probe", {{"raw", serverName}});
+}
+
+} // namespace fixture

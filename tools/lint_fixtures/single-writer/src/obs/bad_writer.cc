@@ -1,0 +1,32 @@
+// Fixture: telemetry lane writes outside the pinned owner files. The
+// single-writer contract (AG_SINGLE_WRITER) allows hub_->record only
+// from fleet_stepper.cc / recovery_manager.cc, and direct lane writes
+// (buffers[shard].record) only from telemetry_hub.h itself.
+
+namespace fixture {
+
+struct Hub
+{
+    void record(int series, double t, double v);
+};
+
+struct Lane
+{
+    void record(double t, double v);
+};
+
+struct RogueObserver
+{
+    Hub *hub_ = nullptr;
+    Lane buffers[4];
+
+    void sample(double t, double margin)
+    {
+        hub_->record(0, t, margin);        // EXPECT: single-writer
+        buffers[0].record(t, margin);      // EXPECT: single-writer
+        // lint: allow(single-writer): fixture exercising suppression
+        hub_->record(1, t, margin);
+    }
+};
+
+} // namespace fixture

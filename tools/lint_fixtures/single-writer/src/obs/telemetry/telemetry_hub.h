@@ -1,0 +1,26 @@
+#ifndef FIXTURE_TELEMETRY_HUB_H
+#define FIXTURE_TELEMETRY_HUB_H
+
+// Fixture: the hub header owns the direct lane write, so the
+// buffers[shard].record call below must produce no finding.
+
+namespace fixture {
+
+struct Lane
+{
+    void record(double t, double v);
+};
+
+struct Hub
+{
+    Lane buffers[8];
+
+    void record(int shard, double t, double v)
+    {
+        buffers[shard].record(t, v);
+    }
+};
+
+} // namespace fixture
+
+#endif

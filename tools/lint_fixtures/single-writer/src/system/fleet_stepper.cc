@@ -1,0 +1,18 @@
+// Fixture: this path IS an allowed writer for TelemetryHub::record, so
+// the call below must produce no finding.
+
+namespace fixture {
+
+struct Hub
+{
+    void record(int series, double t, double v);
+};
+
+struct Stepper
+{
+    Hub *hub_ = nullptr;
+
+    void sweep(double t, double v) { hub_->record(0, t, v); }
+};
+
+} // namespace fixture

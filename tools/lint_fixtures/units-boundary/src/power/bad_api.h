@@ -1,0 +1,35 @@
+#ifndef FIXTURE_BAD_API_H
+#define FIXTURE_BAD_API_H
+
+// Fixture: raw-double unit parameters crossing a public header, and a
+// unit-named value dropped bare into printf varargs.
+
+#include <cstdio>
+
+namespace fixture {
+
+class RailModel
+{
+  public:
+    void setLimit(double budgetWatts);          // EXPECT: units-boundary
+    void setDroop(double droopMv, int rail);    // EXPECT: units-boundary
+    // Rates and ratios are exempt: the composite is not the suffix unit.
+    void setSlew(double voltsPerSecond);
+    void setScale(double loadFraction);
+    // lint: allow(units-boundary): fixture exercising suppression
+    void setFloor(double floorVolts);
+
+    void reportBare(double busVolts)            // EXPECT: units-boundary
+    {
+        printf("bus=%f\n", busVolts);           // EXPECT: units-boundary
+        // Presentation helpers are the sanctioned spelling.
+        printf("bus=%f\n", toMillivolts(busVolts));
+    }
+
+  private:
+    static double toMillivolts(double v) { return v * 1e3; }
+};
+
+} // namespace fixture
+
+#endif
