@@ -101,6 +101,7 @@ class TelemetryHub
      * check pins the caller set to the owning shard sweeps.
      */
     AG_SINGLE_WRITER("src/system/fleet_stepper.cc,"
+                     "src/system/fleet_service.cc,"
                      "src/recovery/recovery_manager.cc")
     void record(SeriesId id, size_t shard, Seconds t, double value)
     {

@@ -1,0 +1,94 @@
+#include "qos/open_queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace agsim::qos {
+
+void
+OpenQueueParams::validate() const
+{
+    if (serviceRatePerCore <= 0.0)
+        throw ConfigError("open queue: serviceRatePerCore must be "
+                          "positive");
+    if (nominalFrequency <= Hertz{0.0})
+        throw ConfigError("open queue: nominalFrequency must be positive");
+    if (memoryBoundedness < 0.0 || memoryBoundedness > 1.0)
+        throw ConfigError("open queue: memoryBoundedness out of [0, 1]");
+    if (maxDepth == 0)
+        throw ConfigError("open queue: maxDepth must be positive");
+}
+
+ServerQueueModel::ServerQueueModel(const OpenQueueParams &params)
+    : params_(params)
+{
+    params_.validate();
+}
+
+double
+ServerQueueModel::frequencyScale(Hertz frequency) const
+{
+    if (frequency <= Hertz{0.0})
+        return 0.0;
+    const double mb = params_.memoryBoundedness;
+    return (1.0 - mb) * (frequency / params_.nominalFrequency) + mb;
+}
+
+QueueStepResult
+ServerQueueModel::step(Seconds dt, uint64_t arrivals,
+                       double capacityScale)
+{
+    panicIf(dt <= Seconds{0.0}, "queue step needs a positive dt");
+    panicIf(capacityScale < 0.0, "negative queue capacity scale");
+
+    QueueStepResult result;
+
+    // Admission at the door: the backlog never exceeds maxDepth.
+    const uint64_t room =
+        depth_ >= params_.maxDepth ? 0 : params_.maxDepth - depth_;
+    result.admitted = std::min(arrivals, room);
+    result.shed = arrivals - result.admitted;
+    const uint64_t depthBefore = depth_;
+    depth_ += result.admitted;
+
+    // Drain at the frequency-scaled rate; carry the fractional query.
+    const double rate = params_.serviceRatePerCore * capacityScale;
+    if (rate > 0.0 && depth_ > 0) {
+        const double capacity = rate * dt.value() + carry_;
+        const double whole = std::floor(capacity);
+        result.completed =
+            std::min(depth_, uint64_t(std::max(0.0, whole)));
+        // The carry only accumulates while there is work to absorb it;
+        // an idle server must not bank capacity.
+        carry_ = depth_ > uint64_t(std::max(0.0, whole))
+                     ? capacity - whole
+                     : 0.0;
+        depth_ -= result.completed;
+        if (result.completed > 0) {
+            const double wait =
+                (double(depthBefore) + double(result.admitted) * 0.5) /
+                rate;
+            result.meanLatency = Seconds{wait + 1.0 / rate};
+        }
+    } else {
+        carry_ = 0.0;
+    }
+
+    totalAdmitted_ += result.admitted;
+    totalShed_ += result.shed;
+    totalCompleted_ += result.completed;
+    return result;
+}
+
+uint64_t
+ServerQueueModel::takeBacklog()
+{
+    const uint64_t backlog = depth_;
+    depth_ = 0;
+    carry_ = 0.0;
+    return backlog;
+}
+
+} // namespace agsim::qos

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Deterministic open-loop server queue for the continuous fleet
+ * service.
+ *
+ * qos::WebSearchService simulates one core's query stream
+ * query-by-query, which is right for Fig. 17 fidelity but cannot scale
+ * to "millions of users across a thousand servers" — and its RNG-per-
+ * query draws would make bit-identity across execution orders fragile.
+ * ServerQueueModel is the fleet-scale counterpart: a discrete-time
+ * fluid queue that the service steps once per control quantum with an
+ * aggregate arrival count.
+ *
+ * Model per step of length dt:
+ *  - capacity  = serviceRatePerCore * capacityScale * dt, where
+ *    capacityScale is supplied by the caller as the sum over the
+ *    server's active cores of the same memory-boundedness frequency
+ *    law the workload throughput model uses:
+ *        scale(f) = (1 - mb) * f / fnominal + mb
+ *    (a demoted or droop-throttled chip drains its queue slower, which
+ *    is exactly the co-runner -> QoS causal chain of Fig. 17);
+ *  - admission: arrivals beyond maxDepth - depth are shed at the door
+ *    (counted, never silently dropped);
+ *  - completions = min(depth + admitted, floor(capacity + carry)); the
+ *    fractional carry keeps long-run throughput exact without
+ *    per-query events;
+ *  - latency estimate for the completed batch: mean sojourn
+ *        W = (depthBefore + admitted / 2) / serviceRate + 1 / serviceRate
+ *    i.e. queueing delay at the current drain rate plus one service
+ *    time — Little's-law bookkeeping, deterministic by construction.
+ *
+ * Everything is integer/double arithmetic on explicit state: no RNG,
+ * no global registries, so stepping order across servers cannot change
+ * any result (the work-stealing executor depends on that).
+ */
+
+#ifndef AGSIM_QOS_OPEN_QUEUE_H
+#define AGSIM_QOS_OPEN_QUEUE_H
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace agsim::qos {
+
+/** Queue-model tunables (per server). */
+struct OpenQueueParams
+{
+    /** Queries/sec one active core drains at the nominal frequency. */
+    double serviceRatePerCore = 500.0;
+    /** Frequency the service rate is quoted at. */
+    Hertz nominalFrequency = Hertz{4.2e9};
+    /** Memory-boundedness of query work (0 = fully core-bound). */
+    double memoryBoundedness = 0.2;
+    /**
+     * Admission cap: arrivals that would push the backlog past this
+     * are shed at the door. Bounds worst-case latency and memory.
+     */
+    uint64_t maxDepth = 4096;
+
+    /** Reject nonsensical values with a descriptive ConfigError. */
+    void validate() const;
+};
+
+/** One step's outcome. */
+struct QueueStepResult
+{
+    /** Arrivals admitted into the backlog this step. */
+    uint64_t admitted = 0;
+    /** Arrivals shed by the admission cap this step. */
+    uint64_t shed = 0;
+    /** Queries completed this step. */
+    uint64_t completed = 0;
+    /** Mean sojourn time of the completed batch (0 if none). */
+    Seconds meanLatency = Seconds{0.0};
+};
+
+/**
+ * The per-server fluid queue. The fleet service owns one per server
+ * and steps it on the control thread every quantum.
+ */
+class ServerQueueModel
+{
+  public:
+    explicit ServerQueueModel(const OpenQueueParams &params =
+                                  OpenQueueParams());
+
+    const OpenQueueParams &params() const { return params_; }
+
+    /**
+     * Frequency law shared with the workload throughput model: the
+     * relative drain speed of one core clocked at `frequency`.
+     */
+    double frequencyScale(Hertz frequency) const;
+
+    /**
+     * Advance one step.
+     *
+     * @param dt Step length (one control quantum).
+     * @param arrivals Queries routed to this server this step.
+     * @param capacityScale Sum of frequencyScale(f) over the server's
+     *        active cores (0 = no capacity; queries wait).
+     */
+    QueueStepResult step(Seconds dt, uint64_t arrivals,
+                         double capacityScale);
+
+    /** Current backlog. */
+    uint64_t depth() const { return depth_; }
+
+    /**
+     * Drop the entire backlog and return it (drain-and-migrate: the
+     * router re-queues these on surviving servers).
+     */
+    uint64_t takeBacklog();
+
+    /** Lifetime counters. */
+    uint64_t totalAdmitted() const { return totalAdmitted_; }
+    uint64_t totalShed() const { return totalShed_; }
+    uint64_t totalCompleted() const { return totalCompleted_; }
+
+  private:
+    OpenQueueParams params_;
+    uint64_t depth_ = 0;
+    /** Fractional service capacity carried between steps. */
+    double carry_ = 0.0;
+    uint64_t totalAdmitted_ = 0;
+    uint64_t totalShed_ = 0;
+    uint64_t totalCompleted_ = 0;
+};
+
+} // namespace agsim::qos
+
+#endif // AGSIM_QOS_OPEN_QUEUE_H

@@ -366,6 +366,33 @@ FleetStepper::run(int64_t ticks, Seconds dt)
         if (threads <= 1) {
             for (Slot &slot : slots_)
                 stepChipBlock(slot, n, dt, exact, forwarded);
+        } else if (config_.stealing) {
+            // Shard-granular work-stealing sweep: task = one shard, so
+            // every telemetry shard lane still has exactly one writer
+            // per barrier, and the pool's mutexes order barrier N's
+            // writes before barrier N+1's (lanes may hop threads
+            // between barriers, never within one).
+            if (pool_ == nullptr)
+                pool_ = std::make_unique<StealPool>(threads);
+            const size_t shards =
+                (slots_.size() + config_.shardSize - 1) /
+                config_.shardSize;
+            std::vector<int64_t> exactPer(pool_->threadCount(), 0);
+            std::vector<int64_t> forwardedPer(pool_->threadCount(), 0);
+            pool_->sweep(shards, [this, n, dt, &exactPer, &forwardedPer](
+                                     size_t worker, size_t shard) {
+                const size_t lo = shard * config_.shardSize;
+                const size_t hi =
+                    std::min(slots_.size(), lo + config_.shardSize);
+                for (size_t i = lo; i < hi; ++i) {
+                    stepChipBlock(slots_[i], n, dt, exactPer[worker],
+                                  forwardedPer[worker]);
+                }
+            });
+            for (size_t t = 0; t < pool_->threadCount(); ++t) {
+                exact += exactPer[t];
+                forwarded += forwardedPer[t];
+            }
         } else {
             // Chips are independent; disjoint contiguous ranges per
             // worker are bit-identical to the serial sweep. Ranges are

@@ -41,6 +41,7 @@
 #include "obs/metrics.h"
 #include "obs/telemetry/telemetry_hub.h"
 #include "system/server.h"
+#include "system/steal_pool.h"
 
 namespace agsim::system {
 
@@ -83,6 +84,17 @@ struct FleetStepperConfig
     int64_t tickBlock = 64;
     /** Enable phase-sampled fast-forward (approximate; see file doc). */
     bool sampling = false;
+    /**
+     * With threads > 1, execute each tick block as a work-stealing
+     * sweep over shard-granular tasks (persistent StealPool) instead of
+     * the static contiguous split. Bit-identical to both the serial and
+     * static-split sweeps — shards are mutually independent, so only
+     * the worker-to-shard assignment changes — but resilient to the
+     * load imbalance sampled mode creates (a quiescent shard is far
+     * cheaper than one riding a transient). The continuous fleet
+     * service turns this on; finite benches keep the static split.
+     */
+    bool stealing = false;
     PhaseDetectorParams detector;
     /**
      * Migrate all chips into one shared SoA arena on the first run.
@@ -162,6 +174,12 @@ class FleetStepper
     /** Ticks consumed by fast-forward spans so far. */
     int64_t fastForwardedTicks() const { return fastForwardedTicks_; }
 
+    /** Shard tasks stolen so far (0 unless config().stealing). */
+    int64_t stealCount() const
+    {
+        return pool_ != nullptr ? pool_->steals() : 0;
+    }
+
     const FleetStepperConfig &config() const { return config_; }
 
   private:
@@ -225,6 +243,8 @@ class FleetStepper
     std::vector<Slot> slots_;
     std::shared_ptr<chip::ChipStateSoA> arena_;
     bool frozen_ = false;
+    /** Lazily-built persistent worker pool (config_.stealing only). */
+    std::unique_ptr<StealPool> pool_;
 
     int64_t exactSteps_ = 0;
     int64_t fastForwardedTicks_ = 0;

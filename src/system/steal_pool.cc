@@ -1,0 +1,141 @@
+#include "system/steal_pool.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace agsim::system {
+
+StealPool::StealPool(size_t threads)
+{
+    panicIf(threads == 0, "steal pool needs at least one worker");
+    deques_.reserve(threads);
+    for (size_t w = 0; w < threads; ++w)
+        deques_.push_back(std::make_unique<WorkerDeque>());
+    workers_.reserve(threads);
+    for (size_t w = 0; w < threads; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+StealPool::~StealPool()
+{
+    {
+        ag::MutexLock lock(mutex_);
+        shutdown_ = true;
+        workCv_.notify_all();
+    }
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+StealPool::sweep(size_t taskCount, const TaskFn &fn)
+{
+    if (taskCount == 0)
+        return;
+
+    // Seed the deques with contiguous chunks: worker w starts on the
+    // same task range the static splitter would give it, so stealing
+    // only kicks in when the load is actually imbalanced.
+    const size_t workers = deques_.size();
+    const size_t chunk = (taskCount + workers - 1) / workers;
+    for (size_t w = 0; w < workers; ++w) {
+        const size_t begin = std::min(taskCount, w * chunk);
+        const size_t end = std::min(taskCount, begin + chunk);
+        ag::MutexLock lock(deques_[w]->mutex);
+        for (size_t task = begin; task < end; ++task)
+            deques_[w]->tasks.push_back(task);
+    }
+
+    ag::UniqueLock lock(mutex_);
+    fn_ = &fn;
+    tasksLeft_ = taskCount;
+    ++generation_;
+    workCv_.notify_all();
+    while (tasksLeft_ != 0)
+        doneCv_.wait(lock);
+    fn_ = nullptr;
+    ++sweeps_;
+}
+
+bool
+StealPool::popOwn(size_t self, size_t &task)
+{
+    WorkerDeque &mine = *deques_[self];
+    ag::MutexLock lock(mine.mutex);
+    if (mine.tasks.empty())
+        return false;
+    task = mine.tasks.front();
+    mine.tasks.pop_front();
+    return true;
+}
+
+bool
+StealPool::stealInto(size_t self, size_t &task)
+{
+    const size_t workers = deques_.size();
+    for (size_t offset = 1; offset < workers; ++offset) {
+        const size_t victim = (self + offset) % workers;
+        // Take the back half under the victim's lock alone, then move
+        // it into our own deque: never holding two deque locks rules
+        // out thief/thief deadlock by construction.
+        std::vector<size_t> loot;
+        {
+            WorkerDeque &theirs = *deques_[victim];
+            ag::MutexLock lock(theirs.mutex);
+            const size_t have = theirs.tasks.size();
+            if (have == 0)
+                continue;
+            const size_t take = (have + 1) / 2;
+            loot.assign(theirs.tasks.end() - ptrdiff_t(take),
+                        theirs.tasks.end());
+            theirs.tasks.erase(theirs.tasks.end() - ptrdiff_t(take),
+                               theirs.tasks.end());
+        }
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        task = loot.front();
+        if (loot.size() > 1) {
+            WorkerDeque &mine = *deques_[self];
+            ag::MutexLock lock(mine.mutex);
+            mine.tasks.insert(mine.tasks.end(), loot.begin() + 1,
+                              loot.end());
+        }
+        return true;
+    }
+    return false;
+}
+
+void
+StealPool::workerLoop(size_t self)
+{
+    uint64_t seenGeneration = 0;
+    for (;;) {
+        const TaskFn *fn = nullptr;
+        {
+            ag::UniqueLock lock(mutex_);
+            while (!shutdown_ && generation_ == seenGeneration)
+                workCv_.wait(lock);
+            if (shutdown_)
+                return;
+            seenGeneration = generation_;
+            fn = fn_;
+        }
+        // Drain: own deque first, then steal. No task is added to any
+        // deque after the generation starts, so one full empty scan
+        // means this sweep has no unclaimed work left.
+        size_t finished = 0;
+        size_t task = 0;
+        while (popOwn(self, task) || stealInto(self, task)) {
+            (*fn)(self, task);
+            ++finished;
+        }
+        if (finished > 0) {
+            ag::MutexLock lock(mutex_);
+            tasksLeft_ -= finished;
+            if (tasksLeft_ == 0)
+                doneCv_.notify_all();
+        }
+    }
+}
+
+} // namespace agsim::system

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * ServerQueueModel tests: deterministic fluid-queue accounting —
+ * admission capping, frequency-scaled drain with fractional carry,
+ * Little's-law latency, and drain-and-migrate backlog handoff.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "qos/open_queue.h"
+
+namespace agsim::qos {
+namespace {
+
+constexpr Seconds kDt{0.01};
+
+TEST(OpenQueue, AdmitsUpToDepthCapAndSheds)
+{
+    OpenQueueParams params;
+    params.maxDepth = 100;
+    params.serviceRatePerCore = 500.0;
+    ServerQueueModel queue(params);
+
+    // No capacity: everything admitted piles up, overflow sheds.
+    QueueStepResult r1 = queue.step(kDt, 80, 0.0);
+    EXPECT_EQ(r1.admitted, 80u);
+    EXPECT_EQ(r1.shed, 0u);
+    EXPECT_EQ(r1.completed, 0u);
+    EXPECT_EQ(queue.depth(), 80u);
+
+    QueueStepResult r2 = queue.step(kDt, 50, 0.0);
+    EXPECT_EQ(r2.admitted, 20u);
+    EXPECT_EQ(r2.shed, 30u);
+    EXPECT_EQ(queue.depth(), 100u);
+    EXPECT_EQ(queue.totalShed(), 30u);
+}
+
+TEST(OpenQueue, DrainsAtFrequencyScaledRate)
+{
+    OpenQueueParams params;
+    params.serviceRatePerCore = 1000.0;
+    params.maxDepth = 100000;
+    ServerQueueModel queue(params);
+
+    // 4 cores at nominal frequency: 4000/s * 0.01s = 40 per step.
+    queue.step(kDt, 500, 4.0);
+    // depth 500 admitted then 40 completed.
+    EXPECT_EQ(queue.depth(), 460u);
+    QueueStepResult r = queue.step(kDt, 0, 4.0);
+    EXPECT_EQ(r.completed, 40u);
+}
+
+TEST(OpenQueue, FrequencyScaleFollowsMemoryBoundednessLaw)
+{
+    OpenQueueParams params;
+    params.nominalFrequency = Hertz{4.0e9};
+    params.memoryBoundedness = 0.25;
+    ServerQueueModel queue(params);
+    // At nominal: scale 1. At half clock: (1-mb)*0.5 + mb.
+    EXPECT_NEAR(queue.frequencyScale(Hertz{4.0e9}), 1.0, 1e-12);
+    EXPECT_NEAR(queue.frequencyScale(Hertz{2.0e9}), 0.625, 1e-12);
+    EXPECT_EQ(queue.frequencyScale(Hertz{0.0}), 0.0);
+}
+
+TEST(OpenQueue, FractionalCarryKeepsLongRunThroughputExact)
+{
+    OpenQueueParams params;
+    params.serviceRatePerCore = 130.0; // 1.3 completions per step
+    params.maxDepth = 100000;
+    ServerQueueModel queue(params);
+    queue.step(kDt, 1000, 1.0);
+    for (int k = 0; k < 99; ++k)
+        queue.step(kDt, 0, 1.0);
+    // 100 steps * 1.3/step = 130 exactly, carry included.
+    EXPECT_EQ(queue.totalCompleted(), 130u);
+}
+
+TEST(OpenQueue, IdleServerDoesNotBankCapacity)
+{
+    OpenQueueParams params;
+    params.serviceRatePerCore = 50.0; // 0.5 per step
+    params.maxDepth = 1000;
+    ServerQueueModel queue(params);
+    // Empty queue for many steps: carry must not accumulate.
+    for (int k = 0; k < 50; ++k)
+        queue.step(kDt, 0, 1.0);
+    QueueStepResult r = queue.step(kDt, 10, 1.0);
+    // First loaded step: at most floor(0.5 + residual<1) = 0 or 1,
+    // never the 25 that banked capacity would allow.
+    EXPECT_LE(r.completed, 1u);
+}
+
+TEST(OpenQueue, LatencyGrowsWithBacklog)
+{
+    OpenQueueParams params;
+    params.serviceRatePerCore = 1000.0;
+    params.maxDepth = 100000;
+    ServerQueueModel shallow(params);
+    ServerQueueModel deep(params);
+    deep.step(kDt, 5000, 0.0); // preload a backlog
+
+    QueueStepResult a = shallow.step(kDt, 10, 1.0);
+    QueueStepResult b = deep.step(kDt, 10, 1.0);
+    ASSERT_GT(a.completed, 0u);
+    ASSERT_GT(b.completed, 0u);
+    EXPECT_GT(b.meanLatency.value(), a.meanLatency.value());
+}
+
+TEST(OpenQueue, TakeBacklogDrainsEverything)
+{
+    ServerQueueModel queue;
+    queue.step(kDt, 300, 0.0);
+    EXPECT_EQ(queue.takeBacklog(), 300u);
+    EXPECT_EQ(queue.depth(), 0u);
+    EXPECT_EQ(queue.takeBacklog(), 0u);
+}
+
+TEST(OpenQueue, DeterministicAcrossInstances)
+{
+    OpenQueueParams params;
+    params.serviceRatePerCore = 777.0;
+    ServerQueueModel a(params);
+    ServerQueueModel b(params);
+    for (int k = 0; k < 200; ++k) {
+        const uint64_t arrivals = uint64_t((k * 37) % 90);
+        const double scale = 1.0 + 0.5 * double(k % 3);
+        QueueStepResult ra = a.step(kDt, arrivals, scale);
+        QueueStepResult rb = b.step(kDt, arrivals, scale);
+        EXPECT_EQ(ra.admitted, rb.admitted);
+        EXPECT_EQ(ra.completed, rb.completed);
+        EXPECT_EQ(ra.shed, rb.shed);
+        EXPECT_EQ(ra.meanLatency.value(), rb.meanLatency.value());
+    }
+    EXPECT_EQ(a.depth(), b.depth());
+}
+
+TEST(OpenQueue, ValidationRejectsNonsense)
+{
+    OpenQueueParams params;
+    params.serviceRatePerCore = 0.0;
+    EXPECT_THROW(ServerQueueModel{params}, ConfigError);
+    params = OpenQueueParams();
+    params.memoryBoundedness = 1.5;
+    EXPECT_THROW(ServerQueueModel{params}, ConfigError);
+    params = OpenQueueParams();
+    params.maxDepth = 0;
+    EXPECT_THROW(ServerQueueModel{params}, ConfigError);
+    params = OpenQueueParams();
+    params.nominalFrequency = Hertz{0.0};
+    EXPECT_THROW(ServerQueueModel{params}, ConfigError);
+}
+
+} // namespace
+} // namespace agsim::qos

@@ -2,11 +2,12 @@
 """Perf-regression gate for CI.
 
 Compares a fresh perf_steps + ext_fault_placement (and, when --fleet
-is given, perf_fleet_steps) run against the checked-in baseline
-(bench/baseline.json) and fails when any higher-is-better metric
-drops more than the tolerance. Writes the
-merged current numbers (plus the verdict) to --out so CI can upload
-one BENCH_perf.json artifact per run.
+/ --service are given, perf_fleet_steps / svc_fleet_service) run
+against the checked-in baseline (bench/baseline.json) and fails when
+any higher-is-better metric drops more than the tolerance, or any
+lower-is-better metric rises above baseline * (1 + tolerance).
+Writes the merged current numbers (plus the verdict) to --out so CI
+can upload one BENCH_perf.json artifact per run.
 
 Tolerance: --tolerance, else the PERF_TOLERANCE env var, else 0.10
 (the 10%% gate from the issue). CI runners are noisy; the baseline
@@ -38,6 +39,19 @@ GATED = {
         "fleet_telemetry_steps_per_sec",
         "speedup_sampled",
     ],
+    "svc_fleet_service": [
+        "fleet_service_chip_steps_per_sec",
+    ],
+}
+
+# Lower-is-better metrics: the gate fails when the current value
+# rises above baseline * (1 + tolerance). Service p99 latency is sim
+# latency — deterministic given the scenario — so a rise here is a
+# control-plane regression, not runner noise.
+GATED_CEILINGS = {
+    "svc_fleet_service": [
+        "fleet_service_p99_latency_ms",
+    ],
 }
 
 # The telemetry plane's cost on the sampled fleet regime is a ceiling
@@ -60,6 +74,9 @@ def main():
                         help="ext_fault_placement JSON output")
     parser.add_argument("--fleet", default=None,
                         help="perf_fleet_steps JSON output (optional)")
+    parser.add_argument("--service", default=None,
+                        help="svc_fleet_service JSON output "
+                             "(optional)")
     parser.add_argument("--out", default="BENCH_perf.json",
                         help="merged artifact to write")
     parser.add_argument("--tolerance", type=float,
@@ -75,6 +92,8 @@ def main():
     }
     if args.fleet:
         current["perf_fleet_steps"] = load(args.fleet)
+    if args.service:
+        current["svc_fleet_service"] = load(args.service)
 
     failures = []
     checks = []
@@ -99,6 +118,30 @@ def main():
                 failures.append(
                     f"{bench}.{key}: {cur[key]:.4g} < floor "
                     f"{floor:.4g} (baseline {base[key]:.4g}, "
+                    f"observed/baseline {ratio:.3f}, "
+                    f"tolerance {args.tolerance:.0%})")
+
+    for bench, keys in GATED_CEILINGS.items():
+        base = baseline.get(bench, {})
+        cur = current.get(bench, {})
+        for key in keys:
+            if key not in base or key not in cur:
+                continue
+            ceiling = base[key] * (1.0 + args.tolerance)
+            ok = cur[key] <= ceiling
+            checks.append({
+                "bench": bench,
+                "metric": key,
+                "baseline": base[key],
+                "current": cur[key],
+                "ceiling": ceiling,
+                "ok": ok,
+            })
+            if not ok:
+                ratio = cur[key] / base[key] if base[key] else 0.0
+                failures.append(
+                    f"{bench}.{key}: {cur[key]:.4g} > ceiling "
+                    f"{ceiling:.4g} (baseline {base[key]:.4g}, "
                     f"observed/baseline {ratio:.3f}, "
                     f"tolerance {args.tolerance:.0%})")
 
@@ -129,6 +172,11 @@ def main():
     # baseline comparison.
     if current["ext_fault_placement"].get("pass") is False:
         failures.append("ext_fault_placement reported pass=false")
+
+    # The service soak carries its own verdict (bit-identical replay
+    # and >= 90% sustained load); a false fails the gate outright.
+    if current.get("svc_fleet_service", {}).get("pass") is False:
+        failures.append("svc_fleet_service reported pass=false")
 
     verdict = {
         "tolerance": args.tolerance,

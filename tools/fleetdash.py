@@ -136,22 +136,52 @@ def render(state, path):
     return "\n".join(out)
 
 
+class StreamTailer:
+    """Incremental reader for a growing (or rotating) JSONL stream.
+
+    Each ``poll()`` hands every *complete* new line to the callback:
+
+      - a trailing line without its newline is still being written by
+        the producer; it is left unconsumed and re-read whole on the
+        next poll (no torn JSON ever reaches the parser);
+      - a file that shrank below the last read offset was truncated
+        or rotated; the tailer restarts from offset 0 so a fresh
+        stream is picked up instead of tailing past EOF forever;
+      - a missing file is not an error — the producer may not have
+        opened it yet.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self.position = 0
+
+    def poll(self, ingest):
+        """Feed new complete lines to ``ingest``; return the count."""
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return 0
+        if size < self.position:
+            self.position = 0  # truncated or rotated underneath us
+        consumed = 0
+        with open(self.path, "r") as stream:
+            stream.seek(self.position)
+            while True:
+                line = stream.readline()
+                if not line.endswith("\n"):
+                    break
+                ingest(line.strip())
+                consumed += 1
+                self.position = stream.tell()
+        return consumed
+
+
 def follow(path, state, interval, once):
     """Read the stream to EOF, render; in follow mode keep tailing."""
     clear = "" if once else "\x1b[2J\x1b[H"
-    position = 0
+    tailer = StreamTailer(path)
     while True:
-        if os.path.exists(path):
-            with open(path, "r") as stream:
-                stream.seek(position)
-                while True:
-                    line = stream.readline()
-                    # A line without its newline is still being
-                    # written; re-read it whole on the next pass.
-                    if not line.endswith("\n"):
-                        break
-                    state.ingest(line.strip())
-                    position = stream.tell()
+        tailer.poll(state.ingest)
         try:
             print(clear + render(state, path), flush=True)
         except BrokenPipeError:

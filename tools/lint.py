@@ -135,7 +135,8 @@ SINGLE_WRITER_RULES = [
      ("src/obs/telemetry/telemetry_hub.h",),
      "TimeSeriesBuffer lane write (buffers[shard].record)"),
     (re.compile(r"\bhub_\s*->\s*record\s*\("),
-     ("src/system/fleet_stepper.cc", "src/recovery/recovery_manager.cc"),
+     ("src/system/fleet_stepper.cc", "src/system/fleet_service.cc",
+      "src/recovery/recovery_manager.cc"),
      "TelemetryHub::record (single-writer telemetry lane)"),
 ]
 

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/fleetdash.py (stdlib only, like test_lint).
+
+Covers the StreamTailer's growing-file semantics — complete lines
+only, partial trailing lines deferred, truncation/rotation restart,
+missing-file tolerance — and the DashState/render aggregation the
+dashboard builds on top of it.
+
+Run directly or via ctest (fleetdash.selftest).
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import fleetdash  # noqa: E402
+
+
+def sample(t, series, value):
+    return json.dumps({
+        "kind": "sample", "t": t, "series": series,
+        "mean": value, "min": value, "max": value, "last": value,
+        "n": 1, "p50": value, "p99": value, "total_n": 1,
+    })
+
+
+def alert(t, rule, edge):
+    return json.dumps({
+        "kind": "alert", "t": t, "rule": rule, "edge": edge,
+        "short_burn": 2.5, "long_burn": 1.5,
+    })
+
+
+class TailerTest(unittest.TestCase):
+    def setUp(self):
+        fd, self.path = tempfile.mkstemp(suffix=".jsonl")
+        os.close(fd)
+        self.addCleanup(self._cleanup)
+        self.lines = []
+        self.tailer = fleetdash.StreamTailer(self.path)
+
+    def _cleanup(self):
+        if os.path.exists(self.path):
+            os.unlink(self.path)
+
+    def append(self, text):
+        with open(self.path, "a") as fh:
+            fh.write(text)
+
+    def poll(self):
+        return self.tailer.poll(self.lines.append)
+
+    def test_reads_complete_lines_incrementally(self):
+        self.append("one\ntwo\n")
+        self.assertEqual(self.poll(), 2)
+        self.append("three\n")
+        self.assertEqual(self.poll(), 1)
+        self.assertEqual(self.lines, ["one", "two", "three"])
+
+    def test_partial_line_is_deferred_until_complete(self):
+        self.append('{"kind": "sam')
+        self.assertEqual(self.poll(), 0)
+        self.append('ple"}\n')
+        self.assertEqual(self.poll(), 1)
+        self.assertEqual(self.lines, ['{"kind": "sample"}'])
+
+    def test_partial_line_never_consumed_twice(self):
+        self.append("full\npart")
+        self.assertEqual(self.poll(), 1)
+        self.assertEqual(self.poll(), 0)
+        self.append("ial\n")
+        self.assertEqual(self.poll(), 1)
+        self.assertEqual(self.lines, ["full", "partial"])
+
+    def test_truncation_restarts_from_offset_zero(self):
+        self.append("aaaa\nbbbb\ncccc\n")
+        self.assertEqual(self.poll(), 3)
+        with open(self.path, "w") as fh:  # rotation: shorter file
+            fh.write("dd\n")
+        self.assertEqual(self.poll(), 1)
+        self.assertEqual(self.lines[-1], "dd")
+
+    def test_missing_file_is_not_an_error(self):
+        os.unlink(self.path)
+        self.assertEqual(self.poll(), 0)
+        self.append("late\n")  # producer finally opened the stream
+        self.assertEqual(self.poll(), 1)
+
+    def test_empty_poll_on_unchanged_file(self):
+        self.append("x\n")
+        self.assertEqual(self.poll(), 1)
+        self.assertEqual(self.poll(), 0)
+
+
+class DashStateTest(unittest.TestCase):
+    def setUp(self):
+        self.state = fleetdash.DashState()
+
+    def test_latest_sample_per_series_wins(self):
+        self.state.ingest(sample(0.1, "service.depth", 5.0))
+        self.state.ingest(sample(0.2, "service.depth", 9.0))
+        self.assertEqual(self.state.samples["service.depth"]["last"],
+                         9.0)
+        self.assertEqual(self.state.last_t, 0.2)
+        self.assertEqual(self.state.lines, 2)
+
+    def test_alert_fire_then_resolve_clears_active(self):
+        self.state.ingest(alert(1.0, "service.latency", "fire"))
+        self.assertIn("service.latency", self.state.active_alerts)
+        self.state.ingest(alert(2.0, "service.latency", "resolve"))
+        self.assertNotIn("service.latency", self.state.active_alerts)
+        self.assertEqual(len(self.state.recent_alerts), 2)
+
+    def test_garbage_counts_as_bad_line(self):
+        self.state.ingest("not json at all")
+        self.state.ingest('{"kind": "mystery"}')
+        self.assertEqual(self.state.bad_lines, 2)
+
+    def test_render_mentions_active_alert(self):
+        self.state.ingest(sample(0.5, "service.latency_ms", 80.0))
+        self.state.ingest(alert(0.6, "service.latency", "fire"))
+        text = fleetdash.render(self.state, "stream.jsonl")
+        self.assertIn("SLO ALERTS ACTIVE: 1", text)
+        self.assertIn("service.latency_ms", text)
+
+    def test_render_quiet_without_alerts(self):
+        text = fleetdash.render(self.state, "stream.jsonl")
+        self.assertIn("all quiet", text)
+        self.assertIn("(no samples yet)", text)
+
+
+class OnceModeTest(unittest.TestCase):
+    def test_once_snapshot_exit_codes(self):
+        fd, path = tempfile.mkstemp(suffix=".jsonl")
+        with os.fdopen(fd, "w") as fh:
+            fh.write(sample(0.1, "service.rate", 1000.0) + "\n")
+        try:
+            self.assertEqual(fleetdash.main([path, "--once"]), 0)
+        finally:
+            os.unlink(path)
+        self.assertEqual(fleetdash.main([path, "--once"]), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()
